@@ -1,0 +1,27 @@
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+namespace nup::bench {
+
+/// Shared entry point: every experiment binary first prints its paper
+/// artifact (table/figure data), then runs the registered timing
+/// benchmarks. Keeping the artifact on stdout means
+/// `for b in build/bench/*; do $b; done` regenerates the whole evaluation.
+inline int run(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+inline void banner(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+}  // namespace nup::bench

@@ -1,0 +1,94 @@
+// Experiment: Fig 14/15 -- the off-chip bandwidth vs on-chip memory
+// trade-off: cutting the largest reuse FIFO and feeding the tail segment
+// from an extra off-chip stream degrades on-chip storage gracefully. The
+// paper sweeps SEGMENTATION_3D's 19-point window from 1 to 18 accesses per
+// cycle and observes three phases (inter-plane, inter-row, intra-row
+// reuse). Every swept design is re-simulated for correctness.
+
+#include <cstdio>
+
+#include "arch/builder.hpp"
+#include "arch/tradeoff.hpp"
+#include "bench_common.hpp"
+#include "sim/simulator.hpp"
+#include "stencil/gallery.hpp"
+#include "stencil/golden.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace nup;
+
+void print_artifact() {
+  bench::banner(
+      "Fig 15: bandwidth/memory trade-off on SEGMENTATION_3D (19-point)");
+  const stencil::StencilProgram p = stencil::segmentation_3d();
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  const std::vector<arch::TradeoffPoint> curve =
+      arch::bandwidth_sweep(design.systems[0]);
+
+  TextTable table;
+  table.set_header({"off-chip accesses/cycle", "banks", "on-chip elements",
+                    "largest FIFO", "phase"});
+  std::int64_t plane = 128 * 128;
+  for (const arch::TradeoffPoint& point : curve) {
+    const char* phase = point.largest_remaining >= plane / 2
+                            ? "inter-plane reuse"
+                        : point.largest_remaining >= 64
+                            ? "inter-row reuse"
+                        : point.largest_remaining > 0 ? "intra-row reuse"
+                                                      : "no reuse";
+    table.add_row({std::to_string(point.offchip_streams),
+                   std::to_string(point.bank_count),
+                   std::to_string(point.total_buffer_size),
+                   std::to_string(point.largest_remaining), phase});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  // Correctness across the curve (small instance to keep runtime sane).
+  const stencil::StencilProgram small = stencil::segmentation_3d(6, 8, 10);
+  const arch::AcceleratorDesign small_design = arch::build_design(small);
+  const stencil::GoldenRun golden = stencil::run_golden(small, 1);
+  std::size_t verified = 0;
+  for (std::size_t cuts = 0; cuts < small.total_references(); ++cuts) {
+    arch::AcceleratorDesign traded = small_design;
+    traded.systems[0] = arch::apply_tradeoff(small_design.systems[0], cuts);
+    const sim::SimResult r = sim::simulate(small, traded, {});
+    bool ok = !r.deadlocked && r.outputs.size() == golden.outputs.size();
+    for (std::size_t i = 0; ok && i < golden.outputs.size(); ++i) {
+      ok = r.outputs[i] == golden.outputs[i];
+    }
+    if (ok) ++verified;
+  }
+  std::printf("\nverified %zu/%zu points of the curve by simulation "
+              "against the golden execution\n",
+              verified, static_cast<std::size_t>(small.total_references()));
+}
+
+void BM_BandwidthSweep(benchmark::State& state) {
+  const stencil::StencilProgram p = stencil::segmentation_3d();
+  const arch::MemorySystem system = arch::build_design(p).systems[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arch::bandwidth_sweep(system).size());
+  }
+}
+BENCHMARK(BM_BandwidthSweep);
+
+void BM_SimulateTradedDesign(benchmark::State& state) {
+  const stencil::StencilProgram p = stencil::segmentation_3d(6, 8, 10);
+  arch::AcceleratorDesign design = arch::build_design(p);
+  design.systems[0] = arch::apply_tradeoff(design.systems[0], 3);
+  sim::SimOptions options;
+  options.record_outputs = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate(p, design, options).cycles);
+  }
+}
+BENCHMARK(BM_SimulateTradedDesign);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_artifact();
+  return nup::bench::run(argc, argv);
+}

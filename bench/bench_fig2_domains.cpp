@@ -1,0 +1,110 @@
+// Experiment: Fig 2 / Table 1 -- the DENOISE running example. Prints the
+// paper's denotation table (domains, reuse distance vectors, maximum reuse
+// distances) computed by the polyhedral substrate, and times the underlying
+// domain operations.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "poly/reuse.hpp"
+#include "stencil/gallery.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace nup;
+
+void print_artifact() {
+  bench::banner(
+      "Fig 2 / Table 1: DENOISE iteration & data domains, reuse distances");
+  const stencil::StencilProgram p = stencil::denoise_2d();
+  const std::vector<std::string> names = p.iteration_names();
+
+  std::printf("%s\n", p.to_c_code().c_str());
+  std::printf("iteration domain D: %s (%lld points)\n",
+              p.iteration().to_string().c_str(),
+              static_cast<long long>(p.iteration().count()));
+  const poly::Domain union_domain = p.input_data_domain(0);
+  std::printf("input data domain D_A: union of 5 translated domains, %lld "
+              "points (hull box 768x1024 = %lld; the 4 corners are unused, "
+              "Example 4)\n",
+              static_cast<long long>(union_domain.count()),
+              static_cast<long long>(768 * 1024));
+
+  TextTable table("Per-reference data domains and reuse distances");
+  table.set_header({"reference", "offset f_x", "D_Ax first point",
+                    "max reuse dist to next"});
+  const poly::Domain hull = p.data_domain_hull(0);
+  // Fig 7 order: descending lexicographic offsets.
+  std::vector<poly::IntVec> ordered = {
+      {1, 0}, {0, 1}, {0, 0}, {0, -1}, {-1, 0}};
+  for (std::size_t k = 0; k < ordered.size(); ++k) {
+    const poly::Domain ref_domain = p.iteration().translated(ordered[k]);
+    const poly::IntVec first = ref_domain.lex_min().value();
+    std::string dist = "-";
+    if (k + 1 < ordered.size()) {
+      dist = std::to_string(
+          poly::max_reuse_distance(p.iteration(), hull, ordered[k],
+                                   ordered[k + 1])
+              .max_distance);
+    }
+    const stencil::ArrayReference ref{ordered[k]};
+    table.add_row({ref.to_string("A", names), poly::to_string(ordered[k]),
+                   poly::to_string(first), dist});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "end-to-end max reuse distance A[i+1][j] -> A[i-1][j]: %lld "
+      "(paper: 2048 = minimum total reuse buffer size)\n",
+      static_cast<long long>(
+          poly::max_reuse_distance(p.iteration(), hull, {1, 0}, {-1, 0})
+              .max_distance));
+}
+
+void BM_InputDomainCount(benchmark::State& state) {
+  const stencil::StencilProgram p = stencil::denoise_2d();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.input_data_domain(0).count());
+  }
+}
+BENCHMARK(BM_InputDomainCount);
+
+void BM_MaxReuseDistanceBoxClosedForm(benchmark::State& state) {
+  const stencil::StencilProgram p = stencil::denoise_2d();
+  const poly::Domain hull = p.data_domain_hull(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        poly::max_reuse_distance(p.iteration(), hull, {1, 0}, {-1, 0})
+            .max_distance);
+  }
+}
+BENCHMARK(BM_MaxReuseDistanceBoxClosedForm);
+
+void BM_MaxReuseDistanceExactUnion(benchmark::State& state) {
+  const stencil::StencilProgram p = stencil::denoise_2d(96, 128);
+  const poly::Domain union_domain = p.input_data_domain(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        poly::max_reuse_distance(p.iteration(), union_domain, {1, 0},
+                                 {-1, 0})
+            .max_distance);
+  }
+}
+BENCHMARK(BM_MaxReuseDistanceExactUnion);
+
+void BM_RankOracleQuery(benchmark::State& state) {
+  const stencil::StencilProgram p = stencil::denoise_2d();
+  const poly::RankOracle oracle(p.input_data_domain(0));
+  poly::IntVec point{400, 512};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.rank_inclusive(point));
+  }
+}
+BENCHMARK(BM_RankOracleQuery);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_artifact();
+  return nup::bench::run(argc, argv);
+}

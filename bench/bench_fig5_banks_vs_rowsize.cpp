@@ -1,0 +1,76 @@
+// Experiment: Fig 5 -- for the constant DENOISE window, the number of banks
+// needed by cyclic partitioning [5] varies with the row size of the data
+// grid, while our design always uses n-1 = 4 FIFOs. Prints the sweep series
+// and times the bank-count search.
+
+#include <cstdio>
+#include <map>
+
+#include "arch/builder.hpp"
+#include "baseline/cyclic.hpp"
+#include "bench_common.hpp"
+#include "stencil/gallery.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace nup;
+
+const std::vector<poly::IntVec> kWindow = {
+    {-1, 0}, {0, -1}, {0, 0}, {0, 1}, {1, 0}};
+
+void print_artifact() {
+  bench::banner(
+      "Fig 5: # of banks vs data-grid row size (DENOISE 5-point window)");
+  std::printf("baseline: cyclic partitioning [5] on the flattened address "
+              "space;\nours: always n-1 = 4 non-uniform reuse FIFOs\n\n");
+
+  TextTable table;
+  table.set_header({"row size", "banks [5]", "banks ours"});
+  std::map<std::size_t, int> histogram;
+  for (std::int64_t w = 993; w <= 1056; ++w) {
+    const baseline::UniformPartition part =
+        baseline::cyclic_partition_raw(kWindow, {768, w});
+    ++histogram[part.banks];
+    if (w % 4 == 1 || part.banks >= 8) {
+      table.add_row({std::to_string(w), std::to_string(part.banks), "4"});
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  std::printf("\nbank-count histogram over row sizes 993..1056 "
+              "(paper reports the range 5..8):\n");
+  for (const auto& [banks, count] : histogram) {
+    std::printf("  %zu banks: %2d row sizes  ", banks, count);
+    for (int i = 0; i < count; ++i) std::printf("#");
+    std::printf("\n");
+  }
+  std::printf("ours: 4 banks at every row size (theoretical minimum)\n");
+}
+
+void BM_CyclicSearchPerRowSize(benchmark::State& state) {
+  std::int64_t w = 993;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        baseline::cyclic_partition_raw(kWindow, {768, w}).banks);
+    w = w == 1056 ? 993 : w + 1;
+  }
+}
+BENCHMARK(BM_CyclicSearchPerRowSize);
+
+void BM_OurBuilderPerRowSize(benchmark::State& state) {
+  std::int64_t w = 993;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        arch::build_design(stencil::denoise_2d(768, w)).total_bank_count());
+    w = w == 1056 ? 993 : w + 1;
+  }
+}
+BENCHMARK(BM_OurBuilderPerRowSize);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_artifact();
+  return nup::bench::run(argc, argv);
+}

@@ -1,0 +1,67 @@
+// Experiment: Fig 6 -- non-rectangular stencil windows where uniform
+// partitioning [7][8] needs more banks than the window size, while the
+// theoretical minimum is n-1. Prints the per-window comparison (paper:
+// 5 / 5 / 20 banks for the three windows) and times the GMP scheme search.
+
+#include <cstdio>
+
+#include "arch/builder.hpp"
+#include "baseline/gmp.hpp"
+#include "bench_common.hpp"
+#include "stencil/gallery.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace nup;
+
+void print_artifact() {
+  bench::banner(
+      "Fig 6: windows where [7][8] need more banks than n (paper: 5/5/20)");
+  TextTable table;
+  table.set_header({"window", "points n", "banks [8]", "scheme alpha",
+                    "min n-1", "banks ours"});
+  const stencil::StencilProgram programs[] = {
+      stencil::bicubic_2d(), stencil::rician_2d(),
+      stencil::segmentation_3d()};
+  for (const stencil::StencilProgram& p : programs) {
+    const baseline::UniformPartition gmp = baseline::gmp_partition(p, 0);
+    const arch::AcceleratorDesign ours = arch::build_design(p);
+    table.add_row({p.name(), std::to_string(p.total_references()),
+                   std::to_string(gmp.banks), poly::to_string(gmp.scheme),
+                   std::to_string(p.total_references() - 1),
+                   std::to_string(ours.systems[0].bank_count())});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nwindow shapes (reconstructions, DESIGN.md Section 5):\n");
+  for (const stencil::StencilProgram& p : programs) {
+    std::printf("  %-16s:", p.name().c_str());
+    for (const stencil::ArrayReference& ref : p.inputs()[0].refs) {
+      std::printf(" %s", poly::to_string(ref.offset).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+void BM_GmpSearchRician(benchmark::State& state) {
+  const stencil::StencilProgram p = stencil::rician_2d();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baseline::gmp_partition(p, 0).banks);
+  }
+}
+BENCHMARK(BM_GmpSearchRician);
+
+void BM_GmpSearchSegmentation3d(benchmark::State& state) {
+  const stencil::StencilProgram p = stencil::segmentation_3d();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baseline::gmp_partition(p, 0).banks);
+  }
+}
+BENCHMARK(BM_GmpSearchSegmentation3d);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_artifact();
+  return nup::bench::run(argc, argv);
+}

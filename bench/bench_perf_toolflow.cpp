@@ -1,0 +1,94 @@
+// Performance characterization of the design-automation flow itself
+// (Fig 11): frontend parsing, polyhedral analysis, microarchitecture
+// generation, baseline searches, RTL emission, and simulator throughput.
+// Not a paper artifact -- it documents tool scalability.
+
+#include <cstdio>
+
+#include "arch/builder.hpp"
+#include "baseline/cyclic.hpp"
+#include "baseline/gmp.hpp"
+#include "bench_common.hpp"
+#include "codegen/verilog.hpp"
+#include "core/compiler.hpp"
+#include "frontend/sema.hpp"
+#include "sim/simulator.hpp"
+#include "stencil/gallery.hpp"
+
+namespace {
+
+using namespace nup;
+
+constexpr const char* kSource = R"(
+  for (i = 1; i <= 766; i++)
+    for (j = 1; j <= 1022; j++)
+      B[i][j] = 0.5*A[i][j] + 0.125*(A[i-1][j] + A[i+1][j]
+                                     + A[i][j-1] + A[i][j+1]);
+)";
+
+void BM_FrontendParse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        frontend::parse_stencil(kSource, "DENOISE").total_references());
+  }
+}
+BENCHMARK(BM_FrontendParse);
+
+void BM_FullCompileNoSim(benchmark::State& state) {
+  const stencil::StencilProgram p = stencil::denoise_2d();
+  core::CompileOptions options;
+  options.verify_by_simulation = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compile(p, options).rtl.size());
+  }
+}
+BENCHMARK(BM_FullCompileNoSim);
+
+void BM_FullCompileWithVerification(benchmark::State& state) {
+  const stencil::StencilProgram p = stencil::denoise_2d(64, 80);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compile(p).verified);
+  }
+}
+BENCHMARK(BM_FullCompileWithVerification)->Unit(benchmark::kMillisecond);
+
+void BM_EmitVerilogSegmentation(benchmark::State& state) {
+  const stencil::StencilProgram p = stencil::segmentation_3d();
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codegen::emit_verilog(p, design).size());
+  }
+}
+BENCHMARK(BM_EmitVerilogSegmentation);
+
+void BM_SimulatorThroughput3D(benchmark::State& state) {
+  const stencil::StencilProgram p = stencil::segmentation_3d(16, 32, 32);
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  sim::SimOptions options;
+  options.record_outputs = false;
+  std::int64_t cycles = 0;
+  for (auto _ : state) {
+    cycles = sim::simulate(p, design, options).cycles;
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorThroughput3D)->Unit(benchmark::kMillisecond);
+
+void BM_GmpVersusCyclicSearch(benchmark::State& state) {
+  const stencil::StencilProgram p = stencil::sobel_2d();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baseline::gmp_partition(p, 0).banks +
+                             baseline::cyclic_partition(p, 0).banks);
+  }
+}
+BENCHMARK(BM_GmpVersusCyclicSearch);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  nup::bench::banner("Tool-flow performance characterization");
+  return nup::bench::run(argc, argv);
+}

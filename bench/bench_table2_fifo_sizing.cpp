@@ -1,0 +1,78 @@
+// Experiment: Fig 7 / Table 2 -- the generated memory system for DENOISE:
+// non-uniform FIFO depths from maximum reuse distances of adjacent
+// references, mapped heterogeneously to BRAM / registers. Prints Table 2
+// and times design generation.
+
+#include <cstdio>
+
+#include "arch/builder.hpp"
+#include "bench_common.hpp"
+#include "stencil/gallery.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace nup;
+
+void print_artifact() {
+  bench::banner("Fig 7 / Table 2: reuse FIFOs of the DENOISE memory system");
+  const stencil::StencilProgram p = stencil::denoise_2d();
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  const arch::MemorySystem& sys = design.systems[0];
+  const std::vector<std::string> names = p.iteration_names();
+
+  TextTable table;
+  table.set_header({"FIFO ID", "precedent -> successive references",
+                    "FIFO size", "physical impl."});
+  for (std::size_t k = 0; k < sys.fifos.size(); ++k) {
+    const stencil::ArrayReference from{sys.ordered_offsets[k]};
+    const stencil::ArrayReference to{sys.ordered_offsets[k + 1]};
+    table.add_row({"FIFO " + std::to_string(k),
+                   from.to_string("A", names) + " -> " +
+                       to.to_string("A", names),
+                   std::to_string(sys.fifos[k].depth),
+                   arch::to_string(sys.fifos[k].impl)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("total reuse storage: %lld elements (paper: 2048, the "
+              "theoretical minimum); banks: %zu (= n-1, the minimum)\n",
+              static_cast<long long>(sys.total_buffer_size()),
+              sys.bank_count());
+  std::printf("paper Table 2: sizes {1023, 1, 1, 1023}, BRAM for the row "
+              "FIFOs, registers for the unit FIFOs\n");
+}
+
+void BM_BuildDenoiseDesign(benchmark::State& state) {
+  const stencil::StencilProgram p = stencil::denoise_2d();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arch::build_design(p).total_buffer_size());
+  }
+}
+BENCHMARK(BM_BuildDenoiseDesign);
+
+void BM_BuildSegmentationDesign(benchmark::State& state) {
+  const stencil::StencilProgram p = stencil::segmentation_3d();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arch::build_design(p).total_buffer_size());
+  }
+}
+BENCHMARK(BM_BuildSegmentationDesign);
+
+void BM_BuildWithExactSizingSkewed(benchmark::State& state) {
+  const stencil::StencilProgram p = stencil::skewed_demo(24, 48);
+  arch::BuildOptions options;
+  options.exact_sizing = true;
+  options.exact_streaming = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        arch::build_design(p, options).total_buffer_size());
+  }
+}
+BENCHMARK(BM_BuildWithExactSizingSkewed);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_artifact();
+  return nup::bench::run(argc, argv);
+}

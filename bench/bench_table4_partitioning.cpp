@@ -1,0 +1,95 @@
+// Experiment: Table 4 -- high-level partitioning results on the six paper
+// benchmarks: original/target II, number of banks and total reuse-buffer
+// size for the uniform baseline [8] and for our non-uniform method. The
+// paper's numeric cells did not survive OCR; EXPERIMENTS.md records our
+// measured values against every structural claim the prose preserves.
+
+#include <cstdio>
+
+#include "arch/builder.hpp"
+#include "baseline/cyclic.hpp"
+#include "baseline/gmp.hpp"
+#include "bench_common.hpp"
+#include "sim/banked.hpp"
+#include "sim/simulator.hpp"
+#include "stencil/gallery.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace nup;
+
+void print_artifact() {
+  bench::banner("Table 4: high-level partitioning results");
+  TextTable table;
+  table.set_header({"benchmark", "orig II", "target II", "banks [8]",
+                    "banks ours", "size [8]", "size ours"});
+  for (const stencil::StencilProgram& p : stencil::paper_benchmarks()) {
+    const baseline::UniformPartition gmp = baseline::gmp_partition(p, 0);
+    const arch::AcceleratorDesign ours = arch::build_design(p);
+    table.add_row({p.name(), std::to_string(p.total_references()), "1",
+                   std::to_string(gmp.banks),
+                   std::to_string(ours.systems[0].bank_count()),
+                   std::to_string(gmp.total_size),
+                   std::to_string(ours.systems[0].total_buffer_size())});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nthe target II=1 is actually achieved: measured steady II "
+              "of the simulated accelerators:\n");
+  for (const stencil::StencilProgram& p :
+       {stencil::denoise_2d(128, 256), stencil::sobel_2d(128, 256),
+        stencil::bicubic_2d(64, 256)}) {
+    sim::SimOptions options;
+    options.record_outputs = false;
+    const sim::SimResult r =
+        sim::simulate(p, arch::build_design(p), options);
+    std::printf("  %-10s steady II = %.4f over %lld outputs\n",
+                p.name().c_str(), r.steady_ii,
+                static_cast<long long>(r.kernel_fires));
+  }
+  std::printf("\n[5] (flat cyclic) for reference:\n");
+  for (const stencil::StencilProgram& p : stencil::paper_benchmarks()) {
+    const baseline::UniformPartition cyc = baseline::cyclic_partition(p, 0);
+    std::printf("  %-16s %s\n", p.name().c_str(), cyc.to_string().c_str());
+  }
+
+  // Fairness: the [8] baseline is not just counted, it is *executed* --
+  // the banked architecture simulator runs it to completion conflict-free
+  // with outputs equal to ours.
+  std::printf("\nexecuted [8] baseline (banked-architecture simulator, "
+              "scaled instances):\n");
+  for (const stencil::StencilProgram& p :
+       {stencil::denoise_2d(48, 64), stencil::sobel_2d(48, 64),
+        stencil::segmentation_3d(10, 12, 14)}) {
+    const sim::BankedSimResult r =
+        sim::simulate_banked(p, baseline::gmp_partition(p, 0));
+    std::printf("  %-16s %s, %lld outputs in %lld cycles (II %.3f)\n",
+                p.name().c_str(),
+                r.bank_conflict ? "BANK CONFLICT"
+                : r.completed   ? "conflict-free"
+                                : "incomplete",
+                static_cast<long long>(r.outputs),
+                static_cast<long long>(r.cycles), r.steady_ii);
+  }
+}
+
+void BM_Table4AllBenchmarks(benchmark::State& state) {
+  const std::vector<stencil::StencilProgram> programs =
+      stencil::paper_benchmarks();
+  for (auto _ : state) {
+    std::int64_t acc = 0;
+    for (const stencil::StencilProgram& p : programs) {
+      acc += static_cast<std::int64_t>(baseline::gmp_partition(p, 0).banks);
+      acc += arch::build_design(p).total_buffer_size();
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_Table4AllBenchmarks)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_artifact();
+  return nup::bench::run(argc, argv);
+}

@@ -1,0 +1,70 @@
+// Experiment: Table 5 -- post-synthesis resource comparison ([8] vs ours):
+// BRAM18K, logic slices, DSP48 and clock period, per benchmark plus the
+// average row. ISE 14.2 is unavailable offline; the analytical FPGA model
+// of src/hls (DESIGN.md Section 3) substitutes for it. Paper averages:
+// -66% BRAM, -25% slices, -100% DSP, slightly better slack.
+
+#include <cstdio>
+
+#include "arch/builder.hpp"
+#include "baseline/gmp.hpp"
+#include "bench_common.hpp"
+#include "hls/report.hpp"
+#include "stencil/gallery.hpp"
+
+namespace {
+
+using namespace nup;
+
+std::vector<hls::SynthesisComparison> build_rows() {
+  const hls::DeviceModel device = hls::virtex7_485t();
+  std::vector<hls::SynthesisComparison> rows;
+  for (const stencil::StencilProgram& p : stencil::paper_benchmarks()) {
+    hls::SynthesisComparison row;
+    row.benchmark = p.name();
+    row.baseline = hls::estimate_uniform(baseline::gmp_partition(p, 0),
+                                         p.total_references(), device);
+    row.ours = hls::estimate_streaming(arch::build_design(p), p, device);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void print_artifact() {
+  bench::banner(
+      "Table 5: synthesis results on Virtex-7 XC7VX485T (analytical model)");
+  const std::vector<hls::SynthesisComparison> rows = build_rows();
+  std::printf("%s", hls::render_synthesis_table(rows).c_str());
+  const hls::SynthesisAverages avg = hls::average_deltas(rows);
+  std::printf("\npaper averages for reference: BRAM -66%%, slices -25%%, "
+              "DSP -100%%, CP slightly better\n");
+  std::printf("our model lands at:          BRAM %.1f%%, slices %.1f%%, "
+              "DSP %.1f%%, CP %.1f%%\n",
+              avg.bram * 100.0, avg.slices * 100.0, avg.dsp * 100.0,
+              avg.clock_period * 100.0);
+}
+
+void BM_FullTable5(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_rows().size());
+  }
+}
+BENCHMARK(BM_FullTable5)->Unit(benchmark::kMillisecond);
+
+void BM_EstimateStreamingSegmentation(benchmark::State& state) {
+  const stencil::StencilProgram p = stencil::segmentation_3d();
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  const hls::DeviceModel device = hls::virtex7_485t();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hls::estimate_streaming(design, p, device).slices);
+  }
+}
+BENCHMARK(BM_EstimateStreamingSegmentation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_artifact();
+  return nup::bench::run(argc, argv);
+}

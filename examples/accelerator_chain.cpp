@@ -1,0 +1,74 @@
+// Fig 13(c) demo: system integration by direct accelerator chaining. With
+// the memory system folded into each accelerator, both stages read and
+// write a single lexicographic stream, so stage 1's output port connects
+// straight to stage 2's off-chip input -- no intermediate block memory.
+//
+//   $ ./accelerator_chain
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "arch/builder.hpp"
+#include "sim/feed.hpp"
+#include "sim/simulator.hpp"
+#include "stencil/gallery.hpp"
+
+int main() {
+  using namespace nup;
+
+  // Stage 1: DENOISE over the full grid. Its iteration domain [1,766] x
+  // [1,1022] is exactly stage 2's input data hull.
+  const stencil::StencilProgram stage1 = stencil::denoise_2d();
+
+  // Stage 2: edge enhance over the denoised field.
+  stencil::StencilProgram stage2("ENHANCE",
+                                 poly::Domain::box({2, 2}, {765, 1021}));
+  stage2.add_input("D", {{-1, 0}, {0, -1}, {0, 0}, {0, 1}, {1, 0}});
+  stage2.set_kernel([](const std::vector<double>& v) {
+    return 5.0 * v[2] - (v[0] + v[1] + v[3] + v[4]);
+  });
+
+  const arch::AcceleratorDesign design1 = arch::build_design(stage1);
+  const arch::AcceleratorDesign design2 = arch::build_design(stage2);
+  std::printf("stage 1: %s", arch::describe(design1).c_str());
+  std::printf("stage 2: %s\n", arch::describe(design2).c_str());
+
+  sim::AcceleratorSim sim1(stage1, design1, {});
+  sim::SimOptions options2;
+  options2.stall_limit = 10'000'000;  // stage 2 waits for stage 1's ramp-up
+  sim::AcceleratorSim sim2(stage2, design2, options2);
+
+  // The Fig 13(c) wire: stage 1's output stream is stage 2's input feed.
+  auto wire = std::make_shared<sim::QueueFeed>();
+  sim1.set_output_callback([&](const poly::IntVec& i, double v) {
+    wire->push(i, v);
+  });
+  sim2.set_feed(0, 0, wire);
+
+  std::int64_t outputs2 = 0;
+  sim2.set_output_callback(
+      [&](const poly::IntVec&, double) { ++outputs2; });
+
+  std::int64_t cycle = 0;
+  std::int64_t max_in_flight = 0;
+  while (!sim2.done() && cycle < 10'000'000) {
+    sim1.step();
+    // Peak occupancy of the wire is right after the producer pushed and
+    // before the consumer popped.
+    max_in_flight = std::max(
+        max_in_flight, static_cast<std::int64_t>(wire->pending()));
+    sim2.step();
+    ++cycle;
+  }
+
+  std::printf("chained run: %lld cycles, stage-2 outputs: %lld\n",
+              static_cast<long long>(cycle),
+              static_cast<long long>(outputs2));
+  std::printf("max elements in flight on the inter-stage wire: %lld -- a "
+              "handful of registers replace the %d-element frame buffer a "
+              "conventional block-by-block design would need (Appendix "
+              "9.3)\n",
+              static_cast<long long>(max_in_flight), 768 * 1024);
+  return sim2.done() ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+// Loop fusion vs pipelining ([12] in the paper's introduction): two
+// smoothing passes can run as a two-accelerator pipeline (Fig 13c) or be
+// fused into one accelerator with a 13-point window. Fusion trades a
+// larger reuse buffer and window for half the off-chip traffic -- and the
+// larger window is exactly where the non-uniform memory system shines.
+//
+//   $ ./fused_pipeline
+
+#include <cstdio>
+
+#include "arch/builder.hpp"
+#include "baseline/gmp.hpp"
+#include "sim/pipeline.hpp"
+#include "sim/simulator.hpp"
+#include "stencil/fuse.hpp"
+#include "stencil/gallery.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace nup;
+
+stencil::StencilProgram smoother(const std::string& name, std::int64_t lo,
+                                 std::int64_t rows, std::int64_t cols,
+                                 const std::string& array) {
+  stencil::StencilProgram p(
+      name, poly::Domain::box({lo, lo}, {rows - 1 - lo, cols - 1 - lo}));
+  p.add_input(array, {{-1, 0}, {0, -1}, {0, 0}, {0, 1}, {1, 0}});
+  p.set_kernel(stencil::make_weighted_sum({0.2, 0.2, 0.2, 0.2, 0.2}));
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  using namespace nup;
+  const std::int64_t rows = 96;
+  const std::int64_t cols = 128;
+
+  const stencil::StencilProgram s1 = smoother("PASS1", 1, rows, cols, "A");
+  const stencil::StencilProgram s2 = smoother("PASS2", 2, rows, cols, "B");
+  const stencil::StencilProgram fused = stencil::fuse(s1, s2);
+
+  std::printf("two 5-point passes fuse into a %zu-point window:\n",
+              fused.total_references());
+  for (const stencil::ArrayReference& ref : fused.inputs()[0].refs) {
+    std::printf("  %s", poly::to_string(ref.offset).c_str());
+  }
+  std::printf("\n\n");
+
+  // Option A: pipeline of two accelerators.
+  sim::Pipeline pipeline;
+  pipeline.add_stage(s1);
+  pipeline.add_stage(s2);
+  const sim::Pipeline::Result piped = pipeline.run();
+
+  // Option B: one fused accelerator.
+  const arch::AcceleratorDesign fused_design = arch::build_design(fused);
+  sim::SimOptions options;
+  options.record_outputs = false;
+  const sim::SimResult fused_run =
+      sim::simulate(fused, fused_design, options);
+
+  const arch::AcceleratorDesign d1 = arch::build_design(s1);
+  const arch::AcceleratorDesign d2 = arch::build_design(s2);
+
+  TextTable table("pipeline vs fusion");
+  table.set_header(
+      {"variant", "banks", "on-chip elements", "off-chip reads", "cycles"});
+  table.add_row({"2-stage pipeline",
+                 std::to_string(d1.total_bank_count() +
+                                d2.total_bank_count()),
+                 std::to_string(d1.total_buffer_size() +
+                                d2.total_buffer_size()),
+                 std::to_string(rows * cols),  // only stage 1 reads DRAM
+                 std::to_string(piped.cycles)});
+  table.add_row({"fused 13-point",
+                 std::to_string(fused_design.total_bank_count()),
+                 std::to_string(fused_design.total_buffer_size()),
+                 std::to_string(rows * cols), std::to_string(fused_run.cycles)});
+  std::printf("%s", table.to_string().c_str());
+
+  std::printf("\nfused window under uniform partitioning [8]: %zu banks; "
+              "ours: %zu (= n-1)\n",
+              baseline::gmp_partition(fused, 0).banks,
+              fused_design.systems[0].bank_count());
+  std::printf("both variants verified against golden executions in the "
+              "test suite (tests/stencil/fuse_test.cpp).\n");
+  return piped.completed && !fused_run.deadlocked ? 0 : 1;
+}

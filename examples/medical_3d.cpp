@@ -1,0 +1,73 @@
+// Domain example: 3-D medical-imaging kernels (DENOISE_3D and the 19-point
+// SEGMENTATION_3D of Fig 6c). Shows how the non-uniform chain scales to
+// three-dimensional windows -- plane-sized, row-sized and unit FIFOs in one
+// design -- and compares against both uniform baselines.
+//
+//   $ ./medical_3d
+
+#include <cstdio>
+
+#include "arch/builder.hpp"
+#include "arch/verify.hpp"
+#include "baseline/cyclic.hpp"
+#include "baseline/gmp.hpp"
+#include "hls/estimate.hpp"
+#include "sim/simulator.hpp"
+#include "stencil/gallery.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace nup;
+
+  for (const stencil::StencilProgram& p :
+       {stencil::denoise_3d(), stencil::segmentation_3d()}) {
+    std::printf("==== %s (%zu-point window, 96x128x128 grid) ====\n",
+                p.name().c_str(), p.total_references());
+
+    const arch::AcceleratorDesign design = arch::build_design(p);
+    std::printf("%s", arch::describe(design).c_str());
+
+    const arch::ConditionCheck check =
+        arch::verify_design(p, design.systems[0]);
+    std::printf("static checks: %s\n",
+                check.all_ok() ? "optimal and deadlock-free"
+                               : check.detail.c_str());
+
+    const baseline::UniformPartition gmp = baseline::gmp_partition(p, 0);
+    const baseline::UniformPartition cyc =
+        baseline::cyclic_partition(p, 0);
+    TextTable table("comparison");
+    table.set_header({"method", "banks", "total elements"});
+    table.add_row({"ours (non-uniform)",
+                   std::to_string(design.systems[0].bank_count()),
+                   std::to_string(design.systems[0].total_buffer_size())});
+    table.add_row({"gmp [8]", std::to_string(gmp.banks),
+                   std::to_string(gmp.total_size)});
+    table.add_row({"cyclic [5]", std::to_string(cyc.banks),
+                   std::to_string(cyc.total_size)});
+    std::printf("%s", table.to_string().c_str());
+
+    const hls::ResourceUsage usage = hls::estimate_streaming(
+        design, p, hls::virtex7_485t());
+    std::printf("estimated resources: %lld BRAM18K, %lld slices, %lld DSP, "
+                "CP %.2f ns\n",
+                static_cast<long long>(usage.bram18k),
+                static_cast<long long>(usage.slices),
+                static_cast<long long>(usage.dsp48),
+                usage.clock_period_ns);
+
+    // Verify a scaled-down instance end to end (the full grid also works;
+    // it just takes a couple of seconds).
+    const stencil::StencilProgram small =
+        p.name() == "DENOISE_3D" ? stencil::denoise_3d(12, 16, 20)
+                                 : stencil::segmentation_3d(12, 16, 20);
+    const sim::SimResult r =
+        sim::simulate(small, arch::build_design(small), {});
+    std::printf("scaled-down simulation: %lld outputs in %lld cycles "
+                "(II %.3f), deadlock-free: %s\n\n",
+                static_cast<long long>(r.kernel_fires),
+                static_cast<long long>(r.cycles), r.steady_ii,
+                r.deadlocked ? "NO" : "yes");
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Quickstart: generate, verify and export a complete stencil accelerator
+// in ~20 lines of API. Takes the paper's DENOISE kernel, runs the full
+// design-automation flow (Fig 11) and writes the generated artifacts next
+// to the binary.
+//
+//   $ ./quickstart [output_dir]
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/compiler.hpp"
+#include "stencil/gallery.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nup;
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+
+  // 1. Pick a stencil program (or parse one: see sobel_from_source).
+  const stencil::StencilProgram program = stencil::denoise_2d();
+
+  // 2. Run the flow: polyhedral analysis -> non-uniform memory system ->
+  //    cycle-accurate verification against the golden software execution ->
+  //    resource estimation -> RTL + kernel code generation.
+  const core::AcceleratorPackage pkg = core::compile(program);
+
+  // 3. Inspect the result.
+  std::printf("%s\n", pkg.summary().c_str());
+
+  // 4. Export the generated design.
+  const struct {
+    const char* file;
+    const std::string* text;
+  } artifacts[] = {
+      {"denoise_memory_system.v", &pkg.rtl},
+      {"denoise_tb.v", &pkg.testbench},
+      {"denoise_kernel.cpp", &pkg.kernel_code},
+      {"denoise_accel.hpp", &pkg.integration_header},
+  };
+  for (const auto& artifact : artifacts) {
+    const std::string path = out_dir + "/" + artifact.file;
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out << *artifact.text;
+    std::printf("wrote %s (%zu bytes)\n", path.c_str(),
+                artifact.text->size());
+  }
+  return pkg.verified ? 0 : 1;
+}

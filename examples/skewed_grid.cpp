@@ -1,0 +1,76 @@
+// Fig 9 demo: a stencil over a 45-degree sheared iteration domain. The
+// reuse distance between references changes as execution advances; in a
+// centralized design this needs complex control, here the distributed
+// modules adapt automatically. The example prints the FIFO level over time
+// so the adaptation is visible.
+//
+//   $ ./skewed_grid
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "arch/builder.hpp"
+#include "poly/reuse.hpp"
+#include "sim/simulator.hpp"
+#include "stencil/gallery.hpp"
+#include "stencil/golden.hpp"
+
+int main() {
+  using namespace nup;
+
+  const stencil::StencilProgram p = stencil::skewed_demo(24, 48);
+  std::printf("skewed stencil (X-shaped window over a sheared domain):\n%s\n",
+              p.to_c_code().c_str());
+
+  // Exact sizing over the true (non-rectangular) input domain.
+  arch::BuildOptions options;
+  options.exact_sizing = true;
+  options.exact_streaming = true;
+  const arch::AcceleratorDesign design = arch::build_design(p, options);
+  std::printf("%s", arch::describe(design).c_str());
+
+  const poly::ReuseResult vary = poly::max_reuse_distance(
+      p.iteration(), p.input_data_domain(0),
+      design.systems[0].ordered_offsets[0],
+      design.systems[0].ordered_offsets[1]);
+  std::printf("reuse distance between the first adjacent references varies "
+              "%lld..%lld across the domain\n\n",
+              static_cast<long long>(vary.min_distance),
+              static_cast<long long>(vary.max_distance));
+
+  sim::SimOptions sim_options;
+  sim_options.trace_cycles = 1 << 20;
+  const sim::SimResult r = sim::simulate(p, design, sim_options);
+
+  // Plot the largest FIFO's level every ~40 cycles.
+  std::size_t big = 0;
+  for (std::size_t k = 0; k < design.systems[0].fifos.size(); ++k) {
+    if (design.systems[0].fifos[k].depth >
+        design.systems[0].fifos[big].depth) {
+      big = k;
+    }
+  }
+  std::printf("FIFO_%zu level over time (depth %lld):\n", big,
+              static_cast<long long>(design.systems[0].fifos[big].depth));
+  for (std::size_t i = 0; i < r.trace.size(); i += 40) {
+    const std::int64_t fill = r.trace[i].fifo_fill[big];
+    std::printf("  cycle %5lld |%-64s| %lld\n",
+                static_cast<long long>(r.trace[i].cycle),
+                std::string(static_cast<std::size_t>(std::min<std::int64_t>(
+                                fill, 64)),
+                            '#')
+                    .c_str(),
+                static_cast<long long>(fill));
+  }
+
+  // Correctness against the golden software execution.
+  const stencil::GoldenRun golden = stencil::run_golden(p, 1);
+  bool ok = !r.deadlocked && golden.outputs.size() == r.outputs.size();
+  for (std::size_t i = 0; ok && i < golden.outputs.size(); ++i) {
+    ok = golden.outputs[i] == r.outputs[i];
+  }
+  std::printf("\n%lld outputs, matches golden execution: %s\n",
+              static_cast<long long>(r.kernel_fires), ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,43 @@
+// Frontend demo: the accelerator is generated straight from Fig 1-style C
+// source. The mini-C frontend (lexer/parser/sema, the ROSE+Polly
+// substitute) checks the code is a stencil under Definition 4, extracts the
+// references and reconstructs the kernel arithmetic for verification.
+//
+//   $ ./sobel_from_source
+
+#include <cstdio>
+
+#include "core/compiler.hpp"
+#include "util/error.hpp"
+
+int main() {
+  using namespace nup;
+
+  const char* source = R"(
+    // Sobel edge detection: |Gx| + |Gy| over a 3x3 neighbourhood.
+    for (i = 1; i <= 766; i++)
+      for (j = 1; j <= 1022; j++)
+        E[i][j] = fabs((A[i-1][j+1] + 2*A[i][j+1] + A[i+1][j+1])
+                     - (A[i-1][j-1] + 2*A[i][j-1] + A[i+1][j-1]))
+                + fabs((A[i+1][j-1] + 2*A[i+1][j] + A[i+1][j+1])
+                     - (A[i-1][j-1] + 2*A[i-1][j] + A[i-1][j+1]));
+  )";
+
+  std::printf("input source:\n%s\n", source);
+  try {
+    core::CompileOptions options;
+    // Verify on the full 768x1024 grid -- the simulator streams roughly a
+    // million elements through the 7-FIFO chain in well under a second.
+    const core::AcceleratorPackage pkg =
+        core::compile_source(source, "SOBEL", options);
+    std::printf("%s\n", pkg.summary().c_str());
+    std::printf("original II (loads/iteration): %zu  ->  achieved steady "
+                "II: %.4f\n",
+                pkg.program.total_references(),
+                pkg.verification.steady_ii);
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "flow failed: %s\n", e.what());
+    return 1;
+  }
+}

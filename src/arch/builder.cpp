@@ -1,0 +1,104 @@
+#include "arch/builder.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "poly/reuse.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace nup::arch {
+
+BufferImpl map_physical(std::int64_t depth, const BuildOptions& options) {
+  if (depth <= options.register_max_depth) return BufferImpl::kRegister;
+  if (depth <= options.shift_register_max_depth) {
+    return BufferImpl::kShiftRegister;
+  }
+  return BufferImpl::kBlockRam;
+}
+
+namespace {
+
+MemorySystem build_system(const stencil::StencilProgram& program,
+                          std::size_t array_idx, const BuildOptions& options) {
+  const stencil::InputArray& input = program.inputs()[array_idx];
+  const std::size_t n = input.refs.size();
+
+  MemorySystem system;
+  system.array = input.name;
+  system.array_index = array_idx;
+
+  // Deadlock condition 1: map references to filters in descending
+  // lexicographic order of their data-access offsets.
+  system.ref_order.resize(n);
+  std::iota(system.ref_order.begin(), system.ref_order.end(), 0);
+  std::sort(system.ref_order.begin(), system.ref_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              return poly::lex_less(input.refs[b].offset,
+                                    input.refs[a].offset);
+            });
+  system.ordered_offsets.reserve(n);
+  for (std::size_t ref : system.ref_order) {
+    system.ordered_offsets.push_back(input.refs[ref].offset);
+  }
+
+  system.exact_input_domain = program.input_data_domain(array_idx);
+  const poly::Domain hull = program.data_domain_hull(array_idx);
+  system.input_domain =
+      options.exact_streaming ? system.exact_input_domain : hull;
+
+  // Deadlock condition 2: FIFO depth >= maximum reuse distance between the
+  // adjacent references (Eq. 2). Depths are clamped to >= 1 so every bank
+  // is a realizable FIFO stage.
+  poly::IntVec hull_lo;
+  poly::IntVec hull_hi;
+  if (!hull.as_single_box(&hull_lo, &hull_hi)) {
+    throw Error("data_domain_hull did not produce a box");
+  }
+  system.fifos.reserve(n - 1);
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    const poly::IntVec& f_from = system.ordered_offsets[k];
+    const poly::IntVec& f_to = system.ordered_offsets[k + 1];
+    std::int64_t depth = 0;
+    if (options.exact_sizing) {
+      poly::ReuseOptions reuse_options;
+      reuse_options.exact_iteration_limit = options.exact_iteration_limit;
+      depth = poly::max_reuse_distance(program.iteration(),
+                                       system.exact_input_domain, f_from,
+                                       f_to, reuse_options)
+                  .max_distance;
+    } else {
+      depth =
+          poly::box_linearized_distance(hull_lo, hull_hi, poly::sub(f_from, f_to));
+    }
+    ReuseFifo fifo;
+    fifo.from_filter = k;
+    fifo.to_filter = k + 1;
+    fifo.depth = std::max<std::int64_t>(1, depth);
+    fifo.impl = map_physical(fifo.depth, options);
+    system.fifos.push_back(fifo);
+  }
+  return system;
+}
+
+}  // namespace
+
+AcceleratorDesign build_design(const stencil::StencilProgram& program,
+                               const BuildOptions& options) {
+  if (program.inputs().empty()) {
+    throw NotStencilError("program '" + program.name() +
+                          "' has no input arrays");
+  }
+  AcceleratorDesign design;
+  design.name = program.name();
+  design.systems.reserve(program.inputs().size());
+  for (std::size_t a = 0; a < program.inputs().size(); ++a) {
+    design.systems.push_back(build_system(program, a, options));
+  }
+  log_debug() << "built design for " << program.name() << ": "
+              << design.total_bank_count() << " banks, "
+              << design.total_buffer_size() << " elements";
+  return design;
+}
+
+}  // namespace nup::arch

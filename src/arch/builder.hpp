@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+#include "arch/design.hpp"
+#include "stencil/program.hpp"
+
+namespace nup::arch {
+
+struct BuildOptions {
+  /// When true, FIFO depths are the exact maximum reuse distances over the
+  /// exact input data domain (Definition 6's union). When false (default),
+  /// the paper's closed form on the bounding-box hull is used -- the same
+  /// rule that yields Table 2's {1023, 1, 1, 1023} for DENOISE. Exact
+  /// sizing matters for skewed/non-rectangular grids (Fig 9).
+  bool exact_sizing = false;
+
+  /// When true, the off-chip stream iterates the exact union domain instead
+  /// of its bounding box (consistent with exact_sizing).
+  bool exact_streaming = false;
+
+  /// Physical-mapping thresholds (Table 2 / Section 3.5.1): depths at most
+  /// register_max map to slice registers, at most shift_register_max to
+  /// SRL-based distributed memory, larger to block RAM.
+  std::int64_t register_max_depth = 4;
+  std::int64_t shift_register_max_depth = 128;
+
+  /// Guard for the exact reuse-distance scan on non-box domains.
+  std::int64_t exact_iteration_limit = 5'000'000;
+};
+
+/// Generates the paper's microarchitecture for every input array of the
+/// stencil program (Section 3): references sorted by offset in descending
+/// lexicographic order, one reuse FIFO per adjacent pair sized to the
+/// maximum reuse distance, heterogeneous physical mapping.
+AcceleratorDesign build_design(const stencil::StencilProgram& program,
+                               const BuildOptions& options = {});
+
+/// Chooses the physical implementation for a buffer of the given depth.
+BufferImpl map_physical(std::int64_t depth, const BuildOptions& options);
+
+}  // namespace nup::arch

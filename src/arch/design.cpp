@@ -1,0 +1,93 @@
+#include "arch/design.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace nup::arch {
+
+const char* to_string(BufferImpl impl) {
+  switch (impl) {
+    case BufferImpl::kRegister:
+      return "register";
+    case BufferImpl::kShiftRegister:
+      return "shift-register";
+    case BufferImpl::kBlockRam:
+      return "BRAM";
+  }
+  return "?";
+}
+
+std::size_t MemorySystem::bank_count() const {
+  std::size_t banks = 0;
+  for (const ReuseFifo& f : fifos) {
+    if (!f.cut) ++banks;
+  }
+  return banks;
+}
+
+std::int64_t MemorySystem::total_buffer_size() const {
+  std::int64_t total = 0;
+  for (const ReuseFifo& f : fifos) {
+    if (!f.cut) total += f.depth;
+  }
+  return total;
+}
+
+std::size_t MemorySystem::stream_count() const {
+  std::size_t streams = 1;
+  for (const ReuseFifo& f : fifos) {
+    if (f.cut) ++streams;
+  }
+  return streams;
+}
+
+std::vector<std::size_t> MemorySystem::segment_heads() const {
+  std::vector<std::size_t> heads{0};
+  for (const ReuseFifo& f : fifos) {
+    if (f.cut) heads.push_back(f.to_filter);
+  }
+  return heads;
+}
+
+std::int64_t AcceleratorDesign::total_buffer_size() const {
+  std::int64_t total = 0;
+  for (const MemorySystem& s : systems) total += s.total_buffer_size();
+  return total;
+}
+
+std::size_t AcceleratorDesign::total_bank_count() const {
+  std::size_t banks = 0;
+  for (const MemorySystem& s : systems) banks += s.bank_count();
+  return banks;
+}
+
+std::string describe(const AcceleratorDesign& design) {
+  std::ostringstream out;
+  out << "accelerator '" << design.name << "': " << design.systems.size()
+      << " memory system(s), " << design.total_bank_count() << " bank(s), "
+      << design.total_buffer_size() << " element(s) of reuse storage\n";
+  for (const MemorySystem& s : design.systems) {
+    out << "  array " << s.array << ": " << s.filter_count() << " filters";
+    if (s.stream_count() > 1) {
+      out << ", " << s.stream_count() << " off-chip streams";
+    }
+    out << "\n";
+    for (std::size_t k = 0; k < s.ordered_offsets.size(); ++k) {
+      out << "    filter " << k << ": offset "
+          << poly::to_string(s.ordered_offsets[k]) << "\n";
+      if (k < s.fifos.size()) {
+        const ReuseFifo& f = s.fifos[k];
+        if (f.cut) {
+          out << "    (chain cut: next segment fed by off-chip stream)\n";
+        } else {
+          out << "    FIFO_" << k << ": depth " << f.depth << " ("
+              << to_string(f.impl) << ")\n";
+        }
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace nup::arch

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "poly/domain.hpp"
+#include "poly/int_vec.hpp"
+
+namespace nup::arch {
+
+/// Physical implementation chosen for one reuse buffer (Table 2's
+/// heterogeneous mapping: block memory, distributed memory / shift register
+/// lookup, or slice registers).
+enum class BufferImpl { kRegister, kShiftRegister, kBlockRam };
+
+const char* to_string(BufferImpl impl);
+
+/// One reuse FIFO between two adjacent data filters (Fig 7). Depth is the
+/// maximum reuse distance between the two references (Eq. 2); non-uniform
+/// by construction.
+struct ReuseFifo {
+  std::size_t from_filter = 0;  ///< upstream (earlier reference) filter index
+  std::size_t to_filter = 0;    ///< downstream filter index (= from+1)
+  std::int64_t depth = 0;       ///< capacity in data elements
+  BufferImpl impl = BufferImpl::kRegister;
+  /// True when the bandwidth/memory trade-off (Fig 14) replaced this FIFO
+  /// with an extra off-chip stream; a cut FIFO occupies no on-chip storage.
+  bool cut = false;
+};
+
+/// The generated memory system for one data array: n data filters chained
+/// through n-1 non-uniform reuse FIFOs, fed by one off-chip stream per
+/// chain segment.
+struct MemorySystem {
+  std::string array;
+  std::size_t array_index = 0;
+
+  /// Filter order: position k holds the index (into the program's reference
+  /// list) of the k-th filter's reference. Offsets are descending
+  /// lexicographically (deadlock condition 1).
+  std::vector<std::size_t> ref_order;
+  /// ordered_offsets[k] = offset of filter k's reference.
+  std::vector<poly::IntVec> ordered_offsets;
+
+  std::vector<ReuseFifo> fifos;  ///< n-1 entries, fifos[k] between k and k+1
+
+  /// Data domain streamed from external memory (D_A). By default the
+  /// bounding-box hull the paper streams ("A[0..767][0..1023]").
+  poly::Domain input_domain;
+  /// Exact union-of-references domain (Definition 6), kept for analysis and
+  /// exact-streaming mode.
+  poly::Domain exact_input_domain;
+
+  std::size_t filter_count() const { return ordered_offsets.size(); }
+
+  /// Number of distinct on-chip buffer banks (uncut FIFOs). Equals
+  /// filter_count()-1 for an un-traded design: the theoretical minimum.
+  std::size_t bank_count() const;
+
+  /// Total on-chip reuse storage in data elements.
+  std::int64_t total_buffer_size() const;
+
+  /// Number of off-chip streams feeding the chain (1 + number of cuts).
+  std::size_t stream_count() const;
+
+  /// Filter indices that start a chain segment (always includes 0).
+  std::vector<std::size_t> segment_heads() const;
+};
+
+/// Complete accelerator: one memory system per input array plus the
+/// fully-pipelined computation kernel HLS generates from the transformed
+/// code (Fig 3).
+struct AcceleratorDesign {
+  std::string name;
+  std::vector<MemorySystem> systems;
+
+  std::int64_t total_buffer_size() const;
+  std::size_t total_bank_count() const;
+};
+
+/// Human-readable structural summary (used by examples and EXPERIMENTS.md).
+std::string describe(const AcceleratorDesign& design);
+
+}  // namespace nup::arch

@@ -1,0 +1,37 @@
+#include "arch/perf_model.hpp"
+
+#include "poly/reuse.hpp"
+#include "util/error.hpp"
+
+namespace nup::arch {
+
+PerfPrediction predict_performance(const stencil::StencilProgram& program,
+                                   const MemorySystem& system) {
+  if (system.stream_count() != 1) {
+    throw Error(
+        "predict_performance models single-stream designs; trade-off "
+        "variants refill mid-chain and finish no later");
+  }
+  PerfPrediction out;
+  const poly::RankOracle oracle(system.input_domain);
+  out.stream_elements = oracle.total();
+  out.iterations = program.iteration().count();
+
+  const poly::IntVec& f_first = system.ordered_offsets.front();
+  const poly::IntVec first_iter = program.iteration().lex_min().value();
+  // The binding constraint of every fire is its newest element
+  // (i + f_first), which is consumed the cycle it leaves the source.
+  out.fill_latency = oracle.rank_inclusive(poly::add(first_iter, f_first));
+
+  const poly::IntVec last_iter = program.iteration().lex_max().value();
+  out.total_cycles = oracle.rank_inclusive(poly::add(last_iter, f_first));
+
+  if (out.iterations >= 2) {
+    out.steady_ii =
+        static_cast<double>(out.total_cycles - out.fill_latency) /
+        static_cast<double>(out.iterations - 1);
+  }
+  return out;
+}
+
+}  // namespace nup::arch

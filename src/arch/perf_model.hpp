@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+
+#include "arch/design.hpp"
+#include "stencil/program.hpp"
+
+namespace nup::arch {
+
+/// Closed-form performance prediction for a single-array streaming design
+/// fed at one element per cycle: the first kernel fire happens when the
+/// newest element of the first window has streamed in (its rank in the
+/// input stream), every later fire is gated the same way, and the run ends
+/// with the last window's newest element. Accurate to within a few cycles
+/// of chain latency (validated against the cycle-accurate simulator in
+/// tests/arch/perf_model_test.cpp).
+struct PerfPrediction {
+  std::int64_t stream_elements = 0;  ///< size of the streamed input domain
+  std::int64_t iterations = 0;       ///< kernel outputs
+  std::int64_t fill_latency = 0;     ///< predicted cycle of the first fire
+  std::int64_t total_cycles = 0;     ///< predicted end-of-run cycle
+  double steady_ii = 0.0;            ///< (total - fill) / (iterations - 1)
+};
+
+PerfPrediction predict_performance(const stencil::StencilProgram& program,
+                                   const MemorySystem& system);
+
+}  // namespace nup::arch

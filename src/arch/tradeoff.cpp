@@ -1,0 +1,57 @@
+#include "arch/tradeoff.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace nup::arch {
+
+MemorySystem apply_tradeoff(const MemorySystem& system, std::size_t cuts) {
+  if (cuts >= system.filter_count()) {
+    throw Error("apply_tradeoff: cannot cut " + std::to_string(cuts) +
+                " FIFOs in a chain of " +
+                std::to_string(system.filter_count()) + " filters");
+  }
+  MemorySystem out = system;
+  // Cut the largest FIFOs first (Fig 14 picks the largest reuse buffer);
+  // stable order breaks ties toward the front of the chain.
+  std::vector<std::size_t> order(out.fifos.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return out.fifos[a].depth > out.fifos[b].depth;
+                   });
+  std::size_t applied = 0;
+  for (std::size_t idx : order) {
+    if (applied == cuts) break;
+    if (!out.fifos[idx].cut) {
+      out.fifos[idx].cut = true;
+      ++applied;
+    }
+  }
+  return out;
+}
+
+std::vector<TradeoffPoint> bandwidth_sweep(const MemorySystem& system) {
+  std::vector<TradeoffPoint> curve;
+  const std::size_t max_cuts =
+      system.filter_count() >= 2 ? system.filter_count() - 1 : 0;
+  curve.reserve(max_cuts + 1);
+  for (std::size_t cuts = 0; cuts <= max_cuts; ++cuts) {
+    const MemorySystem traded = apply_tradeoff(system, cuts);
+    TradeoffPoint point;
+    point.offchip_streams = traded.stream_count();
+    point.total_buffer_size = traded.total_buffer_size();
+    point.bank_count = traded.bank_count();
+    for (const ReuseFifo& f : traded.fifos) {
+      if (!f.cut) {
+        point.largest_remaining = std::max(point.largest_remaining, f.depth);
+      }
+    }
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace nup::arch

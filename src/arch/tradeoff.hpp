@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/design.hpp"
+
+namespace nup::arch {
+
+/// One point on the off-chip-bandwidth vs on-chip-memory curve (Fig 15).
+struct TradeoffPoint {
+  std::size_t offchip_streams = 1;     ///< off-chip accesses per cycle
+  std::int64_t total_buffer_size = 0;  ///< remaining on-chip elements
+  std::size_t bank_count = 0;          ///< remaining uncut FIFOs
+  std::int64_t largest_remaining = 0;  ///< depth of the largest uncut FIFO
+};
+
+/// Applies the Fig 14 rewrite: cut the `cuts` largest reuse FIFOs and feed
+/// each resulting chain segment from its own off-chip stream. Ties cut the
+/// earliest FIFO first so the result is deterministic.
+MemorySystem apply_tradeoff(const MemorySystem& system, std::size_t cuts);
+
+/// Sweeps cuts = 0 .. filter_count()-2, producing the full degradation
+/// curve of on-chip memory against off-chip accesses per cycle.
+std::vector<TradeoffPoint> bandwidth_sweep(const MemorySystem& system);
+
+}  // namespace nup::arch

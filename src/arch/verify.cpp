@@ -1,0 +1,120 @@
+#include "arch/verify.hpp"
+
+#include <algorithm>
+
+#include "poly/reuse.hpp"
+
+namespace nup::arch {
+
+namespace {
+
+std::int64_t streamed_max_distance(const stencil::StencilProgram& program,
+                                   const MemorySystem& system,
+                                   const poly::IntVec& f_from,
+                                   const poly::IntVec& f_to,
+                                   const BuildOptions& options) {
+  poly::ReuseOptions reuse_options;
+  reuse_options.exact_iteration_limit = options.exact_iteration_limit;
+  return poly::max_reuse_distance(program.iteration(), system.input_domain,
+                                  f_from, f_to, reuse_options)
+      .max_distance;
+}
+
+}  // namespace
+
+ConditionCheck verify_design(const stencil::StencilProgram& program,
+                             const MemorySystem& system,
+                             const BuildOptions& options) {
+  ConditionCheck check;
+
+  // Condition 1: strictly descending offsets.
+  check.ordering_descending = true;
+  for (std::size_t k = 0; k + 1 < system.ordered_offsets.size(); ++k) {
+    if (poly::lex_compare(system.ordered_offsets[k],
+                          system.ordered_offsets[k + 1]) <= 0) {
+      check.ordering_descending = false;
+      check.detail = "filters " + std::to_string(k) + " and " +
+                     std::to_string(k + 1) +
+                     " violate descending lexicographic order: " +
+                     poly::to_string(system.ordered_offsets[k]) + " then " +
+                     poly::to_string(system.ordered_offsets[k + 1]);
+      break;
+    }
+  }
+
+  // Condition 2: capacities cover the max reuse distances over the
+  // *streamed* domain. Cut FIFOs are exempt -- their segment is refilled
+  // from off-chip.
+  check.sizing_sufficient = true;
+  for (const ReuseFifo& fifo : system.fifos) {
+    if (fifo.cut) continue;
+    const std::int64_t needed = streamed_max_distance(
+        program, system, system.ordered_offsets[fifo.from_filter],
+        system.ordered_offsets[fifo.to_filter], options);
+    if (fifo.depth < needed) {
+      check.sizing_sufficient = false;
+      if (check.detail.empty()) {
+        check.detail = "FIFO between filters " +
+                       std::to_string(fifo.from_filter) + " and " +
+                       std::to_string(fifo.to_filter) + " has depth " +
+                       std::to_string(fifo.depth) + " but needs " +
+                       std::to_string(needed);
+      }
+      break;
+    }
+  }
+
+  const std::size_t n = system.filter_count();
+  check.banks_minimum =
+      system.stream_count() > 1 || system.bank_count() == n - 1;
+  if (!check.banks_minimum && check.detail.empty()) {
+    check.detail = "bank count " + std::to_string(system.bank_count()) +
+                   " differs from the minimum " + std::to_string(n - 1);
+  }
+
+  // Size minimality. Condition 2 forces every FIFO to hold at least its
+  // pair's maximum reuse distance, so the chain-wise minimum total is the
+  // sum of those maxima (clamped to realizable depths >= 1). On a
+  // box-streamed domain, linearity of maximum reuse distances (Property 3)
+  // makes that sum equal the end-to-end maximum -- the absolute minimum
+  // buffer size of Section 2.3. On skewed exact domains the per-pair
+  // maxima can occur at different iterations, so the chain minimum may
+  // exceed the absolute minimum by boundary terms; chain minimality is the
+  // strongest attainable claim there.
+  if (n >= 2 && system.stream_count() == 1) {
+    std::int64_t chain_minimum = 0;
+    for (const ReuseFifo& fifo : system.fifos) {
+      const std::int64_t needed = streamed_max_distance(
+          program, system, system.ordered_offsets[fifo.from_filter],
+          system.ordered_offsets[fifo.to_filter], options);
+      chain_minimum += std::max<std::int64_t>(1, needed);
+    }
+    check.size_minimum = system.total_buffer_size() == chain_minimum;
+    if (!check.size_minimum && check.detail.empty()) {
+      check.detail = "total buffer size " +
+                     std::to_string(system.total_buffer_size()) +
+                     " differs from the chain minimum " +
+                     std::to_string(chain_minimum);
+    }
+    poly::IntVec lo;
+    poly::IntVec hi;
+    if (check.size_minimum && system.input_domain.as_single_box(&lo, &hi)) {
+      const std::int64_t end_to_end = streamed_max_distance(
+          program, system, system.ordered_offsets.front(),
+          system.ordered_offsets.back(), options);
+      if (chain_minimum < end_to_end) {
+        check.size_minimum = false;
+        check.detail = "linearity violated: chain minimum " +
+                       std::to_string(chain_minimum) +
+                       " below end-to-end distance " +
+                       std::to_string(end_to_end);
+      }
+    }
+  } else {
+    check.size_minimum = true;
+  }
+
+  return check;
+}
+
+}  // namespace nup::arch

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "arch/builder.hpp"
+#include "arch/design.hpp"
+#include "stencil/program.hpp"
+
+namespace nup::arch {
+
+/// Static verification of one memory system against the paper's
+/// deadlock-freedom conditions (Section 3.3.2) and optimality claims
+/// (Section 3.3.3).
+struct ConditionCheck {
+  /// Condition 1: filter offsets strictly descending lexicographically.
+  bool ordering_descending = false;
+  /// Condition 2: every FIFO depth >= the maximum reuse distance between
+  /// its adjacent references, measured over the streamed input domain.
+  bool sizing_sufficient = false;
+  /// Optimality: bank count equals n-1 (before any bandwidth trade-off).
+  bool banks_minimum = false;
+  /// Optimality: total buffer size equals the end-to-end maximum reuse
+  /// distance between the earliest and latest reference (Property 3).
+  bool size_minimum = false;
+
+  std::string detail;  ///< explanation of the first failed check, if any
+
+  bool all_ok() const {
+    return ordering_descending && sizing_sufficient && banks_minimum &&
+           size_minimum;
+  }
+};
+
+ConditionCheck verify_design(const stencil::StencilProgram& program,
+                             const MemorySystem& system,
+                             const BuildOptions& options = {});
+
+}  // namespace nup::arch

@@ -1,0 +1,69 @@
+#include "baseline/conflict.hpp"
+
+#include <unordered_set>
+
+#include "baseline/partition.hpp"
+#include "poly/domain.hpp"
+#include "util/error.hpp"
+
+namespace nup::baseline {
+
+namespace {
+
+std::int64_t positive_mod(std::int64_t a, std::int64_t n) {
+  const std::int64_t r = a % n;
+  return r < 0 ? r + n : r;
+}
+
+}  // namespace
+
+bool linear_scheme_conflict_free(const std::vector<poly::IntVec>& offsets,
+                                 const poly::IntVec& alpha,
+                                 std::size_t banks) {
+  if (banks == 0) throw Error("linear_scheme_conflict_free: zero banks");
+  const std::int64_t n = static_cast<std::int64_t>(banks);
+  std::unordered_set<std::int64_t> seen;
+  for (const poly::IntVec& f : offsets) {
+    std::int64_t dot = 0;
+    for (std::size_t d = 0; d < f.size(); ++d) dot += alpha[d] * f[d];
+    if (!seen.insert(positive_mod(dot, n)).second) return false;
+  }
+  return true;
+}
+
+bool flat_scheme_conflict_free(const std::vector<poly::IntVec>& offsets,
+                               const poly::IntVec& extents,
+                               std::size_t banks) {
+  if (banks == 0) throw Error("flat_scheme_conflict_free: zero banks");
+  const std::int64_t n = static_cast<std::int64_t>(banks);
+  std::unordered_set<std::int64_t> seen;
+  for (const poly::IntVec& f : offsets) {
+    if (!seen.insert(positive_mod(linearize(f, extents), n)).second) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool verify_by_sliding(const stencil::StencilProgram& program,
+                       std::size_t array_idx, const BankFn& bank,
+                       std::int64_t max_positions) {
+  const stencil::InputArray& input = program.inputs().at(array_idx);
+  std::int64_t positions = 0;
+  bool ok = true;
+  std::unordered_set<std::int64_t> seen;
+  for (poly::Domain::LexCursor cursor(program.iteration());
+       cursor.valid() && positions < max_positions && ok;
+       cursor.advance(), ++positions) {
+    seen.clear();
+    for (const stencil::ArrayReference& ref : input.refs) {
+      if (!seen.insert(bank(poly::add(cursor.point(), ref.offset))).second) {
+        ok = false;
+        break;
+      }
+    }
+  }
+  return ok;
+}
+
+}  // namespace nup::baseline

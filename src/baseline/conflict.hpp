@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "poly/int_vec.hpp"
+#include "stencil/program.hpp"
+
+namespace nup::baseline {
+
+/// Bank-assignment function: grid point -> bank id.
+using BankFn = std::function<std::int64_t(const poly::IntVec&)>;
+
+/// True if the scheme bank(h) = (alpha . h) mod banks separates every pair
+/// of window offsets. Linear schemes are translation-invariant, so the
+/// pairwise test over offsets is exact for every window position.
+bool linear_scheme_conflict_free(const std::vector<poly::IntVec>& offsets,
+                                 const poly::IntVec& alpha,
+                                 std::size_t banks);
+
+/// True if cyclic partitioning of the row-major flattened address space
+/// (bank(h) = linearize(h) mod banks) separates the window offsets.
+bool flat_scheme_conflict_free(const std::vector<poly::IntVec>& offsets,
+                               const poly::IntVec& extents,
+                               std::size_t banks);
+
+/// Empirical fairness check: slides the stencil window over up to
+/// `max_positions` iterations of the program and verifies that the n
+/// simultaneous accesses always hit pairwise-distinct banks. Used by tests
+/// to prove the baselines we compare against are genuinely legal.
+bool verify_by_sliding(const stencil::StencilProgram& program,
+                       std::size_t array_idx, const BankFn& bank,
+                       std::int64_t max_positions = 100'000);
+
+}  // namespace nup::baseline

@@ -1,0 +1,50 @@
+#include "baseline/cyclic.hpp"
+
+#include "baseline/conflict.hpp"
+#include "util/error.hpp"
+
+namespace nup::baseline {
+
+UniformPartition cyclic_partition_raw(const std::vector<poly::IntVec>& offsets,
+                                      const poly::IntVec& extents,
+                                      const CyclicOptions& options) {
+  const std::size_t n = offsets.size();
+  for (std::size_t banks = n; banks <= options.max_banks; ++banks) {
+    if (!flat_scheme_conflict_free(offsets, extents, banks)) continue;
+    UniformPartition out;
+    out.method = "cyclic[5]";
+    out.banks = banks;
+    // The flattened scheme is the linear scheme whose coefficients are the
+    // row-major strides.
+    out.scheme.assign(extents.size(), 0);
+    std::int64_t stride = 1;
+    for (std::size_t d = extents.size(); d-- > 0;) {
+      out.scheme[d] = stride;
+      stride *= extents[d];
+    }
+    out.extents = extents;
+    out.padded_extents = extents;
+    out.span = window_span(offsets, extents);
+    out.stored_span = out.span;
+    out.bank_depth = (out.span + static_cast<std::int64_t>(banks) - 1) /
+                     static_cast<std::int64_t>(banks);
+    out.total_size = out.bank_depth * static_cast<std::int64_t>(banks);
+    return out;
+  }
+  throw PartitionError("cyclic[5]: no conflict-free bank count <= " +
+                       std::to_string(options.max_banks));
+}
+
+UniformPartition cyclic_partition(const stencil::StencilProgram& program,
+                                  std::size_t array_idx,
+                                  const CyclicOptions& options) {
+  std::vector<poly::IntVec> offsets;
+  for (const stencil::ArrayReference& ref :
+       program.inputs().at(array_idx).refs) {
+    offsets.push_back(ref.offset);
+  }
+  return cyclic_partition_raw(offsets, array_extents(program, array_idx),
+                              options);
+}
+
+}  // namespace nup::baseline

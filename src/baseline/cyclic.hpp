@@ -1,0 +1,28 @@
+#pragma once
+
+#include "baseline/partition.hpp"
+
+namespace nup::baseline {
+
+struct CyclicOptions {
+  /// Upper bound for the bank-count search; exceeded => PartitionError.
+  std::size_t max_banks = 256;
+};
+
+/// Cyclic memory partitioning of Cong et al., ICCAD'09 [5]: the reuse
+/// buffer is addressed through the row-major flattening of the data grid
+/// and element `addr` lives in bank `addr mod N`. N is the smallest bank
+/// count >= n for which the n window offsets land in pairwise-distinct
+/// banks -- which depends on the grid row size, reproducing Fig 5's
+/// row-size sensitivity.
+UniformPartition cyclic_partition(const stencil::StencilProgram& program,
+                                  std::size_t array_idx,
+                                  const CyclicOptions& options = {});
+
+/// Same search on explicit window offsets and grid extents (used by the
+/// Fig 5 row-size sweep without rebuilding programs).
+UniformPartition cyclic_partition_raw(const std::vector<poly::IntVec>& offsets,
+                                      const poly::IntVec& extents,
+                                      const CyclicOptions& options = {});
+
+}  // namespace nup::baseline

@@ -1,0 +1,101 @@
+#include "baseline/gmp.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "baseline/conflict.hpp"
+#include "util/error.hpp"
+
+namespace nup::baseline {
+
+namespace {
+
+/// Enumerates alpha in [0, banks)^m in odometer order; returns the first
+/// conflict-free coefficient vector, or nullopt.
+std::optional<poly::IntVec> find_scheme(
+    const std::vector<poly::IntVec>& offsets, std::size_t dims,
+    std::size_t banks) {
+  poly::IntVec alpha(dims, 0);
+  while (true) {
+    if (linear_scheme_conflict_free(offsets, alpha, banks)) return alpha;
+    // Advance the odometer.
+    std::size_t d = dims;
+    while (d-- > 0) {
+      if (++alpha[d] < static_cast<std::int64_t>(banks)) break;
+      alpha[d] = 0;
+      if (d == 0) return std::nullopt;
+    }
+  }
+}
+
+}  // namespace
+
+UniformPartition gmp_partition_raw(const std::vector<poly::IntVec>& offsets,
+                                   const poly::IntVec& extents,
+                                   const GmpOptions& options) {
+  const std::size_t n = offsets.size();
+  const std::size_t dims = extents.size();
+  for (std::size_t banks = n; banks <= options.max_banks; ++banks) {
+    const std::optional<poly::IntVec> alpha =
+        find_scheme(offsets, dims, banks);
+    if (!alpha) continue;
+
+    UniformPartition out;
+    out.method = "gmp[8]";
+    out.banks = banks;
+    out.scheme = *alpha;
+    out.extents = extents;
+    out.padded_extents = extents;
+    if (options.pad_for_addressing) {
+      // Pad every non-outermost extent to a multiple of the bank count so
+      // the intra-bank address divides evenly (the padding of [8]).
+      const std::int64_t nb = static_cast<std::int64_t>(banks);
+      for (std::size_t d = 1; d < dims; ++d) {
+        const std::int64_t e = out.padded_extents[d];
+        out.padded_extents[d] = (e + nb - 1) / nb * nb;
+        if (out.padded_extents[d] != e) out.padded = true;
+      }
+    }
+    out.span = window_span(offsets, out.padded_extents);
+    // Row-buffer organization: the buffer holds every (padded) row/plane
+    // the window spans along the outermost dimension, because the
+    // modulo-addressed banks recycle storage only at whole-slab
+    // granularity. This is the structure [7][8] synthesize and the origin
+    // of their storage overhead on high-dimensional grids (Section 5.2).
+    std::int64_t outer_reach = 0;
+    {
+      std::int64_t lo = offsets.front()[0];
+      std::int64_t hi = lo;
+      for (const poly::IntVec& f : offsets) {
+        lo = std::min(lo, f[0]);
+        hi = std::max(hi, f[0]);
+      }
+      outer_reach = hi - lo + 1;
+    }
+    out.stored_span = outer_reach;
+    for (std::size_t d = 1; d < dims; ++d) {
+      out.stored_span *= out.padded_extents[d];
+    }
+    out.bank_depth =
+        (out.stored_span + static_cast<std::int64_t>(banks) - 1) /
+        static_cast<std::int64_t>(banks);
+    out.total_size = out.bank_depth * static_cast<std::int64_t>(banks);
+    return out;
+  }
+  throw PartitionError("gmp[8]: no conflict-free bank count <= " +
+                       std::to_string(options.max_banks));
+}
+
+UniformPartition gmp_partition(const stencil::StencilProgram& program,
+                               std::size_t array_idx,
+                               const GmpOptions& options) {
+  std::vector<poly::IntVec> offsets;
+  for (const stencil::ArrayReference& ref :
+       program.inputs().at(array_idx).refs) {
+    offsets.push_back(ref.offset);
+  }
+  return gmp_partition_raw(offsets, array_extents(program, array_idx),
+                           options);
+}
+
+}  // namespace nup::baseline

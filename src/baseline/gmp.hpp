@@ -1,0 +1,28 @@
+#pragma once
+
+#include "baseline/partition.hpp"
+
+namespace nup::baseline {
+
+struct GmpOptions {
+  /// Upper bound for the bank-count search; exceeded => PartitionError.
+  std::size_t max_banks = 256;
+  /// Pad the non-outermost grid extents up to a multiple of the bank count
+  /// so intra-bank addresses decompose cheaply (the padding technique of
+  /// [8]; it inflates storage, especially on high-dimensional grids).
+  bool pad_for_addressing = true;
+};
+
+/// Generalized memory partitioning of Wang et al., DAC'13 [8]: a linear
+/// scheme bank(h) = (alpha . h) mod N over the multi-dimensional index.
+/// For each candidate N (starting at the window size n) all coefficient
+/// vectors alpha in [0,N)^m are tried; the first conflict-free one wins.
+UniformPartition gmp_partition(const stencil::StencilProgram& program,
+                               std::size_t array_idx,
+                               const GmpOptions& options = {});
+
+UniformPartition gmp_partition_raw(const std::vector<poly::IntVec>& offsets,
+                                   const poly::IntVec& extents,
+                                   const GmpOptions& options = {});
+
+}  // namespace nup::baseline

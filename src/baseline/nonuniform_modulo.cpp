@@ -1,0 +1,106 @@
+#include "baseline/nonuniform_modulo.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace nup::baseline {
+
+namespace {
+
+std::int64_t positive_mod(std::int64_t a, std::int64_t n) {
+  const std::int64_t r = a % n;
+  return r < 0 ? r + n : r;
+}
+
+/// Region index of circular address `a` for sorted boundaries b_0 < ... <
+/// b_{m-1}: the largest b_i <= a, wrapping below b_0 into region m-1.
+std::size_t region_of(std::int64_t a,
+                      const std::vector<std::int64_t>& boundaries) {
+  const auto it =
+      std::upper_bound(boundaries.begin(), boundaries.end(), a);
+  if (it == boundaries.begin()) return boundaries.size() - 1;
+  return static_cast<std::size_t>(it - boundaries.begin()) - 1;
+}
+
+}  // namespace
+
+bool regions_conflict_free(const std::vector<std::int64_t>& lin_offsets,
+                           std::int64_t span,
+                           const std::vector<std::int64_t>& boundaries) {
+  if (boundaries.size() < lin_offsets.size()) return false;  // pigeonhole
+  std::vector<bool> used(boundaries.size());
+  for (std::int64_t base = 0; base < span; ++base) {
+    std::fill(used.begin(), used.end(), false);
+    for (const std::int64_t o : lin_offsets) {
+      const std::size_t region =
+          region_of(positive_mod(base + o, span), boundaries);
+      if (used[region]) return false;
+      used[region] = true;
+    }
+  }
+  return true;
+}
+
+ModuloExploration explore_nonuniform_modulo(
+    const std::vector<poly::IntVec>& offsets, const poly::IntVec& extents,
+    const ModuloExploreOptions& options) {
+  if (offsets.size() < 2) {
+    throw Error("explore_nonuniform_modulo: need at least two references");
+  }
+  ModuloExploration result;
+  result.span = window_span(offsets, extents);
+  if (result.span > options.max_span) {
+    throw Error("explore_nonuniform_modulo: span " +
+                std::to_string(result.span) + " exceeds max_span");
+  }
+
+  // Normalized, sorted circular positions of the window offsets.
+  std::vector<std::int64_t> lin;
+  lin.reserve(offsets.size());
+  for (const poly::IntVec& f : offsets) lin.push_back(linearize(f, extents));
+  const std::int64_t base = *std::min_element(lin.begin(), lin.end());
+  for (std::int64_t& v : lin) v -= base;
+  std::sort(lin.begin(), lin.end());
+  lin.erase(std::unique(lin.begin(), lin.end()), lin.end());
+  const std::size_t n = lin.size();
+
+  // Theory first. Two live addresses at circular distance g collide in
+  // some rotation iff some region is wider than g, so a contiguous region
+  // partition is conflict-free iff every region width <= the minimum
+  // circular gap of the window. The minimum region count is therefore
+  // ceil(span / min_gap).
+  std::int64_t min_gap = result.span - lin.back();  // wrap-around gap
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    min_gap = std::min(min_gap, lin[k + 1] - lin[k]);
+  }
+  const std::int64_t needed = (result.span + min_gap - 1) / min_gap;
+
+  // n-1 regions can never work: n simultaneous live addresses (pigeonhole;
+  // the streaming design dodges this because one of the n elements comes
+  // straight from off-chip, not from a bank).
+  result.feasible_n_minus_1 = false;
+  result.feasible_n = needed <= static_cast<std::int64_t>(n);
+
+  if (needed > static_cast<std::int64_t>(options.max_regions)) {
+    throw PartitionError(
+        "explore_nonuniform_modulo: needs " + std::to_string(needed) +
+        " contiguous regions (span " + std::to_string(result.span) +
+        ", min gap " + std::to_string(min_gap) +
+        "), above max_regions -- contiguous banking degenerates here");
+  }
+
+  // Construct the width-<=min_gap partition and validate the theory with
+  // the exhaustive rotation check.
+  result.best_regions = static_cast<std::size_t>(needed);
+  result.best_boundaries.clear();
+  for (std::int64_t b = 0; b < result.span; b += min_gap) {
+    result.best_boundaries.push_back(b);
+  }
+  if (!regions_conflict_free(lin, result.span, result.best_boundaries)) {
+    throw Error("explore_nonuniform_modulo: internal theory violation");
+  }
+  return result;
+}
+
+}  // namespace nup::baseline

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/partition.hpp"
+
+namespace nup::baseline {
+
+/// Exploration of the paper's future-work idea (Section 6): a *modified
+/// modulo scheduling* over non-uniformly sized banks -- contiguous regions
+/// of the circular reuse window instead of streaming FIFOs. A region
+/// partition is conflict-free iff for every rotation of the window base the
+/// n live addresses land in pairwise-distinct regions.
+struct ModuloExploration {
+  std::int64_t span = 0;          ///< circular reuse-window size S
+  bool feasible_n_minus_1 = false;  ///< any n-1-region partition works?
+  bool feasible_n = false;          ///< any n-region partition works?
+  std::size_t best_regions = 0;   ///< smallest working region count found
+  std::vector<std::int64_t> best_boundaries;  ///< boundaries of that one
+};
+
+struct ModuloExploreOptions {
+  /// Regions beyond this are not searched.
+  std::size_t max_regions = 64;
+  /// Safety bound: spans larger than this are rejected (the rotation check
+  /// is O(span * n) per candidate).
+  std::int64_t max_span = 200'000;
+};
+
+/// Checks whether the region partition given by sorted `boundaries` (bank
+/// b covers [boundaries[b], boundaries[b+1]) on the circle Z_span) keeps
+/// the window offsets in distinct banks for every base rotation.
+bool regions_conflict_free(const std::vector<std::int64_t>& lin_offsets,
+                           std::int64_t span,
+                           const std::vector<std::int64_t>& boundaries);
+
+/// Searches rotations of offset-derived boundary sets for the smallest
+/// conflict-free region count. The interesting outcome, confirming why the
+/// paper chose data streaming: n-1 contiguous regions are never
+/// conflict-free (two live addresses always share a region at some
+/// rotation), while n regions usually are.
+ModuloExploration explore_nonuniform_modulo(
+    const std::vector<poly::IntVec>& offsets, const poly::IntVec& extents,
+    const ModuloExploreOptions& options = {});
+
+}  // namespace nup::baseline

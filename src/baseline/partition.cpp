@@ -1,0 +1,58 @@
+#include "baseline/partition.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace nup::baseline {
+
+std::string UniformPartition::to_string() const {
+  std::string out = method + ": " + std::to_string(banks) + " banks x " +
+                    std::to_string(bank_depth) + " = " +
+                    std::to_string(total_size) + " elements, scheme " +
+                    poly::to_string(scheme);
+  if (padded) {
+    out += ", grid padded " + poly::to_string(extents) + " -> " +
+           poly::to_string(padded_extents);
+  }
+  return out;
+}
+
+std::int64_t linearize(const poly::IntVec& h, const poly::IntVec& extents) {
+  if (h.size() != extents.size()) {
+    throw Error("linearize: dimension mismatch");
+  }
+  std::int64_t addr = 0;
+  for (std::size_t d = 0; d < h.size(); ++d) {
+    addr = addr * extents[d] + h[d];
+  }
+  return addr;
+}
+
+poly::IntVec array_extents(const stencil::StencilProgram& program,
+                           std::size_t array_idx) {
+  poly::IntVec lo;
+  poly::IntVec hi;
+  if (!program.data_domain_hull(array_idx).as_single_box(&lo, &hi)) {
+    throw Error("array_extents: hull is not a box");
+  }
+  poly::IntVec extents(lo.size());
+  for (std::size_t d = 0; d < lo.size(); ++d) extents[d] = hi[d] - lo[d] + 1;
+  return extents;
+}
+
+std::int64_t window_span(const std::vector<poly::IntVec>& offsets,
+                         const poly::IntVec& extents) {
+  if (offsets.empty()) throw Error("window_span: empty window");
+  std::int64_t lo = linearize(offsets.front(), extents);
+  std::int64_t hi = lo;
+  for (const poly::IntVec& f : offsets) {
+    const std::int64_t addr = linearize(f, extents);
+    lo = std::min(lo, addr);
+    hi = std::max(hi, addr);
+  }
+  return hi - lo + 1;
+}
+
+}  // namespace nup::baseline

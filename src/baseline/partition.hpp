@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "poly/int_vec.hpp"
+#include "stencil/program.hpp"
+
+namespace nup::baseline {
+
+/// Result of a *uniform* memory partitioning of the reuse buffer, as
+/// produced by the prior work the paper compares against: every bank has
+/// the same depth and addresses are distributed by a modulo scheme.
+struct UniformPartition {
+  std::string method;            ///< "cyclic[5]" or "gmp[8]"
+  std::size_t banks = 0;         ///< number of memory banks N
+  poly::IntVec scheme;           ///< alpha: bank(h) = (alpha . h) mod N
+  std::int64_t span = 0;         ///< reuse-window span in elements (unpadded)
+  /// Elements the uniform buffer actually stores. For the flat cyclic
+  /// scheme [5] this is the minimal window span; for the row-buffer
+  /// organization of [7][8] it is the full slab of (padded) rows/planes the
+  /// window touches, which is what their modulo-addressed line buffers hold.
+  std::int64_t stored_span = 0;
+  std::int64_t bank_depth = 0;   ///< elements per bank, ceil(stored span / N)
+  std::int64_t total_size = 0;   ///< banks * bank_depth
+  poly::IntVec extents;          ///< grid extents used for linearization
+  poly::IntVec padded_extents;   ///< extents after padding (== extents if none)
+  bool padded = false;
+
+  std::string to_string() const;
+};
+
+/// Row-major linearization of point `h` relative to the origin of a grid
+/// with the given extents.
+std::int64_t linearize(const poly::IntVec& h, const poly::IntVec& extents);
+
+/// Grid extents of the array's bounding-box data domain.
+poly::IntVec array_extents(const stencil::StencilProgram& program,
+                           std::size_t array_idx);
+
+/// Reuse-window span: number of elements between the lexicographically
+/// first and last window offsets (inclusive) under row-major linearization
+/// with the given extents. This is the classic line-buffer footprint that
+/// uniform methods partition.
+std::int64_t window_span(const std::vector<poly::IntVec>& offsets,
+                         const poly::IntVec& extents);
+
+}  // namespace nup::baseline

@@ -1,0 +1,113 @@
+#include "baseline/reschedule.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace nup::baseline {
+
+namespace {
+
+std::int64_t positive_mod(std::int64_t a, std::int64_t n) {
+  const std::int64_t r = a % n;
+  return r < 0 ? r + n : r;
+}
+
+constexpr std::int64_t kSearchNodeBudget = 500'000;
+
+/// Backtracking delay assignment: reference k may be delayed by 0..max
+/// cycles; find delays whose shifted offsets land in pairwise-distinct
+/// banks. Depth-first with a node budget (the spaces here are tiny; the
+/// budget only guards pathological windows).
+bool assign_delays_rec(const std::vector<std::int64_t>& lin_offsets,
+                       std::int64_t banks, std::int64_t max_delay,
+                       std::size_t k, std::set<std::int64_t>& used,
+                       std::vector<std::int64_t>& delays,
+                       std::int64_t& budget) {
+  if (k == lin_offsets.size()) return true;
+  for (std::int64_t t = 0; t <= max_delay; ++t) {
+    if (--budget <= 0) return false;
+    const std::int64_t bank = positive_mod(lin_offsets[k] - t, banks);
+    if (!used.insert(bank).second) continue;
+    delays[k] = t;
+    if (assign_delays_rec(lin_offsets, banks, max_delay, k + 1, used,
+                          delays, budget)) {
+      return true;
+    }
+    used.erase(bank);
+  }
+  return false;
+}
+
+std::optional<std::vector<std::int64_t>> assign_delays(
+    const std::vector<std::int64_t>& lin_offsets, std::size_t banks,
+    std::int64_t max_delay) {
+  std::vector<std::int64_t> delays(lin_offsets.size(), 0);
+  std::set<std::int64_t> used;
+  std::int64_t budget = kSearchNodeBudget;
+  if (assign_delays_rec(lin_offsets, static_cast<std::int64_t>(banks),
+                        max_delay, 0, used, delays, budget)) {
+    return delays;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+ReschedulePartition reschedule_partition_raw(
+    const std::vector<poly::IntVec>& offsets, const poly::IntVec& extents,
+    const RescheduleOptions& options) {
+  std::vector<std::int64_t> lin;
+  lin.reserve(offsets.size());
+  for (const poly::IntVec& f : offsets) lin.push_back(linearize(f, extents));
+
+  for (std::size_t banks = offsets.size(); banks <= options.max_banks;
+       ++banks) {
+    const std::optional<std::vector<std::int64_t>> delays =
+        assign_delays(lin, banks, options.max_delay);
+    if (!delays) continue;
+
+    ReschedulePartition out;
+    out.delays = *delays;
+    UniformPartition& part = out.partition;
+    part.method = "reschedule[7]";
+    part.banks = banks;
+    part.scheme.assign(extents.size(), 0);
+    std::int64_t stride = 1;
+    for (std::size_t d = extents.size(); d-- > 0;) {
+      part.scheme[d] = stride;
+      stride *= extents[d];
+    }
+    part.extents = extents;
+    part.padded_extents = extents;
+    part.span = window_span(offsets, extents);
+    // Delay registers extend the live window by the largest delay.
+    const std::int64_t extra =
+        *std::max_element(out.delays.begin(), out.delays.end());
+    part.stored_span = part.span + extra;
+    part.bank_depth = (part.stored_span + static_cast<std::int64_t>(banks) -
+                       1) /
+                      static_cast<std::int64_t>(banks);
+    part.total_size =
+        part.bank_depth * static_cast<std::int64_t>(banks);
+    return out;
+  }
+  throw PartitionError("reschedule[7]: no conflict-free bank count <= " +
+                       std::to_string(options.max_banks));
+}
+
+ReschedulePartition reschedule_partition(
+    const stencil::StencilProgram& program, std::size_t array_idx,
+    const RescheduleOptions& options) {
+  std::vector<poly::IntVec> offsets;
+  for (const stencil::ArrayReference& ref :
+       program.inputs().at(array_idx).refs) {
+    offsets.push_back(ref.offset);
+  }
+  return reschedule_partition_raw(offsets, array_extents(program, array_idx),
+                                  options);
+}
+
+}  // namespace nup::baseline

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "baseline/partition.hpp"
+
+namespace nup::baseline {
+
+struct RescheduleOptions {
+  /// Upper bound for the bank-count search; exceeded => PartitionError.
+  std::size_t max_banks = 256;
+  /// Maximum per-reference access delay in cycles. Delaying a read by t
+  /// shifts its effective linearized offset by -t.
+  std::int64_t max_delay = 3;
+};
+
+/// Memory-access rescheduling in the spirit of Li et al., ICCAD'12 [7]:
+/// cyclic partitioning of the flattened address space, but each array
+/// reference may be delayed by a few cycles (through shift registers on its
+/// data path) so that the effective offsets spread across banks. This is
+/// what keeps [7]'s bank count at n for DENOISE across row sizes where the
+/// un-scheduled [5] fluctuates (Fig 5).
+///
+/// Note: our search is *more permissive* than the published [7] (it will
+/// take any delay assignment within the budget), so its bank counts lower-
+/// bound [7]'s. Even so it can never go below the window size n -- the
+/// paper's key argument for the streaming design's n-1.
+struct ReschedulePartition {
+  UniformPartition partition;
+  std::vector<std::int64_t> delays;  ///< per reference, in source order
+};
+
+ReschedulePartition reschedule_partition(
+    const stencil::StencilProgram& program, std::size_t array_idx,
+    const RescheduleOptions& options = {});
+
+ReschedulePartition reschedule_partition_raw(
+    const std::vector<poly::IntVec>& offsets, const poly::IntVec& extents,
+    const RescheduleOptions& options = {});
+
+}  // namespace nup::baseline

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+
+#include "arch/design.hpp"
+#include "stencil/program.hpp"
+
+namespace nup::codegen {
+
+/// Emits a standalone, dependency-free C++17 source file that simulates
+/// the generated memory system(s) -- the C co-simulation model an HLS user
+/// would run next to the RTL. The model streams ramp data (element k of
+/// each array's input stream carries the value k), applies exactly the
+/// splitter/FIFO/filter semantics of the microarchitecture, and prints
+///
+///   FIRES=<n> CYCLES=<m> CHECKSUM=<16-hex-digits>
+///
+/// where the checksum is an FNV-1a hash over (fire index, port index,
+/// delivered element) triples. The same checksum can be computed
+/// analytically from the rank oracle, so a single string comparison
+/// validates the whole run (tests/codegen/cpp_model_test.cpp compiles the
+/// emitted file with the system compiler and does exactly that).
+std::string emit_cpp_model(const stencil::StencilProgram& program,
+                           const arch::AcceleratorDesign& design);
+
+/// The FNV-1a checksum the emitted model computes, evaluated natively.
+std::uint64_t expected_model_checksum(
+    const stencil::StencilProgram& program,
+    const arch::AcceleratorDesign& design);
+
+}  // namespace nup::codegen

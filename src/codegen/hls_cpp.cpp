@@ -1,0 +1,102 @@
+#include "codegen/hls_cpp.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace nup::codegen {
+
+namespace {
+
+std::string identifier(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string emit_transformed_kernel(const stencil::StencilProgram& program) {
+  std::ostringstream out;
+  const std::vector<std::string> names = program.iteration_names();
+  const std::int64_t iterations = program.iteration().count();
+
+  out << "// Transformed computation kernel (Fig 4): memory accesses are\n"
+      << "// offloaded to the generated memory system; each volatile pointer\n"
+      << "// is one data port fed by a data filter.\n"
+      << "#include \"stencil_op.h\"\n\n"
+      << "void kernel_" << identifier(program.name()) << "(\n";
+  std::vector<std::string> args;
+  std::vector<std::string> reads;
+  std::size_t slot = 0;
+  for (const stencil::InputArray& input : program.inputs()) {
+    for (const stencil::ArrayReference& ref : input.refs) {
+      const std::string port =
+          identifier(input.name) + "_" + std::to_string(slot);
+      args.push_back("    volatile const float* " + port + "  // " +
+                     ref.to_string(input.name, names));
+      reads.push_back("      const float v" + std::to_string(slot) +
+                      " = *" + port + ";  // " +
+                      ref.to_string(input.name, names));
+      ++slot;
+    }
+  }
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    out << args[i] << (i + 1 < args.size() ? ",\n" : ",\n");
+  }
+  out << "    float* " << identifier(program.output_name()) << "_out) {\n"
+      << "  for (long t = 0; t < " << iterations << "L; t++) {\n"
+      << "#pragma HLS pipeline II=1\n";
+  for (const std::string& read : reads) out << read << "\n";
+  out << "    " << identifier(program.output_name())
+      << "_out[t] = stencil_op(";
+  for (std::size_t i = 0; i < slot; ++i) {
+    out << "v" << i << (i + 1 < slot ? ", " : "");
+  }
+  out << ");\n"
+      << "  }\n"
+      << "}\n";
+  return out.str();
+}
+
+std::string emit_original_code(const stencil::StencilProgram& program) {
+  std::ostringstream out;
+  out << "// Original user code (Fig 1 style) for " << program.name()
+      << "\n"
+      << program.to_c_code();
+  return out.str();
+}
+
+std::string emit_integration_header(const stencil::StencilProgram& program,
+                                    const arch::AcceleratorDesign& design) {
+  std::ostringstream out;
+  const std::string name = identifier(program.name());
+  out << "// Integration description of the generated accelerator '"
+      << program.name() << "'.\n"
+      << "#pragma once\n\n"
+      << "namespace " << name << "_accel {\n\n"
+      << "inline constexpr long kIterations = "
+      << program.iteration().count() << "L;\n"
+      << "inline constexpr int kMemorySystems = "
+      << design.systems.size() << ";\n\n";
+  for (std::size_t s = 0; s < design.systems.size(); ++s) {
+    const arch::MemorySystem& sys = design.systems[s];
+    out << "// array " << sys.array << ": " << sys.filter_count()
+        << " ports, " << sys.stream_count() << " off-chip stream(s)\n"
+        << "inline constexpr int kPorts_" << identifier(sys.array) << " = "
+        << sys.filter_count() << ";\n"
+        << "inline constexpr long kFifoDepths_" << identifier(sys.array)
+        << "[] = {";
+    for (std::size_t k = 0; k < sys.fifos.size(); ++k) {
+      out << (sys.fifos[k].cut ? 0 : sys.fifos[k].depth)
+          << (k + 1 < sys.fifos.size() ? ", " : "");
+    }
+    if (sys.fifos.empty()) out << "0";
+    out << "};\n";
+  }
+  out << "\n}  // namespace " << name << "_accel\n";
+  return out.str();
+}
+
+}  // namespace nup::codegen

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+#include "arch/design.hpp"
+#include "stencil/program.hpp"
+
+namespace nup::codegen {
+
+/// Emits the Fig 4-style transformed computation kernel for HLS: all memory
+/// accesses are replaced by reads of volatile stream pointers (one per
+/// array reference, in the order of the original code) and the innermost
+/// loop carries a pipeline pragma. The arithmetic body is emitted as a call
+/// to an extern `stencil_op` so any kernel function can be linked in.
+std::string emit_transformed_kernel(const stencil::StencilProgram& program);
+
+/// Emits the original Fig 1-style source of the computation (for reports
+/// and round-trip tests with the frontend).
+std::string emit_original_code(const stencil::StencilProgram& program);
+
+/// Emits a C++ integration header describing the generated memory system:
+/// stream/port layout of the top module, FIFO depths, and segment mapping.
+/// Downstream users compile against this to hook the accelerator up.
+std::string emit_integration_header(const stencil::StencilProgram& program,
+                                    const arch::AcceleratorDesign& design);
+
+}  // namespace nup::codegen

@@ -1,0 +1,457 @@
+#include "codegen/verilog.hpp"
+
+#include <cctype>
+#include <set>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace nup::codegen {
+
+namespace {
+
+std::string sanitize(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c))
+                      ? static_cast<char>(std::tolower(
+                            static_cast<unsigned char>(c)))
+                      : '_');
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), 'm');
+  }
+  return out;
+}
+
+std::string prefix_of(const stencil::StencilProgram& program,
+                      const VerilogOptions& options) {
+  return options.module_prefix.empty() ? sanitize(program.name())
+                                       : options.module_prefix;
+}
+
+/// Emits the shared synchronous FIFO with registered occupancy count and
+/// same-cycle flow-through handled by the surrounding advance logic.
+void emit_fifo_module(std::ostringstream& out, const std::string& prefix) {
+  out << "module " << prefix << "_reuse_fifo #(\n"
+      << "    parameter DEPTH = 2,\n"
+      << "    parameter WIDTH = 32,\n"
+      << "    parameter ADDR  = 1\n"
+      << ") (\n"
+      << "    input  wire             clk,\n"
+      << "    input  wire             rst,\n"
+      << "    input  wire             wr_en,\n"
+      << "    input  wire [WIDTH-1:0] wr_data,\n"
+      << "    input  wire             rd_en,\n"
+      << "    output wire [WIDTH-1:0] rd_data,\n"
+      << "    output wire             full,\n"
+      << "    output wire             empty\n"
+      << ");\n"
+      << "  reg [WIDTH-1:0] mem [0:DEPTH-1];\n"
+      << "  reg [ADDR:0]    count;\n"
+      << "  reg [ADDR:0]    rd_ptr;\n"
+      << "  reg [ADDR:0]    wr_ptr;\n"
+      << "  assign empty   = (count == 0);\n"
+      << "  assign full    = (count == DEPTH);\n"
+      << "  assign rd_data = mem[rd_ptr[ADDR-1:0]];\n"
+      << "  always @(posedge clk) begin\n"
+      << "    if (rst) begin\n"
+      << "      count  <= 0;\n"
+      << "      rd_ptr <= 0;\n"
+      << "      wr_ptr <= 0;\n"
+      << "    end else begin\n"
+      << "      if (wr_en) begin\n"
+      << "        mem[wr_ptr[ADDR-1:0]] <= wr_data;\n"
+      << "        wr_ptr <= (wr_ptr[ADDR-1:0] == DEPTH-1) ? 0 : wr_ptr + 1;\n"
+      << "      end\n"
+      << "      if (rd_en) begin\n"
+      << "        rd_ptr <= (rd_ptr[ADDR-1:0] == DEPTH-1) ? 0 : rd_ptr + 1;\n"
+      << "      end\n"
+      << "      count <= count + (wr_en ? 1 : 0) - (rd_en ? 1 : 0);\n"
+      << "    end\n"
+      << "  end\n"
+      << "endmodule\n\n";
+}
+
+int addr_bits(std::int64_t depth) {
+  int bits = 1;
+  while ((std::int64_t{1} << bits) < depth) ++bits;
+  return bits;
+}
+
+/// Renders the D_Ax membership test over the counter registers.
+std::string membership_expr(const poly::Domain& domain) {
+  std::vector<std::string> pieces;
+  for (const poly::Polyhedron& piece : domain.pieces()) {
+    std::vector<std::string> terms;
+    for (const poly::Constraint& c : piece.constraints()) {
+      std::string expr;
+      bool first = true;
+      for (std::size_t d = 0; d < c.expr.coeffs.size(); ++d) {
+        const std::int64_t a = c.expr.coeffs[d];
+        if (a == 0) continue;
+        if (!first) expr += " + ";
+        expr.append("(").append(std::to_string(a)).append(") * cnt");
+        expr.append(std::to_string(d));
+        first = false;
+      }
+      if (first) expr = "0";
+      expr.append(" + (").append(std::to_string(c.expr.constant));
+      expr.append(") >= 0");
+      terms.push_back("(" + expr + ")");
+    }
+    pieces.push_back("(" + join(terms, " && ") + ")");
+  }
+  return join(pieces, " || ");
+}
+
+/// Emits one data filter: the input counter iterates the streamed hull box
+/// in lexicographic order; `member` decides forward vs discard (Fig 10).
+void emit_filter_module(std::ostringstream& out, const std::string& prefix,
+                        const std::string& name, const poly::IntVec& lo,
+                        const poly::IntVec& hi,
+                        const poly::Domain& out_domain, int width) {
+  const std::size_t m = lo.size();
+  out << "module " << prefix << "_" << name << " #(\n"
+      << "    parameter WIDTH = " << width << "\n"
+      << ") (\n"
+      << "    input  wire             clk,\n"
+      << "    input  wire             rst,\n"
+      << "    input  wire             consume,\n"
+      << "    output wire             member\n"
+      << ");\n";
+  for (std::size_t d = 0; d < m; ++d) {
+    out << "  reg signed [31:0] cnt" << d << ";\n";
+  }
+  out << "  assign member = " << membership_expr(out_domain) << ";\n";
+  out << "  always @(posedge clk) begin\n"
+      << "    if (rst) begin\n";
+  for (std::size_t d = 0; d < m; ++d) {
+    out << "      cnt" << d << " <= " << lo[d] << ";\n";
+  }
+  out << "    end else if (consume) begin\n";
+  // Nested lexicographic increment with wrap-and-carry.
+  std::string indent = "      ";
+  for (std::size_t d = m; d-- > 0;) {
+    const std::size_t level = d;
+    if (level == 0) {
+      out << indent << "cnt0 <= cnt0 + 1;\n";
+    } else {
+      out << indent << "if (cnt" << level << " != " << hi[level]
+          << ") begin\n"
+          << indent << "  cnt" << level << " <= cnt" << level << " + 1;\n"
+          << indent << "end else begin\n"
+          << indent << "  cnt" << level << " <= " << lo[level] << ";\n";
+      indent += "  ";
+    }
+  }
+  for (std::size_t d = 1; d < m; ++d) {
+    indent.resize(indent.size() - 2);
+    out << indent << "end\n";
+  }
+  out << "    end\n"
+      << "  end\n"
+      << "endmodule\n\n";
+}
+
+struct SystemNames {
+  std::vector<std::string> filter_modules;
+};
+
+}  // namespace
+
+std::string emit_verilog(const stencil::StencilProgram& program,
+                         const arch::AcceleratorDesign& design,
+                         const VerilogOptions& options) {
+  const std::string prefix = prefix_of(program, options);
+  const int width = options.data_width;
+  std::ostringstream out;
+
+  out << "// Generated by the non-uniform reuse-buffer design flow (DAC'14\n"
+      << "// microarchitecture). Program: " << program.name() << "\n"
+      << "//\n";
+  {
+    std::istringstream code(program.to_c_code());
+    std::string line;
+    while (std::getline(code, line)) out << "// " << line << "\n";
+  }
+  out << "\n`timescale 1ns/1ps\n\n";
+
+  emit_fifo_module(out, prefix);
+
+  // Filters.
+  std::vector<SystemNames> names(design.systems.size());
+  for (std::size_t s = 0; s < design.systems.size(); ++s) {
+    const arch::MemorySystem& sys = design.systems[s];
+    poly::IntVec lo;
+    poly::IntVec hi;
+    if (!program.data_domain_hull(sys.array_index).as_single_box(&lo, &hi)) {
+      throw Error("emit_verilog: hull is not a box");
+    }
+    for (std::size_t k = 0; k < sys.filter_count(); ++k) {
+      const std::string name =
+          "filter_s" + std::to_string(s) + "_f" + std::to_string(k);
+      names[s].filter_modules.push_back(prefix + "_" + name);
+      emit_filter_module(
+          out, prefix, name, lo, hi,
+          program.iteration().translated(sys.ordered_offsets[k]), width);
+    }
+  }
+
+  // Top module.
+  out << "module " << prefix << "_top (\n"
+      << "    input  wire        clk,\n"
+      << "    input  wire        rst,\n"
+      << "    input  wire        kernel_ready,\n"
+      << "    output wire        kernel_fire,\n";
+  for (std::size_t s = 0; s < design.systems.size(); ++s) {
+    const arch::MemorySystem& sys = design.systems[s];
+    const std::vector<std::size_t> heads = sys.segment_heads();
+    for (std::size_t seg = 0; seg < heads.size(); ++seg) {
+      std::string sn = "s";
+      sn.append(std::to_string(s)).append("_stream");
+      sn.append(std::to_string(seg));
+      out << "    input  wire        " << sn << "_valid,\n"
+          << "    input  wire [" << width - 1 << ":0] " << sn << "_data,\n"
+          << "    output wire        " << sn << "_ready,\n";
+    }
+    for (std::size_t k = 0; k < sys.filter_count(); ++k) {
+      out << "    output wire [" << width - 1 << ":0] port_s"
+          << s << "_f" << k;
+      const bool last = s + 1 == design.systems.size() &&
+                        k + 1 == sys.filter_count();
+      out << (last ? "\n" : ",\n");
+    }
+  }
+  out << ");\n";
+
+  std::vector<std::string> fire_terms;
+  for (std::size_t s = 0; s < design.systems.size(); ++s) {
+    const arch::MemorySystem& sys = design.systems[s];
+    const std::size_t n = sys.filter_count();
+    const std::string S = "s" + std::to_string(s);
+    // Per-filter wires.
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::string F = S + "_f" + std::to_string(k);
+      out << "  wire " << F << "_avail, " << F << "_member, " << F
+          << "_adv_hyp, " << F << "_adv, " << F << "_space_hyp, " << F
+          << "_space;\n"
+          << "  wire [" << width - 1 << ":0] " << F << "_data;\n";
+    }
+    for (std::size_t k = 0; k + 1 < n; ++k) {
+      if (sys.fifos[k].cut) continue;
+      const std::string Q = S + "_q" + std::to_string(k);
+      out << "  wire " << Q << "_full, " << Q << "_empty;\n"
+          << "  wire [" << width - 1 << ":0] " << Q << "_rd_data;\n";
+    }
+
+    // Segment bookkeeping: which stream feeds each head filter.
+    std::vector<std::size_t> segment_of(n, 0);
+    {
+      std::size_t seg = 0;
+      for (std::size_t k = 0; k < n; ++k) {
+        if (k > 0 && sys.fifos[k - 1].cut) ++seg;
+        segment_of[k] = seg;
+      }
+    }
+
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::string F = S + "_f" + std::to_string(k);
+      const bool head = k == 0 || sys.fifos[k - 1].cut;
+      if (head) {
+        const std::string sn =
+            S + "_stream" + std::to_string(segment_of[k]);
+        out << "  assign " << F << "_avail = " << sn << "_valid;\n"
+            << "  assign " << F << "_data  = " << sn << "_data;\n"
+            << "  assign " << sn << "_ready = " << F << "_adv;\n";
+      } else {
+        const std::string Q = S + "_q" + std::to_string(k - 1);
+        out << "  assign " << F << "_avail = !" << Q << "_empty;\n"
+            << "  assign " << F << "_data  = " << Q << "_rd_data;\n";
+      }
+      out << "  " << names[s].filter_modules[k] << " #(.WIDTH(" << width
+          << ")) u_" << F << " (.clk(clk), .rst(rst), .consume(" << F
+          << "_adv), .member(" << F << "_member));\n"
+          << "  assign port_" << F << " = " << F << "_data;\n";
+    }
+
+    // Space/advance chains, downstream to upstream (pure combinational,
+    // acyclic: the hypothesis chain assumes the kernel fires, the actual
+    // chain uses the resolved fire signal).
+    for (std::size_t k = n; k-- > 0;) {
+      const std::string F = S + "_f" + std::to_string(k);
+      if (k + 1 == n || sys.fifos[k].cut) {
+        out << "  assign " << F << "_space_hyp = 1'b1;\n"
+            << "  assign " << F << "_space = 1'b1;\n";
+      } else {
+        const std::string Q = S + "_q" + std::to_string(k);
+        const std::string Fn = S + "_f" + std::to_string(k + 1);
+        out << "  assign " << F << "_space_hyp = !" << Q << "_full || "
+            << Fn << "_adv_hyp;\n"
+            << "  assign " << F << "_space = !" << Q << "_full || " << Fn
+            << "_adv;\n";
+      }
+      out << "  assign " << F << "_adv_hyp = " << F << "_avail && " << F
+          << "_space_hyp;\n"
+          << "  assign " << F << "_adv = " << F << "_avail && " << F
+          << "_space && (" << F << "_member ? kernel_fire : 1'b1);\n";
+      fire_terms.push_back(F + "_adv_hyp && " + F + "_member");
+    }
+
+    // FIFO instances.
+    for (std::size_t k = 0; k + 1 < n; ++k) {
+      if (sys.fifos[k].cut) continue;
+      const std::string Q = S + "_q" + std::to_string(k);
+      const std::string F = S + "_f" + std::to_string(k);
+      const std::string Fn = S + "_f" + std::to_string(k + 1);
+      out << "  " << prefix << "_reuse_fifo #(.DEPTH("
+          << sys.fifos[k].depth << "), .WIDTH(" << width << "), .ADDR("
+          << addr_bits(sys.fifos[k].depth) << ")) u_" << Q
+          << " (.clk(clk), .rst(rst), .wr_en(" << F << "_adv), .wr_data("
+          << F << "_data), .rd_en(" << Fn << "_adv), .rd_data(" << Q
+          << "_rd_data), .full(" << Q << "_full), .empty(" << Q
+          << "_empty));\n";
+    }
+  }
+
+  out << "  assign kernel_fire = kernel_ready";
+  for (const std::string& term : fire_terms) out << "\n      && (" << term << ")";
+  out << ";\n";
+  out << "endmodule\n";
+  return out.str();
+}
+
+std::string emit_testbench(const stencil::StencilProgram& program,
+                           const arch::AcceleratorDesign& design,
+                           const VerilogOptions& options) {
+  const std::string prefix = prefix_of(program, options);
+  const int width = options.data_width;
+  std::ostringstream out;
+  const std::int64_t expected = program.iteration().count();
+
+  out << "`timescale 1ns/1ps\n\n"
+      << "module " << prefix << "_tb;\n"
+      << "  localparam EXPECTED_FIRES = " << expected << ";\n"
+      << "  reg clk = 0;\n"
+      << "  reg rst = 1;\n"
+      << "  wire kernel_fire;\n"
+      << "  integer fires = 0;\n"
+      << "  integer cycles = 0;\n";
+
+  std::vector<std::string> streams;
+  std::vector<std::string> ports;
+  for (std::size_t s = 0; s < design.systems.size(); ++s) {
+    const arch::MemorySystem& sys = design.systems[s];
+    for (std::size_t seg = 0; seg < sys.segment_heads().size(); ++seg) {
+      std::string sn = "s";
+      sn.append(std::to_string(s)).append("_stream");
+      sn.append(std::to_string(seg));
+      streams.push_back(std::move(sn));
+    }
+    for (std::size_t k = 0; k < sys.filter_count(); ++k) {
+      ports.push_back("s" + std::to_string(s) + "_f" + std::to_string(k));
+    }
+  }
+  for (const std::string& sn : streams) {
+    out << "  reg  [" << width - 1 << ":0] " << sn << "_cnt = 0;\n"
+        << "  wire " << sn << "_ready;\n";
+  }
+  for (const std::string& pn : ports) {
+    out << "  wire [" << width - 1 << ":0] port_" << pn << ";\n";
+  }
+
+  out << "  " << prefix << "_top dut (\n"
+      << "    .clk(clk), .rst(rst), .kernel_ready(1'b1),\n"
+      << "    .kernel_fire(kernel_fire),\n";
+  for (const std::string& sn : streams) {
+    out << "    ." << sn << "_valid(1'b1), ." << sn << "_data(" << sn
+        << "_cnt), ." << sn << "_ready(" << sn << "_ready),\n";
+  }
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    out << "    .port_" << ports[i] << "(port_" << ports[i] << ")"
+        << (i + 1 < ports.size() ? ",\n" : "\n");
+  }
+  out << "  );\n\n"
+      << "  always #2.5 clk = ~clk;\n\n"
+      << "  always @(posedge clk) begin\n"
+      << "    if (!rst) begin\n"
+      << "      cycles <= cycles + 1;\n";
+  for (const std::string& sn : streams) {
+    out << "      if (" << sn << "_ready) " << sn << "_cnt <= " << sn
+        << "_cnt + 1;\n";
+  }
+  out << "      if (kernel_fire) fires <= fires + 1;\n"
+      << "      if (fires == EXPECTED_FIRES) begin\n"
+      << "        $display(\"PASS: %0d fires in %0d cycles\", fires, "
+         "cycles);\n"
+      << "        $finish;\n"
+      << "      end\n"
+      << "      if (cycles > 64 * EXPECTED_FIRES + 100000) begin\n"
+      << "        $display(\"FAIL: timeout with %0d fires\", fires);\n"
+      << "        $finish;\n"
+      << "      end\n"
+      << "    end\n"
+      << "  end\n\n"
+      << "  initial begin\n"
+      << "    repeat (4) @(posedge clk);\n"
+      << "    rst = 0;\n"
+      << "  end\n"
+      << "endmodule\n";
+  return out.str();
+}
+
+std::string lint_verilog(const std::string& text) {
+  long module_balance = 0;
+  long begin_balance = 0;
+  long case_balance = 0;
+  std::set<std::string> defined;
+  std::set<std::string> instantiated;
+
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string t = trim(line);
+    if (starts_with(t, "//")) continue;
+    std::istringstream words(t);
+    std::string w0;
+    words >> w0;
+    if (w0 == "module") {
+      ++module_balance;
+      std::string name;
+      words >> name;
+      const std::size_t paren = name.find_first_of("(#; ");
+      defined.insert(name.substr(0, paren));
+    } else if (w0 == "endmodule") {
+      --module_balance;
+    }
+    // Token-level begin/end/case balance.
+    std::istringstream tokens(t);
+    std::string tok;
+    while (tokens >> tok) {
+      if (tok == "begin") ++begin_balance;
+      if (tok == "end") --begin_balance;
+      if (tok == "case" || tok == "casez") ++case_balance;
+      if (tok == "endcase") --case_balance;
+    }
+    // Instantiation heuristic: "<type> [#(...)] u_<name> (".
+    if (!w0.empty() && w0 != "module" && t.find(" u_") != std::string::npos &&
+        (std::isalpha(static_cast<unsigned char>(w0[0])) || w0[0] == '_') &&
+        w0 != "assign" && w0 != "wire" && w0 != "reg" && w0 != "input" &&
+        w0 != "output" && w0 != "if" && w0 != "end" && w0 != "always" &&
+        w0 != "initial") {
+      instantiated.insert(w0);
+    }
+  }
+  if (module_balance != 0) return "unbalanced module/endmodule";
+  if (begin_balance != 0) return "unbalanced begin/end";
+  if (case_balance != 0) return "unbalanced case/endcase";
+  for (const std::string& name : instantiated) {
+    if (defined.find(name) == defined.end()) {
+      return "instantiated module '" + name + "' is not defined";
+    }
+  }
+  return "";
+}
+
+}  // namespace nup::codegen

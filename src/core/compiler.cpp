@@ -1,0 +1,135 @@
+#include "core/compiler.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "codegen/hls_cpp.hpp"
+#include "codegen/verilog.hpp"
+#include "frontend/sema.hpp"
+#include "stencil/golden.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace nup::core {
+
+std::string AcceleratorPackage::summary() const {
+  std::ostringstream out;
+  out << "=== accelerator package: " << program.name() << " ===\n";
+  out << describe(design);
+  for (std::size_t s = 0; s < checks.size(); ++s) {
+    out << "  memory system " << s << " checks: "
+        << (checks[s].all_ok() ? "optimal (banks = n-1, size = max reuse "
+                                 "distance, deadlock-free conditions hold)"
+                               : "FAILED: " + checks[s].detail)
+        << "\n";
+  }
+  if (verification.cycles > 0) {
+    out << "  verification: "
+        << (verified ? "outputs match golden execution" : "NOT verified")
+        << ", " << verification.kernel_fires << " outputs in "
+        << verification.cycles << " cycles (fill latency "
+        << verification.fill_latency << ", steady II "
+        << format_fixed(verification.steady_ii, 3) << ")\n";
+  }
+  if (rtl_verification.ran) {
+    out << "  RTL co-simulation: "
+        << (rtl_verification.passed ? "passed" : "FAILED") << " ("
+        << rtl_verification.fires << " fires in " << rtl_verification.cycles
+        << " cycles)\n";
+  }
+  out << "  resources: " << resources.bram18k << " BRAM18K, "
+      << resources.slices << " slices, " << resources.dsp48 << " DSP48, CP "
+      << format_fixed(resources.clock_period_ns, 2) << " ns\n";
+  if (!rtl.empty()) {
+    out << "  generated: " << rtl.size() << " bytes RTL, "
+        << testbench.size() << " bytes testbench, " << kernel_code.size()
+        << " bytes kernel C++\n";
+  }
+  return out.str();
+}
+
+AcceleratorPackage compile(const stencil::StencilProgram& program,
+                           const CompileOptions& options) {
+  AcceleratorPackage package{program,
+                             arch::build_design(program, options.build),
+                             {},
+                             false,
+                             {},
+                             {},
+                             {},
+                             "",
+                             "",
+                             "",
+                             ""};
+
+  for (const arch::MemorySystem& system : package.design.systems) {
+    package.checks.push_back(
+        arch::verify_design(program, system, options.build));
+  }
+
+  if (options.verify_by_simulation) {
+    package.verification = sim::simulate(program, package.design,
+                                         options.sim);
+    if (package.verification.deadlocked) {
+      throw SimulationError("verification deadlocked: " +
+                            package.verification.deadlock_detail);
+    }
+    const stencil::GoldenRun golden =
+        stencil::run_golden(program, options.sim.seed);
+    if (golden.outputs.size() != package.verification.outputs.size()) {
+      throw SimulationError(
+          "verification produced " +
+          std::to_string(package.verification.outputs.size()) +
+          " outputs, golden execution " +
+          std::to_string(golden.outputs.size()));
+    }
+    for (std::size_t i = 0; i < golden.outputs.size(); ++i) {
+      if (golden.outputs[i] != package.verification.outputs[i]) {
+        throw SimulationError("verification mismatch at output " +
+                              std::to_string(i));
+      }
+    }
+    package.verified = true;
+  }
+
+  if (options.verify_rtl) {
+    package.rtl_verification =
+        verify_rtl(program, package.design, options.rtl_verify);
+    if (package.rtl_verification.ran && !package.rtl_verification.passed) {
+      throw SimulationError("RTL verification failed: " +
+                            package.rtl_verification.detail);
+    }
+  }
+
+  package.resources = hls::estimate_streaming(package.design, program,
+                                              options.device,
+                                              options.estimate);
+
+  if (options.emit_rtl) {
+    package.rtl = codegen::emit_verilog(program, package.design);
+    package.testbench = codegen::emit_testbench(program, package.design);
+    const std::string lint = codegen::lint_verilog(package.rtl);
+    if (!lint.empty()) {
+      throw Error("generated RTL failed lint: " + lint);
+    }
+  }
+  if (options.emit_kernel_code) {
+    package.kernel_code = codegen::emit_transformed_kernel(program);
+    package.integration_header =
+        codegen::emit_integration_header(program, package.design);
+  }
+
+  log_info() << "compiled " << program.name() << ": "
+             << package.design.total_bank_count() << " banks, "
+             << package.design.total_buffer_size() << " elements";
+  return package;
+}
+
+AcceleratorPackage compile_source(const std::string& source,
+                                  const std::string& name,
+                                  const CompileOptions& options) {
+  return compile(frontend::parse_stencil(source, name), options);
+}
+
+}  // namespace nup::core

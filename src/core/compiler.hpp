@@ -1,0 +1,75 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/builder.hpp"
+#include "arch/design.hpp"
+#include "arch/verify.hpp"
+#include "core/rtl_verify.hpp"
+#include "hls/device.hpp"
+#include "hls/estimate.hpp"
+#include "sim/simulator.hpp"
+#include "stencil/program.hpp"
+
+namespace nup::core {
+
+/// Options of the end-to-end design automation flow (Fig 11).
+struct CompileOptions {
+  arch::BuildOptions build;
+
+  /// Run the cycle-accurate simulation and compare every kernel output
+  /// against the golden software execution before signing the design off.
+  bool verify_by_simulation = true;
+  sim::SimOptions sim;
+
+  bool emit_rtl = true;
+  bool emit_kernel_code = true;
+
+  /// Additionally execute the generated Verilog in the built-in RTL
+  /// interpreter and check it against the analytical port expectation.
+  /// Skipped automatically for programs above rtl_verify.max_iterations.
+  bool verify_rtl = false;
+  RtlVerifyOptions rtl_verify;
+
+  hls::DeviceModel device = hls::virtex7_485t();
+  hls::EstimateOptions estimate;
+};
+
+/// Everything the flow produces for one stencil program: the
+/// microarchitecture, its static checks, the verification run, resource
+/// estimates and the generated code.
+struct AcceleratorPackage {
+  stencil::StencilProgram program;
+  arch::AcceleratorDesign design;
+  std::vector<arch::ConditionCheck> checks;  ///< one per memory system
+
+  bool verified = false;  ///< simulation matched the golden execution
+  sim::SimResult verification;
+
+  /// Result of executing the generated Verilog (when requested).
+  RtlVerification rtl_verification;
+
+  hls::ResourceUsage resources;
+
+  std::string rtl;                 ///< Verilog of the memory systems
+  std::string testbench;           ///< Verilog testbench
+  std::string kernel_code;         ///< transformed HLS C++ (Fig 4)
+  std::string integration_header;  ///< C++ port/stream description
+
+  /// Human-readable flow summary.
+  std::string summary() const;
+};
+
+/// Runs the full flow on an in-memory stencil program. Throws
+/// SimulationError if verification is enabled and the simulated outputs
+/// diverge from the golden execution.
+AcceleratorPackage compile(const stencil::StencilProgram& program,
+                           const CompileOptions& options = {});
+
+/// Frontend entry: parses mini-C stencil source (Fig 1 style) first.
+AcceleratorPackage compile_source(const std::string& source,
+                                  const std::string& name,
+                                  const CompileOptions& options = {});
+
+}  // namespace nup::core

@@ -1,0 +1,114 @@
+#include "core/json_export.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace nup::core {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void append_offsets(std::ostringstream& out, const poly::IntVec& offset) {
+  out << "[";
+  for (std::size_t d = 0; d < offset.size(); ++d) {
+    out << (d > 0 ? "," : "") << offset[d];
+  }
+  out << "]";
+}
+
+}  // namespace
+
+std::string to_json(const AcceleratorPackage& package) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"name\": \"" << json_escape(package.program.name()) << "\",\n";
+  out << "  \"dimensions\": " << package.program.dim() << ",\n";
+  out << "  \"iterations\": " << package.program.iteration().count()
+      << ",\n";
+  out << "  \"original_ii\": " << package.program.total_references()
+      << ",\n";
+
+  out << "  \"memory_systems\": [\n";
+  for (std::size_t s = 0; s < package.design.systems.size(); ++s) {
+    const arch::MemorySystem& sys = package.design.systems[s];
+    out << "    {\n";
+    out << "      \"array\": \"" << json_escape(sys.array) << "\",\n";
+    out << "      \"filters\": [";
+    for (std::size_t k = 0; k < sys.ordered_offsets.size(); ++k) {
+      if (k > 0) out << ",";
+      append_offsets(out, sys.ordered_offsets[k]);
+    }
+    out << "],\n";
+    out << "      \"fifos\": [";
+    for (std::size_t k = 0; k < sys.fifos.size(); ++k) {
+      const arch::ReuseFifo& fifo = sys.fifos[k];
+      if (k > 0) out << ",";
+      out << "{\"depth\":" << fifo.depth << ",\"impl\":\""
+          << arch::to_string(fifo.impl) << "\",\"cut\":"
+          << (fifo.cut ? "true" : "false") << "}";
+    }
+    out << "],\n";
+    out << "      \"banks\": " << sys.bank_count() << ",\n";
+    out << "      \"total_elements\": " << sys.total_buffer_size() << ",\n";
+    out << "      \"offchip_streams\": " << sys.stream_count() << "\n";
+    out << "    }" << (s + 1 < package.design.systems.size() ? "," : "")
+        << "\n";
+  }
+  out << "  ],\n";
+
+  out << "  \"checks\": [";
+  for (std::size_t s = 0; s < package.checks.size(); ++s) {
+    const arch::ConditionCheck& check = package.checks[s];
+    if (s > 0) out << ",";
+    out << "{\"ordering\":" << (check.ordering_descending ? "true" : "false")
+        << ",\"sizing\":" << (check.sizing_sufficient ? "true" : "false")
+        << ",\"banks_minimum\":" << (check.banks_minimum ? "true" : "false")
+        << ",\"size_minimum\":" << (check.size_minimum ? "true" : "false")
+        << ",\"detail\":\"" << json_escape(check.detail) << "\"}";
+  }
+  out << "],\n";
+
+  out << "  \"verification\": {\"verified\": "
+      << (package.verified ? "true" : "false")
+      << ", \"cycles\": " << package.verification.cycles
+      << ", \"outputs\": " << package.verification.kernel_fires
+      << ", \"fill_latency\": " << package.verification.fill_latency
+      << ", \"steady_ii\": " << package.verification.steady_ii << "},\n";
+
+  out << "  \"resources\": {\"bram18k\": " << package.resources.bram18k
+      << ", \"slices\": " << package.resources.slices
+      << ", \"dsp48\": " << package.resources.dsp48
+      << ", \"clock_period_ns\": " << package.resources.clock_period_ns
+      << "},\n";
+
+  out << "  \"artifacts\": {\"rtl_bytes\": " << package.rtl.size()
+      << ", \"testbench_bytes\": " << package.testbench.size()
+      << ", \"kernel_code_bytes\": " << package.kernel_code.size() << "}\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace nup::core

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "core/compiler.hpp"
+
+namespace nup::core {
+
+/// Serializes the compiled accelerator package -- design structure, static
+/// checks, verification statistics and resource estimates -- as a JSON
+/// document, for consumption by scripts and report generators downstream
+/// of the flow. Generated source texts are summarized by size only.
+std::string to_json(const AcceleratorPackage& package);
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(const std::string& text);
+
+}  // namespace nup::core

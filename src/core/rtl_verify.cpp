@@ -1,0 +1,121 @@
+#include "core/rtl_verify.hpp"
+
+#include <cctype>
+
+#include "codegen/verilog.hpp"
+#include "poly/reuse.hpp"
+#include "util/error.hpp"
+#include "vsim/interp.hpp"
+
+namespace nup::core {
+
+namespace {
+
+std::string sanitized_prefix(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c))
+                      ? static_cast<char>(std::tolower(
+                            static_cast<unsigned char>(c)))
+                      : '_');
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), 'm');
+  }
+  return out;
+}
+
+}  // namespace
+
+RtlVerification verify_rtl(const stencil::StencilProgram& program,
+                           const arch::AcceleratorDesign& design,
+                           const RtlVerifyOptions& options) {
+  RtlVerification result;
+  const std::int64_t total = program.iteration().count();
+  if (total > options.max_iterations) {
+    result.detail = "skipped: " + std::to_string(total) +
+                    " iterations exceed the interpreted-RTL budget";
+    return result;
+  }
+  result.ran = true;
+
+  const std::string rtl = codegen::emit_verilog(program, design);
+  vsim::VerilogSim sim(rtl, sanitized_prefix(program.name()) + "_top");
+
+  // One rank oracle and one stream-sequence counter per (array, segment).
+  struct Stream {
+    std::string name;
+    std::uint64_t seq = 0;
+    bool advance = false;
+  };
+  std::vector<poly::RankOracle> oracles;
+  std::vector<Stream> streams;
+  oracles.reserve(design.systems.size());
+  for (std::size_t a = 0; a < design.systems.size(); ++a) {
+    oracles.emplace_back(design.systems[a].input_domain);
+    const std::size_t segments = design.systems[a].segment_heads().size();
+    for (std::size_t s = 0; s < segments; ++s) {
+      std::string name = "s";
+      name.append(std::to_string(a)).append("_stream");
+      name.append(std::to_string(s));
+      streams.push_back(Stream{std::move(name), 0, false});
+    }
+  }
+
+  sim.poke("rst", 1);
+  sim.poke("kernel_ready", 1);
+  for (const Stream& stream : streams) {
+    sim.poke(stream.name + "_valid", 1);
+    sim.poke(stream.name + "_data", 0);
+  }
+  sim.step_clock();
+  sim.step_clock();
+  sim.poke("rst", 0);
+
+  poly::Domain::LexCursor iter(program.iteration());
+  while (result.fires < total && result.cycles < options.max_cycles) {
+    for (const Stream& stream : streams) {
+      sim.poke(stream.name + "_data", stream.seq);
+    }
+    sim.eval();
+    if (sim.peek("kernel_fire") != 0) {
+      const poly::IntVec& i = iter.point();
+      for (std::size_t a = 0; a < design.systems.size(); ++a) {
+        const arch::MemorySystem& sys = design.systems[a];
+        for (std::size_t k = 0; k < sys.filter_count(); ++k) {
+          const std::uint64_t expected = static_cast<std::uint64_t>(
+              oracles[a].rank(poly::add(i, sys.ordered_offsets[k])));
+          const std::uint64_t got = sim.peek(
+              "port_s" + std::to_string(a) + "_f" + std::to_string(k));
+          if (got != expected) {
+            result.detail =
+                "array " + sys.array + " port " + std::to_string(k) +
+                " at iteration " + poly::to_string(i) +
+                ": RTL delivered element " + std::to_string(got) +
+                ", expected " + std::to_string(expected);
+            return result;
+          }
+        }
+      }
+      iter.advance();
+      ++result.fires;
+    }
+    for (Stream& stream : streams) {
+      stream.advance = sim.peek(stream.name + "_ready") != 0;
+    }
+    sim.step_clock();
+    ++result.cycles;
+    for (Stream& stream : streams) {
+      if (stream.advance) ++stream.seq;
+    }
+  }
+  result.passed = result.fires == total;
+  if (!result.passed && result.detail.empty()) {
+    result.detail = "RTL produced only " + std::to_string(result.fires) +
+                    " of " + std::to_string(total) + " outputs in " +
+                    std::to_string(result.cycles) + " cycles";
+  }
+  return result;
+}
+
+}  // namespace nup::core

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "arch/design.hpp"
+#include "stencil/program.hpp"
+
+namespace nup::core {
+
+/// Result of executing the generated Verilog in the built-in RTL
+/// interpreter against the analytical expectation (each kernel port must
+/// deliver the stream-rank of the grid point its reference needs, at every
+/// fire).
+struct RtlVerification {
+  bool ran = false;
+  bool passed = false;
+  std::int64_t cycles = 0;
+  std::int64_t fires = 0;
+  std::string detail;  ///< first mismatch or abort reason
+};
+
+struct RtlVerifyOptions {
+  /// Programs with more iterations than this are skipped (interpreted RTL
+  /// is ~1000x slower than the C++ model).
+  std::int64_t max_iterations = 20'000;
+  std::int64_t max_cycles = 2'000'000;
+};
+
+/// Emits the memory-system RTL for `design`, elaborates it in the vsim
+/// interpreter, streams ramp data through it and checks every kernel port
+/// at every fire. Self-contained (re-emits the RTL) so it can run even
+/// when the caller skipped codegen.
+RtlVerification verify_rtl(const stencil::StencilProgram& program,
+                           const arch::AcceleratorDesign& design,
+                           const RtlVerifyOptions& options = {});
+
+}  // namespace nup::core

@@ -1,0 +1,55 @@
+#include "frontend/ast.hpp"
+
+#include <sstream>
+
+namespace nup::frontend {
+
+namespace {
+
+const char* op_text(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return " + ";
+    case BinaryOp::kSub: return " - ";
+    case BinaryOp::kMul: return " * ";
+    case BinaryOp::kDiv: return " / ";
+  }
+  return " ? ";
+}
+
+}  // namespace
+
+std::string to_string(const Expr& expr) {
+  std::ostringstream out;
+  switch (expr.kind) {
+    case ExprKind::kNumber:
+      out << expr.number;
+      break;
+    case ExprKind::kVar:
+      out << expr.name;
+      break;
+    case ExprKind::kArrayRef:
+      out << expr.name;
+      for (const ExprPtr& sub : expr.subscripts) {
+        out << '[' << to_string(*sub) << ']';
+      }
+      break;
+    case ExprKind::kUnary:
+      out << "-(" << to_string(*expr.children[0]) << ')';
+      break;
+    case ExprKind::kBinary:
+      out << '(' << to_string(*expr.children[0]) << op_text(expr.op)
+          << to_string(*expr.children[1]) << ')';
+      break;
+    case ExprKind::kCall:
+      out << expr.name << '(';
+      for (std::size_t i = 0; i < expr.children.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << to_string(*expr.children[i]);
+      }
+      out << ')';
+      break;
+  }
+  return out.str();
+}
+
+}  // namespace nup::frontend

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nup::frontend {
+
+/// Expression AST for the kernel right-hand side and array subscripts.
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind {
+  kNumber,   // literal
+  kVar,      // loop variable
+  kArrayRef, // A[e0][e1]...
+  kUnary,    // -e
+  kBinary,   // e op e
+  kCall,     // fn(e, ...)
+};
+
+enum class BinaryOp { kAdd, kSub, kMul, kDiv };
+
+struct Expr {
+  ExprKind kind = ExprKind::kNumber;
+  int line = 1;
+  int column = 1;
+
+  // kNumber
+  double number = 0.0;
+  bool is_integer = false;
+
+  // kVar / kCall: name; kArrayRef: array name
+  std::string name;
+
+  // kArrayRef: one subscript expression per dimension.
+  std::vector<ExprPtr> subscripts;
+
+  // kUnary: operand in children[0]; kBinary: children[0] op children[1];
+  // kCall: arguments.
+  std::vector<ExprPtr> children;
+
+  BinaryOp op = BinaryOp::kAdd;
+
+  /// Assigned by sema for kArrayRef nodes: the flattened (array, reference)
+  /// slot in the kernel's gathered-value vector.
+  std::size_t ref_slot = 0;
+};
+
+/// One `for` level of the loop nest.
+struct Loop {
+  std::string var;
+  std::int64_t lower = 0;   // inclusive
+  std::int64_t upper = 0;   // inclusive
+  int line = 1;
+};
+
+/// Parsed stencil kernel: a perfect loop nest around a single assignment
+/// out[i]...[k] = expr.
+struct KernelAst {
+  std::vector<Loop> loops;       // outermost first
+  std::string output_array;
+  std::vector<std::string> output_subscripts;  // must be the loop vars
+  ExprPtr body;
+};
+
+/// Deep string rendering for diagnostics and tests.
+std::string to_string(const Expr& expr);
+
+}  // namespace nup::frontend

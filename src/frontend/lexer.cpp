@@ -1,0 +1,184 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace nup::frontend {
+
+const char* to_string(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kFor: return "'for'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kLess: return "'<'";
+    case TokenKind::kLessEq: return "'<='";
+    case TokenKind::kGreater: return "'>'";
+    case TokenKind::kGreaterEq: return "'>='";
+    case TokenKind::kPlusPlus: return "'++'";
+    case TokenKind::kEof: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+class Cursor {
+ public:
+  explicit Cursor(const std::string& text) : text_(text) {}
+
+  bool done() const { return pos_ >= text_.size(); }
+  char peek() const { return done() ? '\0' : text_[pos_]; }
+  char peek2() const {
+    return pos_ + 1 < text_.size() ? text_[pos_ + 1] : '\0';
+  }
+  char take() {
+    const char c = peek();
+    ++pos_;
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+void skip_space_and_comments(Cursor& cursor) {
+  while (!cursor.done()) {
+    if (std::isspace(static_cast<unsigned char>(cursor.peek()))) {
+      cursor.take();
+    } else if (cursor.peek() == '/' && cursor.peek2() == '/') {
+      while (!cursor.done() && cursor.peek() != '\n') cursor.take();
+    } else if (cursor.peek() == '/' && cursor.peek2() == '*') {
+      cursor.take();
+      cursor.take();
+      while (!cursor.done() &&
+             !(cursor.peek() == '*' && cursor.peek2() == '/')) {
+        cursor.take();
+      }
+      if (cursor.done()) {
+        throw ParseError("unterminated block comment", cursor.line(),
+                         cursor.column());
+      }
+      cursor.take();
+      cursor.take();
+    } else {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  Cursor cursor(source);
+  while (true) {
+    skip_space_and_comments(cursor);
+    Token token;
+    token.line = cursor.line();
+    token.column = cursor.column();
+    if (cursor.done()) {
+      token.kind = TokenKind::kEof;
+      tokens.push_back(token);
+      return tokens;
+    }
+    const char c = cursor.peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (!cursor.done() &&
+             (std::isalnum(static_cast<unsigned char>(cursor.peek())) ||
+              cursor.peek() == '_')) {
+        token.text.push_back(cursor.take());
+      }
+      token.kind = token.text == "for" ? TokenKind::kFor : TokenKind::kIdent;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && std::isdigit(
+                                static_cast<unsigned char>(cursor.peek2())))) {
+      token.is_integer = true;
+      while (!cursor.done() &&
+             (std::isdigit(static_cast<unsigned char>(cursor.peek())) ||
+              cursor.peek() == '.' || cursor.peek() == 'e' ||
+              cursor.peek() == 'E' ||
+              ((cursor.peek() == '+' || cursor.peek() == '-') &&
+               (token.text.back() == 'e' || token.text.back() == 'E')))) {
+        const char digit = cursor.take();
+        if (digit == '.' || digit == 'e' || digit == 'E') {
+          token.is_integer = false;
+        }
+        token.text.push_back(digit);
+      }
+      token.kind = TokenKind::kNumber;
+      token.number = std::strtod(token.text.c_str(), nullptr);
+    } else {
+      switch (cursor.take()) {
+        case '(': token.kind = TokenKind::kLParen; break;
+        case ')': token.kind = TokenKind::kRParen; break;
+        case '[': token.kind = TokenKind::kLBracket; break;
+        case ']': token.kind = TokenKind::kRBracket; break;
+        case '{': token.kind = TokenKind::kLBrace; break;
+        case '}': token.kind = TokenKind::kRBrace; break;
+        case ';': token.kind = TokenKind::kSemicolon; break;
+        case ',': token.kind = TokenKind::kComma; break;
+        case '*': token.kind = TokenKind::kStar; break;
+        case '/': token.kind = TokenKind::kSlash; break;
+        case '=': token.kind = TokenKind::kAssign; break;
+        case '+':
+          if (cursor.peek() == '+') {
+            cursor.take();
+            token.kind = TokenKind::kPlusPlus;
+          } else {
+            token.kind = TokenKind::kPlus;
+          }
+          break;
+        case '-': token.kind = TokenKind::kMinus; break;
+        case '<':
+          if (cursor.peek() == '=') {
+            cursor.take();
+            token.kind = TokenKind::kLessEq;
+          } else {
+            token.kind = TokenKind::kLess;
+          }
+          break;
+        case '>':
+          if (cursor.peek() == '=') {
+            cursor.take();
+            token.kind = TokenKind::kGreaterEq;
+          } else {
+            token.kind = TokenKind::kGreater;
+          }
+          break;
+        default:
+          throw ParseError(std::string("unexpected character '") + c + "'",
+                           token.line, token.column);
+      }
+    }
+    tokens.push_back(std::move(token));
+  }
+}
+
+}  // namespace nup::frontend

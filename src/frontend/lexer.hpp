@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nup::frontend {
+
+enum class TokenKind {
+  kIdent,
+  kNumber,     // integer or floating literal
+  kFor,        // keyword
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLBrace,
+  kRBrace,
+  kSemicolon,
+  kComma,
+  kAssign,     // =
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kLess,       // <
+  kLessEq,     // <=
+  kGreater,    // >
+  kGreaterEq,  // >=
+  kPlusPlus,   // ++
+  kEof,
+};
+
+const char* to_string(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  double number = 0.0;      ///< value when kind == kNumber
+  bool is_integer = false;  ///< literal had no '.', 'e' or 'E'
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenizes mini-C stencil source. Supports //- and /*...*/ comments.
+/// Throws ParseError on unknown characters.
+std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace nup::frontend

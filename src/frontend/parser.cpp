@@ -1,0 +1,258 @@
+#include "frontend/parser.hpp"
+
+#include <cmath>
+
+#include "frontend/lexer.hpp"
+#include "util/error.hpp"
+
+namespace nup::frontend {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  KernelAst parse() {
+    KernelAst ast = parse_loop();
+    expect(TokenKind::kEof);
+    return ast;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+  const Token& take() { return tokens_[pos_++]; }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(message, peek().line, peek().column);
+  }
+
+  const Token& expect(TokenKind kind) {
+    if (peek().kind != kind) {
+      fail(std::string("expected ") + to_string(kind) + ", found " +
+           to_string(peek().kind));
+    }
+    return take();
+  }
+
+  bool accept(TokenKind kind) {
+    if (peek().kind != kind) return false;
+    take();
+    return true;
+  }
+
+  KernelAst parse_loop() {
+    KernelAst ast;
+    parse_loop_into(ast);
+    return ast;
+  }
+
+  void parse_loop_into(KernelAst& ast) {
+    const Token& kw = expect(TokenKind::kFor);
+    Loop loop;
+    loop.line = kw.line;
+    expect(TokenKind::kLParen);
+    loop.var = expect(TokenKind::kIdent).text;
+    expect(TokenKind::kAssign);
+    loop.lower = parse_const_int();
+    expect(TokenKind::kSemicolon);
+    const std::string& cond_var = expect(TokenKind::kIdent).text;
+    if (cond_var != loop.var) {
+      fail("loop condition tests '" + cond_var + "' but the loop variable is '" +
+           loop.var + "'");
+    }
+    TokenKind rel = peek().kind;
+    if (rel != TokenKind::kLess && rel != TokenKind::kLessEq) {
+      fail("loop condition must use '<' or '<='");
+    }
+    take();
+    const std::int64_t bound = parse_const_int();
+    loop.upper = rel == TokenKind::kLess ? bound - 1 : bound;
+    expect(TokenKind::kSemicolon);
+    const std::string& inc_var = expect(TokenKind::kIdent).text;
+    if (inc_var != loop.var) {
+      fail("loop increments '" + inc_var + "' but the loop variable is '" +
+           loop.var + "'");
+    }
+    expect(TokenKind::kPlusPlus);
+    expect(TokenKind::kRParen);
+    ast.loops.push_back(std::move(loop));
+
+    const bool braced = accept(TokenKind::kLBrace);
+    if (peek().kind == TokenKind::kFor) {
+      parse_loop_into(ast);
+    } else {
+      parse_statement(ast);
+    }
+    if (braced) expect(TokenKind::kRBrace);
+  }
+
+  void parse_statement(KernelAst& ast) {
+    ast.output_array = expect(TokenKind::kIdent).text;
+    while (peek().kind == TokenKind::kLBracket) {
+      take();
+      ast.output_subscripts.push_back(expect(TokenKind::kIdent).text);
+      expect(TokenKind::kRBracket);
+    }
+    if (ast.output_subscripts.empty()) {
+      fail("assignment target must be an array element");
+    }
+    expect(TokenKind::kAssign);
+    ast.body = parse_expr();
+    expect(TokenKind::kSemicolon);
+  }
+
+  std::int64_t parse_const_int() {
+    const Token& at = peek();
+    ExprPtr expr = parse_expr();
+    double value = 0.0;
+    if (!fold(*expr, &value) || value != std::floor(value)) {
+      throw ParseError("loop bound must fold to an integer constant",
+                       at.line, at.column);
+    }
+    return static_cast<std::int64_t>(value);
+  }
+
+  static bool fold(const Expr& expr, double* value) {
+    switch (expr.kind) {
+      case ExprKind::kNumber:
+        *value = expr.number;
+        return true;
+      case ExprKind::kUnary: {
+        double inner = 0.0;
+        if (!fold(*expr.children[0], &inner)) return false;
+        *value = -inner;
+        return true;
+      }
+      case ExprKind::kBinary: {
+        double lhs = 0.0;
+        double rhs = 0.0;
+        if (!fold(*expr.children[0], &lhs) ||
+            !fold(*expr.children[1], &rhs)) {
+          return false;
+        }
+        switch (expr.op) {
+          case BinaryOp::kAdd: *value = lhs + rhs; return true;
+          case BinaryOp::kSub: *value = lhs - rhs; return true;
+          case BinaryOp::kMul: *value = lhs * rhs; return true;
+          case BinaryOp::kDiv:
+            if (rhs == 0.0) return false;
+            *value = lhs / rhs;
+            return true;
+        }
+        return false;
+      }
+      default:
+        return false;
+    }
+  }
+
+  ExprPtr parse_expr() {
+    ExprPtr lhs = parse_term();
+    while (peek().kind == TokenKind::kPlus ||
+           peek().kind == TokenKind::kMinus) {
+      const Token& op = take();
+      ExprPtr node = std::make_unique<Expr>();
+      node->kind = ExprKind::kBinary;
+      node->op = op.kind == TokenKind::kPlus ? BinaryOp::kAdd : BinaryOp::kSub;
+      node->line = op.line;
+      node->column = op.column;
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(parse_term());
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_term() {
+    ExprPtr lhs = parse_unary();
+    while (peek().kind == TokenKind::kStar ||
+           peek().kind == TokenKind::kSlash) {
+      const Token& op = take();
+      ExprPtr node = std::make_unique<Expr>();
+      node->kind = ExprKind::kBinary;
+      node->op = op.kind == TokenKind::kStar ? BinaryOp::kMul : BinaryOp::kDiv;
+      node->line = op.line;
+      node->column = op.column;
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(parse_unary());
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_unary() {
+    if (peek().kind == TokenKind::kMinus) {
+      const Token& op = take();
+      ExprPtr node = std::make_unique<Expr>();
+      node->kind = ExprKind::kUnary;
+      node->line = op.line;
+      node->column = op.column;
+      node->children.push_back(parse_unary());
+      return node;
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    const Token& at = peek();
+    if (at.kind == TokenKind::kNumber) {
+      take();
+      ExprPtr node = std::make_unique<Expr>();
+      node->kind = ExprKind::kNumber;
+      node->number = at.number;
+      node->is_integer = at.is_integer;
+      node->line = at.line;
+      node->column = at.column;
+      return node;
+    }
+    if (at.kind == TokenKind::kLParen) {
+      take();
+      ExprPtr node = parse_expr();
+      expect(TokenKind::kRParen);
+      return node;
+    }
+    if (at.kind == TokenKind::kIdent) {
+      take();
+      ExprPtr node = std::make_unique<Expr>();
+      node->name = at.text;
+      node->line = at.line;
+      node->column = at.column;
+      if (peek().kind == TokenKind::kLParen) {
+        take();
+        node->kind = ExprKind::kCall;
+        if (peek().kind != TokenKind::kRParen) {
+          node->children.push_back(parse_expr());
+          while (accept(TokenKind::kComma)) {
+            node->children.push_back(parse_expr());
+          }
+        }
+        expect(TokenKind::kRParen);
+        return node;
+      }
+      if (peek().kind == TokenKind::kLBracket) {
+        node->kind = ExprKind::kArrayRef;
+        while (accept(TokenKind::kLBracket)) {
+          node->subscripts.push_back(parse_expr());
+          expect(TokenKind::kRBracket);
+        }
+        return node;
+      }
+      node->kind = ExprKind::kVar;
+      return node;
+    }
+    fail(std::string("expected an expression, found ") +
+         to_string(at.kind));
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+KernelAst parse_kernel(const std::string& source) {
+  return Parser(tokenize(source)).parse();
+}
+
+}  // namespace nup::frontend

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+
+#include "frontend/ast.hpp"
+
+namespace nup::frontend {
+
+/// Parses mini-C stencil source of the Fig 1 form:
+///
+///   for (i = 1; i <= 766; i++)
+///     for (j = 1; j <= 1022; j++)
+///       B[i][j] = 0.2 * (A[i][j] + A[i-1][j] + A[i+1][j]
+///                        + A[i][j-1] + A[i][j+1]);
+///
+/// Loop bounds must fold to integer constants; braces around bodies are
+/// optional. Throws ParseError with source location on malformed input.
+KernelAst parse_kernel(const std::string& source);
+
+}  // namespace nup::frontend

@@ -1,0 +1,273 @@
+#include "frontend/sema.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "frontend/parser.hpp"
+#include "util/error.hpp"
+
+namespace nup::frontend {
+
+namespace {
+
+/// Affine view of a subscript expression: sum(coeff[var] * var) + constant.
+struct AffineForm {
+  std::map<std::string, std::int64_t> coeffs;
+  std::int64_t constant = 0;
+};
+
+bool extract_affine(const Expr& expr, AffineForm* out) {
+  switch (expr.kind) {
+    case ExprKind::kNumber:
+      if (!expr.is_integer) return false;
+      out->constant += static_cast<std::int64_t>(expr.number);
+      return true;
+    case ExprKind::kVar:
+      out->coeffs[expr.name] += 1;
+      return true;
+    case ExprKind::kUnary: {
+      AffineForm inner;
+      if (!extract_affine(*expr.children[0], &inner)) return false;
+      for (const auto& [var, c] : inner.coeffs) out->coeffs[var] -= c;
+      out->constant -= inner.constant;
+      return true;
+    }
+    case ExprKind::kBinary: {
+      if (expr.op == BinaryOp::kAdd || expr.op == BinaryOp::kSub) {
+        AffineForm lhs;
+        AffineForm rhs;
+        if (!extract_affine(*expr.children[0], &lhs) ||
+            !extract_affine(*expr.children[1], &rhs)) {
+          return false;
+        }
+        const std::int64_t sign = expr.op == BinaryOp::kAdd ? 1 : -1;
+        out->coeffs = std::move(lhs.coeffs);
+        out->constant = lhs.constant + sign * rhs.constant;
+        for (const auto& [var, c] : rhs.coeffs) out->coeffs[var] += sign * c;
+        return true;
+      }
+      return false;  // products/quotients are not stencil subscripts
+    }
+    default:
+      return false;
+  }
+}
+
+struct RefKey {
+  std::string array;
+  poly::IntVec offset;
+
+  bool operator<(const RefKey& other) const {
+    if (array != other.array) return array < other.array;
+    return std::lexicographical_compare(offset.begin(), offset.end(),
+                                        other.offset.begin(),
+                                        other.offset.end());
+  }
+};
+
+struct Collected {
+  /// Input arrays in first-appearance order with offsets in
+  /// first-appearance order.
+  std::vector<std::string> array_order;
+  std::map<std::string, std::vector<poly::IntVec>> offsets_by_array;
+  std::map<RefKey, std::size_t> slot_by_ref;  // filled after collection
+  std::vector<Expr*> ref_nodes;
+};
+
+void collect_refs(Expr& expr, const KernelAst& ast, Collected* collected) {
+  switch (expr.kind) {
+    case ExprKind::kArrayRef: {
+      if (expr.name == ast.output_array) {
+        throw NotStencilError("array '" + expr.name +
+                              "' is both read and written");
+      }
+      if (expr.subscripts.size() != ast.loops.size()) {
+        throw NotStencilError(
+            "reference to '" + expr.name + "' has " +
+            std::to_string(expr.subscripts.size()) + " subscripts for a " +
+            std::to_string(ast.loops.size()) + "-deep loop nest");
+      }
+      poly::IntVec offset(ast.loops.size(), 0);
+      for (std::size_t d = 0; d < expr.subscripts.size(); ++d) {
+        AffineForm form;
+        if (!extract_affine(*expr.subscripts[d], &form)) {
+          throw NotStencilError("subscript " + std::to_string(d) + " of '" +
+                                expr.name + "' is not affine");
+        }
+        for (const auto& [var, c] : form.coeffs) {
+          if (c == 0) continue;
+          if (var != ast.loops[d].var || c != 1) {
+            throw NotStencilError(
+                "subscript " + std::to_string(d) + " of '" + expr.name +
+                "' must be '" + ast.loops[d].var +
+                " + constant' for a stencil access (Definition 4)");
+          }
+        }
+        if (form.coeffs.find(ast.loops[d].var) == form.coeffs.end() ||
+            form.coeffs.at(ast.loops[d].var) != 1) {
+          throw NotStencilError("subscript " + std::to_string(d) + " of '" +
+                                expr.name + "' does not use loop variable '" +
+                                ast.loops[d].var + "'");
+        }
+        offset[d] = form.constant;
+      }
+      auto& offsets = collected->offsets_by_array[expr.name];
+      if (collected->offsets_by_array.size() >
+          collected->array_order.size()) {
+        collected->array_order.push_back(expr.name);
+      }
+      const RefKey key{expr.name, offset};
+      if (collected->slot_by_ref.emplace(key, 0).second) {
+        offsets.push_back(offset);
+      }
+      collected->ref_nodes.push_back(&expr);
+      break;
+    }
+    case ExprKind::kVar:
+      throw NotStencilError(
+          "loop variable '" + expr.name +
+          "' cannot appear in the kernel outside array subscripts: the "
+          "decoupled computation kernel sees only data values");
+    case ExprKind::kCall: {
+      static const std::map<std::string, std::size_t> kBuiltins = {
+          {"sqrt", 1}, {"fabs", 1}, {"abs", 1},
+          {"exp", 1},  {"log", 1},  {"fmin", 2},
+          {"fmax", 2}};
+      const auto it = kBuiltins.find(expr.name);
+      if (it == kBuiltins.end()) {
+        throw NotStencilError("unknown function '" + expr.name + "'");
+      }
+      if (expr.children.size() != it->second) {
+        throw NotStencilError("function '" + expr.name + "' expects " +
+                              std::to_string(it->second) + " argument(s)");
+      }
+      for (ExprPtr& child : expr.children) {
+        collect_refs(*child, ast, collected);
+      }
+      break;
+    }
+    default:
+      for (ExprPtr& child : expr.children) {
+        collect_refs(*child, ast, collected);
+      }
+      break;
+  }
+}
+
+double evaluate(const Expr& expr, const std::vector<double>& values) {
+  switch (expr.kind) {
+    case ExprKind::kNumber:
+      return expr.number;
+    case ExprKind::kArrayRef:
+      return values[expr.ref_slot];
+    case ExprKind::kUnary:
+      return -evaluate(*expr.children[0], values);
+    case ExprKind::kBinary: {
+      const double lhs = evaluate(*expr.children[0], values);
+      const double rhs = evaluate(*expr.children[1], values);
+      switch (expr.op) {
+        case BinaryOp::kAdd: return lhs + rhs;
+        case BinaryOp::kSub: return lhs - rhs;
+        case BinaryOp::kMul: return lhs * rhs;
+        case BinaryOp::kDiv: return lhs / rhs;
+      }
+      return 0.0;
+    }
+    case ExprKind::kCall: {
+      const double a = evaluate(*expr.children[0], values);
+      if (expr.name == "sqrt") return std::sqrt(a);
+      if (expr.name == "fabs" || expr.name == "abs") return std::fabs(a);
+      if (expr.name == "exp") return std::exp(a);
+      if (expr.name == "log") return std::log(a);
+      const double b = evaluate(*expr.children[1], values);
+      if (expr.name == "fmin") return std::fmin(a, b);
+      return std::fmax(a, b);
+    }
+    case ExprKind::kVar:
+      break;  // rejected by collect_refs
+  }
+  throw Error("unevaluable expression node");
+}
+
+}  // namespace
+
+stencil::StencilProgram analyze(KernelAst ast, const std::string& name) {
+  if (ast.loops.empty() || !ast.body) {
+    throw NotStencilError("kernel has no loop nest or body");
+  }
+  for (std::size_t a = 0; a < ast.loops.size(); ++a) {
+    for (std::size_t b = a + 1; b < ast.loops.size(); ++b) {
+      if (ast.loops[a].var == ast.loops[b].var) {
+        throw NotStencilError("duplicate loop variable '" +
+                              ast.loops[a].var + "'");
+      }
+    }
+    if (ast.loops[a].lower > ast.loops[a].upper) {
+      throw NotStencilError("loop over '" + ast.loops[a].var +
+                            "' has an empty range");
+    }
+  }
+  if (ast.output_subscripts.size() != ast.loops.size()) {
+    throw NotStencilError("output array dimensionality does not match the "
+                          "loop nest depth");
+  }
+  for (std::size_t d = 0; d < ast.loops.size(); ++d) {
+    if (ast.output_subscripts[d] != ast.loops[d].var) {
+      throw NotStencilError("output subscript " + std::to_string(d) +
+                            " must be the loop variable '" +
+                            ast.loops[d].var + "'");
+    }
+  }
+
+  Collected collected;
+  collect_refs(*ast.body, ast, &collected);
+  if (collected.array_order.empty()) {
+    throw NotStencilError("kernel reads no input arrays");
+  }
+
+  // Assign flattened slots: arrays in first-appearance order, references in
+  // first-appearance order -- exactly StencilProgram's gathered-value
+  // layout.
+  std::size_t slot = 0;
+  for (const std::string& array : collected.array_order) {
+    for (const poly::IntVec& offset : collected.offsets_by_array[array]) {
+      collected.slot_by_ref[RefKey{array, offset}] = slot++;
+    }
+  }
+  for (Expr* node : collected.ref_nodes) {
+    poly::IntVec offset(ast.loops.size(), 0);
+    for (std::size_t d = 0; d < node->subscripts.size(); ++d) {
+      AffineForm sub_form;
+      extract_affine(*node->subscripts[d], &sub_form);
+      offset[d] = sub_form.constant;
+    }
+    node->ref_slot = collected.slot_by_ref.at(RefKey{node->name, offset});
+  }
+
+  poly::IntVec lo(ast.loops.size());
+  poly::IntVec hi(ast.loops.size());
+  for (std::size_t d = 0; d < ast.loops.size(); ++d) {
+    lo[d] = ast.loops[d].lower;
+    hi[d] = ast.loops[d].upper;
+  }
+  stencil::StencilProgram program(name, poly::Domain::box(lo, hi));
+  for (const std::string& array : collected.array_order) {
+    program.add_input(array, collected.offsets_by_array[array]);
+  }
+  program.set_output(ast.output_array);
+
+  auto shared_ast = std::make_shared<KernelAst>(std::move(ast));
+  program.set_kernel([shared_ast](const std::vector<double>& values) {
+    return evaluate(*shared_ast->body, values);
+  });
+  return program;
+}
+
+stencil::StencilProgram parse_stencil(const std::string& source,
+                                      const std::string& name) {
+  return analyze(parse_kernel(source), name);
+}
+
+}  // namespace nup::frontend

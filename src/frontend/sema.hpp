@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+
+#include "frontend/ast.hpp"
+#include "stencil/program.hpp"
+
+namespace nup::frontend {
+
+/// Semantic analysis: checks that the parsed kernel is a stencil
+/// computation under Definition 4 (perfect loop nest with constant bounds,
+/// every array subscript of the form loop_var + constant) and lowers it to
+/// a StencilProgram whose kernel function evaluates the original
+/// expression. Throws NotStencilError/ParseError on violations.
+stencil::StencilProgram analyze(KernelAst ast, const std::string& name);
+
+/// parse_kernel + analyze in one step.
+stencil::StencilProgram parse_stencil(const std::string& source,
+                                      const std::string& name);
+
+}  // namespace nup::frontend

@@ -1,0 +1,14 @@
+#include "hls/device.hpp"
+
+namespace nup::hls {
+
+DeviceModel virtex7_485t() {
+  DeviceModel device;
+  device.name = "xc7vx485t";
+  device.bram18k = 2060;
+  device.slices = 75900;
+  device.dsp48 = 2800;
+  return device;
+}
+
+}  // namespace nup::hls

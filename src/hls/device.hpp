@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nup::hls {
+
+/// FPGA capacity and unit-delay model. Replaces the Xilinx ISE 14.2 back
+/// end of the paper's flow (DESIGN.md §3): calibrated to Virtex-7-class
+/// fabric so the comparisons have the same shape as Table 5, not the same
+/// absolute cells.
+struct DeviceModel {
+  std::string name;
+  std::int64_t bram18k = 0;   ///< total 18Kb block RAMs
+  std::int64_t slices = 0;    ///< total logic slices (4 LUT6 + 8 FF each)
+  std::int64_t dsp48 = 0;     ///< total DSP48 blocks
+
+  double target_period_ns = 5.0;  ///< 200 MHz target (Section 5.1)
+
+  // Unit delays of the timing model.
+  double ff_clk_to_q_ns = 0.35;
+  double lut_delay_ns = 0.25;       ///< one LUT6 level including local route
+  double carry_per_4bit_ns = 0.06;  ///< carry-chain propagation
+  double bram_access_ns = 1.8;      ///< synchronous BRAM read
+  double dsp_mult_ns = 2.4;         ///< DSP48 multiply (pipelined once)
+  double route_overhead_ns = 0.9;   ///< global routing margin
+};
+
+/// The paper's target device: Xilinx Virtex-7 XC7VX485T.
+DeviceModel virtex7_485t();
+
+}  // namespace nup::hls

@@ -1,0 +1,231 @@
+#include "hls/estimate.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace nup::hls {
+
+namespace {
+
+/// ceil(log2(max(2, x))).
+int bits_for(std::int64_t x) {
+  int bits = 1;
+  std::int64_t cap = 2;
+  while (cap < x) {
+    cap <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+bool is_power_of_two(std::int64_t x) { return x > 0 && (x & (x - 1)) == 0; }
+
+/// Sum of counter widths over the streamed grid extents.
+int counter_bits(const poly::IntVec& extents) {
+  int total = 0;
+  for (std::int64_t e : extents) total += bits_for(e);
+  return total;
+}
+
+poly::IntVec domain_extents(const poly::Domain& domain) {
+  poly::IntVec lo;
+  poly::IntVec hi;
+  if (domain.as_single_box(&lo, &hi)) {
+    poly::IntVec extents(lo.size());
+    for (std::size_t d = 0; d < lo.size(); ++d) extents[d] = hi[d] - lo[d] + 1;
+    return extents;
+  }
+  // Non-box domain: size counters by the per-axis hulls of the pieces.
+  poly::IntVec extents(domain.dim(), 2);
+  for (std::size_t d = 0; d < domain.dim(); ++d) {
+    std::int64_t lo_d = 0;
+    std::int64_t hi_d = 0;
+    bool any = false;
+    for (const poly::Polyhedron& piece : domain.pieces()) {
+      const poly::Interval range = piece.axis_range(d);
+      if (range.empty()) continue;
+      lo_d = any ? std::min(lo_d, range.lo) : range.lo;
+      hi_d = any ? std::max(hi_d, range.hi) : range.hi;
+      any = true;
+    }
+    if (any) extents[d] = hi_d - lo_d + 1;
+  }
+  return extents;
+}
+
+}  // namespace
+
+ResourceUsage& ResourceUsage::operator+=(const ResourceUsage& other) {
+  bram18k += other.bram18k;
+  slices += other.slices;
+  dsp48 += other.dsp48;
+  clock_period_ns = std::max(clock_period_ns, other.clock_period_ns);
+  return *this;
+}
+
+std::int64_t bram18k_blocks(std::int64_t depth, int width) {
+  if (depth <= 0 || width <= 0) return 0;
+  struct Aspect {
+    std::int64_t depth;
+    int width;
+  };
+  static constexpr Aspect kAspects[] = {{512, 36},  {1024, 18}, {2048, 9},
+                                        {4096, 4},  {8192, 2},  {16384, 1}};
+  std::int64_t best = -1;
+  for (const Aspect& aspect : kAspects) {
+    const std::int64_t blocks =
+        ceil_div(width, aspect.width) * ceil_div(depth, aspect.depth);
+    if (best < 0 || blocks < best) best = blocks;
+  }
+  return best;
+}
+
+ResourceUsage estimate_streaming(const arch::MemorySystem& system,
+                                 const stencil::StencilProgram& program,
+                                 const DeviceModel& device,
+                                 const EstimateOptions& options) {
+  const int width = options.data_width_bits;
+  ResourceUsage usage;
+
+  bool any_bram = false;
+  for (const arch::ReuseFifo& fifo : system.fifos) {
+    if (fifo.cut) continue;
+    switch (fifo.impl) {
+      case arch::BufferImpl::kRegister:
+        usage.slices += ceil_div(fifo.depth * width, 8) + 2;
+        break;
+      case arch::BufferImpl::kShiftRegister:
+        // SRL32: one LUT per bit per 32 stages.
+        usage.slices += ceil_div(width * ceil_div(fifo.depth, 32), 4) + 2;
+        break;
+      case arch::BufferImpl::kBlockRam:
+        usage.bram18k += bram18k_blocks(fifo.depth, width);
+        usage.slices += 4 + bits_for(fifo.depth) / 2;
+        any_bram = true;
+        break;
+    }
+  }
+
+  // Data filters: an input counter over D_A, an output counter over D_Ax,
+  // an equality comparator (Fig 10), plus one adder per non-bound
+  // constraint on general polyhedral domains.
+  const poly::IntVec extents = domain_extents(system.input_domain);
+  const int cbits = counter_bits(extents);
+  std::size_t extra_constraints = 0;
+  for (const poly::Polyhedron& piece : program.iteration().pieces()) {
+    for (const poly::Constraint& c : piece.constraints()) {
+      std::size_t nonzero = 0;
+      for (std::int64_t v : c.expr.coeffs) nonzero += (v != 0) ? 1 : 0;
+      if (nonzero > 1) ++extra_constraints;
+    }
+  }
+  // Each counter needs, per dimension, an incrementer, a wrap comparator
+  // and a next-value mux (~3 slices per 4 counter bits), and the filter
+  // adds the data switch and stall handshake.
+  const std::int64_t counter_slices = 3 * ceil_div(cbits, 4) + 4;
+  const std::int64_t filter_slices =
+      2 * counter_slices                                        // in + out
+      + ceil_div(cbits, 6) + 1                                  // comparator
+      + static_cast<std::int64_t>(extra_constraints) * ceil_div(cbits, 4)
+      + 10;                                      // data switch + handshake
+  usage.slices +=
+      filter_slices * static_cast<std::int64_t>(system.filter_count());
+
+  // Splitters (data fanout registers) and the off-chip stream
+  // interface(s).
+  usage.slices +=
+      ceil_div(width, 8) * static_cast<std::int64_t>(system.filter_count());
+  usage.slices += 6 * static_cast<std::int64_t>(system.stream_count());
+
+  // Critical path: counter carry chain + compare + routing; a BRAM FIFO
+  // read if any. Fanout of the kernel-fire signal grows with the filter
+  // count.
+  const double counter_path = device.ff_clk_to_q_ns +
+                              ceil_div(cbits, 4) * device.carry_per_4bit_ns +
+                              2 * device.lut_delay_ns +
+                              device.route_overhead_ns;
+  const double bram_path =
+      any_bram
+          ? device.ff_clk_to_q_ns + device.bram_access_ns +
+                device.lut_delay_ns + device.route_overhead_ns
+          : 0.0;
+  // The kernel-fire signal fans out to every filter; the back end stops
+  // optimizing once the target period is met, so the period saturates just
+  // below the target (Section 5.2's "larger slacks" observation).
+  const double fanout_ns =
+      1.20 + 0.035 * static_cast<double>(system.filter_count());
+  usage.clock_period_ns = std::min(
+      std::max(counter_path, bram_path) + fanout_ns,
+      device.target_period_ns - 0.05);
+  return usage;
+}
+
+ResourceUsage estimate_streaming(const arch::AcceleratorDesign& design,
+                                 const stencil::StencilProgram& program,
+                                 const DeviceModel& device,
+                                 const EstimateOptions& options) {
+  ResourceUsage usage;
+  for (const arch::MemorySystem& system : design.systems) {
+    usage += estimate_streaming(system, program, device, options);
+  }
+  return usage;
+}
+
+ResourceUsage estimate_uniform(const baseline::UniformPartition& partition,
+                               std::size_t load_ports,
+                               const DeviceModel& device,
+                               const EstimateOptions& options) {
+  const int width = options.data_width_bits;
+  const std::int64_t banks = static_cast<std::int64_t>(partition.banks);
+  ResourceUsage usage;
+
+  // Uniform banks all live in block RAM (the conventional mapping the
+  // paper contrasts with its heterogeneous one).
+  usage.bram18k += banks * bram18k_blocks(partition.bank_depth, width);
+  usage.slices += banks * 4;
+
+  // Per-port address transformer: alpha dot h, bank id = (.) mod N and the
+  // intra-bank address (.) div N. Multiplication/division by a non-power-
+  // of-two bank count maps to DSP-based reciprocal arithmetic; this is the
+  // "complex calculation involving multiplication and division" the paper
+  // eliminates.
+  const int abits = counter_bits(partition.padded_extents);
+  const std::int64_t ports = static_cast<std::int64_t>(load_ports) + 1;
+  const bool pow2 = is_power_of_two(banks);
+  for (std::int64_t p = 0; p < ports; ++p) {
+    usage.slices += ceil_div(abits, 4) + 2;  // scheme dot product
+    if (pow2) {
+      usage.slices += 4;  // mask + shift
+    } else {
+      usage.dsp48 += 5;   // 2 for mod, 3 for divide
+      usage.slices += 35;
+    }
+  }
+
+  // n x N read crossbar (32-bit N-to-1 mux per port).
+  usage.slices +=
+      static_cast<std::int64_t>(load_ports) * ceil_div(width * (banks - 1), 12);
+
+  // Centralized controller: fill/evict sequencing plus grid counters.
+  usage.slices += 60 + ceil_div(abits, 4) + 1;
+
+  // Critical path: the modulo/divide address transform feeding the bank
+  // crossbar.
+  const double addr_path =
+      pow2 ? device.ff_clk_to_q_ns + 3 * device.lut_delay_ns +
+                 ceil_div(abits, 4) * device.carry_per_4bit_ns +
+                 device.route_overhead_ns
+           : device.ff_clk_to_q_ns + device.dsp_mult_ns +
+                 2 * device.lut_delay_ns + device.route_overhead_ns;
+  const double crossbar_ns = 0.25 * static_cast<double>(bits_for(banks));
+  usage.clock_period_ns =
+      std::min(addr_path + crossbar_ns, device.target_period_ns - 0.02);
+  return usage;
+}
+
+}  // namespace nup::hls

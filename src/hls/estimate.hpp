@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+
+#include "arch/design.hpp"
+#include "baseline/partition.hpp"
+#include "hls/device.hpp"
+#include "stencil/program.hpp"
+
+namespace nup::hls {
+
+/// Post-synthesis physical usage of one design (the Table 5 columns).
+struct ResourceUsage {
+  std::int64_t bram18k = 0;
+  std::int64_t slices = 0;
+  std::int64_t dsp48 = 0;
+  double clock_period_ns = 0.0;
+
+  /// Component-wise sum; the clock period is the maximum of the two.
+  ResourceUsage& operator+=(const ResourceUsage& other);
+};
+
+struct EstimateOptions {
+  int data_width_bits = 32;
+};
+
+/// Minimum number of BRAM18K blocks holding `depth` words of `width` bits,
+/// choosing the best of the native aspect ratios (512x36 ... 16384x1).
+std::int64_t bram18k_blocks(std::int64_t depth, int width);
+
+/// Resource estimate for one memory system of the paper's streaming
+/// microarchitecture: heterogeneous FIFOs, lexicographic counters in the
+/// filters, no address arithmetic -- hence no DSPs (Section 5.2).
+ResourceUsage estimate_streaming(const arch::MemorySystem& system,
+                                 const stencil::StencilProgram& program,
+                                 const DeviceModel& device,
+                                 const EstimateOptions& options = {});
+
+/// Whole-accelerator estimate (sum over memory systems).
+ResourceUsage estimate_streaming(const arch::AcceleratorDesign& design,
+                                 const stencil::StencilProgram& program,
+                                 const DeviceModel& device,
+                                 const EstimateOptions& options = {});
+
+/// Resource estimate for a uniform-partitioning design ([5]/[8]): all banks
+/// in block RAM, a modulo/divide address transformer per load port (DSPs
+/// unless the bank count is a power of two), an n x N crossbar and a
+/// centralized controller.
+ResourceUsage estimate_uniform(const baseline::UniformPartition& partition,
+                               std::size_t load_ports,
+                               const DeviceModel& device,
+                               const EstimateOptions& options = {});
+
+}  // namespace nup::hls

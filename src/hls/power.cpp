@@ -1,0 +1,46 @@
+#include "hls/power.hpp"
+
+namespace nup::hls {
+
+namespace {
+
+// Unit dynamic power at 100% toggle, 100 MHz (mW per instance); scaled
+// linearly with clock and activity. Ballpark figures for 28 nm fabric.
+constexpr double kBramMwUnit = 9.0;
+constexpr double kSliceMwUnit = 0.035;
+constexpr double kDspMwUnit = 4.5;
+
+// Device leakage for a Virtex-7-class part (mW).
+constexpr double kStaticMw = 1200.0;
+
+}  // namespace
+
+PowerEstimate estimate_power(const ResourceUsage& usage,
+                             const DeviceModel& device,
+                             const ActivityModel& activity) {
+  PowerEstimate out;
+  out.static_mw = kStaticMw;
+  const double scale = (activity.clock_mhz / 100.0) * activity.toggle_rate;
+  out.dynamic_mw = scale * (kBramMwUnit * static_cast<double>(usage.bram18k) +
+                            kSliceMwUnit * static_cast<double>(usage.slices) +
+                            kDspMwUnit * static_cast<double>(usage.dsp48));
+  // Occupied fraction: the dominant resource decides how much of the
+  // fabric must stay powered.
+  double fraction = 0.0;
+  if (device.bram18k > 0) {
+    fraction = std::max(fraction, static_cast<double>(usage.bram18k) /
+                                      static_cast<double>(device.bram18k));
+  }
+  if (device.slices > 0) {
+    fraction = std::max(fraction, static_cast<double>(usage.slices) /
+                                      static_cast<double>(device.slices));
+  }
+  if (device.dsp48 > 0) {
+    fraction = std::max(fraction, static_cast<double>(usage.dsp48) /
+                                      static_cast<double>(device.dsp48));
+  }
+  out.gated_mw = out.static_mw * fraction + out.dynamic_mw;
+  return out;
+}
+
+}  // namespace nup::hls

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "hls/device.hpp"
+#include "hls/estimate.hpp"
+
+namespace nup::hls {
+
+/// Activity assumptions for dynamic power.
+struct ActivityModel {
+  double clock_mhz = 200.0;
+  double toggle_rate = 0.25;  ///< average fraction of nets switching
+};
+
+/// Power estimate reproducing the paper's Section 5.2 observation: on the
+/// Virtex-7 the total is dominated by device static power and barely
+/// changes between designs, but *if power gating were available* the
+/// static share would scale with resource usage and the comparison would
+/// mirror Table 5.
+struct PowerEstimate {
+  double static_mw = 0.0;   ///< device leakage, design-invariant
+  double dynamic_mw = 0.0;  ///< activity-dependent
+  /// Hypothetical power-gated total: leakage scaled by the fraction of the
+  /// device actually occupied, plus dynamic.
+  double gated_mw = 0.0;
+
+  double total_mw() const { return static_mw + dynamic_mw; }
+};
+
+PowerEstimate estimate_power(const ResourceUsage& usage,
+                             const DeviceModel& device,
+                             const ActivityModel& activity = {});
+
+}  // namespace nup::hls

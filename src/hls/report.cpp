@@ -1,0 +1,70 @@
+#include "hls/report.hpp"
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace nup::hls {
+
+double SynthesisComparison::delta(std::int64_t ours_v,
+                                  std::int64_t baseline_v) {
+  if (baseline_v == 0) return 0.0;
+  return static_cast<double>(ours_v - baseline_v) /
+         static_cast<double>(baseline_v);
+}
+
+SynthesisAverages average_deltas(
+    const std::vector<SynthesisComparison>& rows) {
+  SynthesisAverages avg;
+  if (rows.empty()) return avg;
+  for (const SynthesisComparison& row : rows) {
+    avg.bram += SynthesisComparison::delta(row.ours.bram18k,
+                                           row.baseline.bram18k);
+    avg.slices +=
+        SynthesisComparison::delta(row.ours.slices, row.baseline.slices);
+    avg.dsp += SynthesisComparison::delta(row.ours.dsp48, row.baseline.dsp48);
+    if (row.baseline.clock_period_ns > 0) {
+      avg.clock_period += (row.ours.clock_period_ns -
+                           row.baseline.clock_period_ns) /
+                          row.baseline.clock_period_ns;
+    }
+  }
+  const double n = static_cast<double>(rows.size());
+  avg.bram /= n;
+  avg.slices /= n;
+  avg.dsp /= n;
+  avg.clock_period /= n;
+  return avg;
+}
+
+std::string render_synthesis_table(
+    const std::vector<SynthesisComparison>& rows) {
+  TextTable table("Table 5: post-synthesis results ([8] vs ours)");
+  table.set_header(
+      {"benchmark", "", "BRAM18K", "Slice", "DSP", "CP (ns)"});
+  for (const SynthesisComparison& row : rows) {
+    table.add_row({row.benchmark, "[8]", cell(row.baseline.bram18k),
+                   cell(row.baseline.slices), cell(row.baseline.dsp48),
+                   cell(row.baseline.clock_period_ns, 2)});
+    table.add_row({"", "ours", cell(row.ours.bram18k), cell(row.ours.slices),
+                   cell(row.ours.dsp48), cell(row.ours.clock_period_ns, 2)});
+    table.add_row(
+        {"", "comp.",
+         format_percent(SynthesisComparison::delta(row.ours.bram18k,
+                                                   row.baseline.bram18k)),
+         format_percent(SynthesisComparison::delta(row.ours.slices,
+                                                   row.baseline.slices)),
+         format_percent(SynthesisComparison::delta(row.ours.dsp48,
+                                                   row.baseline.dsp48)),
+         format_percent((row.ours.clock_period_ns -
+                         row.baseline.clock_period_ns) /
+                        row.baseline.clock_period_ns)});
+    table.add_separator();
+  }
+  const SynthesisAverages avg = average_deltas(rows);
+  table.add_row({"Average", "", format_percent(avg.bram),
+                 format_percent(avg.slices), format_percent(avg.dsp),
+                 format_percent(avg.clock_period)});
+  return table.to_string();
+}
+
+}  // namespace nup::hls

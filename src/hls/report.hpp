@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hls/estimate.hpp"
+
+namespace nup::hls {
+
+/// One benchmark row of the Table 5 comparison.
+struct SynthesisComparison {
+  std::string benchmark;
+  ResourceUsage baseline;  ///< uniform partitioning [8]
+  ResourceUsage ours;      ///< streaming microarchitecture
+
+  /// Relative change of ours vs the baseline, e.g. -0.66 for 66% fewer.
+  /// Returns 0 when the baseline count is 0.
+  static double delta(std::int64_t ours_v, std::int64_t baseline_v);
+};
+
+/// Arithmetic means of the per-benchmark deltas (the "Average(%)" row).
+struct SynthesisAverages {
+  double bram = 0.0;
+  double slices = 0.0;
+  double dsp = 0.0;
+  double clock_period = 0.0;
+};
+
+SynthesisAverages average_deltas(
+    const std::vector<SynthesisComparison>& rows);
+
+/// Renders the full Table 5 (BRAM / Slice / DSP / CP, [8] vs ours vs
+/// comparison %, plus the average row).
+std::string render_synthesis_table(
+    const std::vector<SynthesisComparison>& rows);
+
+}  // namespace nup::hls

@@ -1,0 +1,61 @@
+#include "poly/affine.hpp"
+
+#include "util/error.hpp"
+
+namespace nup::poly {
+
+std::int64_t AffineExpr::evaluate(const IntVec& point) const {
+  if (point.size() != coeffs.size()) {
+    throw Error("AffineExpr::evaluate dimension mismatch");
+  }
+  std::int64_t acc = constant;
+  for (std::size_t i = 0; i < coeffs.size(); ++i) acc += coeffs[i] * point[i];
+  return acc;
+}
+
+AffineExpr AffineExpr::translated(const IntVec& t) const {
+  if (t.size() != coeffs.size()) {
+    throw Error("AffineExpr::translated dimension mismatch");
+  }
+  AffineExpr out = *this;
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    out.constant -= coeffs[i] * t[i];
+  }
+  return out;
+}
+
+std::string AffineExpr::to_string() const {
+  std::string out;
+  bool first = true;
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    if (coeffs[i] == 0) continue;
+    if (!first) out += coeffs[i] > 0 ? " + " : " - ";
+    else if (coeffs[i] < 0) out += "-";
+    const std::int64_t mag = coeffs[i] < 0 ? -coeffs[i] : coeffs[i];
+    if (mag != 1) out += std::to_string(mag) + "*";
+    out += "x" + std::to_string(i);
+    first = false;
+  }
+  if (first) return std::to_string(constant);
+  if (constant > 0) out += " + " + std::to_string(constant);
+  if (constant < 0) out += " - " + std::to_string(-constant);
+  return out;
+}
+
+Constraint lower_bound(std::size_t dim, std::size_t axis, std::int64_t lo) {
+  IntVec coeffs(dim, 0);
+  coeffs[axis] = 1;
+  return Constraint{AffineExpr(std::move(coeffs), -lo)};
+}
+
+Constraint upper_bound(std::size_t dim, std::size_t axis, std::int64_t hi) {
+  IntVec coeffs(dim, 0);
+  coeffs[axis] = -1;
+  return Constraint{AffineExpr(std::move(coeffs), hi)};
+}
+
+Constraint make_constraint(IntVec coeffs, std::int64_t constant) {
+  return Constraint{AffineExpr(std::move(coeffs), constant)};
+}
+
+}  // namespace nup::poly

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "poly/int_vec.hpp"
+
+namespace nup::poly {
+
+/// Affine expression c0*x0 + c1*x1 + ... + constant over grid coordinates.
+struct AffineExpr {
+  IntVec coeffs;
+  std::int64_t constant = 0;
+
+  AffineExpr() = default;
+  AffineExpr(IntVec c, std::int64_t k) : coeffs(std::move(c)), constant(k) {}
+
+  std::size_t dim() const { return coeffs.size(); }
+
+  std::int64_t evaluate(const IntVec& point) const;
+
+  /// Expression over the translated space: if g(x) = f(x - t), then
+  /// evaluating g at x equals evaluating f at x - t.
+  AffineExpr translated(const IntVec& t) const;
+
+  std::string to_string() const;
+};
+
+/// Linear inequality `expr >= 0` (every polyhedron constraint is normalized
+/// to this form; equalities are expressed as a pair of inequalities).
+struct Constraint {
+  AffineExpr expr;
+
+  bool satisfied(const IntVec& point) const { return expr.evaluate(point) >= 0; }
+  std::size_t dim() const { return expr.dim(); }
+  std::string to_string() const { return expr.to_string() + " >= 0"; }
+};
+
+/// xk - lo >= 0, i.e. xk >= lo.
+Constraint lower_bound(std::size_t dim, std::size_t axis, std::int64_t lo);
+
+/// hi - xk >= 0, i.e. xk <= hi.
+Constraint upper_bound(std::size_t dim, std::size_t axis, std::int64_t hi);
+
+/// General constraint sum(coeffs[i]*xi) + constant >= 0.
+Constraint make_constraint(IntVec coeffs, std::int64_t constant);
+
+}  // namespace nup::poly

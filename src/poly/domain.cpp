@@ -1,0 +1,255 @@
+#include "poly/domain.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace nup::poly {
+
+namespace {
+
+constexpr std::int64_t kEnumerationGuard = 1'000'000'000;
+
+void require_prefix(const IntVec& prefix, std::size_t needed) {
+  if (prefix.size() < needed) {
+    throw Error("Domain: prefix of size " + std::to_string(prefix.size()) +
+                " is too short, need " + std::to_string(needed));
+  }
+}
+
+}  // namespace
+
+Domain::Domain(Polyhedron piece) { pieces_.push_back(std::move(piece)); }
+
+Domain Domain::box(const IntVec& lo, const IntVec& hi) {
+  return Domain(Polyhedron::box(lo, hi));
+}
+
+void Domain::add_piece(Polyhedron piece) {
+  if (!pieces_.empty() && piece.dim() != dim()) {
+    throw Error("Domain::add_piece dimension mismatch");
+  }
+  pieces_.push_back(std::move(piece));
+  count_cache_.reset();
+}
+
+std::size_t Domain::dim() const {
+  if (pieces_.empty()) throw Error("Domain::dim on empty union");
+  return pieces_.front().dim();
+}
+
+bool Domain::contains(const IntVec& point) const {
+  return std::any_of(pieces_.begin(), pieces_.end(),
+                     [&](const Polyhedron& p) { return p.contains(point); });
+}
+
+Domain Domain::translated(const IntVec& t) const {
+  Domain out;
+  for (const Polyhedron& p : pieces_) out.add_piece(p.translated(t));
+  return out;
+}
+
+std::vector<Interval> Domain::row_intervals(const IntVec& prefix) const {
+  require_prefix(prefix, dim() - 1);
+  std::vector<Interval> intervals;
+  intervals.reserve(pieces_.size());
+  for (const Polyhedron& p : pieces_) {
+    Interval iv = p.level_bounds(prefix, dim() - 1);
+    if (!iv.empty()) intervals.push_back(iv);
+  }
+  return merge_intervals(std::move(intervals));
+}
+
+Interval Domain::level_hull(const IntVec& prefix, std::size_t level) const {
+  require_prefix(prefix, level);
+  Interval hull;  // empty
+  bool any = false;
+  for (const Polyhedron& p : pieces_) {
+    Interval iv = p.level_bounds(prefix, level);
+    if (iv.empty()) continue;
+    if (!any) {
+      hull = iv;
+      any = true;
+    } else {
+      hull.lo = std::min(hull.lo, iv.lo);
+      hull.hi = std::max(hull.hi, iv.hi);
+    }
+  }
+  return any ? hull : Interval{};
+}
+
+std::int64_t Domain::count_with_prefix(const IntVec& prefix,
+                                       std::size_t level) const {
+  if (level == dim() - 1) {
+    std::int64_t total = 0;
+    for (const Interval& iv : row_intervals(prefix)) total += iv.size();
+    return total;
+  }
+  const Interval hull = level_hull(prefix, level);
+  if (hull.empty()) return 0;
+  if (hull.size() > kEnumerationGuard) {
+    throw Error("Domain::count: level " + std::to_string(level) +
+                " spans " + std::to_string(hull.size()) +
+                " values; domain looks unbounded");
+  }
+  std::int64_t total = 0;
+  IntVec extended = prefix;
+  extended.resize(level + 1);
+  for (std::int64_t v = hull.lo; v <= hull.hi; ++v) {
+    extended[level] = v;
+    total += count_with_prefix(extended, level + 1);
+  }
+  return total;
+}
+
+std::int64_t Domain::count() const {
+  if (pieces_.empty()) return 0;
+  if (!count_cache_) count_cache_ = count_with_prefix(IntVec{}, 0);
+  return *count_cache_;
+}
+
+std::int64_t Domain::lex_rank(const IntVec& point) const {
+  if (pieces_.empty()) return 0;
+  if (point.size() != dim()) throw Error("Domain::lex_rank dim mismatch");
+  std::int64_t rank = 0;
+  IntVec prefix;
+  for (std::size_t level = 0; level + 1 < dim(); ++level) {
+    const Interval hull = level_hull(prefix, level);
+    if (hull.empty()) return rank;
+    prefix.resize(level + 1);
+    // Count complete slices with coordinate < point[level].
+    const std::int64_t last_full = std::min(hull.hi, point[level] - 1);
+    for (std::int64_t v = hull.lo; v <= last_full; ++v) {
+      prefix[level] = v;
+      rank += count_with_prefix(prefix, level + 1);
+    }
+    if (point[level] < hull.lo || point[level] > hull.hi) return rank;
+    prefix[level] = point[level];
+  }
+  // Innermost level: count row points strictly below point.back().
+  for (const Interval& iv : row_intervals(prefix)) {
+    if (iv.hi < point.back()) {
+      rank += iv.size();
+    } else if (iv.lo < point.back()) {
+      rank += point.back() - iv.lo;
+    }
+  }
+  return rank;
+}
+
+std::optional<IntVec> Domain::lex_min() const {
+  if (pieces_.empty()) return std::nullopt;
+  LexCursor cursor(*this);
+  if (!cursor.valid()) return std::nullopt;
+  return cursor.point();
+}
+
+std::optional<IntVec> Domain::lex_max() const {
+  if (pieces_.empty()) return std::nullopt;
+  // Walk levels from the outermost, always taking the greatest feasible
+  // value (mirror image of LexCursor's descent).
+  IntVec point(dim(), 0);
+  const std::function<bool(std::size_t)> descend =
+      [&](std::size_t level) -> bool {
+    if (level == dim() - 1) {
+      const IntVec prefix(point.begin(), point.end() - 1);
+      const std::vector<Interval> row = row_intervals(prefix);
+      if (row.empty()) return false;
+      point.back() = row.back().hi;
+      return true;
+    }
+    const IntVec prefix(point.begin(), point.begin() + level);
+    const Interval hull = level_hull(prefix, level);
+    if (hull.empty()) return false;
+    for (std::int64_t v = hull.hi; v >= hull.lo; --v) {
+      point[level] = v;
+      if (descend(level + 1)) return true;
+    }
+    return false;
+  };
+  if (!descend(0)) return std::nullopt;
+  return point;
+}
+
+void Domain::for_each(const std::function<void(const IntVec&)>& visit) const {
+  if (pieces_.empty()) return;
+  for (LexCursor cursor(*this); cursor.valid(); cursor.advance()) {
+    visit(cursor.point());
+  }
+}
+
+bool Domain::as_single_box(IntVec* lo, IntVec* hi) const {
+  return pieces_.size() == 1 && pieces_.front().as_box(lo, hi);
+}
+
+std::string Domain::to_string() const {
+  if (pieces_.empty()) return "{}";
+  std::string out;
+  for (std::size_t i = 0; i < pieces_.size(); ++i) {
+    if (i > 0) out += " U ";
+    out += pieces_[i].to_string();
+  }
+  return out;
+}
+
+Domain::LexCursor::LexCursor(const Domain& domain) : domain_(&domain) {
+  if (domain.pieces_.empty()) return;
+  const std::size_t m = domain.dim();
+  point_.assign(m, 0);
+  level_hull_.assign(m > 0 ? m - 1 : 0, Interval{});
+  valid_ = descend(0);
+}
+
+bool Domain::LexCursor::descend(std::size_t level) {
+  const std::size_t m = domain_->dim();
+  if (level == m - 1) {
+    const IntVec prefix(point_.begin(), point_.end() - 1);
+    row_ = domain_->row_intervals(prefix);
+    if (row_.empty()) return false;
+    row_index_ = 0;
+    point_.back() = row_.front().lo;
+    return true;
+  }
+  const IntVec prefix(point_.begin(), point_.begin() + level);
+  const Interval hull = domain_->level_hull(prefix, level);
+  if (hull.empty()) return false;
+  level_hull_[level] = hull;
+  for (std::int64_t v = hull.lo; v <= hull.hi; ++v) {
+    point_[level] = v;
+    if (descend(level + 1)) return true;
+  }
+  return false;
+}
+
+bool Domain::LexCursor::advance_level(std::size_t level) {
+  const Interval hull = level_hull_[level];
+  for (std::int64_t v = point_[level] + 1; v <= hull.hi; ++v) {
+    point_[level] = v;
+    if (descend(level + 1)) return true;
+  }
+  if (level == 0) return false;
+  return advance_level(level - 1);
+}
+
+void Domain::LexCursor::advance() {
+  if (!valid_) return;
+  const std::size_t m = domain_->dim();
+  // Move within the current row first.
+  if (point_.back() < row_[row_index_].hi) {
+    ++point_.back();
+    return;
+  }
+  if (row_index_ + 1 < row_.size()) {
+    ++row_index_;
+    point_.back() = row_[row_index_].lo;
+    return;
+  }
+  // Row exhausted: advance an outer coordinate.
+  if (m == 1) {
+    valid_ = false;
+    return;
+  }
+  valid_ = advance_level(m - 2);
+}
+
+}  // namespace nup::poly

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "poly/polyhedron.hpp"
+
+namespace nup::poly {
+
+/// Finite union of convex integer polyhedra of equal dimensionality.
+/// Models both iteration domains (Definition 1) and input data domains
+/// (Definition 6, which is a union of translated reference domains and is
+/// generally not convex). Rows -- the 1-D slices along the innermost
+/// coordinate -- are the unit of exact computation: per-piece innermost
+/// bounds are exact, and the union of a row is a merged interval list.
+class Domain {
+ public:
+  Domain() = default;
+  explicit Domain(Polyhedron piece);
+
+  static Domain box(const IntVec& lo, const IntVec& hi);
+
+  void add_piece(Polyhedron piece);
+
+  std::size_t dim() const;
+  bool has_pieces() const { return !pieces_.empty(); }
+  const std::vector<Polyhedron>& pieces() const { return pieces_; }
+
+  bool contains(const IntVec& point) const;
+
+  /// The translated set { x + t : x in this }.
+  Domain translated(const IntVec& t) const;
+
+  /// Sorted disjoint intervals of the innermost coordinate for fixed outer
+  /// coordinates `prefix` (size dim()-1).
+  std::vector<Interval> row_intervals(const IntVec& prefix) const;
+
+  /// Conservative range of coordinate `level` given an outer prefix: the
+  /// union (hull) of the per-piece FM bounds. Every point of the domain with
+  /// this prefix lies inside, but not every value inside need be feasible.
+  Interval level_hull(const IntVec& prefix, std::size_t level) const;
+
+  /// Exact number of integer points. Cached after the first call.
+  std::int64_t count() const;
+
+  /// Number of domain points lexicographically strictly less than `point`
+  /// (the point itself need not belong to the domain).
+  std::int64_t lex_rank(const IntVec& point) const;
+
+  /// Lexicographically smallest point; nullopt when empty.
+  std::optional<IntVec> lex_min() const;
+
+  /// Lexicographically greatest point; nullopt when empty.
+  std::optional<IntVec> lex_max() const;
+
+  bool empty() const { return !lex_min().has_value(); }
+
+  /// Visits every point in lexicographic order.
+  void for_each(const std::function<void(const IntVec&)>& visit) const;
+
+  /// If the whole domain is one axis-aligned box, returns its corners.
+  bool as_single_box(IntVec* lo, IntVec* hi) const;
+
+  std::string to_string() const;
+
+  /// Streaming lexicographic cursor over the domain, O(1) amortized per
+  /// advance. Usage: for (LexCursor c(d); c.valid(); c.advance()) c.point();
+  class LexCursor {
+   public:
+    explicit LexCursor(const Domain& domain);
+
+    bool valid() const { return valid_; }
+    const IntVec& point() const { return point_; }
+    void advance();
+
+   private:
+    /// Positions the cursor at the lex-first point whose coordinates
+    /// [0, level) equal point_[0, level); returns false if none exists.
+    bool descend(std::size_t level);
+    /// Advances coordinate `level` to its next feasible value and descends.
+    bool advance_level(std::size_t level);
+
+    const Domain* domain_;
+    bool valid_ = false;
+    IntVec point_;
+    std::vector<Interval> level_hull_;   // cached hulls per outer level
+    std::vector<Interval> row_;          // merged innermost intervals
+    std::size_t row_index_ = 0;
+  };
+
+ private:
+  std::int64_t count_with_prefix(const IntVec& prefix,
+                                 std::size_t level) const;
+
+  std::vector<Polyhedron> pieces_;
+  mutable std::optional<std::int64_t> count_cache_;
+};
+
+}  // namespace nup::poly

@@ -1,0 +1,67 @@
+#include "poly/int_vec.hpp"
+
+#include "util/error.hpp"
+
+namespace nup::poly {
+
+namespace {
+
+void require_same_dim(const IntVec& a, const IntVec& b) {
+  if (a.size() != b.size()) {
+    throw Error("IntVec dimension mismatch: " + std::to_string(a.size()) +
+                " vs " + std::to_string(b.size()));
+  }
+}
+
+}  // namespace
+
+IntVec add(const IntVec& a, const IntVec& b) {
+  require_same_dim(a, b);
+  IntVec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+IntVec sub(const IntVec& a, const IntVec& b) {
+  require_same_dim(a, b);
+  IntVec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+IntVec negate(const IntVec& a) {
+  IntVec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = -a[i];
+  return out;
+}
+
+int lex_compare(const IntVec& a, const IntVec& b) {
+  require_same_dim(a, b);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) return -1;
+    if (a[i] > b[i]) return 1;
+  }
+  return 0;
+}
+
+bool lex_less(const IntVec& a, const IntVec& b) {
+  return lex_compare(a, b) < 0;
+}
+
+bool is_zero(const IntVec& a) {
+  for (std::int64_t v : a) {
+    if (v != 0) return false;
+  }
+  return true;
+}
+
+std::string to_string(const IntVec& a) {
+  std::string out = "(";
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(a[i]);
+  }
+  return out + ")";
+}
+
+}  // namespace nup::poly

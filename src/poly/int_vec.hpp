@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nup::poly {
+
+/// Integer point / vector on a multi-dimensional grid. Index 0 is the
+/// outermost loop dimension, the last index the innermost (Definition 1).
+using IntVec = std::vector<std::int64_t>;
+
+/// Element-wise a + b. Requires equal dimensionality.
+IntVec add(const IntVec& a, const IntVec& b);
+
+/// Element-wise a - b. Requires equal dimensionality.
+IntVec sub(const IntVec& a, const IntVec& b);
+
+/// Element-wise negation.
+IntVec negate(const IntVec& a);
+
+/// Three-way lexicographic comparison: negative if a <_lex b, zero if equal,
+/// positive if a >_lex b (Definition 2: dimension 0 is most significant).
+int lex_compare(const IntVec& a, const IntVec& b);
+
+/// a <_lex b.
+bool lex_less(const IntVec& a, const IntVec& b);
+
+/// True if `a` is the zero vector.
+bool is_zero(const IntVec& a);
+
+/// Renders as "(a0, a1, ...)".
+std::string to_string(const IntVec& a);
+
+}  // namespace nup::poly

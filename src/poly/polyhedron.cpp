@@ -1,0 +1,250 @@
+#include "poly/polyhedron.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace nup::poly {
+
+namespace {
+
+constexpr std::int64_t kNegInf = std::numeric_limits<std::int64_t>::min() / 4;
+constexpr std::int64_t kPosInf = std::numeric_limits<std::int64_t>::max() / 4;
+
+/// floor(a / b) for b > 0.
+std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  std::int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+/// ceil(a / b) for b > 0.
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  std::int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) == (b < 0))) ++q;
+  return q;
+}
+
+/// Divides all coefficients by their gcd to keep FM combinations small and
+/// make duplicate detection effective.
+Constraint normalized(Constraint c) {
+  std::int64_t g = std::abs(c.expr.constant);
+  for (std::int64_t v : c.expr.coeffs) g = std::gcd(g, std::abs(v));
+  if (g > 1) {
+    for (std::int64_t& v : c.expr.coeffs) v /= g;
+    c.expr.constant = floor_div(c.expr.constant, g);
+  }
+  return c;
+}
+
+bool same_constraint(const Constraint& a, const Constraint& b) {
+  return a.expr.coeffs == b.expr.coeffs && a.expr.constant == b.expr.constant;
+}
+
+/// One Fourier-Motzkin step: eliminates coordinate `axis`, producing a
+/// system over the remaining coordinates that contains the rational shadow.
+std::vector<Constraint> fm_eliminate(const std::vector<Constraint>& system,
+                                     std::size_t axis) {
+  std::vector<const Constraint*> lowers;  // positive coefficient on axis
+  std::vector<const Constraint*> uppers;  // negative coefficient on axis
+  std::vector<Constraint> out;
+  for (const Constraint& c : system) {
+    const std::int64_t a = c.expr.coeffs[axis];
+    if (a > 0) {
+      lowers.push_back(&c);
+    } else if (a < 0) {
+      uppers.push_back(&c);
+    } else {
+      out.push_back(c);
+    }
+  }
+  for (const Constraint* lo : lowers) {
+    for (const Constraint* up : uppers) {
+      const std::int64_t p = lo->expr.coeffs[axis];
+      const std::int64_t q = -up->expr.coeffs[axis];
+      Constraint combined;
+      combined.expr.coeffs.assign(system.empty() ? 0 : lo->expr.dim(), 0);
+      for (std::size_t d = 0; d < combined.expr.coeffs.size(); ++d) {
+        combined.expr.coeffs[d] =
+            q * lo->expr.coeffs[d] + p * up->expr.coeffs[d];
+      }
+      combined.expr.constant = q * lo->expr.constant + p * up->expr.constant;
+      combined = normalized(std::move(combined));
+      const bool duplicate =
+          std::any_of(out.begin(), out.end(), [&](const Constraint& c) {
+            return same_constraint(c, combined);
+          });
+      if (!duplicate) out.push_back(std::move(combined));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Interval intersect(const Interval& a, const Interval& b) {
+  return Interval{std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+std::vector<Interval> merge_intervals(std::vector<Interval> intervals) {
+  std::erase_if(intervals, [](const Interval& iv) { return iv.empty(); });
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  std::vector<Interval> out;
+  for (const Interval& iv : intervals) {
+    if (!out.empty() && iv.lo <= out.back().hi + 1) {
+      out.back().hi = std::max(out.back().hi, iv.hi);
+    } else {
+      out.push_back(iv);
+    }
+  }
+  return out;
+}
+
+Polyhedron::Polyhedron(std::size_t dim) : dim_(dim) {
+  if (dim == 0) throw Error("Polyhedron requires dim >= 1");
+}
+
+Polyhedron Polyhedron::box(const IntVec& lo, const IntVec& hi) {
+  if (lo.size() != hi.size() || lo.empty()) {
+    throw Error("Polyhedron::box corner dimension mismatch");
+  }
+  Polyhedron p(lo.size());
+  for (std::size_t d = 0; d < lo.size(); ++d) {
+    p.add(lower_bound(lo.size(), d, lo[d]));
+    p.add(upper_bound(lo.size(), d, hi[d]));
+  }
+  return p;
+}
+
+void Polyhedron::add(Constraint c) {
+  if (c.dim() != dim_) {
+    throw Error("Constraint dimension " + std::to_string(c.dim()) +
+                " does not match polyhedron dimension " +
+                std::to_string(dim_));
+  }
+  constraints_.push_back(normalized(std::move(c)));
+  eliminated_built_ = false;
+}
+
+bool Polyhedron::contains(const IntVec& point) const {
+  if (point.size() != dim_) throw Error("Polyhedron::contains dim mismatch");
+  return std::all_of(
+      constraints_.begin(), constraints_.end(),
+      [&](const Constraint& c) { return c.satisfied(point); });
+}
+
+Polyhedron Polyhedron::translated(const IntVec& t) const {
+  Polyhedron out(dim_);
+  for (const Constraint& c : constraints_) {
+    out.add(Constraint{c.expr.translated(t)});
+  }
+  return out;
+}
+
+Polyhedron Polyhedron::intersected(const Polyhedron& other) const {
+  if (other.dim_ != dim_) throw Error("Polyhedron::intersected dim mismatch");
+  Polyhedron out = *this;
+  for (const Constraint& c : other.constraints_) out.add(c);
+  return out;
+}
+
+const std::vector<Constraint>& Polyhedron::eliminated_system(
+    std::size_t level) const {
+  if (!eliminated_built_) {
+    eliminated_.assign(dim_, {});
+    eliminated_[dim_ - 1] = constraints_;
+    for (std::size_t level_idx = dim_ - 1; level_idx > 0; --level_idx) {
+      eliminated_[level_idx - 1] =
+          fm_eliminate(eliminated_[level_idx], level_idx);
+    }
+    eliminated_built_ = true;
+  }
+  return eliminated_[level];
+}
+
+Interval Polyhedron::level_bounds(const IntVec& prefix,
+                                  std::size_t level) const {
+  if (level >= dim_ || prefix.size() < level) {
+    throw Error("Polyhedron::level_bounds bad level/prefix");
+  }
+  Interval out{kNegInf, kPosInf};
+  for (const Constraint& c : eliminated_system(level)) {
+    const std::int64_t a = c.expr.coeffs[level];
+    std::int64_t fixed = c.expr.constant;
+    for (std::size_t d = 0; d < level; ++d) {
+      fixed += c.expr.coeffs[d] * prefix[d];
+    }
+    if (a > 0) {
+      out.lo = std::max(out.lo, ceil_div(-fixed, a));
+    } else if (a < 0) {
+      out.hi = std::min(out.hi, floor_div(fixed, -a));
+    } else if (fixed < 0) {
+      return Interval{};  // prefix already infeasible
+    }
+    if (out.empty()) return Interval{};
+  }
+  return out;
+}
+
+Interval Polyhedron::axis_range(std::size_t axis) const {
+  if (axis >= dim_) throw Error("Polyhedron::axis_range bad axis");
+  // Eliminate every other coordinate, innermost-last order so each step is
+  // a plain FM elimination.
+  std::vector<Constraint> system = constraints_;
+  for (std::size_t d = dim_; d-- > 0;) {
+    if (d != axis) system = fm_eliminate(system, d);
+  }
+  Interval out{kNegInf, kPosInf};
+  for (const Constraint& c : system) {
+    const std::int64_t a = c.expr.coeffs[axis];
+    if (a > 0) {
+      out.lo = std::max(out.lo, ceil_div(-c.expr.constant, a));
+    } else if (a < 0) {
+      out.hi = std::min(out.hi, floor_div(c.expr.constant, -a));
+    } else if (c.expr.constant < 0) {
+      return Interval{};
+    }
+  }
+  return out;
+}
+
+bool Polyhedron::as_box(IntVec* lo, IntVec* hi) const {
+  IntVec lo_out(dim_, kNegInf);
+  IntVec hi_out(dim_, kPosInf);
+  for (const Constraint& c : constraints_) {
+    std::size_t nonzero = 0;
+    std::size_t axis = 0;
+    for (std::size_t d = 0; d < dim_; ++d) {
+      if (c.expr.coeffs[d] != 0) {
+        ++nonzero;
+        axis = d;
+      }
+    }
+    if (nonzero != 1) return false;
+    const std::int64_t a = c.expr.coeffs[axis];
+    if (a > 0) {
+      lo_out[axis] = std::max(lo_out[axis], ceil_div(-c.expr.constant, a));
+    } else {
+      hi_out[axis] = std::min(hi_out[axis], floor_div(c.expr.constant, -a));
+    }
+  }
+  for (std::size_t d = 0; d < dim_; ++d) {
+    if (lo_out[d] == kNegInf || hi_out[d] == kPosInf) return false;
+  }
+  if (lo != nullptr) *lo = std::move(lo_out);
+  if (hi != nullptr) *hi = std::move(hi_out);
+  return true;
+}
+
+std::string Polyhedron::to_string() const {
+  std::string out = "{ x in Z^" + std::to_string(dim_) + " :";
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    out += (i == 0 ? " " : ", ") + constraints_[i].to_string();
+  }
+  return out + " }";
+}
+
+}  // namespace nup::poly

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "poly/affine.hpp"
+#include "poly/int_vec.hpp"
+
+namespace nup::poly {
+
+/// Closed integer interval [lo, hi]; empty when lo > hi.
+struct Interval {
+  std::int64_t lo = 0;
+  std::int64_t hi = -1;
+
+  bool empty() const { return lo > hi; }
+  std::int64_t size() const { return empty() ? 0 : hi - lo + 1; }
+  bool contains(std::int64_t v) const { return v >= lo && v <= hi; }
+};
+
+/// Intersection of two intervals.
+Interval intersect(const Interval& a, const Interval& b);
+
+/// Merges possibly-overlapping intervals into a sorted disjoint list.
+std::vector<Interval> merge_intervals(std::vector<Interval> intervals);
+
+/// Convex integer polyhedron { x in Z^m : C x + b >= 0 } (Definition 1).
+/// Provides per-level coordinate bounds via Fourier-Motzkin elimination so
+/// integer points can be enumerated in lexicographic order: bounds for outer
+/// levels are conservative (rational relaxation), the innermost level is
+/// exact once all outer coordinates are fixed.
+class Polyhedron {
+ public:
+  explicit Polyhedron(std::size_t dim);
+
+  /// Axis-aligned box lo <= x <= hi (inclusive).
+  static Polyhedron box(const IntVec& lo, const IntVec& hi);
+
+  void add(Constraint c);
+
+  std::size_t dim() const { return dim_; }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+
+  bool contains(const IntVec& point) const;
+
+  /// The translated set { x + t : x in this }.
+  Polyhedron translated(const IntVec& t) const;
+
+  /// Conjunction of the two constraint systems.
+  Polyhedron intersected(const Polyhedron& other) const;
+
+  /// Bounds for coordinate `level` given fixed values prefix[0..level) for
+  /// the outer coordinates. Conservative for level < dim()-1; exact for the
+  /// innermost level. An empty interval means no point with this prefix.
+  Interval level_bounds(const IntVec& prefix, std::size_t level) const;
+
+  /// Global (conservative) range of one axis, all other axes free.
+  Interval axis_range(std::size_t axis) const;
+
+  /// If this polyhedron's constraints are exactly axis bounds, returns the
+  /// box corners. Used by fast paths; a box-shaped system written with
+  /// non-bound constraints is simply not detected, which is safe.
+  bool as_box(IntVec* lo, IntVec* hi) const;
+
+  std::string to_string() const;
+
+ private:
+  const std::vector<Constraint>& eliminated_system(std::size_t level) const;
+
+  std::size_t dim_;
+  std::vector<Constraint> constraints_;
+  /// eliminated_[k] holds constraints mentioning only dims [0, k]; built
+  /// lazily by eliminating dims from innermost outward.
+  mutable std::vector<std::vector<Constraint>> eliminated_;
+  mutable bool eliminated_built_ = false;
+};
+
+}  // namespace nup::poly

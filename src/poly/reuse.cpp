@@ -1,0 +1,139 @@
+#include "poly/reuse.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace nup::poly {
+
+namespace {
+
+/// Recursively enumerates feasible outer prefixes (levels 0..dim-2) in
+/// lexicographic order, recording each row's prefix and cumulative count.
+void build_rows(const Domain& domain, IntVec& prefix, std::size_t level,
+                std::vector<IntVec>& row_prefixes,
+                std::vector<std::int64_t>& cumulative, std::int64_t& total) {
+  if (level == domain.dim() - 1) {
+    std::int64_t row_count = 0;
+    for (const Interval& iv : domain.row_intervals(prefix)) {
+      row_count += iv.size();
+    }
+    if (row_count > 0) {
+      row_prefixes.push_back(prefix);
+      cumulative.push_back(total);
+      total += row_count;
+    }
+    return;
+  }
+  const Interval hull = domain.level_hull(prefix, level);
+  if (hull.empty()) return;
+  prefix.resize(level + 1);
+  for (std::int64_t v = hull.lo; v <= hull.hi; ++v) {
+    prefix[level] = v;
+    build_rows(domain, prefix, level + 1, row_prefixes, cumulative, total);
+  }
+  prefix.resize(level);
+}
+
+bool prefix_lex_less(const IntVec& a, const IntVec& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+}  // namespace
+
+RankOracle::RankOracle(const Domain& domain) : domain_(domain) {
+  if (!domain_.has_pieces()) return;
+  IntVec prefix;
+  build_rows(domain_, prefix, 0, row_prefixes_, cumulative_, total_);
+}
+
+std::int64_t RankOracle::rank(const IntVec& p) const {
+  if (row_prefixes_.empty()) return 0;
+  if (p.size() != domain_.dim()) throw Error("RankOracle::rank dim mismatch");
+  const IntVec outer(p.begin(), p.end() - 1);
+  // First row with prefix >= outer.
+  const auto it = std::lower_bound(row_prefixes_.begin(), row_prefixes_.end(),
+                                   outer, prefix_lex_less);
+  if (it == row_prefixes_.end()) return total_;
+  const std::size_t idx = static_cast<std::size_t>(it - row_prefixes_.begin());
+  std::int64_t result = cumulative_[idx];
+  if (*it == outer) {
+    for (const Interval& iv : domain_.row_intervals(outer)) {
+      if (iv.hi < p.back()) {
+        result += iv.size();
+      } else if (iv.lo < p.back()) {
+        result += p.back() - iv.lo;
+      }
+    }
+  }
+  return result;
+}
+
+std::int64_t RankOracle::rank_inclusive(const IntVec& p) const {
+  return rank(p) + (domain_.has_pieces() && domain_.contains(p) ? 1 : 0);
+}
+
+std::int64_t reuse_distance_at(const Domain& data, const IntVec& iteration,
+                               const IntVec& f_from, const IntVec& f_to) {
+  const RankOracle oracle(data);
+  return oracle.rank_inclusive(add(iteration, f_from)) -
+         oracle.rank_inclusive(add(iteration, f_to));
+}
+
+std::int64_t box_linearized_distance(const IntVec& lo, const IntVec& hi,
+                                     const IntVec& r) {
+  if (lo.size() != hi.size() || lo.size() != r.size()) {
+    throw Error("box_linearized_distance dimension mismatch");
+  }
+  std::int64_t stride = 1;
+  std::int64_t distance = 0;
+  for (std::size_t d = r.size(); d-- > 0;) {
+    distance += r[d] * stride;
+    stride *= hi[d] - lo[d] + 1;
+  }
+  return distance;
+}
+
+ReuseResult max_reuse_distance(const Domain& iter, const Domain& data,
+                               const IntVec& f_from, const IntVec& f_to,
+                               const ReuseOptions& options) {
+  ReuseResult result;
+  IntVec lo;
+  IntVec hi;
+  if (data.as_single_box(&lo, &hi)) {
+    const std::int64_t distance =
+        box_linearized_distance(lo, hi, sub(f_from, f_to));
+    result.max_distance = distance;
+    result.min_distance = distance;
+    result.argmax_iteration = iter.lex_min().value_or(IntVec{});
+    result.used_box_fast_path = true;
+    return result;
+  }
+
+  const std::int64_t iterations = iter.count();
+  if (iterations > options.exact_iteration_limit) {
+    throw Error(
+        "max_reuse_distance: non-box data domain with " +
+        std::to_string(iterations) +
+        " iterations exceeds the exact-scan limit; raise "
+        "ReuseOptions::exact_iteration_limit or use the box approximation");
+  }
+
+  const RankOracle oracle(data);
+  bool first = true;
+  for (Domain::LexCursor cursor(iter); cursor.valid(); cursor.advance()) {
+    const IntVec& i = cursor.point();
+    const std::int64_t d = oracle.rank_inclusive(add(i, f_from)) -
+                           oracle.rank_inclusive(add(i, f_to));
+    if (first || d > result.max_distance) {
+      result.max_distance = d;
+      result.argmax_iteration = i;
+    }
+    if (first || d < result.min_distance) result.min_distance = d;
+    first = false;
+  }
+  if (first) throw Error("max_reuse_distance: empty iteration domain");
+  return result;
+}
+
+}  // namespace nup::poly

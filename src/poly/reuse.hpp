@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "poly/domain.hpp"
+#include "poly/int_vec.hpp"
+
+namespace nup::poly {
+
+/// Precomputed lexicographic-rank index over a domain. Build cost is one
+/// pass over the rows (innermost slices); each rank query is then
+/// O(log rows + pieces), which makes exact max-reuse-distance scans over
+/// millions of iterations practical.
+class RankOracle {
+ public:
+  explicit RankOracle(const Domain& domain);
+
+  /// Number of domain points lexicographically strictly less than `p`.
+  std::int64_t rank(const IntVec& p) const;
+
+  /// Number of domain points lexicographically <= `p`.
+  std::int64_t rank_inclusive(const IntVec& p) const;
+
+  std::int64_t total() const { return total_; }
+
+ private:
+  Domain domain_;  // owned copy: oracles outlive temporaries safely
+  std::vector<IntVec> row_prefixes_;        // sorted lexicographically
+  std::vector<std::int64_t> cumulative_;    // points strictly before row k
+  std::int64_t total_ = 0;
+};
+
+/// Reuse distance at one loop iteration (Definition 8, restated over the
+/// iteration domain): the number of data-domain elements g with
+/// i + f_to <_lex g <=_lex i + f_from. `f_from` is the data-access offset of
+/// the earlier reference (lexicographically greater), `f_to` of the later.
+std::int64_t reuse_distance_at(const Domain& data, const IntVec& iteration,
+                               const IntVec& f_from, const IntVec& f_to);
+
+/// Closed-form distance on a box data domain [lo, hi]: the row-major
+/// linearization of the reuse-distance vector r = f_from - f_to. On a box
+/// the distance is the same at every interior iteration, so this equals the
+/// maximum (Section 2.3's "2048" example).
+std::int64_t box_linearized_distance(const IntVec& lo, const IntVec& hi,
+                                     const IntVec& r);
+
+struct ReuseOptions {
+  /// Maximum iteration-domain size for the exact (enumerating) path; larger
+  /// non-box problems raise an Error instead of silently sampling.
+  std::int64_t exact_iteration_limit = 5'000'000;
+};
+
+struct ReuseResult {
+  std::int64_t max_distance = 0;
+  std::int64_t min_distance = 0;
+  IntVec argmax_iteration;       // an iteration attaining max_distance
+  bool used_box_fast_path = false;
+};
+
+/// Maximum reuse distance from the reference with offset `f_from` to the one
+/// with `f_to` over all iterations (Definition 9). Uses the O(1) box closed
+/// form when the data domain is a single box, otherwise an exact scan of the
+/// iteration domain backed by a RankOracle.
+ReuseResult max_reuse_distance(const Domain& iter, const Domain& data,
+                               const IntVec& f_from, const IntVec& f_to,
+                               const ReuseOptions& options = {});
+
+}  // namespace nup::poly

@@ -1,0 +1,187 @@
+#include "poly/transform.hpp"
+
+#include "util/error.hpp"
+
+namespace nup::poly {
+
+namespace {
+
+void require_square(const UnimodularTransform& t) {
+  for (const IntVec& row : t.rows) {
+    if (row.size() != t.rows.size()) {
+      throw Error("UnimodularTransform: matrix is not square");
+    }
+  }
+  if (t.shift.size() != t.rows.size()) {
+    throw Error("UnimodularTransform: shift dimension mismatch");
+  }
+}
+
+std::int64_t det_rec(const std::vector<IntVec>& m) {
+  const std::size_t n = m.size();
+  if (n == 1) return m[0][0];
+  if (n == 2) return m[0][0] * m[1][1] - m[0][1] * m[1][0];
+  std::int64_t det = 0;
+  for (std::size_t col = 0; col < n; ++col) {
+    if (m[0][col] == 0) continue;
+    std::vector<IntVec> minor;
+    minor.reserve(n - 1);
+    for (std::size_t r = 1; r < n; ++r) {
+      IntVec row;
+      row.reserve(n - 1);
+      for (std::size_t c = 0; c < n; ++c) {
+        if (c != col) row.push_back(m[r][c]);
+      }
+      minor.push_back(std::move(row));
+    }
+    const std::int64_t sign = col % 2 == 0 ? 1 : -1;
+    det += sign * m[0][col] * det_rec(minor);
+  }
+  return det;
+}
+
+/// Adjugate (transposed cofactor matrix).
+std::vector<IntVec> adjugate(const std::vector<IntVec>& m) {
+  const std::size_t n = m.size();
+  std::vector<IntVec> adj(n, IntVec(n, 0));
+  if (n == 1) {
+    adj[0][0] = 1;
+    return adj;
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      std::vector<IntVec> minor;
+      minor.reserve(n - 1);
+      for (std::size_t mr = 0; mr < n; ++mr) {
+        if (mr == r) continue;
+        IntVec row;
+        row.reserve(n - 1);
+        for (std::size_t mc = 0; mc < n; ++mc) {
+          if (mc != c) row.push_back(m[mr][mc]);
+        }
+        minor.push_back(std::move(row));
+      }
+      const std::int64_t sign = (r + c) % 2 == 0 ? 1 : -1;
+      adj[c][r] = sign * det_rec(minor);  // note the transpose
+    }
+  }
+  return adj;
+}
+
+IntVec mat_vec(const std::vector<IntVec>& m, const IntVec& v) {
+  IntVec out(m.size(), 0);
+  for (std::size_t r = 0; r < m.size(); ++r) {
+    for (std::size_t c = 0; c < v.size(); ++c) out[r] += m[r][c] * v[c];
+  }
+  return out;
+}
+
+}  // namespace
+
+IntVec UnimodularTransform::apply(const IntVec& point) const {
+  return add(mat_vec(rows, point), shift);
+}
+
+IntVec UnimodularTransform::apply_offset(const IntVec& offset) const {
+  return mat_vec(rows, offset);
+}
+
+UnimodularTransform identity_transform(std::size_t dim) {
+  UnimodularTransform t;
+  t.rows.assign(dim, IntVec(dim, 0));
+  for (std::size_t d = 0; d < dim; ++d) t.rows[d][d] = 1;
+  t.shift.assign(dim, 0);
+  return t;
+}
+
+UnimodularTransform skew(std::size_t dim, std::size_t src, std::size_t dst,
+                         std::int64_t factor) {
+  if (src == dst) throw Error("skew: src and dst must differ");
+  UnimodularTransform t = identity_transform(dim);
+  t.rows[dst][src] = factor;
+  return t;
+}
+
+UnimodularTransform interchange(std::size_t dim, std::size_t a,
+                                std::size_t b) {
+  UnimodularTransform t = identity_transform(dim);
+  std::swap(t.rows[a], t.rows[b]);
+  return t;
+}
+
+UnimodularTransform reversal(std::size_t dim, std::size_t axis) {
+  UnimodularTransform t = identity_transform(dim);
+  t.rows[axis][axis] = -1;
+  return t;
+}
+
+UnimodularTransform compose(const UnimodularTransform& a,
+                            const UnimodularTransform& b) {
+  require_square(a);
+  require_square(b);
+  if (a.dim() != b.dim()) throw Error("compose: dimension mismatch");
+  UnimodularTransform out;
+  const std::size_t n = a.dim();
+  out.rows.assign(n, IntVec(n, 0));
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      for (std::size_t k = 0; k < n; ++k) {
+        out.rows[r][c] += a.rows[r][k] * b.rows[k][c];
+      }
+    }
+  }
+  out.shift = add(mat_vec(a.rows, b.shift), a.shift);
+  return out;
+}
+
+std::int64_t determinant(const UnimodularTransform& t) {
+  require_square(t);
+  return det_rec(t.rows);
+}
+
+UnimodularTransform inverse(const UnimodularTransform& t) {
+  require_square(t);
+  const std::int64_t det = det_rec(t.rows);
+  if (det != 1 && det != -1) {
+    throw Error("inverse: transform is not unimodular (det = " +
+                std::to_string(det) + ")");
+  }
+  UnimodularTransform out;
+  out.rows = adjugate(t.rows);
+  if (det == -1) {
+    for (IntVec& row : out.rows) {
+      for (std::int64_t& v : row) v = -v;
+    }
+  }
+  // x = Tinv * (x' - s) = Tinv*x' - Tinv*s.
+  out.shift = negate(mat_vec(out.rows, t.shift));
+  return out;
+}
+
+Domain apply(const UnimodularTransform& t, const Domain& domain) {
+  require_square(t);
+  const UnimodularTransform inv = inverse(t);
+  Domain out;
+  for (const Polyhedron& piece : domain.pieces()) {
+    Polyhedron mapped(piece.dim());
+    for (const Constraint& c : piece.constraints()) {
+      // f(x) >= 0 with x = Tinv*x' + inv.shift:
+      // coeffs' = c^T * Tinv, const' = c . inv.shift + k.
+      IntVec coeffs(piece.dim(), 0);
+      for (std::size_t col = 0; col < piece.dim(); ++col) {
+        for (std::size_t row = 0; row < piece.dim(); ++row) {
+          coeffs[col] += c.expr.coeffs[row] * inv.rows[row][col];
+        }
+      }
+      std::int64_t constant = c.expr.constant;
+      for (std::size_t row = 0; row < piece.dim(); ++row) {
+        constant += c.expr.coeffs[row] * inv.shift[row];
+      }
+      mapped.add(make_constraint(std::move(coeffs), constant));
+    }
+    out.add_piece(std::move(mapped));
+  }
+  return out;
+}
+
+}  // namespace nup::poly

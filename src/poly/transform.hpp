@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "poly/domain.hpp"
+#include "poly/int_vec.hpp"
+
+namespace nup::poly {
+
+/// Unimodular affine loop transformation i' = T*i + shift with |det T|=1,
+/// the class used by polyhedral frameworks ([15] in the paper) to skew,
+/// interchange, or reverse loop nests before memory-access optimization.
+/// Applying one to a stencil preserves the stencil property: a reference
+/// with offset f becomes one with offset T*f in the transformed space.
+struct UnimodularTransform {
+  /// Row-major m x m matrix.
+  std::vector<IntVec> rows;
+  IntVec shift;
+
+  std::size_t dim() const { return rows.size(); }
+
+  IntVec apply(const IntVec& point) const;
+
+  /// T*f (no shift): how a constant reuse offset transforms.
+  IntVec apply_offset(const IntVec& offset) const;
+};
+
+UnimodularTransform identity_transform(std::size_t dim);
+
+/// i'[dst] = i[dst] + factor * i[src]; all other coordinates unchanged.
+UnimodularTransform skew(std::size_t dim, std::size_t src, std::size_t dst,
+                         std::int64_t factor);
+
+/// Swaps coordinates a and b.
+UnimodularTransform interchange(std::size_t dim, std::size_t a,
+                                std::size_t b);
+
+/// Negates one coordinate (loop reversal).
+UnimodularTransform reversal(std::size_t dim, std::size_t axis);
+
+/// Composition: (a o b)(i) = a(b(i)).
+UnimodularTransform compose(const UnimodularTransform& a,
+                            const UnimodularTransform& b);
+
+/// Determinant of T (must be +-1 for a valid unimodular transform).
+std::int64_t determinant(const UnimodularTransform& t);
+
+/// Inverse transform (integral because |det| = 1). Throws otherwise.
+UnimodularTransform inverse(const UnimodularTransform& t);
+
+/// Image of a domain: { T*x + shift : x in domain }.
+Domain apply(const UnimodularTransform& t, const Domain& domain);
+
+}  // namespace nup::poly

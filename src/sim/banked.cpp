@@ -1,0 +1,125 @@
+#include "sim/banked.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "poly/domain.hpp"
+#include "stencil/golden.hpp"
+#include "util/error.hpp"
+
+namespace nup::sim {
+
+namespace {
+
+std::int64_t positive_mod(std::int64_t a, std::int64_t n) {
+  const std::int64_t r = a % n;
+  return r < 0 ? r + n : r;
+}
+
+}  // namespace
+
+BankedSimResult simulate_banked(const stencil::StencilProgram& program,
+                                const baseline::UniformPartition& partition,
+                                const BankedSimOptions& options) {
+  BankedSimResult result;
+  const stencil::InputArray& input = program.inputs().at(0);
+  const std::size_t n = input.refs.size();
+  const poly::Domain hull = program.data_domain_hull(0);
+  poly::IntVec hull_lo;
+  poly::IntVec hull_hi;
+  if (!hull.as_single_box(&hull_lo, &hull_hi)) {
+    throw Error("simulate_banked: hull is not a box");
+  }
+  const std::int64_t capacity = partition.total_size;
+  const std::int64_t banks = static_cast<std::int64_t>(partition.banks);
+
+  // The line buffer: address -> value, bounded to `capacity` addresses
+  // behind the write pointer (the eviction the modulo addressing implies).
+  std::unordered_map<std::int64_t, double> buffer;
+  buffer.reserve(static_cast<std::size_t>(capacity) + 4);
+
+  auto address_of = [&](const poly::IntVec& h) {
+    poly::IntVec rel(h.size());
+    for (std::size_t d = 0; d < h.size(); ++d) rel[d] = h[d] - hull_lo[d];
+    return baseline::linearize(rel, partition.extents);
+  };
+  auto bank_of = [&](const poly::IntVec& h) {
+    std::int64_t dot = 0;
+    for (std::size_t d = 0; d < h.size(); ++d) {
+      dot += partition.scheme[d] * h[d];
+    }
+    return positive_mod(dot, banks);
+  };
+
+  poly::Domain::LexCursor stream(hull);
+  poly::Domain::LexCursor iter(program.iteration());
+  const std::int64_t total = program.iteration().count();
+  const stencil::KernelFn& kernel = program.kernel();
+  std::vector<double> gathered(n);
+  std::unordered_set<std::int64_t> banks_this_cycle;
+  std::int64_t write_addr = -1;
+  std::int64_t last_fire = 0;
+
+  while (result.outputs < total && result.cycles < options.max_cycles) {
+    ++result.cycles;
+
+    // Write port: one element from the stream enters its bank.
+    if (stream.valid()) {
+      const poly::IntVec& h = stream.point();
+      write_addr = address_of(h);
+      buffer[write_addr] =
+          stencil::synthetic_value(options.seed, 0, h);
+      if (write_addr - capacity >= 0) buffer.erase(write_addr - capacity);
+      stream.advance();
+    }
+
+    // Read ports: once every window element has arrived, the controller
+    // issues the n reads for the current iteration.
+    if (!iter.valid()) break;
+    const poly::IntVec& i = iter.point();
+    std::int64_t newest = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      newest = std::max(newest,
+                        address_of(poly::add(i, input.refs[k].offset)));
+    }
+    if (newest > write_addr) continue;  // still filling
+
+    banks_this_cycle.clear();
+    for (std::size_t k = 0; k < n; ++k) {
+      const poly::IntVec h = poly::add(i, input.refs[k].offset);
+      const std::int64_t bank = bank_of(h);
+      if (!banks_this_cycle.insert(bank).second) {
+        result.bank_conflict = true;
+        result.conflict_detail =
+            "bank " + std::to_string(bank) + " hit twice at iteration " +
+            poly::to_string(i) + " (reference " +
+            poly::to_string(input.refs[k].offset) + ")";
+        return result;
+      }
+      const auto it = buffer.find(address_of(h));
+      if (it == buffer.end()) {
+        result.bank_conflict = true;
+        result.conflict_detail =
+            "element " + poly::to_string(h) +
+            " was evicted before its last use (buffer too small)";
+        return result;
+      }
+      gathered[k] = it->second;
+    }
+    const double output = kernel(gathered);
+    if (options.record_outputs) result.values.push_back(output);
+    ++result.outputs;
+    if (result.outputs == 1) result.fill_latency = result.cycles;
+    last_fire = result.cycles;
+    iter.advance();
+  }
+
+  result.completed = result.outputs == total;
+  if (result.outputs >= 2) {
+    result.steady_ii = static_cast<double>(last_fire - result.fill_latency) /
+                       static_cast<double>(result.outputs - 1);
+  }
+  return result;
+}
+
+}  // namespace nup::sim

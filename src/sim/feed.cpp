@@ -1,0 +1,22 @@
+#include "sim/feed.hpp"
+
+#include "stencil/golden.hpp"
+#include "util/error.hpp"
+
+namespace nup::sim {
+
+double SyntheticFeed::read(const poly::IntVec& h) {
+  return stencil::synthetic_value(seed_, array_index_, h);
+}
+
+double QueueFeed::read(const poly::IntVec& h) {
+  if (!available(h)) {
+    throw SimulationError("QueueFeed::read of unavailable point " +
+                          poly::to_string(h));
+  }
+  const double value = queue_.front().second;
+  queue_.pop_front();
+  return value;
+}
+
+}  // namespace nup::sim

@@ -1,0 +1,131 @@
+#include "sim/pipeline.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "arch/builder.hpp"
+#include "sim/feed.hpp"
+#include "util/error.hpp"
+
+namespace nup::sim {
+
+namespace {
+
+bool domains_equal(const poly::Domain& a, const poly::Domain& b) {
+  if (a.count() != b.count()) return false;
+  bool equal = true;
+  a.for_each([&](const poly::IntVec& p) {
+    if (equal && !b.contains(p)) equal = false;
+  });
+  return equal;
+}
+
+}  // namespace
+
+struct Pipeline::Impl {
+  struct Stage {
+    stencil::StencilProgram program;
+    arch::AcceleratorDesign design;
+    std::unique_ptr<AcceleratorSim> sim;
+    std::shared_ptr<QueueFeed> input_wire;  // null for the first stage
+    StageResult result;
+
+    Stage(stencil::StencilProgram p, arch::AcceleratorDesign d)
+        : program(std::move(p)), design(std::move(d)) {}
+  };
+
+  SimOptions options;
+  std::deque<Stage> stages;
+  std::vector<double> final_outputs;
+};
+
+Pipeline::Pipeline(SimOptions options) : impl_(std::make_unique<Impl>()) {
+  // Stages legitimately wait on upstream ramp-up; the pipeline applies its
+  // own global cycle limit instead.
+  options.stall_limit = std::max<std::int64_t>(options.stall_limit,
+                                               10'000'000);
+  impl_->options = options;
+}
+
+Pipeline::~Pipeline() = default;
+
+void Pipeline::add_stage(const stencil::StencilProgram& program,
+                         const arch::AcceleratorDesign& design) {
+  if (!impl_->stages.empty()) {
+    if (program.inputs().size() != 1) {
+      throw Error(
+          "Pipeline: chained stages must read a single input array");
+    }
+    const Impl::Stage& prev = impl_->stages.back();
+    if (!domains_equal(design.systems[0].input_domain,
+                       prev.program.iteration())) {
+      throw Error(
+          "Pipeline: stage '" + program.name() +
+          "' does not consume exactly the stream its predecessor '" +
+          prev.program.name() +
+          "' produces; align the domains (e.g. with a loop "
+          "transformation, Fig 13c) first");
+    }
+  }
+
+  impl_->stages.emplace_back(program, design);
+  Impl::Stage& stage = impl_->stages.back();
+  stage.sim = std::make_unique<AcceleratorSim>(stage.program, stage.design,
+                                               impl_->options);
+
+  if (impl_->stages.size() > 1) {
+    Impl::Stage& prev = impl_->stages[impl_->stages.size() - 2];
+    stage.input_wire = std::make_shared<QueueFeed>();
+    stage.sim->set_feed(0, 0, stage.input_wire);
+    auto wire = stage.input_wire;
+    prev.sim->set_output_callback(
+        [wire](const poly::IntVec& i, double v) { wire->push(i, v); });
+  }
+}
+
+void Pipeline::add_stage(const stencil::StencilProgram& program) {
+  add_stage(program, arch::build_design(program));
+}
+
+Pipeline::Result Pipeline::run(std::int64_t max_cycles) {
+  if (impl_->stages.empty()) throw Error("Pipeline: no stages");
+
+  Impl::Stage& last = impl_->stages.back();
+  impl_->final_outputs.clear();
+  auto* outputs = &impl_->final_outputs;
+  std::int64_t* counter = &last.result.outputs;
+  last.sim->set_output_callback(
+      [outputs, counter](const poly::IntVec&, double v) {
+        outputs->push_back(v);
+        ++*counter;
+      });
+  // Count intermediate stage outputs too (their callbacks already feed the
+  // wires; wrap by counting wire pushes via max fill sampling below).
+
+  Result result;
+  result.stages.resize(impl_->stages.size());
+  std::int64_t cycle = 0;
+  while (!impl_->stages.back().sim->done() && cycle < max_cycles) {
+    for (std::size_t k = 0; k < impl_->stages.size(); ++k) {
+      impl_->stages[k].sim->step();
+      if (k + 1 < impl_->stages.size()) {
+        Impl::Stage& next = impl_->stages[k + 1];
+        next.result.max_wire_fill = std::max(
+            next.result.max_wire_fill,
+            static_cast<std::int64_t>(next.input_wire->pending()));
+      }
+    }
+    ++cycle;
+  }
+
+  result.completed = impl_->stages.back().sim->done();
+  result.cycles = cycle;
+  for (std::size_t k = 0; k < impl_->stages.size(); ++k) {
+    result.stages[k] = impl_->stages[k].result;
+  }
+  result.stages.back().outputs = impl_->stages.back().result.outputs;
+  result.outputs = impl_->final_outputs;
+  return result;
+}
+
+}  // namespace nup::sim

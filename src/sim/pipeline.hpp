@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/design.hpp"
+#include "sim/simulator.hpp"
+#include "stencil/program.hpp"
+
+namespace nup::sim {
+
+/// Multi-accelerator pipeline (Appendix 9.3, Fig 13c): stage k's output
+/// stream feeds stage k+1's off-chip input directly -- no intermediate
+/// frame buffer. Stages are clocked in lock step; the wire between two
+/// stages is a QueueFeed whose peak occupancy measures the registers a
+/// real implementation would need.
+///
+/// Compatibility rule (checked at add_stage): a downstream stage must
+/// consume exactly the element stream its predecessor produces, i.e. its
+/// single input array's streamed domain must equal the predecessor's
+/// iteration domain.
+class Pipeline {
+ public:
+  struct StageResult {
+    std::int64_t outputs = 0;
+    std::int64_t max_wire_fill = 0;  ///< peak elements on the input wire
+  };
+
+  struct Result {
+    bool completed = false;
+    std::int64_t cycles = 0;
+    std::vector<StageResult> stages;
+    std::vector<double> outputs;  ///< final stage outputs, in order
+  };
+
+  explicit Pipeline(SimOptions options = {});
+  ~Pipeline();
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Appends a stage. The first stage reads synthetic data; later stages
+  /// read their predecessor's output. Throws Error if the stage's input
+  /// stream is not exactly the predecessor's output stream.
+  void add_stage(const stencil::StencilProgram& program,
+                 const arch::AcceleratorDesign& design);
+
+  /// Convenience: builds the design with default options first.
+  void add_stage(const stencil::StencilProgram& program);
+
+  /// Runs all stages to completion in lock step.
+  Result run(std::int64_t max_cycles = 100'000'000);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace nup::sim

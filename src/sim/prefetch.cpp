@@ -1,0 +1,47 @@
+#include "sim/prefetch.hpp"
+
+#include "util/error.hpp"
+
+namespace nup::sim {
+
+PrefetchFeed::PrefetchFeed(std::shared_ptr<ExternalFeed> backing,
+                           Config config)
+    : backing_(std::move(backing)), config_(config) {
+  if (!backing_) throw SimulationError("PrefetchFeed: null backing feed");
+  if (config_.latency_cycles < 0 || config_.words_per_cycle < 1 ||
+      config_.buffer_depth < 1) {
+    throw SimulationError("PrefetchFeed: invalid configuration");
+  }
+}
+
+void PrefetchFeed::tick() {
+  ++now_;
+  // Complete arrived words.
+  while (!in_flight_.empty() && in_flight_.front() <= now_) {
+    in_flight_.pop_front();
+    ++ready_;
+  }
+  // Issue new burst requests while the window has room.
+  for (std::int64_t k = 0; k < config_.words_per_cycle; ++k) {
+    if (static_cast<std::int64_t>(in_flight_.size()) + ready_ >=
+        config_.buffer_depth) {
+      break;
+    }
+    in_flight_.push_back(now_ + config_.latency_cycles);
+  }
+}
+
+bool PrefetchFeed::available(const poly::IntVec& h) {
+  return ready_ > 0 && backing_->available(h);
+}
+
+double PrefetchFeed::read(const poly::IntVec& h) {
+  if (ready_ <= 0) {
+    throw SimulationError("PrefetchFeed::read with empty buffer at " +
+                          poly::to_string(h));
+  }
+  --ready_;
+  return backing_->read(h);
+}
+
+}  // namespace nup::sim

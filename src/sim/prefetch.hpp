@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "sim/feed.hpp"
+
+namespace nup::sim {
+
+/// Off-chip DRAM timing model behind a burst prefetcher (Appendix 9.3,
+/// Fig 13b): the prefetcher issues sequential burst requests ahead of the
+/// accelerator and a small buffer hides the access latency. A word becomes
+/// ready `latency_cycles` ticks after its request; at most
+/// `words_per_cycle` requests issue per cycle, and requests outstanding
+/// plus words buffered never exceed `buffer_depth`.
+///
+/// Timing and data are decoupled: because the accelerator consumes one
+/// lexicographic stream, the prefetcher only needs to stay ahead of the
+/// read pointer; values come from the backing feed at read time. This is
+/// exactly the simplification the paper's integration section highlights.
+class PrefetchFeed final : public ExternalFeed {
+ public:
+  struct Config {
+    std::int64_t latency_cycles = 40;  ///< request-to-data latency
+    std::int64_t words_per_cycle = 1;  ///< off-chip bandwidth
+    std::int64_t buffer_depth = 64;    ///< prefetch window (outstanding+ready)
+  };
+
+  PrefetchFeed(std::shared_ptr<ExternalFeed> backing, Config config);
+
+  /// Advances the DRAM/prefetcher model by one cycle.
+  void tick() override;
+
+  bool available(const poly::IntVec& h) override;
+  double read(const poly::IntVec& h) override;
+
+  /// Words ready in the prefetch buffer (diagnostics).
+  std::int64_t buffered() const { return ready_; }
+
+ private:
+  std::shared_ptr<ExternalFeed> backing_;
+  Config config_;
+  std::int64_t now_ = 0;
+  std::deque<std::int64_t> in_flight_;  ///< completion times, oldest first
+  std::int64_t ready_ = 0;              ///< words arrived, not yet consumed
+};
+
+}  // namespace nup::sim

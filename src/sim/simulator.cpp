@@ -1,0 +1,424 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace nup::sim {
+
+namespace {
+
+struct Token {
+  poly::IntVec point;
+  double value = 0.0;
+};
+
+struct FifoSim {
+  std::int64_t capacity = 0;
+  bool cut = false;
+  std::deque<Token> tokens;
+  std::int64_t max_fill = 0;
+};
+
+struct SourceSim {
+  std::optional<poly::Domain::LexCursor> cursor;  // over the input domain
+  std::shared_ptr<ExternalFeed> feed;
+};
+
+struct FilterSim {
+  poly::Domain out_domain;  // D_Ax in filter order
+  std::optional<poly::Domain::LexCursor> out_cursor;
+  /// Index into SystemSim::sources when this filter heads a chain segment.
+  std::optional<std::size_t> segment;
+};
+
+struct SystemSim {
+  const arch::MemorySystem* design = nullptr;
+  poly::Domain input_domain;
+  std::vector<SourceSim> sources;
+  std::vector<FifoSim> fifos;
+  std::vector<FilterSim> filters;
+
+  // Per-cycle scratch, indexed by filter.
+  std::vector<bool> avail;
+  std::vector<bool> match;
+  std::vector<bool> advance;
+  std::vector<const poly::IntVec*> cand_point;
+  std::vector<Token> moved;  // token consumed by each advancing filter
+};
+
+}  // namespace
+
+struct AcceleratorSim::Impl {
+  const stencil::StencilProgram* program = nullptr;
+  const arch::AcceleratorDesign* design = nullptr;
+  SimOptions options;
+
+  poly::Domain iteration;
+  std::optional<poly::Domain::LexCursor> kernel_cursor;
+  std::int64_t total_iterations = 0;
+
+  std::vector<SystemSim> systems;
+  std::vector<std::vector<Token>> ports;  // [system][filter] forwarded token
+
+  std::function<void(const poly::IntVec&, double)> output_callback;
+
+  SimResult result;
+  /// Stream point presented at segment 0 of system 0 this cycle, captured
+  /// before commits so traces show the element entering the chain
+  /// (Table 3's "data in stream" column).
+  std::string stream_point_this_cycle;
+  std::int64_t cycle = 0;
+  std::int64_t stall_cycles = 0;
+  std::int64_t last_fire_cycle = 0;
+  bool finished_reported = false;
+  std::vector<double> gathered;  // kernel argument scratch
+
+  bool done() const { return result.kernel_fires == total_iterations; }
+
+  void prepare_cycle();
+  bool evaluate_fire(SystemSim& sys) const;
+  void commit_advances(SystemSim& sys, bool fire);
+  void commit_kernel();
+  void record_trace(bool fire);
+  std::string describe_stall() const;
+  bool step();
+};
+
+AcceleratorSim::AcceleratorSim(const stencil::StencilProgram& program,
+                               const arch::AcceleratorDesign& design,
+                               SimOptions options)
+    : impl_(std::make_unique<Impl>()) {
+  Impl& im = *impl_;
+  im.program = &program;
+  im.design = &design;
+  im.options = options;
+  im.iteration = program.iteration();
+  im.total_iterations = im.iteration.count();
+
+  if (design.systems.size() != program.inputs().size()) {
+    throw SimulationError("design has " +
+                          std::to_string(design.systems.size()) +
+                          " memory systems for " +
+                          std::to_string(program.inputs().size()) +
+                          " input arrays");
+  }
+
+  // First pass: build all containers so nothing moves afterwards.
+  im.systems.resize(design.systems.size());
+  im.ports.resize(design.systems.size());
+  for (std::size_t s = 0; s < design.systems.size(); ++s) {
+    const arch::MemorySystem& ms = design.systems[s];
+    SystemSim& sys = im.systems[s];
+    sys.design = &ms;
+    sys.input_domain = ms.input_domain;
+
+    const std::size_t n = ms.filter_count();
+    sys.filters.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      sys.filters[k].out_domain =
+          program.iteration().translated(ms.ordered_offsets[k]);
+    }
+    sys.fifos.resize(ms.fifos.size());
+    for (std::size_t k = 0; k < ms.fifos.size(); ++k) {
+      sys.fifos[k].capacity = ms.fifos[k].depth;
+      sys.fifos[k].cut = ms.fifos[k].cut;
+    }
+    const std::vector<std::size_t> heads = ms.segment_heads();
+    sys.sources.resize(heads.size());
+    for (std::size_t seg = 0; seg < heads.size(); ++seg) {
+      sys.filters[heads[seg]].segment = seg;
+      sys.sources[seg].feed =
+          std::make_shared<SyntheticFeed>(options.seed, ms.array_index);
+    }
+    sys.avail.assign(n, false);
+    sys.match.assign(n, false);
+    sys.advance.assign(n, false);
+    sys.cand_point.assign(n, nullptr);
+    sys.moved.resize(n);
+    im.ports[s].resize(n);
+  }
+
+  // Second pass: create cursors now that every Domain has its final
+  // address.
+  im.kernel_cursor.emplace(im.iteration);
+  for (SystemSim& sys : im.systems) {
+    for (SourceSim& src : sys.sources) {
+      src.cursor.emplace(sys.input_domain);
+    }
+    for (FilterSim& filter : sys.filters) {
+      filter.out_cursor.emplace(filter.out_domain);
+    }
+  }
+
+  im.result.fifo_max_fill.resize(design.systems.size());
+  for (std::size_t s = 0; s < design.systems.size(); ++s) {
+    im.result.fifo_max_fill[s].assign(design.systems[s].fifos.size(), 0);
+  }
+  im.gathered.resize(program.total_references());
+}
+
+AcceleratorSim::~AcceleratorSim() = default;
+
+void AcceleratorSim::set_feed(std::size_t array_idx, std::size_t segment,
+                              std::shared_ptr<ExternalFeed> feed) {
+  impl_->systems.at(array_idx).sources.at(segment).feed = std::move(feed);
+}
+
+void AcceleratorSim::set_output_callback(
+    std::function<void(const poly::IntVec&, double)> callback) {
+  impl_->output_callback = std::move(callback);
+}
+
+bool AcceleratorSim::done() const { return impl_->done(); }
+
+void AcceleratorSim::Impl::prepare_cycle() {
+  for (SystemSim& sys : systems) {
+    for (SourceSim& src : sys.sources) src.feed->tick();
+  }
+  stream_point_this_cycle.clear();
+  if (!systems.empty() && !systems.front().sources.empty()) {
+    const SourceSim& src = systems.front().sources.front();
+    if (src.cursor->valid()) {
+      stream_point_this_cycle = poly::to_string(src.cursor->point());
+    }
+  }
+  for (SystemSim& sys : systems) {
+    const std::size_t n = sys.filters.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      sys.avail[k] = false;
+      sys.match[k] = false;
+      sys.advance[k] = false;
+      sys.cand_point[k] = nullptr;
+      FilterSim& filter = sys.filters[k];
+      if (!filter.out_cursor->valid()) continue;  // done forwarding
+      if (filter.segment.has_value()) {
+        SourceSim& src = sys.sources[*filter.segment];
+        if (src.cursor->valid() && src.feed->available(src.cursor->point())) {
+          sys.avail[k] = true;
+          sys.cand_point[k] = &src.cursor->point();
+        }
+      } else {
+        FifoSim& fifo = sys.fifos[k - 1];
+        if (!fifo.tokens.empty()) {
+          sys.avail[k] = true;
+          sys.cand_point[k] = &fifo.tokens.front().point;
+        }
+      }
+      sys.match[k] = sys.avail[k] &&
+                     *sys.cand_point[k] == filter.out_cursor->point();
+    }
+  }
+}
+
+/// Under the hypothesis that the kernel fires this cycle (so every filter
+/// consumes its candidate), checks whether every filter can in fact forward:
+/// available candidate, downstream FIFO space (with same-cycle flow-through)
+/// and a matching point.
+bool AcceleratorSim::Impl::evaluate_fire(SystemSim& sys) const {
+  const std::size_t n = sys.filters.size();
+  bool fire = true;
+  bool downstream_advances = true;  // filter n-1 has no downstream FIFO
+  for (std::size_t k = n; k-- > 0;) {
+    bool space = true;
+    if (k + 1 < n && !sys.fifos[k].cut) {
+      const FifoSim& fifo = sys.fifos[k];
+      space = static_cast<std::int64_t>(fifo.tokens.size()) < fifo.capacity ||
+              downstream_advances;
+    }
+    const bool advances = sys.avail[k] && space;
+    fire = fire && advances && sys.match[k];
+    downstream_advances = advances;
+  }
+  return fire;
+}
+
+void AcceleratorSim::Impl::commit_advances(SystemSim& sys, bool fire) {
+  const std::size_t n = sys.filters.size();
+  // Decide advances bottom-up so same-cycle FIFO flow-through is honoured.
+  bool downstream_advances = true;
+  for (std::size_t k = n; k-- > 0;) {
+    bool space = true;
+    if (k + 1 < n && !sys.fifos[k].cut) {
+      const FifoSim& fifo = sys.fifos[k];
+      space = static_cast<std::int64_t>(fifo.tokens.size()) < fifo.capacity ||
+              downstream_advances;
+    }
+    const bool consumes = sys.match[k] ? fire : true;
+    sys.advance[k] = sys.avail[k] && space && consumes;
+    downstream_advances = sys.advance[k];
+  }
+  // Pops first.
+  for (std::size_t k = 0; k < n; ++k) {
+    if (!sys.advance[k]) continue;
+    FilterSim& filter = sys.filters[k];
+    if (filter.segment.has_value()) {
+      SourceSim& src = sys.sources[*filter.segment];
+      sys.moved[k].point = src.cursor->point();
+      sys.moved[k].value = src.feed->read(src.cursor->point());
+      src.cursor->advance();
+    } else {
+      FifoSim& fifo = sys.fifos[k - 1];
+      sys.moved[k] = std::move(fifo.tokens.front());
+      fifo.tokens.pop_front();
+    }
+  }
+  // Then pushes and forwards.
+  for (std::size_t k = 0; k < n; ++k) {
+    if (!sys.advance[k]) continue;
+    if (k + 1 < n && !sys.fifos[k].cut) {
+      FifoSim& fifo = sys.fifos[k];
+      fifo.tokens.push_back(sys.moved[k]);
+      fifo.max_fill = std::max(
+          fifo.max_fill, static_cast<std::int64_t>(fifo.tokens.size()));
+    }
+    if (sys.match[k]) {
+      sys.filters[k].out_cursor->advance();
+    }
+  }
+}
+
+void AcceleratorSim::Impl::commit_kernel() {
+  const poly::IntVec& i = kernel_cursor->point();
+  std::size_t base = 0;
+  for (std::size_t s = 0; s < systems.size(); ++s) {
+    SystemSim& sys = systems[s];
+    for (std::size_t k = 0; k < sys.filters.size(); ++k) {
+      const Token& token = sys.moved[k];
+      if (options.validate) {
+        const poly::IntVec expected =
+            poly::add(i, sys.design->ordered_offsets[k]);
+        if (token.point != expected) {
+          throw SimulationError(
+              "kernel port mismatch at iteration " + poly::to_string(i) +
+              ": filter " + std::to_string(k) + " of array " +
+              sys.design->array + " delivered " +
+              poly::to_string(token.point) + ", expected " +
+              poly::to_string(expected));
+        }
+      }
+      gathered[base + sys.design->ref_order[k]] = token.value;
+    }
+    base += sys.filters.size();
+  }
+  const double output = program->kernel()(gathered);
+  if (options.record_outputs) result.outputs.push_back(output);
+  if (output_callback) output_callback(i, output);
+  kernel_cursor->advance();
+  ++result.kernel_fires;
+  if (result.kernel_fires == 1) result.fill_latency = cycle;
+  last_fire_cycle = cycle;
+}
+
+void AcceleratorSim::Impl::record_trace(bool fire) {
+  CycleTrace trace;
+  trace.cycle = cycle;
+  const SystemSim& sys = systems.front();
+  trace.stream_point = stream_point_this_cycle;
+  trace.filters.reserve(sys.filters.size());
+  for (std::size_t k = 0; k < sys.filters.size(); ++k) {
+    FilterStatus status = FilterStatus::kStalled;
+    if (!sys.filters[k].out_cursor->valid()) {
+      status = FilterStatus::kDone;
+    } else if (sys.advance[k]) {
+      status = (fire && sys.match[k]) ? FilterStatus::kForward
+                                      : FilterStatus::kDiscard;
+    }
+    trace.filters.push_back(status);
+  }
+  for (const FifoSim& fifo : sys.fifos) {
+    trace.fifo_fill.push_back(static_cast<std::int64_t>(fifo.tokens.size()));
+  }
+  result.trace.push_back(std::move(trace));
+}
+
+std::string AcceleratorSim::Impl::describe_stall() const {
+  std::ostringstream out;
+  out << "no progress at cycle " << cycle << ";";
+  for (std::size_t s = 0; s < systems.size(); ++s) {
+    const SystemSim& sys = systems[s];
+    out << " array " << sys.design->array << ": filters[";
+    for (std::size_t k = 0; k < sys.filters.size(); ++k) {
+      if (!sys.filters[k].out_cursor->valid()) {
+        out << '.';
+      } else if (sys.match[k]) {
+        out << 'F';  // wants to forward
+      } else if (sys.avail[k]) {
+        out << 'd';
+      } else {
+        out << 's';
+      }
+    }
+    out << "] fifo_fill[";
+    for (std::size_t k = 0; k < sys.fifos.size(); ++k) {
+      if (k > 0) out << ',';
+      out << sys.fifos[k].tokens.size() << '/' << sys.fifos[k].capacity;
+    }
+    out << "]";
+  }
+  return out.str();
+}
+
+bool AcceleratorSim::Impl::step() {
+  ++cycle;
+  prepare_cycle();
+
+  bool fire = kernel_cursor->valid();
+  for (SystemSim& sys : systems) fire = fire && evaluate_fire(sys);
+
+  bool progress = fire;
+  for (SystemSim& sys : systems) {
+    commit_advances(sys, fire);
+    for (std::size_t k = 0; k < sys.filters.size(); ++k) {
+      progress = progress || sys.advance[k];
+    }
+  }
+  if (fire) commit_kernel();
+
+  if (options.trace_cycles > 0 && cycle <= options.trace_cycles) {
+    record_trace(fire);
+  }
+  if (progress) {
+    stall_cycles = 0;
+  } else {
+    ++stall_cycles;
+  }
+  return progress;
+}
+
+bool AcceleratorSim::step() { return impl_->step(); }
+
+SimResult AcceleratorSim::run() {
+  Impl& im = *impl_;
+  while (!im.done() && im.cycle < im.options.max_cycles) {
+    im.step();
+    if (im.stall_cycles >= im.options.stall_limit) {
+      im.result.deadlocked = true;
+      im.result.deadlock_detail = im.describe_stall();
+      break;
+    }
+  }
+  im.result.cycles = im.cycle;
+  if (im.result.kernel_fires >= 2) {
+    im.result.steady_ii =
+        static_cast<double>(im.last_fire_cycle - im.result.fill_latency) /
+        static_cast<double>(im.result.kernel_fires - 1);
+  }
+  for (std::size_t s = 0; s < im.systems.size(); ++s) {
+    for (std::size_t k = 0; k < im.systems[s].fifos.size(); ++k) {
+      im.result.fifo_max_fill[s][k] = im.systems[s].fifos[k].max_fill;
+    }
+  }
+  return im.result;
+}
+
+SimResult simulate(const stencil::StencilProgram& program,
+                   const arch::AcceleratorDesign& design,
+                   const SimOptions& options) {
+  AcceleratorSim sim(program, design, options);
+  return sim.run();
+}
+
+}  // namespace nup::sim

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/design.hpp"
+#include "poly/domain.hpp"
+#include "sim/feed.hpp"
+#include "stencil/program.hpp"
+
+namespace nup::sim {
+
+struct SimOptions {
+  std::uint64_t seed = 1;            ///< synthetic-data seed
+  std::int64_t max_cycles = 500'000'000;
+  /// Cycles without any module progress before declaring deadlock.
+  std::int64_t stall_limit = 100'000;
+  /// Record per-cycle traces for the first N cycles (Table 3).
+  std::int64_t trace_cycles = 0;
+  /// Validate every kernel port against the expected grid point and value.
+  bool validate = true;
+  /// Keep all kernel outputs in the result (memory-heavy for big grids).
+  bool record_outputs = true;
+};
+
+/// Per-cycle status of one data filter (Table 3's f/d/s columns).
+enum class FilterStatus : char {
+  kForward = 'f',
+  kDiscard = 'd',
+  kStalled = 's',
+  kDone = '.',
+};
+
+struct CycleTrace {
+  std::int64_t cycle = 0;  ///< 1-based, matching Table 3
+  /// Grid point entering the chain at segment 0 of system 0 ("data in
+  /// stream" column); empty when the stream is exhausted.
+  std::string stream_point;
+  std::vector<FilterStatus> filters;      ///< system 0 filters
+  std::vector<std::int64_t> fifo_fill;    ///< system 0 FIFO occupancy
+};
+
+struct SimResult {
+  std::int64_t cycles = 0;
+  std::int64_t kernel_fires = 0;
+  std::int64_t fill_latency = 0;  ///< cycle of the first kernel fire
+  /// Steady-state initiation interval: average cycles between kernel fires
+  /// after the pipeline filled (1.0 = fully pipelined).
+  double steady_ii = 0.0;
+  bool deadlocked = false;
+  std::string deadlock_detail;
+  /// Max observed occupancy of every (system, fifo); never exceeds the
+  /// design depth, and equals it where the sizing is tight.
+  std::vector<std::vector<std::int64_t>> fifo_max_fill;
+  std::vector<CycleTrace> trace;
+  std::vector<double> outputs;  ///< kernel outputs in iteration order
+};
+
+/// Cycle-accurate simulation of the generated microarchitecture: autonomous
+/// data-path splitters, non-uniform reuse FIFOs, polyhedral data filters
+/// (Fig 10's input/output counter switch) and a fully-pipelined computation
+/// kernel, with the stall semantics of Section 3.3. Module latencies are
+/// idealized away exactly as in Table 3.
+class AcceleratorSim {
+ public:
+  AcceleratorSim(const stencil::StencilProgram& program,
+                 const arch::AcceleratorDesign& design,
+                 SimOptions options = {});
+  ~AcceleratorSim();
+
+  AcceleratorSim(const AcceleratorSim&) = delete;
+  AcceleratorSim& operator=(const AcceleratorSim&) = delete;
+
+  /// Replaces the off-chip feed of one chain segment (default: synthetic).
+  void set_feed(std::size_t array_idx, std::size_t segment,
+                std::shared_ptr<ExternalFeed> feed);
+
+  /// Invoked with every kernel output, in iteration order.
+  void set_output_callback(
+      std::function<void(const poly::IntVec&, double)> callback);
+
+  /// Advances one clock cycle. Returns true if any module made progress.
+  bool step();
+
+  bool done() const;
+
+  /// Runs until completion, deadlock, or the cycle limit; the outcome is in
+  /// the returned result (no exception on deadlock -- tests inject them on
+  /// purpose). Throws SimulationError only on validation failures, which
+  /// indicate a functionally wrong design.
+  SimResult run();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Convenience wrapper: build-free simulation of a program with a design.
+SimResult simulate(const stencil::StencilProgram& program,
+                   const arch::AcceleratorDesign& design,
+                   const SimOptions& options = {});
+
+}  // namespace nup::sim

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+
+#include "arch/design.hpp"
+#include "sim/simulator.hpp"
+
+namespace nup::sim {
+
+/// Renders the recorded per-cycle trace (filter statuses, FIFO occupancy,
+/// kernel fire) of memory system 0 as a Value Change Dump, viewable in
+/// GTKWave & friends next to the generated RTL. One VCD time unit per
+/// clock cycle. Requires the simulation to have run with
+/// SimOptions::trace_cycles > 0.
+std::string trace_to_vcd(const SimResult& result,
+                         const arch::AcceleratorDesign& design,
+                         const std::string& top_name = "accelerator");
+
+/// trace_to_vcd + write to `path`. Returns false if the file cannot be
+/// written.
+bool write_vcd(const std::string& path, const SimResult& result,
+               const arch::AcceleratorDesign& design,
+               const std::string& top_name = "accelerator");
+
+}  // namespace nup::sim

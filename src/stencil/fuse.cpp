@@ -1,0 +1,75 @@
+#include "stencil/fuse.hpp"
+
+#include <map>
+
+#include "util/error.hpp"
+
+namespace nup::stencil {
+
+StencilProgram fuse(const StencilProgram& first,
+                    const StencilProgram& second) {
+  if (first.inputs().size() != 1 || second.inputs().size() != 1) {
+    throw NotStencilError("fuse: both stages must read a single array");
+  }
+  if (first.dim() != second.dim()) {
+    throw NotStencilError("fuse: dimensionality mismatch");
+  }
+  const std::vector<ArrayReference>& w1 = first.inputs()[0].refs;
+  const std::vector<ArrayReference>& w2 = second.inputs()[0].refs;
+
+  // Every intermediate element second needs must be producible by first.
+  for (const ArrayReference& g : w2) {
+    bool inside = true;
+    second.iteration().for_each([&](const poly::IntVec& i) {
+      if (inside && !first.iteration().contains(poly::add(i, g.offset))) {
+        inside = false;
+      }
+    });
+    if (!inside) {
+      throw NotStencilError(
+          "fuse: reference " + poly::to_string(g.offset) +
+          " of the second stage reaches outside the first stage's "
+          "iteration domain");
+    }
+  }
+
+  // Fused window: Minkowski sum, deduplicated; remember the slot of every
+  // (g, f) pair.
+  std::map<poly::IntVec, std::size_t> slot_of;
+  std::vector<poly::IntVec> offsets;
+  std::vector<std::vector<std::size_t>> pair_slots(w2.size());
+  for (std::size_t g = 0; g < w2.size(); ++g) {
+    pair_slots[g].reserve(w1.size());
+    for (const ArrayReference& f : w1) {
+      const poly::IntVec combined = poly::add(w2[g].offset, f.offset);
+      const auto [it, inserted] =
+          slot_of.emplace(combined, offsets.size());
+      if (inserted) offsets.push_back(combined);
+      pair_slots[g].push_back(it->second);
+    }
+  }
+
+  StencilProgram fused(first.name() + "+" + second.name(),
+                       second.iteration());
+  fused.add_input(first.inputs()[0].name, offsets);
+  fused.set_output(second.output_name());
+
+  const KernelFn k1 = first.kernel();
+  const KernelFn k2 = second.kernel();
+  const std::size_t inner_arity = w1.size();
+  fused.set_kernel([k1, k2, pair_slots,
+                    inner_arity](const std::vector<double>& values) {
+    std::vector<double> stage2_inputs(pair_slots.size());
+    std::vector<double> gather(inner_arity);
+    for (std::size_t g = 0; g < pair_slots.size(); ++g) {
+      for (std::size_t f = 0; f < inner_arity; ++f) {
+        gather[f] = values[pair_slots[g][f]];
+      }
+      stage2_inputs[g] = k1(gather);
+    }
+    return k2(stage2_inputs);
+  });
+  return fused;
+}
+
+}  // namespace nup::stencil

@@ -1,0 +1,21 @@
+#pragma once
+
+#include "stencil/program.hpp"
+
+namespace nup::stencil {
+
+/// Loop fusion of two stencil stages ([12] in the paper): `second` consumes
+/// the array `first` produces. The fused program computes
+/// second(first(A)) in a single pass; its window is the Minkowski sum of
+/// the two windows (|W| up to |W1|*|W2| unique offsets), which is exactly
+/// the "large stencil window after loop fusion" case the paper's
+/// introduction motivates the memory system with.
+///
+/// Requirements: both programs are single-input, equal dimensionality, and
+/// `second`'s iteration domain translated by any of its offsets stays
+/// inside `first`'s iteration domain (every intermediate element the fused
+/// kernel needs is computable).
+StencilProgram fuse(const StencilProgram& first,
+                    const StencilProgram& second);
+
+}  // namespace nup::stencil

@@ -1,0 +1,192 @@
+#include "stencil/program.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace nup::stencil {
+
+namespace {
+
+std::string subscript(const std::string& iter_name, std::int64_t offset) {
+  if (offset == 0) return "[" + iter_name + "]";
+  if (offset > 0) return "[" + iter_name + "+" + std::to_string(offset) + "]";
+  return "[" + iter_name + std::to_string(offset) + "]";
+}
+
+}  // namespace
+
+std::string ArrayReference::to_string(
+    const std::string& array,
+    const std::vector<std::string>& iter_names) const {
+  if (iter_names.size() != offset.size()) {
+    throw Error("ArrayReference::to_string name/offset size mismatch");
+  }
+  std::string out = array;
+  for (std::size_t d = 0; d < offset.size(); ++d) {
+    out += subscript(iter_names[d], offset[d]);
+  }
+  return out;
+}
+
+KernelFn make_weighted_sum(std::vector<double> weights) {
+  return [weights = std::move(weights)](const std::vector<double>& values) {
+    if (values.size() != weights.size()) {
+      throw Error("weighted-sum kernel arity mismatch: got " +
+                  std::to_string(values.size()) + " values for " +
+                  std::to_string(weights.size()) + " weights");
+    }
+    double acc = 0.0;
+    for (std::size_t k = 0; k < values.size(); ++k) {
+      acc += weights[k] * values[k];
+    }
+    return acc;
+  };
+}
+
+StencilProgram::StencilProgram(std::string name, poly::Domain iteration)
+    : name_(std::move(name)), iteration_(std::move(iteration)) {
+  if (!iteration_.has_pieces()) {
+    throw NotStencilError("StencilProgram '" + name_ +
+                          "': empty iteration domain");
+  }
+}
+
+void StencilProgram::add_input(std::string array,
+                               std::vector<poly::IntVec> offsets) {
+  if (offsets.empty()) {
+    throw NotStencilError("input array '" + array + "' has no references");
+  }
+  InputArray input;
+  input.name = std::move(array);
+  for (poly::IntVec& f : offsets) {
+    if (f.size() != dim()) {
+      throw NotStencilError(
+          "reference offset dimensionality " + std::to_string(f.size()) +
+          " does not match iteration dimensionality " + std::to_string(dim()));
+    }
+    for (const ArrayReference& existing : input.refs) {
+      if (existing.offset == f) {
+        throw NotStencilError("duplicate reference offset " +
+                              poly::to_string(f) + " on array '" +
+                              input.name + "'");
+      }
+    }
+    input.refs.push_back(ArrayReference{std::move(f)});
+  }
+  inputs_.push_back(std::move(input));
+}
+
+std::size_t StencilProgram::total_references() const {
+  std::size_t n = 0;
+  for (const InputArray& input : inputs_) n += input.refs.size();
+  return n;
+}
+
+const KernelFn& StencilProgram::kernel() const {
+  if (kernel_) return kernel_;
+  if (!default_kernel_) {
+    const std::size_t n = total_references();
+    default_kernel_ = make_weighted_sum(
+        std::vector<double>(n, n == 0 ? 0.0 : 1.0 / static_cast<double>(n)));
+  }
+  return default_kernel_;
+}
+
+poly::Domain StencilProgram::reference_domain(std::size_t array_idx,
+                                              std::size_t ref_idx) const {
+  const InputArray& input = inputs_.at(array_idx);
+  return iteration_.translated(input.refs.at(ref_idx).offset);
+}
+
+poly::Domain StencilProgram::input_data_domain(std::size_t array_idx) const {
+  const InputArray& input = inputs_.at(array_idx);
+  poly::Domain out;
+  for (const ArrayReference& ref : input.refs) {
+    for (const poly::Polyhedron& piece : iteration_.pieces()) {
+      out.add_piece(piece.translated(ref.offset));
+    }
+  }
+  return out;
+}
+
+poly::Domain StencilProgram::data_domain_hull(std::size_t array_idx) const {
+  const InputArray& input = inputs_.at(array_idx);
+  poly::IntVec lo(dim(), 0);
+  poly::IntVec hi(dim(), 0);
+  std::vector<bool> initialized(dim(), false);
+  for (const poly::Polyhedron& piece : iteration_.pieces()) {
+    for (std::size_t d = 0; d < dim(); ++d) {
+      const poly::Interval range = piece.axis_range(d);
+      if (range.empty()) continue;
+      for (const ArrayReference& ref : input.refs) {
+        const std::int64_t piece_lo = range.lo + ref.offset[d];
+        const std::int64_t piece_hi = range.hi + ref.offset[d];
+        if (!initialized[d]) {
+          lo[d] = piece_lo;
+          hi[d] = piece_hi;
+          initialized[d] = true;
+        } else {
+          lo[d] = std::min(lo[d], piece_lo);
+          hi[d] = std::max(hi[d], piece_hi);
+        }
+      }
+    }
+  }
+  for (bool init : initialized) {
+    if (!init) throw Error("data_domain_hull: degenerate iteration domain");
+  }
+  return poly::Domain::box(lo, hi);
+}
+
+std::vector<std::string> StencilProgram::iteration_names() const {
+  static const char* kNames[] = {"i", "j", "k"};
+  std::vector<std::string> names;
+  names.reserve(dim());
+  for (std::size_t d = 0; d < dim(); ++d) {
+    names.push_back(d < 3 ? kNames[d] : "x" + std::to_string(d));
+  }
+  return names;
+}
+
+std::string StencilProgram::to_c_code() const {
+  const std::vector<std::string> names = iteration_names();
+  std::string out;
+  std::string indent;
+
+  poly::IntVec lo;
+  poly::IntVec hi;
+  if (iteration_.as_single_box(&lo, &hi)) {
+    for (std::size_t d = 0; d < dim(); ++d) {
+      out += indent + "for (int " + names[d] + " = " + std::to_string(lo[d]) +
+             "; " + names[d] + " <= " + std::to_string(hi[d]) + "; " +
+             names[d] + "++)\n";
+      indent += "  ";
+    }
+  } else {
+    out += "// iteration domain: " + iteration_.to_string() + "\n";
+    out += "for (point (" ;
+    for (std::size_t d = 0; d < dim(); ++d) {
+      if (d > 0) out += ", ";
+      out += names[d];
+    }
+    out += ") in domain)\n";
+    indent = "  ";
+  }
+
+  std::string lhs = output_;
+  for (const std::string& n : names) lhs += "[" + n + "]";
+  out += indent + lhs + " = kernel(";
+  bool first = true;
+  for (const InputArray& input : inputs_) {
+    for (const ArrayReference& ref : input.refs) {
+      if (!first) out += ", ";
+      out += ref.to_string(input.name, names);
+      first = false;
+    }
+  }
+  out += ");\n";
+  return out;
+}
+
+}  // namespace nup::stencil

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "poly/domain.hpp"
+#include "poly/int_vec.hpp"
+
+namespace nup::stencil {
+
+/// One read reference A[i + f] of a data array (Definition 4: the access
+/// function of a stencil reference is the identity plus a constant offset).
+struct ArrayReference {
+  poly::IntVec offset;  // f_x
+
+  /// Renders e.g. "A[i-1][j]" for offset (-1, 0).
+  std::string to_string(const std::string& array,
+                        const std::vector<std::string>& iter_names) const;
+};
+
+/// A data array together with all its stencil references (the stencil
+/// window), in source order.
+struct InputArray {
+  std::string name;
+  std::vector<ArrayReference> refs;
+};
+
+/// Combines the values gathered for one iteration -- flattened across
+/// arrays then references, in source order -- into the output value.
+using KernelFn = std::function<double(const std::vector<double>&)>;
+
+/// Builds a KernelFn computing sum(weights[k] * values[k]).
+KernelFn make_weighted_sum(std::vector<double> weights);
+
+/// A complete stencil computation (Definition 4): an iteration domain, one
+/// or more input arrays with constant-offset references, and a pointwise
+/// kernel producing one output element per iteration.
+class StencilProgram {
+ public:
+  StencilProgram(std::string name, poly::Domain iteration);
+
+  /// Declares an input array with the given reference offsets (the stencil
+  /// window). Offsets must match the iteration dimensionality and be
+  /// pairwise distinct.
+  void add_input(std::string array, std::vector<poly::IntVec> offsets);
+
+  void set_output(std::string name) { output_ = std::move(name); }
+  void set_kernel(KernelFn kernel) { kernel_ = std::move(kernel); }
+
+  const std::string& name() const { return name_; }
+  const poly::Domain& iteration() const { return iteration_; }
+  const std::vector<InputArray>& inputs() const { return inputs_; }
+  const std::string& output_name() const { return output_; }
+  std::size_t dim() const { return iteration_.dim(); }
+
+  /// Total number of array references across all inputs: the original
+  /// pipeline II before memory partitioning (Table 4's "Original II").
+  std::size_t total_references() const;
+
+  /// Kernel used for golden execution; defaults to an equal-weight sum.
+  const KernelFn& kernel() const;
+
+  /// D_Ax: the set of data elements touched by one reference (Definition 5).
+  poly::Domain reference_domain(std::size_t array_idx,
+                                std::size_t ref_idx) const;
+
+  /// D_A: the union of all reference domains of one array (Definition 6).
+  poly::Domain input_data_domain(std::size_t array_idx) const;
+
+  /// The bounding box of D_A as a single-box domain. This is the "A[0..767]
+  /// [0..1023]" representation the paper streams from external memory; the
+  /// default FIFO-sizing rule is computed against it.
+  poly::Domain data_domain_hull(std::size_t array_idx) const;
+
+  /// Names i, j, k, ... (or x0.. for >3 dims) used when rendering code.
+  std::vector<std::string> iteration_names() const;
+
+  /// Renders Fig 1-style C code of the whole computation (for docs, tests,
+  /// and the code generator round-trip).
+  std::string to_c_code() const;
+
+ private:
+  std::string name_;
+  poly::Domain iteration_;
+  std::vector<InputArray> inputs_;
+  std::string output_ = "B";
+  KernelFn kernel_;  // empty until first use; defaults to equal-weight sum
+  mutable KernelFn default_kernel_;
+};
+
+}  // namespace nup::stencil

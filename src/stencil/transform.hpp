@@ -1,0 +1,17 @@
+#pragma once
+
+#include "poly/transform.hpp"
+#include "stencil/program.hpp"
+
+namespace nup::stencil {
+
+/// Applies a unimodular loop transformation to a stencil program ([15]'s
+/// polyhedral preprocessing): the iteration domain maps to its image and
+/// every reference offset f to T*f, which keeps the computation a stencil
+/// (Definition 4 is closed under unimodular transforms). The kernel
+/// function is unchanged; outputs of iteration i' = T*i + shift equal the
+/// original outputs of iteration i.
+StencilProgram transform(const StencilProgram& program,
+                         const poly::UnimodularTransform& t);
+
+}  // namespace nup::stencil

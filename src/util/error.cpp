@@ -1,0 +1,11 @@
+#include "util/error.hpp"
+
+namespace nup {
+
+ParseError::ParseError(const std::string& what, int line, int column)
+    : Error(what + " (line " + std::to_string(line) + ", column " +
+            std::to_string(column) + ")"),
+      line_(line),
+      column_(column) {}
+
+}  // namespace nup

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace nup {
+
+/// Base class for all errors raised by the library. Every subsystem throws a
+/// subclass of this so callers can catch tool errors separately from
+/// std::logic_error-style programming mistakes.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when an input program is not a stencil computation under
+/// Definition 4 of the paper (non-affine access, non-constant offset, ...).
+class NotStencilError : public Error {
+ public:
+  explicit NotStencilError(const std::string& what) : Error(what) {}
+};
+
+/// Raised by the frontend on malformed source text.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line, int column);
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// Raised by the simulator when the design deadlocks (§3.3.2) or produces
+/// data inconsistent with the golden execution.
+class SimulationError : public Error {
+ public:
+  explicit SimulationError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a baseline partitioner cannot find a conflict-free scheme
+/// within its search bounds.
+class PartitionError : public Error {
+ public:
+  explicit PartitionError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace nup

@@ -1,0 +1,4 @@
+#include "util/rng.hpp"
+
+// Rng is header-only; this translation unit exists so the library has a
+// stable home for it if out-of-line helpers are added later.

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nup {
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Splits `text` on every occurrence of `sep` (single character). Empty
+/// fields are preserved.
+std::vector<std::string> split(const std::string& text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string trim(const std::string& text);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(const std::string& text, const std::string& prefix);
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string format_fixed(double value, int digits);
+
+/// Formats an integer with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string format_grouped(std::int64_t value);
+
+/// Formats a ratio as a signed percentage string, e.g. -0.662 -> "-66.2%".
+std::string format_percent(double fraction, int digits = 1);
+
+}  // namespace nup

@@ -1,0 +1,109 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace nup {
+
+namespace {
+
+bool looks_numeric(const std::string& text) {
+  if (text.empty()) return false;
+  for (char c : text) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+        c != '-' && c != '+' && c != '%' && c != ',') {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string pad(const std::string& text, std::size_t width, bool right) {
+  if (text.size() >= width) return text;
+  const std::string fill(width - text.size(), ' ');
+  return right ? fill + text : text + fill;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (!header_.empty() && row.size() != header_.size()) {
+    throw Error("TextTable row width " + std::to_string(row.size()) +
+                " does not match header width " +
+                std::to_string(header_.size()));
+  }
+  rows_.push_back(Row{false, std::move(row)});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{true, {}}); }
+
+std::string TextTable::to_string() const {
+  std::size_t columns = header_.size();
+  for (const Row& row : rows_) columns = std::max(columns, row.cells.size());
+
+  std::vector<std::size_t> widths(columns, 0);
+  auto account = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  account(header_);
+  for (const Row& row : rows_) {
+    if (!row.separator) account(row.cells);
+  }
+
+  auto render_rule = [&]() {
+    std::string line = "+";
+    for (std::size_t w : widths) line += std::string(w + 2, '-') + "+";
+    return line + "\n";
+  };
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t i = 0; i < columns; ++i) {
+      const std::string text = i < cells.size() ? cells[i] : std::string();
+      line.append(" ");
+      line.append(pad(text, widths[i], looks_numeric(text)));
+      line.append(" |");
+    }
+    line.append("\n");
+    return line;
+  };
+
+  std::ostringstream out;
+  if (!title_.empty()) out << title_ << "\n";
+  out << render_rule();
+  if (!header_.empty()) {
+    out << render_row(header_);
+    out << render_rule();
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      out << render_rule();
+    } else {
+      out << render_row(row.cells);
+    }
+  }
+  out << render_rule();
+  return out.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << to_string(); }
+
+std::string cell(std::int64_t value) { return std::to_string(value); }
+
+std::string cell(double value, int digits) {
+  return format_fixed(value, digits);
+}
+
+}  // namespace nup

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nup {
+
+/// Plain-text table formatter used by the benchmark harnesses to print the
+/// paper's tables. Columns are sized to their widest cell; numeric-looking
+/// cells are right-aligned, text cells left-aligned.
+class TextTable {
+ public:
+  /// Optional title printed above the table.
+  explicit TextTable(std::string title = "");
+
+  /// Sets the header row. Must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends one data row; its width must match the header if one is set.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator at the current position.
+  void add_separator();
+
+  /// Renders the whole table, including title and borders.
+  std::string to_string() const;
+
+  /// Writes to_string() to `os`.
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Convenience cell constructors.
+std::string cell(std::int64_t value);
+std::string cell(double value, int digits = 2);
+
+}  // namespace nup

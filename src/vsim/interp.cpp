@@ -1,0 +1,479 @@
+#include "vsim/interp.hpp"
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "util/error.hpp"
+#include "vsim/parser.hpp"
+
+namespace nup::vsim {
+
+namespace {
+
+std::uint64_t mask_for(int width) {
+  return width >= 64 ? ~std::uint64_t{0}
+                     : ((std::uint64_t{1} << width) - 1);
+}
+
+struct Typed {
+  std::int64_t value = 0;
+  bool is_signed = true;
+};
+
+}  // namespace
+
+struct VerilogSim::Impl {
+  struct Binding {
+    enum Kind { kNet, kMemory, kParam } kind = kNet;
+    std::size_t index = 0;       // net or memory index
+    std::int64_t param = 0;      // kParam value
+  };
+
+  struct Net {
+    int width = 1;
+    bool is_signed = false;
+  };
+
+  struct Memory {
+    int width = 1;
+    std::int64_t depth = 0;
+    std::size_t base = 0;  // offset into mem_words
+  };
+
+  /// One elaborated module instance: name bindings + parameter values.
+  struct Scope {
+    std::map<std::string, Binding> bindings;
+  };
+
+  struct FlatAssign {
+    std::size_t lhs_net;
+    const VExpr* rhs;
+    const Scope* scope;
+    int line;
+  };
+
+  struct FlatAlways {
+    std::size_t clock_net;
+    const std::vector<VStmtPtr>* body;
+    const Scope* scope;
+  };
+
+  VDesign design;
+  std::deque<Scope> scopes;  // stable addresses
+  std::vector<Net> nets;
+  std::vector<std::uint64_t> values;
+  std::vector<Memory> memories;
+  std::vector<std::uint64_t> mem_words;
+  std::vector<FlatAssign> assigns;
+  std::vector<FlatAlways> always_blocks;
+  std::map<std::string, Binding> name_table;  // hierarchical lookup
+
+  struct Commit {
+    bool is_memory = false;
+    std::size_t index = 0;      // net or memory
+    std::int64_t mem_addr = 0;  // memory write address
+    std::uint64_t value = 0;
+  };
+  std::vector<Commit> commits;
+
+  // ---- elaboration -------------------------------------------------
+
+  std::size_t new_net(int width, bool is_signed) {
+    nets.push_back(Net{width, is_signed});
+    values.push_back(0);
+    return nets.size() - 1;
+  }
+
+  static std::int64_t const_eval(const VExpr& expr, const Scope& scope,
+                                 const Impl& self);
+
+  void elaborate(const VModule& module, const std::string& path,
+                 const std::map<std::string, std::int64_t>& params,
+                 const std::map<std::string, Binding>& port_bindings) {
+    scopes.emplace_back();
+    Scope& scope = scopes.back();
+    for (const auto& [name, value] : params) {
+      Binding b;
+      b.kind = Binding::kParam;
+      b.param = value;
+      scope.bindings[name] = b;
+    }
+
+    auto eval_const = [&](const VExpr& expr) {
+      return const_eval(expr, scope, *this);
+    };
+
+    for (const VNetDecl& decl : module.nets) {
+      const int width =
+          decl.msb ? static_cast<int>(eval_const(*decl.msb)) + 1 : 1;
+      if (decl.mem_depth) {
+        Memory memory;
+        memory.width = width;
+        memory.depth = eval_const(*decl.mem_depth) + 1;
+        memory.base = mem_words.size();
+        mem_words.resize(mem_words.size() +
+                         static_cast<std::size_t>(memory.depth));
+        memories.push_back(memory);
+        Binding b;
+        b.kind = Binding::kMemory;
+        b.index = memories.size() - 1;
+        scope.bindings[decl.name] = b;
+        name_table[path + decl.name] = b;
+        continue;
+      }
+      const auto bound = port_bindings.find(decl.name);
+      Binding b;
+      if (decl.is_port && bound != port_bindings.end()) {
+        b = bound->second;
+      } else {
+        b.kind = Binding::kNet;
+        b.index = new_net(width, decl.is_signed);
+      }
+      scope.bindings[decl.name] = b;
+      name_table[path + decl.name] = b;
+    }
+
+    for (const VAssign& assign : module.assigns) {
+      const Binding& b = lookup(scope, assign.lhs, assign.line);
+      if (b.kind != Binding::kNet) {
+        throw Error("vsim: assign target '" + assign.lhs +
+                    "' is not a net");
+      }
+      assigns.push_back(FlatAssign{b.index, assign.rhs.get(), &scope,
+                                   assign.line});
+    }
+    for (const VAlways& always : module.always_blocks) {
+      const Binding& b = lookup(scope, always.clock, 0);
+      always_blocks.push_back(FlatAlways{b.index, &always.body, &scope});
+    }
+
+    for (const VInstance& inst : module.instances) {
+      const VModule* child = design.find(inst.module_name);
+      if (child == nullptr) {
+        throw Error("vsim: unknown module '" + inst.module_name + "'");
+      }
+      std::map<std::string, std::int64_t> child_params;
+      for (const VParam& param : child->params) {
+        child_params[param.name] = const_eval(*param.default_value, scope,
+                                              *this);
+      }
+      for (const auto& [name, expr] : inst.param_overrides) {
+        child_params[name] = const_eval(*expr, scope, *this);
+      }
+      std::map<std::string, Binding> child_ports;
+      for (const auto& [formal, actual] : inst.connections) {
+        if (actual->kind == VExprKind::kIdent) {
+          child_ports[formal] = lookup(scope, actual->name, inst.line);
+        } else if (actual->kind == VExprKind::kLiteral) {
+          Binding b;
+          b.kind = Binding::kNet;
+          b.index = new_net(actual->literal_width == 0
+                                ? 64
+                                : actual->literal_width,
+                            false);
+          values[b.index] = static_cast<std::uint64_t>(actual->literal);
+          child_ports[formal] = b;
+        } else {
+          throw Error(
+              "vsim: instance connections must be identifiers or "
+              "literals");
+        }
+      }
+      elaborate(*child, path + inst.instance_name + ".", child_params,
+                child_ports);
+    }
+  }
+
+  const Binding& lookup(const Scope& scope, const std::string& name,
+                        int line) const {
+    const auto it = scope.bindings.find(name);
+    if (it == scope.bindings.end()) {
+      throw Error("vsim: undefined name '" + name + "' (line " +
+                  std::to_string(line) + ")");
+    }
+    return it->second;
+  }
+
+  // ---- evaluation --------------------------------------------------
+
+  Typed read_net(const Binding& b) const {
+    const Net& net = nets[b.index];
+    std::uint64_t raw = values[b.index];
+    Typed out;
+    out.is_signed = net.is_signed;
+    if (net.is_signed && net.width < 64 &&
+        (raw & (std::uint64_t{1} << (net.width - 1)))) {
+      raw |= ~mask_for(net.width);  // sign-extend
+    }
+    out.value = static_cast<std::int64_t>(raw);
+    return out;
+  }
+
+  Typed eval(const VExpr& expr, const Scope& scope) const {
+    switch (expr.kind) {
+      case VExprKind::kLiteral:
+        return Typed{expr.literal, expr.literal_signed};
+      case VExprKind::kIdent: {
+        const Binding& b = lookup(scope, expr.name, expr.line);
+        if (b.kind == Binding::kParam) return Typed{b.param, true};
+        if (b.kind == Binding::kMemory) {
+          throw Error("vsim: memory '" + expr.name + "' used as a value");
+        }
+        return read_net(b);
+      }
+      case VExprKind::kIndex: {
+        const Binding& b = lookup(scope, expr.name, expr.line);
+        const std::int64_t idx = eval(*expr.children[0], scope).value;
+        if (b.kind == Binding::kMemory) {
+          const Memory& memory = memories[b.index];
+          if (idx < 0 || idx >= memory.depth) return Typed{0, false};
+          return Typed{static_cast<std::int64_t>(
+                           mem_words[memory.base +
+                                     static_cast<std::size_t>(idx)]),
+                       false};
+        }
+        const std::uint64_t raw = values[b.index];
+        return Typed{static_cast<std::int64_t>((raw >> idx) & 1), false};
+      }
+      case VExprKind::kRange: {
+        const Binding& b = lookup(scope, expr.name, expr.line);
+        if (b.kind != Binding::kNet) {
+          throw Error("vsim: part-select on non-net '" + expr.name + "'");
+        }
+        const std::int64_t msb = eval(*expr.children[0], scope).value;
+        const std::int64_t lsb = eval(*expr.children[1], scope).value;
+        const std::uint64_t raw = values[b.index];
+        return Typed{static_cast<std::int64_t>(
+                         (raw >> lsb) &
+                         mask_for(static_cast<int>(msb - lsb + 1))),
+                     false};
+      }
+      case VExprKind::kUnary: {
+        const Typed operand = eval(*expr.children[0], scope);
+        if (expr.op == "!") return Typed{operand.value == 0 ? 1 : 0, false};
+        if (expr.op == "~") {
+          return Typed{static_cast<std::int64_t>(
+                           ~static_cast<std::uint64_t>(operand.value)),
+                       false};
+        }
+        return Typed{-operand.value, operand.is_signed};
+      }
+      case VExprKind::kBinary: {
+        // Short-circuit logical operators first.
+        if (expr.op == "&&") {
+          if (eval(*expr.children[0], scope).value == 0) {
+            return Typed{0, false};
+          }
+          return Typed{eval(*expr.children[1], scope).value != 0 ? 1 : 0,
+                       false};
+        }
+        if (expr.op == "||") {
+          if (eval(*expr.children[0], scope).value != 0) {
+            return Typed{1, false};
+          }
+          return Typed{eval(*expr.children[1], scope).value != 0 ? 1 : 0,
+                       false};
+        }
+        const Typed lhs = eval(*expr.children[0], scope);
+        const Typed rhs = eval(*expr.children[1], scope);
+        const bool both_signed = lhs.is_signed && rhs.is_signed;
+        auto unsigned_cmp = [&](auto cmp) {
+          return Typed{cmp(static_cast<std::uint64_t>(lhs.value),
+                           static_cast<std::uint64_t>(rhs.value))
+                           ? 1
+                           : 0,
+                       false};
+        };
+        auto signed_cmp = [&](auto cmp) {
+          return Typed{cmp(lhs.value, rhs.value) ? 1 : 0, false};
+        };
+        if (expr.op == "==") return signed_cmp([](auto a, auto b) { return a == b; });
+        if (expr.op == "!=") return signed_cmp([](auto a, auto b) { return a != b; });
+        if (expr.op == "<") {
+          return both_signed
+                     ? signed_cmp([](auto a, auto b) { return a < b; })
+                     : unsigned_cmp([](auto a, auto b) { return a < b; });
+        }
+        if (expr.op == "<=") {
+          return both_signed
+                     ? signed_cmp([](auto a, auto b) { return a <= b; })
+                     : unsigned_cmp([](auto a, auto b) { return a <= b; });
+        }
+        if (expr.op == ">") {
+          return both_signed
+                     ? signed_cmp([](auto a, auto b) { return a > b; })
+                     : unsigned_cmp([](auto a, auto b) { return a > b; });
+        }
+        if (expr.op == ">=") {
+          return both_signed
+                     ? signed_cmp([](auto a, auto b) { return a >= b; })
+                     : unsigned_cmp([](auto a, auto b) { return a >= b; });
+        }
+        if (expr.op == "+") return Typed{lhs.value + rhs.value, both_signed};
+        if (expr.op == "-") return Typed{lhs.value - rhs.value, both_signed};
+        if (expr.op == "*") return Typed{lhs.value * rhs.value, both_signed};
+        if (expr.op == "/") {
+          if (rhs.value == 0) return Typed{0, both_signed};
+          return Typed{lhs.value / rhs.value, both_signed};
+        }
+        throw Error("vsim: unsupported operator '" + expr.op + "'");
+      }
+      case VExprKind::kTernary: {
+        const Typed cond = eval(*expr.children[0], scope);
+        return eval(cond.value != 0 ? *expr.children[1] : *expr.children[2],
+                    scope);
+      }
+    }
+    throw Error("vsim: unreachable expression kind");
+  }
+
+  // ---- simulation --------------------------------------------------
+
+  void settle() {
+    for (int pass = 0; pass < 1000; ++pass) {
+      bool changed = false;
+      for (const FlatAssign& assign : assigns) {
+        const Typed rhs = eval(*assign.rhs, *assign.scope);
+        const std::uint64_t masked =
+            static_cast<std::uint64_t>(rhs.value) &
+            mask_for(nets[assign.lhs_net].width);
+        if (values[assign.lhs_net] != masked) {
+          values[assign.lhs_net] = masked;
+          changed = true;
+        }
+      }
+      if (!changed) return;
+    }
+    throw Error("vsim: combinational loop did not settle");
+  }
+
+  void execute(const VStmt& stmt, const Scope& scope) {
+    switch (stmt.kind) {
+      case VStmtKind::kBlock:
+        for (const VStmtPtr& child : stmt.body) execute(*child, scope);
+        return;
+      case VStmtKind::kIf:
+        if (eval(*stmt.condition, scope).value != 0) {
+          for (const VStmtPtr& child : stmt.then_body) {
+            execute(*child, scope);
+          }
+        } else {
+          for (const VStmtPtr& child : stmt.else_body) {
+            execute(*child, scope);
+          }
+        }
+        return;
+      case VStmtKind::kNonBlocking: {
+        const Binding& b = lookup(scope, stmt.lhs, stmt.line);
+        const Typed rhs = eval(*stmt.rhs, scope);
+        Commit commit;
+        if (stmt.lhs_index) {
+          if (b.kind != Binding::kMemory) {
+            throw Error("vsim: indexed assignment to non-memory '" +
+                        stmt.lhs + "'");
+          }
+          commit.is_memory = true;
+          commit.index = b.index;
+          commit.mem_addr = eval(*stmt.lhs_index, scope).value;
+          commit.value = static_cast<std::uint64_t>(rhs.value) &
+                         mask_for(memories[b.index].width);
+        } else {
+          if (b.kind != Binding::kNet) {
+            throw Error("vsim: non-blocking target '" + stmt.lhs +
+                        "' is not a reg");
+          }
+          commit.index = b.index;
+          commit.value = static_cast<std::uint64_t>(rhs.value) &
+                         mask_for(nets[b.index].width);
+        }
+        commits.push_back(commit);
+        return;
+      }
+    }
+  }
+
+  void posedge(std::size_t clock_net) {
+    commits.clear();
+    for (const FlatAlways& always : always_blocks) {
+      if (always.clock_net != clock_net) continue;
+      for (const VStmtPtr& stmt : *always.body) {
+        execute(*stmt, *always.scope);
+      }
+    }
+    for (const Commit& commit : commits) {
+      if (commit.is_memory) {
+        const Memory& memory = memories[commit.index];
+        if (commit.mem_addr >= 0 && commit.mem_addr < memory.depth) {
+          mem_words[memory.base + static_cast<std::size_t>(
+                                      commit.mem_addr)] = commit.value;
+        }
+      } else {
+        values[commit.index] = commit.value;
+      }
+    }
+  }
+};
+
+std::int64_t VerilogSim::Impl::const_eval(const VExpr& expr,
+                                          const Scope& scope,
+                                          const Impl& self) {
+  return self.eval(expr, scope).value;
+}
+
+VerilogSim::VerilogSim(const std::string& source, const std::string& top)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->design = parse_verilog(source);
+  const VModule* module = impl_->design.find(top);
+  if (module == nullptr) {
+    throw Error("vsim: top module '" + top + "' not found");
+  }
+  std::map<std::string, std::int64_t> params;
+  // Defaults are evaluated inside elaborate(); seed them as literals here.
+  for (const VParam& param : module->params) {
+    Impl::Scope empty;
+    params[param.name] =
+        Impl::const_eval(*param.default_value, empty, *impl_);
+  }
+  impl_->elaborate(*module, "", params, {});
+}
+
+VerilogSim::~VerilogSim() = default;
+
+void VerilogSim::poke(const std::string& port, std::uint64_t value) {
+  const auto it = impl_->name_table.find(port);
+  if (it == impl_->name_table.end() ||
+      it->second.kind != Impl::Binding::kNet) {
+    throw Error("vsim: unknown port '" + port + "'");
+  }
+  impl_->values[it->second.index] =
+      value & mask_for(impl_->nets[it->second.index].width);
+}
+
+std::uint64_t VerilogSim::peek(const std::string& name) const {
+  const auto it = impl_->name_table.find(name);
+  if (it == impl_->name_table.end()) {
+    throw Error("vsim: unknown net '" + name + "'");
+  }
+  if (it->second.kind == Impl::Binding::kNet) {
+    return impl_->values[it->second.index];
+  }
+  throw Error("vsim: '" + name + "' is not a plain net");
+}
+
+void VerilogSim::eval() { impl_->settle(); }
+
+void VerilogSim::step_clock(const std::string& clock) {
+  const auto it = impl_->name_table.find(clock);
+  if (it == impl_->name_table.end() ||
+      it->second.kind != Impl::Binding::kNet) {
+    throw Error("vsim: unknown clock '" + clock + "'");
+  }
+  impl_->settle();
+  impl_->posedge(it->second.index);
+  impl_->settle();
+}
+
+std::size_t VerilogSim::net_count() const { return impl_->nets.size(); }
+
+}  // namespace nup::vsim

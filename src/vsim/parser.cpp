@@ -1,0 +1,608 @@
+#include "vsim/parser.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace nup::vsim {
+
+namespace {
+
+enum class Tok {
+  kIdent, kNumber,
+  kLParen, kRParen, kLBracket, kRBracket,
+  kSemi, kComma, kDot, kHash, kAt, kQuestion, kColon,
+  kAssignEq,                 // =
+  kLe,                       // <= (relational or non-blocking)
+  kLt, kGt, kGe, kEqEq, kNe,
+  kAndAnd, kOrOr, kBang, kTilde,
+  kPlus, kMinus, kStar, kSlash,
+  kEof,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;
+  std::int64_t value = 0;
+  int width = 0;        // 0 = unsized literal
+  bool is_signed = true;
+  int line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    while (true) {
+      skip_noise();
+      Token t;
+      t.line = line_;
+      if (pos_ >= text_.size()) {
+        t.kind = Tok::kEof;
+        out.push_back(t);
+        return out;
+      }
+      const char c = text_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '$') {
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_' || text_[pos_] == '$')) {
+          t.text.push_back(text_[pos_++]);
+        }
+        t.kind = Tok::kIdent;
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        lex_number(t);
+      } else {
+        lex_punct(t);
+      }
+      out.push_back(std::move(t));
+    }
+  }
+
+ private:
+  void skip_noise() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < text_.size() &&
+               !(text_[pos_] == '*' && text_[pos_ + 1] == '/')) {
+          if (text_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        pos_ += 2;
+      } else if (c == '`') {  // compiler directive: skip the line
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        return;
+      }
+    }
+  }
+
+  void lex_number(Token& t) {
+    t.kind = Tok::kNumber;
+    std::string digits;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      if (text_[pos_] != '_') digits.push_back(text_[pos_]);
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '\'') {
+      ++pos_;
+      t.width = static_cast<int>(std::strtol(digits.c_str(), nullptr, 10));
+      t.is_signed = false;
+      int base = 10;
+      const char b = static_cast<char>(
+          std::tolower(static_cast<unsigned char>(text_[pos_++])));
+      if (b == 'b') base = 2;
+      else if (b == 'h') base = 16;
+      else if (b == 'o') base = 8;
+      else if (b == 'd') base = 10;
+      else throw ParseError("bad literal base", line_, 0);
+      std::string value;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        if (text_[pos_] != '_') value.push_back(text_[pos_]);
+        ++pos_;
+      }
+      t.value = std::strtoll(value.c_str(), nullptr, base);
+    } else {
+      t.value = std::strtoll(digits.c_str(), nullptr, 10);
+      t.width = 0;
+      t.is_signed = true;
+    }
+  }
+
+  void lex_punct(Token& t) {
+    const char c = text_[pos_++];
+    auto two = [&](char second, Tok kind_two, Tok kind_one) {
+      if (pos_ < text_.size() && text_[pos_] == second) {
+        ++pos_;
+        t.kind = kind_two;
+      } else {
+        t.kind = kind_one;
+      }
+    };
+    switch (c) {
+      case '(': t.kind = Tok::kLParen; break;
+      case ')': t.kind = Tok::kRParen; break;
+      case '[': t.kind = Tok::kLBracket; break;
+      case ']': t.kind = Tok::kRBracket; break;
+      case ';': t.kind = Tok::kSemi; break;
+      case ',': t.kind = Tok::kComma; break;
+      case '.': t.kind = Tok::kDot; break;
+      case '#': t.kind = Tok::kHash; break;
+      case '@': t.kind = Tok::kAt; break;
+      case '?': t.kind = Tok::kQuestion; break;
+      case ':': t.kind = Tok::kColon; break;
+      case '=': two('=', Tok::kEqEq, Tok::kAssignEq); break;
+      case '<': two('=', Tok::kLe, Tok::kLt); break;
+      case '>': two('=', Tok::kGe, Tok::kGt); break;
+      case '!': two('=', Tok::kNe, Tok::kBang); break;
+      case '~': t.kind = Tok::kTilde; break;
+      case '&':
+        if (pos_ < text_.size() && text_[pos_] == '&') {
+          ++pos_;
+          t.kind = Tok::kAndAnd;
+          break;
+        }
+        throw ParseError("bitwise '&' outside the supported subset", line_,
+                         0);
+      case '|':
+        if (pos_ < text_.size() && text_[pos_] == '|') {
+          ++pos_;
+          t.kind = Tok::kOrOr;
+          break;
+        }
+        throw ParseError("bitwise '|' outside the supported subset", line_,
+                         0);
+      case '+': t.kind = Tok::kPlus; break;
+      case '-': t.kind = Tok::kMinus; break;
+      case '*': t.kind = Tok::kStar; break;
+      case '/': t.kind = Tok::kSlash; break;
+      default:
+        throw ParseError(std::string("unexpected character '") + c + "'",
+                         line_, 0);
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  VDesign parse() {
+    VDesign design;
+    while (peek().kind != Tok::kEof) {
+      design.modules.push_back(parse_module());
+    }
+    return design;
+  }
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t idx = pos_ + ahead;
+    return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
+  }
+  const Token& take() { return tokens_[pos_++]; }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError("verilog: " + message, peek().line, 0);
+  }
+
+  bool is_keyword(const Token& t, const char* kw) const {
+    return t.kind == Tok::kIdent && t.text == kw;
+  }
+
+  void expect_keyword(const char* kw) {
+    if (!is_keyword(peek(), kw)) {
+      fail(std::string("expected '") + kw + "', found '" + peek().text +
+           "'");
+    }
+    take();
+  }
+
+  const Token& expect(Tok kind, const char* what) {
+    if (peek().kind != kind) fail(std::string("expected ") + what);
+    return take();
+  }
+
+  bool accept(Tok kind) {
+    if (peek().kind != kind) return false;
+    take();
+    return true;
+  }
+
+  std::string expect_ident() {
+    if (peek().kind != Tok::kIdent) fail("expected identifier");
+    return take().text;
+  }
+
+  VModule parse_module() {
+    expect_keyword("module");
+    VModule module;
+    module.name = expect_ident();
+
+    if (accept(Tok::kHash)) {
+      expect(Tok::kLParen, "'('");
+      do {
+        expect_keyword("parameter");
+        VParam param;
+        param.name = expect_ident();
+        expect(Tok::kAssignEq, "'='");
+        param.default_value = parse_expr();
+        module.params.push_back(std::move(param));
+      } while (accept(Tok::kComma));
+      expect(Tok::kRParen, "')'");
+    }
+
+    expect(Tok::kLParen, "'('");
+    if (peek().kind != Tok::kRParen) {
+      do {
+        module.nets.push_back(parse_port_decl());
+      } while (accept(Tok::kComma));
+    }
+    expect(Tok::kRParen, "')'");
+    expect(Tok::kSemi, "';'");
+
+    while (!is_keyword(peek(), "endmodule")) {
+      parse_module_item(module);
+    }
+    take();  // endmodule
+    return module;
+  }
+
+  VNetDecl parse_port_decl() {
+    VNetDecl decl;
+    decl.is_port = true;
+    if (is_keyword(peek(), "input")) {
+      decl.dir = VPortDir::kInput;
+    } else if (is_keyword(peek(), "output")) {
+      decl.dir = VPortDir::kOutput;
+    } else {
+      fail("expected 'input' or 'output'");
+    }
+    take();
+    if (is_keyword(peek(), "wire")) {
+      take();
+    } else if (is_keyword(peek(), "reg")) {
+      take();
+      decl.is_reg = true;
+    }
+    if (is_keyword(peek(), "signed")) {
+      take();
+      decl.is_signed = true;
+    }
+    parse_range_suffix(decl);
+    decl.name = expect_ident();
+    return decl;
+  }
+
+  void parse_range_suffix(VNetDecl& decl) {
+    if (accept(Tok::kLBracket)) {
+      decl.msb = parse_expr();
+      expect(Tok::kColon, "':'");
+      VExprPtr lsb = parse_expr();
+      if (lsb->kind != VExprKind::kLiteral || lsb->literal != 0) {
+        fail("only [msb:0] ranges are supported");
+      }
+      expect(Tok::kRBracket, "']'");
+    }
+  }
+
+  void parse_module_item(VModule& module) {
+    if (is_keyword(peek(), "wire") || is_keyword(peek(), "reg")) {
+      VNetDecl decl;
+      decl.is_reg = peek().text == "reg";
+      take();
+      if (is_keyword(peek(), "signed")) {
+        take();
+        decl.is_signed = true;
+      }
+      parse_range_suffix(decl);
+      // One or more names, each optionally a memory.
+      do {
+        VNetDecl item;
+        item.is_reg = decl.is_reg;
+        item.is_signed = decl.is_signed;
+        item.msb = decl.msb ? clone(*decl.msb) : nullptr;
+        item.name = expect_ident();
+        if (accept(Tok::kLBracket)) {
+          VExprPtr lo = parse_expr();
+          if (lo->kind != VExprKind::kLiteral || lo->literal != 0) {
+            fail("memories must be declared [0:depth-1]");
+          }
+          expect(Tok::kColon, "':'");
+          item.mem_depth = parse_expr();  // depth-1 expression
+          expect(Tok::kRBracket, "']'");
+        }
+        module.nets.push_back(std::move(item));
+      } while (accept(Tok::kComma));
+      expect(Tok::kSemi, "';'");
+    } else if (is_keyword(peek(), "assign")) {
+      take();
+      VAssign assign;
+      assign.line = peek().line;
+      assign.lhs = expect_ident();
+      expect(Tok::kAssignEq, "'='");
+      assign.rhs = parse_expr();
+      expect(Tok::kSemi, "';'");
+      module.assigns.push_back(std::move(assign));
+    } else if (is_keyword(peek(), "always")) {
+      take();
+      expect(Tok::kAt, "'@'");
+      expect(Tok::kLParen, "'('");
+      expect_keyword("posedge");
+      VAlways always;
+      always.clock = expect_ident();
+      expect(Tok::kRParen, "')'");
+      always.body.push_back(parse_stmt());
+      module.always_blocks.push_back(std::move(always));
+    } else if (peek().kind == Tok::kIdent) {
+      module.instances.push_back(parse_instance());
+    } else {
+      fail("unexpected token in module body");
+    }
+  }
+
+  VInstance parse_instance() {
+    VInstance inst;
+    inst.line = peek().line;
+    inst.module_name = expect_ident();
+    if (accept(Tok::kHash)) {
+      expect(Tok::kLParen, "'('");
+      do {
+        expect(Tok::kDot, "'.'");
+        const std::string name = expect_ident();
+        expect(Tok::kLParen, "'('");
+        inst.param_overrides.emplace_back(name, parse_expr());
+        expect(Tok::kRParen, "')'");
+      } while (accept(Tok::kComma));
+      expect(Tok::kRParen, "')'");
+    }
+    inst.instance_name = expect_ident();
+    expect(Tok::kLParen, "'('");
+    do {
+      expect(Tok::kDot, "'.'");
+      const std::string name = expect_ident();
+      expect(Tok::kLParen, "'('");
+      inst.connections.emplace_back(name, parse_expr());
+      expect(Tok::kRParen, "')'");
+    } while (accept(Tok::kComma));
+    expect(Tok::kRParen, "')'");
+    expect(Tok::kSemi, "';'");
+    return inst;
+  }
+
+  VStmtPtr parse_stmt() {
+    auto stmt = std::make_unique<VStmt>();
+    stmt->line = peek().line;
+    if (is_keyword(peek(), "begin")) {
+      take();
+      stmt->kind = VStmtKind::kBlock;
+      while (!is_keyword(peek(), "end")) stmt->body.push_back(parse_stmt());
+      take();
+      return stmt;
+    }
+    if (is_keyword(peek(), "if")) {
+      take();
+      stmt->kind = VStmtKind::kIf;
+      expect(Tok::kLParen, "'('");
+      stmt->condition = parse_expr();
+      expect(Tok::kRParen, "')'");
+      stmt->then_body.push_back(parse_stmt());
+      if (is_keyword(peek(), "else")) {
+        take();
+        stmt->else_body.push_back(parse_stmt());
+      }
+      return stmt;
+    }
+    stmt->kind = VStmtKind::kNonBlocking;
+    stmt->lhs = expect_ident();
+    if (accept(Tok::kLBracket)) {
+      stmt->lhs_index = parse_expr();
+      expect(Tok::kRBracket, "']'");
+    }
+    expect(Tok::kLe, "'<='");
+    stmt->rhs = parse_expr();
+    expect(Tok::kSemi, "';'");
+    return stmt;
+  }
+
+  static VExprPtr clone(const VExpr& expr) {
+    auto out = std::make_unique<VExpr>();
+    out->kind = expr.kind;
+    out->line = expr.line;
+    out->literal = expr.literal;
+    out->literal_width = expr.literal_width;
+    out->literal_signed = expr.literal_signed;
+    out->name = expr.name;
+    out->op = expr.op;
+    for (const VExprPtr& child : expr.children) {
+      out->children.push_back(clone(*child));
+    }
+    return out;
+  }
+
+  VExprPtr make_binary(const char* op, VExprPtr lhs, VExprPtr rhs) {
+    auto node = std::make_unique<VExpr>();
+    node->kind = VExprKind::kBinary;
+    node->op = op;
+    node->children.push_back(std::move(lhs));
+    node->children.push_back(std::move(rhs));
+    return node;
+  }
+
+  VExprPtr parse_expr() { return parse_ternary(); }
+
+  VExprPtr parse_ternary() {
+    VExprPtr cond = parse_or();
+    if (!accept(Tok::kQuestion)) return cond;
+    auto node = std::make_unique<VExpr>();
+    node->kind = VExprKind::kTernary;
+    node->children.push_back(std::move(cond));
+    node->children.push_back(parse_expr());
+    expect(Tok::kColon, "':'");
+    node->children.push_back(parse_expr());
+    return node;
+  }
+
+  VExprPtr parse_or() {
+    VExprPtr lhs = parse_and();
+    while (accept(Tok::kOrOr)) lhs = make_binary("||", std::move(lhs),
+                                                 parse_and());
+    return lhs;
+  }
+
+  VExprPtr parse_and() {
+    VExprPtr lhs = parse_equality();
+    while (accept(Tok::kAndAnd)) {
+      lhs = make_binary("&&", std::move(lhs), parse_equality());
+    }
+    return lhs;
+  }
+
+  VExprPtr parse_equality() {
+    VExprPtr lhs = parse_relational();
+    while (true) {
+      if (accept(Tok::kEqEq)) {
+        lhs = make_binary("==", std::move(lhs), parse_relational());
+      } else if (accept(Tok::kNe)) {
+        lhs = make_binary("!=", std::move(lhs), parse_relational());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  VExprPtr parse_relational() {
+    VExprPtr lhs = parse_additive();
+    while (true) {
+      if (accept(Tok::kLt)) {
+        lhs = make_binary("<", std::move(lhs), parse_additive());
+      } else if (accept(Tok::kLe)) {
+        lhs = make_binary("<=", std::move(lhs), parse_additive());
+      } else if (accept(Tok::kGt)) {
+        lhs = make_binary(">", std::move(lhs), parse_additive());
+      } else if (accept(Tok::kGe)) {
+        lhs = make_binary(">=", std::move(lhs), parse_additive());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  VExprPtr parse_additive() {
+    VExprPtr lhs = parse_multiplicative();
+    while (true) {
+      if (accept(Tok::kPlus)) {
+        lhs = make_binary("+", std::move(lhs), parse_multiplicative());
+      } else if (accept(Tok::kMinus)) {
+        lhs = make_binary("-", std::move(lhs), parse_multiplicative());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  VExprPtr parse_multiplicative() {
+    VExprPtr lhs = parse_unary();
+    while (true) {
+      if (accept(Tok::kStar)) {
+        lhs = make_binary("*", std::move(lhs), parse_unary());
+      } else if (accept(Tok::kSlash)) {
+        lhs = make_binary("/", std::move(lhs), parse_unary());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  VExprPtr parse_unary() {
+    const char* op = nullptr;
+    if (accept(Tok::kBang)) op = "!";
+    else if (accept(Tok::kTilde)) op = "~";
+    else if (accept(Tok::kMinus)) op = "-";
+    if (op != nullptr) {
+      auto node = std::make_unique<VExpr>();
+      node->kind = VExprKind::kUnary;
+      node->op = op;
+      node->children.push_back(parse_unary());
+      return node;
+    }
+    return parse_primary();
+  }
+
+  VExprPtr parse_primary() {
+    auto node = std::make_unique<VExpr>();
+    node->line = peek().line;
+    if (peek().kind == Tok::kNumber) {
+      const Token& t = take();
+      node->kind = VExprKind::kLiteral;
+      node->literal = t.value;
+      node->literal_width = t.width;
+      node->literal_signed = t.is_signed;
+      return node;
+    }
+    if (accept(Tok::kLParen)) {
+      node = parse_expr();
+      expect(Tok::kRParen, "')'");
+      return node;
+    }
+    if (peek().kind == Tok::kIdent) {
+      node->kind = VExprKind::kIdent;
+      node->name = take().text;
+      if (accept(Tok::kLBracket)) {
+        VExprPtr first = parse_expr();
+        if (accept(Tok::kColon)) {
+          node->kind = VExprKind::kRange;
+          node->children.push_back(std::move(first));
+          node->children.push_back(parse_expr());
+        } else {
+          node->kind = VExprKind::kIndex;
+          node->children.push_back(std::move(first));
+        }
+        expect(Tok::kRBracket, "']'");
+      }
+      return node;
+    }
+    fail("expected an expression");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const VModule* VDesign::find(const std::string& name) const {
+  for (const VModule& module : modules) {
+    if (module.name == name) return &module;
+  }
+  return nullptr;
+}
+
+VDesign parse_verilog(const std::string& source) {
+  return Parser(Lexer(source).run()).parse();
+}
+
+}  // namespace nup::vsim

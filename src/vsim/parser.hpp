@@ -1,0 +1,15 @@
+#pragma once
+
+#include <string>
+
+#include "vsim/vast.hpp"
+
+namespace nup::vsim {
+
+/// Parses the synthesizable subset of Verilog-2001 produced by
+/// codegen::emit_verilog (see vast.hpp for the exact shape). Compiler
+/// directives (`timescale) and comments are skipped. Throws ParseError on
+/// anything outside the subset.
+VDesign parse_verilog(const std::string& source);
+
+}  // namespace nup::vsim

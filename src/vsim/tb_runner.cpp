@@ -1,0 +1,137 @@
+#include "vsim/tb_runner.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "vsim/interp.hpp"
+
+namespace nup::vsim {
+
+namespace {
+
+struct TbSpec {
+  std::int64_t expected_fires = -1;
+  std::int64_t timeout_scale = -1;
+  std::int64_t timeout_slack = -1;
+  std::string dut_type;
+  std::vector<std::string> streams;  // e.g. "s0_stream0"
+};
+
+TbSpec parse_tb(const std::string& tb_source) {
+  TbSpec spec;
+  std::istringstream in(tb_source);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string t = trim(line);
+    long long value = 0;
+    if (std::sscanf(t.c_str(), "localparam EXPECTED_FIRES = %lld;",
+                    &value) == 1) {
+      spec.expected_fires = value;
+      continue;
+    }
+    long long scale = 0;
+    long long slack = 0;
+    if (std::sscanf(t.c_str(),
+                    "if (cycles > %lld * EXPECTED_FIRES + %lld) begin",
+                    &scale, &slack) == 2) {
+      spec.timeout_scale = scale;
+      spec.timeout_slack = slack;
+      continue;
+    }
+    // Stream counter registers: "reg  [31:0] s0_stream0_cnt = 0;".
+    const std::size_t cnt_pos = t.find("_cnt = 0;");
+    if (starts_with(t, "reg") && cnt_pos != std::string::npos) {
+      const std::size_t name_start = t.rfind(' ', cnt_pos);
+      spec.streams.push_back(
+          t.substr(name_start + 1, cnt_pos - name_start - 1));
+      continue;
+    }
+    // DUT instantiation: "<type> dut (".
+    const std::size_t dut_pos = t.find(" dut (");
+    if (dut_pos != std::string::npos && spec.dut_type.empty()) {
+      spec.dut_type = t.substr(0, dut_pos);
+      continue;
+    }
+  }
+  if (spec.expected_fires < 0 || spec.dut_type.empty() ||
+      spec.streams.empty() || spec.timeout_scale < 0) {
+    throw ParseError(
+        "run_testbench: text does not look like an emitted testbench", 1,
+        1);
+  }
+  return spec;
+}
+
+}  // namespace
+
+TbResult run_testbench(const std::string& rtl_source,
+                       const std::string& tb_source) {
+  const TbSpec spec = parse_tb(tb_source);
+  VerilogSim dut(rtl_source, spec.dut_type);
+
+  // Testbench stimulus: kernel always ready, all streams valid, ramp data.
+  dut.poke("rst", 1);
+  dut.poke("kernel_ready", 1);
+  std::vector<std::uint64_t> counters(spec.streams.size(), 0);
+  for (const std::string& stream : spec.streams) {
+    dut.poke(stream + "_valid", 1);
+    dut.poke(stream + "_data", 0);
+  }
+  // "initial begin repeat (4) @(posedge clk); rst = 0; end".
+  for (int edge = 0; edge < 4; ++edge) dut.step_clock();
+  dut.poke("rst", 0);
+
+  // The TB's always block, non-blocking semantics: every condition reads
+  // the pre-edge register values; commits happen at the edge.
+  TbResult result;
+  std::int64_t cycles = 0;
+  std::int64_t fires = 0;
+  const std::int64_t timeout =
+      spec.timeout_scale * spec.expected_fires + spec.timeout_slack;
+  char line[128];
+  while (true) {
+    for (std::size_t s = 0; s < spec.streams.size(); ++s) {
+      dut.poke(spec.streams[s] + "_data", counters[s]);
+    }
+    dut.eval();
+    const bool fire = dut.peek("kernel_fire") != 0;
+    std::vector<bool> ready(spec.streams.size());
+    for (std::size_t s = 0; s < spec.streams.size(); ++s) {
+      ready[s] = dut.peek(spec.streams[s] + "_ready") != 0;
+    }
+
+    if (fires == spec.expected_fires) {
+      std::snprintf(line, sizeof(line), "PASS: %lld fires in %lld cycles",
+                    static_cast<long long>(fires),
+                    static_cast<long long>(cycles));
+      result.finished = true;
+      result.passed = true;
+      result.display = line;
+      break;
+    }
+    if (cycles > timeout) {
+      std::snprintf(line, sizeof(line), "FAIL: timeout with %lld fires",
+                    static_cast<long long>(fires));
+      result.finished = true;
+      result.passed = false;
+      result.display = line;
+      break;
+    }
+
+    // Edge commits.
+    ++cycles;
+    for (std::size_t s = 0; s < spec.streams.size(); ++s) {
+      if (ready[s]) ++counters[s];
+    }
+    if (fire) ++fires;
+    dut.step_clock();
+  }
+  result.fires = fires;
+  result.cycles = cycles;
+  return result;
+}
+
+}  // namespace nup::vsim

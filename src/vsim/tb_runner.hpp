@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nup::vsim {
+
+/// Result of executing a generated self-checking testbench
+/// (codegen::emit_testbench) against its DUT in the RTL interpreter.
+struct TbResult {
+  bool finished = false;   ///< $finish reached
+  bool passed = false;     ///< the PASS $display fired
+  std::string display;     ///< the line the TB printed
+  std::int64_t fires = 0;
+  std::int64_t cycles = 0;
+};
+
+/// Interprets the emitted testbench text: extracts EXPECTED_FIRES, the
+/// stream ports, the DUT instantiation and the timeout bound from the TB
+/// source, elaborates the DUT from `rtl_source`, and executes the bench's
+/// clock/reset/stimulus/check semantics (reset for 4 edges, free-running
+/// ramp streams, fire counting, PASS/FAIL $display with $finish).
+///
+/// The TB subset is exactly what emit_testbench produces; anything else is
+/// rejected with ParseError. This closes the loop on the last generated
+/// artifact: the shipped testbench is proven to pass on the shipped RTL.
+TbResult run_testbench(const std::string& rtl_source,
+                       const std::string& tb_source);
+
+}  // namespace nup::vsim

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nup::vsim {
+
+/// AST for the synthesizable Verilog-2001 subset emitted by
+/// codegen::emit_verilog: ANSI-style modules with parameters, wire/reg
+/// declarations (optionally signed, optionally memories), continuous
+/// assigns, single-clock always @(posedge ...) processes with if/else and
+/// non-blocking assignments, and module instances with named connections.
+
+struct VExpr;
+using VExprPtr = std::unique_ptr<VExpr>;
+
+enum class VExprKind {
+  kLiteral,     // 42, 1'b1, 8'hff
+  kIdent,       // net, parameter
+  kIndex,       // base[expr]          (memory read or bit select)
+  kRange,       // base[msb:lsb]       (constant part select)
+  kUnary,       // ! ~ -
+  kBinary,      // || && == != < <= > >= + - *
+  kTernary,     // c ? a : b
+};
+
+struct VExpr {
+  VExprKind kind = VExprKind::kLiteral;
+  int line = 1;
+
+  std::int64_t literal = 0;   // kLiteral value
+  int literal_width = 0;      // 0 = unsized (defaults to 32, signed)
+  bool literal_signed = true;
+
+  std::string name;           // kIdent / base name of kIndex & kRange
+  std::string op;             // kUnary / kBinary operator spelling
+
+  std::vector<VExprPtr> children;  // operands / index / msb,lsb
+};
+
+struct VStmt;
+using VStmtPtr = std::unique_ptr<VStmt>;
+
+enum class VStmtKind {
+  kNonBlocking,  // lhs <= rhs  (lhs may be ident or mem[index])
+  kIf,           // if (cond) ... else ...
+  kBlock,        // begin ... end
+};
+
+struct VStmt {
+  VStmtKind kind = VStmtKind::kBlock;
+  int line = 1;
+
+  // kNonBlocking
+  std::string lhs;
+  VExprPtr lhs_index;  // non-null for mem[index] targets
+  VExprPtr rhs;
+
+  // kIf
+  VExprPtr condition;
+  std::vector<VStmtPtr> then_body;
+  std::vector<VStmtPtr> else_body;
+
+  // kBlock
+  std::vector<VStmtPtr> body;
+};
+
+struct VParam {
+  std::string name;
+  VExprPtr default_value;
+};
+
+enum class VPortDir { kInput, kOutput };
+
+struct VNetDecl {
+  std::string name;
+  VPortDir dir = VPortDir::kInput;
+  bool is_port = false;
+  bool is_reg = false;
+  bool is_signed = false;
+  VExprPtr msb;        // null => 1-bit
+  VExprPtr mem_depth;  // non-null => memory reg [..] name [0:depth-1]
+};
+
+struct VAssign {
+  std::string lhs;
+  VExprPtr rhs;
+  int line = 1;
+};
+
+struct VAlways {
+  std::string clock;  // posedge signal name
+  std::vector<VStmtPtr> body;
+};
+
+struct VInstance {
+  std::string module_name;
+  std::string instance_name;
+  std::vector<std::pair<std::string, VExprPtr>> param_overrides;
+  std::vector<std::pair<std::string, VExprPtr>> connections;
+  int line = 1;
+};
+
+struct VModule {
+  std::string name;
+  std::vector<VParam> params;
+  std::vector<VNetDecl> nets;  // ports first, then internal declarations
+  std::vector<VAssign> assigns;
+  std::vector<VAlways> always_blocks;
+  std::vector<VInstance> instances;
+};
+
+struct VDesign {
+  std::vector<VModule> modules;
+
+  const VModule* find(const std::string& name) const;
+};
+
+}  // namespace nup::vsim

@@ -1,0 +1,139 @@
+#include "arch/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stencil/gallery.hpp"
+#include "util/error.hpp"
+
+namespace nup::arch {
+namespace {
+
+TEST(Builder, DenoiseMatchesTable2) {
+  // Paper Table 2: FIFO depths {1023, 1, 1, 1023}, total 2048, big FIFOs
+  // in BRAM and unit FIFOs in registers.
+  const AcceleratorDesign design = build_design(stencil::denoise_2d());
+  ASSERT_EQ(design.systems.size(), 1u);
+  const MemorySystem& sys = design.systems[0];
+  ASSERT_EQ(sys.fifos.size(), 4u);
+  EXPECT_EQ(sys.fifos[0].depth, 1023);
+  EXPECT_EQ(sys.fifos[1].depth, 1);
+  EXPECT_EQ(sys.fifos[2].depth, 1);
+  EXPECT_EQ(sys.fifos[3].depth, 1023);
+  EXPECT_EQ(sys.total_buffer_size(), 2048);
+  EXPECT_EQ(sys.fifos[0].impl, BufferImpl::kBlockRam);
+  EXPECT_EQ(sys.fifos[1].impl, BufferImpl::kRegister);
+  EXPECT_EQ(sys.fifos[3].impl, BufferImpl::kBlockRam);
+}
+
+TEST(Builder, DenoiseFilterOrderIsDescendingLex) {
+  const AcceleratorDesign design = build_design(stencil::denoise_2d());
+  const MemorySystem& sys = design.systems[0];
+  // (1,0) > (0,1) > (0,0) > (0,-1) > (-1,0) -- the Fig 7 order.
+  ASSERT_EQ(sys.ordered_offsets.size(), 5u);
+  EXPECT_EQ(sys.ordered_offsets[0], (poly::IntVec{1, 0}));
+  EXPECT_EQ(sys.ordered_offsets[1], (poly::IntVec{0, 1}));
+  EXPECT_EQ(sys.ordered_offsets[2], (poly::IntVec{0, 0}));
+  EXPECT_EQ(sys.ordered_offsets[3], (poly::IntVec{0, -1}));
+  EXPECT_EQ(sys.ordered_offsets[4], (poly::IntVec{-1, 0}));
+}
+
+TEST(Builder, BankCountIsAlwaysNMinus1) {
+  for (const stencil::StencilProgram& p : stencil::paper_benchmarks()) {
+    const AcceleratorDesign design = build_design(p);
+    EXPECT_EQ(design.systems[0].bank_count(), p.total_references() - 1)
+        << p.name();
+  }
+}
+
+TEST(Builder, TotalSizeEqualsEndToEndDistance) {
+  // Sum of adjacent distances equals the first-to-last distance
+  // (Property 3) on box hulls.
+  const AcceleratorDesign design = build_design(stencil::segmentation_3d());
+  const MemorySystem& sys = design.systems[0];
+  // End-to-end: (1,1,0) .. (-1,-1,0) -> r=(2,2,0) on 96x128x128 hull:
+  // 2*128*128 + 2*128 = 33024.
+  EXPECT_EQ(sys.total_buffer_size(), 2 * 128 * 128 + 2 * 128);
+}
+
+TEST(Builder, RefOrderIsPermutation) {
+  const AcceleratorDesign design = build_design(stencil::sobel_2d());
+  const MemorySystem& sys = design.systems[0];
+  std::vector<bool> seen(sys.ref_order.size(), false);
+  for (std::size_t ref : sys.ref_order) {
+    ASSERT_LT(ref, seen.size());
+    EXPECT_FALSE(seen[ref]);
+    seen[ref] = true;
+  }
+}
+
+TEST(Builder, PhysicalMappingThresholds) {
+  BuildOptions options;
+  options.register_max_depth = 4;
+  options.shift_register_max_depth = 128;
+  EXPECT_EQ(map_physical(1, options), BufferImpl::kRegister);
+  EXPECT_EQ(map_physical(4, options), BufferImpl::kRegister);
+  EXPECT_EQ(map_physical(5, options), BufferImpl::kShiftRegister);
+  EXPECT_EQ(map_physical(128, options), BufferImpl::kShiftRegister);
+  EXPECT_EQ(map_physical(129, options), BufferImpl::kBlockRam);
+}
+
+TEST(Builder, ExactSizingOnSkewedGrid) {
+  const stencil::StencilProgram p = stencil::skewed_demo(16, 24);
+  BuildOptions exact;
+  exact.exact_sizing = true;
+  exact.exact_streaming = true;
+  const AcceleratorDesign hull_design = build_design(p);
+  const AcceleratorDesign exact_design = build_design(p, exact);
+  // Exact sizing never exceeds the hull-box closed form.
+  EXPECT_LE(exact_design.systems[0].total_buffer_size(),
+            hull_design.systems[0].total_buffer_size());
+  EXPECT_GT(exact_design.systems[0].total_buffer_size(), 0);
+}
+
+TEST(Builder, SingleReferenceYieldsNoFifos) {
+  stencil::StencilProgram p("COPY", poly::Domain::box({0, 0}, {7, 7}));
+  p.add_input("A", {{0, 0}});
+  const AcceleratorDesign design = build_design(p);
+  EXPECT_EQ(design.systems[0].filter_count(), 1u);
+  EXPECT_TRUE(design.systems[0].fifos.empty());
+  EXPECT_EQ(design.systems[0].bank_count(), 0u);
+}
+
+TEST(Builder, MultipleArraysGetIndependentSystems) {
+  stencil::StencilProgram p("TWO", poly::Domain::box({1, 1}, {6, 6}));
+  p.add_input("A", {{0, 0}, {0, -1}});
+  p.add_input("W", {{0, 0}, {-1, 0}, {1, 0}});
+  const AcceleratorDesign design = build_design(p);
+  ASSERT_EQ(design.systems.size(), 2u);
+  EXPECT_EQ(design.systems[0].filter_count(), 2u);
+  EXPECT_EQ(design.systems[1].filter_count(), 3u);
+  EXPECT_EQ(design.total_bank_count(), 1u + 2u);
+}
+
+TEST(Builder, ThrowsOnProgramWithoutInputs) {
+  stencil::StencilProgram p("EMPTY", poly::Domain::box({0}, {3}));
+  EXPECT_THROW(build_design(p), NotStencilError);
+}
+
+TEST(Builder, DepthsAreClampedToAtLeastOne) {
+  // Two references in the same innermost position at different rows of a
+  // one-column grid: distances stay >= 1.
+  stencil::StencilProgram p("COL", poly::Domain::box({1, 0}, {6, 0}));
+  p.add_input("A", {{-1, 0}, {0, 0}, {1, 0}});
+  const AcceleratorDesign design = build_design(p);
+  for (const ReuseFifo& f : design.systems[0].fifos) {
+    EXPECT_GE(f.depth, 1);
+  }
+}
+
+TEST(Builder, DescribeMentionsEveryFifo) {
+  const AcceleratorDesign design = build_design(stencil::denoise_2d());
+  const std::string text = describe(design);
+  EXPECT_NE(text.find("FIFO_0"), std::string::npos);
+  EXPECT_NE(text.find("FIFO_3"), std::string::npos);
+  EXPECT_NE(text.find("BRAM"), std::string::npos);
+  EXPECT_NE(text.find("register"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nup::arch

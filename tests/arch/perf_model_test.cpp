@@ -1,0 +1,73 @@
+#include "arch/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/builder.hpp"
+#include "arch/tradeoff.hpp"
+#include "sim/simulator.hpp"
+#include "stencil/gallery.hpp"
+#include "util/error.hpp"
+
+namespace nup::arch {
+namespace {
+
+void expect_exact(const stencil::StencilProgram& p) {
+  const AcceleratorDesign design = build_design(p);
+  const PerfPrediction pred =
+      predict_performance(p, design.systems[0]);
+  sim::SimOptions options;
+  options.record_outputs = false;
+  const sim::SimResult r = sim::simulate(p, design, options);
+  EXPECT_EQ(pred.fill_latency, r.fill_latency) << p.name();
+  EXPECT_EQ(pred.total_cycles, r.cycles) << p.name();
+  EXPECT_DOUBLE_EQ(pred.steady_ii, r.steady_ii) << p.name();
+  EXPECT_EQ(pred.iterations, r.kernel_fires) << p.name();
+}
+
+TEST(PerfModel, ExactOnRectangularGrids) {
+  expect_exact(stencil::denoise_2d(24, 32));
+  expect_exact(stencil::sobel_2d(20, 26));
+  expect_exact(stencil::bicubic_2d(12, 40));
+}
+
+TEST(PerfModel, ExactInThreeDimensions) {
+  expect_exact(stencil::heat_3d(6, 8, 10));
+  expect_exact(stencil::segmentation_3d(6, 8, 10));
+}
+
+TEST(PerfModel, ExactOnNonRectangularDomains) {
+  expect_exact(stencil::triangular_demo(20));
+  expect_exact(stencil::jacobi_2d(14, 18));
+}
+
+TEST(PerfModel, PredictsThePaperScaleRun) {
+  // Full 768x1024 DENOISE without running the simulator: 2050-cycle fill
+  // (two rows plus the chain), 786431 total, II -> 1.
+  const stencil::StencilProgram p = stencil::denoise_2d();
+  const PerfPrediction pred =
+      predict_performance(p, build_design(p).systems[0]);
+  EXPECT_EQ(pred.fill_latency, 2 * 1024 + 2);
+  EXPECT_EQ(pred.total_cycles, 768 * 1024 - 1);
+  EXPECT_LT(pred.steady_ii, 1.01);
+}
+
+TEST(PerfModel, IiApproachesOneWithGridSize) {
+  const PerfPrediction small = predict_performance(
+      stencil::denoise_2d(16, 16),
+      build_design(stencil::denoise_2d(16, 16)).systems[0]);
+  const PerfPrediction large = predict_performance(
+      stencil::denoise_2d(256, 256),
+      build_design(stencil::denoise_2d(256, 256)).systems[0]);
+  EXPECT_LT(large.steady_ii, small.steady_ii);
+  EXPECT_LT(large.steady_ii, 1.01);
+}
+
+TEST(PerfModel, RejectsTradedDesigns) {
+  const stencil::StencilProgram p = stencil::denoise_2d(16, 20);
+  const MemorySystem traded =
+      apply_tradeoff(build_design(p).systems[0], 1);
+  EXPECT_THROW(predict_performance(p, traded), Error);
+}
+
+}  // namespace
+}  // namespace nup::arch

@@ -1,0 +1,96 @@
+#include "arch/tradeoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/builder.hpp"
+#include "stencil/gallery.hpp"
+#include "util/error.hpp"
+
+namespace nup::arch {
+namespace {
+
+MemorySystem denoise_system() {
+  return build_design(stencil::denoise_2d()).systems[0];
+}
+
+TEST(Tradeoff, ZeroCutsIsIdentity) {
+  const MemorySystem base = denoise_system();
+  const MemorySystem same = apply_tradeoff(base, 0);
+  EXPECT_EQ(same.total_buffer_size(), base.total_buffer_size());
+  EXPECT_EQ(same.stream_count(), 1u);
+}
+
+TEST(Tradeoff, CutsLargestFifoFirst) {
+  const MemorySystem base = denoise_system();
+  const MemorySystem traded = apply_tradeoff(base, 1);
+  // One of the two 1023-deep FIFOs must be cut (the first on ties).
+  EXPECT_TRUE(traded.fifos[0].cut);
+  EXPECT_FALSE(traded.fifos[3].cut);
+  EXPECT_EQ(traded.total_buffer_size(), 1025);
+  EXPECT_EQ(traded.stream_count(), 2u);
+}
+
+TEST(Tradeoff, SegmentHeadsFollowCuts) {
+  const MemorySystem traded = apply_tradeoff(denoise_system(), 2);
+  const std::vector<std::size_t> heads = traded.segment_heads();
+  ASSERT_EQ(heads.size(), 3u);
+  EXPECT_EQ(heads[0], 0u);
+  EXPECT_EQ(heads[1], 1u);  // cut after filter 0
+  EXPECT_EQ(heads[2], 4u);  // cut after filter 3
+}
+
+TEST(Tradeoff, FullCutLeavesNoStorage) {
+  const MemorySystem base = denoise_system();
+  const MemorySystem traded =
+      apply_tradeoff(base, base.filter_count() - 1);
+  EXPECT_EQ(traded.total_buffer_size(), 0);
+  EXPECT_EQ(traded.bank_count(), 0u);
+  EXPECT_EQ(traded.stream_count(), base.filter_count());
+}
+
+TEST(Tradeoff, TooManyCutsThrows) {
+  const MemorySystem base = denoise_system();
+  EXPECT_THROW(apply_tradeoff(base, base.filter_count()), Error);
+}
+
+TEST(Tradeoff, SweepIsMonotonicallyNonIncreasing) {
+  const MemorySystem base =
+      build_design(stencil::segmentation_3d()).systems[0];
+  const std::vector<TradeoffPoint> curve = bandwidth_sweep(base);
+  ASSERT_EQ(curve.size(), base.filter_count());
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].total_buffer_size, curve[i - 1].total_buffer_size);
+    EXPECT_EQ(curve[i].offchip_streams, curve[i - 1].offchip_streams + 1);
+  }
+  EXPECT_EQ(curve.front().offchip_streams, 1u);
+  EXPECT_EQ(curve.back().total_buffer_size, 0);
+}
+
+TEST(Tradeoff, SweepShowsThreePhases) {
+  // Fig 15: SEGMENTATION gives up inter-plane reuse (large buffers) first,
+  // then inter-row (medium), then intra-row (small). The largest remaining
+  // FIFO therefore decreases in distinct plateaus.
+  const MemorySystem base =
+      build_design(stencil::segmentation_3d()).systems[0];
+  const std::vector<TradeoffPoint> curve = bandwidth_sweep(base);
+  std::vector<std::int64_t> scales;
+  for (const TradeoffPoint& point : curve) {
+    if (scales.empty() || (point.largest_remaining != scales.back() &&
+                           point.largest_remaining > 0)) {
+      scales.push_back(point.largest_remaining);
+    }
+  }
+  // At least three distinct buffer scales appear during degradation.
+  EXPECT_GE(scales.size(), 3u);
+}
+
+TEST(Tradeoff, BankCountDropsByOnePerCut) {
+  const MemorySystem base = denoise_system();
+  for (std::size_t cuts = 0; cuts < base.filter_count(); ++cuts) {
+    const MemorySystem traded = apply_tradeoff(base, cuts);
+    EXPECT_EQ(traded.bank_count(), base.fifos.size() - cuts);
+  }
+}
+
+}  // namespace
+}  // namespace nup::arch

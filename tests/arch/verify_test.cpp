@@ -1,0 +1,94 @@
+#include "arch/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "arch/tradeoff.hpp"
+#include "stencil/gallery.hpp"
+
+namespace nup::arch {
+namespace {
+
+TEST(Verify, AllPaperBenchmarksPass) {
+  for (const stencil::StencilProgram& p : stencil::paper_benchmarks()) {
+    const AcceleratorDesign design = build_design(p);
+    for (const MemorySystem& sys : design.systems) {
+      const ConditionCheck check = verify_design(p, sys);
+      EXPECT_TRUE(check.all_ok()) << p.name() << ": " << check.detail;
+    }
+  }
+}
+
+TEST(Verify, DetectsShuffledOrder) {
+  const stencil::StencilProgram p = stencil::denoise_2d(24, 32);
+  AcceleratorDesign design = build_design(p);
+  MemorySystem& sys = design.systems[0];
+  std::swap(sys.ordered_offsets[0], sys.ordered_offsets[1]);
+  std::swap(sys.ref_order[0], sys.ref_order[1]);
+  const ConditionCheck check = verify_design(p, sys);
+  EXPECT_FALSE(check.ordering_descending);
+  EXPECT_NE(check.detail.find("descending"), std::string::npos);
+}
+
+TEST(Verify, DetectsUndersizedFifo) {
+  const stencil::StencilProgram p = stencil::denoise_2d(24, 32);
+  AcceleratorDesign design = build_design(p);
+  design.systems[0].fifos[0].depth -= 1;
+  const ConditionCheck check = verify_design(p, design.systems[0]);
+  EXPECT_FALSE(check.sizing_sufficient);
+  EXPECT_NE(check.detail.find("needs"), std::string::npos);
+}
+
+TEST(Verify, DetectsExtraBank) {
+  const stencil::StencilProgram p = stencil::denoise_2d(24, 32);
+  AcceleratorDesign design = build_design(p);
+  // An extra (redundant) bank breaks minimality but not the paper's
+  // deadlock conditions; verify_design must flag it.
+  ReuseFifo extra = design.systems[0].fifos.back();
+  design.systems[0].fifos.push_back(extra);
+  const ConditionCheck check = verify_design(p, design.systems[0]);
+  EXPECT_FALSE(check.banks_minimum);
+  EXPECT_FALSE(check.all_ok());
+}
+
+TEST(Verify, OversizedTotalFlagged) {
+  const stencil::StencilProgram p = stencil::denoise_2d(24, 32);
+  AcceleratorDesign design = build_design(p);
+  design.systems[0].fifos[1].depth += 10;
+  const ConditionCheck check = verify_design(p, design.systems[0]);
+  EXPECT_TRUE(check.sizing_sufficient);  // still deadlock-free
+  EXPECT_FALSE(check.size_minimum);      // but no longer minimal
+}
+
+TEST(Verify, TradedDesignStillChecksOut) {
+  const stencil::StencilProgram p = stencil::denoise_2d(24, 32);
+  const MemorySystem traded =
+      apply_tradeoff(build_design(p).systems[0], 1);
+  const ConditionCheck check = verify_design(p, traded);
+  EXPECT_TRUE(check.ordering_descending);
+  EXPECT_TRUE(check.sizing_sufficient);
+  EXPECT_TRUE(check.banks_minimum);  // bank minimality waived after cuts
+}
+
+TEST(Verify, ExactSizedSkewedDesignPasses) {
+  const stencil::StencilProgram p = stencil::skewed_demo(14, 20);
+  BuildOptions options;
+  options.exact_sizing = true;
+  options.exact_streaming = true;
+  const AcceleratorDesign design = build_design(p, options);
+  const ConditionCheck check =
+      verify_design(p, design.systems[0], options);
+  EXPECT_TRUE(check.all_ok()) << check.detail;
+}
+
+TEST(Verify, SingleReferenceSystemPasses) {
+  stencil::StencilProgram p("COPY", poly::Domain::box({0, 0}, {5, 5}));
+  p.add_input("A", {{0, 0}});
+  const AcceleratorDesign design = build_design(p);
+  const ConditionCheck check = verify_design(p, design.systems[0]);
+  EXPECT_TRUE(check.all_ok()) << check.detail;
+}
+
+}  // namespace
+}  // namespace nup::arch

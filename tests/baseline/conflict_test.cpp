@@ -1,0 +1,74 @@
+#include "baseline/conflict.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/partition.hpp"
+#include "stencil/gallery.hpp"
+#include "util/error.hpp"
+
+namespace nup::baseline {
+namespace {
+
+TEST(Conflict, LinearSchemeSeparatesDenoiseWithFiveBanks) {
+  const std::vector<poly::IntVec> offsets = {
+      {-1, 0}, {0, -1}, {0, 0}, {0, 1}, {1, 0}};
+  EXPECT_TRUE(linear_scheme_conflict_free(offsets, {1, 2}, 5));
+  // alpha = (1, 1) collides A[i-1][j] with A[i][j-1].
+  EXPECT_FALSE(linear_scheme_conflict_free(offsets, {1, 1}, 5));
+}
+
+TEST(Conflict, FewerBanksThanReferencesAlwaysConflicts) {
+  const std::vector<poly::IntVec> offsets = {
+      {-1, 0}, {0, -1}, {0, 0}, {0, 1}, {1, 0}};
+  for (std::int64_t a = 0; a < 4; ++a) {
+    for (std::int64_t b = 0; b < 4; ++b) {
+      EXPECT_FALSE(linear_scheme_conflict_free(offsets, {a, b}, 4));
+    }
+  }
+}
+
+TEST(Conflict, FlatSchemeDependsOnRowSize) {
+  const std::vector<poly::IntVec> offsets = {
+      {-1, 0}, {0, -1}, {0, 0}, {0, 1}, {1, 0}};
+  // Fig 5: feasibility of a bank count under [5] changes with the row
+  // size. w = 1024: N=5 fails (1025 = 5*205), N=7 works.
+  EXPECT_FALSE(flat_scheme_conflict_free(offsets, {768, 1024}, 5));
+  EXPECT_TRUE(flat_scheme_conflict_free(offsets, {768, 1024}, 7));
+  // w = 1023: N=5 works (no pairwise difference divisible by 5).
+  EXPECT_TRUE(flat_scheme_conflict_free(offsets, {768, 1023}, 5));
+}
+
+TEST(Conflict, ZeroBanksThrows) {
+  EXPECT_THROW(linear_scheme_conflict_free({{0, 0}}, {1, 1}, 0), Error);
+  EXPECT_THROW(flat_scheme_conflict_free({{0, 0}}, {4, 4}, 0), Error);
+}
+
+TEST(Conflict, SlidingVerificationAcceptsValidScheme) {
+  const stencil::StencilProgram p = stencil::denoise_2d(32, 40);
+  const BankFn bank = [](const poly::IntVec& h) {
+    return (h[0] + 2 * h[1]) % 5;
+  };
+  EXPECT_TRUE(verify_by_sliding(p, 0, bank));
+}
+
+TEST(Conflict, SlidingVerificationRejectsBadScheme) {
+  const stencil::StencilProgram p = stencil::denoise_2d(32, 40);
+  const BankFn bank = [](const poly::IntVec& h) {
+    return (h[0] + h[1]) % 5;  // diagonal neighbours collide
+  };
+  EXPECT_FALSE(verify_by_sliding(p, 0, bank));
+}
+
+TEST(Conflict, SlidingVerificationHonoursPositionLimit) {
+  const stencil::StencilProgram p = stencil::denoise_2d(64, 64);
+  std::int64_t calls = 0;
+  const BankFn bank = [&](const poly::IntVec& h) {
+    ++calls;
+    return (h[0] + 2 * h[1]) % 5;
+  };
+  EXPECT_TRUE(verify_by_sliding(p, 0, bank, 10));
+  EXPECT_LE(calls, 10 * 5);
+}
+
+}  // namespace
+}  // namespace nup::baseline

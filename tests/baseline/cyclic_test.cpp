@@ -1,0 +1,108 @@
+#include "baseline/cyclic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/conflict.hpp"
+#include "stencil/gallery.hpp"
+#include "util/error.hpp"
+
+namespace nup::baseline {
+namespace {
+
+TEST(Cyclic, DenoiseDefaultGridNeedsSixBanks) {
+  // Fig 5: with row size 1024 the window offsets collide under 5 banks
+  // (1025 = 5*205), so [5] needs more than the window size.
+  const UniformPartition part =
+      cyclic_partition(stencil::denoise_2d(), 0);
+  EXPECT_EQ(part.banks, 6u);
+  EXPECT_EQ(part.method, "cyclic[5]");
+}
+
+TEST(Cyclic, BankCountVariesWithRowSize) {
+  // The Fig 5 phenomenon: same window, different row sizes, different
+  // bank counts (the paper's sweep spans 5..8).
+  const std::vector<poly::IntVec> offsets = {
+      {-1, 0}, {0, -1}, {0, 0}, {0, 1}, {1, 0}};
+  std::set<std::size_t> seen;
+  for (std::int64_t w = 1000; w <= 1056; ++w) {
+    seen.insert(cyclic_partition_raw(offsets, {768, w}).banks);
+  }
+  EXPECT_GE(seen.size(), 3u);    // several distinct counts
+  EXPECT_GE(*seen.begin(), 5u);  // never below n
+  EXPECT_GT(*seen.rbegin(), 5u); // and not always n either
+}
+
+TEST(Cyclic, SpecificRowSizesReproduceFig5Points) {
+  const std::vector<poly::IntVec> offsets = {
+      {-1, 0}, {0, -1}, {0, 0}, {0, 1}, {1, 0}};
+  // w = 1023: no difference divisible by 5 -> the minimum 5 works.
+  EXPECT_EQ(cyclic_partition_raw(offsets, {768, 1023}).banks, 5u);
+  // w = 1024: w+1 divisible by 5, w mod 6 = 4 -> 6 banks.
+  EXPECT_EQ(cyclic_partition_raw(offsets, {768, 1024}).banks, 6u);
+  // w = 1015: fails 5 (w = 5*203), 6 (w-1 = 6*169), 7 (w = 7*145) and
+  // 8 (w+1 = 8*127) -> 9 banks.
+  EXPECT_EQ(cyclic_partition_raw(offsets, {768, 1015}).banks, 9u);
+}
+
+TEST(Cyclic, ResultIsConflictFreeBySliding) {
+  const stencil::StencilProgram p = stencil::denoise_2d(48, 64);
+  const UniformPartition part = cyclic_partition(p, 0);
+  const poly::IntVec extents = part.extents;
+  const std::size_t banks = part.banks;
+  EXPECT_TRUE(verify_by_sliding(p, 0, [&](const poly::IntVec& h) {
+    return linearize(h, extents) % static_cast<std::int64_t>(banks);
+  }));
+}
+
+TEST(Cyclic, NeverFewerBanksThanReferences) {
+  for (const stencil::StencilProgram& p : stencil::paper_benchmarks()) {
+    const UniformPartition part = cyclic_partition(p, 0);
+    EXPECT_GE(part.banks, p.total_references()) << p.name();
+  }
+}
+
+TEST(Cyclic, TotalSizeCoversSpan) {
+  const UniformPartition part =
+      cyclic_partition(stencil::denoise_2d(), 0);
+  EXPECT_GE(part.total_size, part.span);
+  EXPECT_EQ(part.total_size,
+            part.bank_depth * static_cast<std::int64_t>(part.banks));
+  // DENOISE span: two full rows plus one element.
+  EXPECT_EQ(part.span, 2 * 1024 + 1);
+}
+
+TEST(Cyclic, SearchBoundRespected) {
+  const std::vector<poly::IntVec> offsets = {
+      {-1, 0}, {0, -1}, {0, 0}, {0, 1}, {1, 0}};
+  CyclicOptions options;
+  options.max_banks = 5;  // w=1024 needs 7
+  EXPECT_THROW(cyclic_partition_raw(offsets, {768, 1024}, options),
+               PartitionError);
+}
+
+TEST(Cyclic, SchemeIsRowMajorStrides) {
+  const UniformPartition part =
+      cyclic_partition(stencil::denoise_3d(), 0);
+  ASSERT_EQ(part.scheme.size(), 3u);
+  EXPECT_EQ(part.scheme[2], 1);
+  EXPECT_EQ(part.scheme[1], 128);
+  EXPECT_EQ(part.scheme[0], 128 * 128);
+}
+
+TEST(WindowSpan, ComputedOnLinearizedAddresses) {
+  EXPECT_EQ(window_span({{-1, 0}, {1, 0}}, {8, 10}), 21);
+  EXPECT_EQ(window_span({{0, 0}}, {8, 10}), 1);
+  EXPECT_THROW(window_span({}, {8, 10}), Error);
+}
+
+TEST(Linearize, RowMajor) {
+  EXPECT_EQ(linearize({0, 0}, {4, 5}), 0);
+  EXPECT_EQ(linearize({1, 2}, {4, 5}), 7);
+  EXPECT_EQ(linearize({2, 3, 4}, {5, 6, 7}), 2 * 42 + 3 * 7 + 4);
+  EXPECT_THROW(linearize({1}, {4, 5}), Error);
+}
+
+}  // namespace
+}  // namespace nup::baseline

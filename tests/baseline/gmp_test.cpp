@@ -1,0 +1,125 @@
+#include "baseline/gmp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/conflict.hpp"
+#include "stencil/gallery.hpp"
+#include "util/error.hpp"
+
+namespace nup::baseline {
+namespace {
+
+TEST(Gmp, PaperBankCounts) {
+  // Fig 6 / Section 5: [7][8] need 5, 5, 20 banks on RICIAN, BICUBIC and
+  // SEGMENTATION_3D, and keep 5 for DENOISE.
+  EXPECT_EQ(gmp_partition(stencil::denoise_2d(), 0).banks, 5u);
+  EXPECT_EQ(gmp_partition(stencil::rician_2d(), 0).banks, 5u);
+  EXPECT_EQ(gmp_partition(stencil::bicubic_2d(), 0).banks, 5u);
+  EXPECT_EQ(gmp_partition(stencil::segmentation_3d(), 0).banks, 20u);
+}
+
+TEST(Gmp, AlwaysAtLeastWindowSize) {
+  for (const stencil::StencilProgram& p : stencil::paper_benchmarks()) {
+    EXPECT_GE(gmp_partition(p, 0).banks, p.total_references()) << p.name();
+  }
+}
+
+TEST(Gmp, MoreBanksThanOurMinimumEverywhere) {
+  // Every uniform result exceeds the paper's n-1 optimum.
+  for (const stencil::StencilProgram& p : stencil::paper_benchmarks()) {
+    EXPECT_GT(gmp_partition(p, 0).banks, p.total_references() - 1)
+        << p.name();
+  }
+}
+
+TEST(Gmp, SchemeIsGenuinelyConflictFree) {
+  for (const stencil::StencilProgram& p : stencil::paper_benchmarks()) {
+    const UniformPartition part = gmp_partition(p, 0);
+    const poly::IntVec alpha = part.scheme;
+    const std::int64_t banks = static_cast<std::int64_t>(part.banks);
+    EXPECT_TRUE(verify_by_sliding(
+        p, 0,
+        [&](const poly::IntVec& h) {
+          std::int64_t dot = 0;
+          for (std::size_t d = 0; d < h.size(); ++d) dot += alpha[d] * h[d];
+          return ((dot % banks) + banks) % banks;
+        },
+        20'000))
+        << p.name();
+  }
+}
+
+TEST(Gmp, PaddingInflatesInnerExtents) {
+  const UniformPartition part =
+      gmp_partition(stencil::segmentation_3d(), 0);
+  EXPECT_TRUE(part.padded);
+  EXPECT_EQ(part.padded_extents[0], part.extents[0]);  // outer unpadded
+  EXPECT_GE(part.padded_extents[1], part.extents[1]);
+  EXPECT_EQ(part.padded_extents[1] % static_cast<std::int64_t>(part.banks),
+            0);
+}
+
+TEST(Gmp, PaddingCanBeDisabled) {
+  GmpOptions options;
+  options.pad_for_addressing = false;
+  const UniformPartition part =
+      gmp_partition(stencil::segmentation_3d(), 0, options);
+  EXPECT_FALSE(part.padded);
+  EXPECT_EQ(part.padded_extents, part.extents);
+}
+
+TEST(Gmp, RowBufferStorageExceedsMinimalSpan) {
+  // The uniform row-buffer slab stores whole (padded) rows; it is always
+  // at least the minimal span and strictly larger for multi-row windows.
+  const UniformPartition part = gmp_partition(stencil::denoise_2d(), 0);
+  EXPECT_GT(part.stored_span, part.span);
+  // DENOISE buffers 3 full padded rows.
+  EXPECT_EQ(part.stored_span, 3 * part.padded_extents[1]);
+}
+
+TEST(Gmp, PaddingOverheadLargerInHighDimensions) {
+  // Section 5.2: padding "introduces more overhead in a high-dimensional
+  // data grid" -- every padded inner dimension multiplies the slab.
+  const UniformPartition p2 = gmp_partition(stencil::denoise_2d(), 0);
+  const UniformPartition p3 =
+      gmp_partition(stencil::segmentation_3d(), 0);
+  auto padding_overhead = [](const UniformPartition& p) {
+    double padded = 1.0;
+    double unpadded = 1.0;
+    for (std::size_t d = 1; d < p.extents.size(); ++d) {
+      padded *= static_cast<double>(p.padded_extents[d]);
+      unpadded *= static_cast<double>(p.extents[d]);
+    }
+    return padded / unpadded;
+  };
+  EXPECT_GT(padding_overhead(p3), padding_overhead(p2));
+}
+
+TEST(Gmp, SearchBoundRespected) {
+  GmpOptions options;
+  options.max_banks = 4;
+  EXPECT_THROW(gmp_partition(stencil::denoise_2d(), 0, options),
+               PartitionError);
+}
+
+TEST(Gmp, RawInterfaceMatchesProgramInterface) {
+  const stencil::StencilProgram p = stencil::rician_2d();
+  std::vector<poly::IntVec> offsets;
+  for (const stencil::ArrayReference& ref : p.inputs()[0].refs) {
+    offsets.push_back(ref.offset);
+  }
+  const UniformPartition a = gmp_partition(p, 0);
+  const UniformPartition b = gmp_partition_raw(offsets, {768, 1024});
+  EXPECT_EQ(a.banks, b.banks);
+  EXPECT_EQ(a.total_size, b.total_size);
+}
+
+TEST(Gmp, ToStringMentionsScheme) {
+  const UniformPartition part = gmp_partition(stencil::denoise_2d(), 0);
+  const std::string text = part.to_string();
+  EXPECT_NE(text.find("gmp[8]"), std::string::npos);
+  EXPECT_NE(text.find("banks"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nup::baseline

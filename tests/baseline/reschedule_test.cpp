@@ -1,0 +1,107 @@
+#include "baseline/reschedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baseline/cyclic.hpp"
+#include "stencil/gallery.hpp"
+#include "util/error.hpp"
+
+namespace nup::baseline {
+namespace {
+
+std::int64_t positive_mod(std::int64_t a, std::int64_t n) {
+  const std::int64_t r = a % n;
+  return r < 0 ? r + n : r;
+}
+
+TEST(Reschedule, DenoiseKeepsWindowSizeBanksAtPathologicalRowSizes) {
+  // The point of [7]: where plain cyclic partitioning needs 6+ banks at
+  // w=1024 (Fig 5), access rescheduling gets back to n = 5.
+  const ReschedulePartition part =
+      reschedule_partition(stencil::denoise_2d(), 0);
+  EXPECT_EQ(part.partition.banks, 5u);
+  EXPECT_EQ(part.partition.method, "reschedule[7]");
+  // And plain cyclic really is worse on the same grid.
+  EXPECT_GT(cyclic_partition(stencil::denoise_2d(), 0).banks, 5u);
+}
+
+TEST(Reschedule, StableAcrossRowSizes) {
+  // Unlike [5], the rescheduled bank count stays at n across the Fig 5
+  // sweep.
+  const std::vector<poly::IntVec> offsets = {
+      {-1, 0}, {0, -1}, {0, 0}, {0, 1}, {1, 0}};
+  for (std::int64_t w = 1000; w <= 1040; ++w) {
+    const ReschedulePartition part =
+        reschedule_partition_raw(offsets, {768, w});
+    EXPECT_EQ(part.partition.banks, 5u) << "w=" << w;
+  }
+}
+
+TEST(Reschedule, DelaysWithinBudget) {
+  RescheduleOptions options;
+  options.max_delay = 3;
+  const ReschedulePartition part =
+      reschedule_partition(stencil::sobel_2d(), 0, options);
+  ASSERT_EQ(part.delays.size(), 8u);
+  for (std::int64_t t : part.delays) {
+    EXPECT_GE(t, 0);
+    EXPECT_LE(t, options.max_delay);
+  }
+}
+
+TEST(Reschedule, ShiftedOffsetsAreConflictFree) {
+  for (const stencil::StencilProgram& p : stencil::paper_benchmarks()) {
+    const ReschedulePartition part = reschedule_partition(p, 0);
+    const std::int64_t banks =
+        static_cast<std::int64_t>(part.partition.banks);
+    std::set<std::int64_t> used;
+    std::size_t k = 0;
+    for (const stencil::ArrayReference& ref : p.inputs()[0].refs) {
+      const std::int64_t lin =
+          linearize(ref.offset, part.partition.extents) - part.delays[k++];
+      EXPECT_TRUE(used.insert(positive_mod(lin, banks)).second)
+          << p.name() << " reference " << k;
+    }
+  }
+}
+
+TEST(Reschedule, NeverBelowWindowSize) {
+  // Even the permissive search cannot beat n: there are n simultaneous
+  // reads every cycle -- this is the floor the paper's n-1 design breaks
+  // by stealing the write port's element.
+  for (const stencil::StencilProgram& p : stencil::paper_benchmarks()) {
+    const ReschedulePartition part = reschedule_partition(p, 0);
+    EXPECT_GE(part.partition.banks, p.total_references()) << p.name();
+  }
+}
+
+TEST(Reschedule, ZeroDelayBudgetEqualsPlainCyclic) {
+  RescheduleOptions options;
+  options.max_delay = 0;
+  const ReschedulePartition part =
+      reschedule_partition(stencil::denoise_2d(), 0, options);
+  EXPECT_EQ(part.partition.banks,
+            cyclic_partition(stencil::denoise_2d(), 0).banks);
+}
+
+TEST(Reschedule, DelayRegistersCountedInStorage) {
+  const ReschedulePartition part =
+      reschedule_partition(stencil::denoise_2d(), 0);
+  const std::int64_t max_delay =
+      *std::max_element(part.delays.begin(), part.delays.end());
+  EXPECT_EQ(part.partition.stored_span, part.partition.span + max_delay);
+  EXPECT_GE(part.partition.total_size, part.partition.stored_span);
+}
+
+TEST(Reschedule, BoundedSearchThrows) {
+  RescheduleOptions options;
+  options.max_banks = 4;  // below the 5-point window size
+  EXPECT_THROW(reschedule_partition(stencil::denoise_2d(), 0, options),
+               PartitionError);
+}
+
+}  // namespace
+}  // namespace nup::baseline

@@ -1,0 +1,120 @@
+#include "codegen/cpp_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "arch/builder.hpp"
+#include "arch/tradeoff.hpp"
+#include "sim/simulator.hpp"
+#include "stencil/gallery.hpp"
+
+namespace nup::codegen {
+namespace {
+
+struct ModelRun {
+  bool ok = false;
+  long fires = 0;
+  long cycles = 0;
+  std::string checksum;
+};
+
+/// Writes the emitted model, compiles it with the system compiler and
+/// runs it.
+ModelRun compile_and_run(const std::string& source,
+                         const std::string& tag) {
+  const std::string base = "/tmp/nup_model_" + tag;
+  {
+    std::ofstream out(base + ".cpp");
+    out << source;
+  }
+  const std::string compile =
+      "c++ -std=c++17 -O1 -o " + base + " " + base + ".cpp 2>" + base +
+      ".log";
+  ModelRun run;
+  if (std::system(compile.c_str()) != 0) return run;
+  FILE* pipe = popen((base + " 2>/dev/null").c_str(), "r");
+  if (pipe == nullptr) return run;
+  char line[256] = {0};
+  if (std::fgets(line, sizeof(line), pipe) != nullptr) {
+    char checksum[64] = {0};
+    if (std::sscanf(line, "FIRES=%ld CYCLES=%ld CHECKSUM=%63s", &run.fires,
+                    &run.cycles, checksum) == 3) {
+      run.checksum = checksum;
+      run.ok = true;
+    }
+  }
+  pclose(pipe);
+  return run;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buffer;
+}
+
+void expect_model_matches(const stencil::StencilProgram& p,
+                          const arch::AcceleratorDesign& design,
+                          const std::string& tag) {
+  const ModelRun run = compile_and_run(emit_cpp_model(p, design), tag);
+  ASSERT_TRUE(run.ok) << "emitted model failed to build/run (see /tmp/"
+                         "nup_model_" << tag << ".log)";
+  EXPECT_EQ(run.fires, p.iteration().count());
+  EXPECT_EQ(run.checksum, hex64(expected_model_checksum(p, design)));
+
+  sim::SimOptions options;
+  options.record_outputs = false;
+  const sim::SimResult cxx = sim::simulate(p, design, options);
+  EXPECT_EQ(run.cycles, cxx.cycles)
+      << "emitted model and library simulator disagree on timing";
+}
+
+TEST(CppModel, EmitsSelfContainedSource) {
+  const stencil::StencilProgram p = stencil::denoise_2d(10, 12);
+  const std::string source = emit_cpp_model(p, arch::build_design(p));
+  EXPECT_NE(source.find("int main()"), std::string::npos);
+  EXPECT_NE(source.find("TOTAL_FIRES = 80"), std::string::npos);
+  EXPECT_EQ(source.find("#include \"nup"), std::string::npos);
+}
+
+TEST(CppModel, DenoiseModelMatchesLibrary) {
+  const stencil::StencilProgram p = stencil::denoise_2d(12, 16);
+  expect_model_matches(p, arch::build_design(p), "denoise");
+}
+
+TEST(CppModel, SobelModelMatchesLibrary) {
+  const stencil::StencilProgram p = stencil::sobel_2d(10, 12);
+  expect_model_matches(p, arch::build_design(p), "sobel");
+}
+
+TEST(CppModel, ThreeDModelMatchesLibrary) {
+  const stencil::StencilProgram p = stencil::heat_3d(5, 6, 7);
+  expect_model_matches(p, arch::build_design(p), "heat3d");
+}
+
+TEST(CppModel, TriangularDomainModel) {
+  const stencil::StencilProgram p = stencil::triangular_demo(12);
+  expect_model_matches(p, arch::build_design(p), "triangular");
+}
+
+TEST(CppModel, TradedDesignModel) {
+  const stencil::StencilProgram p = stencil::denoise_2d(10, 12);
+  arch::AcceleratorDesign design = arch::build_design(p);
+  design.systems[0] = arch::apply_tradeoff(design.systems[0], 1);
+  expect_model_matches(p, design, "traded");
+}
+
+TEST(CppModel, MultiArrayModel) {
+  stencil::StencilProgram p("TWO", poly::Domain::box({1, 1}, {8, 10}));
+  p.add_input("A", {{-1, 0}, {0, 0}, {1, 0}});
+  p.add_input("W", {{0, -1}, {0, 1}});
+  expect_model_matches(p, arch::build_design(p), "two");
+}
+
+}  // namespace
+}  // namespace nup::codegen

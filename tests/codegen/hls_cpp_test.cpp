@@ -1,0 +1,78 @@
+#include "codegen/hls_cpp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/builder.hpp"
+#include "arch/tradeoff.hpp"
+#include "stencil/gallery.hpp"
+
+namespace nup::codegen {
+namespace {
+
+TEST(HlsCpp, TransformedKernelHasPipelinePragma) {
+  const std::string code =
+      emit_transformed_kernel(stencil::denoise_2d(32, 40));
+  EXPECT_NE(code.find("#pragma HLS pipeline II=1"), std::string::npos);
+}
+
+TEST(HlsCpp, OnePortPerReference) {
+  const stencil::StencilProgram p = stencil::denoise_2d(32, 40);
+  const std::string code = emit_transformed_kernel(p);
+  for (std::size_t k = 0; k < p.total_references(); ++k) {
+    EXPECT_NE(code.find("A_" + std::to_string(k)), std::string::npos);
+  }
+  EXPECT_NE(code.find("volatile const float*"), std::string::npos);
+}
+
+TEST(HlsCpp, PortCommentsNameOriginalReferences) {
+  const std::string code =
+      emit_transformed_kernel(stencil::denoise_2d(32, 40));
+  EXPECT_NE(code.find("A[i-1][j]"), std::string::npos);
+  EXPECT_NE(code.find("A[i+1][j]"), std::string::npos);
+}
+
+TEST(HlsCpp, TripCountMatchesIterationDomain) {
+  const stencil::StencilProgram p = stencil::denoise_2d(32, 40);
+  const std::string code = emit_transformed_kernel(p);
+  EXPECT_NE(code.find("t < " + std::to_string(p.iteration().count()) + "L"),
+            std::string::npos);
+}
+
+TEST(HlsCpp, OriginalCodeRoundTrips) {
+  const stencil::StencilProgram p = stencil::denoise_2d(32, 40);
+  const std::string code = emit_original_code(p);
+  EXPECT_NE(code.find("for (int i"), std::string::npos);
+  EXPECT_NE(code.find("A[i][j+1]"), std::string::npos);
+}
+
+TEST(HlsCpp, IntegrationHeaderListsDepths) {
+  const stencil::StencilProgram p = stencil::denoise_2d();
+  const std::string header =
+      emit_integration_header(p, arch::build_design(p));
+  EXPECT_NE(header.find("kFifoDepths_A[] = {1023, 1, 1, 1023}"),
+            std::string::npos);
+  EXPECT_NE(header.find("kPorts_A = 5"), std::string::npos);
+  EXPECT_NE(header.find("kIterations"), std::string::npos);
+}
+
+TEST(HlsCpp, IntegrationHeaderMarksCutFifos) {
+  const stencil::StencilProgram p = stencil::denoise_2d();
+  arch::AcceleratorDesign design = arch::build_design(p);
+  design.systems[0] = arch::apply_tradeoff(design.systems[0], 1);
+  const std::string header = emit_integration_header(p, design);
+  EXPECT_NE(header.find("{0, 1, 1, 1023}"), std::string::npos);
+  EXPECT_NE(header.find("2 off-chip stream(s)"), std::string::npos);
+}
+
+TEST(HlsCpp, MultiArrayPorts) {
+  stencil::StencilProgram p("TWO", poly::Domain::box({1, 1}, {6, 6}));
+  p.add_input("A", {{0, 0}, {0, -1}});
+  p.add_input("W", {{0, 0}});
+  const std::string code = emit_transformed_kernel(p);
+  EXPECT_NE(code.find("A_0"), std::string::npos);
+  EXPECT_NE(code.find("A_1"), std::string::npos);
+  EXPECT_NE(code.find("W_2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nup::codegen

@@ -1,0 +1,139 @@
+#include "codegen/verilog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/builder.hpp"
+#include "arch/tradeoff.hpp"
+#include "stencil/gallery.hpp"
+
+namespace nup::codegen {
+namespace {
+
+std::string denoise_rtl() {
+  const stencil::StencilProgram p = stencil::denoise_2d(32, 40);
+  return emit_verilog(p, arch::build_design(p));
+}
+
+TEST(Verilog, LintClean) {
+  EXPECT_EQ(lint_verilog(denoise_rtl()), "");
+}
+
+TEST(Verilog, LintCleanForAllBenchmarks) {
+  for (const stencil::StencilProgram& p : stencil::paper_benchmarks()) {
+    const std::string rtl = emit_verilog(p, arch::build_design(p));
+    EXPECT_EQ(lint_verilog(rtl), "") << p.name();
+  }
+}
+
+TEST(Verilog, ContainsExpectedModules) {
+  const std::string rtl = denoise_rtl();
+  EXPECT_NE(rtl.find("module denoise_reuse_fifo"), std::string::npos);
+  EXPECT_NE(rtl.find("module denoise_top"), std::string::npos);
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_NE(rtl.find("module denoise_filter_s0_f" + std::to_string(k)),
+              std::string::npos);
+  }
+}
+
+TEST(Verilog, FifoDepthsAreNonUniform) {
+  const std::string rtl = denoise_rtl();
+  // 32x40 grid: FIFO depths 39, 1, 1, 39.
+  EXPECT_NE(rtl.find(".DEPTH(39)"), std::string::npos);
+  EXPECT_NE(rtl.find(".DEPTH(1)"), std::string::npos);
+}
+
+TEST(Verilog, OnePortPerReference) {
+  const std::string rtl = denoise_rtl();
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_NE(rtl.find("port_s0_f" + std::to_string(k)),
+              std::string::npos);
+  }
+}
+
+TEST(Verilog, StreamHandshakePresent) {
+  const std::string rtl = denoise_rtl();
+  EXPECT_NE(rtl.find("s0_stream0_valid"), std::string::npos);
+  EXPECT_NE(rtl.find("s0_stream0_ready"), std::string::npos);
+  EXPECT_NE(rtl.find("kernel_fire"), std::string::npos);
+  EXPECT_NE(rtl.find("kernel_ready"), std::string::npos);
+}
+
+TEST(Verilog, TradedDesignExposesExtraStreams) {
+  const stencil::StencilProgram p = stencil::denoise_2d(32, 40);
+  arch::AcceleratorDesign design = arch::build_design(p);
+  design.systems[0] = arch::apply_tradeoff(design.systems[0], 1);
+  const std::string rtl = emit_verilog(p, design);
+  EXPECT_EQ(lint_verilog(rtl), "");
+  EXPECT_NE(rtl.find("s0_stream1_valid"), std::string::npos);
+}
+
+TEST(Verilog, MembershipUsesCounters) {
+  const std::string rtl = denoise_rtl();
+  EXPECT_NE(rtl.find("cnt0"), std::string::npos);
+  EXPECT_NE(rtl.find("cnt1"), std::string::npos);
+  EXPECT_NE(rtl.find(">= 0"), std::string::npos);
+}
+
+TEST(Verilog, NonRectangularDomainEmitsGeneralConstraints) {
+  const stencil::StencilProgram p = stencil::skewed_demo(16, 24);
+  const std::string rtl = emit_verilog(p, arch::build_design(p));
+  EXPECT_EQ(lint_verilog(rtl), "");
+  // Skewed constraint mixes both counters in one inequality.
+  EXPECT_NE(rtl.find("cnt0 + (1) * cnt1"), std::string::npos);
+}
+
+TEST(Verilog, CustomPrefixRespected) {
+  const stencil::StencilProgram p = stencil::denoise_2d(16, 20);
+  VerilogOptions options;
+  options.module_prefix = "acc";
+  const std::string rtl =
+      emit_verilog(p, arch::build_design(p), options);
+  EXPECT_NE(rtl.find("module acc_top"), std::string::npos);
+  EXPECT_EQ(rtl.find("module denoise_top"), std::string::npos);
+}
+
+TEST(Verilog, HeaderEchoesSourceCode) {
+  const std::string rtl = denoise_rtl();
+  EXPECT_NE(rtl.find("// for (int i = 1"), std::string::npos);
+}
+
+TEST(Testbench, SelfCheckingStructure) {
+  const stencil::StencilProgram p = stencil::denoise_2d(16, 20);
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  const std::string tb = emit_testbench(p, design);
+  EXPECT_NE(tb.find("module denoise_tb"), std::string::npos);
+  EXPECT_NE(tb.find("EXPECTED_FIRES = " +
+                    std::to_string(p.iteration().count())),
+            std::string::npos);
+  EXPECT_NE(tb.find("PASS"), std::string::npos);
+  EXPECT_NE(tb.find("FAIL"), std::string::npos);
+  EXPECT_NE(tb.find("$finish"), std::string::npos);
+}
+
+TEST(Testbench, CombinedSourcesLintClean) {
+  const stencil::StencilProgram p = stencil::denoise_2d(16, 20);
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  const std::string combined =
+      emit_verilog(p, design) + "\n" + emit_testbench(p, design);
+  EXPECT_EQ(lint_verilog(combined), "");
+}
+
+TEST(Lint, DetectsUnbalancedModules) {
+  EXPECT_NE(lint_verilog("module a;\n"), "");
+  EXPECT_NE(lint_verilog("endmodule\n"), "");
+  EXPECT_EQ(lint_verilog("module a;\nendmodule\n"), "");
+}
+
+TEST(Lint, DetectsUnbalancedBeginEnd) {
+  EXPECT_NE(lint_verilog("module a;\nalways @(posedge c) begin\nendmodule\n"),
+            "");
+}
+
+TEST(Lint, DetectsUndefinedInstance) {
+  const std::string text =
+      "module top;\n  missing_mod u_x (.a(b));\nendmodule\n";
+  EXPECT_NE(lint_verilog(text), "");
+}
+
+}  // namespace
+}  // namespace nup::codegen

@@ -1,0 +1,133 @@
+#include "core/compiler.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "stencil/gallery.hpp"
+#include "util/error.hpp"
+
+namespace nup::core {
+namespace {
+
+TEST(Compiler, FullFlowOnSmallDenoise) {
+  const AcceleratorPackage pkg = compile(stencil::denoise_2d(24, 32));
+  EXPECT_TRUE(pkg.verified);
+  EXPECT_EQ(pkg.design.total_bank_count(), 4u);
+  ASSERT_EQ(pkg.checks.size(), 1u);
+  EXPECT_TRUE(pkg.checks[0].all_ok()) << pkg.checks[0].detail;
+  EXPECT_FALSE(pkg.rtl.empty());
+  EXPECT_FALSE(pkg.testbench.empty());
+  EXPECT_FALSE(pkg.kernel_code.empty());
+  EXPECT_FALSE(pkg.integration_header.empty());
+  EXPECT_EQ(pkg.resources.dsp48, 0);
+}
+
+TEST(Compiler, SummaryMentionsKeyFacts) {
+  const AcceleratorPackage pkg = compile(stencil::denoise_2d(24, 32));
+  const std::string text = pkg.summary();
+  EXPECT_NE(text.find("DENOISE"), std::string::npos);
+  EXPECT_NE(text.find("4 bank(s)"), std::string::npos);
+  EXPECT_NE(text.find("outputs match golden execution"),
+            std::string::npos);
+  EXPECT_NE(text.find("BRAM18K"), std::string::npos);
+}
+
+TEST(Compiler, SourceEntryPoint) {
+  const AcceleratorPackage pkg = compile_source(
+      "for (i = 1; i <= 14; i++)\n"
+      "  for (j = 1; j <= 18; j++)\n"
+      "    B[i][j] = 0.25*(A[i-1][j] + A[i+1][j] + A[i][j-1] + "
+      "A[i][j+1]);",
+      "CROSS");
+  EXPECT_TRUE(pkg.verified);
+  EXPECT_EQ(pkg.design.total_bank_count(), 3u);
+  EXPECT_NE(pkg.rtl.find("module cross_top"), std::string::npos);
+}
+
+TEST(Compiler, VerificationCanBeSkipped) {
+  CompileOptions options;
+  options.verify_by_simulation = false;
+  const AcceleratorPackage pkg =
+      compile(stencil::denoise_2d(24, 32), options);
+  EXPECT_FALSE(pkg.verified);
+  EXPECT_EQ(pkg.verification.cycles, 0);
+  EXPECT_FALSE(pkg.rtl.empty());
+}
+
+TEST(Compiler, CodegenCanBeSkipped) {
+  CompileOptions options;
+  options.emit_rtl = false;
+  options.emit_kernel_code = false;
+  const AcceleratorPackage pkg =
+      compile(stencil::denoise_2d(24, 32), options);
+  EXPECT_TRUE(pkg.rtl.empty());
+  EXPECT_TRUE(pkg.kernel_code.empty());
+}
+
+TEST(Compiler, ExactModeOnSkewedGrid) {
+  CompileOptions options;
+  options.build.exact_sizing = true;
+  options.build.exact_streaming = true;
+  const AcceleratorPackage pkg =
+      compile(stencil::skewed_demo(14, 20), options);
+  EXPECT_TRUE(pkg.verified);
+  EXPECT_TRUE(pkg.checks[0].all_ok()) << pkg.checks[0].detail;
+}
+
+TEST(Compiler, ParsesAndRejectsBadSource) {
+  EXPECT_THROW(compile_source("for (i = 0; i < 4; i++) B[i] = A[2*i];",
+                              "BAD"),
+               NotStencilError);
+  EXPECT_THROW(compile_source("not a kernel at all", "BAD"), ParseError);
+}
+
+TEST(Compiler, ThreeDimensionalFlow) {
+  const AcceleratorPackage pkg = compile(stencil::heat_3d(6, 8, 10));
+  EXPECT_TRUE(pkg.verified);
+  EXPECT_EQ(pkg.design.total_bank_count(), 6u);
+}
+
+
+TEST(Compiler, RtlCosimStageInFlow) {
+  CompileOptions options;
+  options.verify_rtl = true;
+  const AcceleratorPackage pkg =
+      compile(stencil::denoise_2d(12, 16), options);
+  EXPECT_TRUE(pkg.rtl_verification.ran);
+  EXPECT_TRUE(pkg.rtl_verification.passed)
+      << pkg.rtl_verification.detail;
+  EXPECT_EQ(pkg.rtl_verification.fires, pkg.verification.kernel_fires);
+  EXPECT_EQ(pkg.rtl_verification.cycles, pkg.verification.cycles);
+  EXPECT_NE(pkg.summary().find("RTL co-simulation: passed"),
+            std::string::npos);
+}
+
+TEST(Compiler, RtlCosimSkipsLargePrograms) {
+  CompileOptions options;
+  options.verify_rtl = true;
+  options.verify_by_simulation = false;
+  options.rtl_verify.max_iterations = 10;
+  const AcceleratorPackage pkg =
+      compile(stencil::denoise_2d(24, 32), options);
+  EXPECT_FALSE(pkg.rtl_verification.ran);
+  EXPECT_NE(pkg.rtl_verification.detail.find("skipped"),
+            std::string::npos);
+}
+
+
+TEST(Compiler, RtlVerifyCatchesTamperedDesign) {
+  // Corrupt the filter order after building: the RTL built from the
+  // corrupted design routes wrong elements, and verify_rtl must say so.
+  const stencil::StencilProgram p = stencil::denoise_2d(10, 12);
+  arch::AcceleratorDesign design = arch::build_design(p);
+  std::swap(design.systems[0].ordered_offsets[1],
+            design.systems[0].ordered_offsets[2]);
+  const RtlVerification rtl = verify_rtl(p, design);
+  ASSERT_TRUE(rtl.ran);
+  EXPECT_FALSE(rtl.passed);
+  EXPECT_FALSE(rtl.detail.empty());
+}
+
+}  // namespace
+}  // namespace nup::core

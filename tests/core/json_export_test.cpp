@@ -1,0 +1,67 @@
+#include "core/json_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stencil/gallery.hpp"
+
+namespace nup::core {
+namespace {
+
+TEST(JsonExport, EscapesSpecialCharacters) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(json_escape(std::string("nul\x01") + "x"), "nul\\u0001x");
+  EXPECT_EQ(json_escape("plain"), "plain");
+}
+
+TEST(JsonExport, ContainsDesignFacts) {
+  const AcceleratorPackage pkg = compile(stencil::denoise_2d(24, 32));
+  const std::string json = to_json(pkg);
+  EXPECT_NE(json.find("\"name\": \"DENOISE\""), std::string::npos);
+  EXPECT_NE(json.find("\"original_ii\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"banks\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"verified\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"dsp48\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"filters\": [[1,0],[0,1],[0,0],[0,-1],[-1,0]]"),
+            std::string::npos);
+}
+
+TEST(JsonExport, BalancedBracesAndQuotes) {
+  const AcceleratorPackage pkg = compile(stencil::bicubic_2d(12, 30));
+  const std::string json = to_json(pkg);
+  long braces = 0;
+  long brackets = 0;
+  long quotes = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) {
+      in_string = !in_string;
+      ++quotes;
+    }
+    if (in_string) continue;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_EQ(quotes % 2, 0);
+}
+
+TEST(JsonExport, MultiSystemPrograms) {
+  stencil::StencilProgram p("TWO", poly::Domain::box({1, 1}, {8, 8}));
+  p.add_input("A", {{0, 0}, {0, -1}});
+  p.add_input("W", {{0, 0}, {-1, 0}});
+  CompileOptions options;
+  options.verify_by_simulation = false;
+  const std::string json = to_json(compile(p, options));
+  EXPECT_NE(json.find("\"array\": \"A\""), std::string::npos);
+  EXPECT_NE(json.find("\"array\": \"W\""), std::string::npos);
+  EXPECT_NE(json.find("\"verified\": false"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nup::core

@@ -1,0 +1,89 @@
+#include "frontend/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace nup::frontend {
+namespace {
+
+std::vector<TokenKind> kinds(const std::string& source) {
+  std::vector<TokenKind> out;
+  for (const Token& t : tokenize(source)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  const auto tokens = tokenize("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEof);
+}
+
+TEST(Lexer, Keywords) {
+  const auto tokens = tokenize("for fortune");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kFor);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[1].text, "fortune");
+}
+
+TEST(Lexer, IntegerAndFloatLiterals) {
+  const auto tokens = tokenize("42 3.14 1e3 2.5e-2");
+  EXPECT_TRUE(tokens[0].is_integer);
+  EXPECT_DOUBLE_EQ(tokens[0].number, 42.0);
+  EXPECT_FALSE(tokens[1].is_integer);
+  EXPECT_DOUBLE_EQ(tokens[1].number, 3.14);
+  EXPECT_FALSE(tokens[2].is_integer);
+  EXPECT_DOUBLE_EQ(tokens[2].number, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[3].number, 0.025);
+}
+
+TEST(Lexer, OperatorsAndPunctuation) {
+  EXPECT_EQ(kinds("( ) [ ] { } ; , = + - * / < <= > >= ++"),
+            (std::vector<TokenKind>{
+                TokenKind::kLParen, TokenKind::kRParen, TokenKind::kLBracket,
+                TokenKind::kRBracket, TokenKind::kLBrace, TokenKind::kRBrace,
+                TokenKind::kSemicolon, TokenKind::kComma, TokenKind::kAssign,
+                TokenKind::kPlus, TokenKind::kMinus, TokenKind::kStar,
+                TokenKind::kSlash, TokenKind::kLess, TokenKind::kLessEq,
+                TokenKind::kGreater, TokenKind::kGreaterEq,
+                TokenKind::kPlusPlus, TokenKind::kEof}));
+}
+
+TEST(Lexer, LineComments) {
+  const auto tokens = tokenize("a // comment b\nc");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "c");
+}
+
+TEST(Lexer, BlockComments) {
+  const auto tokens = tokenize("a /* x\ny */ b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(Lexer, UnterminatedBlockCommentThrows) {
+  EXPECT_THROW(tokenize("a /* never closed"), ParseError);
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  const auto tokens = tokenize("a\n  b");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 3);
+}
+
+TEST(Lexer, UnknownCharacterThrows) {
+  EXPECT_THROW(tokenize("a ? b"), ParseError);
+}
+
+TEST(Lexer, MinusIsNotDecrement) {
+  const auto tokens = tokenize("i--");
+  // We tokenize as two minus tokens; the parser rejects it later.
+  EXPECT_EQ(tokens[1].kind, TokenKind::kMinus);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kMinus);
+}
+
+}  // namespace
+}  // namespace nup::frontend

@@ -1,0 +1,133 @@
+#include "frontend/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace nup::frontend {
+namespace {
+
+constexpr const char* kDenoise = R"(
+  for (i = 1; i <= 766; i++)
+    for (j = 1; j <= 1022; j++)
+      B[i][j] = 0.5*A[i][j] + 0.125*(A[i-1][j] + A[i+1][j]
+                                     + A[i][j-1] + A[i][j+1]);
+)";
+
+TEST(Parser, ParsesLoopNest) {
+  const KernelAst ast = parse_kernel(kDenoise);
+  ASSERT_EQ(ast.loops.size(), 2u);
+  EXPECT_EQ(ast.loops[0].var, "i");
+  EXPECT_EQ(ast.loops[0].lower, 1);
+  EXPECT_EQ(ast.loops[0].upper, 766);
+  EXPECT_EQ(ast.loops[1].var, "j");
+  EXPECT_EQ(ast.loops[1].upper, 1022);
+}
+
+TEST(Parser, StrictLessAdjustsUpperBound) {
+  const KernelAst ast = parse_kernel(
+      "for (i = 0; i < 10; i++) B[i] = A[i];");
+  EXPECT_EQ(ast.loops[0].upper, 9);
+}
+
+TEST(Parser, OutputTarget) {
+  const KernelAst ast = parse_kernel(kDenoise);
+  EXPECT_EQ(ast.output_array, "B");
+  ASSERT_EQ(ast.output_subscripts.size(), 2u);
+  EXPECT_EQ(ast.output_subscripts[0], "i");
+  EXPECT_EQ(ast.output_subscripts[1], "j");
+}
+
+TEST(Parser, BodyExpressionShape) {
+  const KernelAst ast = parse_kernel(kDenoise);
+  ASSERT_TRUE(ast.body);
+  EXPECT_EQ(ast.body->kind, ExprKind::kBinary);
+  EXPECT_EQ(ast.body->op, BinaryOp::kAdd);
+}
+
+TEST(Parser, PrecedenceMulOverAdd) {
+  const KernelAst ast =
+      parse_kernel("for (i = 0; i < 4; i++) B[i] = A[i] + 2 * A[i-1];");
+  // Top node is +, right child is *.
+  EXPECT_EQ(ast.body->op, BinaryOp::kAdd);
+  EXPECT_EQ(ast.body->children[1]->kind, ExprKind::kBinary);
+  EXPECT_EQ(ast.body->children[1]->op, BinaryOp::kMul);
+}
+
+TEST(Parser, UnaryMinus) {
+  const KernelAst ast =
+      parse_kernel("for (i = 0; i < 4; i++) B[i] = -A[i];");
+  EXPECT_EQ(ast.body->kind, ExprKind::kUnary);
+}
+
+TEST(Parser, FunctionCalls) {
+  const KernelAst ast = parse_kernel(
+      "for (i = 1; i < 4; i++) B[i] = sqrt(A[i] * A[i] + A[i-1]);");
+  EXPECT_EQ(ast.body->kind, ExprKind::kCall);
+  EXPECT_EQ(ast.body->name, "sqrt");
+  EXPECT_EQ(ast.body->children.size(), 1u);
+}
+
+TEST(Parser, BracedBodies) {
+  const KernelAst ast = parse_kernel(
+      "for (i = 0; i < 4; i++) { for (j = 0; j < 4; j++) { "
+      "B[i][j] = A[i][j]; } }");
+  EXPECT_EQ(ast.loops.size(), 2u);
+}
+
+TEST(Parser, ConstantFoldedBounds) {
+  const KernelAst ast =
+      parse_kernel("for (i = 2*3; i <= 10+5; i++) B[i] = A[i];");
+  EXPECT_EQ(ast.loops[0].lower, 6);
+  EXPECT_EQ(ast.loops[0].upper, 15);
+}
+
+TEST(Parser, NonConstantBoundThrows) {
+  EXPECT_THROW(parse_kernel("for (i = n; i < 10; i++) B[i] = A[i];"),
+               ParseError);
+}
+
+TEST(Parser, NonIntegerBoundThrows) {
+  EXPECT_THROW(parse_kernel("for (i = 0; i < 2.5; i++) B[i] = A[i];"),
+               ParseError);
+}
+
+TEST(Parser, MismatchedLoopVariableThrows) {
+  EXPECT_THROW(parse_kernel("for (i = 0; j < 10; i++) B[i] = A[i];"),
+               ParseError);
+  EXPECT_THROW(parse_kernel("for (i = 0; i < 10; j++) B[i] = A[i];"),
+               ParseError);
+}
+
+TEST(Parser, ScalarAssignmentTargetThrows) {
+  EXPECT_THROW(parse_kernel("for (i = 0; i < 4; i++) b = A[i];"),
+               ParseError);
+}
+
+TEST(Parser, MissingSemicolonThrows) {
+  EXPECT_THROW(parse_kernel("for (i = 0; i < 4; i++) B[i] = A[i]"),
+               ParseError);
+}
+
+TEST(Parser, TrailingGarbageThrows) {
+  EXPECT_THROW(parse_kernel("for (i = 0; i < 4; i++) B[i] = A[i]; extra"),
+               ParseError);
+}
+
+TEST(Parser, GreaterComparisonRejected) {
+  EXPECT_THROW(parse_kernel("for (i = 10; i > 0; i++) B[i] = A[i];"),
+               ParseError);
+}
+
+TEST(Parser, ErrorCarriesLocation) {
+  try {
+    parse_kernel("for (i = 0; i < 4; i++)\n  B[i] = ;");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_GT(e.column(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace nup::frontend

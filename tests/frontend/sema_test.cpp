@@ -1,0 +1,154 @@
+#include "frontend/sema.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stencil/gallery.hpp"
+#include "stencil/golden.hpp"
+#include "util/error.hpp"
+
+namespace nup::frontend {
+namespace {
+
+constexpr const char* kDenoiseSmall = R"(
+  for (i = 1; i <= 22; i++)
+    for (j = 1; j <= 30; j++)
+      B[i][j] = 0.5*A[i][j] + 0.125*(A[i-1][j] + A[i+1][j]
+                                     + A[i][j-1] + A[i][j+1]);
+)";
+
+TEST(Sema, BuildsProgramWithCorrectShape) {
+  const stencil::StencilProgram p = parse_stencil(kDenoiseSmall, "D");
+  EXPECT_EQ(p.name(), "D");
+  EXPECT_EQ(p.dim(), 2u);
+  EXPECT_EQ(p.total_references(), 5u);
+  EXPECT_EQ(p.output_name(), "B");
+  EXPECT_EQ(p.iteration().count(), 22 * 30);
+}
+
+TEST(Sema, DuplicateReferencesCollapse) {
+  const stencil::StencilProgram p = parse_stencil(
+      "for (i = 1; i < 9; i++) B[i] = A[i] * A[i] + A[i-1];", "sq");
+  EXPECT_EQ(p.total_references(), 2u);
+}
+
+TEST(Sema, KernelEvaluatesOriginalExpression) {
+  const stencil::StencilProgram p = parse_stencil(
+      "for (i = 1; i < 9; i++) B[i] = 2*A[i] - A[i-1]/4;", "k");
+  // Gathered order: A[i] (slot 0), A[i-1] (slot 1).
+  EXPECT_DOUBLE_EQ(p.kernel()({3.0, 8.0}), 4.0);
+}
+
+TEST(Sema, KernelMatchesGoldenOfEquivalentGalleryProgram) {
+  const stencil::StencilProgram parsed =
+      parse_stencil(kDenoiseSmall, "DENOISE_PARSED");
+  const stencil::StencilProgram gallery = stencil::denoise_2d(24, 32);
+  const stencil::GoldenRun a = stencil::run_golden(parsed, 11);
+  const stencil::GoldenRun b = stencil::run_golden(gallery, 11);
+  ASSERT_EQ(a.outputs.size(), b.outputs.size());
+  for (std::size_t i = 0; i < a.outputs.size(); ++i) {
+    EXPECT_NEAR(a.outputs[i], b.outputs[i], 1e-12);
+  }
+}
+
+TEST(Sema, MultipleInputArrays) {
+  const stencil::StencilProgram p = parse_stencil(
+      "for (i = 1; i < 9; i++) C[i] = A[i] + W[i-1];", "two");
+  ASSERT_EQ(p.inputs().size(), 2u);
+  EXPECT_EQ(p.inputs()[0].name, "A");
+  EXPECT_EQ(p.inputs()[1].name, "W");
+}
+
+TEST(Sema, ThreeDimensionalNest) {
+  const stencil::StencilProgram p = parse_stencil(
+      "for (i = 1; i < 7; i++) for (j = 1; j < 7; j++) "
+      "for (k = 1; k < 7; k++) "
+      "B[i][j][k] = A[i][j][k] + A[i-1][j][k] + A[i][j][k+1];",
+      "3d");
+  EXPECT_EQ(p.dim(), 3u);
+  EXPECT_EQ(p.total_references(), 3u);
+}
+
+TEST(Sema, BuiltinFunctions) {
+  const stencil::StencilProgram p = parse_stencil(
+      "for (i = 1; i < 9; i++) B[i] = sqrt(fabs(A[i] - A[i-1]));", "fn");
+  EXPECT_DOUBLE_EQ(p.kernel()({1.0, 5.0}), 2.0);
+}
+
+TEST(Sema, RejectsReadWriteArray) {
+  EXPECT_THROW(
+      parse_stencil("for (i = 1; i < 9; i++) A[i] = A[i-1];", "x"),
+      NotStencilError);
+}
+
+TEST(Sema, RejectsNonUnitCoefficient) {
+  EXPECT_THROW(
+      parse_stencil("for (i = 1; i < 9; i++) B[i] = A[2*i];", "x"),
+      NotStencilError);
+}
+
+TEST(Sema, RejectsTransposedSubscripts) {
+  EXPECT_THROW(parse_stencil("for (i = 1; i < 9; i++) for (j = 1; j < 9; "
+                             "j++) B[i][j] = A[j][i];",
+                             "x"),
+               NotStencilError);
+}
+
+TEST(Sema, RejectsMissingLoopVariableInSubscript) {
+  EXPECT_THROW(parse_stencil("for (i = 1; i < 9; i++) for (j = 1; j < 9; "
+                             "j++) B[i][j] = A[i][3];",
+                             "x"),
+               NotStencilError);
+}
+
+TEST(Sema, RejectsWrongArity) {
+  EXPECT_THROW(parse_stencil("for (i = 1; i < 9; i++) for (j = 1; j < 9; "
+                             "j++) B[i][j] = A[i];",
+                             "x"),
+               NotStencilError);
+}
+
+TEST(Sema, RejectsBareLoopVariableInKernel) {
+  EXPECT_THROW(
+      parse_stencil("for (i = 1; i < 9; i++) B[i] = A[i] + i;", "x"),
+      NotStencilError);
+}
+
+TEST(Sema, RejectsUnknownFunction) {
+  EXPECT_THROW(
+      parse_stencil("for (i = 1; i < 9; i++) B[i] = foo(A[i]);", "x"),
+      NotStencilError);
+}
+
+TEST(Sema, RejectsWrongOutputSubscripts) {
+  EXPECT_THROW(parse_stencil("for (i = 1; i < 9; i++) for (j = 1; j < 9; "
+                             "j++) B[j][i] = A[i][j];",
+                             "x"),
+               NotStencilError);
+}
+
+TEST(Sema, RejectsEmptyLoopRange) {
+  EXPECT_THROW(
+      parse_stencil("for (i = 9; i < 2; i++) B[i] = A[i];", "x"),
+      NotStencilError);
+}
+
+TEST(Sema, RejectsDuplicateLoopVariables) {
+  EXPECT_THROW(parse_stencil("for (i = 1; i < 4; i++) for (i = 1; i < 4; "
+                             "i++) B[i][i] = A[i][i];",
+                             "x"),
+               NotStencilError);
+}
+
+TEST(Sema, RejectsKernelWithoutInputs) {
+  EXPECT_THROW(parse_stencil("for (i = 1; i < 4; i++) B[i] = 3;", "x"),
+               NotStencilError);
+}
+
+TEST(Sema, NegativeOffsetsViaUnaryMinus) {
+  const stencil::StencilProgram p = parse_stencil(
+      "for (i = 2; i < 9; i++) B[i] = A[i + -2];", "neg");
+  EXPECT_EQ(p.inputs()[0].refs[0].offset, (poly::IntVec{-2}));
+}
+
+}  // namespace
+}  // namespace nup::frontend

@@ -1,0 +1,136 @@
+#include "hls/estimate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/builder.hpp"
+#include "baseline/gmp.hpp"
+#include "stencil/gallery.hpp"
+
+namespace nup::hls {
+namespace {
+
+TEST(Bram18k, AspectRatioSelection) {
+  EXPECT_EQ(bram18k_blocks(0, 32), 0);
+  EXPECT_EQ(bram18k_blocks(512, 32), 1);   // 512x36
+  EXPECT_EQ(bram18k_blocks(1024, 32), 2);
+  EXPECT_EQ(bram18k_blocks(1024, 18), 1);  // 1024x18
+  EXPECT_EQ(bram18k_blocks(16384, 1), 1);  // 16384x1
+  EXPECT_EQ(bram18k_blocks(1, 32), 1);
+}
+
+TEST(Bram18k, StorageBoundForDeepBuffers) {
+  // Deep 32-bit buffers approach the bits/18Kb bound x2 (32 bits needs two
+  // 16-bit-ish column groups).
+  const std::int64_t blocks = bram18k_blocks(16384, 32);
+  EXPECT_GE(blocks, 16384 * 32 / (18 * 1024));
+  EXPECT_LE(blocks, 40);
+}
+
+TEST(EstimateStreaming, DenoiseUsesFourBrams) {
+  // Two 1023-deep FIFOs -> 2 BRAM18K each at 32 bits; the unit FIFOs are
+  // registers (Table 2's heterogeneous mapping).
+  const stencil::StencilProgram p = stencil::denoise_2d();
+  const ResourceUsage usage = estimate_streaming(
+      arch::build_design(p), p, virtex7_485t());
+  EXPECT_EQ(usage.bram18k, 4);
+  EXPECT_EQ(usage.dsp48, 0);
+  EXPECT_GT(usage.slices, 0);
+}
+
+TEST(EstimateStreaming, NoDspEver) {
+  const DeviceModel device = virtex7_485t();
+  for (const stencil::StencilProgram& p : stencil::paper_benchmarks()) {
+    const ResourceUsage usage =
+        estimate_streaming(arch::build_design(p), p, device);
+    EXPECT_EQ(usage.dsp48, 0) << p.name();
+  }
+}
+
+TEST(EstimateStreaming, BicubicNeedsNoBram) {
+  // All three FIFOs have depth 2: pure register mapping.
+  const stencil::StencilProgram p = stencil::bicubic_2d();
+  const ResourceUsage usage = estimate_streaming(
+      arch::build_design(p), p, virtex7_485t());
+  EXPECT_EQ(usage.bram18k, 0);
+}
+
+TEST(EstimateStreaming, MeetsTargetPeriod) {
+  const DeviceModel device = virtex7_485t();
+  for (const stencil::StencilProgram& p : stencil::paper_benchmarks()) {
+    const ResourceUsage usage =
+        estimate_streaming(arch::build_design(p), p, device);
+    EXPECT_LT(usage.clock_period_ns, device.target_period_ns) << p.name();
+    EXPECT_GT(usage.clock_period_ns, 1.0) << p.name();
+  }
+}
+
+TEST(EstimateUniform, DspForNonPowerOfTwoBanks) {
+  const stencil::StencilProgram p = stencil::denoise_2d();
+  const baseline::UniformPartition part = baseline::gmp_partition(p, 0);
+  ASSERT_EQ(part.banks, 5u);
+  const ResourceUsage usage =
+      estimate_uniform(part, p.total_references(), virtex7_485t());
+  // 5 load ports + 1 store port, 5 DSPs each for mod+div.
+  EXPECT_EQ(usage.dsp48, 30);
+  EXPECT_GT(usage.bram18k, 0);
+}
+
+TEST(EstimateUniform, PowerOfTwoBanksNeedNoDsp) {
+  baseline::UniformPartition part;
+  part.banks = 8;
+  part.bank_depth = 256;
+  part.stored_span = 2048;
+  part.extents = {64, 64};
+  part.padded_extents = {64, 64};
+  const ResourceUsage usage = estimate_uniform(part, 4, virtex7_485t());
+  EXPECT_EQ(usage.dsp48, 0);
+}
+
+TEST(EstimateUniform, EveryBankBurnsBram) {
+  baseline::UniformPartition part;
+  part.banks = 5;
+  part.bank_depth = 2;  // tiny banks still occupy one BRAM each
+  part.stored_span = 10;
+  part.extents = {64, 64};
+  part.padded_extents = {64, 64};
+  const ResourceUsage usage = estimate_uniform(part, 4, virtex7_485t());
+  EXPECT_EQ(usage.bram18k, 5);
+}
+
+TEST(Comparison, StreamingBeatsUniformOnEveryBenchmark) {
+  // The Table 5 shape: fewer BRAMs, fewer slices, zero DSP on all six.
+  const DeviceModel device = virtex7_485t();
+  for (const stencil::StencilProgram& p : stencil::paper_benchmarks()) {
+    const ResourceUsage ours =
+        estimate_streaming(arch::build_design(p), p, device);
+    const ResourceUsage theirs = estimate_uniform(
+        baseline::gmp_partition(p, 0), p.total_references(), device);
+    EXPECT_LT(ours.bram18k, theirs.bram18k) << p.name();
+    EXPECT_LE(ours.slices, theirs.slices) << p.name();
+    EXPECT_LT(ours.dsp48, theirs.dsp48) << p.name();
+    EXPECT_LE(ours.clock_period_ns, theirs.clock_period_ns) << p.name();
+  }
+}
+
+TEST(Comparison, FitsOnTargetDevice) {
+  const DeviceModel device = virtex7_485t();
+  for (const stencil::StencilProgram& p : stencil::paper_benchmarks()) {
+    const ResourceUsage ours =
+        estimate_streaming(arch::build_design(p), p, device);
+    EXPECT_LT(ours.bram18k, device.bram18k) << p.name();
+    EXPECT_LT(ours.slices, device.slices) << p.name();
+  }
+}
+
+TEST(ResourceUsage, PlusEqualsAccumulates) {
+  ResourceUsage a{1, 10, 2, 3.0};
+  const ResourceUsage b{2, 20, 0, 4.5};
+  a += b;
+  EXPECT_EQ(a.bram18k, 3);
+  EXPECT_EQ(a.slices, 30);
+  EXPECT_EQ(a.dsp48, 2);
+  EXPECT_DOUBLE_EQ(a.clock_period_ns, 4.5);
+}
+
+}  // namespace
+}  // namespace nup::hls

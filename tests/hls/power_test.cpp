@@ -1,0 +1,73 @@
+#include "hls/power.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/builder.hpp"
+#include "baseline/gmp.hpp"
+#include "stencil/gallery.hpp"
+
+namespace nup::hls {
+namespace {
+
+PowerEstimate ours_power(const stencil::StencilProgram& p) {
+  const DeviceModel device = virtex7_485t();
+  return estimate_power(
+      estimate_streaming(arch::build_design(p), p, device), device);
+}
+
+PowerEstimate baseline_power(const stencil::StencilProgram& p) {
+  const DeviceModel device = virtex7_485t();
+  return estimate_power(
+      estimate_uniform(baseline::gmp_partition(p, 0),
+                       p.total_references(), device),
+      device);
+}
+
+TEST(Power, StaticDominatesUngatedTotal) {
+  // The paper's XPower observation: total FPGA power is dominated by
+  // static leakage and almost invariant across custom circuits.
+  const PowerEstimate ours = ours_power(stencil::denoise_2d());
+  const PowerEstimate theirs = baseline_power(stencil::denoise_2d());
+  EXPECT_GT(ours.static_mw, 5 * ours.dynamic_mw);
+  const double relative_gap =
+      std::abs(ours.total_mw() - theirs.total_mw()) / theirs.total_mw();
+  EXPECT_LT(relative_gap, 0.10);
+}
+
+TEST(Power, GatedPowerTracksResourceUsage) {
+  // "If power gating is available, the FPGA power will be proportional to
+  // resource usage, which is covered by Table 5."
+  for (const stencil::StencilProgram& p : stencil::paper_benchmarks()) {
+    const PowerEstimate ours = ours_power(p);
+    const PowerEstimate theirs = baseline_power(p);
+    EXPECT_LT(ours.gated_mw, theirs.gated_mw) << p.name();
+  }
+}
+
+TEST(Power, DynamicScalesWithClockAndActivity) {
+  const DeviceModel device = virtex7_485t();
+  const ResourceUsage usage{10, 1000, 5, 4.5};
+  ActivityModel slow;
+  slow.clock_mhz = 100.0;
+  ActivityModel fast;
+  fast.clock_mhz = 200.0;
+  const PowerEstimate a = estimate_power(usage, device, slow);
+  const PowerEstimate b = estimate_power(usage, device, fast);
+  EXPECT_DOUBLE_EQ(b.dynamic_mw, 2.0 * a.dynamic_mw);
+
+  ActivityModel busy = slow;
+  busy.toggle_rate = 0.5;
+  const PowerEstimate c = estimate_power(usage, device, busy);
+  EXPECT_DOUBLE_EQ(c.dynamic_mw, 2.0 * a.dynamic_mw);
+}
+
+TEST(Power, ZeroUsageZeroDynamic) {
+  const DeviceModel device = virtex7_485t();
+  const PowerEstimate p = estimate_power(ResourceUsage{}, device);
+  EXPECT_DOUBLE_EQ(p.dynamic_mw, 0.0);
+  EXPECT_GT(p.static_mw, 0.0);
+  EXPECT_DOUBLE_EQ(p.gated_mw, 0.0);
+}
+
+}  // namespace
+}  // namespace nup::hls

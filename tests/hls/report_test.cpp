@@ -1,0 +1,58 @@
+#include "hls/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nup::hls {
+namespace {
+
+std::vector<SynthesisComparison> sample_rows() {
+  SynthesisComparison a;
+  a.benchmark = "ALPHA";
+  a.baseline = ResourceUsage{10, 400, 30, 4.9};
+  a.ours = ResourceUsage{4, 300, 0, 4.4};
+  SynthesisComparison b;
+  b.benchmark = "BETA";
+  b.baseline = ResourceUsage{20, 1000, 50, 4.8};
+  b.ours = ResourceUsage{10, 800, 0, 4.8};
+  return {a, b};
+}
+
+TEST(Report, DeltaComputation) {
+  EXPECT_DOUBLE_EQ(SynthesisComparison::delta(4, 10), -0.6);
+  EXPECT_DOUBLE_EQ(SynthesisComparison::delta(0, 30), -1.0);
+  EXPECT_DOUBLE_EQ(SynthesisComparison::delta(5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(SynthesisComparison::delta(12, 10), 0.2);
+}
+
+TEST(Report, AverageDeltas) {
+  const SynthesisAverages avg = average_deltas(sample_rows());
+  EXPECT_NEAR(avg.bram, (-0.6 + -0.5) / 2.0, 1e-12);
+  EXPECT_NEAR(avg.slices, (-0.25 + -0.2) / 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(avg.dsp, -1.0);
+}
+
+TEST(Report, AverageOfEmptyIsZero) {
+  const SynthesisAverages avg = average_deltas({});
+  EXPECT_DOUBLE_EQ(avg.bram, 0.0);
+  EXPECT_DOUBLE_EQ(avg.dsp, 0.0);
+}
+
+TEST(Report, RenderContainsAllSections) {
+  const std::string text = render_synthesis_table(sample_rows());
+  EXPECT_NE(text.find("ALPHA"), std::string::npos);
+  EXPECT_NE(text.find("BETA"), std::string::npos);
+  EXPECT_NE(text.find("[8]"), std::string::npos);
+  EXPECT_NE(text.find("ours"), std::string::npos);
+  EXPECT_NE(text.find("comp."), std::string::npos);
+  EXPECT_NE(text.find("Average"), std::string::npos);
+  EXPECT_NE(text.find("-100.0%"), std::string::npos);
+}
+
+TEST(Report, RenderShowsClockPeriods) {
+  const std::string text = render_synthesis_table(sample_rows());
+  EXPECT_NE(text.find("4.90"), std::string::npos);
+  EXPECT_NE(text.find("4.40"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nup::hls

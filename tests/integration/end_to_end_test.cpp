@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "arch/tradeoff.hpp"
+#include "codegen/verilog.hpp"
+#include "core/compiler.hpp"
+#include "frontend/sema.hpp"
+#include "sim/simulator.hpp"
+#include "stencil/gallery.hpp"
+#include "stencil/golden.hpp"
+
+namespace nup {
+namespace {
+
+/// Source text -> frontend -> builder -> simulator -> golden comparison ->
+/// RTL, in one pass: the whole Fig 11 flow on a kernel nobody hand-tuned.
+TEST(EndToEnd, SourceToVerifiedAccelerator) {
+  const char* source = R"(
+    // 2-D five-point smoother with asymmetric weights.
+    for (i = 1; i <= 18; i++)
+      for (j = 2; j <= 25; j++)
+        OUT[i][j] = 0.4*IMG[i][j]
+                  + 0.2*(IMG[i-1][j] + IMG[i+1][j])
+                  + 0.15*(IMG[i][j-2] + IMG[i][j+1]);
+  )";
+  const core::AcceleratorPackage pkg =
+      core::compile_source(source, "SMOOTH");
+  EXPECT_TRUE(pkg.verified);
+  EXPECT_EQ(pkg.design.total_bank_count(), 4u);
+  EXPECT_EQ(codegen::lint_verilog(pkg.rtl), "");
+  EXPECT_TRUE(pkg.checks[0].all_ok()) << pkg.checks[0].detail;
+}
+
+TEST(EndToEnd, BandwidthTradeoffPreservesCorrectnessAcrossTheCurve) {
+  // Fig 14/15: every point on the bandwidth/memory curve is a working
+  // accelerator.
+  const stencil::StencilProgram p = stencil::sobel_2d(14, 18);
+  arch::AcceleratorDesign base = arch::build_design(p);
+  const stencil::GoldenRun golden = stencil::run_golden(p, 1);
+  for (std::size_t cuts = 0; cuts < p.total_references(); ++cuts) {
+    arch::AcceleratorDesign design = base;
+    design.systems[0] = arch::apply_tradeoff(base.systems[0], cuts);
+    const sim::SimResult r = sim::simulate(p, design, {});
+    ASSERT_FALSE(r.deadlocked) << "cuts=" << cuts;
+    ASSERT_EQ(r.outputs.size(), golden.outputs.size()) << "cuts=" << cuts;
+    for (std::size_t i = 0; i < golden.outputs.size(); ++i) {
+      ASSERT_EQ(r.outputs[i], golden.outputs[i])
+          << "cuts=" << cuts << " output " << i;
+    }
+  }
+}
+
+TEST(EndToEnd, ExactAndHullModesAgreeOnOutputs) {
+  const stencil::StencilProgram p = stencil::denoise_2d(18, 22);
+  core::CompileOptions hull;
+  core::CompileOptions exact;
+  exact.build.exact_sizing = true;
+  exact.build.exact_streaming = true;
+  const core::AcceleratorPackage a = core::compile(p, hull);
+  const core::AcceleratorPackage b = core::compile(p, exact);
+  ASSERT_EQ(a.verification.outputs.size(), b.verification.outputs.size());
+  for (std::size_t i = 0; i < a.verification.outputs.size(); ++i) {
+    EXPECT_EQ(a.verification.outputs[i], b.verification.outputs[i]);
+  }
+  // Exact streaming skips the unused hull corners: fewer stream cycles.
+  EXPECT_LE(b.verification.cycles, a.verification.cycles);
+}
+
+TEST(EndToEnd, GalleryAndParsedFrontendAgree) {
+  // The same DENOISE written by hand and parsed from source produce
+  // accelerators with identical structure.
+  const stencil::StencilProgram parsed = frontend::parse_stencil(
+      "for (i = 1; i <= 766; i++) for (j = 1; j <= 1022; j++) "
+      "B[i][j] = 0.5*A[i][j] + 0.125*(A[i-1][j] + A[i+1][j] + A[i][j-1] + "
+      "A[i][j+1]);",
+      "DENOISE_SRC");
+  const arch::AcceleratorDesign from_source = arch::build_design(parsed);
+  const arch::AcceleratorDesign from_gallery =
+      arch::build_design(stencil::denoise_2d());
+  ASSERT_EQ(from_source.systems[0].fifos.size(),
+            from_gallery.systems[0].fifos.size());
+  for (std::size_t k = 0; k < from_source.systems[0].fifos.size(); ++k) {
+    EXPECT_EQ(from_source.systems[0].fifos[k].depth,
+              from_gallery.systems[0].fifos[k].depth);
+  }
+  EXPECT_EQ(from_source.systems[0].ordered_offsets,
+            from_gallery.systems[0].ordered_offsets);
+}
+
+TEST(EndToEnd, LargeDenoiseFullRun) {
+  // The paper-size DENOISE (768x1024): full streaming simulation at
+  // II ~ 1 with the Table 2 buffer configuration.
+  const stencil::StencilProgram p = stencil::denoise_2d();
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  sim::SimOptions options;
+  options.record_outputs = false;
+  const sim::SimResult r = sim::simulate(p, design, options);
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_EQ(r.kernel_fires, 766 * 1022);
+  EXPECT_LT(r.steady_ii, 1.01);
+  EXPECT_EQ(r.fifo_max_fill[0][0], 1023);
+  EXPECT_EQ(r.fifo_max_fill[0][3], 1023);
+}
+
+}  // namespace
+}  // namespace nup

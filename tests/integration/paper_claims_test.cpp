@@ -1,0 +1,141 @@
+// Every headline number in EXPERIMENTS.md, asserted programmatically so
+// documentation and code cannot drift apart. If one of these fails, fix
+// the code or fix the docs -- never ignore it.
+
+#include <gtest/gtest.h>
+
+#include "arch/builder.hpp"
+#include "arch/perf_model.hpp"
+#include "arch/tradeoff.hpp"
+#include "baseline/cyclic.hpp"
+#include "baseline/gmp.hpp"
+#include "hls/power.hpp"
+#include "hls/report.hpp"
+#include "stencil/gallery.hpp"
+
+namespace nup {
+namespace {
+
+TEST(PaperClaims, Fig2DenoiseNumbers) {
+  const stencil::StencilProgram p = stencil::denoise_2d();
+  EXPECT_EQ(p.iteration().count(), 766 * 1022);          // 782,852
+  EXPECT_EQ(p.input_data_domain(0).count(), 768 * 1024 - 4);
+}
+
+TEST(PaperClaims, Table2DenoiseFifos) {
+  const arch::MemorySystem sys =
+      arch::build_design(stencil::denoise_2d()).systems[0];
+  ASSERT_EQ(sys.fifos.size(), 4u);
+  EXPECT_EQ(sys.fifos[0].depth, 1023);
+  EXPECT_EQ(sys.fifos[1].depth, 1);
+  EXPECT_EQ(sys.fifos[2].depth, 1);
+  EXPECT_EQ(sys.fifos[3].depth, 1023);
+  EXPECT_EQ(sys.total_buffer_size(), 2048);
+}
+
+TEST(PaperClaims, Table4Columns) {
+  struct Row {
+    const char* name;
+    std::size_t orig_ii;
+    std::size_t banks_gmp;
+    std::size_t banks_ours;
+    std::int64_t size_gmp;
+    std::int64_t size_ours;
+  };
+  const Row rows[] = {
+      {"DENOISE", 5, 5, 4, 3075, 2048},
+      {"RICIAN", 4, 5, 3, 3075, 2048},
+      {"SOBEL", 8, 9, 7, 3078, 2050},
+      {"BICUBIC", 4, 5, 3, 1025, 6},
+      {"DENOISE_3D", 7, 7, 6, 53067, 32768},
+      {"SEGMENTATION_3D", 19, 20, 18, 58800, 33024},
+  };
+  const std::vector<stencil::StencilProgram> programs =
+      stencil::paper_benchmarks();
+  for (std::size_t i = 0; i < programs.size(); ++i) {
+    const Row& row = rows[i];
+    ASSERT_EQ(programs[i].name(), row.name);
+    EXPECT_EQ(programs[i].total_references(), row.orig_ii) << row.name;
+    const baseline::UniformPartition gmp =
+        baseline::gmp_partition(programs[i], 0);
+    EXPECT_EQ(gmp.banks, row.banks_gmp) << row.name;
+    EXPECT_EQ(gmp.total_size, row.size_gmp) << row.name;
+    const arch::AcceleratorDesign ours = arch::build_design(programs[i]);
+    EXPECT_EQ(ours.systems[0].bank_count(), row.banks_ours) << row.name;
+    EXPECT_EQ(ours.systems[0].total_buffer_size(), row.size_ours)
+        << row.name;
+  }
+}
+
+TEST(PaperClaims, Fig5CyclicRowSizePoints) {
+  const std::vector<poly::IntVec> window = {
+      {-1, 0}, {0, -1}, {0, 0}, {0, 1}, {1, 0}};
+  EXPECT_EQ(baseline::cyclic_partition_raw(window, {768, 1023}).banks, 5u);
+  EXPECT_EQ(baseline::cyclic_partition_raw(window, {768, 1024}).banks, 6u);
+  EXPECT_EQ(baseline::cyclic_partition_raw(window, {768, 1005}).banks, 7u);
+  EXPECT_EQ(baseline::cyclic_partition_raw(window, {768, 1015}).banks, 9u);
+}
+
+TEST(PaperClaims, Table5Averages) {
+  const hls::DeviceModel device = hls::virtex7_485t();
+  std::vector<hls::SynthesisComparison> rows;
+  for (const stencil::StencilProgram& p : stencil::paper_benchmarks()) {
+    hls::SynthesisComparison row;
+    row.benchmark = p.name();
+    row.baseline = hls::estimate_uniform(baseline::gmp_partition(p, 0),
+                                         p.total_references(), device);
+    row.ours = hls::estimate_streaming(arch::build_design(p), p, device);
+    rows.push_back(row);
+  }
+  const hls::SynthesisAverages avg = hls::average_deltas(rows);
+  // EXPERIMENTS.md: BRAM -60.2%, slices -19.3%, DSP -100%, CP -8.1%.
+  EXPECT_NEAR(avg.bram, -0.602, 0.005);
+  EXPECT_NEAR(avg.slices, -0.193, 0.005);
+  EXPECT_DOUBLE_EQ(avg.dsp, -1.0);
+  EXPECT_NEAR(avg.clock_period, -0.081, 0.005);
+}
+
+TEST(PaperClaims, Fig15SweepEndpointsAndPhases) {
+  const arch::MemorySystem sys =
+      arch::build_design(stencil::segmentation_3d()).systems[0];
+  const std::vector<arch::TradeoffPoint> curve = arch::bandwidth_sweep(sys);
+  ASSERT_EQ(curve.size(), 19u);
+  EXPECT_EQ(curve.front().total_buffer_size, 33024);
+  EXPECT_EQ(curve.back().total_buffer_size, 0);
+  // Three phases: largest remaining FIFO 16127 -> 127 -> 1.
+  EXPECT_EQ(curve.front().largest_remaining, 16127);
+  bool saw_row = false;
+  bool saw_unit = false;
+  for (const arch::TradeoffPoint& point : curve) {
+    saw_row = saw_row || point.largest_remaining == 127;
+    saw_unit = saw_unit || point.largest_remaining == 1;
+  }
+  EXPECT_TRUE(saw_row);
+  EXPECT_TRUE(saw_unit);
+}
+
+TEST(PaperClaims, PerfHeadline) {
+  // README: full DENOISE streams at II ~ 1.002 with a 2050-cycle fill.
+  const stencil::StencilProgram p = stencil::denoise_2d();
+  const arch::PerfPrediction pred =
+      arch::predict_performance(p, arch::build_design(p).systems[0]);
+  EXPECT_EQ(pred.fill_latency, 2050);
+  EXPECT_NEAR(pred.steady_ii, 1.002, 0.0005);
+}
+
+TEST(PaperClaims, PowerHeadline) {
+  // EXPERIMENTS.md: gated power 28.7 vs 132.4 mW on DENOISE.
+  const hls::DeviceModel device = hls::virtex7_485t();
+  const stencil::StencilProgram p = stencil::denoise_2d();
+  const hls::PowerEstimate ours = hls::estimate_power(
+      hls::estimate_streaming(arch::build_design(p), p, device), device);
+  const hls::PowerEstimate theirs = hls::estimate_power(
+      hls::estimate_uniform(baseline::gmp_partition(p, 0),
+                            p.total_references(), device),
+      device);
+  EXPECT_NEAR(ours.gated_mw, 28.7, 0.5);
+  EXPECT_NEAR(theirs.gated_mw, 132.4, 0.5);
+}
+
+}  // namespace
+}  // namespace nup

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arch/builder.hpp"
+#include "arch/verify.hpp"
+#include "baseline/conflict.hpp"
+#include "baseline/cyclic.hpp"
+#include "baseline/gmp.hpp"
+#include "poly/reuse.hpp"
+#include "sim/simulator.hpp"
+#include "stencil/golden.hpp"
+#include "stencil/program.hpp"
+#include "util/rng.hpp"
+
+namespace nup {
+namespace {
+
+/// Deterministically generates a random stencil program from a seed:
+/// random dimensionality (2-3), window (2-8 distinct offsets within reach
+/// 2) and small grid.
+stencil::StencilProgram random_program(std::uint64_t seed) {
+  Rng rng(seed * 1000003 + 17);
+  const std::size_t dims = static_cast<std::size_t>(rng.next_in(2, 3));
+  const std::size_t refs = static_cast<std::size_t>(rng.next_in(2, 8));
+
+  std::set<poly::IntVec> offsets;
+  while (offsets.size() < refs) {
+    poly::IntVec f(dims);
+    for (std::size_t d = 0; d < dims; ++d) f[d] = rng.next_in(-2, 2);
+    offsets.insert(std::move(f));
+  }
+
+  poly::IntVec lo(dims);
+  poly::IntVec hi(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    std::int64_t reach_lo = 0;
+    std::int64_t reach_hi = 0;
+    for (const poly::IntVec& f : offsets) {
+      reach_lo = std::min(reach_lo, f[d]);
+      reach_hi = std::max(reach_hi, f[d]);
+    }
+    const std::int64_t extent =
+        dims == 2 ? rng.next_in(10, 22) : rng.next_in(7, 10);
+    lo[d] = -reach_lo;
+    hi[d] = lo[d] + extent - 1;
+  }
+
+  stencil::StencilProgram p("RANDOM_" + std::to_string(seed),
+                            poly::Domain::box(lo, hi));
+  p.add_input("A",
+              std::vector<poly::IntVec>(offsets.begin(), offsets.end()));
+  return p;
+}
+
+class RandomStencil : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomStencil, BankCountIsMinimum) {
+  const stencil::StencilProgram p = random_program(GetParam());
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  EXPECT_EQ(design.systems[0].bank_count(), p.total_references() - 1);
+}
+
+TEST_P(RandomStencil, StaticChecksHold) {
+  const stencil::StencilProgram p = random_program(GetParam());
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  const arch::ConditionCheck check =
+      arch::verify_design(p, design.systems[0]);
+  EXPECT_TRUE(check.all_ok()) << p.name() << ": " << check.detail;
+}
+
+TEST_P(RandomStencil, SimulationMatchesGolden) {
+  const stencil::StencilProgram p = random_program(GetParam());
+  const sim::SimResult r = sim::simulate(p, arch::build_design(p), {});
+  ASSERT_FALSE(r.deadlocked) << p.name() << ": " << r.deadlock_detail;
+  ASSERT_EQ(r.kernel_fires, p.iteration().count()) << p.name();
+  const stencil::GoldenRun golden = stencil::run_golden(p, 1);
+  ASSERT_EQ(r.outputs.size(), golden.outputs.size());
+  for (std::size_t i = 0; i < golden.outputs.size(); ++i) {
+    ASSERT_EQ(r.outputs[i], golden.outputs[i])
+        << p.name() << " output " << i;
+  }
+}
+
+TEST_P(RandomStencil, FifoFillNeverExceedsDepth) {
+  const stencil::StencilProgram p = random_program(GetParam());
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  const sim::SimResult r = sim::simulate(p, design, {});
+  ASSERT_FALSE(r.deadlocked);
+  for (std::size_t k = 0; k < design.systems[0].fifos.size(); ++k) {
+    EXPECT_LE(r.fifo_max_fill[0][k], design.systems[0].fifos[k].depth)
+        << p.name() << " FIFO " << k;
+  }
+}
+
+TEST_P(RandomStencil, ReuseDistanceLinearity) {
+  // Property 3: adjacent distances along the chain sum to the end-to-end
+  // distance (this is what makes the total buffer size minimal).
+  const stencil::StencilProgram p = random_program(GetParam());
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  const arch::MemorySystem& sys = design.systems[0];
+  if (sys.filter_count() < 2) return;
+  const poly::Domain hull = p.data_domain_hull(0);
+  std::int64_t sum = 0;
+  for (std::size_t k = 0; k + 1 < sys.filter_count(); ++k) {
+    sum += poly::max_reuse_distance(p.iteration(), hull,
+                                    sys.ordered_offsets[k],
+                                    sys.ordered_offsets[k + 1])
+               .max_distance;
+  }
+  const std::int64_t end_to_end =
+      poly::max_reuse_distance(p.iteration(), hull,
+                               sys.ordered_offsets.front(),
+                               sys.ordered_offsets.back())
+          .max_distance;
+  EXPECT_EQ(sum, end_to_end) << p.name();
+}
+
+TEST_P(RandomStencil, UniformBaselinesAreValidAndNeverSmaller) {
+  const stencil::StencilProgram p = random_program(GetParam());
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  const baseline::UniformPartition gmp = baseline::gmp_partition(p, 0);
+  const baseline::UniformPartition cyc = baseline::cyclic_partition(p, 0);
+  EXPECT_GE(gmp.banks, p.total_references());
+  EXPECT_GE(cyc.banks, p.total_references());
+  EXPECT_GT(gmp.banks, design.systems[0].bank_count());
+  EXPECT_GT(cyc.banks, design.systems[0].bank_count());
+  // Fairness: the found schemes truly avoid conflicts.
+  const poly::IntVec alpha = gmp.scheme;
+  const std::int64_t banks = static_cast<std::int64_t>(gmp.banks);
+  EXPECT_TRUE(baseline::verify_by_sliding(
+      p, 0,
+      [&](const poly::IntVec& h) {
+        std::int64_t dot = 0;
+        for (std::size_t d = 0; d < h.size(); ++d) dot += alpha[d] * h[d];
+        return ((dot % banks) + banks) % banks;
+      },
+      5'000));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomStencil,
+                         ::testing::Range<std::uint64_t>(0, 24));
+
+class RandomOffsetTriple : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(RandomOffsetTriple, MaxReuseDistanceLinearityOnBoxes) {
+  Rng rng(GetParam() * 7919 + 3);
+  const poly::Domain iter = poly::Domain::box({3, 3}, {12, 14});
+  const poly::Domain data = poly::Domain::box({0, 0}, {15, 17});
+  std::vector<poly::IntVec> fs;
+  for (int k = 0; k < 3; ++k) {
+    fs.push_back({rng.next_in(-3, 3), rng.next_in(-3, 3)});
+  }
+  std::sort(fs.begin(), fs.end(), [](const auto& a, const auto& b) {
+    return poly::lex_less(b, a);
+  });
+  const std::int64_t d01 =
+      poly::max_reuse_distance(iter, data, fs[0], fs[1]).max_distance;
+  const std::int64_t d12 =
+      poly::max_reuse_distance(iter, data, fs[1], fs[2]).max_distance;
+  const std::int64_t d02 =
+      poly::max_reuse_distance(iter, data, fs[0], fs[2]).max_distance;
+  EXPECT_EQ(d02, d01 + d12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomOffsetTriple,
+                         ::testing::Range<std::uint64_t>(0, 16));
+
+}  // namespace
+}  // namespace nup

@@ -1,0 +1,206 @@
+// Parameterized sweeps: the invariants of the design hold across grid
+// sizes, data widths, prefetch configurations, and random programs driven
+// through the RTL interpreter.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "arch/builder.hpp"
+#include "arch/verify.hpp"
+#include "core/rtl_verify.hpp"
+#include "hls/estimate.hpp"
+#include "sim/prefetch.hpp"
+#include "sim/simulator.hpp"
+#include "stencil/gallery.hpp"
+#include "stencil/golden.hpp"
+#include "util/rng.hpp"
+
+namespace nup {
+namespace {
+
+// ---- grid-size sweep -------------------------------------------------
+
+class GridSizeSweep
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(GridSizeSweep, DenoiseInvariantsHoldAtEverySize) {
+  const auto [rows, cols] = GetParam();
+  const stencil::StencilProgram p = stencil::denoise_2d(rows, cols);
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  const arch::MemorySystem& sys = design.systems[0];
+  // Table 2 structure at every size: {cols-1, 1, 1, cols-1}.
+  ASSERT_EQ(sys.fifos.size(), 4u);
+  EXPECT_EQ(sys.fifos[0].depth, cols - 1);
+  EXPECT_EQ(sys.fifos[1].depth, 1);
+  EXPECT_EQ(sys.fifos[2].depth, 1);
+  EXPECT_EQ(sys.fifos[3].depth, cols - 1);
+  EXPECT_EQ(sys.total_buffer_size(), 2 * cols);
+  EXPECT_TRUE(arch::verify_design(p, sys).all_ok());
+}
+
+TEST_P(GridSizeSweep, SimulationScalesAndStaysCorrect) {
+  const auto [rows, cols] = GetParam();
+  const stencil::StencilProgram p = stencil::denoise_2d(rows, cols);
+  const sim::SimResult r = sim::simulate(p, arch::build_design(p), {});
+  ASSERT_FALSE(r.deadlocked);
+  EXPECT_EQ(r.kernel_fires, (rows - 2) * (cols - 2));
+  const stencil::GoldenRun golden = stencil::run_golden(p, 1);
+  ASSERT_EQ(r.outputs.size(), golden.outputs.size());
+  EXPECT_EQ(r.outputs.back(), golden.outputs.back());
+  EXPECT_EQ(r.outputs.front(), golden.outputs.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, GridSizeSweep,
+    ::testing::Values(std::pair{8, 8}, std::pair{8, 64}, std::pair{64, 8},
+                      std::pair{16, 128}, std::pair{128, 16},
+                      std::pair{96, 96}));
+
+// ---- data-width sweep --------------------------------------------------
+
+class DataWidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DataWidthSweep, ResourceModelScalesWithWidth) {
+  const int width = GetParam();
+  const stencil::StencilProgram p = stencil::denoise_2d();
+  const hls::DeviceModel device = hls::virtex7_485t();
+  hls::EstimateOptions options;
+  options.data_width_bits = width;
+  const hls::ResourceUsage usage =
+      hls::estimate_streaming(arch::build_design(p), p, device, options);
+  EXPECT_EQ(usage.dsp48, 0);
+  EXPECT_GT(usage.slices, 0);
+  // Wider data needs at least as many BRAM columns.
+  hls::EstimateOptions narrow;
+  narrow.data_width_bits = 8;
+  const hls::ResourceUsage usage8 =
+      hls::estimate_streaming(arch::build_design(p), p, device, narrow);
+  EXPECT_GE(usage.bram18k, usage8.bram18k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, DataWidthSweep,
+                         ::testing::Values(8, 16, 32, 64));
+
+// ---- prefetch-config sweep ----------------------------------------------
+
+class PrefetchSweep
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(PrefetchSweep, CorrectUnderAnyLatencyBufferCombination) {
+  const auto [latency, depth] = GetParam();
+  const stencil::StencilProgram p = stencil::denoise_2d(12, 16);
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  sim::SimOptions options;
+  options.stall_limit = 1'000'000;
+  sim::AcceleratorSim sim(p, design, options);
+  sim::PrefetchFeed::Config config;
+  config.latency_cycles = latency;
+  config.buffer_depth = depth;
+  sim.set_feed(0, 0,
+               std::make_shared<sim::PrefetchFeed>(
+                   std::make_shared<sim::SyntheticFeed>(1, 0), config));
+  const sim::SimResult r = sim.run();
+  ASSERT_FALSE(r.deadlocked) << "latency=" << latency << " depth=" << depth;
+  EXPECT_EQ(r.kernel_fires, p.iteration().count());
+  const stencil::GoldenRun golden = stencil::run_golden(p, 1);
+  ASSERT_EQ(r.outputs.size(), golden.outputs.size());
+  for (std::size_t i = 0; i < golden.outputs.size(); ++i) {
+    ASSERT_EQ(r.outputs[i], golden.outputs[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, PrefetchSweep,
+    ::testing::Values(std::pair{1, 1}, std::pair{10, 4}, std::pair{10, 16},
+                      std::pair{50, 8}, std::pair{50, 64},
+                      std::pair{200, 256}));
+
+// ---- randomized RTL co-simulation ---------------------------------------
+
+stencil::StencilProgram random_small_program(std::uint64_t seed) {
+  Rng rng(seed * 40503 + 7);
+  const std::size_t refs = static_cast<std::size_t>(rng.next_in(2, 6));
+  std::set<poly::IntVec> offsets;
+  while (offsets.size() < refs) {
+    offsets.insert({rng.next_in(-1, 1), rng.next_in(-2, 2)});
+  }
+  poly::IntVec lo(2);
+  poly::IntVec hi(2);
+  for (std::size_t d = 0; d < 2; ++d) {
+    std::int64_t reach_lo = 0;
+    std::int64_t reach_hi = 0;
+    for (const poly::IntVec& f : offsets) {
+      reach_lo = std::min(reach_lo, f[d]);
+      reach_hi = std::max(reach_hi, f[d]);
+    }
+    lo[d] = -reach_lo;
+    hi[d] = lo[d] + rng.next_in(6, 12);
+  }
+  stencil::StencilProgram p("RTLRAND_" + std::to_string(seed),
+                            poly::Domain::box(lo, hi));
+  p.add_input("A",
+              std::vector<poly::IntVec>(offsets.begin(), offsets.end()));
+  return p;
+}
+
+class RandomRtlCosim : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomRtlCosim, GeneratedRtlMatchesModel) {
+  const stencil::StencilProgram p = random_small_program(GetParam());
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  const core::RtlVerification rtl = core::verify_rtl(p, design);
+  ASSERT_TRUE(rtl.ran) << rtl.detail;
+  EXPECT_TRUE(rtl.passed) << p.name() << ": " << rtl.detail;
+
+  sim::SimOptions options;
+  options.record_outputs = false;
+  const sim::SimResult cxx = sim::simulate(p, design, options);
+  EXPECT_EQ(rtl.cycles, cxx.cycles) << p.name();
+  EXPECT_EQ(rtl.fires, cxx.kernel_fires) << p.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomRtlCosim,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+// ---- multi-array RTL --------------------------------------------------
+
+TEST(MultiArrayRtl, TwoSystemsCosimulate) {
+  stencil::StencilProgram p("TWO", poly::Domain::box({1, 1}, {8, 10}));
+  p.add_input("A", {{-1, 0}, {0, 0}, {1, 0}});
+  p.add_input("W", {{0, -1}, {0, 1}});
+  p.set_kernel(stencil::make_weighted_sum({0.2, 0.2, 0.2, 0.2, 0.2}));
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  const core::RtlVerification rtl = core::verify_rtl(p, design);
+  ASSERT_TRUE(rtl.ran) << rtl.detail;
+  EXPECT_TRUE(rtl.passed) << rtl.detail;
+}
+
+
+// ---- four-dimensional stencil -------------------------------------------
+
+TEST(FourDimensional, FullStackWorksIn4D) {
+  const stencil::StencilProgram p = stencil::lattice_4d();
+  EXPECT_EQ(p.total_references(), 9u);
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  EXPECT_EQ(design.systems[0].bank_count(), 8u);
+  EXPECT_TRUE(arch::verify_design(p, design.systems[0]).all_ok());
+  const sim::SimResult r = sim::simulate(p, design, {});
+  ASSERT_FALSE(r.deadlocked) << r.deadlock_detail;
+  EXPECT_EQ(r.kernel_fires, p.iteration().count());
+  const stencil::GoldenRun golden = stencil::run_golden(p, 1);
+  ASSERT_EQ(r.outputs.size(), golden.outputs.size());
+  EXPECT_EQ(r.outputs.back(), golden.outputs.back());
+}
+
+TEST(FourDimensional, RtlCosimIn4D) {
+  const stencil::StencilProgram p = stencil::lattice_4d(4, 5, 5, 6);
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  const core::RtlVerification rtl = core::verify_rtl(p, design);
+  ASSERT_TRUE(rtl.ran) << rtl.detail;
+  EXPECT_TRUE(rtl.passed) << rtl.detail;
+}
+
+}  // namespace
+}  // namespace nup

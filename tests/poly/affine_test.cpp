@@ -1,0 +1,61 @@
+#include "poly/affine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace nup::poly {
+namespace {
+
+TEST(AffineExpr, Evaluate) {
+  const AffineExpr expr({2, -3}, 5);
+  EXPECT_EQ(expr.evaluate({1, 1}), 4);
+  EXPECT_EQ(expr.evaluate({0, 0}), 5);
+  EXPECT_EQ(expr.evaluate({-1, 2}), -3);
+}
+
+TEST(AffineExpr, EvaluateDimMismatchThrows) {
+  const AffineExpr expr({1, 1}, 0);
+  EXPECT_THROW(expr.evaluate({1}), Error);
+}
+
+TEST(AffineExpr, TranslatedShiftsConstant) {
+  // f(x) = x0 + 2*x1; g(x) = f(x - (1, 1)) = x0 + 2*x1 - 3.
+  const AffineExpr f({1, 2}, 0);
+  const AffineExpr g = f.translated({1, 1});
+  EXPECT_EQ(g.constant, -3);
+  EXPECT_EQ(g.evaluate({1, 1}), f.evaluate({0, 0}));
+  EXPECT_EQ(g.evaluate({5, 2}), f.evaluate({4, 1}));
+}
+
+TEST(AffineExpr, ToStringReadable) {
+  EXPECT_EQ(AffineExpr({1, 0}, -1).to_string(), "x0 - 1");
+  EXPECT_EQ(AffineExpr({0, 0}, 7).to_string(), "7");
+  EXPECT_EQ(AffineExpr({-2, 1}, 0).to_string(), "-2*x0 + x1");
+}
+
+TEST(Constraint, Satisfied) {
+  // x0 >= 3.
+  const Constraint c = lower_bound(2, 0, 3);
+  EXPECT_TRUE(c.satisfied({3, 0}));
+  EXPECT_TRUE(c.satisfied({10, -5}));
+  EXPECT_FALSE(c.satisfied({2, 100}));
+}
+
+TEST(Constraint, UpperBound) {
+  // x1 <= 7.
+  const Constraint c = upper_bound(2, 1, 7);
+  EXPECT_TRUE(c.satisfied({0, 7}));
+  EXPECT_FALSE(c.satisfied({0, 8}));
+}
+
+TEST(Constraint, MakeConstraintGeneral) {
+  // x0 - x1 >= 0 (triangle boundary).
+  const Constraint c = make_constraint({1, -1}, 0);
+  EXPECT_TRUE(c.satisfied({4, 4}));
+  EXPECT_TRUE(c.satisfied({5, 4}));
+  EXPECT_FALSE(c.satisfied({3, 4}));
+}
+
+}  // namespace
+}  // namespace nup::poly

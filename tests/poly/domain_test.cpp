@@ -1,0 +1,217 @@
+#include "poly/domain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace nup::poly {
+namespace {
+
+Domain triangle(std::int64_t n) {
+  // 0 <= x0 <= n, 0 <= x1 <= x0.
+  Polyhedron tri(2);
+  tri.add(lower_bound(2, 0, 0));
+  tri.add(upper_bound(2, 0, n));
+  tri.add(lower_bound(2, 1, 0));
+  tri.add(make_constraint({1, -1}, 0));
+  return Domain(std::move(tri));
+}
+
+TEST(Domain, BoxCount) {
+  EXPECT_EQ(Domain::box({0, 0}, {2, 3}).count(), 12);
+  EXPECT_EQ(Domain::box({5}, {5}).count(), 1);
+  EXPECT_EQ(Domain::box({0, 0, 0}, {1, 2, 3}).count(), 24);
+}
+
+TEST(Domain, TriangleCount) {
+  // Rows 0..4 with 1..5 points: 15.
+  EXPECT_EQ(triangle(4).count(), 15);
+}
+
+TEST(Domain, UnionCountsOverlapOnce) {
+  Domain u = Domain::box({0, 0}, {3, 3});        // 16 points
+  u.add_piece(Polyhedron::box({2, 2}, {5, 5}));  // 16 points, 4 overlap
+  EXPECT_EQ(u.count(), 28);
+}
+
+TEST(Domain, UnionMembership) {
+  Domain u = Domain::box({0, 0}, {1, 1});
+  u.add_piece(Polyhedron::box({10, 10}, {11, 11}));
+  EXPECT_TRUE(u.contains({0, 1}));
+  EXPECT_TRUE(u.contains({11, 10}));
+  EXPECT_FALSE(u.contains({5, 5}));
+}
+
+TEST(Domain, RowIntervalsMergesPieces) {
+  Domain u = Domain::box({0, 0}, {0, 3});
+  u.add_piece(Polyhedron::box({0, 2}, {0, 8}));
+  const auto rows = u.row_intervals({0});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].lo, 0);
+  EXPECT_EQ(rows[0].hi, 8);
+}
+
+TEST(Domain, RowIntervalsDisjointPieces) {
+  Domain u = Domain::box({0, 0}, {0, 2});
+  u.add_piece(Polyhedron::box({0, 6}, {0, 9}));
+  const auto rows = u.row_intervals({0});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1].lo, 6);
+}
+
+TEST(Domain, LexRankOnBox) {
+  const Domain box = Domain::box({0, 0}, {3, 4});  // rows of 5
+  EXPECT_EQ(box.lex_rank({0, 0}), 0);
+  EXPECT_EQ(box.lex_rank({0, 3}), 3);
+  EXPECT_EQ(box.lex_rank({2, 1}), 11);
+  EXPECT_EQ(box.lex_rank({9, 9}), 20);   // beyond: all points
+  EXPECT_EQ(box.lex_rank({-1, 0}), 0);   // before: none
+}
+
+TEST(Domain, LexRankOfNonMemberPoint) {
+  const Domain box = Domain::box({0, 0}, {3, 4});
+  // Point (1, 99) is past row 1: rank = 2 rows of 5.
+  EXPECT_EQ(box.lex_rank({1, 99}), 10);
+  EXPECT_EQ(box.lex_rank({1, -5}), 5);
+}
+
+TEST(Domain, LexRankOnTriangle) {
+  const Domain tri = triangle(4);
+  EXPECT_EQ(tri.lex_rank({0, 0}), 0);
+  EXPECT_EQ(tri.lex_rank({2, 0}), 3);   // rows 0 (1) + 1 (2)
+  EXPECT_EQ(tri.lex_rank({4, 4}), 14);
+}
+
+TEST(Domain, LexMin) {
+  EXPECT_EQ(Domain::box({3, 7}, {5, 9}).lex_min().value(), (IntVec{3, 7}));
+  EXPECT_FALSE(Domain().lex_min().has_value());
+}
+
+TEST(Domain, LexMinSkewed) {
+  // Rows start at x1 = x0 + 1.
+  Polyhedron para(2);
+  para.add(lower_bound(2, 0, 2));
+  para.add(upper_bound(2, 0, 5));
+  para.add(make_constraint({-1, 1}, -1));  // x1 >= x0 + 1
+  para.add(make_constraint({1, -1}, 4));   // x1 <= x0 + 4
+  EXPECT_EQ(Domain(std::move(para)).lex_min().value(), (IntVec{2, 3}));
+}
+
+TEST(Domain, CursorVisitsAllPointsInLexOrder) {
+  const Domain tri = triangle(3);
+  std::vector<IntVec> visited;
+  tri.for_each([&](const IntVec& p) { visited.push_back(p); });
+  ASSERT_EQ(visited.size(), 10u);
+  for (std::size_t i = 1; i < visited.size(); ++i) {
+    EXPECT_TRUE(lex_less(visited[i - 1], visited[i]));
+  }
+  EXPECT_EQ(visited.front(), (IntVec{0, 0}));
+  EXPECT_EQ(visited.back(), (IntVec{3, 3}));
+}
+
+TEST(Domain, CursorMatchesCountOnUnions) {
+  Domain u = Domain::box({0, 0}, {4, 4});
+  u.add_piece(Polyhedron::box({3, 3}, {7, 9}));
+  std::int64_t visited = 0;
+  IntVec prev;
+  bool first = true;
+  u.for_each([&](const IntVec& p) {
+    if (!first) {
+      EXPECT_TRUE(lex_less(prev, p));
+    }
+    prev = p;
+    first = false;
+    ++visited;
+  });
+  EXPECT_EQ(visited, u.count());
+}
+
+TEST(Domain, CursorOn1D) {
+  const Domain line = Domain::box({-2}, {2});
+  std::vector<std::int64_t> xs;
+  line.for_each([&](const IntVec& p) { xs.push_back(p[0]); });
+  EXPECT_EQ(xs, (std::vector<std::int64_t>{-2, -1, 0, 1, 2}));
+}
+
+TEST(Domain, Cursor3D) {
+  const Domain box = Domain::box({0, 0, 0}, {1, 1, 1});
+  std::vector<IntVec> visited;
+  box.for_each([&](const IntVec& p) { visited.push_back(p); });
+  ASSERT_EQ(visited.size(), 8u);
+  EXPECT_EQ(visited[0], (IntVec{0, 0, 0}));
+  EXPECT_EQ(visited[1], (IntVec{0, 0, 1}));
+  EXPECT_EQ(visited[2], (IntVec{0, 1, 0}));
+  EXPECT_EQ(visited[7], (IntVec{1, 1, 1}));
+}
+
+TEST(Domain, TranslatedUnion) {
+  Domain u = Domain::box({0, 0}, {1, 1});
+  u.add_piece(Polyhedron::box({5, 5}, {6, 6}));
+  const Domain moved = u.translated({10, 20});
+  EXPECT_TRUE(moved.contains({10, 20}));
+  EXPECT_TRUE(moved.contains({16, 26}));
+  EXPECT_EQ(moved.count(), u.count());
+}
+
+TEST(Domain, AsSingleBox) {
+  IntVec lo;
+  IntVec hi;
+  EXPECT_TRUE(Domain::box({1, 2}, {3, 4}).as_single_box(&lo, &hi));
+  Domain u = Domain::box({0, 0}, {1, 1});
+  u.add_piece(Polyhedron::box({0, 0}, {1, 1}));
+  EXPECT_FALSE(u.as_single_box(&lo, &hi));
+}
+
+TEST(Domain, EmptyDomainBehaviour) {
+  const Domain empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.count(), 0);
+  std::int64_t visits = 0;
+  empty.for_each([&](const IntVec&) { ++visits; });
+  EXPECT_EQ(visits, 0);
+}
+
+TEST(Domain, DimOnEmptyThrows) { EXPECT_THROW(Domain().dim(), Error); }
+
+TEST(Domain, InfeasiblePieceYieldsNoPoints) {
+  Polyhedron p(2);
+  p.add(lower_bound(2, 0, 5));
+  p.add(upper_bound(2, 0, 3));  // contradiction
+  p.add(lower_bound(2, 1, 0));
+  p.add(upper_bound(2, 1, 3));
+  const Domain d(std::move(p));
+  EXPECT_EQ(d.count(), 0);
+  EXPECT_TRUE(d.empty());
+}
+
+
+TEST(Domain, LexMax) {
+  EXPECT_EQ(Domain::box({3, 7}, {5, 9}).lex_max().value(), (IntVec{5, 9}));
+  EXPECT_EQ(triangle(4).lex_max().value(), (IntVec{4, 4}));
+  EXPECT_FALSE(Domain().lex_max().has_value());
+}
+
+TEST(Domain, LexMaxOnUnion) {
+  Domain u = Domain::box({0, 0}, {2, 2});
+  u.add_piece(Polyhedron::box({1, 5}, {2, 9}));
+  EXPECT_EQ(u.lex_max().value(), (IntVec{2, 9}));
+}
+
+TEST(Domain, LexMinMaxAgreeWithEnumeration) {
+  Domain u = Domain::box({0, 1}, {3, 4});
+  u.add_piece(Polyhedron::box({2, 3}, {6, 8}));
+  IntVec first;
+  IntVec last;
+  bool any = false;
+  u.for_each([&](const IntVec& p) {
+    if (!any) first = p;
+    last = p;
+    any = true;
+  });
+  ASSERT_TRUE(any);
+  EXPECT_EQ(u.lex_min().value(), first);
+  EXPECT_EQ(u.lex_max().value(), last);
+}
+
+}  // namespace
+}  // namespace nup::poly

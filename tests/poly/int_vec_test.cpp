@@ -1,0 +1,55 @@
+#include "poly/int_vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace nup::poly {
+namespace {
+
+TEST(IntVec, AddSub) {
+  EXPECT_EQ(add({1, 2}, {3, -4}), (IntVec{4, -2}));
+  EXPECT_EQ(sub({1, 2}, {3, -4}), (IntVec{-2, 6}));
+}
+
+TEST(IntVec, AddDimensionMismatchThrows) {
+  EXPECT_THROW(add({1}, {1, 2}), Error);
+  EXPECT_THROW(sub({1, 2, 3}, {1, 2}), Error);
+}
+
+TEST(IntVec, Negate) {
+  EXPECT_EQ(negate({1, -2, 0}), (IntVec{-1, 2, 0}));
+}
+
+TEST(IntVec, LexCompareOrdering) {
+  // Definition 2: (1,0) > (0,1) > (0,0) > (-1,0).
+  EXPECT_GT(lex_compare({1, 0}, {0, 1}), 0);
+  EXPECT_GT(lex_compare({0, 1}, {0, 0}), 0);
+  EXPECT_GT(lex_compare({0, 0}, {-1, 0}), 0);
+  EXPECT_EQ(lex_compare({2, 3}, {2, 3}), 0);
+  EXPECT_LT(lex_compare({2, 3}, {2, 4}), 0);
+}
+
+TEST(IntVec, LexLess) {
+  EXPECT_TRUE(lex_less({0, 9}, {1, 0}));
+  EXPECT_FALSE(lex_less({1, 0}, {1, 0}));
+  EXPECT_FALSE(lex_less({1, 1}, {1, 0}));
+}
+
+TEST(IntVec, LexCompareFirstDimensionDominates) {
+  EXPECT_GT(lex_compare({1, -100}, {0, 100}), 0);
+}
+
+TEST(IntVec, IsZero) {
+  EXPECT_TRUE(is_zero({0, 0, 0}));
+  EXPECT_FALSE(is_zero({0, 1}));
+  EXPECT_TRUE(is_zero({}));
+}
+
+TEST(IntVec, ToString) {
+  EXPECT_EQ(to_string({1, -2}), "(1, -2)");
+  EXPECT_EQ(to_string({7}), "(7)");
+}
+
+}  // namespace
+}  // namespace nup::poly

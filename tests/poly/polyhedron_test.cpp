@@ -1,0 +1,158 @@
+#include "poly/polyhedron.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace nup::poly {
+namespace {
+
+TEST(Interval, EmptyAndSize) {
+  EXPECT_TRUE(Interval{}.empty());
+  EXPECT_EQ(Interval{}.size(), 0);
+  EXPECT_EQ((Interval{2, 5}).size(), 4);
+  EXPECT_TRUE((Interval{3, 2}).empty());
+}
+
+TEST(Interval, Intersect) {
+  const Interval a{0, 10};
+  const Interval b{5, 20};
+  const Interval c = intersect(a, b);
+  EXPECT_EQ(c.lo, 5);
+  EXPECT_EQ(c.hi, 10);
+  EXPECT_TRUE(intersect(Interval{0, 2}, Interval{5, 9}).empty());
+}
+
+TEST(Interval, MergeIntervals) {
+  auto merged = merge_intervals({{5, 9}, {0, 2}, {3, 4}, {20, 22}});
+  // [0,2] and [3,4] are adjacent -> coalesce; [5,9] touches [3,4]+1.
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].lo, 0);
+  EXPECT_EQ(merged[0].hi, 9);
+  EXPECT_EQ(merged[1].lo, 20);
+}
+
+TEST(Interval, MergeDropsEmpty) {
+  auto merged = merge_intervals({{3, 1}, {0, 0}});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].lo, 0);
+  EXPECT_EQ(merged[0].hi, 0);
+}
+
+TEST(Polyhedron, BoxContains) {
+  const Polyhedron box = Polyhedron::box({0, 0}, {3, 5});
+  EXPECT_TRUE(box.contains({0, 0}));
+  EXPECT_TRUE(box.contains({3, 5}));
+  EXPECT_FALSE(box.contains({4, 0}));
+  EXPECT_FALSE(box.contains({0, -1}));
+}
+
+TEST(Polyhedron, ZeroDimensionThrows) { EXPECT_THROW(Polyhedron(0), Error); }
+
+TEST(Polyhedron, TranslatedMembership) {
+  const Polyhedron box = Polyhedron::box({0, 0}, {2, 2});
+  const Polyhedron moved = box.translated({10, -1});
+  EXPECT_TRUE(moved.contains({10, -1}));
+  EXPECT_TRUE(moved.contains({12, 1}));
+  EXPECT_FALSE(moved.contains({0, 0}));
+}
+
+TEST(Polyhedron, IntersectedIsConjunction) {
+  const Polyhedron a = Polyhedron::box({0, 0}, {5, 5});
+  const Polyhedron b = Polyhedron::box({3, 3}, {9, 9});
+  const Polyhedron c = a.intersected(b);
+  EXPECT_TRUE(c.contains({4, 4}));
+  EXPECT_FALSE(c.contains({1, 1}));
+  EXPECT_FALSE(c.contains({7, 7}));
+}
+
+TEST(Polyhedron, InnermostLevelBoundsExact) {
+  const Polyhedron box = Polyhedron::box({0, 2}, {4, 7});
+  const Interval iv = box.level_bounds({1}, 1);
+  EXPECT_EQ(iv.lo, 2);
+  EXPECT_EQ(iv.hi, 7);
+}
+
+TEST(Polyhedron, LevelBoundsInfeasiblePrefix) {
+  const Polyhedron box = Polyhedron::box({0, 0}, {4, 4});
+  EXPECT_TRUE(box.level_bounds({9}, 1).empty());
+}
+
+TEST(Polyhedron, OuterLevelBoundsViaElimination) {
+  // Triangle: 0 <= x0 <= 4, 0 <= x1 <= x0.
+  Polyhedron tri(2);
+  tri.add(lower_bound(2, 0, 0));
+  tri.add(upper_bound(2, 0, 4));
+  tri.add(lower_bound(2, 1, 0));
+  tri.add(make_constraint({1, -1}, 0));  // x0 - x1 >= 0
+  const Interval outer = tri.level_bounds({}, 0);
+  EXPECT_EQ(outer.lo, 0);
+  EXPECT_EQ(outer.hi, 4);
+  const Interval row2 = tri.level_bounds({2}, 1);
+  EXPECT_EQ(row2.lo, 0);
+  EXPECT_EQ(row2.hi, 2);
+}
+
+TEST(Polyhedron, SkewedRowBounds) {
+  // Parallelogram: 0 <= x0 <= 3, x0 <= x1 <= x0 + 2.
+  Polyhedron para(2);
+  para.add(lower_bound(2, 0, 0));
+  para.add(upper_bound(2, 0, 3));
+  para.add(make_constraint({-1, 1}, 0));  // x1 >= x0
+  para.add(make_constraint({1, -1}, 2));  // x1 <= x0 + 2
+  const Interval row3 = para.level_bounds({3}, 1);
+  EXPECT_EQ(row3.lo, 3);
+  EXPECT_EQ(row3.hi, 5);
+}
+
+TEST(Polyhedron, AxisRange) {
+  Polyhedron tri(2);
+  tri.add(lower_bound(2, 0, 1));
+  tri.add(upper_bound(2, 0, 6));
+  tri.add(lower_bound(2, 1, 0));
+  tri.add(make_constraint({1, -1}, 0));  // x1 <= x0
+  const Interval r0 = tri.axis_range(0);
+  EXPECT_EQ(r0.lo, 1);
+  EXPECT_EQ(r0.hi, 6);
+  const Interval r1 = tri.axis_range(1);
+  EXPECT_EQ(r1.lo, 0);
+  EXPECT_EQ(r1.hi, 6);
+}
+
+TEST(Polyhedron, AsBoxDetectsBoxes) {
+  IntVec lo;
+  IntVec hi;
+  EXPECT_TRUE(Polyhedron::box({1, -2}, {5, 9}).as_box(&lo, &hi));
+  EXPECT_EQ(lo, (IntVec{1, -2}));
+  EXPECT_EQ(hi, (IntVec{5, 9}));
+}
+
+TEST(Polyhedron, AsBoxRejectsSkew) {
+  Polyhedron p = Polyhedron::box({0, 0}, {4, 4});
+  p.add(make_constraint({1, -1}, 0));
+  EXPECT_FALSE(p.as_box(nullptr, nullptr));
+}
+
+TEST(Polyhedron, AsBoxRejectsUnbounded) {
+  Polyhedron p(2);
+  p.add(lower_bound(2, 0, 0));
+  p.add(upper_bound(2, 0, 4));
+  p.add(lower_bound(2, 1, 0));  // x1 unbounded above
+  EXPECT_FALSE(p.as_box(nullptr, nullptr));
+}
+
+TEST(Polyhedron, ThreeDimensionalBounds) {
+  const Polyhedron box = Polyhedron::box({0, 0, 0}, {2, 3, 4});
+  EXPECT_EQ(box.level_bounds({}, 0).size(), 3);
+  EXPECT_EQ(box.level_bounds({1}, 1).size(), 4);
+  EXPECT_EQ(box.level_bounds({1, 2}, 2).size(), 5);
+}
+
+TEST(Polyhedron, ToStringMentionsConstraints) {
+  const Polyhedron box = Polyhedron::box({0}, {3});
+  const std::string text = box.to_string();
+  EXPECT_NE(text.find(">= 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nup::poly

@@ -1,0 +1,167 @@
+#include "poly/reuse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace nup::poly {
+namespace {
+
+TEST(RankOracle, MatchesDomainLexRankOnBox) {
+  const Domain box = Domain::box({0, 0}, {7, 9});
+  const RankOracle oracle(box);
+  EXPECT_EQ(oracle.total(), 80);
+  box.for_each([&](const IntVec& p) {
+    EXPECT_EQ(oracle.rank(p), box.lex_rank(p)) << to_string(p);
+  });
+}
+
+TEST(RankOracle, MatchesDomainLexRankOnUnion) {
+  Domain u = Domain::box({0, 1}, {3, 4});
+  u.add_piece(Polyhedron::box({2, 3}, {6, 8}));
+  const RankOracle oracle(u);
+  EXPECT_EQ(oracle.total(), u.count());
+  u.for_each([&](const IntVec& p) {
+    EXPECT_EQ(oracle.rank(p), u.lex_rank(p)) << to_string(p);
+  });
+}
+
+TEST(RankOracle, RankInclusiveCountsMembership) {
+  const Domain box = Domain::box({0, 0}, {3, 3});
+  const RankOracle oracle(box);
+  EXPECT_EQ(oracle.rank_inclusive({0, 0}), 1);
+  EXPECT_EQ(oracle.rank_inclusive({0, -1}), 0);  // not a member
+  EXPECT_EQ(oracle.rank_inclusive({3, 3}), 16);
+}
+
+TEST(RankOracle, PointsPastTheEnd) {
+  const Domain box = Domain::box({0, 0}, {2, 2});
+  const RankOracle oracle(box);
+  EXPECT_EQ(oracle.rank({5, 0}), 9);
+  EXPECT_EQ(oracle.rank_inclusive({5, 0}), 9);
+}
+
+TEST(BoxLinearizedDistance, DenoiseExample) {
+  // Paper Section 2.3: DENOISE on A[0..767][0..1023], earliest reference
+  // A[i+1][j], latest A[i-1][j]: r = (2, 0) -> 2048.
+  const IntVec lo{0, 0};
+  const IntVec hi{767, 1023};
+  EXPECT_EQ(box_linearized_distance(lo, hi, {2, 0}), 2048);
+  // Adjacent pair A[i+1][j] -> A[i][j+1]: r = (1, -1) -> 1023 (Table 2).
+  EXPECT_EQ(box_linearized_distance(lo, hi, {1, -1}), 1023);
+  // A[i][j+1] -> A[i][j]: r = (0, 1) -> 1.
+  EXPECT_EQ(box_linearized_distance(lo, hi, {0, 1}), 1);
+}
+
+TEST(BoxLinearizedDistance, ThreeDimensional) {
+  const IntVec lo{0, 0, 0};
+  const IntVec hi{95, 127, 127};
+  EXPECT_EQ(box_linearized_distance(lo, hi, {1, 0, 0}), 128 * 128);
+  EXPECT_EQ(box_linearized_distance(lo, hi, {0, 1, 0}), 128);
+  EXPECT_EQ(box_linearized_distance(lo, hi, {1, -1, 0}), 128 * 127);
+}
+
+TEST(BoxLinearizedDistance, DimensionMismatchThrows) {
+  EXPECT_THROW(box_linearized_distance({0, 0}, {1, 1}, {1}), Error);
+}
+
+TEST(ReuseDistanceAt, CountsBetweenPoints) {
+  // 4x4 box; offsets f_from = (1,0), f_to = (0,1); at iteration (1,1) the
+  // window spans grid points (1,2) .. (2,1): the rest of row 1 (cols 2,3)
+  // plus (2,0) and (2,1) = 4 elements = linearized distance of (1,-1).
+  const Domain data = Domain::box({0, 0}, {3, 3});
+  EXPECT_EQ(reuse_distance_at(data, {1, 1}, {1, 0}, {0, 1}), 3);
+  EXPECT_EQ(box_linearized_distance({0, 0}, {3, 3}, {1, -1}), 3);
+}
+
+TEST(MaxReuseDistance, BoxFastPathConstant) {
+  const Domain iter = Domain::box({1, 1}, {6, 6});
+  const Domain data = Domain::box({0, 0}, {7, 7});
+  const ReuseResult r = max_reuse_distance(iter, data, {1, 0}, {-1, 0});
+  EXPECT_TRUE(r.used_box_fast_path);
+  EXPECT_EQ(r.max_distance, 16);
+  EXPECT_EQ(r.min_distance, 16);
+}
+
+TEST(MaxReuseDistance, ExactPathAgreesWithBoxOnRectangles) {
+  const Domain iter = Domain::box({1, 1}, {6, 6});
+  // Same rectangle but written as a union of two pieces so the fast path
+  // is not taken.
+  Domain data = Domain::box({0, 0}, {7, 3});
+  data.add_piece(Polyhedron::box({0, 4}, {7, 7}));
+  const ReuseResult exact = max_reuse_distance(iter, data, {1, 0}, {-1, 0});
+  EXPECT_FALSE(exact.used_box_fast_path);
+  EXPECT_EQ(exact.max_distance, 16);
+}
+
+TEST(MaxReuseDistance, VariesOnTriangularGrid) {
+  // Triangular data domain (rows of growing length): the reuse distance of
+  // r = (1, 0) at iteration (i, j) is i + 1, so it changes as execution
+  // advances -- the Fig 9 phenomenon.
+  Polyhedron tri(2);
+  tri.add(lower_bound(2, 0, 0));
+  tri.add(upper_bound(2, 0, 9));
+  tri.add(lower_bound(2, 1, 0));
+  tri.add(make_constraint({1, -1}, 0));  // x1 <= x0
+  const Domain data(tri);
+  Polyhedron itri(2);
+  itri.add(lower_bound(2, 0, 1));
+  itri.add(upper_bound(2, 0, 8));
+  itri.add(lower_bound(2, 1, 0));
+  itri.add(make_constraint({1, -1}, -1));  // x1 <= x0 - 1
+  const Domain iter(itri);
+  const ReuseResult r = max_reuse_distance(iter, data, {1, 0}, {0, 0});
+  EXPECT_FALSE(r.used_box_fast_path);
+  EXPECT_GT(r.max_distance, r.min_distance);
+  EXPECT_EQ(r.max_distance, 9);  // deepest row: i = 8 -> distance 9
+  EXPECT_EQ(r.min_distance, 2);  // shallowest: i = 1 -> distance 2
+  EXPECT_TRUE(iter.contains(r.argmax_iteration));
+}
+
+TEST(MaxReuseDistance, LinearityProperty3) {
+  // r(A0 -> A2) == r(A0 -> A1) + r(A1 -> A2) on any domain.
+  const Domain iter = Domain::box({1, 1}, {10, 14});
+  const Domain data = Domain::box({0, 0}, {11, 15});
+  const IntVec f0{1, 0};
+  const IntVec f1{0, 1};
+  const IntVec f2{-1, 0};
+  const std::int64_t d01 =
+      max_reuse_distance(iter, data, f0, f1).max_distance;
+  const std::int64_t d12 =
+      max_reuse_distance(iter, data, f1, f2).max_distance;
+  const std::int64_t d02 =
+      max_reuse_distance(iter, data, f0, f2).max_distance;
+  EXPECT_EQ(d02, d01 + d12);
+}
+
+TEST(MaxReuseDistance, ZeroForIdenticalOffsets) {
+  const Domain iter = Domain::box({1, 1}, {4, 4});
+  const Domain data = Domain::box({0, 0}, {5, 5});
+  EXPECT_EQ(max_reuse_distance(iter, data, {0, 1}, {0, 1}).max_distance, 0);
+}
+
+TEST(MaxReuseDistance, ExactLimitEnforced) {
+  Domain data = Domain::box({0, 0}, {99, 99});
+  data.add_piece(Polyhedron::box({0, 0}, {0, 0}));  // force non-box path
+  const Domain iter = Domain::box({1, 1}, {98, 98});
+  ReuseOptions options;
+  options.exact_iteration_limit = 10;
+  EXPECT_THROW(max_reuse_distance(iter, data, {1, 0}, {0, 0}, options),
+               Error);
+}
+
+TEST(MaxReuseDistance, EmptyIterationThrows) {
+  Domain data = Domain::box({0, 0}, {3, 3});
+  data.add_piece(Polyhedron::box({0, 0}, {1, 1}));
+  Polyhedron infeasible(2);
+  infeasible.add(lower_bound(2, 0, 5));
+  infeasible.add(upper_bound(2, 0, 1));
+  infeasible.add(lower_bound(2, 1, 0));
+  infeasible.add(upper_bound(2, 1, 1));
+  EXPECT_THROW(
+      max_reuse_distance(Domain(infeasible), data, {1, 0}, {0, 0}),
+      Error);
+}
+
+}  // namespace
+}  // namespace nup::poly

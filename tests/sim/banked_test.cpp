@@ -1,0 +1,107 @@
+#include "sim/banked.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/cyclic.hpp"
+#include "baseline/gmp.hpp"
+#include "sim/simulator.hpp"
+#include "arch/builder.hpp"
+#include "stencil/gallery.hpp"
+#include "stencil/golden.hpp"
+
+namespace nup::sim {
+namespace {
+
+TEST(BankedSim, GmpDenoiseMatchesGolden) {
+  const stencil::StencilProgram p = stencil::denoise_2d(24, 32);
+  const baseline::UniformPartition part = baseline::gmp_partition(p, 0);
+  const BankedSimResult r = simulate_banked(p, part);
+  ASSERT_FALSE(r.bank_conflict) << r.conflict_detail;
+  ASSERT_TRUE(r.completed);
+  const stencil::GoldenRun golden = stencil::run_golden(p, 1);
+  ASSERT_EQ(r.values.size(), golden.outputs.size());
+  for (std::size_t i = 0; i < golden.outputs.size(); ++i) {
+    ASSERT_EQ(r.values[i], golden.outputs[i]);
+  }
+}
+
+TEST(BankedSim, CyclicPartitionAlsoExecutes) {
+  const stencil::StencilProgram p = stencil::denoise_2d(20, 26);
+  const baseline::UniformPartition part =
+      baseline::cyclic_partition(p, 0);
+  const BankedSimResult r = simulate_banked(p, part);
+  EXPECT_FALSE(r.bank_conflict) << r.conflict_detail;
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(BankedSim, AllPaperBenchmarksExecuteUnderGmp) {
+  const std::vector<stencil::StencilProgram> programs = {
+      stencil::denoise_2d(16, 20), stencil::rician_2d(16, 20),
+      stencil::sobel_2d(16, 20),   stencil::bicubic_2d(10, 24),
+      stencil::denoise_3d(6, 8, 10),
+      stencil::segmentation_3d(6, 8, 10)};
+  for (const stencil::StencilProgram& p : programs) {
+    const baseline::UniformPartition part = baseline::gmp_partition(p, 0);
+    const BankedSimResult r = simulate_banked(p, part);
+    EXPECT_FALSE(r.bank_conflict) << p.name() << ": " << r.conflict_detail;
+    EXPECT_TRUE(r.completed) << p.name();
+    const stencil::GoldenRun golden = stencil::run_golden(p, 1);
+    ASSERT_EQ(r.values.size(), golden.outputs.size()) << p.name();
+    EXPECT_EQ(r.values.back(), golden.outputs.back()) << p.name();
+  }
+}
+
+TEST(BankedSim, DetectsConflictingScheme) {
+  const stencil::StencilProgram p = stencil::denoise_2d(16, 20);
+  baseline::UniformPartition bad = baseline::gmp_partition(p, 0);
+  bad.scheme = {1, 1};  // A[i-1][j] and A[i][j-1] collide
+  const BankedSimResult r = simulate_banked(p, bad);
+  EXPECT_TRUE(r.bank_conflict);
+  EXPECT_NE(r.conflict_detail.find("bank"), std::string::npos);
+}
+
+TEST(BankedSim, DetectsUndersizedBuffer) {
+  const stencil::StencilProgram p = stencil::denoise_2d(16, 20);
+  baseline::UniformPartition small = baseline::gmp_partition(p, 0);
+  small.total_size = 10;  // far below the window span
+  const BankedSimResult r = simulate_banked(p, small);
+  EXPECT_TRUE(r.bank_conflict);
+  EXPECT_NE(r.conflict_detail.find("evicted"), std::string::npos);
+}
+
+TEST(BankedSim, SteadyStateIsFullyPipelined) {
+  const stencil::StencilProgram p = stencil::denoise_2d(32, 64);
+  const BankedSimResult r =
+      simulate_banked(p, baseline::gmp_partition(p, 0));
+  ASSERT_TRUE(r.completed);
+  EXPECT_LT(r.steady_ii, 1.05);
+}
+
+TEST(BankedSim, FillLatencyCoversTheWindowSpan) {
+  // The uniform design must buffer the whole window span before the first
+  // output -- same asymptotics as ours (2 rows for DENOISE).
+  const stencil::StencilProgram p = stencil::denoise_2d(16, 20);
+  const BankedSimResult r =
+      simulate_banked(p, baseline::gmp_partition(p, 0));
+  ASSERT_TRUE(r.completed);
+  EXPECT_GE(r.fill_latency, 2 * 20);
+  EXPECT_LE(r.fill_latency, 2 * 20 + 4);
+}
+
+TEST(BankedSim, BothArchitecturesAgreeOnOutputs) {
+  // The paper's two competing designs produce identical data; they differ
+  // only in banks and storage.
+  const stencil::StencilProgram p = stencil::sobel_2d(14, 18);
+  const BankedSimResult uniform =
+      simulate_banked(p, baseline::gmp_partition(p, 0));
+  const SimResult streaming = simulate(p, arch::build_design(p), {});
+  ASSERT_TRUE(uniform.completed);
+  ASSERT_FALSE(streaming.deadlocked);
+  ASSERT_EQ(uniform.values.size(), streaming.outputs.size());
+  for (std::size_t i = 0; i < uniform.values.size(); ++i) {
+    ASSERT_EQ(uniform.values[i], streaming.outputs[i]);
+  }
+}
+
+}  // namespace
+}  // namespace nup::sim

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "arch/builder.hpp"
+#include "sim/simulator.hpp"
+#include "stencil/gallery.hpp"
+#include "util/error.hpp"
+
+namespace nup::sim {
+namespace {
+
+SimOptions fast_deadlock_options() {
+  SimOptions options;
+  options.stall_limit = 3000;
+  return options;
+}
+
+TEST(Deadlock, UndersizedFifoDeadlocksOrCorrupts) {
+  // Violating condition 2 (Eq. 2): a FIFO smaller than the maximum reuse
+  // distance cannot hold the in-flight window, so the chain wedges.
+  const stencil::StencilProgram p = stencil::denoise_2d(20, 24);
+  arch::AcceleratorDesign design = arch::build_design(p);
+  design.systems[0].fifos[0].depth -= 1;
+  SimResult r;
+  bool corrupted = false;
+  try {
+    r = simulate(p, design, fast_deadlock_options());
+  } catch (const SimulationError&) {
+    corrupted = true;
+  }
+  EXPECT_TRUE(corrupted || r.deadlocked);
+}
+
+TEST(Deadlock, BadlyUndersizedFifoDeadlocks) {
+  const stencil::StencilProgram p = stencil::denoise_2d(20, 24);
+  arch::AcceleratorDesign design = arch::build_design(p);
+  design.systems[0].fifos[3].depth = 1;  // needs 23
+  SimResult r;
+  bool corrupted = false;
+  try {
+    r = simulate(p, design, fast_deadlock_options());
+  } catch (const SimulationError&) {
+    corrupted = true;
+  }
+  EXPECT_TRUE(corrupted || r.deadlocked);
+}
+
+TEST(Deadlock, ViolatedOrderingFailsLoudly) {
+  // Violating condition 1: mapping a later reference to an earlier filter
+  // means the data it needs has already flowed past -- deadlock (or a
+  // detected port mismatch, never silent wrong data).
+  const stencil::StencilProgram p = stencil::denoise_2d(16, 20);
+  arch::AcceleratorDesign design = arch::build_design(p);
+  arch::MemorySystem& sys = design.systems[0];
+  std::swap(sys.ordered_offsets[0], sys.ordered_offsets[4]);
+  std::swap(sys.ref_order[0], sys.ref_order[4]);
+  SimResult r;
+  bool detected = false;
+  try {
+    r = simulate(p, design, fast_deadlock_options());
+  } catch (const SimulationError&) {
+    detected = true;
+  }
+  EXPECT_TRUE(detected || r.deadlocked);
+}
+
+TEST(Deadlock, ReportNamesTheStall) {
+  const stencil::StencilProgram p = stencil::denoise_2d(16, 20);
+  arch::AcceleratorDesign design = arch::build_design(p);
+  design.systems[0].fifos[0].depth = 2;
+  const SimResult r = simulate(p, design, fast_deadlock_options());
+  if (r.deadlocked) {
+    EXPECT_NE(r.deadlock_detail.find("fifo_fill"), std::string::npos);
+    EXPECT_NE(r.deadlock_detail.find("array A"), std::string::npos);
+  }
+}
+
+TEST(Deadlock, CorrectDesignsNeverDeadlock) {
+  // The two conditions of Section 3.3.2 are sufficient: every properly
+  // built design runs to completion (checked across shapes).
+  const std::vector<stencil::StencilProgram> programs = {
+      stencil::denoise_2d(12, 16), stencil::sobel_2d(12, 16),
+      stencil::bicubic_2d(8, 24), stencil::heat_3d(6, 8, 10),
+      stencil::triangular_demo(14), stencil::skewed_demo(10, 16)};
+  for (const stencil::StencilProgram& p : programs) {
+    const SimResult r = simulate(p, arch::build_design(p), {});
+    EXPECT_FALSE(r.deadlocked) << p.name() << ": " << r.deadlock_detail;
+  }
+}
+
+TEST(Deadlock, MaxCyclesGuardStopsRunaways) {
+  const stencil::StencilProgram p = stencil::denoise_2d(16, 20);
+  arch::AcceleratorDesign design = arch::build_design(p);
+  SimOptions options;
+  options.max_cycles = 10;  // far too few to finish
+  const SimResult r = simulate(p, design, options);
+  EXPECT_EQ(r.cycles, 10);
+  EXPECT_LT(r.kernel_fires, p.iteration().count());
+}
+
+}  // namespace
+}  // namespace nup::sim

@@ -1,0 +1,189 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/builder.hpp"
+#include "arch/tradeoff.hpp"
+#include "stencil/gallery.hpp"
+#include "stencil/golden.hpp"
+
+namespace nup::sim {
+namespace {
+
+SimResult run(const stencil::StencilProgram& p, SimOptions options = {}) {
+  return simulate(p, arch::build_design(p), options);
+}
+
+void expect_matches_golden(const stencil::StencilProgram& p,
+                           const SimResult& result, std::uint64_t seed) {
+  const stencil::GoldenRun golden = stencil::run_golden(p, seed);
+  ASSERT_EQ(result.outputs.size(), golden.outputs.size());
+  for (std::size_t i = 0; i < golden.outputs.size(); ++i) {
+    ASSERT_EQ(result.outputs[i], golden.outputs[i]) << "output " << i;
+  }
+}
+
+TEST(Simulator, DenoiseSmallMatchesGolden) {
+  const stencil::StencilProgram p = stencil::denoise_2d(24, 32);
+  const SimResult r = run(p);
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_EQ(r.kernel_fires, p.iteration().count());
+  expect_matches_golden(p, r, 1);
+}
+
+TEST(Simulator, AllPaperBenchmarksSmallScaleMatchGolden) {
+  const std::vector<stencil::StencilProgram> programs = {
+      stencil::denoise_2d(20, 26),  stencil::rician_2d(20, 26),
+      stencil::sobel_2d(20, 26),    stencil::bicubic_2d(12, 40),
+      stencil::denoise_3d(8, 10, 12),
+      stencil::segmentation_3d(8, 10, 12)};
+  for (const stencil::StencilProgram& p : programs) {
+    const SimResult r = run(p);
+    EXPECT_FALSE(r.deadlocked) << p.name() << ": " << r.deadlock_detail;
+    EXPECT_EQ(r.kernel_fires, p.iteration().count()) << p.name();
+    expect_matches_golden(p, r, 1);
+  }
+}
+
+TEST(Simulator, SteadyStateIsFullyPipelined) {
+  // Design target 1 (Section 2.3): one output per cycle in steady state,
+  // modulo the hull-border elements the filters discard at row turns.
+  const stencil::StencilProgram p = stencil::denoise_2d(64, 256);
+  const SimResult r = run(p);
+  EXPECT_LT(r.steady_ii, 1.05);
+  EXPECT_GE(r.steady_ii, 1.0);
+}
+
+TEST(Simulator, FillLatencyIsAboutTwoRows) {
+  // DENOISE needs the first two rows plus one element before the first
+  // fire (Section 3.4.1), plus the chain's pipeline latency.
+  const stencil::StencilProgram p = stencil::denoise_2d(24, 32);
+  const SimResult r = run(p);
+  EXPECT_GE(r.fill_latency, 2 * 32);
+  EXPECT_LE(r.fill_latency, 2 * 32 + 8);
+}
+
+TEST(Simulator, FifoOccupancyNeverExceedsDepth) {
+  const stencil::StencilProgram p = stencil::denoise_2d(24, 32);
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  const SimResult r = simulate(p, design, {});
+  ASSERT_EQ(r.fifo_max_fill.size(), 1u);
+  for (std::size_t k = 0; k < design.systems[0].fifos.size(); ++k) {
+    EXPECT_LE(r.fifo_max_fill[0][k], design.systems[0].fifos[k].depth);
+  }
+}
+
+TEST(Simulator, TightSizingIsReached) {
+  // The computed FIFO depths are necessary, not just sufficient: the big
+  // row FIFOs fill to capacity during execution.
+  const stencil::StencilProgram p = stencil::denoise_2d(24, 32);
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  const SimResult r = simulate(p, design, {});
+  EXPECT_EQ(r.fifo_max_fill[0][0], design.systems[0].fifos[0].depth);
+  EXPECT_EQ(r.fifo_max_fill[0][3], design.systems[0].fifos[3].depth);
+}
+
+TEST(Simulator, SkewedGridAdaptsAutomatically) {
+  // Fig 9: the distributed modules adjust the number of buffered elements
+  // on a skewed grid without a centralized controller.
+  const stencil::StencilProgram p = stencil::skewed_demo(16, 24);
+  arch::BuildOptions options;
+  options.exact_sizing = true;
+  options.exact_streaming = true;
+  const arch::AcceleratorDesign design = arch::build_design(p, options);
+  const SimResult r = simulate(p, design, {});
+  EXPECT_FALSE(r.deadlocked) << r.deadlock_detail;
+  EXPECT_EQ(r.kernel_fires, p.iteration().count());
+  expect_matches_golden(p, r, 1);
+}
+
+TEST(Simulator, SkewedGridWithHullStreamingAlsoWorks) {
+  const stencil::StencilProgram p = stencil::skewed_demo(12, 18);
+  const SimResult r = run(p);
+  EXPECT_FALSE(r.deadlocked) << r.deadlock_detail;
+  expect_matches_golden(p, r, 1);
+}
+
+TEST(Simulator, TriangularDomainWorks) {
+  const stencil::StencilProgram p = stencil::triangular_demo(20);
+  const SimResult r = run(p);
+  EXPECT_FALSE(r.deadlocked) << r.deadlock_detail;
+  expect_matches_golden(p, r, 1);
+}
+
+TEST(Simulator, MultiArrayProgram) {
+  stencil::StencilProgram p("TWO", poly::Domain::box({1, 1}, {14, 18}));
+  p.add_input("A", {{-1, 0}, {0, 0}, {1, 0}});
+  p.add_input("W", {{0, -1}, {0, 1}});
+  p.set_kernel(stencil::make_weighted_sum({0.2, 0.2, 0.2, 0.2, 0.2}));
+  const SimResult r = run(p);
+  EXPECT_FALSE(r.deadlocked) << r.deadlock_detail;
+  EXPECT_EQ(r.kernel_fires, p.iteration().count());
+  expect_matches_golden(p, r, 1);
+}
+
+TEST(Simulator, SingleReferenceProgram) {
+  stencil::StencilProgram p("COPY", poly::Domain::box({0, 0}, {9, 9}));
+  p.add_input("A", {{0, 0}});
+  const SimResult r = run(p);
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_EQ(r.kernel_fires, 100);
+  EXPECT_EQ(r.steady_ii, 1.0);
+}
+
+TEST(Simulator, BandwidthTradedDesignStillCorrect) {
+  const stencil::StencilProgram p = stencil::denoise_2d(20, 24);
+  arch::AcceleratorDesign design = arch::build_design(p);
+  design.systems[0] = arch::apply_tradeoff(design.systems[0], 1);
+  const SimResult r = simulate(p, design, {});
+  EXPECT_FALSE(r.deadlocked) << r.deadlock_detail;
+  expect_matches_golden(p, r, 1);
+}
+
+TEST(Simulator, FullyCutDesignStillCorrect) {
+  const stencil::StencilProgram p = stencil::denoise_2d(16, 20);
+  arch::AcceleratorDesign design = arch::build_design(p);
+  design.systems[0] = arch::apply_tradeoff(
+      design.systems[0], design.systems[0].filter_count() - 1);
+  EXPECT_EQ(design.systems[0].total_buffer_size(), 0);
+  const SimResult r = simulate(p, design, {});
+  EXPECT_FALSE(r.deadlocked) << r.deadlock_detail;
+  expect_matches_golden(p, r, 1);
+}
+
+TEST(Simulator, OutputCallbackSeesIterationOrder) {
+  const stencil::StencilProgram p = stencil::denoise_2d(12, 14);
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  AcceleratorSim sim(p, design, {});
+  std::vector<poly::IntVec> order;
+  sim.set_output_callback(
+      [&](const poly::IntVec& i, double) { order.push_back(i); });
+  sim.run();
+  ASSERT_EQ(static_cast<std::int64_t>(order.size()), p.iteration().count());
+  for (std::size_t k = 1; k < order.size(); ++k) {
+    EXPECT_TRUE(poly::lex_less(order[k - 1], order[k]));
+  }
+}
+
+TEST(Simulator, RecordOutputsOffSavesMemory) {
+  const stencil::StencilProgram p = stencil::denoise_2d(12, 14);
+  SimOptions options;
+  options.record_outputs = false;
+  const SimResult r = run(p, options);
+  EXPECT_TRUE(r.outputs.empty());
+  EXPECT_EQ(r.kernel_fires, p.iteration().count());
+}
+
+TEST(Simulator, DifferentSeedsProduceDifferentOutputs) {
+  const stencil::StencilProgram p = stencil::denoise_2d(12, 14);
+  SimOptions a;
+  a.seed = 1;
+  SimOptions b;
+  b.seed = 99;
+  const SimResult ra = run(p, a);
+  const SimResult rb = run(p, b);
+  EXPECT_NE(ra.outputs.front(), rb.outputs.front());
+}
+
+}  // namespace
+}  // namespace nup::sim

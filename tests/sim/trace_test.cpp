@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "arch/builder.hpp"
+#include "sim/simulator.hpp"
+#include "stencil/gallery.hpp"
+
+namespace nup::sim {
+namespace {
+
+SimResult traced_run(const stencil::StencilProgram& p,
+                     std::int64_t trace_cycles,
+                     arch::BuildOptions build = {}) {
+  SimOptions options;
+  options.trace_cycles = trace_cycles;
+  return simulate(p, arch::build_design(p, build), options);
+}
+
+TEST(Trace, RecordsRequestedWindow) {
+  const SimResult r = traced_run(stencil::denoise_2d(16, 20), 25);
+  ASSERT_EQ(r.trace.size(), 25u);
+  EXPECT_EQ(r.trace.front().cycle, 1);
+  EXPECT_EQ(r.trace.back().cycle, 25);
+}
+
+TEST(Trace, Table3FillSequence) {
+  // Section 3.4.1 / Table 3: the filters stall one after another, from the
+  // latest reference (filter n-1) backwards, while the FIFOs between them
+  // fill up; the first kernel fire releases all of them.
+  arch::BuildOptions exact;
+  exact.exact_sizing = true;
+  exact.exact_streaming = true;
+  const stencil::StencilProgram p = stencil::denoise_2d(16, 20);
+  SimOptions options;
+  options.trace_cycles = 3 * 20 + 10;
+  const SimResult r =
+      simulate(p, arch::build_design(p, exact), options);
+
+  // Each filter discards its unused prefix of the stream and then enters a
+  // final stall that lasts until the first kernel fire. The start of that
+  // final stall is the cycle after its last discard.
+  std::vector<std::int64_t> last_discard(5, 0);
+  std::int64_t first_fire = -1;
+  for (const CycleTrace& t : r.trace) {
+    bool fire = false;
+    for (std::size_t k = 0; k < t.filters.size(); ++k) {
+      if (t.filters[k] == FilterStatus::kDiscard) last_discard[k] = t.cycle;
+      fire = fire || t.filters[k] == FilterStatus::kForward;
+    }
+    if (fire) {
+      first_fire = t.cycle;
+      break;
+    }
+  }
+  ASSERT_GT(first_fire, 0) << "pipeline never filled in the trace window";
+  // The latest reference (filter 4, A[i-1][j]) settles into its stall
+  // first, then filter 3 (A[i][j-1]) roughly a row later, and so on
+  // backwards -- Table 3's staircase. Unlike Table 3, our trace includes
+  // the one-cycle latency per chain stage, which exactly cancels the
+  // one-element spacing of the middle filters' stall points, so the
+  // middle steps are non-strict.
+  EXPECT_LT(last_discard[4], last_discard[3]);
+  EXPECT_LE(last_discard[3], last_discard[2]);
+  EXPECT_LE(last_discard[2], last_discard[1]);
+  EXPECT_LT(last_discard[1], last_discard[0]);
+  EXPECT_LT(last_discard[0], first_fire);
+  // Filter 4 parks a full row before the next one.
+  EXPECT_GT(last_discard[3] - last_discard[4], 10);
+}
+
+TEST(Trace, FifosFillMonotonicallyBeforeFirstFire) {
+  const SimResult r = traced_run(stencil::denoise_2d(16, 20), 45);
+  std::vector<std::int64_t> prev(4, 0);
+  for (const CycleTrace& t : r.trace) {
+    bool any_forward = false;
+    for (FilterStatus s : t.filters) {
+      any_forward = any_forward || s == FilterStatus::kForward;
+    }
+    if (any_forward) break;  // pipeline filled
+    for (std::size_t k = 0; k < t.fifo_fill.size(); ++k) {
+      EXPECT_GE(t.fifo_fill[k], prev[k]);
+      prev[k] = t.fifo_fill[k];
+    }
+  }
+}
+
+TEST(Trace, AllFiltersForwardOnFireCycles) {
+  const SimResult r = traced_run(stencil::denoise_2d(16, 20), 60);
+  for (const CycleTrace& t : r.trace) {
+    std::size_t forwards = 0;
+    for (FilterStatus s : t.filters) {
+      if (s == FilterStatus::kForward) ++forwards;
+    }
+    // The kernel consumes all ports simultaneously: either every filter
+    // forwards or none does.
+    EXPECT_TRUE(forwards == 0 || forwards == t.filters.size());
+  }
+}
+
+TEST(Trace, StreamPointAdvancesLexicographically) {
+  const SimResult r = traced_run(stencil::denoise_2d(16, 20), 30);
+  std::string prev;
+  for (const CycleTrace& t : r.trace) {
+    EXPECT_FALSE(t.stream_point.empty());
+    if (!prev.empty()) {
+      EXPECT_GE(t.stream_point.size(), 0u);
+    }
+    prev = t.stream_point;
+  }
+}
+
+TEST(Trace, ExactStreamingSkipsCorner) {
+  // With the exact union input domain, the first streamed element is
+  // (0, 1) -- the grid corner (0, 0) is not read by any reference
+  // (Example 4), matching Table 3's first row.
+  arch::BuildOptions exact;
+  exact.exact_sizing = true;
+  exact.exact_streaming = true;
+  const stencil::StencilProgram p = stencil::denoise_2d(16, 20);
+  SimOptions options;
+  options.trace_cycles = 1;
+  const SimResult r =
+      simulate(p, arch::build_design(p, exact), options);
+  ASSERT_EQ(r.trace.size(), 1u);
+  EXPECT_EQ(r.trace[0].stream_point, "(0, 1)");
+}
+
+TEST(Trace, HullStreamingStartsAtOrigin) {
+  const SimResult r = traced_run(stencil::denoise_2d(16, 20), 1);
+  ASSERT_EQ(r.trace.size(), 1u);
+  EXPECT_EQ(r.trace[0].stream_point, "(0, 0)");
+}
+
+TEST(Trace, NoTraceByDefault) {
+  const stencil::StencilProgram p = stencil::denoise_2d(12, 12);
+  const SimResult r = simulate(p, arch::build_design(p), {});
+  EXPECT_TRUE(r.trace.empty());
+}
+
+}  // namespace
+}  // namespace nup::sim

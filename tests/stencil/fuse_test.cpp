@@ -1,0 +1,110 @@
+#include "stencil/fuse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/builder.hpp"
+#include "baseline/gmp.hpp"
+#include "sim/pipeline.hpp"
+#include "sim/simulator.hpp"
+#include "stencil/gallery.hpp"
+#include "stencil/golden.hpp"
+#include "util/error.hpp"
+
+namespace nup::stencil {
+namespace {
+
+StencilProgram smoother(const std::string& name, std::int64_t lo,
+                        std::int64_t rows, std::int64_t cols,
+                        const std::string& array) {
+  StencilProgram p(name,
+                   poly::Domain::box({lo, lo}, {rows - 1 - lo,
+                                                cols - 1 - lo}));
+  p.add_input(array, {{-1, 0}, {0, -1}, {0, 0}, {0, 1}, {1, 0}});
+  p.set_kernel(make_weighted_sum({0.2, 0.2, 0.2, 0.2, 0.2}));
+  return p;
+}
+
+TEST(Fuse, WindowIsMinkowskiSum) {
+  const StencilProgram s1 = smoother("S1", 1, 20, 20, "A");
+  const StencilProgram s2 = smoother("S2", 2, 20, 20, "B");
+  const StencilProgram fused = fuse(s1, s2);
+  // Two 5-point von Neumann windows fuse into the 13-point radius-2
+  // diamond.
+  EXPECT_EQ(fused.total_references(), 13u);
+  EXPECT_EQ(fused.iteration().count(), s2.iteration().count());
+}
+
+TEST(Fuse, OutputsMatchTheTwoStagePipeline) {
+  const StencilProgram s1 = smoother("S1", 1, 14, 16, "A");
+  const StencilProgram s2 = smoother("S2", 2, 14, 16, "B");
+  const StencilProgram fused = fuse(s1, s2);
+
+  sim::Pipeline pipeline;
+  pipeline.add_stage(s1);
+  pipeline.add_stage(s2);
+  const sim::Pipeline::Result two_stage = pipeline.run();
+  ASSERT_TRUE(two_stage.completed);
+
+  const GoldenRun one_pass = run_golden(fused, 1);
+  ASSERT_EQ(one_pass.outputs.size(), two_stage.outputs.size());
+  for (std::size_t i = 0; i < one_pass.outputs.size(); ++i) {
+    EXPECT_NEAR(one_pass.outputs[i], two_stage.outputs[i], 1e-12)
+        << "output " << i;
+  }
+}
+
+TEST(Fuse, FusedProgramRunsOnTheAccelerator) {
+  const StencilProgram fused = fuse(smoother("S1", 1, 16, 18, "A"),
+                                    smoother("S2", 2, 16, 18, "B"));
+  const arch::AcceleratorDesign design = arch::build_design(fused);
+  // 13-point window -> 12 banks, still the minimum.
+  EXPECT_EQ(design.systems[0].bank_count(), 12u);
+  const sim::SimResult r = sim::simulate(fused, design, {});
+  ASSERT_FALSE(r.deadlocked) << r.deadlock_detail;
+  const GoldenRun golden = run_golden(fused, 1);
+  ASSERT_EQ(r.outputs.size(), golden.outputs.size());
+  for (std::size_t i = 0; i < golden.outputs.size(); ++i) {
+    ASSERT_EQ(r.outputs[i], golden.outputs[i]);
+  }
+}
+
+TEST(Fuse, LargeFusedWindowStillBeatsUniformPartitioning) {
+  // The paper's motivation: fusion makes windows large, port contention
+  // worse, and the non-uniform chain more valuable.
+  const StencilProgram fused = fuse(smoother("S1", 1, 64, 96, "A"),
+                                    smoother("S2", 2, 64, 96, "B"));
+  const std::size_t n = fused.total_references();
+  EXPECT_EQ(arch::build_design(fused).systems[0].bank_count(), n - 1);
+  EXPECT_GE(baseline::gmp_partition(fused, 0).banks, n);
+}
+
+TEST(Fuse, TripleFusion) {
+  const StencilProgram s1 = smoother("S1", 1, 20, 20, "A");
+  const StencilProgram s2 = smoother("S2", 2, 20, 20, "B");
+  const StencilProgram s3 = smoother("S3", 3, 20, 20, "C");
+  const StencilProgram fused = fuse(fuse(s1, s2), s3);
+  // Radius-3 diamond: 25 points.
+  EXPECT_EQ(fused.total_references(), 25u);
+  const GoldenRun golden = run_golden(fused, 1);
+  EXPECT_EQ(static_cast<std::int64_t>(golden.outputs.size()),
+            s3.iteration().count());
+}
+
+TEST(Fuse, RejectsOutOfDomainComposition) {
+  // Second stage reaches rows the first stage never produced.
+  const StencilProgram s1 = smoother("S1", 1, 20, 20, "A");
+  const StencilProgram s2 = smoother("S2", 1, 20, 20, "B");  // same lo!
+  EXPECT_THROW(fuse(s1, s2), NotStencilError);
+}
+
+TEST(Fuse, RejectsMultiArrayStages) {
+  StencilProgram multi("M", poly::Domain::box({1, 1}, {8, 8}));
+  multi.add_input("A", {{0, 0}});
+  multi.add_input("W", {{0, 0}});
+  EXPECT_THROW(fuse(multi, multi), NotStencilError);
+  EXPECT_THROW(fuse(smoother("S", 1, 10, 10, "A"), multi),
+               NotStencilError);
+}
+
+}  // namespace
+}  // namespace nup::stencil

@@ -1,0 +1,126 @@
+#include "stencil/gallery.hpp"
+
+#include "poly/reuse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace nup::stencil {
+namespace {
+
+TEST(Gallery, PaperBenchmarkCountAndOrder) {
+  const std::vector<StencilProgram> all = paper_benchmarks();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(all[0].name(), "DENOISE");
+  EXPECT_EQ(all[1].name(), "RICIAN");
+  EXPECT_EQ(all[2].name(), "SOBEL");
+  EXPECT_EQ(all[3].name(), "BICUBIC");
+  EXPECT_EQ(all[4].name(), "DENOISE_3D");
+  EXPECT_EQ(all[5].name(), "SEGMENTATION_3D");
+}
+
+TEST(Gallery, WindowSizesMatchPaper) {
+  // Original II in Table 4 equals the number of loads per iteration.
+  EXPECT_EQ(denoise_2d().total_references(), 5u);
+  EXPECT_EQ(rician_2d().total_references(), 4u);
+  EXPECT_EQ(sobel_2d().total_references(), 8u);
+  EXPECT_EQ(bicubic_2d().total_references(), 4u);
+  EXPECT_EQ(denoise_3d().total_references(), 7u);
+  EXPECT_EQ(segmentation_3d().total_references(), 19u);
+}
+
+TEST(Gallery, DenoiseMatchesFig2) {
+  const StencilProgram p = denoise_2d();
+  poly::IntVec lo;
+  poly::IntVec hi;
+  ASSERT_TRUE(p.data_domain_hull(0).as_single_box(&lo, &hi));
+  EXPECT_EQ(lo, (poly::IntVec{0, 0}));
+  EXPECT_EQ(hi, (poly::IntVec{767, 1023}));
+}
+
+TEST(Gallery, SegmentationWindowIsCubeMinusCorners) {
+  const StencilProgram p = segmentation_3d();
+  std::set<poly::IntVec> offsets;
+  for (const ArrayReference& ref : p.inputs()[0].refs) {
+    offsets.insert(ref.offset);
+    std::int64_t l1 = 0;
+    for (std::int64_t c : ref.offset) l1 += std::abs(c);
+    EXPECT_LE(l1, 2);  // no corners
+  }
+  EXPECT_EQ(offsets.size(), 19u);
+  EXPECT_TRUE(offsets.count({0, 0, 0}));
+  EXPECT_TRUE(offsets.count({1, 1, 0}));
+  EXPECT_FALSE(offsets.count({1, 1, 1}));
+}
+
+TEST(Gallery, DimensionalitiesAreCorrect) {
+  EXPECT_EQ(denoise_2d().dim(), 2u);
+  EXPECT_EQ(denoise_3d().dim(), 3u);
+  EXPECT_EQ(segmentation_3d().dim(), 3u);
+}
+
+TEST(Gallery, CustomSizesPropagate) {
+  const StencilProgram p = denoise_2d(100, 200);
+  poly::IntVec lo;
+  poly::IntVec hi;
+  ASSERT_TRUE(p.data_domain_hull(0).as_single_box(&lo, &hi));
+  EXPECT_EQ(hi, (poly::IntVec{99, 199}));
+}
+
+TEST(Gallery, SkewedDemoIsNonRectangular) {
+  const StencilProgram p = skewed_demo();
+  EXPECT_FALSE(p.iteration().as_single_box(nullptr, nullptr));
+  EXPECT_GT(p.iteration().count(), 0);
+}
+
+TEST(Gallery, SkewedDemoRowsShiftAndGrow) {
+  const StencilProgram p = skewed_demo(8, 12);
+  // Row i spans [i+1, 2i+10]: sheared start, growing length.
+  EXPECT_TRUE(p.iteration().contains({2, 3}));
+  EXPECT_FALSE(p.iteration().contains({2, 2}));
+  EXPECT_TRUE(p.iteration().contains({2, 14}));
+  EXPECT_FALSE(p.iteration().contains({2, 15}));
+  EXPECT_TRUE(p.iteration().contains({4, 18}));
+  EXPECT_FALSE(p.iteration().contains({4, 19}));
+}
+
+TEST(Gallery, SkewedDemoReuseDistanceVaries) {
+  // The Fig 9 property this demo exists for: the reuse distance between
+  // adjacent references changes over the execution.
+  const StencilProgram p = skewed_demo(12, 16);
+  const poly::ReuseResult r = poly::max_reuse_distance(
+      p.iteration(), p.input_data_domain(0), {1, 1}, {0, 0});
+  EXPECT_GT(r.max_distance, r.min_distance);
+}
+
+TEST(Gallery, TriangularDemoShape) {
+  const StencilProgram p = triangular_demo(10);
+  EXPECT_TRUE(p.iteration().contains({5, 5}));
+  EXPECT_FALSE(p.iteration().contains({5, 6}));
+  EXPECT_TRUE(p.iteration().contains({8, 1}));
+}
+
+TEST(Gallery, ExtraKernelsConstruct) {
+  EXPECT_EQ(jacobi_2d().total_references(), 5u);
+  EXPECT_EQ(blur_2d().total_references(), 9u);
+  EXPECT_EQ(heat_3d().total_references(), 7u);
+}
+
+TEST(Gallery, BicubicWindowIsStride2Row) {
+  const StencilProgram p = bicubic_2d();
+  for (const ArrayReference& ref : p.inputs()[0].refs) {
+    EXPECT_EQ(ref.offset[0], 0);
+    EXPECT_EQ(ref.offset[1] % 2, 0);
+  }
+}
+
+TEST(Gallery, SobelOmitsCenter) {
+  const StencilProgram p = sobel_2d();
+  for (const ArrayReference& ref : p.inputs()[0].refs) {
+    EXPECT_FALSE(ref.offset[0] == 0 && ref.offset[1] == 0);
+  }
+}
+
+}  // namespace
+}  // namespace nup::stencil

@@ -1,0 +1,74 @@
+#include "stencil/golden.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stencil/gallery.hpp"
+
+namespace nup::stencil {
+namespace {
+
+TEST(SyntheticValue, DeterministicAndSeedSensitive) {
+  const poly::IntVec h{3, 4};
+  EXPECT_EQ(synthetic_value(1, 0, h), synthetic_value(1, 0, h));
+  EXPECT_NE(synthetic_value(1, 0, h), synthetic_value(2, 0, h));
+  EXPECT_NE(synthetic_value(1, 0, h), synthetic_value(1, 1, h));
+  EXPECT_NE(synthetic_value(1, 0, {3, 4}), synthetic_value(1, 0, {4, 3}));
+}
+
+TEST(SyntheticValue, InUnitInterval) {
+  for (std::int64_t i = -5; i < 5; ++i) {
+    for (std::int64_t j = -5; j < 5; ++j) {
+      const double v = synthetic_value(9, 0, {i, j});
+      EXPECT_GE(v, 0.0);
+      EXPECT_LT(v, 1.0);
+    }
+  }
+}
+
+TEST(GoldenRun, OutputCountEqualsIterations) {
+  const StencilProgram p = denoise_2d(16, 20);
+  const GoldenRun run = run_golden(p, 1);
+  EXPECT_EQ(static_cast<std::int64_t>(run.outputs.size()),
+            p.iteration().count());
+}
+
+TEST(GoldenRun, FirstOutputMatchesManualGather) {
+  const StencilProgram p = denoise_2d(16, 20);
+  const GoldenRun run = run_golden(p, 5);
+  // First iteration is (1, 1); gather in source order.
+  std::vector<double> values;
+  for (const ArrayReference& ref : p.inputs()[0].refs) {
+    values.push_back(
+        synthetic_value(5, 0, poly::add({1, 1}, ref.offset)));
+  }
+  EXPECT_DOUBLE_EQ(run.outputs.front(), p.kernel()(values));
+}
+
+TEST(GoldenRun, SeedChangesOutputs) {
+  const StencilProgram p = jacobi_2d(12, 12);
+  const GoldenRun a = run_golden(p, 1);
+  const GoldenRun b = run_golden(p, 2);
+  ASSERT_EQ(a.outputs.size(), b.outputs.size());
+  EXPECT_NE(a.outputs.front(), b.outputs.front());
+}
+
+TEST(GoldenRun, NonLinearKernelExecutes) {
+  const StencilProgram p = rician_2d(10, 10);
+  const GoldenRun run = run_golden(p, 3);
+  for (double v : run.outputs) {
+    EXPECT_GE(v, 0.0);  // sqrt of a sum of squares
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(GoldenRun, SkewedDomainExecutes) {
+  const StencilProgram p = skewed_demo(10, 14);
+  const GoldenRun run = run_golden(p, 1);
+  EXPECT_EQ(static_cast<std::int64_t>(run.outputs.size()),
+            p.iteration().count());
+}
+
+}  // namespace
+}  // namespace nup::stencil

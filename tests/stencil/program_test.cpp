@@ -1,0 +1,124 @@
+#include "stencil/program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace nup::stencil {
+namespace {
+
+StencilProgram make_small() {
+  StencilProgram p("T", poly::Domain::box({1, 1}, {6, 8}));
+  p.add_input("A", {{-1, 0}, {0, -1}, {0, 0}, {0, 1}, {1, 0}});
+  return p;
+}
+
+TEST(StencilProgram, BasicProperties) {
+  const StencilProgram p = make_small();
+  EXPECT_EQ(p.dim(), 2u);
+  EXPECT_EQ(p.total_references(), 5u);
+  EXPECT_EQ(p.inputs().size(), 1u);
+  EXPECT_EQ(p.inputs()[0].name, "A");
+}
+
+TEST(StencilProgram, RejectsEmptyIterationDomain) {
+  EXPECT_THROW(StencilProgram("X", poly::Domain()), NotStencilError);
+}
+
+TEST(StencilProgram, RejectsDuplicateOffsets) {
+  StencilProgram p("T", poly::Domain::box({0, 0}, {3, 3}));
+  EXPECT_THROW(p.add_input("A", {{0, 0}, {0, 0}}), NotStencilError);
+}
+
+TEST(StencilProgram, RejectsWrongOffsetDimensionality) {
+  StencilProgram p("T", poly::Domain::box({0, 0}, {3, 3}));
+  EXPECT_THROW(p.add_input("A", {{0, 0, 0}}), NotStencilError);
+}
+
+TEST(StencilProgram, RejectsEmptyReferenceList) {
+  StencilProgram p("T", poly::Domain::box({0, 0}, {3, 3}));
+  EXPECT_THROW(p.add_input("A", {}), NotStencilError);
+}
+
+TEST(StencilProgram, ReferenceDomainIsTranslatedIteration) {
+  const StencilProgram p = make_small();
+  // Reference A[i+1][j] (offset (1,0)) touches rows 2..7.
+  const poly::Domain d = p.reference_domain(0, 4);
+  EXPECT_TRUE(d.contains({2, 1}));
+  EXPECT_TRUE(d.contains({7, 8}));
+  EXPECT_FALSE(d.contains({1, 1}));
+  EXPECT_EQ(d.count(), p.iteration().count());
+}
+
+TEST(StencilProgram, InputDataDomainIsUnion) {
+  const StencilProgram p = make_small();
+  const poly::Domain d = p.input_data_domain(0);
+  // Union of the five translated domains: corners are excluded
+  // (Example 4 of the paper).
+  EXPECT_FALSE(d.contains({0, 0}));
+  EXPECT_TRUE(d.contains({0, 1}));
+  EXPECT_TRUE(d.contains({1, 0}));
+  EXPECT_TRUE(d.contains({3, 4}));
+  EXPECT_FALSE(d.contains({7, 9}));
+  EXPECT_TRUE(d.contains({7, 8}));
+}
+
+TEST(StencilProgram, DataDomainHullIsBoundingBox) {
+  const StencilProgram p = make_small();
+  poly::IntVec lo;
+  poly::IntVec hi;
+  ASSERT_TRUE(p.data_domain_hull(0).as_single_box(&lo, &hi));
+  EXPECT_EQ(lo, (poly::IntVec{0, 0}));
+  EXPECT_EQ(hi, (poly::IntVec{7, 9}));
+}
+
+TEST(StencilProgram, HullContainsUnion) {
+  const StencilProgram p = make_small();
+  const poly::Domain hull = p.data_domain_hull(0);
+  p.input_data_domain(0).for_each([&](const poly::IntVec& h) {
+    EXPECT_TRUE(hull.contains(h));
+  });
+}
+
+TEST(StencilProgram, DefaultKernelIsAverage) {
+  const StencilProgram p = make_small();
+  const double v = p.kernel()({1.0, 1.0, 1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(StencilProgram, WeightedSumKernel) {
+  const KernelFn k = make_weighted_sum({2.0, -1.0});
+  EXPECT_DOUBLE_EQ(k({3.0, 4.0}), 2.0);
+  EXPECT_THROW(k({1.0}), Error);
+}
+
+TEST(StencilProgram, ToCCodeRendersLoopNestAndRefs) {
+  const StencilProgram p = make_small();
+  const std::string code = p.to_c_code();
+  EXPECT_NE(code.find("for (int i = 1; i <= 6; i++)"), std::string::npos);
+  EXPECT_NE(code.find("A[i-1][j]"), std::string::npos);
+  EXPECT_NE(code.find("A[i][j+1]"), std::string::npos);
+  EXPECT_NE(code.find("B[i][j] = kernel("), std::string::npos);
+}
+
+TEST(ArrayReference, ToStringFormats) {
+  const ArrayReference ref{{-1, 2, 0}};
+  EXPECT_EQ(ref.to_string("A", {"i", "j", "k"}), "A[i-1][j+2][k]");
+}
+
+TEST(ArrayReference, ToStringSizeMismatchThrows) {
+  const ArrayReference ref{{1, 2}};
+  EXPECT_THROW(ref.to_string("A", {"i"}), Error);
+}
+
+TEST(StencilProgram, IterationNamesBeyondThreeDims) {
+  StencilProgram p("T4",
+                   poly::Domain::box({0, 0, 0, 0}, {1, 1, 1, 1}));
+  const std::vector<std::string> names = p.iteration_names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "i");
+  EXPECT_EQ(names[3], "x3");
+}
+
+}  // namespace
+}  // namespace nup::stencil

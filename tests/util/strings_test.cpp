@@ -1,0 +1,67 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nup {
+namespace {
+
+TEST(Strings, JoinEmpty) { EXPECT_EQ(join({}, ", "), ""); }
+
+TEST(Strings, JoinSingle) { EXPECT_EQ(join({"a"}, ", "), "a"); }
+
+TEST(Strings, JoinMany) { EXPECT_EQ(join({"a", "b", "c"}, "-"), "a-b-c"); }
+
+TEST(Strings, SplitBasic) {
+  const std::vector<std::string> parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  const std::vector<std::string> parts = split(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, SplitNoSeparator) {
+  const std::vector<std::string> parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, TrimBothEnds) { EXPECT_EQ(trim("  hi \t\n"), "hi"); }
+
+TEST(Strings, TrimAllWhitespace) { EXPECT_EQ(trim(" \t "), ""); }
+
+TEST(Strings, TrimNothingToDo) { EXPECT_EQ(trim("x y"), "x y"); }
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("module foo", "module"));
+  EXPECT_FALSE(starts_with("mod", "module"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+TEST(Strings, FormatFixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+TEST(Strings, FormatGrouped) {
+  EXPECT_EQ(format_grouped(0), "0");
+  EXPECT_EQ(format_grouped(999), "999");
+  EXPECT_EQ(format_grouped(1000), "1,000");
+  EXPECT_EQ(format_grouped(1234567), "1,234,567");
+  EXPECT_EQ(format_grouped(-12345), "-12,345");
+}
+
+TEST(Strings, FormatPercent) {
+  EXPECT_EQ(format_percent(-0.662), "-66.2%");
+  EXPECT_EQ(format_percent(0.25, 0), "25%");
+}
+
+}  // namespace
+}  // namespace nup

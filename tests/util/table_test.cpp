@@ -1,0 +1,67 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace nup {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable table("Title");
+  table.set_header({"name", "count"});
+  table.add_row({"alpha", "3"});
+  table.add_row({"b", "12345"});
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("Title"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("12345"), std::string::npos);
+  EXPECT_NE(text.find("+"), std::string::npos);
+}
+
+TEST(TextTable, RejectsMismatchedRowWidth) {
+  TextTable table;
+  table.set_header({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), Error);
+}
+
+TEST(TextTable, NumericCellsRightAligned) {
+  TextTable table;
+  table.set_header({"col"});
+  table.add_row({"wide-header-cell"});
+  table.add_row({"7"});
+  const std::string text = table.to_string();
+  // The numeric cell must be padded on the left.
+  EXPECT_NE(text.find("              7 |"), std::string::npos);
+}
+
+TEST(TextTable, SeparatorRendered) {
+  TextTable table;
+  table.set_header({"x"});
+  table.add_row({"1"});
+  table.add_separator();
+  table.add_row({"2"});
+  const std::string text = table.to_string();
+  // Header rule + separator + bottom + top = at least 4 rules.
+  std::size_t rules = 0;
+  for (std::size_t pos = text.find("+---"); pos != std::string::npos;
+       pos = text.find("+---", pos + 1)) {
+    ++rules;
+  }
+  EXPECT_GE(rules, 4u);
+}
+
+TEST(TextTable, CellHelpers) {
+  EXPECT_EQ(cell(static_cast<std::int64_t>(42)), "42");
+  EXPECT_EQ(cell(2.5, 1), "2.5");
+}
+
+TEST(TextTable, RowCount) {
+  TextTable table;
+  table.add_row({"a"});
+  table.add_row({"b"});
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace nup

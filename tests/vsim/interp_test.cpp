@@ -1,0 +1,242 @@
+#include "vsim/interp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace nup::vsim {
+namespace {
+
+constexpr const char* kCounter = R"(
+module counter #(
+    parameter MAX = 9
+) (
+    input  wire clk,
+    input  wire rst,
+    input  wire en,
+    output wire [7:0] value,
+    output wire       wrapped
+);
+  reg [7:0] cnt;
+  assign value = cnt;
+  assign wrapped = (cnt == MAX);
+  always @(posedge clk) begin
+    if (rst) begin
+      cnt <= 0;
+    end else if (en) begin
+      cnt <= (cnt == MAX) ? 0 : cnt + 1;
+    end
+  end
+endmodule
+)";
+
+TEST(VerilogInterp, CounterCountsAndWraps) {
+  VerilogSim sim(kCounter, "counter");
+  sim.poke("rst", 1);
+  sim.poke("en", 0);
+  sim.step_clock();
+  sim.poke("rst", 0);
+  sim.poke("en", 1);
+  for (int i = 0; i < 9; ++i) sim.step_clock();
+  sim.eval();
+  EXPECT_EQ(sim.peek("value"), 9u);
+  EXPECT_EQ(sim.peek("wrapped"), 1u);
+  sim.step_clock();
+  sim.eval();
+  EXPECT_EQ(sim.peek("value"), 0u);
+}
+
+TEST(VerilogInterp, EnableGatesTheCounter) {
+  VerilogSim sim(kCounter, "counter");
+  sim.poke("rst", 1);
+  sim.step_clock();
+  sim.poke("rst", 0);
+  sim.poke("en", 0);
+  for (int i = 0; i < 5; ++i) sim.step_clock();
+  sim.eval();
+  EXPECT_EQ(sim.peek("value"), 0u);
+}
+
+TEST(VerilogInterp, SignedComparisons) {
+  VerilogSim sim(R"(
+    module m (
+        input  wire clk,
+        input  wire rst,
+        output wire neg,
+        output wire ge
+    );
+      reg signed [31:0] cnt;
+      assign neg = cnt < 0;
+      assign ge = (-1) * cnt + (-2) >= 0;
+      always @(posedge clk) begin
+        if (rst) cnt <= -5;
+        else cnt <= cnt + 1;
+      end
+    endmodule
+  )",
+                 "m");
+  sim.poke("rst", 1);
+  sim.step_clock();
+  sim.poke("rst", 0);
+  sim.eval();
+  // cnt == -5: neg, and -1*-5-2 = 3 >= 0.
+  EXPECT_EQ(sim.peek("neg"), 1u);
+  EXPECT_EQ(sim.peek("ge"), 1u);
+  for (int i = 0; i < 5; ++i) sim.step_clock();
+  sim.eval();  // cnt == 0
+  EXPECT_EQ(sim.peek("neg"), 0u);
+  EXPECT_EQ(sim.peek("ge"), 0u);  // -2 >= 0 false
+}
+
+TEST(VerilogInterp, MemoryReadWrite) {
+  VerilogSim sim(R"(
+    module ram (
+        input  wire clk,
+        input  wire we,
+        input  wire [3:0] addr,
+        input  wire [7:0] din,
+        output wire [7:0] dout
+    );
+      reg [7:0] mem [0:15];
+      assign dout = mem[addr];
+      always @(posedge clk) begin
+        if (we) mem[addr] <= din;
+      end
+    endmodule
+  )",
+                 "ram");
+  sim.poke("we", 1);
+  sim.poke("addr", 3);
+  sim.poke("din", 0xAB);
+  sim.step_clock();
+  sim.poke("we", 0);
+  sim.eval();
+  EXPECT_EQ(sim.peek("dout"), 0xABu);
+  sim.poke("addr", 4);
+  sim.eval();
+  EXPECT_EQ(sim.peek("dout"), 0u);
+}
+
+TEST(VerilogInterp, HierarchyAndParameters) {
+  VerilogSim sim(R"(
+    module child #(parameter INC = 3) (
+        input  wire clk,
+        input  wire rst,
+        output wire [7:0] out
+    );
+      reg [7:0] acc;
+      assign out = acc;
+      always @(posedge clk) begin
+        if (rst) acc <= 0;
+        else acc <= acc + INC;
+      end
+    endmodule
+    module top (
+        input  wire clk,
+        input  wire rst,
+        output wire [7:0] a,
+        output wire [7:0] b
+    );
+      child u_one (.clk(clk), .rst(rst), .out(a));
+      child #(.INC(5)) u_two (.clk(clk), .rst(rst), .out(b));
+    endmodule
+  )",
+                 "top");
+  sim.poke("rst", 1);
+  sim.step_clock();
+  sim.poke("rst", 0);
+  for (int i = 0; i < 4; ++i) sim.step_clock();
+  sim.eval();
+  EXPECT_EQ(sim.peek("a"), 12u);
+  EXPECT_EQ(sim.peek("b"), 20u);
+  // Hierarchical access into the instances.
+  EXPECT_EQ(sim.peek("u_one.acc"), 12u);
+  EXPECT_EQ(sim.peek("u_two.acc"), 20u);
+}
+
+TEST(VerilogInterp, NonBlockingSemantics) {
+  // Classic swap: both registers read pre-edge values.
+  VerilogSim sim(R"(
+    module swap (
+        input  wire clk,
+        input  wire rst,
+        output wire [7:0] x,
+        output wire [7:0] y
+    );
+      reg [7:0] a;
+      reg [7:0] b;
+      assign x = a;
+      assign y = b;
+      always @(posedge clk) begin
+        if (rst) begin
+          a <= 1;
+          b <= 2;
+        end else begin
+          a <= b;
+          b <= a;
+        end
+      end
+    endmodule
+  )",
+                 "swap");
+  sim.poke("rst", 1);
+  sim.step_clock();
+  sim.poke("rst", 0);
+  sim.step_clock();
+  sim.eval();
+  EXPECT_EQ(sim.peek("x"), 2u);
+  EXPECT_EQ(sim.peek("y"), 1u);
+  sim.step_clock();
+  sim.eval();
+  EXPECT_EQ(sim.peek("x"), 1u);
+  EXPECT_EQ(sim.peek("y"), 2u);
+}
+
+TEST(VerilogInterp, ErrorsOnUnknownNames) {
+  VerilogSim sim(kCounter, "counter");
+  EXPECT_THROW(sim.poke("nope", 1), Error);
+  EXPECT_THROW(sim.peek("nope"), Error);
+  EXPECT_THROW(VerilogSim(kCounter, "missing"), Error);
+}
+
+TEST(VerilogInterp, PokeMasksToWidth) {
+  VerilogSim sim(kCounter, "counter");
+  sim.poke("en", 0xFF);  // 1-bit port
+  sim.eval();
+  // Reading inputs back is allowed through the name table.
+  EXPECT_EQ(sim.peek("en"), 1u);
+}
+
+
+TEST(VerilogInterp, DetectsCombinationalLoop) {
+  EXPECT_THROW(
+      {
+        VerilogSim sim(R"(
+          module loopy (input wire clk, output wire q);
+            wire a;
+            assign a = !a;  // oscillates forever in two-state logic
+            assign q = a;
+          endmodule
+        )",
+                       "loopy");
+        sim.eval();
+      },
+      Error);
+}
+
+TEST(VerilogInterp, LiteralPortConnection) {
+  VerilogSim sim(R"(
+    module child (input wire en, output wire q);
+      assign q = en;
+    endmodule
+    module top (input wire clk, output wire q);
+      child u_c (.en(1'b1), .q(q));
+    endmodule
+  )",
+                 "top");
+  sim.eval();
+  EXPECT_EQ(sim.peek("q"), 1u);
+}
+
+}  // namespace
+}  // namespace nup::vsim

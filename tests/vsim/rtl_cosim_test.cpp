@@ -1,0 +1,167 @@
+// The closing of the loop: the generated Verilog, executed by our own
+// RTL interpreter, must behave exactly like the C++ cycle-accurate model
+// -- same kernel-fire cycles, same per-port data routing, same FIFO
+// occupancy. The stream carries sequence numbers, so each kernel port must
+// deliver, at every fire, the lexicographic rank of the grid point its
+// array reference needs (Property 1 made executable).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "arch/builder.hpp"
+#include "arch/tradeoff.hpp"
+#include "codegen/verilog.hpp"
+#include "poly/reuse.hpp"
+#include "sim/simulator.hpp"
+#include "stencil/gallery.hpp"
+#include "vsim/interp.hpp"
+
+namespace nup {
+namespace {
+
+struct CosimResult {
+  std::int64_t cycles = 0;
+  std::int64_t fires = 0;
+};
+
+/// Drives the generated RTL with ramp data and checks every port at every
+/// fire against the rank oracle. Returns cycle/fire counts for comparison
+/// with the C++ model.
+CosimResult run_rtl(const stencil::StencilProgram& p,
+                    const arch::AcceleratorDesign& design,
+                    const std::string& prefix,
+                    std::int64_t max_cycles = 200000) {
+  const std::string rtl = codegen::emit_verilog(p, design);
+  vsim::VerilogSim sim(rtl, prefix + "_top");
+  const arch::MemorySystem& sys = design.systems[0];
+
+  // Rank oracle over the streamed hull: stream element #r is the r-th
+  // point of the input domain in lexicographic order.
+  const poly::RankOracle oracle(sys.input_domain);
+  const std::vector<std::size_t> heads = sys.segment_heads();
+
+  sim.poke("rst", 1);
+  sim.poke("kernel_ready", 1);
+  std::vector<std::uint64_t> seq(heads.size(), 0);
+  for (std::size_t s = 0; s < heads.size(); ++s) {
+    sim.poke("s0_stream" + std::to_string(s) + "_valid", 1);
+    sim.poke("s0_stream" + std::to_string(s) + "_data", 0);
+  }
+  sim.step_clock();
+  sim.step_clock();
+  sim.poke("rst", 0);
+
+  poly::Domain::LexCursor iter(p.iteration());
+  CosimResult result;
+  const std::int64_t total = p.iteration().count();
+  while (result.fires < total && result.cycles < max_cycles) {
+    for (std::size_t s = 0; s < heads.size(); ++s) {
+      sim.poke("s0_stream" + std::to_string(s) + "_data", seq[s]);
+    }
+    sim.eval();
+    if (sim.peek("kernel_fire") != 0) {
+      const poly::IntVec& i = iter.point();
+      for (std::size_t k = 0; k < sys.filter_count(); ++k) {
+        const std::uint64_t expected = static_cast<std::uint64_t>(
+            oracle.rank(poly::add(i, sys.ordered_offsets[k])));
+        const std::uint64_t got =
+            sim.peek("port_s0_f" + std::to_string(k));
+        EXPECT_EQ(got, expected)
+            << "iteration " << poly::to_string(i) << " port " << k;
+        if (got != expected) return result;  // fail fast
+      }
+      iter.advance();
+      ++result.fires;
+    }
+    std::vector<bool> advance(heads.size());
+    for (std::size_t s = 0; s < heads.size(); ++s) {
+      advance[s] =
+          sim.peek("s0_stream" + std::to_string(s) + "_ready") != 0;
+    }
+    sim.step_clock();
+    ++result.cycles;
+    for (std::size_t s = 0; s < heads.size(); ++s) {
+      if (advance[s]) ++seq[s];
+    }
+  }
+  return result;
+}
+
+TEST(RtlCosim, DenoiseRoutesEveryPortCorrectly) {
+  const stencil::StencilProgram p = stencil::denoise_2d(12, 16);
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  const CosimResult rtl = run_rtl(p, design, "denoise");
+  EXPECT_EQ(rtl.fires, p.iteration().count());
+}
+
+TEST(RtlCosim, CycleCountMatchesCxxModelExactly) {
+  const stencil::StencilProgram p = stencil::denoise_2d(12, 16);
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  const CosimResult rtl = run_rtl(p, design, "denoise");
+
+  sim::SimOptions options;
+  options.record_outputs = false;
+  const sim::SimResult cxx = sim::simulate(p, design, options);
+  EXPECT_EQ(rtl.fires, cxx.kernel_fires);
+  EXPECT_EQ(rtl.cycles, cxx.cycles);
+}
+
+TEST(RtlCosim, SobelEightPointWindow) {
+  const stencil::StencilProgram p = stencil::sobel_2d(10, 12);
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  const CosimResult rtl = run_rtl(p, design, "sobel");
+  EXPECT_EQ(rtl.fires, p.iteration().count());
+}
+
+TEST(RtlCosim, ThreeDimensionalWindow) {
+  const stencil::StencilProgram p = stencil::heat_3d(5, 6, 7);
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  const CosimResult rtl = run_rtl(p, design, "heat_3d");
+  EXPECT_EQ(rtl.fires, p.iteration().count());
+
+  sim::SimOptions options;
+  options.record_outputs = false;
+  const sim::SimResult cxx = sim::simulate(p, design, options);
+  EXPECT_EQ(rtl.cycles, cxx.cycles);
+}
+
+TEST(RtlCosim, NonRectangularMembershipLogic) {
+  // The triangular domain exercises the general polyhedral membership
+  // comparators in the filter modules (Fig 10).
+  const stencil::StencilProgram p = stencil::triangular_demo(12);
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  const CosimResult rtl = run_rtl(p, design, "triangular_4pt");
+  EXPECT_EQ(rtl.fires, p.iteration().count());
+}
+
+TEST(RtlCosim, BandwidthTradedDualStreamTop) {
+  const stencil::StencilProgram p = stencil::denoise_2d(10, 12);
+  arch::AcceleratorDesign design = arch::build_design(p);
+  design.systems[0] = arch::apply_tradeoff(design.systems[0], 1);
+  const CosimResult rtl = run_rtl(p, design, "denoise");
+  EXPECT_EQ(rtl.fires, p.iteration().count());
+}
+
+TEST(RtlCosim, FifoOccupancyVisibleInHierarchy) {
+  const stencil::StencilProgram p = stencil::denoise_2d(10, 12);
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  const std::string rtl = codegen::emit_verilog(p, design);
+  vsim::VerilogSim sim(rtl, "denoise_top");
+  sim.poke("rst", 1);
+  sim.poke("kernel_ready", 1);
+  sim.poke("s0_stream0_valid", 1);
+  sim.poke("s0_stream0_data", 0);
+  sim.step_clock();
+  sim.poke("rst", 0);
+  for (int c = 0; c < 40; ++c) sim.step_clock();
+  sim.eval();
+  // After 40 cycles of an 10x12 grid the first row FIFO has filled.
+  EXPECT_GT(sim.peek("u_s0_q0.count"), 0u);
+  EXPECT_LE(sim.peek("u_s0_q0.count"),
+            static_cast<std::uint64_t>(design.systems[0].fifos[0].depth));
+}
+
+}  // namespace
+}  // namespace nup

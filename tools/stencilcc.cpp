@@ -1,0 +1,150 @@
+// stencilcc -- the design-automation flow (Fig 11) as a command-line tool.
+//
+//   stencilcc [options] <kernel.c>
+//
+// Reads a mini-C stencil kernel, generates the non-uniform memory system,
+// verifies it by cycle-accurate simulation against a golden software
+// execution, and writes the Verilog, testbench, transformed HLS kernel,
+// integration header and a JSON report into the output directory.
+//
+// Options:
+//   -o <dir>       output directory (default: .)
+//   --name <n>     accelerator name (default: derived from the file name)
+//   --exact        exact union-domain sizing and streaming
+//   --no-verify    skip the simulation run
+//   --vcd <N>      dump a VCD of the first N cycles
+//   --cpp-model    also emit a standalone C co-simulation model
+//   --rtl-check    execute the generated Verilog in the built-in RTL
+//                  interpreter (small programs only)
+//   --quiet        suppress the summary
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/compiler.hpp"
+#include "codegen/cpp_model.hpp"
+#include "core/json_export.hpp"
+#include "sim/vcd.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: stencilcc [-o dir] [--name n] [--exact] [--no-verify] "
+      "[--vcd N] [--quiet] <kernel.c>\n");
+}
+
+std::string basename_no_ext(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t start = slash == std::string::npos ? 0 : slash + 1;
+  const std::size_t dot = path.find_last_of('.');
+  const std::size_t end =
+      dot == std::string::npos || dot < start ? path.size() : dot;
+  return path.substr(start, end - start);
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "stencilcc: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << text;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nup;
+
+  std::string input;
+  std::string out_dir = ".";
+  std::string name;
+  bool quiet = false;
+  bool cpp_model = false;
+  long vcd_cycles = 0;
+  core::CompileOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (arg == "--name" && i + 1 < argc) {
+      name = argv[++i];
+    } else if (arg == "--exact") {
+      options.build.exact_sizing = true;
+      options.build.exact_streaming = true;
+    } else if (arg == "--no-verify") {
+      options.verify_by_simulation = false;
+    } else if (arg == "--vcd" && i + 1 < argc) {
+      vcd_cycles = std::strtol(argv[++i], nullptr, 10);
+    } else if (arg == "--cpp-model") {
+      cpp_model = true;
+    } else if (arg == "--rtl-check") {
+      options.verify_rtl = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "-h" || arg == "--help") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "stencilcc: unknown option %s\n", arg.c_str());
+      usage();
+      return 2;
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (input.empty()) {
+    usage();
+    return 2;
+  }
+  if (name.empty()) name = basename_no_ext(input);
+  if (vcd_cycles > 0) options.sim.trace_cycles = vcd_cycles;
+
+  std::ifstream in(input);
+  if (!in) {
+    std::fprintf(stderr, "stencilcc: cannot read %s\n", input.c_str());
+    return 1;
+  }
+  std::ostringstream source;
+  source << in.rdbuf();
+
+  try {
+    const core::AcceleratorPackage pkg =
+        core::compile_source(source.str(), name, options);
+    if (!quiet) std::printf("%s", pkg.summary().c_str());
+
+    const std::string base = out_dir + "/" + name;
+    bool ok = write_file(base + "_memory_system.v", pkg.rtl) &&
+              write_file(base + "_tb.v", pkg.testbench) &&
+              write_file(base + "_kernel.cpp", pkg.kernel_code) &&
+              write_file(base + "_accel.hpp", pkg.integration_header) &&
+              write_file(base + "_report.json", core::to_json(pkg));
+    if (ok && cpp_model) {
+      ok = write_file(base + "_model.cpp",
+                      codegen::emit_cpp_model(pkg.program, pkg.design));
+    }
+    if (ok && vcd_cycles > 0 && options.verify_by_simulation) {
+      ok = sim::write_vcd(base + ".vcd", pkg.verification, pkg.design,
+                          name);
+    }
+    if (!quiet && ok) {
+      std::printf("artifacts written to %s/%s_*.{v,cpp,hpp,json}\n",
+                  out_dir.c_str(), name.c_str());
+    }
+    return ok ? 0 : 1;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "stencilcc: %s\n", e.what());
+    return 1;
+  }
+}
