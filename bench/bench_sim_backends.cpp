@@ -1,0 +1,118 @@
+// Simulator backend comparison: reference (per-token grid points, deque
+// FIFOs, per-cycle polyhedral membership) vs the compiled fast lane
+// (precompiled row programs, flat double ring buffers). Prints measured
+// cycles/sec and the speedup for all six gallery kernels, then runs timed
+// benchmarks on the headline DENOISE 768x1024 configuration. Acceptance
+// target: >= 5x cycles/sec on DENOISE with zero behavioral divergence
+// (the divergence half is enforced by tests/sim/differential_test.cpp).
+
+#include <chrono>
+#include <cstdio>
+
+#include "arch/builder.hpp"
+#include "bench_common.hpp"
+#include "sim/simulator.hpp"
+#include "stencil/gallery.hpp"
+
+namespace {
+
+using namespace nup;
+
+sim::SimOptions backend_options(sim::SimBackend backend) {
+  sim::SimOptions options;
+  options.backend = backend;
+  options.record_outputs = false;
+  return options;
+}
+
+struct Measured {
+  std::int64_t cycles = 0;
+  double seconds = 0.0;
+  double cycles_per_sec() const { return cycles / seconds; }
+};
+
+Measured run_once(const stencil::StencilProgram& p,
+                  const arch::AcceleratorDesign& design,
+                  sim::SimBackend backend) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const sim::SimResult r = sim::simulate(p, design, backend_options(backend));
+  const auto t1 = std::chrono::steady_clock::now();
+  Measured m;
+  m.cycles = r.cycles;
+  m.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return m;
+}
+
+void print_comparison_table() {
+  // The paper-scale 3-D grids take ~1.5M simulated cycles; the 2-D kernels
+  // run at the full 768x1024 the paper evaluates.
+  const std::vector<stencil::StencilProgram> programs = {
+      stencil::denoise_2d(),          stencil::rician_2d(),
+      stencil::sobel_2d(),            stencil::bicubic_2d(),
+      stencil::denoise_3d(48, 64, 64),
+      stencil::segmentation_3d(48, 64, 64)};
+  std::printf("%-16s %12s %16s %16s %9s\n", "kernel", "cycles",
+              "reference cyc/s", "fast cyc/s", "speedup");
+  for (const stencil::StencilProgram& p : programs) {
+    const arch::AcceleratorDesign design = arch::build_design(p);
+    const Measured ref = run_once(p, design, sim::SimBackend::kReference);
+    const Measured fast = run_once(p, design, sim::SimBackend::kFast);
+    std::printf("%-16s %12lld %16.3g %16.3g %8.1fx\n", p.name().c_str(),
+                static_cast<long long>(ref.cycles), ref.cycles_per_sec(),
+                fast.cycles_per_sec(),
+                fast.cycles_per_sec() / ref.cycles_per_sec());
+  }
+}
+
+void BM_ReferenceBackendDenoise(benchmark::State& state) {
+  const stencil::StencilProgram p = stencil::denoise_2d();
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  std::int64_t cycles = 0;
+  for (auto _ : state) {
+    cycles = sim::simulate(p, design,
+                           backend_options(sim::SimBackend::kReference))
+                 .cycles;
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ReferenceBackendDenoise)->Unit(benchmark::kMillisecond);
+
+void BM_FastBackendDenoise(benchmark::State& state) {
+  const stencil::StencilProgram p = stencil::denoise_2d();
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  std::int64_t cycles = 0;
+  for (auto _ : state) {
+    cycles =
+        sim::simulate(p, design, backend_options(sim::SimBackend::kFast))
+            .cycles;
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FastBackendDenoise)->Unit(benchmark::kMillisecond);
+
+void BM_FastBackendConstruction(benchmark::State& state) {
+  // Row-program compilation cost: what the fast lane pays up front.
+  const stencil::StencilProgram p = stencil::denoise_2d();
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  sim::SimOptions options = backend_options(sim::SimBackend::kFast);
+  options.max_cycles = 0;  // construct, run zero cycles
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate(p, design, options).cycles);
+  }
+}
+BENCHMARK(BM_FastBackendConstruction);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  nup::bench::banner(
+      "Simulator backends: reference vs compiled fast lane (cycles/sec)");
+  print_comparison_table();
+  return nup::bench::run(argc, argv);
+}

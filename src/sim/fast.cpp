@@ -1,0 +1,814 @@
+#include "sim/fast.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "stencil/golden.hpp"
+#include "util/error.hpp"
+
+namespace nup::sim {
+
+namespace {
+
+constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::max();
+
+/// Compiled lexicographic enumeration of a Domain: one entry per non-empty
+/// row (fixed outer coordinates), in prefix lex order, with the row's
+/// merged disjoint innermost intervals. Built once at construction so no
+/// Fourier-Motzkin bound or interval merge ever runs inside the cycle
+/// loop.
+struct RowProgram {
+  struct Row {
+    poly::IntVec prefix;                    // outer coords, size dim-1
+    std::vector<poly::Interval> intervals;  // sorted, disjoint, non-empty
+  };
+
+  std::size_t dim = 0;
+  std::vector<Row> rows;
+
+  static RowProgram compile(const poly::Domain& domain) {
+    RowProgram prog;
+    if (!domain.has_pieces()) return prog;
+    prog.dim = domain.dim();
+    poly::IntVec prefix;
+    prefix.reserve(prog.dim);
+    compile_level(domain, prog, prefix, 0);
+    return prog;
+  }
+
+ private:
+  static void compile_level(const poly::Domain& domain, RowProgram& prog,
+                            poly::IntVec& prefix, std::size_t level) {
+    if (level + 1 == prog.dim) {
+      std::vector<poly::Interval> row = domain.row_intervals(prefix);
+      if (!row.empty()) prog.rows.push_back({prefix, std::move(row)});
+      return;
+    }
+    const poly::Interval hull = domain.level_hull(prefix, level);
+    if (hull.empty()) return;
+    prefix.push_back(0);
+    for (std::int64_t v = hull.lo; v <= hull.hi; ++v) {
+      prefix.back() = v;
+      compile_level(domain, prog, prefix, level + 1);
+    }
+    prefix.pop_back();
+  }
+};
+
+/// O(1) incremental cursor over a RowProgram; visits exactly the point
+/// sequence of Domain::LexCursor, but with no per-advance allocation or
+/// bound recomputation.
+struct RowCursor {
+  const RowProgram* prog = nullptr;
+  std::size_t row = 0;
+  std::size_t ivl = 0;
+  bool is_valid = false;
+  poly::IntVec pt;  // preallocated, size dim
+
+  void reset(const RowProgram& p) {
+    prog = &p;
+    row = 0;
+    is_valid = !p.rows.empty();
+    if (is_valid) {
+      pt.resize(p.dim);
+      load_row();
+    }
+  }
+
+  bool valid() const { return is_valid; }
+  const poly::IntVec& point() const { return pt; }
+
+  void advance() {
+    const RowProgram::Row& r = prog->rows[row];
+    if (pt.back() < r.intervals[ivl].hi) {
+      ++pt.back();
+      return;
+    }
+    if (++ivl < r.intervals.size()) {
+      pt.back() = r.intervals[ivl].lo;
+      return;
+    }
+    if (++row == prog->rows.size()) {
+      is_valid = false;
+      return;
+    }
+    load_row();
+  }
+
+ private:
+  void load_row() {
+    const RowProgram::Row& r = prog->rows[row];
+    std::copy(r.prefix.begin(), r.prefix.end(), pt.begin());
+    ivl = 0;
+    pt.back() = r.intervals.front().lo;
+  }
+};
+
+/// Forward-only rank finder over a RowProgram: maps lexicographically
+/// increasing target points to their 0-based position in the enumeration.
+/// This turns the per-cycle grid-point comparison of the reference backend
+/// into a single integer equality: a filter matches exactly when its
+/// consumed-token count reaches the rank of its output counter's point in
+/// the segment stream. Amortized O(1) per query (one pass over the row
+/// table across the whole run).
+struct MatchScanner {
+  const RowProgram* prog = nullptr;
+  std::size_t row = 0;
+  std::size_t ivl = 0;
+  std::int64_t pos = 0;  // stream position of intervals[ivl].lo
+
+  void reset(const RowProgram& p) {
+    prog = &p;
+    row = 0;
+    ivl = 0;
+    pos = 0;
+  }
+
+  /// Position of `t` in the enumeration; kNever when `t` is not a stream
+  /// element (the filter can then never match -- exactly the reference's
+  /// behaviour when the needed point is absent from the stream). Targets
+  /// must be queried in lexicographically increasing order.
+  std::int64_t seek(const poly::IntVec& t) {
+    const std::size_t dim = prog->dim;
+    while (row < prog->rows.size()) {
+      const RowProgram::Row& r = prog->rows[row];
+      int cmp = 0;
+      for (std::size_t d = 0; d + 1 < dim; ++d) {
+        if (r.prefix[d] != t[d]) {
+          cmp = r.prefix[d] < t[d] ? -1 : 1;
+          break;
+        }
+      }
+      if (cmp < 0) {  // stream row before the target's: skip it whole
+        for (; ivl < r.intervals.size(); ++ivl) {
+          pos += r.intervals[ivl].size();
+        }
+        ++row;
+        ivl = 0;
+        continue;
+      }
+      if (cmp > 0) return kNever;  // target's row has no stream elements
+      const std::int64_t ti = t[dim - 1];
+      for (; ivl < r.intervals.size(); ++ivl) {
+        const poly::Interval& iv = r.intervals[ivl];
+        if (iv.hi < ti) {
+          pos += iv.size();
+          continue;
+        }
+        if (iv.lo > ti) return kNever;  // target falls in a row gap
+        return pos + (ti - iv.lo);
+      }
+      ++row;  // target beyond the row's last interval
+      ivl = 0;
+    }
+    return kNever;
+  }
+};
+
+/// Ring buffer of data values only: the point of the token at the head is
+/// recovered from the consumer filter's stream position, so tokens shrink
+/// to one double.
+struct FastFifo {
+  std::vector<double> values;
+  std::size_t head = 0;
+  std::int64_t count = 0;
+  std::int64_t capacity = 0;
+  bool cut = false;
+  std::int64_t max_fill = 0;
+
+  void init(std::int64_t depth, bool is_cut) {
+    capacity = depth;
+    cut = is_cut;
+    values.assign(static_cast<std::size_t>(std::max<std::int64_t>(depth, 1)),
+                  0.0);
+  }
+
+  void push(double v) {
+    std::size_t tail = head + static_cast<std::size_t>(count);
+    if (tail >= values.size()) tail -= values.size();
+    values[tail] = v;
+    ++count;
+    if (count > max_fill) max_fill = count;
+  }
+
+  double pop() {
+    const double v = values[head];
+    if (++head == values.size()) head = 0;
+    --count;
+    return v;
+  }
+};
+
+struct FastFilter {
+  RowProgram out_prog;  // D_Ax in filter order
+  RowCursor out;        // output counter (Fig 10)
+  /// Segment heads only: the grid point of the next stream element (needed
+  /// to address the external feed). Non-head filters carry no points at
+  /// all -- only `in_pos` below.
+  RowCursor in;
+  MatchScanner scanner;       // over the segment's input program
+  std::int64_t in_pos = 0;    // stream elements consumed so far
+  std::int64_t next_match = kNever;  // stream position of out's point
+  int segment = -1;           // feed index when this filter heads a segment
+
+  void reseek() {
+    next_match = out.valid() ? scanner.seek(out.point()) : kNever;
+  }
+};
+
+/// True when `out` enumerates exactly `iter` shifted by `offset`: then the
+/// kernel-port check "filter k delivers A[i + f_k] on every fire" holds by
+/// construction (both counters advance in lockstep from rank 0) and the
+/// per-fire validation loop can be skipped entirely.
+bool aligned_with_iteration(const RowProgram& iter, const RowProgram& out,
+                            const poly::IntVec& offset) {
+  if (iter.dim != out.dim || iter.rows.size() != out.rows.size()) {
+    return false;
+  }
+  const std::int64_t inner = offset.empty() ? 0 : offset.back();
+  for (std::size_t r = 0; r < iter.rows.size(); ++r) {
+    const RowProgram::Row& a = iter.rows[r];
+    const RowProgram::Row& b = out.rows[r];
+    for (std::size_t d = 0; d + 1 < iter.dim; ++d) {
+      if (b.prefix[d] != a.prefix[d] + offset[d]) return false;
+    }
+    if (a.intervals.size() != b.intervals.size()) return false;
+    for (std::size_t v = 0; v < a.intervals.size(); ++v) {
+      if (b.intervals[v].lo != a.intervals[v].lo + inner ||
+          b.intervals[v].hi != a.intervals[v].hi + inner) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+struct FastSystem {
+  const arch::MemorySystem* design = nullptr;
+  RowProgram input_prog;  // streamed hull, shared by every segment
+  std::vector<std::shared_ptr<ExternalFeed>> feeds;  // one per segment
+  /// Nonzero while a segment still uses the constructor-installed
+  /// SyntheticFeed: tick/available are no-ops and read devirtualizes to
+  /// stencil::synthetic_value.
+  std::vector<unsigned char> synthetic;
+  std::vector<FastFifo> fifos;
+  std::vector<FastFilter> filters;
+
+  // Per-cycle scratch, indexed by filter.
+  std::vector<unsigned char> avail;
+  std::vector<unsigned char> match;
+  std::vector<unsigned char> advance;
+  std::vector<double> moved;  // value consumed by each advancing filter
+};
+
+}  // namespace
+
+struct FastSim::Impl {
+  const stencil::StencilProgram* program = nullptr;
+  const arch::AcceleratorDesign* design = nullptr;
+  SimOptions options;
+
+  RowProgram iteration_prog;
+  RowCursor kernel_cursor;
+  std::int64_t total_iterations = 0;
+
+  std::vector<FastSystem> systems;
+  /// Every output counter proved to track kernel_cursor + offset at
+  /// construction; the per-fire port validation is then a no-op.
+  bool ports_structurally_valid = false;
+
+  std::function<void(const poly::IntVec&, double)> output_callback;
+
+  SimResult result;
+  std::string stream_point_this_cycle;  // only filled while tracing
+  std::int64_t cycle = 0;
+  std::int64_t stall_cycles = 0;
+  std::int64_t last_fire_cycle = 0;
+  std::vector<double> gathered;  // kernel argument scratch
+
+  bool done() const { return result.kernel_fires == total_iterations; }
+
+  double read_source(FastSystem& sys, FastFilter& filter);
+  void tick_feeds();
+  bool hypothesize(const FastSystem& sys) const;
+  void fill_scratch(FastSystem& sys);
+  void commit_fire(FastSystem& sys);
+  void commit_stalled(FastSystem& sys);
+  void validate_ports() const;
+  void commit_kernel();
+  void record_trace(bool fire);
+  std::string describe_stall() const;
+  bool step();
+};
+
+FastSim::FastSim(const stencil::StencilProgram& program,
+                 const arch::AcceleratorDesign& design, SimOptions options)
+    : impl_(std::make_unique<Impl>()) {
+  Impl& im = *impl_;
+  im.program = &program;
+  im.design = &design;
+  im.options = options;
+  im.iteration_prog = RowProgram::compile(program.iteration());
+  im.total_iterations = program.iteration().count();
+  im.kernel_cursor.reset(im.iteration_prog);
+
+  if (design.systems.size() != program.inputs().size()) {
+    throw SimulationError("design has " +
+                          std::to_string(design.systems.size()) +
+                          " memory systems for " +
+                          std::to_string(program.inputs().size()) +
+                          " input arrays");
+  }
+
+  im.systems.resize(design.systems.size());
+  im.ports_structurally_valid = true;
+  for (std::size_t s = 0; s < design.systems.size(); ++s) {
+    const arch::MemorySystem& ms = design.systems[s];
+    FastSystem& sys = im.systems[s];
+    sys.design = &ms;
+    sys.input_prog = RowProgram::compile(ms.input_domain);
+
+    const std::size_t n = ms.filter_count();
+    sys.filters.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      FastFilter& filter = sys.filters[k];
+      filter.out_prog = RowProgram::compile(
+          program.iteration().translated(ms.ordered_offsets[k]));
+      filter.out.reset(filter.out_prog);
+      filter.scanner.reset(sys.input_prog);
+      filter.reseek();
+      im.ports_structurally_valid =
+          im.ports_structurally_valid &&
+          aligned_with_iteration(im.iteration_prog, filter.out_prog,
+                                 ms.ordered_offsets[k]);
+    }
+    sys.fifos.resize(ms.fifos.size());
+    for (std::size_t k = 0; k < ms.fifos.size(); ++k) {
+      sys.fifos[k].init(ms.fifos[k].depth, ms.fifos[k].cut);
+    }
+    const std::vector<std::size_t> heads = ms.segment_heads();
+    sys.feeds.resize(heads.size());
+    sys.synthetic.assign(heads.size(), true);
+    for (std::size_t seg = 0; seg < heads.size(); ++seg) {
+      FastFilter& head = sys.filters[heads[seg]];
+      head.segment = static_cast<int>(seg);
+      head.in.reset(sys.input_prog);
+      sys.feeds[seg] =
+          std::make_shared<SyntheticFeed>(options.seed, ms.array_index);
+    }
+    sys.avail.assign(n, 0);
+    sys.match.assign(n, 0);
+    sys.advance.assign(n, 0);
+    sys.moved.assign(n, 0.0);
+  }
+
+  im.result.fifo_max_fill.resize(design.systems.size());
+  for (std::size_t s = 0; s < design.systems.size(); ++s) {
+    im.result.fifo_max_fill[s].assign(design.systems[s].fifos.size(), 0);
+  }
+  im.gathered.resize(program.total_references());
+}
+
+FastSim::~FastSim() = default;
+
+void FastSim::set_feed(std::size_t array_idx, std::size_t segment,
+                       std::shared_ptr<ExternalFeed> feed) {
+  FastSystem& sys = impl_->systems.at(array_idx);
+  sys.feeds.at(segment) = std::move(feed);
+  sys.synthetic[segment] = false;  // back to the generic virtual protocol
+}
+
+void FastSim::set_output_callback(
+    std::function<void(const poly::IntVec&, double)> callback) {
+  impl_->output_callback = std::move(callback);
+}
+
+bool FastSim::done() const { return impl_->done(); }
+
+std::int64_t FastSim::cycle() const { return impl_->cycle; }
+
+std::int64_t FastSim::kernel_fires() const {
+  return impl_->result.kernel_fires;
+}
+
+std::int64_t FastSim::fifo_fill(std::size_t system, std::size_t fifo) const {
+  return impl_->systems.at(system).fifos.at(fifo).count;
+}
+
+double FastSim::Impl::read_source(FastSystem& sys, FastFilter& filter) {
+  if (sys.synthetic[filter.segment]) {
+    return stencil::synthetic_value(options.seed, sys.design->array_index,
+                                    filter.in.point());
+  }
+  return sys.feeds[filter.segment]->read(filter.in.point());
+}
+
+void FastSim::Impl::tick_feeds() {
+  for (FastSystem& sys : systems) {
+    for (std::size_t seg = 0; seg < sys.feeds.size(); ++seg) {
+      if (!sys.synthetic[seg]) sys.feeds[seg]->tick();
+    }
+  }
+}
+
+/// Same downstream-to-upstream hypothesis resolution as the reference
+/// backend (and the generated RTL's advance logic), fused with the
+/// availability/match evaluation so the common firing cycle touches no
+/// scratch state at all. Side-effect free; ExternalFeed::available is pure
+/// by contract so re-evaluating it on a stall cycle is safe.
+bool FastSim::Impl::hypothesize(const FastSystem& sys) const {
+  const std::size_t n = sys.filters.size();
+  bool fire = true;
+  bool downstream_advances = true;  // filter n-1 has no downstream FIFO
+  for (std::size_t k = n; k-- > 0;) {
+    const FastFilter& filter = sys.filters[k];
+    bool avail = false;
+    if (filter.out.is_valid) {  // else: done forwarding
+      if (filter.segment >= 0) {
+        avail = filter.in.is_valid &&
+                (sys.synthetic[filter.segment] != 0 ||
+                 sys.feeds[filter.segment]->available(filter.in.point()));
+      } else {
+        avail = sys.fifos[k - 1].count > 0;
+      }
+    }
+    bool space = true;
+    if (k + 1 < n && !sys.fifos[k].cut) {
+      const FastFifo& fifo = sys.fifos[k];
+      space = fifo.count < fifo.capacity || downstream_advances;
+    }
+    const bool advances = avail && space;
+    fire = fire && advances && filter.in_pos == filter.next_match;
+    downstream_advances = advances;
+  }
+  return fire;
+}
+
+/// Materializes per-filter avail/match flags -- only needed on stall
+/// cycles (for the hold-vs-discard commit and the deadlock diagnostic) and
+/// on traced cycles.
+void FastSim::Impl::fill_scratch(FastSystem& sys) {
+  const std::size_t n = sys.filters.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    FastFilter& filter = sys.filters[k];
+    bool avail = false;
+    if (filter.out.is_valid) {
+      if (filter.segment >= 0) {
+        avail = filter.in.is_valid &&
+                (sys.synthetic[filter.segment] != 0 ||
+                 sys.feeds[filter.segment]->available(filter.in.point()));
+      } else {
+        avail = sys.fifos[k - 1].count > 0;
+      }
+    }
+    sys.avail[k] = avail ? 1 : 0;
+    sys.match[k] = (avail && filter.in_pos == filter.next_match) ? 1 : 0;
+    sys.advance[k] = 0;
+  }
+}
+
+/// On a firing cycle every filter consumes and forwards: pops first (so a
+/// full FIFO drained this cycle can accept a push), then pushes, then the
+/// output counters advance past the matched point.
+void FastSim::Impl::commit_fire(FastSystem& sys) {
+  const std::size_t n = sys.filters.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    sys.advance[k] = 1;
+    FastFilter& filter = sys.filters[k];
+    if (filter.segment >= 0) {
+      sys.moved[k] = read_source(sys, filter);
+      filter.in.advance();
+    } else {
+      sys.moved[k] = sys.fifos[k - 1].pop();
+    }
+    ++filter.in_pos;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k + 1 < n && !sys.fifos[k].cut) {
+      sys.fifos[k].push(sys.moved[k]);
+    }
+    FastFilter& filter = sys.filters[k];
+    filter.out.advance();
+    filter.reseek();
+  }
+}
+
+/// On a non-firing cycle matching filters hold their token; the rest
+/// discard and forward as space permits (reference commit_advances with
+/// fire = false).
+void FastSim::Impl::commit_stalled(FastSystem& sys) {
+  const std::size_t n = sys.filters.size();
+  bool downstream_advances = true;
+  for (std::size_t k = n; k-- > 0;) {
+    bool space = true;
+    if (k + 1 < n && !sys.fifos[k].cut) {
+      const FastFifo& fifo = sys.fifos[k];
+      space = fifo.count < fifo.capacity || downstream_advances;
+    }
+    sys.advance[k] =
+        (sys.avail[k] != 0 && space && sys.match[k] == 0) ? 1 : 0;
+    downstream_advances = sys.advance[k] != 0;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    if (!sys.advance[k]) continue;
+    FastFilter& filter = sys.filters[k];
+    if (filter.segment >= 0) {
+      sys.moved[k] = read_source(sys, filter);
+      filter.in.advance();
+    } else {
+      sys.moved[k] = sys.fifos[k - 1].pop();
+    }
+    ++filter.in_pos;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    if (!sys.advance[k]) continue;
+    if (k + 1 < n && !sys.fifos[k].cut) {
+      sys.fifos[k].push(sys.moved[k]);
+    }
+  }
+}
+
+/// On a firing cycle every matching filter's candidate is its output
+/// counter's point (that is what the integer match test established); the
+/// counters themselves must agree with A[i + f_k] for the current
+/// iteration, component-wise so no temporary point is built.
+void FastSim::Impl::validate_ports() const {
+  const poly::IntVec& i = kernel_cursor.point();
+  for (const FastSystem& sys : systems) {
+    for (std::size_t k = 0; k < sys.filters.size(); ++k) {
+      const poly::IntVec& got = sys.filters[k].out.point();
+      const poly::IntVec& offset = sys.design->ordered_offsets[k];
+      for (std::size_t d = 0; d < i.size(); ++d) {
+        if (got[d] != i[d] + offset[d]) {
+          throw SimulationError(
+              "kernel port mismatch at iteration " + poly::to_string(i) +
+              ": filter " + std::to_string(k) + " of array " +
+              sys.design->array + " delivered " + poly::to_string(got) +
+              ", expected " + poly::to_string(poly::add(i, offset)));
+        }
+      }
+    }
+  }
+}
+
+void FastSim::Impl::commit_kernel() {
+  const poly::IntVec& i = kernel_cursor.point();
+  std::size_t base = 0;
+  for (const FastSystem& sys : systems) {
+    for (std::size_t k = 0; k < sys.filters.size(); ++k) {
+      gathered[base + sys.design->ref_order[k]] = sys.moved[k];
+    }
+    base += sys.filters.size();
+  }
+  const double output = program->kernel()(gathered);
+  if (options.record_outputs) result.outputs.push_back(output);
+  if (output_callback) output_callback(i, output);
+  kernel_cursor.advance();
+  ++result.kernel_fires;
+  if (result.kernel_fires == 1) result.fill_latency = cycle;
+  last_fire_cycle = cycle;
+}
+
+void FastSim::Impl::record_trace(bool fire) {
+  CycleTrace trace;
+  trace.cycle = cycle;
+  const FastSystem& sys = systems.front();
+  trace.stream_point = stream_point_this_cycle;
+  trace.filters.reserve(sys.filters.size());
+  for (std::size_t k = 0; k < sys.filters.size(); ++k) {
+    FilterStatus status = FilterStatus::kStalled;
+    if (!sys.filters[k].out.valid()) {
+      status = FilterStatus::kDone;
+    } else if (sys.advance[k]) {
+      status = (fire && sys.match[k]) ? FilterStatus::kForward
+                                      : FilterStatus::kDiscard;
+    }
+    trace.filters.push_back(status);
+  }
+  for (const FastFifo& fifo : sys.fifos) {
+    trace.fifo_fill.push_back(fifo.count);
+  }
+  result.trace.push_back(std::move(trace));
+}
+
+std::string FastSim::Impl::describe_stall() const {
+  std::ostringstream out;
+  out << "no progress at cycle " << cycle << ";";
+  for (const FastSystem& sys : systems) {
+    out << " array " << sys.design->array << ": filters[";
+    for (std::size_t k = 0; k < sys.filters.size(); ++k) {
+      if (!sys.filters[k].out.valid()) {
+        out << '.';
+      } else if (sys.match[k]) {
+        out << 'F';  // wants to forward
+      } else if (sys.avail[k]) {
+        out << 'd';
+      } else {
+        out << 's';
+      }
+    }
+    out << "] fifo_fill[";
+    for (std::size_t k = 0; k < sys.fifos.size(); ++k) {
+      if (k > 0) out << ',';
+      out << sys.fifos[k].count << '/' << sys.fifos[k].capacity;
+    }
+    out << "]";
+  }
+  return out.str();
+}
+
+bool FastSim::Impl::step() {
+  ++cycle;
+  const bool tracing =
+      options.trace_cycles > 0 && cycle <= options.trace_cycles;
+  tick_feeds();
+
+  bool fire = kernel_cursor.valid();
+  for (const FastSystem& sys : systems) fire = fire && hypothesize(sys);
+
+  if (tracing) {
+    stream_point_this_cycle.clear();
+    if (!systems.empty() && !systems.front().filters.empty()) {
+      const RowCursor& in = systems.front().filters.front().in;
+      if (in.valid()) stream_point_this_cycle = poly::to_string(in.point());
+    }
+    for (FastSystem& sys : systems) fill_scratch(sys);
+  }
+
+  bool progress = fire;
+  if (fire) {
+    if (options.validate && !ports_structurally_valid) validate_ports();
+    for (FastSystem& sys : systems) commit_fire(sys);
+    commit_kernel();
+  } else {
+    for (FastSystem& sys : systems) {
+      if (!tracing) fill_scratch(sys);
+      commit_stalled(sys);
+      for (std::size_t k = 0; k < sys.filters.size(); ++k) {
+        progress = progress || sys.advance[k] != 0;
+      }
+    }
+  }
+
+  if (tracing) record_trace(fire);
+  if (progress) {
+    stall_cycles = 0;
+  } else {
+    ++stall_cycles;
+  }
+  return progress;
+}
+
+bool FastSim::step() { return impl_->step(); }
+
+SimResult FastSim::run() {
+  Impl& im = *impl_;
+  while (!im.done() && im.cycle < im.options.max_cycles) {
+    im.step();
+    if (im.stall_cycles >= im.options.stall_limit) {
+      im.result.deadlocked = true;
+      im.result.deadlock_detail = im.describe_stall();
+      break;
+    }
+  }
+  im.result.cycles = im.cycle;
+  if (im.result.kernel_fires >= 2) {
+    im.result.steady_ii =
+        static_cast<double>(im.last_fire_cycle - im.result.fill_latency) /
+        static_cast<double>(im.result.kernel_fires - 1);
+  }
+  for (std::size_t s = 0; s < im.systems.size(); ++s) {
+    for (std::size_t k = 0; k < im.systems[s].fifos.size(); ++k) {
+      im.result.fifo_max_fill[s][k] = im.systems[s].fifos[k].max_fill;
+    }
+  }
+  return im.result;
+}
+
+namespace {
+
+std::string fills_to_string(const std::vector<std::vector<std::int64_t>>& f) {
+  std::ostringstream out;
+  for (std::size_t s = 0; s < f.size(); ++s) {
+    out << (s > 0 ? " | " : "");
+    for (std::size_t k = 0; k < f[s].size(); ++k) {
+      out << (k > 0 ? "," : "") << f[s][k];
+    }
+  }
+  return out.str();
+}
+
+}  // namespace
+
+DifferentialReport run_differential(const stencil::StencilProgram& program,
+                                    const arch::AcceleratorDesign& design,
+                                    SimOptions options) {
+  DifferentialReport report;
+  AcceleratorSim ref(program, design, options);
+  FastSim fast(program, design, options);
+
+  const auto diverge = [&](const std::string& what) {
+    report.agreed = false;
+    std::ostringstream out;
+    out << "cycle " << report.cycles << ": " << what;
+    report.divergence = out.str();
+  };
+
+  // Lockstep per-cycle comparison, replicating run()'s stall accounting.
+  std::int64_t stall_cycles = 0;
+  std::string ref_error;
+  std::string fast_error;
+  while (report.agreed && !ref.done() &&
+         report.cycles < options.max_cycles) {
+    ++report.cycles;
+    bool ref_progress = false;
+    bool fast_progress = false;
+    try {
+      ref_progress = ref.step();
+    } catch (const SimulationError& e) {
+      ref_error = e.what();
+    }
+    try {
+      fast_progress = fast.step();
+    } catch (const SimulationError& e) {
+      fast_error = e.what();
+    }
+    if (!ref_error.empty() || !fast_error.empty()) {
+      if (ref_error.empty() != fast_error.empty()) {
+        diverge("one backend raised a validation error: reference='" +
+                ref_error + "' fast='" + fast_error + "'");
+      }
+      break;  // both threw: agreed, both detect the design as broken
+    }
+    if (ref_progress != fast_progress) {
+      diverge(std::string("progress flags differ: reference=") +
+              (ref_progress ? "true" : "false") + " fast=" +
+              (fast_progress ? "true" : "false"));
+      break;
+    }
+    if (ref.kernel_fires() != fast.kernel_fires()) {
+      diverge("kernel fires differ: reference=" +
+              std::to_string(ref.kernel_fires()) +
+              " fast=" + std::to_string(fast.kernel_fires()));
+      break;
+    }
+    bool fills_equal = true;
+    for (std::size_t s = 0; fills_equal && s < design.systems.size(); ++s) {
+      for (std::size_t k = 0; k < design.systems[s].fifos.size(); ++k) {
+        if (ref.fifo_fill(s, k) != fast.fifo_fill(s, k)) {
+          diverge("occupancy of fifo (" + std::to_string(s) + "," +
+                  std::to_string(k) + ") differs: reference=" +
+                  std::to_string(ref.fifo_fill(s, k)) +
+                  " fast=" + std::to_string(fast.fifo_fill(s, k)));
+          fills_equal = false;
+          break;
+        }
+      }
+    }
+    if (!fills_equal) break;
+    if (ref_progress) {
+      stall_cycles = 0;
+    } else if (++stall_cycles >= options.stall_limit) {
+      break;  // both deadlocked identically; run() below finalizes
+    }
+  }
+  if (!report.agreed || !ref_error.empty()) return report;
+
+  // Finalize both results. run() continues from the current state: a no-op
+  // loop when done, exactly one more (identical) stall step when
+  // deadlocked.
+  report.reference = ref.run();
+  report.fast = fast.run();
+
+  const SimResult& a = report.reference;
+  const SimResult& b = report.fast;
+  if (a.cycles != b.cycles) {
+    diverge("total cycles differ: " + std::to_string(a.cycles) + " vs " +
+            std::to_string(b.cycles));
+  } else if (a.kernel_fires != b.kernel_fires) {
+    diverge("kernel fires differ: " + std::to_string(a.kernel_fires) +
+            " vs " + std::to_string(b.kernel_fires));
+  } else if (a.fill_latency != b.fill_latency) {
+    diverge("fill latency differs: " + std::to_string(a.fill_latency) +
+            " vs " + std::to_string(b.fill_latency));
+  } else if (a.steady_ii != b.steady_ii) {
+    diverge("steady II differs");
+  } else if (a.deadlocked != b.deadlocked) {
+    diverge(std::string("deadlock verdicts differ: reference=") +
+            (a.deadlocked ? "yes" : "no") + " fast=" +
+            (b.deadlocked ? "yes" : "no"));
+  } else if (a.deadlock_detail != b.deadlock_detail) {
+    diverge("deadlock diagnostics differ: '" + a.deadlock_detail +
+            "' vs '" + b.deadlock_detail + "'");
+  } else if (a.fifo_max_fill != b.fifo_max_fill) {
+    diverge("max FIFO fills differ: " + fills_to_string(a.fifo_max_fill) +
+            " vs " + fills_to_string(b.fifo_max_fill));
+  } else if (a.outputs != b.outputs) {
+    diverge("outputs differ (" + std::to_string(a.outputs.size()) + " vs " +
+            std::to_string(b.outputs.size()) + " values)");
+  }
+  return report;
+}
+
+}  // namespace nup::sim

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "arch/design.hpp"
+#include "sim/feed.hpp"
+#include "sim/simulator.hpp"
+#include "stencil/program.hpp"
+
+namespace nup::sim {
+
+/// Compiled fast-lane backend of the cycle-accurate simulator.
+///
+/// Semantically identical to AcceleratorSim (same fire/stall decisions,
+/// same FIFO occupancies, same outputs on every cycle), but the per-cycle
+/// work is compiled away at construction: each filter's domain D_Ax and
+/// each streamed input hull become incremental row programs (precomputed
+/// lexicographic row/interval tables mirroring Fig 10's input and output
+/// counters), and the reuse FIFOs hold flat ring buffers of double values
+/// only -- no heap-allocated grid point ever flows through the chain in
+/// steady state. The candidate point at every filter is recovered from the
+/// invariant that a chain segment carries the segment stream in order, so
+/// a per-filter input counter replaces the per-token points of the
+/// reference backend.
+class FastSim {
+ public:
+  FastSim(const stencil::StencilProgram& program,
+          const arch::AcceleratorDesign& design, SimOptions options = {});
+  ~FastSim();
+
+  FastSim(const FastSim&) = delete;
+  FastSim& operator=(const FastSim&) = delete;
+
+  /// Replaces the off-chip feed of one chain segment (default: synthetic).
+  void set_feed(std::size_t array_idx, std::size_t segment,
+                std::shared_ptr<ExternalFeed> feed);
+
+  /// Invoked with every kernel output, in iteration order.
+  void set_output_callback(
+      std::function<void(const poly::IntVec&, double)> callback);
+
+  /// Advances one clock cycle. Returns true if any module made progress.
+  bool step();
+
+  bool done() const;
+
+  /// Runs until completion, deadlock, or the cycle limit; same contract as
+  /// AcceleratorSim::run.
+  SimResult run();
+
+  // Lockstep observers (used by the differential checker).
+  std::int64_t cycle() const;
+  std::int64_t kernel_fires() const;
+  std::int64_t fifo_fill(std::size_t system, std::size_t fifo) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Outcome of running both backends in lockstep and comparing every
+/// per-cycle decision plus the final results.
+struct DifferentialReport {
+  bool agreed = true;
+  std::int64_t cycles = 0;      ///< lockstep cycles compared
+  std::string divergence;       ///< first difference; empty when agreed
+  SimResult reference;
+  SimResult fast;
+};
+
+/// Differential checker: steps AcceleratorSim and FastSim one cycle at a
+/// time and asserts identical progress flags, kernel-fire counts and
+/// per-FIFO occupancies on every cycle, then compares the finalized
+/// results (cycles, fires, fill latency, steady II, deadlock verdict and
+/// detail, per-FIFO max fill, outputs). Any divergence is reported with
+/// the first offending cycle; the fast path can never silently drift from
+/// the reference semantics.
+DifferentialReport run_differential(const stencil::StencilProgram& program,
+                                    const arch::AcceleratorDesign& design,
+                                    SimOptions options = {});
+
+}  // namespace nup::sim

@@ -4,6 +4,7 @@
 #include <deque>
 #include <sstream>
 
+#include "sim/fast.hpp"
 #include "util/error.hpp"
 
 namespace nup::sim {
@@ -390,6 +391,18 @@ bool AcceleratorSim::Impl::step() {
 
 bool AcceleratorSim::step() { return impl_->step(); }
 
+std::int64_t AcceleratorSim::cycle() const { return impl_->cycle; }
+
+std::int64_t AcceleratorSim::kernel_fires() const {
+  return impl_->result.kernel_fires;
+}
+
+std::int64_t AcceleratorSim::fifo_fill(std::size_t system,
+                                       std::size_t fifo) const {
+  return static_cast<std::int64_t>(
+      impl_->systems.at(system).fifos.at(fifo).tokens.size());
+}
+
 SimResult AcceleratorSim::run() {
   Impl& im = *impl_;
   while (!im.done() && im.cycle < im.options.max_cycles) {
@@ -417,6 +430,10 @@ SimResult AcceleratorSim::run() {
 SimResult simulate(const stencil::StencilProgram& program,
                    const arch::AcceleratorDesign& design,
                    const SimOptions& options) {
+  if (options.backend == SimBackend::kFast) {
+    FastSim sim(program, design, options);
+    return sim.run();
+  }
   AcceleratorSim sim(program, design, options);
   return sim.run();
 }

@@ -14,7 +14,15 @@
 
 namespace nup::sim {
 
+/// Which simulator implementation executes the design. Both are
+/// cycle-accurate and agree decision-for-decision (enforced by
+/// tests/sim/differential_test.cpp); `kReference` is the semantics
+/// DESIGN.md's invariants are stated against, `kFast` is the compiled
+/// fast lane (src/sim/fast.hpp) for large sweeps.
+enum class SimBackend { kReference, kFast };
+
 struct SimOptions {
+  SimBackend backend = SimBackend::kReference;
   std::uint64_t seed = 1;            ///< synthetic-data seed
   std::int64_t max_cycles = 500'000'000;
   /// Cycles without any module progress before declaring deadlock.
@@ -94,12 +102,18 @@ class AcceleratorSim {
   /// indicate a functionally wrong design.
   SimResult run();
 
+  // Lockstep observers (used by the differential checker).
+  std::int64_t cycle() const;
+  std::int64_t kernel_fires() const;
+  std::int64_t fifo_fill(std::size_t system, std::size_t fifo) const;
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };
 
-/// Convenience wrapper: build-free simulation of a program with a design.
+/// Convenience wrapper: build-free simulation of a program with a design,
+/// dispatched to options.backend.
 SimResult simulate(const stencil::StencilProgram& program,
                    const arch::AcceleratorDesign& design,
                    const SimOptions& options = {});

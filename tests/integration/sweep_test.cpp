@@ -11,6 +11,7 @@
 #include "arch/verify.hpp"
 #include "core/rtl_verify.hpp"
 #include "hls/estimate.hpp"
+#include "sim/fast.hpp"
 #include "sim/prefetch.hpp"
 #include "sim/simulator.hpp"
 #include "stencil/gallery.hpp"
@@ -43,13 +44,23 @@ TEST_P(GridSizeSweep, DenoiseInvariantsHoldAtEverySize) {
 TEST_P(GridSizeSweep, SimulationScalesAndStaysCorrect) {
   const auto [rows, cols] = GetParam();
   const stencil::StencilProgram p = stencil::denoise_2d(rows, cols);
-  const sim::SimResult r = sim::simulate(p, arch::build_design(p), {});
-  ASSERT_FALSE(r.deadlocked);
-  EXPECT_EQ(r.kernel_fires, (rows - 2) * (cols - 2));
+  const arch::AcceleratorDesign design = arch::build_design(p);
   const stencil::GoldenRun golden = stencil::run_golden(p, 1);
-  ASSERT_EQ(r.outputs.size(), golden.outputs.size());
-  EXPECT_EQ(r.outputs.back(), golden.outputs.back());
-  EXPECT_EQ(r.outputs.front(), golden.outputs.front());
+  sim::SimResult results[2];
+  for (const sim::SimBackend backend :
+       {sim::SimBackend::kReference, sim::SimBackend::kFast}) {
+    sim::SimOptions options;
+    options.backend = backend;
+    const sim::SimResult r = sim::simulate(p, design, options);
+    ASSERT_FALSE(r.deadlocked);
+    EXPECT_EQ(r.kernel_fires, (rows - 2) * (cols - 2));
+    ASSERT_EQ(r.outputs.size(), golden.outputs.size());
+    EXPECT_EQ(r.outputs.back(), golden.outputs.back());
+    EXPECT_EQ(r.outputs.front(), golden.outputs.front());
+    results[backend == sim::SimBackend::kFast ? 1 : 0] = r;
+  }
+  EXPECT_EQ(results[0].cycles, results[1].cycles);
+  EXPECT_EQ(results[0].fifo_max_fill, results[1].fifo_max_fill);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -89,26 +100,44 @@ class PrefetchSweep
     : public ::testing::TestWithParam<std::pair<int, int>> {};
 
 TEST_P(PrefetchSweep, CorrectUnderAnyLatencyBufferCombination) {
+  // Both simulator backends must absorb the same prefetch latency and
+  // buffering behaviour: the PrefetchFeed is stateful (tick-driven), so
+  // identical cycle counts here show the fast lane drives feeds on
+  // exactly the reference's schedule.
   const auto [latency, depth] = GetParam();
   const stencil::StencilProgram p = stencil::denoise_2d(12, 16);
   const arch::AcceleratorDesign design = arch::build_design(p);
-  sim::SimOptions options;
-  options.stall_limit = 1'000'000;
-  sim::AcceleratorSim sim(p, design, options);
+  const stencil::GoldenRun golden = stencil::run_golden(p, 1);
   sim::PrefetchFeed::Config config;
   config.latency_cycles = latency;
   config.buffer_depth = depth;
-  sim.set_feed(0, 0,
-               std::make_shared<sim::PrefetchFeed>(
-                   std::make_shared<sim::SyntheticFeed>(1, 0), config));
-  const sim::SimResult r = sim.run();
-  ASSERT_FALSE(r.deadlocked) << "latency=" << latency << " depth=" << depth;
-  EXPECT_EQ(r.kernel_fires, p.iteration().count());
-  const stencil::GoldenRun golden = stencil::run_golden(p, 1);
-  ASSERT_EQ(r.outputs.size(), golden.outputs.size());
-  for (std::size_t i = 0; i < golden.outputs.size(); ++i) {
-    ASSERT_EQ(r.outputs[i], golden.outputs[i]);
+  const auto make_feed = [&config] {
+    return std::make_shared<sim::PrefetchFeed>(
+        std::make_shared<sim::SyntheticFeed>(1, 0), config);
+  };
+  sim::SimOptions options;
+  options.stall_limit = 1'000'000;
+
+  sim::AcceleratorSim ref_sim(p, design, options);
+  ref_sim.set_feed(0, 0, make_feed());
+  const sim::SimResult ref = ref_sim.run();
+
+  sim::FastSim fast_sim(p, design, options);
+  fast_sim.set_feed(0, 0, make_feed());
+  const sim::SimResult fast = fast_sim.run();
+
+  for (const sim::SimResult& r : {ref, fast}) {
+    ASSERT_FALSE(r.deadlocked)
+        << "latency=" << latency << " depth=" << depth;
+    EXPECT_EQ(r.kernel_fires, p.iteration().count());
+    ASSERT_EQ(r.outputs.size(), golden.outputs.size());
+    for (std::size_t i = 0; i < golden.outputs.size(); ++i) {
+      ASSERT_EQ(r.outputs[i], golden.outputs[i]);
+    }
   }
+  EXPECT_EQ(ref.cycles, fast.cycles);
+  EXPECT_EQ(ref.fill_latency, fast.fill_latency);
+  EXPECT_EQ(ref.fifo_max_fill, fast.fifo_max_fill);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -154,11 +183,16 @@ TEST_P(RandomRtlCosim, GeneratedRtlMatchesModel) {
   ASSERT_TRUE(rtl.ran) << rtl.detail;
   EXPECT_TRUE(rtl.passed) << p.name() << ": " << rtl.detail;
 
-  sim::SimOptions options;
-  options.record_outputs = false;
-  const sim::SimResult cxx = sim::simulate(p, design, options);
-  EXPECT_EQ(rtl.cycles, cxx.cycles) << p.name();
-  EXPECT_EQ(rtl.fires, cxx.kernel_fires) << p.name();
+  // The RTL interpreter's counts must match both simulator backends.
+  for (const sim::SimBackend backend :
+       {sim::SimBackend::kReference, sim::SimBackend::kFast}) {
+    sim::SimOptions options;
+    options.backend = backend;
+    options.record_outputs = false;
+    const sim::SimResult cxx = sim::simulate(p, design, options);
+    EXPECT_EQ(rtl.cycles, cxx.cycles) << p.name();
+    EXPECT_EQ(rtl.fires, cxx.kernel_fires) << p.name();
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomRtlCosim,

@@ -1,0 +1,141 @@
+// The fast backend must reproduce the reference's deadlock behaviour under
+// the condition violations of DESIGN.md section 7.6: same verdict, same
+// diagnostic classification (the describe_stall string format is shared),
+// at the same cycle -- so the safety guarantees hold on the fast lane too.
+
+#include "sim/fast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "arch/builder.hpp"
+#include "sim/simulator.hpp"
+#include "stencil/gallery.hpp"
+#include "util/error.hpp"
+
+namespace nup::sim {
+namespace {
+
+SimOptions fast_deadlock_options(SimBackend backend = SimBackend::kFast) {
+  SimOptions options;
+  options.backend = backend;
+  options.stall_limit = 3000;
+  return options;
+}
+
+/// Runs the broken design on both backends and requires the same outcome
+/// class (clean, deadlocked, or validation error) with matching detail.
+void expect_same_verdict(const stencil::StencilProgram& p,
+                         const arch::AcceleratorDesign& design) {
+  SimResult ref;
+  SimResult fast;
+  bool ref_threw = false;
+  bool fast_threw = false;
+  try {
+    ref = simulate(p, design, fast_deadlock_options(SimBackend::kReference));
+  } catch (const SimulationError&) {
+    ref_threw = true;
+  }
+  try {
+    fast = simulate(p, design, fast_deadlock_options(SimBackend::kFast));
+  } catch (const SimulationError&) {
+    fast_threw = true;
+  }
+  ASSERT_EQ(ref_threw, fast_threw);
+  if (ref_threw) return;
+  EXPECT_EQ(ref.deadlocked, fast.deadlocked);
+  EXPECT_EQ(ref.cycles, fast.cycles);
+  EXPECT_EQ(ref.kernel_fires, fast.kernel_fires);
+  EXPECT_EQ(ref.deadlock_detail, fast.deadlock_detail);
+}
+
+TEST(FastDeadlock, UndersizedFifoSameVerdict) {
+  // Violating condition 2 (Eq. 2): FIFO below the maximum reuse distance.
+  const stencil::StencilProgram p = stencil::denoise_2d(20, 24);
+  arch::AcceleratorDesign design = arch::build_design(p);
+  design.systems[0].fifos[0].depth -= 1;
+  expect_same_verdict(p, design);
+}
+
+TEST(FastDeadlock, BadlyUndersizedFifoSameVerdict) {
+  const stencil::StencilProgram p = stencil::denoise_2d(20, 24);
+  arch::AcceleratorDesign design = arch::build_design(p);
+  design.systems[0].fifos[3].depth = 1;  // needs 23
+  expect_same_verdict(p, design);
+}
+
+TEST(FastDeadlock, ShuffledFilterOrderSameVerdict) {
+  // Violating condition 1: offsets no longer descending lexicographically.
+  const stencil::StencilProgram p = stencil::denoise_2d(16, 20);
+  arch::AcceleratorDesign design = arch::build_design(p);
+  arch::MemorySystem& sys = design.systems[0];
+  std::swap(sys.ordered_offsets[0], sys.ordered_offsets[4]);
+  std::swap(sys.ref_order[0], sys.ref_order[4]);
+  expect_same_verdict(p, design);
+}
+
+TEST(FastDeadlock, FastBackendDeadlocksOnUndersizedFifo) {
+  const stencil::StencilProgram p = stencil::denoise_2d(20, 24);
+  arch::AcceleratorDesign design = arch::build_design(p);
+  design.systems[0].fifos[3].depth = 1;
+  SimResult r;
+  bool corrupted = false;
+  try {
+    r = simulate(p, design, fast_deadlock_options());
+  } catch (const SimulationError&) {
+    corrupted = true;
+  }
+  EXPECT_TRUE(corrupted || r.deadlocked);
+}
+
+TEST(FastDeadlock, ReportNamesTheStall) {
+  const stencil::StencilProgram p = stencil::denoise_2d(16, 20);
+  arch::AcceleratorDesign design = arch::build_design(p);
+  design.systems[0].fifos[0].depth = 2;
+  const SimResult r = simulate(p, design, fast_deadlock_options());
+  if (r.deadlocked) {
+    EXPECT_NE(r.deadlock_detail.find("fifo_fill"), std::string::npos);
+    EXPECT_NE(r.deadlock_detail.find("array A"), std::string::npos);
+  }
+}
+
+TEST(FastDeadlock, DifferentialCheckerCoversBrokenDesigns) {
+  // The lockstep checker itself must agree even when the design deadlocks:
+  // both backends stall on the same cycles with the same occupancies.
+  const stencil::StencilProgram p = stencil::denoise_2d(16, 20);
+  arch::AcceleratorDesign design = arch::build_design(p);
+  design.systems[0].fifos[0].depth = 2;
+  SimOptions options;
+  options.stall_limit = 2000;
+  const DifferentialReport report = run_differential(p, design, options);
+  EXPECT_TRUE(report.agreed) << report.divergence;
+  EXPECT_TRUE(report.reference.deadlocked);
+  EXPECT_TRUE(report.fast.deadlocked);
+}
+
+TEST(FastDeadlock, CorrectDesignsNeverDeadlock) {
+  const std::vector<stencil::StencilProgram> programs = {
+      stencil::denoise_2d(12, 16), stencil::sobel_2d(12, 16),
+      stencil::bicubic_2d(8, 24), stencil::heat_3d(6, 8, 10),
+      stencil::triangular_demo(14), stencil::skewed_demo(10, 16)};
+  SimOptions options;
+  options.backend = SimBackend::kFast;
+  for (const stencil::StencilProgram& p : programs) {
+    const SimResult r = simulate(p, arch::build_design(p), options);
+    EXPECT_FALSE(r.deadlocked) << p.name() << ": " << r.deadlock_detail;
+  }
+}
+
+TEST(FastDeadlock, MaxCyclesGuardStopsRunaways) {
+  const stencil::StencilProgram p = stencil::denoise_2d(16, 20);
+  SimOptions options;
+  options.backend = SimBackend::kFast;
+  options.max_cycles = 10;  // far too few to finish
+  const SimResult r = simulate(p, arch::build_design(p), options);
+  EXPECT_EQ(r.cycles, 10);
+  EXPECT_LT(r.kernel_fires, p.iteration().count());
+}
+
+}  // namespace
+}  // namespace nup::sim

@@ -83,6 +83,37 @@ TEST(Simulator, TightSizingIsReached) {
   EXPECT_EQ(r.fifo_max_fill[0][3], design.systems[0].fifos[3].depth);
 }
 
+TEST(Simulator, DenoiseSmallMaxFillsMatchTable2Structure) {
+  // Table 2 at 24x32: the row FIFOs carry a full row minus one element
+  // ({cols-1, 1, 1, cols-1}) and the simulation reaches exactly those
+  // occupancies -- the non-uniform sizing is tight in both directions.
+  const stencil::StencilProgram p = stencil::denoise_2d(24, 32);
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  const SimResult r = simulate(p, design, {});
+  ASSERT_EQ(r.fifo_max_fill.size(), 1u);
+  const std::vector<std::int64_t> expected = {31, 1, 1, 31};
+  EXPECT_EQ(r.fifo_max_fill[0], expected);
+}
+
+TEST(Simulator, DenoisePaperScaleMaxFills) {
+  // The paper's 768x1024 DENOISE configuration, runnable at full scale on
+  // the fast backend: every reuse FIFO fills to exactly its designed
+  // depth {1023, 1, 1, 1023} and never beyond.
+  const stencil::StencilProgram p = stencil::denoise_2d();
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  SimOptions options;
+  options.backend = SimBackend::kFast;
+  options.record_outputs = false;
+  const SimResult r = simulate(p, design, options);
+  ASSERT_FALSE(r.deadlocked);
+  ASSERT_EQ(r.fifo_max_fill.size(), 1u);
+  const std::vector<std::int64_t> expected = {1023, 1, 1, 1023};
+  EXPECT_EQ(r.fifo_max_fill[0], expected);
+  for (std::size_t k = 0; k < design.systems[0].fifos.size(); ++k) {
+    EXPECT_EQ(r.fifo_max_fill[0][k], design.systems[0].fifos[k].depth);
+  }
+}
+
 TEST(Simulator, SkewedGridAdaptsAutomatically) {
   // Fig 9: the distributed modules adjust the number of buffered elements
   // on a skewed grid without a centralized controller.

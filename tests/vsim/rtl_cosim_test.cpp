@@ -101,11 +101,17 @@ TEST(RtlCosim, CycleCountMatchesCxxModelExactly) {
   const arch::AcceleratorDesign design = arch::build_design(p);
   const CosimResult rtl = run_rtl(p, design, "denoise");
 
-  sim::SimOptions options;
-  options.record_outputs = false;
-  const sim::SimResult cxx = sim::simulate(p, design, options);
-  EXPECT_EQ(rtl.fires, cxx.kernel_fires);
-  EXPECT_EQ(rtl.cycles, cxx.cycles);
+  // The generated hardware agrees with the C++ model on both backends:
+  // the reference (per-token points) and the compiled fast lane.
+  for (const sim::SimBackend backend :
+       {sim::SimBackend::kReference, sim::SimBackend::kFast}) {
+    sim::SimOptions options;
+    options.backend = backend;
+    options.record_outputs = false;
+    const sim::SimResult cxx = sim::simulate(p, design, options);
+    EXPECT_EQ(rtl.fires, cxx.kernel_fires);
+    EXPECT_EQ(rtl.cycles, cxx.cycles);
+  }
 }
 
 TEST(RtlCosim, SobelEightPointWindow) {
@@ -121,10 +127,14 @@ TEST(RtlCosim, ThreeDimensionalWindow) {
   const CosimResult rtl = run_rtl(p, design, "heat_3d");
   EXPECT_EQ(rtl.fires, p.iteration().count());
 
-  sim::SimOptions options;
-  options.record_outputs = false;
-  const sim::SimResult cxx = sim::simulate(p, design, options);
-  EXPECT_EQ(rtl.cycles, cxx.cycles);
+  for (const sim::SimBackend backend :
+       {sim::SimBackend::kReference, sim::SimBackend::kFast}) {
+    sim::SimOptions options;
+    options.backend = backend;
+    options.record_outputs = false;
+    const sim::SimResult cxx = sim::simulate(p, design, options);
+    EXPECT_EQ(rtl.cycles, cxx.cycles);
+  }
 }
 
 TEST(RtlCosim, NonRectangularMembershipLogic) {

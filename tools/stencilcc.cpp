@@ -13,6 +13,9 @@
 //   --exact        exact union-domain sizing and streaming
 //   --no-verify    skip the simulation run
 //   --vcd <N>      dump a VCD of the first N cycles
+//   --sim-backend <reference|fast>
+//                  simulator backend for the verification run (default:
+//                  reference; fast is the compiled lane, bit-identical)
 //   --cpp-model    also emit a standalone C co-simulation model
 //   --rtl-check    execute the generated Verilog in the built-in RTL
 //                  interpreter (small programs only)
@@ -36,7 +39,7 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: stencilcc [-o dir] [--name n] [--exact] [--no-verify] "
-      "[--vcd N] [--quiet] <kernel.c>\n");
+      "[--vcd N] [--sim-backend reference|fast] [--quiet] <kernel.c>\n");
 }
 
 std::string basename_no_ext(const std::string& path) {
@@ -84,6 +87,18 @@ int main(int argc, char** argv) {
       options.verify_by_simulation = false;
     } else if (arg == "--vcd" && i + 1 < argc) {
       vcd_cycles = std::strtol(argv[++i], nullptr, 10);
+    } else if (arg == "--sim-backend" && i + 1 < argc) {
+      const std::string backend = argv[++i];
+      if (backend == "reference") {
+        options.sim.backend = sim::SimBackend::kReference;
+      } else if (backend == "fast") {
+        options.sim.backend = sim::SimBackend::kFast;
+      } else {
+        std::fprintf(stderr, "stencilcc: unknown simulator backend '%s'\n",
+                     backend.c_str());
+        usage();
+        return 2;
+      }
     } else if (arg == "--cpp-model") {
       cpp_model = true;
     } else if (arg == "--rtl-check") {
