@@ -1,0 +1,166 @@
+// Concurrent tiled-execution runtime: frames/sec of the frame engine over
+// a threads x tile-shape sweep, plus the design-cache hit/miss asymmetry.
+//
+// Artifact 1 sweeps DENOISE 768x1024 over worker counts {1, 2, 4, 8} and
+// tile heights {full, 192, 96, 48} and prints frames/sec, the halo stream
+// overhead of each shape and the per-tile reuse footprint (the buffering a
+// tile's chain needs -- the lever tiling trades against refetch).
+// Acceptance target: >= 3x frames/sec at 8 threads vs 1 on a machine with
+// >= 8 cores (EXPERIMENTS.md records the measured curve and the core
+// count of the machine that produced it).
+//
+// Artifact 2 runs one engine frame of each of the six gallery kernels.
+//
+// The timed google-benchmarks then measure the design cache: a hit must be
+// >= 10x cheaper than the miss path (microarchitecture + row-program
+// compilation).
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "runtime/design_cache.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/tiler.hpp"
+#include "stencil/gallery.hpp"
+
+namespace {
+
+using namespace nup;
+
+double frames_per_sec(const stencil::StencilProgram& p, std::size_t threads,
+                      poly::IntVec tile_shape, int frames) {
+  runtime::EngineOptions options;
+  options.threads = threads;
+  options.tile_shape = std::move(tile_shape);
+  runtime::FrameEngine engine(options);
+  engine.plan_for(p);  // tile + compile designs outside the timed region
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<runtime::FrameHandle> handles;
+  handles.reserve(static_cast<std::size_t>(frames));
+  for (int f = 0; f < frames; ++f) {
+    handles.push_back(engine.submit(p, static_cast<std::uint64_t>(f)));
+  }
+  for (runtime::FrameHandle& handle : handles) {
+    const runtime::FrameResult& result = handle.wait();
+    if (!result.ok()) std::fprintf(stderr, "frame failed: %s\n",
+                                   result.error.c_str());
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return frames / std::chrono::duration<double>(t1 - t0).count();
+}
+
+void print_thread_tile_sweep() {
+  const stencil::StencilProgram p = stencil::denoise_2d();  // 768x1024
+  std::printf("hardware threads on this machine: %u\n\n",
+              std::thread::hardware_concurrency());
+  std::printf("DENOISE 768x1024, 4 frames per cell (frames/sec)\n");
+  std::printf("%-10s %8s %10s %12s %14s\n", "tile", "tiles", "stream+%",
+              "fifo/tile", "threads:fps");
+
+  // Row splits keep full-width rows (cheap halo, unchanged FIFO depth);
+  // column splits shorten the rows, which is what actually shrinks the
+  // reuse FIFOs -- at a larger halo stream overhead.
+  const struct {
+    const char* label;
+    poly::IntVec shape;
+  } shapes[] = {{"full", {}},        {"rows=192", {192, 0}},
+                {"rows=96", {96, 0}}, {"rows=48", {48, 0}},
+                {"cols=256", {0, 256}}, {"cols=128", {0, 128}}};
+  const std::size_t thread_counts[] = {1, 2, 4, 8};
+  for (const auto& [label, shape] : shapes) {
+    const runtime::TilePlan plan =
+        runtime::plan_tiles(p, runtime::TilerOptions{shape});
+    const double overhead =
+        100.0 *
+        (static_cast<double>(plan.streamed_elements) /
+             static_cast<double>(plan.untiled_streamed_elements) -
+         1.0);
+    std::printf("%-10s %8zu %9.1f%% %12lld  ", label, plan.tiles.size(),
+                overhead,
+                static_cast<long long>(plan.tiles[0].reuse_footprint));
+    for (const std::size_t threads : thread_counts) {
+      std::printf(" %zu:%0.2f", threads,
+                  frames_per_sec(p, threads, shape, 4));
+    }
+    std::printf("\n");
+  }
+}
+
+void print_gallery_frames() {
+  const std::vector<stencil::StencilProgram> programs = {
+      stencil::denoise_2d(),          stencil::rician_2d(),
+      stencil::sobel_2d(),            stencil::bicubic_2d(),
+      stencil::denoise_3d(48, 64, 64),
+      stencil::segmentation_3d(48, 64, 64)};
+  const std::size_t threads =
+      std::max(1u, std::thread::hardware_concurrency());
+  std::printf("\ngallery kernels, %zu worker threads, automatic tile shape\n",
+              threads);
+  std::printf("%-16s %8s %12s %10s\n", "kernel", "tiles", "outputs",
+              "frames/s");
+  for (const stencil::StencilProgram& p : programs) {
+    runtime::EngineOptions options;
+    options.threads = threads;
+    runtime::FrameEngine engine(options);
+    const auto plan = engine.plan_for(p);
+    const double fps = frames_per_sec(p, threads, {}, 2);
+    std::printf("%-16s %8zu %12lld %10.2f\n", p.name().c_str(),
+                plan->tiles.size(),
+                static_cast<long long>(plan->total_outputs), fps);
+  }
+}
+
+// ---- design cache: hit vs miss ----------------------------------------
+
+void BM_DesignCacheMiss(benchmark::State& state) {
+  // Fresh cache every iteration: pays microarchitecture generation plus
+  // fast-backend row-program compilation.
+  const stencil::StencilProgram p = stencil::denoise_2d();
+  for (auto _ : state) {
+    runtime::DesignCache cache(4);
+    benchmark::DoNotOptimize(cache.get_or_compile(p));
+  }
+}
+BENCHMARK(BM_DesignCacheMiss)->Unit(benchmark::kMicrosecond);
+
+void BM_DesignCacheHit(benchmark::State& state) {
+  // Warm cache: canonical key + map lookup only. Target: >= 10x cheaper
+  // than BM_DesignCacheMiss.
+  const stencil::StencilProgram p = stencil::denoise_2d();
+  runtime::DesignCache cache(4);
+  cache.get_or_compile(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.get_or_compile(p));
+  }
+}
+BENCHMARK(BM_DesignCacheHit)->Unit(benchmark::kMicrosecond);
+
+void BM_EngineFrameDenoise(benchmark::State& state) {
+  // One full served frame (submit -> tiled execution -> stitched result)
+  // at the sweep's best tile shape, threads from the benchmark argument.
+  const stencil::StencilProgram p = stencil::denoise_2d();
+  runtime::EngineOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  options.tile_shape = {96, 0};
+  runtime::FrameEngine engine(options);
+  engine.plan_for(p);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.submit(p, seed++).wait().outputs);
+  }
+}
+BENCHMARK(BM_EngineFrameDenoise)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  nup::bench::banner(
+      "Tiled-execution runtime: thread x tile sweep and design cache");
+  print_thread_tile_sweep();
+  print_gallery_frames();
+  return nup::bench::run(argc, argv);
+}

@@ -1,0 +1,128 @@
+#include "runtime/design_cache.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace nup::runtime {
+
+namespace {
+
+void append_constraint(std::ostringstream& out, const poly::Constraint& c) {
+  for (std::size_t d = 0; d < c.expr.coeffs.size(); ++d) {
+    out << (d > 0 ? "," : "") << c.expr.coeffs[d];
+  }
+  out << ':' << c.expr.constant;
+}
+
+/// Order-insensitive serialization of one polyhedron: constraint strings
+/// sorted, so the same set written in a different order keys identically.
+std::string piece_key(const poly::Polyhedron& piece) {
+  std::vector<std::string> parts;
+  parts.reserve(piece.constraints().size());
+  for (const poly::Constraint& c : piece.constraints()) {
+    std::ostringstream one;
+    append_constraint(one, c);
+    parts.push_back(one.str());
+  }
+  std::sort(parts.begin(), parts.end());
+  std::ostringstream out;
+  out << '{';
+  for (const std::string& p : parts) out << p << ';';
+  out << '}';
+  return out.str();
+}
+
+}  // namespace
+
+std::string DesignCache::canonical_key(const stencil::StencilProgram& program,
+                                       const arch::BuildOptions& build) {
+  std::ostringstream out;
+  out << "v1|d=" << program.dim() << "|b=" << build.exact_sizing << ','
+      << build.exact_streaming << ',' << build.register_max_depth << ','
+      << build.shift_register_max_depth << "|D=";
+  // Pieces sorted by serialized form: a union written in a different piece
+  // order is the same domain for every downstream consumer.
+  std::vector<std::string> pieces;
+  pieces.reserve(program.iteration().pieces().size());
+  for (const poly::Polyhedron& piece : program.iteration().pieces()) {
+    pieces.push_back(piece_key(piece));
+  }
+  std::sort(pieces.begin(), pieces.end());
+  for (const std::string& p : pieces) out << p;
+  // Inputs and references stay in source order: the flattened reference
+  // order is the kernel's argument order, which ref_order maps onto.
+  out << "|A=";
+  for (const stencil::InputArray& input : program.inputs()) {
+    out << '[';
+    for (const stencil::ArrayReference& ref : input.refs) {
+      out << '(';
+      for (std::size_t d = 0; d < ref.offset.size(); ++d) {
+        out << (d > 0 ? "," : "") << ref.offset[d];
+      }
+      out << ')';
+    }
+    out << ']';
+  }
+  return out.str();
+}
+
+std::uint64_t DesignCache::fingerprint(const stencil::StencilProgram& program,
+                                       const arch::BuildOptions& build) {
+  const std::string key = canonical_key(program, build);
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+DesignCache::DesignCache(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+std::shared_ptr<const CachedDesign> DesignCache::get_or_compile(
+    const stencil::StencilProgram& program,
+    const arch::BuildOptions& build) {
+  std::string key = canonical_key(program, build);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto found = index_.find(key);
+  if (found != index_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, found->second);  // mark most recent
+    return found->second->value;
+  }
+
+  ++stats_.misses;
+  auto entry = std::make_shared<CachedDesign>();
+  entry->fingerprint = fingerprint(program, build);
+  entry->design = arch::build_design(program, build);
+  entry->plan = sim::compile_fast_plan(program, entry->design);
+
+  lru_.push_front(Entry{key, entry});
+  index_.emplace(std::move(key), lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  stats_.entries = lru_.size();
+  return entry;
+}
+
+DesignCacheStats DesignCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DesignCacheStats s = stats_;
+  s.entries = lru_.size();
+  return s;
+}
+
+void DesignCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  stats_.entries = 0;
+}
+
+}  // namespace nup::runtime

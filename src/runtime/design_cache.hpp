@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "arch/builder.hpp"
+#include "arch/design.hpp"
+#include "sim/fast.hpp"
+#include "stencil/program.hpp"
+
+namespace nup::runtime {
+
+/// One memoized compilation: the non-uniform microarchitecture plus the
+/// fast-backend row programs. Immutable after insertion; entries are handed
+/// out as shared_ptr so an evicted design stays alive for as long as any
+/// in-flight simulation still uses it.
+struct CachedDesign {
+  std::uint64_t fingerprint = 0;
+  arch::AcceleratorDesign design;
+  std::shared_ptr<const sim::FastPlan> plan;
+};
+
+struct DesignCacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t evictions = 0;
+  std::size_t entries = 0;
+};
+
+/// Memoizes `arch::build_design` + `sim::compile_fast_plan` keyed by a
+/// canonicalized stencil program, with LRU eviction.
+///
+/// Canonicalization (see canonical_key): the program and array names, the
+/// output name and the kernel function are *excluded* -- two programs that
+/// differ only in naming share one microarchitecture. The kernel is always
+/// applied fresh from the request's program (the design and the row
+/// programs are kernel-independent), so memoization never changes computed
+/// values. Reference order is part of the key: it fixes the kernel
+/// argument order the design's ref_order maps onto.
+///
+/// Thread safety: every method is safe to call concurrently. Misses are
+/// compiled while holding the cache lock, which both serializes duplicate
+/// compilations of the same key and protects the lazily-cached polyhedral
+/// state inside the program object being compiled.
+class DesignCache {
+ public:
+  explicit DesignCache(std::size_t capacity = 64);
+
+  /// Returns the memoized design for the canonicalized program, compiling
+  /// (and inserting) it on first use. Never returns nullptr.
+  std::shared_ptr<const CachedDesign> get_or_compile(
+      const stencil::StencilProgram& program,
+      const arch::BuildOptions& build = {});
+
+  DesignCacheStats stats() const;
+  void clear();
+
+  /// Canonical serialization of (program, build options); equal strings ==
+  /// one cache entry. Stable across runs.
+  static std::string canonical_key(const stencil::StencilProgram& program,
+                                   const arch::BuildOptions& build = {});
+
+  /// FNV-1a 64-bit hash of canonical_key (compact identity for logs and
+  /// cross-map keying; the cache itself keys on the full string).
+  static std::uint64_t fingerprint(const stencil::StencilProgram& program,
+                                   const arch::BuildOptions& build = {});
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const CachedDesign> value;
+  };
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  DesignCacheStats stats_;
+};
+
+}  // namespace nup::runtime

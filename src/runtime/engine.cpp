@@ -1,0 +1,374 @@
+#include "runtime/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "sim/fast.hpp"
+#include "util/error.hpp"
+
+namespace nup::runtime {
+
+namespace detail {
+
+/// Shared state of one submitted frame. Workers write outputs lock-free at
+/// the disjoint ranks the tiler precomputed; the tile countdown
+/// (acquire-release) publishes those writes to whichever worker resolves
+/// the frame, and the result mutex publishes them to waiters.
+struct FrameState {
+  std::shared_ptr<const TilePlan> plan;
+  std::uint64_t seed = 0;
+
+  std::atomic<bool> cancelled{false};
+  std::atomic<std::int64_t> remaining{0};
+  std::atomic<std::int64_t> executed{0};
+  std::atomic<std::int64_t> skipped{0};
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool resolved = false;
+  FrameResult result;
+
+  std::mutex error_mu;
+  std::string error;  // first failure wins
+
+  void fail(const std::string& what) {
+    {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (error.empty()) error = what;
+    }
+    cancelled.store(true, std::memory_order_relaxed);  // skip the rest
+  }
+};
+
+}  // namespace detail
+
+using detail::FrameState;
+
+// ---- FrameHandle -------------------------------------------------------
+
+FrameHandle::FrameHandle(std::shared_ptr<FrameState> state)
+    : state_(std::move(state)) {}
+
+const FrameResult& FrameHandle::wait() {
+  if (!state_) throw Error("FrameHandle::wait on an empty handle");
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->resolved; });
+  return state_->result;
+}
+
+bool FrameHandle::wait_for(std::chrono::milliseconds timeout) {
+  if (!state_) throw Error("FrameHandle::wait_for on an empty handle");
+  std::unique_lock<std::mutex> lock(state_->mu);
+  return state_->cv.wait_for(lock, timeout,
+                             [&] { return state_->resolved; });
+}
+
+bool FrameHandle::done() const {
+  if (!state_) return false;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->resolved;
+}
+
+void FrameHandle::cancel() {
+  if (state_) state_->cancelled.store(true, std::memory_order_relaxed);
+}
+
+// ---- FrameEngine -------------------------------------------------------
+
+namespace {
+
+struct Job {
+  std::shared_ptr<FrameState> frame;
+  std::size_t tile = 0;
+};
+
+/// Default tile shape: split outer dimensions until there are about four
+/// tiles per worker (load balance without drowning in halo), keeping the
+/// innermost dimension whole so the reuse FIFOs keep their row-buffer
+/// shape and tiles stay wide enough to pipeline.
+poly::IntVec auto_tile_shape(const stencil::StencilProgram& program,
+                             std::size_t threads) {
+  poly::IntVec lo, hi;
+  domain_bounding_box(program.iteration(), &lo, &hi);
+  const std::size_t dim = program.dim();
+  poly::IntVec extent(dim), shape(dim);
+  for (std::size_t d = 0; d < dim; ++d) {
+    extent[d] = hi[d] - lo[d] + 1;
+    shape[d] = extent[d];
+  }
+  const std::size_t splittable = dim > 1 ? dim - 1 : dim;
+  const std::int64_t target =
+      4 * static_cast<std::int64_t>(std::max<std::size_t>(threads, 1));
+  const auto tile_count = [&] {
+    std::int64_t n = 1;
+    for (std::size_t d = 0; d < dim; ++d) {
+      n *= (extent[d] + shape[d] - 1) / shape[d];
+    }
+    return n;
+  };
+  while (tile_count() < target) {
+    std::size_t best = dim;  // largest outer dim still worth halving
+    for (std::size_t d = 0; d < splittable; ++d) {
+      if (shape[d] >= 8 && (best == dim || shape[d] > shape[best])) best = d;
+    }
+    if (best == dim) break;
+    shape[best] = (shape[best] + 1) / 2;
+  }
+  return shape;
+}
+
+}  // namespace
+
+struct FrameEngine::Impl {
+  EngineOptions options;
+  std::size_t thread_count = 1;
+  DesignCache cache;
+
+  mutable std::mutex qmu;
+  std::condition_variable not_empty;  // workers wait for jobs
+  std::condition_variable not_full;   // submitters wait for space
+  std::deque<Job> queue;
+  bool accepting = true;
+  bool stopping = false;
+  std::size_t max_queue_depth = 0;
+
+  std::mutex plans_mu;
+  std::unordered_map<std::string, std::shared_ptr<const TilePlan>> plans;
+
+  std::mutex join_mu;  // serializes shutdown calls
+  std::vector<std::thread> workers;
+
+  std::atomic<std::int64_t> frames_submitted{0};
+  std::atomic<std::int64_t> frames_completed{0};
+  std::atomic<std::int64_t> frames_cancelled{0};
+  std::atomic<std::int64_t> frames_failed{0};
+  std::atomic<std::int64_t> tiles_executed{0};
+  std::atomic<std::int64_t> tiles_skipped{0};
+
+  explicit Impl(EngineOptions opts)
+      : options(std::move(opts)),
+        cache(options.cache_capacity) {}
+
+  void resolve(FrameState& frame) {
+    {
+      std::lock_guard<std::mutex> lock(frame.error_mu);
+      frame.result.error = frame.error;
+    }
+    frame.result.cancelled =
+        frame.result.error.empty() &&
+        frame.cancelled.load(std::memory_order_relaxed);
+    frame.result.tiles_executed =
+        frame.executed.load(std::memory_order_relaxed);
+    frame.result.tiles_skipped =
+        frame.skipped.load(std::memory_order_relaxed);
+    if (!frame.result.error.empty()) {
+      frames_failed.fetch_add(1, std::memory_order_relaxed);
+    } else if (frame.result.cancelled) {
+      frames_cancelled.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      frames_completed.fetch_add(1, std::memory_order_relaxed);
+    }
+    {
+      std::lock_guard<std::mutex> lock(frame.mu);
+      frame.resolved = true;
+    }
+    frame.cv.notify_all();
+  }
+
+  /// Counts one tile down; the worker that brings the count to zero
+  /// resolves the frame (acquire pairs with every other worker's release,
+  /// so all stitched outputs are visible).
+  void finish_tiles(FrameState& frame, std::int64_t n) {
+    if (frame.remaining.fetch_sub(n, std::memory_order_acq_rel) == n) {
+      resolve(frame);
+    }
+  }
+
+  void run_tile(FrameState& frame, const Tile& tile) {
+    if (frame.cancelled.load(std::memory_order_relaxed)) {
+      frame.skipped.fetch_add(1, std::memory_order_relaxed);
+      tiles_skipped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    frame.executed.fetch_add(1, std::memory_order_relaxed);
+    tiles_executed.fetch_add(1, std::memory_order_relaxed);
+    try {
+      const std::shared_ptr<const CachedDesign> entry =
+          cache.get_or_compile(*tile.program, options.build);
+      sim::SimOptions so = options.sim;
+      so.backend = sim::SimBackend::kFast;
+      so.seed = frame.seed;
+      so.record_outputs = false;
+      so.trace_cycles = 0;
+      sim::FastSim sim(*tile.program, entry->design, entry->plan, so);
+      double* const outputs = frame.result.outputs.data();
+      const std::int64_t* const ranks = tile.output_ranks.data();
+      std::size_t k = 0;
+      sim.set_output_callback(
+          [outputs, ranks, &k](const poly::IntVec&, double value) {
+            outputs[ranks[k++]] = value;
+          });
+      const sim::SimResult r = sim.run();
+      if (r.deadlocked) {
+        frame.fail(tile.program->name() + " deadlocked: " +
+                   r.deadlock_detail);
+      } else if (r.kernel_fires != tile.outputs()) {
+        frame.fail(tile.program->name() + " produced " +
+                   std::to_string(r.kernel_fires) + " of " +
+                   std::to_string(tile.outputs()) + " outputs");
+      }
+    } catch (const std::exception& e) {
+      frame.fail(tile.program->name() + ": " + e.what());
+    }
+  }
+
+  void worker_loop() {
+    for (;;) {
+      Job job;
+      {
+        std::unique_lock<std::mutex> lock(qmu);
+        not_empty.wait(lock, [&] { return !queue.empty() || stopping; });
+        if (queue.empty()) return;  // stopping and drained
+        job = std::move(queue.front());
+        queue.pop_front();
+      }
+      not_full.notify_one();
+      run_tile(*job.frame, job.frame->plan->tiles[job.tile]);
+      finish_tiles(*job.frame, 1);
+    }
+  }
+};
+
+FrameEngine::FrameEngine(EngineOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {
+  Impl& im = *impl_;
+  im.thread_count =
+      im.options.threads != 0
+          ? im.options.threads
+          : std::max(1u, std::thread::hardware_concurrency());
+  if (im.options.queue_capacity == 0) im.options.queue_capacity = 1;
+  im.workers.reserve(im.thread_count);
+  for (std::size_t t = 0; t < im.thread_count; ++t) {
+    im.workers.emplace_back([&im] { im.worker_loop(); });
+  }
+}
+
+FrameEngine::~FrameEngine() { shutdown(Drain::kCancelPending); }
+
+std::shared_ptr<const TilePlan> FrameEngine::plan_for(
+    const stencil::StencilProgram& program) {
+  Impl& im = *impl_;
+  TilerOptions topts;
+  topts.tile_shape = im.options.tile_shape.empty()
+                         ? auto_tile_shape(program, im.thread_count)
+                         : im.options.tile_shape;
+  std::string key = DesignCache::canonical_key(program, im.options.build);
+  key += "|tile=";
+  for (const std::int64_t s : topts.tile_shape) {
+    key += std::to_string(s) + ",";
+  }
+
+  std::lock_guard<std::mutex> lock(im.plans_mu);
+  const auto found = im.plans.find(key);
+  if (found != im.plans.end()) return found->second;
+  auto plan = std::make_shared<const TilePlan>(plan_tiles(program, topts));
+  // Pre-compile every tile design now, in the submitting thread: workers
+  // then run on cache hits and the first frame costs the same as the rest.
+  for (const Tile& tile : plan->tiles) {
+    im.cache.get_or_compile(*tile.program, im.options.build);
+  }
+  im.plans.emplace(std::move(key), plan);
+  return plan;
+}
+
+FrameHandle FrameEngine::submit(const stencil::StencilProgram& program,
+                                std::uint64_t seed) {
+  Impl& im = *impl_;
+  {
+    std::lock_guard<std::mutex> lock(im.qmu);
+    if (!im.accepting) throw Error("FrameEngine::submit after shutdown");
+  }
+  const std::shared_ptr<const TilePlan> plan = plan_for(program);
+
+  auto frame = std::make_shared<FrameState>();
+  frame->plan = plan;
+  frame->seed = seed;
+  frame->result.seed = seed;
+  frame->result.tiles_total =
+      static_cast<std::int64_t>(plan->tiles.size());
+  frame->result.outputs.assign(
+      static_cast<std::size_t>(plan->total_outputs), 0.0);
+  frame->remaining.store(static_cast<std::int64_t>(plan->tiles.size()),
+                         std::memory_order_relaxed);
+  im.frames_submitted.fetch_add(1, std::memory_order_relaxed);
+
+  std::size_t pushed = 0;
+  for (std::size_t t = 0; t < plan->tiles.size(); ++t) {
+    {
+      std::unique_lock<std::mutex> lock(im.qmu);
+      im.not_full.wait(lock, [&] {
+        return im.queue.size() < im.options.queue_capacity ||
+               !im.accepting;
+      });
+      if (!im.accepting) break;  // shutdown raced this submission
+      im.queue.push_back(Job{frame, t});
+      im.max_queue_depth = std::max(im.max_queue_depth, im.queue.size());
+    }
+    im.not_empty.notify_one();
+    ++pushed;
+  }
+  if (pushed < plan->tiles.size()) {
+    const std::int64_t n =
+        static_cast<std::int64_t>(plan->tiles.size() - pushed);
+    frame->cancelled.store(true, std::memory_order_relaxed);
+    frame->skipped.fetch_add(n, std::memory_order_relaxed);
+    im.tiles_skipped.fetch_add(n, std::memory_order_relaxed);
+    im.finish_tiles(*frame, n);
+  }
+  return FrameHandle(frame);
+}
+
+void FrameEngine::shutdown(Drain mode) {
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> join_lock(im.join_mu);
+  {
+    std::lock_guard<std::mutex> lock(im.qmu);
+    im.accepting = false;
+    if (mode == Drain::kCancelPending) {
+      for (const Job& job : im.queue) {
+        job.frame->cancelled.store(true, std::memory_order_relaxed);
+      }
+    }
+    im.stopping = true;
+  }
+  im.not_empty.notify_all();
+  im.not_full.notify_all();
+  for (std::thread& worker : im.workers) {
+    if (worker.joinable()) worker.join();
+  }
+  im.workers.clear();
+}
+
+EngineStats FrameEngine::stats() const {
+  const Impl& im = *impl_;
+  EngineStats s;
+  s.frames_submitted = im.frames_submitted.load(std::memory_order_relaxed);
+  s.frames_completed = im.frames_completed.load(std::memory_order_relaxed);
+  s.frames_cancelled = im.frames_cancelled.load(std::memory_order_relaxed);
+  s.frames_failed = im.frames_failed.load(std::memory_order_relaxed);
+  s.tiles_executed = im.tiles_executed.load(std::memory_order_relaxed);
+  s.tiles_skipped = im.tiles_skipped.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(im.qmu);
+    s.max_queue_depth = im.max_queue_depth;
+  }
+  s.cache = im.cache.stats();
+  return s;
+}
+
+}  // namespace nup::runtime

@@ -1,0 +1,144 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/builder.hpp"
+#include "poly/int_vec.hpp"
+#include "runtime/design_cache.hpp"
+#include "runtime/tiler.hpp"
+#include "sim/simulator.hpp"
+#include "stencil/program.hpp"
+
+namespace nup::runtime {
+
+namespace detail {
+struct FrameState;
+}
+
+struct EngineOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency (min 1).
+  std::size_t threads = 0;
+
+  /// Bound of the tile submission queue. submit() blocks (backpressure)
+  /// while the queue is full; workers drain it one tile at a time.
+  std::size_t queue_capacity = 64;
+
+  /// Tile extents per dimension; empty selects an automatic shape that
+  /// splits outer dimensions into about 4 tiles per worker thread.
+  poly::IntVec tile_shape;
+
+  /// Microarchitecture generation options (part of the design-cache key).
+  arch::BuildOptions build;
+
+  /// Capacity of the embedded design cache (distinct tile designs).
+  std::size_t cache_capacity = 256;
+
+  /// Base simulator options for tile execution. The engine always runs the
+  /// compiled fast backend, overrides the seed per frame and disables
+  /// per-tile output recording (outputs are stitched into the frame).
+  sim::SimOptions sim;
+};
+
+/// The assembled result of one frame request.
+struct FrameResult {
+  std::uint64_t seed = 0;
+  /// Kernel outputs in full-frame lexicographic iteration order;
+  /// bit-identical to stencil::run_golden(program, seed). Partially filled
+  /// when the frame was cancelled or failed.
+  std::vector<double> outputs;
+  bool cancelled = false;
+  std::string error;  ///< non-empty when a tile simulation failed
+  std::int64_t tiles_total = 0;
+  std::int64_t tiles_executed = 0;
+  std::int64_t tiles_skipped = 0;
+
+  bool ok() const { return !cancelled && error.empty(); }
+};
+
+/// Future of a submitted frame. Handles are cheap shared references; the
+/// result is resolved exactly once, even across cancellation and engine
+/// shutdown, so wait() never blocks forever.
+class FrameHandle {
+ public:
+  FrameHandle() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Blocks until the frame resolves; the reference stays valid for the
+  /// lifetime of the handle.
+  const FrameResult& wait();
+
+  /// True when the frame resolved within the timeout.
+  bool wait_for(std::chrono::milliseconds timeout);
+
+  bool done() const;
+
+  /// Requests cancellation: tiles not yet started are skipped (the tile
+  /// currently executing, if any, completes). Idempotent; a frame that
+  /// already finished is unaffected.
+  void cancel();
+
+ private:
+  friend class FrameEngine;
+  explicit FrameHandle(std::shared_ptr<detail::FrameState> state);
+  std::shared_ptr<detail::FrameState> state_;
+};
+
+struct EngineStats {
+  std::int64_t frames_submitted = 0;
+  std::int64_t frames_completed = 0;  ///< resolved ok
+  std::int64_t frames_cancelled = 0;
+  std::int64_t frames_failed = 0;
+  std::int64_t tiles_executed = 0;
+  std::int64_t tiles_skipped = 0;
+  std::size_t max_queue_depth = 0;
+  DesignCacheStats cache;
+};
+
+/// Multi-threaded tiled serving engine: turns the one-shot compiler into a
+/// frame service. A submitted (program, seed) pair is tiled by the halo
+/// tiler, each tile's microarchitecture is fetched from the design cache
+/// (compiled once, then served from memory), and a fixed pool of workers
+/// executes the tiles on the compiled fast simulator backend and stitches
+/// the outputs into the frame.
+class FrameEngine {
+ public:
+  enum class Drain {
+    kDrainAll,        ///< finish every queued tile before stopping
+    kCancelPending,   ///< finish in-flight tiles, cancel queued frames
+  };
+
+  explicit FrameEngine(EngineOptions options = {});
+  ~FrameEngine();  // shutdown(kCancelPending) if still running
+
+  FrameEngine(const FrameEngine&) = delete;
+  FrameEngine& operator=(const FrameEngine&) = delete;
+
+  /// Enqueues one frame. First use of a program tiles it and pre-compiles
+  /// every tile design into the cache (in the calling thread); subsequent
+  /// frames reuse both. Blocks while the tile queue is full; throws Error
+  /// after shutdown.
+  FrameHandle submit(const stencil::StencilProgram& program,
+                     std::uint64_t seed);
+
+  /// Tile plan the engine uses for this program (registering it if new).
+  std::shared_ptr<const TilePlan> plan_for(
+      const stencil::StencilProgram& program);
+
+  /// Stops the workers. kDrainAll completes all queued work first;
+  /// kCancelPending resolves queued frames as cancelled after the tiles
+  /// already executing finish. Idempotent; submit() fails afterwards.
+  void shutdown(Drain mode = Drain::kDrainAll);
+
+  EngineStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace nup::runtime

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "poly/domain.hpp"
+#include "poly/int_vec.hpp"
+#include "stencil/program.hpp"
+
+namespace nup::runtime {
+
+struct TilerOptions {
+  /// Requested tile extents per iteration dimension. Empty means one tile
+  /// covering the whole domain; entries <= 0 mean "full extent" along that
+  /// dimension. The innermost dimension is usually left whole: splitting it
+  /// shrinks the reuse FIFOs but multiplies the halo refetch.
+  poly::IntVec tile_shape;
+};
+
+/// One spatial tile of a frame: a rectangular window of the iteration
+/// domain (clipped to it), the derived per-tile stencil program, and the
+/// precomputed positions its outputs occupy in the full-frame result.
+struct Tile {
+  poly::IntVec lo, hi;  ///< clipped tile box corners (iteration coords)
+
+  /// The tile as a stencil program: the original window and kernel over
+  /// the intersected iteration domain. Compiling this program yields a
+  /// memory system whose streamed input hull is exactly the tile box grown
+  /// by the window's reuse offsets -- the halo region. Shared and immutable
+  /// (its lazy polyhedral caches are forced at plan time), so concurrent
+  /// frames can simulate the same tile object.
+  std::shared_ptr<const stencil::StencilProgram> program;
+
+  /// Streamed input hull per input array: the tile's bounding box grown by
+  /// the array's minimum/maximum reference offsets per dimension. Equals
+  /// what build_design streams for `program`.
+  std::vector<poly::Domain> input_hulls;
+
+  /// Full-frame output position of the tile's k-th kernel output. Tile
+  /// outputs arrive in lexicographic order of the tile domain, which is the
+  /// order of this table; writing output k to output_ranks[k] stitches the
+  /// frame bit-identically to an untiled run.
+  std::vector<std::int64_t> output_ranks;
+
+  /// End-to-end maximum reuse distance summed over arrays (Definition 9 on
+  /// the tile's streamed hull): the on-chip buffering the tile's chain
+  /// needs. Shrinks with the tile's row width -- the lever the tile-shape
+  /// sweep in bench_runtime measures.
+  std::int64_t reuse_footprint = 0;
+
+  /// Total streamed elements across arrays (hull sizes, halo included).
+  std::int64_t streamed_elements = 0;
+
+  std::int64_t outputs() const {
+    return static_cast<std::int64_t>(output_ranks.size());
+  }
+};
+
+/// A frame decomposed into halo tiles. Valid for every frame of the same
+/// program (frames differ only in their data seed).
+struct TilePlan {
+  poly::IntVec tile_shape;  ///< effective shape after clamping
+  std::vector<Tile> tiles;  ///< non-empty tiles, in tile-grid lex order
+  std::int64_t total_outputs = 0;  ///< == iteration domain size
+
+  /// Per-array window growth: input hull = tile box + [lo, hi] per dim.
+  std::vector<poly::IntVec> window_lo, window_hi;
+
+  /// Σ streamed elements over tiles, and the untiled baseline; the
+  /// difference is the halo refetch overhead of this tile shape.
+  std::int64_t streamed_elements = 0;
+  std::int64_t untiled_streamed_elements = 0;
+};
+
+/// Bounding box of a domain: per-axis hull over the pieces' (conservative)
+/// axis ranges. Used by the tiler's grid and the engine's automatic
+/// tile-shape heuristic.
+void domain_bounding_box(const poly::Domain& domain, poly::IntVec* lo,
+                         poly::IntVec* hi);
+
+/// Partitions the program's iteration domain into rectangular tiles of the
+/// requested shape (clipped to the domain; empty intersections are
+/// dropped, so sheared and triangular domains tile correctly) and
+/// precomputes everything a worker needs to execute and stitch a tile.
+/// Per-tile outputs are bit-identical to the corresponding slice of
+/// stencil::run_golden because every tile streams the same synthetic
+/// values at the same absolute grid coordinates.
+TilePlan plan_tiles(const stencil::StencilProgram& program,
+                    const TilerOptions& options = {});
+
+}  // namespace nup::runtime

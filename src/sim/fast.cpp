@@ -11,160 +11,7 @@ namespace nup::sim {
 
 namespace {
 
-constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::max();
-
-/// Compiled lexicographic enumeration of a Domain: one entry per non-empty
-/// row (fixed outer coordinates), in prefix lex order, with the row's
-/// merged disjoint innermost intervals. Built once at construction so no
-/// Fourier-Motzkin bound or interval merge ever runs inside the cycle
-/// loop.
-struct RowProgram {
-  struct Row {
-    poly::IntVec prefix;                    // outer coords, size dim-1
-    std::vector<poly::Interval> intervals;  // sorted, disjoint, non-empty
-  };
-
-  std::size_t dim = 0;
-  std::vector<Row> rows;
-
-  static RowProgram compile(const poly::Domain& domain) {
-    RowProgram prog;
-    if (!domain.has_pieces()) return prog;
-    prog.dim = domain.dim();
-    poly::IntVec prefix;
-    prefix.reserve(prog.dim);
-    compile_level(domain, prog, prefix, 0);
-    return prog;
-  }
-
- private:
-  static void compile_level(const poly::Domain& domain, RowProgram& prog,
-                            poly::IntVec& prefix, std::size_t level) {
-    if (level + 1 == prog.dim) {
-      std::vector<poly::Interval> row = domain.row_intervals(prefix);
-      if (!row.empty()) prog.rows.push_back({prefix, std::move(row)});
-      return;
-    }
-    const poly::Interval hull = domain.level_hull(prefix, level);
-    if (hull.empty()) return;
-    prefix.push_back(0);
-    for (std::int64_t v = hull.lo; v <= hull.hi; ++v) {
-      prefix.back() = v;
-      compile_level(domain, prog, prefix, level + 1);
-    }
-    prefix.pop_back();
-  }
-};
-
-/// O(1) incremental cursor over a RowProgram; visits exactly the point
-/// sequence of Domain::LexCursor, but with no per-advance allocation or
-/// bound recomputation.
-struct RowCursor {
-  const RowProgram* prog = nullptr;
-  std::size_t row = 0;
-  std::size_t ivl = 0;
-  bool is_valid = false;
-  poly::IntVec pt;  // preallocated, size dim
-
-  void reset(const RowProgram& p) {
-    prog = &p;
-    row = 0;
-    is_valid = !p.rows.empty();
-    if (is_valid) {
-      pt.resize(p.dim);
-      load_row();
-    }
-  }
-
-  bool valid() const { return is_valid; }
-  const poly::IntVec& point() const { return pt; }
-
-  void advance() {
-    const RowProgram::Row& r = prog->rows[row];
-    if (pt.back() < r.intervals[ivl].hi) {
-      ++pt.back();
-      return;
-    }
-    if (++ivl < r.intervals.size()) {
-      pt.back() = r.intervals[ivl].lo;
-      return;
-    }
-    if (++row == prog->rows.size()) {
-      is_valid = false;
-      return;
-    }
-    load_row();
-  }
-
- private:
-  void load_row() {
-    const RowProgram::Row& r = prog->rows[row];
-    std::copy(r.prefix.begin(), r.prefix.end(), pt.begin());
-    ivl = 0;
-    pt.back() = r.intervals.front().lo;
-  }
-};
-
-/// Forward-only rank finder over a RowProgram: maps lexicographically
-/// increasing target points to their 0-based position in the enumeration.
-/// This turns the per-cycle grid-point comparison of the reference backend
-/// into a single integer equality: a filter matches exactly when its
-/// consumed-token count reaches the rank of its output counter's point in
-/// the segment stream. Amortized O(1) per query (one pass over the row
-/// table across the whole run).
-struct MatchScanner {
-  const RowProgram* prog = nullptr;
-  std::size_t row = 0;
-  std::size_t ivl = 0;
-  std::int64_t pos = 0;  // stream position of intervals[ivl].lo
-
-  void reset(const RowProgram& p) {
-    prog = &p;
-    row = 0;
-    ivl = 0;
-    pos = 0;
-  }
-
-  /// Position of `t` in the enumeration; kNever when `t` is not a stream
-  /// element (the filter can then never match -- exactly the reference's
-  /// behaviour when the needed point is absent from the stream). Targets
-  /// must be queried in lexicographically increasing order.
-  std::int64_t seek(const poly::IntVec& t) {
-    const std::size_t dim = prog->dim;
-    while (row < prog->rows.size()) {
-      const RowProgram::Row& r = prog->rows[row];
-      int cmp = 0;
-      for (std::size_t d = 0; d + 1 < dim; ++d) {
-        if (r.prefix[d] != t[d]) {
-          cmp = r.prefix[d] < t[d] ? -1 : 1;
-          break;
-        }
-      }
-      if (cmp < 0) {  // stream row before the target's: skip it whole
-        for (; ivl < r.intervals.size(); ++ivl) {
-          pos += r.intervals[ivl].size();
-        }
-        ++row;
-        ivl = 0;
-        continue;
-      }
-      if (cmp > 0) return kNever;  // target's row has no stream elements
-      const std::int64_t ti = t[dim - 1];
-      for (; ivl < r.intervals.size(); ++ivl) {
-        const poly::Interval& iv = r.intervals[ivl];
-        if (iv.hi < ti) {
-          pos += iv.size();
-          continue;
-        }
-        if (iv.lo > ti) return kNever;  // target falls in a row gap
-        return pos + (ti - iv.lo);
-      }
-      ++row;  // target beyond the row's last interval
-      ivl = 0;
-    }
-    return kNever;
-  }
-};
+constexpr std::int64_t kNever = kNeverMatches;
 
 /// Ring buffer of data values only: the point of the token at the head is
 /// recovered from the consumer filter's stream position, so tokens shrink
@@ -201,7 +48,7 @@ struct FastFifo {
 };
 
 struct FastFilter {
-  RowProgram out_prog;  // D_Ax in filter order
+  const RowProgram* out_prog = nullptr;  // D_Ax in filter order (plan-owned)
   RowCursor out;        // output counter (Fig 10)
   /// Segment heads only: the grid point of the next stream element (needed
   /// to address the external feed). Non-head filters carry no points at
@@ -246,7 +93,7 @@ bool aligned_with_iteration(const RowProgram& iter, const RowProgram& out,
 
 struct FastSystem {
   const arch::MemorySystem* design = nullptr;
-  RowProgram input_prog;  // streamed hull, shared by every segment
+  const RowProgram* input_prog = nullptr;  // streamed hull (plan-owned)
   std::vector<std::shared_ptr<ExternalFeed>> feeds;  // one per segment
   /// Nonzero while a segment still uses the constructor-installed
   /// SyntheticFeed: tick/available are no-ops and read devirtualizes to
@@ -267,15 +114,15 @@ struct FastSystem {
 struct FastSim::Impl {
   const stencil::StencilProgram* program = nullptr;
   const arch::AcceleratorDesign* design = nullptr;
+  std::shared_ptr<const FastPlan> plan;  // owns every RowProgram below
   SimOptions options;
 
-  RowProgram iteration_prog;
   RowCursor kernel_cursor;
   std::int64_t total_iterations = 0;
 
   std::vector<FastSystem> systems;
-  /// Every output counter proved to track kernel_cursor + offset at
-  /// construction; the per-fire port validation is then a no-op.
+  /// Every output counter proved to track kernel_cursor + offset at plan
+  /// compile time; the per-fire port validation is then a no-op.
   bool ports_structurally_valid = false;
 
   std::function<void(const poly::IntVec&, double)> output_callback;
@@ -302,17 +149,9 @@ struct FastSim::Impl {
   bool step();
 };
 
-FastSim::FastSim(const stencil::StencilProgram& program,
-                 const arch::AcceleratorDesign& design, SimOptions options)
-    : impl_(std::make_unique<Impl>()) {
-  Impl& im = *impl_;
-  im.program = &program;
-  im.design = &design;
-  im.options = options;
-  im.iteration_prog = RowProgram::compile(program.iteration());
-  im.total_iterations = program.iteration().count();
-  im.kernel_cursor.reset(im.iteration_prog);
-
+std::shared_ptr<const FastPlan> compile_fast_plan(
+    const stencil::StencilProgram& program,
+    const arch::AcceleratorDesign& design) {
   if (design.systems.size() != program.inputs().size()) {
     throw SimulationError("design has " +
                           std::to_string(design.systems.size()) +
@@ -320,28 +159,73 @@ FastSim::FastSim(const stencil::StencilProgram& program,
                           std::to_string(program.inputs().size()) +
                           " input arrays");
   }
-
-  im.systems.resize(design.systems.size());
-  im.ports_structurally_valid = true;
+  auto plan = std::make_shared<FastPlan>();
+  plan->iteration = RowProgram::compile(program.iteration());
+  plan->total_iterations = program.iteration().count();
+  plan->ports_structurally_valid = true;
+  plan->systems.resize(design.systems.size());
   for (std::size_t s = 0; s < design.systems.size(); ++s) {
     const arch::MemorySystem& ms = design.systems[s];
+    FastPlan::SystemPlan& sys = plan->systems[s];
+    sys.input = RowProgram::compile(ms.input_domain);
+    sys.filter_out.resize(ms.filter_count());
+    for (std::size_t k = 0; k < ms.filter_count(); ++k) {
+      sys.filter_out[k] = RowProgram::compile(
+          program.iteration().translated(ms.ordered_offsets[k]));
+      plan->ports_structurally_valid =
+          plan->ports_structurally_valid &&
+          aligned_with_iteration(plan->iteration, sys.filter_out[k],
+                                 ms.ordered_offsets[k]);
+    }
+  }
+  // Force the lazy default kernel now, while we are still single-threaded
+  // with respect to this program object; kernel() is then a pure read for
+  // every concurrent simulation that shares the plan.
+  (void)program.kernel();
+  return plan;
+}
+
+FastSim::FastSim(const stencil::StencilProgram& program,
+                 const arch::AcceleratorDesign& design, SimOptions options)
+    : FastSim(program, design, compile_fast_plan(program, design),
+              std::move(options)) {}
+
+FastSim::FastSim(const stencil::StencilProgram& program,
+                 const arch::AcceleratorDesign& design,
+                 std::shared_ptr<const FastPlan> plan, SimOptions options)
+    : impl_(std::make_unique<Impl>()) {
+  Impl& im = *impl_;
+  im.program = &program;
+  im.design = &design;
+  im.plan = std::move(plan);
+  im.options = options;
+
+  if (!im.plan || im.plan->systems.size() != design.systems.size()) {
+    throw SimulationError("fast plan does not match the design");
+  }
+  im.total_iterations = im.plan->total_iterations;
+  im.kernel_cursor.reset(im.plan->iteration);
+  im.ports_structurally_valid = im.plan->ports_structurally_valid;
+
+  im.systems.resize(design.systems.size());
+  for (std::size_t s = 0; s < design.systems.size(); ++s) {
+    const arch::MemorySystem& ms = design.systems[s];
+    const FastPlan::SystemPlan& sp = im.plan->systems[s];
     FastSystem& sys = im.systems[s];
     sys.design = &ms;
-    sys.input_prog = RowProgram::compile(ms.input_domain);
+    sys.input_prog = &sp.input;
 
     const std::size_t n = ms.filter_count();
+    if (sp.filter_out.size() != n) {
+      throw SimulationError("fast plan does not match the design");
+    }
     sys.filters.resize(n);
     for (std::size_t k = 0; k < n; ++k) {
       FastFilter& filter = sys.filters[k];
-      filter.out_prog = RowProgram::compile(
-          program.iteration().translated(ms.ordered_offsets[k]));
-      filter.out.reset(filter.out_prog);
-      filter.scanner.reset(sys.input_prog);
+      filter.out_prog = &sp.filter_out[k];
+      filter.out.reset(*filter.out_prog);
+      filter.scanner.reset(*sys.input_prog);
       filter.reseek();
-      im.ports_structurally_valid =
-          im.ports_structurally_valid &&
-          aligned_with_iteration(im.iteration_prog, filter.out_prog,
-                                 ms.ordered_offsets[k]);
     }
     sys.fifos.resize(ms.fifos.size());
     for (std::size_t k = 0; k < ms.fifos.size(); ++k) {
@@ -353,7 +237,7 @@ FastSim::FastSim(const stencil::StencilProgram& program,
     for (std::size_t seg = 0; seg < heads.size(); ++seg) {
       FastFilter& head = sys.filters[heads[seg]];
       head.segment = static_cast<int>(seg);
-      head.in.reset(sys.input_prog);
+      head.in.reset(*sys.input_prog);
       sys.feeds[seg] =
           std::make_shared<SyntheticFeed>(options.seed, ms.array_index);
     }

@@ -7,10 +7,43 @@
 
 #include "arch/design.hpp"
 #include "sim/feed.hpp"
+#include "sim/row_program.hpp"
 #include "sim/simulator.hpp"
 #include "stencil/program.hpp"
 
 namespace nup::sim {
+
+/// Everything FastSim precomputes at construction that depends only on the
+/// (program, design) pair and not on a particular run: the compiled row
+/// programs of the iteration domain, of every streamed input hull and of
+/// every filter's data domain D_Ax, plus the structural port-validity
+/// proof. Compiling these tables dominates FastSim's construction cost, so
+/// the runtime's design cache memoizes a shared plan and every simulation
+/// of the same design starts in O(FIFO storage) instead. A FastPlan is
+/// immutable after compile_fast_plan returns and is safe to share across
+/// threads.
+struct FastPlan {
+  struct SystemPlan {
+    RowProgram input;                    ///< streamed hull of the segments
+    std::vector<RowProgram> filter_out;  ///< D_Ax per filter, filter order
+  };
+
+  RowProgram iteration;
+  std::int64_t total_iterations = 0;
+  std::vector<SystemPlan> systems;
+  /// Every output counter proved to track the iteration counter + offset;
+  /// the per-fire port validation is then a no-op.
+  bool ports_structurally_valid = false;
+};
+
+/// Compiles the shared plan for one (program, design) pair. Also forces the
+/// lazy default kernel of `program` to materialize, so concurrent FastSim
+/// runs over the same program object never mutate it. Throws
+/// SimulationError when the design's system count does not match the
+/// program's input arrays.
+std::shared_ptr<const FastPlan> compile_fast_plan(
+    const stencil::StencilProgram& program,
+    const arch::AcceleratorDesign& design);
 
 /// Compiled fast-lane backend of the cycle-accurate simulator.
 ///
@@ -29,6 +62,13 @@ class FastSim {
  public:
   FastSim(const stencil::StencilProgram& program,
           const arch::AcceleratorDesign& design, SimOptions options = {});
+
+  /// Construction from a memoized plan (see FastPlan): skips all row-table
+  /// compilation. `plan` must have been compiled for exactly this
+  /// (program, design) pair; `program` and `design` must outlive the sim.
+  FastSim(const stencil::StencilProgram& program,
+          const arch::AcceleratorDesign& design,
+          std::shared_ptr<const FastPlan> plan, SimOptions options = {});
   ~FastSim();
 
   FastSim(const FastSim&) = delete;

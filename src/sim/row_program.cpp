@@ -1,0 +1,36 @@
+#include "sim/row_program.hpp"
+
+namespace nup::sim {
+
+namespace {
+
+void compile_level(const poly::Domain& domain, RowProgram& prog,
+                   poly::IntVec& prefix, std::size_t level) {
+  if (level + 1 == prog.dim) {
+    std::vector<poly::Interval> row = domain.row_intervals(prefix);
+    if (!row.empty()) prog.rows.push_back({prefix, std::move(row)});
+    return;
+  }
+  const poly::Interval hull = domain.level_hull(prefix, level);
+  if (hull.empty()) return;
+  prefix.push_back(0);
+  for (std::int64_t v = hull.lo; v <= hull.hi; ++v) {
+    prefix.back() = v;
+    compile_level(domain, prog, prefix, level + 1);
+  }
+  prefix.pop_back();
+}
+
+}  // namespace
+
+RowProgram RowProgram::compile(const poly::Domain& domain) {
+  RowProgram prog;
+  if (!domain.has_pieces()) return prog;
+  prog.dim = domain.dim();
+  poly::IntVec prefix;
+  prefix.reserve(prog.dim);
+  compile_level(domain, prog, prefix, 0);
+  return prog;
+}
+
+}  // namespace nup::sim

@@ -1,0 +1,151 @@
+// The design cache memoizes the compiled microarchitecture and the fast
+// backend's row programs keyed by a *canonicalized* stencil program:
+// naming is excluded, reference order and build options are included.
+// Entries must stay usable after eviction (shared ownership) and the cache
+// must be safe to hammer from many threads.
+
+#include "runtime/design_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "sim/fast.hpp"
+#include "stencil/gallery.hpp"
+#include "stencil/golden.hpp"
+
+namespace nup::runtime {
+namespace {
+
+TEST(DesignCache, MissThenHitReturnsSameEntry) {
+  DesignCache cache(8);
+  const stencil::StencilProgram p = stencil::denoise_2d(24, 32);
+
+  const auto first = cache.get_or_compile(p);
+  const auto second = cache.get_or_compile(p);
+  EXPECT_EQ(first.get(), second.get());
+
+  const DesignCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(DesignCache, CanonicalizationIgnoresNames) {
+  stencil::StencilProgram a("LEFT", poly::Domain::box({1, 1}, {10, 14}));
+  a.add_input("A", {{-1, 0}, {0, 0}, {1, 0}});
+  a.set_output("B");
+  stencil::StencilProgram b("RIGHT", poly::Domain::box({1, 1}, {10, 14}));
+  b.add_input("IMG", {{-1, 0}, {0, 0}, {1, 0}});
+  b.set_output("OUT");
+
+  EXPECT_EQ(DesignCache::canonical_key(a), DesignCache::canonical_key(b));
+  EXPECT_EQ(DesignCache::fingerprint(a), DesignCache::fingerprint(b));
+
+  DesignCache cache(8);
+  cache.get_or_compile(a);
+  cache.get_or_compile(b);
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.stats().hits, 1);
+}
+
+TEST(DesignCache, KeyDistinguishesWindowDomainOrderAndOptions) {
+  const stencil::StencilProgram base = stencil::denoise_2d(24, 32);
+
+  // Different window.
+  const stencil::StencilProgram other_window = stencil::rician_2d(24, 32);
+  EXPECT_NE(DesignCache::canonical_key(base),
+            DesignCache::canonical_key(other_window));
+
+  // Different domain.
+  const stencil::StencilProgram other_domain = stencil::denoise_2d(24, 33);
+  EXPECT_NE(DesignCache::canonical_key(base),
+            DesignCache::canonical_key(other_domain));
+
+  // Different reference order: fixes the kernel argument order, so it is
+  // part of the identity.
+  stencil::StencilProgram ab("AB", poly::Domain::box({1, 1}, {10, 14}));
+  ab.add_input("A", {{0, -1}, {0, 1}});
+  stencil::StencilProgram ba("BA", poly::Domain::box({1, 1}, {10, 14}));
+  ba.add_input("A", {{0, 1}, {0, -1}});
+  EXPECT_NE(DesignCache::canonical_key(ab), DesignCache::canonical_key(ba));
+
+  // Different build options.
+  arch::BuildOptions exact;
+  exact.exact_sizing = true;
+  exact.exact_streaming = true;
+  EXPECT_NE(DesignCache::canonical_key(base),
+            DesignCache::canonical_key(base, exact));
+}
+
+TEST(DesignCache, LruEvictsLeastRecentlyUsed) {
+  DesignCache cache(2);
+  const stencil::StencilProgram a = stencil::denoise_2d(10, 12);
+  const stencil::StencilProgram b = stencil::rician_2d(10, 12);
+  const stencil::StencilProgram c = stencil::sobel_2d(10, 12);
+
+  const auto ea = cache.get_or_compile(a);
+  cache.get_or_compile(b);
+  cache.get_or_compile(a);  // a is now most recent; b is the LRU victim
+  cache.get_or_compile(c);  // evicts b
+
+  DesignCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.entries, 2u);
+
+  cache.get_or_compile(a);  // still resident
+  EXPECT_EQ(cache.stats().hits, 2);
+  cache.get_or_compile(b);  // was evicted: recompiles
+  EXPECT_EQ(cache.stats().misses, 4);
+
+  // The evicted-then-recompiled entry is a distinct object, but the old
+  // shared_ptr keeps the first compilation alive and usable.
+  EXPECT_EQ(ea->design.systems.size(), 1u);
+}
+
+TEST(DesignCache, CachedPlanSimulatesBitIdenticalToGolden) {
+  DesignCache cache(4);
+  const stencil::StencilProgram p = stencil::denoise_2d(16, 20);
+  const auto entry = cache.get_or_compile(p);
+
+  sim::SimOptions options;
+  options.seed = 11;
+  sim::FastSim sim(p, entry->design, entry->plan, options);
+  const sim::SimResult result = sim.run();
+
+  const stencil::GoldenRun golden = stencil::run_golden(p, 11);
+  ASSERT_FALSE(result.deadlocked);
+  EXPECT_EQ(result.outputs, golden.outputs);
+}
+
+TEST(DesignCache, ConcurrentGetOrCompileIsConsistent) {
+  DesignCache cache(8);
+  const std::vector<stencil::StencilProgram> programs = {
+      stencil::denoise_2d(12, 14), stencil::rician_2d(12, 14),
+      stencil::sobel_2d(12, 14)};
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 25;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const auto entry =
+            cache.get_or_compile(programs[(t + round) % programs.size()]);
+        if (!entry || entry->design.systems.empty()) ++failures[t];
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  for (const int f : failures) EXPECT_EQ(f, 0);
+  const DesignCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kRounds);
+  EXPECT_EQ(stats.entries, programs.size());
+  EXPECT_GE(stats.hits, kThreads * kRounds - 3);
+}
+
+}  // namespace
+}  // namespace nup::runtime

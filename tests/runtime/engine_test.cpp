@@ -1,0 +1,340 @@
+// Frame engine end-to-end: multi-threaded tiled execution must be
+// bit-identical to stencil::run_golden on the gallery kernels and on a
+// hundred seeded random stencils (rectangular and sheared), and the
+// engine's control surface -- queue backpressure, cancellation of
+// in-flight frames, graceful shutdown with queued work -- must be
+// deterministic and free of hangs.
+
+#include "runtime/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stencil/gallery.hpp"
+#include "stencil/golden.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace nup::runtime {
+namespace {
+
+using std::chrono::milliseconds;
+
+// Same recipe as the simulator differential suite: a random 2-7 reference
+// window over a small rectangular (even seeds) or sheared (odd seeds)
+// iteration domain.
+stencil::StencilProgram random_program(std::uint64_t seed) {
+  Rng rng(seed * 2654435761u + 17);
+  const std::size_t refs = static_cast<std::size_t>(rng.next_in(2, 7));
+  std::set<poly::IntVec> offsets;
+  while (offsets.size() < refs) {
+    offsets.insert({rng.next_in(-2, 2), rng.next_in(-3, 3)});
+  }
+
+  std::int64_t lo[2];
+  std::int64_t hi[2];
+  for (std::size_t d = 0; d < 2; ++d) {
+    std::int64_t reach = 0;
+    for (const poly::IntVec& f : offsets) {
+      reach = std::max(reach, std::max(f[d], -f[d]));
+    }
+    lo[d] = reach;
+    hi[d] = lo[d] + rng.next_in(5, 12);
+  }
+
+  const bool skewed = (seed % 2) == 1;
+  poly::Domain domain;
+  if (skewed) {
+    const std::int64_t shear = rng.next_in(1, 2);
+    poly::Polyhedron piece(2);
+    piece.add(poly::make_constraint({1, 0}, -lo[0]));
+    piece.add(poly::make_constraint({-1, 0}, hi[0]));
+    piece.add(poly::make_constraint({-shear, 1}, -lo[1]));
+    piece.add(poly::make_constraint({shear, -1}, hi[1]));
+    domain = poly::Domain(std::move(piece));
+  } else {
+    domain = poly::Domain::box({lo[0], lo[1]}, {hi[0], hi[1]});
+  }
+
+  stencil::StencilProgram p(
+      std::string(skewed ? "RAND_SKEW_" : "RAND_RECT_") +
+          std::to_string(seed),
+      domain);
+  p.add_input("A",
+              std::vector<poly::IntVec>(offsets.begin(), offsets.end()));
+  return p;
+}
+
+// A program whose kernel sleeps: frames take real wall time, which makes
+// backpressure, cancellation and shutdown timing deterministic to test.
+// The sleep does not change the value, so golden comparison still holds.
+stencil::StencilProgram slow_program(std::int64_t rows, std::int64_t cols,
+                                     milliseconds per_fire) {
+  stencil::StencilProgram p("SLOW",
+                            poly::Domain::box({1, 1}, {rows - 2, cols - 2}));
+  p.add_input("A", {{-1, 0}, {0, -1}, {0, 0}, {0, 1}, {1, 0}});
+  p.set_kernel([per_fire](const std::vector<double>& v) {
+    std::this_thread::sleep_for(per_fire);
+    return std::accumulate(v.begin(), v.end(), 0.0) / 5.0;
+  });
+  return p;
+}
+
+void expect_frame_matches_golden(const stencil::StencilProgram& p,
+                                 const FrameResult& result) {
+  ASSERT_TRUE(result.ok()) << p.name() << ": " << result.error;
+  const stencil::GoldenRun golden = stencil::run_golden(p, result.seed);
+  ASSERT_EQ(result.outputs.size(), golden.outputs.size()) << p.name();
+  EXPECT_EQ(result.outputs, golden.outputs)
+      << p.name() << " seed " << result.seed;
+}
+
+// ---- bit-identical frames ---------------------------------------------
+
+TEST(FrameEngine, GalleryFramesBitIdenticalToGolden) {
+  const std::vector<stencil::StencilProgram> programs = {
+      stencil::denoise_2d(24, 32),  stencil::rician_2d(24, 32),
+      stencil::sobel_2d(24, 32),    stencil::bicubic_2d(12, 48),
+      stencil::denoise_3d(8, 10, 12),
+      stencil::segmentation_3d(8, 10, 12)};
+
+  EngineOptions options;
+  options.threads = 4;
+  options.tile_shape = {};  // automatic shape
+  FrameEngine engine(options);
+
+  std::vector<std::pair<std::size_t, FrameHandle>> handles;
+  for (std::size_t i = 0; i < programs.size(); ++i) {
+    for (const std::uint64_t seed : {3ull, 1717ull}) {
+      handles.emplace_back(i, engine.submit(programs[i], seed));
+    }
+  }
+  for (auto& [i, handle] : handles) {
+    expect_frame_matches_golden(programs[i], handle.wait());
+  }
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.frames_submitted, 12);
+  EXPECT_EQ(stats.frames_completed, 12);
+  EXPECT_EQ(stats.frames_cancelled, 0);
+  EXPECT_EQ(stats.frames_failed, 0);
+  // Second frame of each program rides entirely on cached designs.
+  EXPECT_GE(stats.cache.hits, stats.cache.misses);
+}
+
+TEST(FrameEngine, HundredRandomStencilsMatchGolden) {
+  EngineOptions options;
+  options.threads = 4;
+  options.tile_shape = {4, 6};  // force real tiling on the tiny domains
+  FrameEngine engine(options);
+
+  // Submit in waves so at most a few distinct programs are in flight.
+  constexpr std::uint64_t kSeeds = 100;
+  constexpr std::uint64_t kWave = 10;
+  for (std::uint64_t base = 0; base < kSeeds; base += kWave) {
+    std::vector<stencil::StencilProgram> programs;
+    std::vector<FrameHandle> handles;
+    for (std::uint64_t s = base; s < base + kWave; ++s) {
+      programs.push_back(random_program(s));
+    }
+    for (std::uint64_t s = 0; s < kWave; ++s) {
+      handles.push_back(engine.submit(programs[s], /*seed=*/base + s));
+    }
+    for (std::uint64_t s = 0; s < kWave; ++s) {
+      expect_frame_matches_golden(programs[s], handles[s].wait());
+    }
+  }
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.frames_completed, static_cast<std::int64_t>(kSeeds));
+  EXPECT_EQ(stats.frames_failed, 0);
+}
+
+TEST(FrameEngine, RepeatFramesServeFromDesignCache) {
+  EngineOptions options;
+  options.threads = 2;
+  options.tile_shape = {8, 0};
+  FrameEngine engine(options);
+  const stencil::StencilProgram p = stencil::denoise_2d(24, 32);
+
+  const auto plan = engine.plan_for(p);
+  const std::int64_t tiles = static_cast<std::int64_t>(plan->tiles.size());
+  ASSERT_GT(tiles, 1);
+
+  constexpr int kFrames = 5;
+  std::vector<FrameHandle> handles;
+  for (int f = 0; f < kFrames; ++f) {
+    handles.push_back(engine.submit(p, static_cast<std::uint64_t>(f)));
+  }
+  for (FrameHandle& handle : handles) {
+    EXPECT_TRUE(handle.wait().ok()) << handle.wait().error;
+  }
+
+  const EngineStats stats = engine.stats();
+  // plan_for pre-compiled every tile design; every executed tile since then
+  // is a cache hit.
+  EXPECT_LE(stats.cache.misses, tiles);
+  EXPECT_GE(stats.cache.hits, tiles * (kFrames - 1));
+  EXPECT_EQ(stats.tiles_executed, tiles * kFrames);
+}
+
+// ---- robustness: backpressure, cancellation, shutdown ------------------
+
+TEST(FrameEngine, BackpressureBoundsQueueDepth) {
+  EngineOptions options;
+  options.threads = 1;
+  options.queue_capacity = 2;
+  options.tile_shape = {2, 0};  // several tiles per frame
+  FrameEngine engine(options);
+  const stencil::StencilProgram p = slow_program(8, 10, milliseconds(1));
+
+  std::vector<FrameHandle> handles;
+  for (int f = 0; f < 3; ++f) {
+    // With a single slow worker, these submits block on the full queue.
+    handles.push_back(engine.submit(p, static_cast<std::uint64_t>(f)));
+  }
+  for (FrameHandle& handle : handles) {
+    expect_frame_matches_golden(p, handle.wait());
+  }
+  EXPECT_LE(engine.stats().max_queue_depth, options.queue_capacity);
+  EXPECT_GT(engine.stats().max_queue_depth, 0u);
+}
+
+TEST(FrameEngine, CancelSkipsQueuedFrame) {
+  EngineOptions options;
+  options.threads = 1;
+  options.queue_capacity = 64;
+  options.tile_shape = {};  // one tile per frame: cancellation is all-or-none
+  FrameEngine engine(options);
+  const stencil::StencilProgram p = slow_program(10, 12, milliseconds(1));
+
+  FrameHandle running = engine.submit(p, 1);
+  FrameHandle queued = engine.submit(p, 2);
+  queued.cancel();  // the single worker is still busy with frame 1
+
+  expect_frame_matches_golden(p, running.wait());
+  const FrameResult& second = queued.wait();
+  EXPECT_TRUE(second.cancelled);
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.tiles_executed, 0);
+  EXPECT_EQ(second.tiles_skipped, second.tiles_total);
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.frames_completed, 1);
+  EXPECT_EQ(stats.frames_cancelled, 1);
+}
+
+TEST(FrameEngine, CancelMidFrameSkipsRemainingTiles) {
+  EngineOptions options;
+  options.threads = 1;
+  options.tile_shape = {1, 0};  // one row per tile: many tiles per frame
+  FrameEngine engine(options);
+  const stencil::StencilProgram p = slow_program(12, 10, milliseconds(1));
+
+  FrameHandle handle = engine.submit(p, 9);
+  std::this_thread::sleep_for(milliseconds(5));  // let a few tiles run
+  handle.cancel();
+  const FrameResult& result = handle.wait();
+
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_GT(result.tiles_total, 1);
+  EXPECT_EQ(result.tiles_executed + result.tiles_skipped,
+            result.tiles_total);
+}
+
+TEST(FrameEngine, ShutdownDrainAllCompletesQueuedWork) {
+  EngineOptions options;
+  options.threads = 2;
+  options.tile_shape = {3, 0};
+  FrameEngine engine(options);
+  const stencil::StencilProgram p = slow_program(10, 12, milliseconds(1));
+
+  std::vector<FrameHandle> handles;
+  for (int f = 0; f < 4; ++f) {
+    handles.push_back(engine.submit(p, static_cast<std::uint64_t>(f)));
+  }
+  engine.shutdown(FrameEngine::Drain::kDrainAll);
+
+  for (FrameHandle& handle : handles) {
+    EXPECT_TRUE(handle.done());
+    expect_frame_matches_golden(p, handle.wait());
+  }
+  EXPECT_THROW(engine.submit(p, 99), Error);
+}
+
+TEST(FrameEngine, ShutdownCancelPendingResolvesEverything) {
+  EngineOptions options;
+  options.threads = 1;
+  options.tile_shape = {2, 0};
+  FrameEngine engine(options);
+  const stencil::StencilProgram p = slow_program(10, 12, milliseconds(1));
+
+  std::vector<FrameHandle> handles;
+  for (int f = 0; f < 4; ++f) {
+    handles.push_back(engine.submit(p, static_cast<std::uint64_t>(f)));
+  }
+  engine.shutdown(FrameEngine::Drain::kCancelPending);
+
+  // Every handle resolves -- no hangs -- as either a complete frame or a
+  // cancelled one; nothing is left half-reported.
+  int cancelled = 0;
+  for (FrameHandle& handle : handles) {
+    EXPECT_TRUE(handle.done());
+    const FrameResult& result = handle.wait();
+    if (result.cancelled) {
+      ++cancelled;
+      EXPECT_EQ(result.tiles_executed + result.tiles_skipped,
+                result.tiles_total);
+    } else {
+      expect_frame_matches_golden(p, result);
+    }
+  }
+  EXPECT_GE(cancelled, 1);  // the single slow worker cannot finish 4 frames
+  EXPECT_THROW(engine.submit(p, 99), Error);
+}
+
+TEST(FrameEngine, DestructorResolvesOutstandingHandles) {
+  const stencil::StencilProgram p = slow_program(10, 12, milliseconds(1));
+  std::vector<FrameHandle> handles;
+  {
+    EngineOptions options;
+    options.threads = 1;
+    options.tile_shape = {2, 0};
+    FrameEngine engine(options);
+    for (int f = 0; f < 3; ++f) {
+      handles.push_back(engine.submit(p, static_cast<std::uint64_t>(f)));
+    }
+    // Engine destroyed here with work still queued: ~FrameEngine performs
+    // shutdown(kCancelPending).
+  }
+  for (FrameHandle& handle : handles) {
+    ASSERT_TRUE(handle.valid());
+    EXPECT_TRUE(handle.done());
+    const FrameResult& result = handle.wait();
+    EXPECT_TRUE(result.cancelled || result.ok()) << result.error;
+  }
+}
+
+TEST(FrameEngine, WaitForTimesOutWhileBusyThenResolves) {
+  EngineOptions options;
+  options.threads = 1;
+  options.tile_shape = {};
+  FrameEngine engine(options);
+  const stencil::StencilProgram p = slow_program(12, 12, milliseconds(2));
+
+  FrameHandle handle = engine.submit(p, 5);
+  // 100 fires x 2ms: certainly not done within 1ms.
+  EXPECT_FALSE(handle.wait_for(milliseconds(1)));
+  expect_frame_matches_golden(p, handle.wait());
+  EXPECT_TRUE(handle.wait_for(milliseconds(0)));
+}
+
+}  // namespace
+}  // namespace nup::runtime

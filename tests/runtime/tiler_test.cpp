@@ -1,0 +1,180 @@
+// Halo tiler correctness: tiles partition the iteration domain exactly
+// (every output rank appears once), input hulls equal the tile box grown by
+// the window offsets, and executing the tiles independently then stitching
+// by rank reproduces stencil::run_golden bit for bit -- including sheared
+// and triangular domains and degenerate tiles smaller than the window.
+
+#include "runtime/tiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "arch/builder.hpp"
+#include "sim/fast.hpp"
+#include "stencil/gallery.hpp"
+#include "stencil/golden.hpp"
+#include "util/error.hpp"
+
+namespace nup::runtime {
+namespace {
+
+// Runs every tile on the compiled fast backend (sequentially) and stitches
+// the outputs into a full frame via the precomputed ranks.
+std::vector<double> run_tiled(const TilePlan& plan, std::uint64_t seed) {
+  std::vector<double> frame(static_cast<std::size_t>(plan.total_outputs),
+                            0.0);
+  for (const Tile& tile : plan.tiles) {
+    const arch::AcceleratorDesign design = arch::build_design(*tile.program);
+    sim::SimOptions options;
+    options.seed = seed;
+    options.record_outputs = false;
+    sim::FastSim sim(*tile.program, design, options);
+    std::size_t k = 0;
+    sim.set_output_callback([&](const poly::IntVec&, double value) {
+      frame[static_cast<std::size_t>(tile.output_ranks[k++])] = value;
+    });
+    const sim::SimResult result = sim.run();
+    EXPECT_FALSE(result.deadlocked) << result.deadlock_detail;
+    EXPECT_EQ(result.kernel_fires, tile.outputs());
+    EXPECT_EQ(static_cast<std::int64_t>(k), tile.outputs());
+  }
+  return frame;
+}
+
+void expect_ranks_partition(const TilePlan& plan) {
+  std::vector<int> seen(static_cast<std::size_t>(plan.total_outputs), 0);
+  for (const Tile& tile : plan.tiles) {
+    EXPECT_EQ(tile.outputs(),
+              tile.program->iteration().count());
+    EXPECT_TRUE(std::is_sorted(tile.output_ranks.begin(),
+                               tile.output_ranks.end()));
+    for (const std::int64_t rank : tile.output_ranks) {
+      ASSERT_GE(rank, 0);
+      ASSERT_LT(rank, plan.total_outputs);
+      ++seen[static_cast<std::size_t>(rank)];
+    }
+  }
+  for (const int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(Tiler, EmptyShapeYieldsSingleWholeTile) {
+  const stencil::StencilProgram p = stencil::denoise_2d(16, 20);
+  const TilePlan plan = plan_tiles(p);
+  ASSERT_EQ(plan.tiles.size(), 1u);
+  EXPECT_EQ(plan.total_outputs, p.iteration().count());
+  EXPECT_EQ(plan.streamed_elements, plan.untiled_streamed_elements);
+  // Whole-domain tile: ranks are the identity.
+  for (std::int64_t r = 0; r < plan.total_outputs; ++r) {
+    EXPECT_EQ(plan.tiles[0].output_ranks[static_cast<std::size_t>(r)], r);
+  }
+}
+
+TEST(Tiler, RanksPartitionRectangularDomain) {
+  const stencil::StencilProgram p = stencil::denoise_2d(24, 32);
+  TilerOptions options;
+  options.tile_shape = {8, 8};
+  const TilePlan plan = plan_tiles(p, options);
+  EXPECT_EQ(plan.tiles.size(), 12u);
+  expect_ranks_partition(plan);
+}
+
+TEST(Tiler, InputHullIsTileBoxGrownByWindow) {
+  const stencil::StencilProgram p = stencil::denoise_2d(24, 32);
+  TilerOptions options;
+  options.tile_shape = {8, 8};
+  const TilePlan plan = plan_tiles(p, options);
+
+  // 5-point star: window growth of 1 in every direction.
+  ASSERT_EQ(plan.window_lo.size(), 1u);
+  EXPECT_EQ(plan.window_lo[0], (poly::IntVec{-1, -1}));
+  EXPECT_EQ(plan.window_hi[0], (poly::IntVec{1, 1}));
+
+  for (const Tile& tile : plan.tiles) {
+    ASSERT_EQ(tile.input_hulls.size(), 1u);
+    poly::IntVec lo, hi;
+    domain_bounding_box(tile.input_hulls[0], &lo, &hi);
+    for (std::size_t d = 0; d < 2; ++d) {
+      EXPECT_EQ(lo[d], tile.lo[d] + plan.window_lo[0][d]);
+      EXPECT_EQ(hi[d], tile.hi[d] + plan.window_hi[0][d]);
+    }
+  }
+  // The halo makes each tile stream more than its share of the frame.
+  EXPECT_GT(plan.streamed_elements, plan.untiled_streamed_elements);
+}
+
+TEST(Tiler, TilingShrinksReuseFootprint) {
+  const stencil::StencilProgram p = stencil::denoise_2d(64, 96);
+  const TilePlan whole = plan_tiles(p);
+  TilerOptions options;
+  options.tile_shape = {64, 24};  // narrower rows: shorter reuse chains
+  const TilePlan split = plan_tiles(p, options);
+  ASSERT_FALSE(whole.tiles.empty());
+  ASSERT_FALSE(split.tiles.empty());
+  EXPECT_LT(split.tiles[0].reuse_footprint, whole.tiles[0].reuse_footprint);
+}
+
+TEST(Tiler, RejectsWrongShapeArity) {
+  const stencil::StencilProgram p = stencil::denoise_2d(16, 20);
+  TilerOptions options;
+  options.tile_shape = {4, 4, 4};
+  EXPECT_THROW(plan_tiles(p, options), Error);
+}
+
+struct StitchCase {
+  const char* name;
+  stencil::StencilProgram program;
+  poly::IntVec tile_shape;
+};
+
+std::vector<StitchCase> stitch_cases() {
+  std::vector<StitchCase> cases;
+  cases.push_back({"denoise_8x8", stencil::denoise_2d(24, 32), {8, 8}});
+  cases.push_back({"bicubic_narrow", stencil::bicubic_2d(12, 48), {5, 7}});
+  // Sheared (parallelogram) domain: tiles near the slanted edges clip to
+  // partial parallelogram slices.
+  cases.push_back({"skewed_6x12", stencil::skewed_demo(24, 48), {6, 12}});
+  // Triangular domain: hypotenuse tiles clip to triangles; the corner tile
+  // degenerates to a single point.
+  cases.push_back({"triangular_8x8", stencil::triangular_demo(32), {8, 8}});
+  // Degenerate tiles smaller than the 3x3 stencil window.
+  cases.push_back({"denoise_tiny_2x2", stencil::denoise_2d(10, 12), {2, 2}});
+  cases.push_back(
+      {"triangular_tiny_3x3", stencil::triangular_demo(14), {3, 3}});
+  // 3D with tiles only in the outer dimensions.
+  cases.push_back(
+      {"heat3d_2x4xfull", stencil::heat_3d(6, 8, 10), {2, 4, 0}});
+  return cases;
+}
+
+TEST(Tiler, StitchedTilesBitIdenticalToGolden) {
+  for (StitchCase& c : stitch_cases()) {
+    SCOPED_TRACE(c.name);
+    TilerOptions options;
+    options.tile_shape = c.tile_shape;
+    const TilePlan plan = plan_tiles(c.program, options);
+    EXPECT_GT(plan.tiles.size(), 1u);
+    expect_ranks_partition(plan);
+
+    const stencil::GoldenRun golden = stencil::run_golden(c.program, 7);
+    const std::vector<double> frame = run_tiled(plan, 7);
+    ASSERT_EQ(frame.size(), golden.outputs.size());
+    EXPECT_EQ(frame, golden.outputs);  // bit-identical doubles
+  }
+}
+
+TEST(Tiler, StitchedFramesTrackTheSeed) {
+  stencil::StencilProgram p = stencil::skewed_demo(20, 40);
+  TilerOptions options;
+  options.tile_shape = {5, 10};
+  const TilePlan plan = plan_tiles(p, options);
+  for (const std::uint64_t seed : {1ull, 42ull, 1234567ull}) {
+    const stencil::GoldenRun golden = stencil::run_golden(p, seed);
+    EXPECT_EQ(run_tiled(plan, seed), golden.outputs) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace nup::runtime

@@ -19,17 +19,27 @@
 //   --cpp-model    also emit a standalone C co-simulation model
 //   --rtl-check    execute the generated Verilog in the built-in RTL
 //                  interpreter (small programs only)
+//   --serve <N>    batch mode: after compiling, serve N frames of the
+//                  kernel through the concurrent tiled runtime (design
+//                  cache + halo tiler + worker pool) and print the
+//                  throughput and cache statistics
+//   --threads <T>  worker threads for --serve (default: hardware)
+//   --tile <a,b,..> tile extents per dimension for --serve (0 = full
+//                  extent; default: automatic shape)
 //   --quiet        suppress the summary
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/compiler.hpp"
 #include "codegen/cpp_model.hpp"
 #include "core/json_export.hpp"
+#include "runtime/engine.hpp"
 #include "sim/vcd.hpp"
 #include "util/error.hpp"
 
@@ -39,7 +49,67 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: stencilcc [-o dir] [--name n] [--exact] [--no-verify] "
-      "[--vcd N] [--sim-backend reference|fast] [--quiet] <kernel.c>\n");
+      "[--vcd N] [--sim-backend reference|fast] [--cpp-model] "
+      "[--rtl-check] [--serve N] [--threads T] [--tile a,b,..] [--quiet] "
+      "<kernel.c>\n");
+}
+
+bool parse_tile_shape(const std::string& spec, nup::poly::IntVec* shape) {
+  shape->clear();
+  std::istringstream in(spec);
+  std::string field;
+  while (std::getline(in, field, ',')) {
+    char* end = nullptr;
+    const long value = std::strtol(field.c_str(), &end, 10);
+    if (end == field.c_str() || *end != '\0') return false;
+    shape->push_back(value);
+  }
+  return !shape->empty();
+}
+
+int serve_frames(const nup::core::AcceleratorPackage& pkg,
+                 const nup::core::CompileOptions& compile_options,
+                 long frames, std::size_t threads,
+                 nup::poly::IntVec tile_shape, bool quiet) {
+  using namespace nup;
+  runtime::EngineOptions options;
+  options.threads = threads;
+  options.tile_shape = std::move(tile_shape);
+  options.build = compile_options.build;
+  runtime::FrameEngine engine(options);
+  const auto plan = engine.plan_for(pkg.program);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<runtime::FrameHandle> handles;
+  handles.reserve(static_cast<std::size_t>(frames));
+  for (long f = 0; f < frames; ++f) {
+    handles.push_back(engine.submit(pkg.program,
+                                    static_cast<std::uint64_t>(f)));
+  }
+  for (runtime::FrameHandle& handle : handles) {
+    const runtime::FrameResult& result = handle.wait();
+    if (!result.ok()) {
+      std::fprintf(stderr, "stencilcc: frame %llu failed: %s\n",
+                   static_cast<unsigned long long>(result.seed),
+                   result.error.c_str());
+      return 1;
+    }
+  }
+  const auto seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  if (!quiet) {
+    const runtime::EngineStats stats = engine.stats();
+    std::printf("served %ld frames in %.3fs (%.2f frames/s), %zu tiles "
+                "per frame\n",
+                frames, seconds, frames / seconds, plan->tiles.size());
+    std::printf(
+        "design cache: %lld hits / %lld misses; peak queue depth %zu\n",
+        static_cast<long long>(stats.cache.hits),
+        static_cast<long long>(stats.cache.misses), stats.max_queue_depth);
+  }
+  return 0;
 }
 
 std::string basename_no_ext(const std::string& path) {
@@ -72,6 +142,9 @@ int main(int argc, char** argv) {
   bool quiet = false;
   bool cpp_model = false;
   long vcd_cycles = 0;
+  long serve = 0;
+  std::size_t serve_threads = 0;
+  poly::IntVec serve_tile;
   core::CompileOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -103,6 +176,23 @@ int main(int argc, char** argv) {
       cpp_model = true;
     } else if (arg == "--rtl-check") {
       options.verify_rtl = true;
+    } else if (arg == "--serve" && i + 1 < argc) {
+      serve = std::strtol(argv[++i], nullptr, 10);
+      if (serve <= 0) {
+        std::fprintf(stderr, "stencilcc: --serve needs a frame count\n");
+        usage();
+        return 2;
+      }
+    } else if (arg == "--threads" && i + 1 < argc) {
+      serve_threads =
+          static_cast<std::size_t>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--tile" && i + 1 < argc) {
+      if (!parse_tile_shape(argv[++i], &serve_tile)) {
+        std::fprintf(stderr, "stencilcc: bad --tile shape '%s'\n",
+                     argv[i]);
+        usage();
+        return 2;
+      }
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "-h" || arg == "--help") {
@@ -156,6 +246,10 @@ int main(int argc, char** argv) {
     if (!quiet && ok) {
       std::printf("artifacts written to %s/%s_*.{v,cpp,hpp,json}\n",
                   out_dir.c_str(), name.c_str());
+    }
+    if (ok && serve > 0) {
+      return serve_frames(pkg, options, serve, serve_threads,
+                          std::move(serve_tile), quiet);
     }
     return ok ? 0 : 1;
   } catch (const Error& e) {
