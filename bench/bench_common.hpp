@@ -3,6 +3,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 
 namespace nup::bench {
 
@@ -22,6 +23,22 @@ inline void banner(const char* title) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title);
   std::printf("================================================================\n");
+}
+
+/// Writes one machine-readable result file (BENCH_<name>.json) next to the
+/// human-readable stdout artifact, so CI and EXPERIMENTS.md tooling can
+/// diff runs without scraping tables.
+inline bool write_json(const std::string& path, const std::string& json) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fputs(json.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("machine-readable results: %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace nup::bench

@@ -17,9 +17,11 @@
 
 #include <chrono>
 #include <cstdio>
+#include <sstream>
 #include <thread>
 
 #include "bench_common.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/design_cache.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/tiler.hpp"
@@ -113,6 +115,55 @@ void print_gallery_frames() {
   }
 }
 
+/// One instrumented serve run (isolated metrics registry, so numbers are
+/// this run's alone) summarized as BENCH_runtime.json: throughput, cache
+/// hit ratio and the tile-latency percentiles the engine's histogram saw.
+void write_runtime_json() {
+  const stencil::StencilProgram p = stencil::denoise_2d();
+  const std::size_t threads =
+      std::max(1u, std::thread::hardware_concurrency());
+  const int frames = 8;
+  obs::Registry registry;
+  runtime::EngineOptions options;
+  options.threads = threads;
+  options.tile_shape = {96, 0};
+  options.metrics = &registry;
+  runtime::FrameEngine engine(options);
+  engine.plan_for(p);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<runtime::FrameHandle> handles;
+  for (int f = 0; f < frames; ++f) {
+    handles.push_back(engine.submit(p, static_cast<std::uint64_t>(f)));
+  }
+  for (runtime::FrameHandle& handle : handles) handle.wait();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const runtime::EngineStats stats = engine.stats();
+  const obs::Histogram::Snapshot latency =
+      registry.histogram("engine.tile_latency_us").snapshot();
+  const double lookups =
+      static_cast<double>(stats.cache.hits + stats.cache.misses);
+  std::ostringstream json;
+  json << "{\"benchmark\": \"runtime\", \"kernel\": \"" << p.name()
+       << "\", \"threads\": " << threads << ", \"frames\": " << frames
+       << ", \"frames_per_sec\": " << frames / seconds
+       << ", \"tiles_executed\": " << stats.tiles_executed
+       << ", \"cache\": {\"hits\": " << stats.cache.hits
+       << ", \"misses\": " << stats.cache.misses << ", \"hit_ratio\": "
+       << (lookups > 0 ? static_cast<double>(stats.cache.hits) / lookups
+                       : 0.0)
+       << "}, \"tile_latency_us\": {\"count\": " << latency.count
+       << ", \"mean\": " << latency.mean()
+       << ", \"p50\": " << latency.percentile(0.50)
+       << ", \"p95\": " << latency.percentile(0.95)
+       << ", \"p99\": " << latency.percentile(0.99)
+       << ", \"max\": " << latency.max << "}}";
+  nup::bench::write_json("BENCH_runtime.json", json.str());
+}
+
 // ---- design cache: hit vs miss ----------------------------------------
 
 void BM_DesignCacheMiss(benchmark::State& state) {
@@ -162,5 +213,6 @@ int main(int argc, char** argv) {
       "Tiled-execution runtime: thread x tile sweep and design cache");
   print_thread_tile_sweep();
   print_gallery_frames();
+  write_runtime_json();
   return nup::bench::run(argc, argv);
 }

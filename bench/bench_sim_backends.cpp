@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <sstream>
 
 #include "arch/builder.hpp"
 #include "bench_common.hpp"
@@ -53,6 +54,9 @@ void print_comparison_table() {
       stencil::segmentation_3d(48, 64, 64)};
   std::printf("%-16s %12s %16s %16s %9s\n", "kernel", "cycles",
               "reference cyc/s", "fast cyc/s", "speedup");
+  std::ostringstream json;
+  json << "{\"benchmark\": \"sim_backends\", \"kernels\": [";
+  bool first = true;
   for (const stencil::StencilProgram& p : programs) {
     const arch::AcceleratorDesign design = arch::build_design(p);
     const Measured ref = run_once(p, design, sim::SimBackend::kReference);
@@ -61,7 +65,16 @@ void print_comparison_table() {
                 static_cast<long long>(ref.cycles), ref.cycles_per_sec(),
                 fast.cycles_per_sec(),
                 fast.cycles_per_sec() / ref.cycles_per_sec());
+    json << (first ? "" : ", ") << "{\"kernel\": \"" << p.name()
+         << "\", \"cycles\": " << ref.cycles
+         << ", \"reference_cycles_per_sec\": " << ref.cycles_per_sec()
+         << ", \"fast_cycles_per_sec\": " << fast.cycles_per_sec()
+         << ", \"speedup\": "
+         << fast.cycles_per_sec() / ref.cycles_per_sec() << "}";
+    first = false;
   }
+  json << "]}";
+  nup::bench::write_json("BENCH_sim.json", json.str());
 }
 
 void BM_ReferenceBackendDenoise(benchmark::State& state) {

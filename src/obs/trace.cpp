@@ -1,0 +1,241 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <unordered_map>
+
+namespace nup::obs {
+
+namespace {
+
+std::uint64_t next_tracer_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void append_json_string(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+/// Chrome trace timestamps are microseconds; keep ns resolution as a
+/// fraction.
+void append_us(std::ostringstream& out, std::int64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  out << buf;
+}
+
+}  // namespace
+
+Tracer::Tracer()
+    : id_(next_tracer_id()), epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer::~Tracer() = default;
+
+Tracer& Tracer::global() {
+  static Tracer* tracer = new Tracer();  // immortal
+  return *tracer;
+}
+
+std::int64_t Tracer::now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  // Keyed by tracer id (not address): ids are never reused, so a stale
+  // entry for a destroyed tracer can never alias a new one.
+  thread_local std::unordered_map<std::uint64_t,
+                                  std::shared_ptr<ThreadBuffer>>
+      buffers;
+  std::shared_ptr<ThreadBuffer>& slot = buffers[id_];
+  if (!slot) {
+    slot = std::make_shared<ThreadBuffer>();
+    slot->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(slot);
+  }
+  return *slot;
+}
+
+void Tracer::record(Event event) {
+#ifndef NUP_OBS_DISABLE
+  ThreadBuffer& buffer = local_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back(std::move(event));
+#else
+  (void)event;
+#endif
+}
+
+void Tracer::complete(std::string name, std::string cat,
+                      std::int64_t start_ns, std::int64_t end_ns,
+                      std::string args_json) {
+  if (!enabled()) return;
+  Event e;
+  e.ph = 'X';
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.args = std::move(args_json);
+  e.ts_ns = start_ns;
+  e.dur_ns = end_ns > start_ns ? end_ns - start_ns : 0;
+  record(std::move(e));
+}
+
+void Tracer::instant(std::string name, std::string cat,
+                     std::string args_json) {
+  if (!enabled()) return;
+  Event e;
+  e.ph = 'i';
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.args = std::move(args_json);
+  e.ts_ns = now_ns();
+  record(std::move(e));
+}
+
+void Tracer::counter(std::string name, std::int64_t value) {
+  if (!enabled()) return;
+  Event e;
+  e.ph = 'C';
+  e.name = std::move(name);
+  e.cat = "counter";
+  e.ts_ns = now_ns();
+  e.value = value;
+  record(std::move(e));
+}
+
+void Tracer::set_thread_name(std::string name) {
+#ifndef NUP_OBS_DISABLE
+  ThreadBuffer& buffer = local_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.thread_name = std::move(name);
+#else
+  (void)name;
+#endif
+}
+
+std::string Tracer::to_chrome_json() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out << ',';
+    first = false;
+  };
+  for (const std::shared_ptr<ThreadBuffer>& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    if (!buffer->thread_name.empty()) {
+      comma();
+      out << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":"
+          << buffer->tid << ",\"args\":{\"name\":";
+      append_json_string(out, buffer->thread_name);
+      out << "}}";
+    }
+    for (const Event& e : buffer->events) {
+      comma();
+      out << "{\"ph\":\"" << e.ph << "\",\"name\":";
+      append_json_string(out, e.name);
+      if (!e.cat.empty()) {
+        out << ",\"cat\":";
+        append_json_string(out, e.cat);
+      }
+      out << ",\"pid\":1,\"tid\":" << buffer->tid << ",\"ts\":";
+      append_us(out, e.ts_ns);
+      if (e.ph == 'X') {
+        out << ",\"dur\":";
+        append_us(out, e.dur_ns);
+      }
+      if (e.ph == 'C') {
+        out << ",\"args\":{\"value\":" << e.value << '}';
+      } else if (!e.args.empty()) {
+        out << ",\"args\":" << e.args;
+      } else if (e.ph == 'i') {
+        out << ",\"s\":\"t\"";
+      }
+      out << '}';
+    }
+  }
+  out << "]}";
+  return out.str();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::shared_ptr<ThreadBuffer>& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const std::shared_ptr<ThreadBuffer>& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+// ---- Span --------------------------------------------------------------
+
+Span::Span(std::string name, std::string cat, std::string args_json)
+    : Span(Tracer::global(), std::move(name), std::move(cat),
+           std::move(args_json)) {}
+
+Span::Span(Tracer& tracer, std::string name, std::string cat,
+           std::string args_json)
+    : tracer_(&tracer),
+      name_(std::move(name)),
+      cat_(std::move(cat)),
+      args_(std::move(args_json)),
+      active_(tracer.enabled()) {
+  if (active_) start_ns_ = tracer_->now_ns();
+}
+
+void Span::end() {
+  if (!active_) return;
+  active_ = false;
+  // Record directly, not via complete(): a span live at construction must
+  // close even when the tracer was disabled mid-flight, or the trace
+  // would end with a dangling open region.
+  Tracer::Event e;
+  e.ph = 'X';
+  e.name = std::move(name_);
+  e.cat = std::move(cat_);
+  e.args = std::move(args_);
+  e.ts_ns = start_ns_;
+  const std::int64_t end_ns = tracer_->now_ns();
+  e.dur_ns = end_ns > start_ns_ ? end_ns - start_ns_ : 0;
+  tracer_->record(std::move(e));
+}
+
+Span::~Span() { end(); }
+
+}  // namespace nup::obs

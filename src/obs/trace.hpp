@@ -1,0 +1,124 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nup::obs {
+
+/// Span tracer exporting Chrome `trace_event` JSON (loadable in
+/// chrome://tracing and Perfetto). Events are recorded into per-thread
+/// buffers: the hot path is one relaxed enabled-flag load, then an
+/// uncontended push into the calling thread's own buffer (its lock is only
+/// ever contended by export/clear, which run when the traced work is
+/// done). Disabled tracers (the default) record nothing.
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Nanoseconds since this tracer's construction (its trace epoch).
+  std::int64_t now_ns() const;
+
+  /// Records a complete ('X') event spanning [start_ns, end_ns] on the
+  /// calling thread. `args_json` is an optional preformatted JSON object
+  /// ("{\"tile\":3}") copied into the event's args. No-op when disabled.
+  void complete(std::string name, std::string cat, std::int64_t start_ns,
+                std::int64_t end_ns, std::string args_json = "");
+
+  /// Records an instant ('i') event at the current time. No-op when
+  /// disabled.
+  void instant(std::string name, std::string cat,
+               std::string args_json = "");
+
+  /// Records a counter ('C') sample; chrome://tracing draws these as a
+  /// stacked time series. No-op when disabled.
+  void counter(std::string name, std::int64_t value);
+
+  /// Names the calling thread in the exported trace (thread_name
+  /// metadata). Recorded even while disabled, so worker threads can
+  /// register up front.
+  void set_thread_name(std::string name);
+
+  /// {"traceEvents": [...]} with every recorded event plus thread_name
+  /// metadata. Safe to call concurrently with recording; events appended
+  /// during the export may or may not be included.
+  std::string to_chrome_json() const;
+
+  /// Drops all recorded events (thread registrations stay).
+  void clear();
+
+  /// Total recorded events across all threads.
+  std::size_t event_count() const;
+
+  /// Process-wide tracer used by the runtime and stencilcc.
+  static Tracer& global();
+
+ private:
+  friend class Span;
+  struct Event {
+    char ph = 'X';
+    std::string name;
+    std::string cat;
+    std::string args;       ///< preformatted JSON object or empty
+    std::int64_t ts_ns = 0;
+    std::int64_t dur_ns = 0;   ///< 'X' only
+    std::int64_t value = 0;    ///< 'C' only
+  };
+  struct ThreadBuffer {
+    mutable std::mutex mu;
+    std::uint32_t tid = 0;
+    std::string thread_name;
+    std::vector<Event> events;
+  };
+
+  ThreadBuffer& local_buffer();
+  void record(Event event);
+
+  const std::uint64_t id_;  ///< keys the thread-local buffer map
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint32_t> next_tid_{1};
+  mutable std::mutex mu_;  ///< guards buffers_
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span: captures the start time at construction and records one
+/// complete event at destruction. When the tracer is disabled at
+/// construction the span is inert (one atomic load, no clock reads).
+class Span {
+ public:
+  explicit Span(std::string name, std::string cat = "task",
+                std::string args_json = "");
+  Span(Tracer& tracer, std::string name, std::string cat = "task",
+       std::string args_json = "");
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Closes the span now (idempotent; the destructor then does nothing).
+  void end();
+
+ private:
+  Tracer* tracer_ = nullptr;
+  std::string name_;
+  std::string cat_;
+  std::string args_;
+  std::int64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace nup::obs

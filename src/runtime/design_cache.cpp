@@ -1,8 +1,10 @@
 #include "runtime/design_cache.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace nup::runtime {
@@ -79,8 +81,15 @@ std::uint64_t DesignCache::fingerprint(const stencil::StencilProgram& program,
   return h;
 }
 
-DesignCache::DesignCache(std::size_t capacity)
-    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+DesignCache::DesignCache(std::size_t capacity, obs::Registry* registry)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  obs::Registry& reg = registry ? *registry : obs::Registry::global();
+  m_hits_ = &reg.counter("cache.hits");
+  m_misses_ = &reg.counter("cache.misses");
+  m_inserts_ = &reg.counter("cache.inserts");
+  m_evictions_ = &reg.counter("cache.evictions");
+  m_compile_us_ = &reg.histogram("cache.compile_us");
+}
 
 std::shared_ptr<const CachedDesign> DesignCache::get_or_compile(
     const stencil::StencilProgram& program,
@@ -90,22 +99,43 @@ std::shared_ptr<const CachedDesign> DesignCache::get_or_compile(
   const auto found = index_.find(key);
   if (found != index_.end()) {
     ++stats_.hits;
+    m_hits_->inc();
     lru_.splice(lru_.begin(), lru_, found->second);  // mark most recent
     return found->second->value;
   }
 
   ++stats_.misses;
+  m_misses_->inc();
   auto entry = std::make_shared<CachedDesign>();
   entry->fingerprint = fingerprint(program, build);
+
+  // Miss path: microarchitecture generation + row-program compilation,
+  // recorded as one "design-compile" span and a latency observation.
+  obs::Tracer& tracer = obs::Tracer::global();
+  std::string span_args;
+  if (tracer.enabled()) {
+    span_args = "{\"fingerprint\":" + std::to_string(entry->fingerprint) +
+                ",\"program\":\"" + program.name() + "\"}";
+  }
+  obs::Span span(tracer, "design-compile", "cache", std::move(span_args));
+  const auto t0 = std::chrono::steady_clock::now();
   entry->design = arch::build_design(program, build);
   entry->plan = sim::compile_fast_plan(program, entry->design);
+  const auto t1 = std::chrono::steady_clock::now();
+  span.end();
+  m_compile_us_->observe(
+      std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+          .count());
 
+  ++stats_.inserts;
+  m_inserts_->inc();
   lru_.push_front(Entry{key, entry});
   index_.emplace(std::move(key), lru_.begin());
   while (lru_.size() > capacity_) {
     index_.erase(lru_.back().key);
     lru_.pop_back();
     ++stats_.evictions;
+    m_evictions_->inc();
   }
   stats_.entries = lru_.size();
   return entry;

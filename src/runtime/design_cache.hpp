@@ -9,6 +9,7 @@
 
 #include "arch/builder.hpp"
 #include "arch/design.hpp"
+#include "obs/metrics.hpp"
 #include "sim/fast.hpp"
 #include "stencil/program.hpp"
 
@@ -24,10 +25,14 @@ struct CachedDesign {
   std::shared_ptr<const sim::FastPlan> plan;
 };
 
+/// Mutex-consistent view of one cache's activity: read in one critical
+/// section, so hits + misses always equals the lookups issued so far and
+/// inserts - evictions always equals entries.
 struct DesignCacheStats {
   std::int64_t hits = 0;
   std::int64_t misses = 0;
-  std::int64_t evictions = 0;
+  std::int64_t inserts = 0;    ///< compiled entries added (== misses)
+  std::int64_t evictions = 0;  ///< LRU entries dropped at capacity
   std::size_t entries = 0;
 };
 
@@ -48,7 +53,11 @@ struct DesignCacheStats {
 /// state inside the program object being compiled.
 class DesignCache {
  public:
-  explicit DesignCache(std::size_t capacity = 64);
+  /// `registry` receives the cache.* metrics (hits/misses/inserts/
+  /// evictions counters, compile-latency histogram); nullptr selects the
+  /// process-wide obs::Registry::global().
+  explicit DesignCache(std::size_t capacity = 64,
+                       obs::Registry* registry = nullptr);
 
   /// Returns the memoized design for the canonicalized program, compiling
   /// (and inserting) it on first use. Never returns nullptr.
@@ -80,6 +89,13 @@ class DesignCache {
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
   DesignCacheStats stats_;
+
+  // Registry metrics (resolved once; updates are lock-free).
+  obs::Counter* m_hits_ = nullptr;
+  obs::Counter* m_misses_ = nullptr;
+  obs::Counter* m_inserts_ = nullptr;
+  obs::Counter* m_evictions_ = nullptr;
+  obs::Histogram* m_compile_us_ = nullptr;
 };
 
 }  // namespace nup::runtime

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
 
+#include "obs/trace.hpp"
+#include "runtime/telemetry.hpp"
 #include "sim/fast.hpp"
 #include "util/error.hpp"
 
@@ -87,6 +90,12 @@ struct Job {
   std::size_t tile = 0;
 };
 
+std::int64_t elapsed_us(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
 /// Default tile shape: split outer dimensions until there are about four
 /// tiles per worker (load balance without drowning in halo), keeping the
 /// innermost dimension whole so the reuse FIFOs keep their row-buffer
@@ -127,6 +136,7 @@ poly::IntVec auto_tile_shape(const stencil::StencilProgram& program,
 struct FrameEngine::Impl {
   EngineOptions options;
   std::size_t thread_count = 1;
+  obs::Registry* registry = nullptr;
   DesignCache cache;
 
   mutable std::mutex qmu;
@@ -143,16 +153,61 @@ struct FrameEngine::Impl {
   std::mutex join_mu;  // serializes shutdown calls
   std::vector<std::thread> workers;
 
-  std::atomic<std::int64_t> frames_submitted{0};
-  std::atomic<std::int64_t> frames_completed{0};
-  std::atomic<std::int64_t> frames_cancelled{0};
-  std::atomic<std::int64_t> frames_failed{0};
-  std::atomic<std::int64_t> tiles_executed{0};
-  std::atomic<std::int64_t> tiles_skipped{0};
+  /// Frame/tile counters behind one mutex: stats() reads them as a group,
+  /// so a frame resolving concurrently never yields a snapshot where
+  /// completed + cancelled + failed exceeds submitted. (Lock ordering:
+  /// stats_mu is a leaf -- never acquired while holding qmu, and nothing
+  /// is acquired while holding it.)
+  mutable std::mutex stats_mu;
+  struct Counts {
+    std::int64_t frames_submitted = 0;
+    std::int64_t frames_completed = 0;
+    std::int64_t frames_cancelled = 0;
+    std::int64_t frames_failed = 0;
+    std::int64_t tiles_executed = 0;
+    std::int64_t tiles_skipped = 0;
+  } counts;
+
+  // Registry metrics (pointers stay valid across Registry::reset()).
+  obs::Gauge* m_queue_depth = nullptr;
+  obs::Gauge* m_queue_depth_max = nullptr;
+  obs::Histogram* m_backpressure_us = nullptr;
+  obs::Histogram* m_tile_latency_us = nullptr;
+  obs::Counter* m_tiles_executed = nullptr;
+  obs::Counter* m_tiles_skipped = nullptr;
+  obs::Counter* m_frames_submitted = nullptr;
+  obs::Counter* m_frames_completed = nullptr;
+  obs::Counter* m_frames_cancelled = nullptr;
+  obs::Counter* m_frames_failed = nullptr;
 
   explicit Impl(EngineOptions opts)
       : options(std::move(opts)),
-        cache(options.cache_capacity) {}
+        registry(options.metrics ? options.metrics
+                                 : &obs::Registry::global()),
+        cache(options.cache_capacity, registry) {
+    m_queue_depth = &registry->gauge("engine.queue_depth");
+    m_queue_depth_max = &registry->gauge("engine.queue_depth_max");
+    m_backpressure_us = &registry->histogram("engine.backpressure_wait_us");
+    m_tile_latency_us = &registry->histogram("engine.tile_latency_us");
+    m_tiles_executed = &registry->counter("engine.tiles_executed");
+    m_tiles_skipped = &registry->counter("engine.tiles_skipped");
+    m_frames_submitted = &registry->counter("engine.frames_submitted");
+    m_frames_completed = &registry->counter("engine.frames_completed");
+    m_frames_cancelled = &registry->counter("engine.frames_cancelled");
+    m_frames_failed = &registry->counter("engine.frames_failed");
+  }
+
+  /// Sets the live queue-depth gauge and mirrors it as a Chrome counter
+  /// track; call with the size observed under qmu (after a push or pop).
+  void note_queue_depth(std::size_t depth) {
+    m_queue_depth->set(static_cast<std::int64_t>(depth));
+    m_queue_depth_max->update_max(static_cast<std::int64_t>(depth));
+    obs::Tracer& tracer = obs::Tracer::global();
+    if (tracer.enabled()) {
+      tracer.counter("engine.queue_depth",
+                     static_cast<std::int64_t>(depth));
+    }
+  }
 
   void resolve(FrameState& frame) {
     {
@@ -166,12 +221,31 @@ struct FrameEngine::Impl {
         frame.executed.load(std::memory_order_relaxed);
     frame.result.tiles_skipped =
         frame.skipped.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu);
+      if (!frame.result.error.empty()) {
+        ++counts.frames_failed;
+      } else if (frame.result.cancelled) {
+        ++counts.frames_cancelled;
+      } else {
+        ++counts.frames_completed;
+      }
+    }
     if (!frame.result.error.empty()) {
-      frames_failed.fetch_add(1, std::memory_order_relaxed);
+      m_frames_failed->inc();
     } else if (frame.result.cancelled) {
-      frames_cancelled.fetch_add(1, std::memory_order_relaxed);
+      m_frames_cancelled->inc();
     } else {
-      frames_completed.fetch_add(1, std::memory_order_relaxed);
+      m_frames_completed->inc();
+    }
+    obs::Tracer& tracer = obs::Tracer::global();
+    if (tracer.enabled()) {
+      tracer.instant(
+          !frame.result.error.empty()
+              ? "frame.failed"
+              : frame.result.cancelled ? "frame.cancelled"
+                                       : "frame.completed",
+          "engine");
     }
     {
       std::lock_guard<std::mutex> lock(frame.mu);
@@ -189,14 +263,39 @@ struct FrameEngine::Impl {
     }
   }
 
-  void run_tile(FrameState& frame, const Tile& tile) {
+  void run_tile(FrameState& frame, const Tile& tile, std::size_t tile_idx,
+                obs::Counter& worker_busy_us, obs::Counter& worker_tiles) {
+    obs::Tracer& tracer = obs::Tracer::global();
     if (frame.cancelled.load(std::memory_order_relaxed)) {
       frame.skipped.fetch_add(1, std::memory_order_relaxed);
-      tiles_skipped.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(stats_mu);
+        ++counts.tiles_skipped;
+      }
+      m_tiles_skipped->inc();
+      // Skipped tiles leave no open span behind: a zero-duration instant
+      // marks them so a trace of a cancelled frame still accounts for
+      // every tile.
+      if (tracer.enabled()) tracer.instant("tile.skipped", "engine");
       return;
     }
     frame.executed.fetch_add(1, std::memory_order_relaxed);
-    tiles_executed.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu);
+      ++counts.tiles_executed;
+    }
+    m_tiles_executed->inc();
+
+    std::string span_args;
+    if (tracer.enabled()) {
+      span_args = "{\"seed\":" + std::to_string(frame.seed) +
+                  ",\"tile\":" + std::to_string(tile_idx) + ",\"program\":\"" +
+                  tile.program->name() + "\"}";
+    }
+    // RAII span: closes on every exit path (including a tile that throws),
+    // so cancelled or failed frames never leave a dangling span.
+    obs::Span span(tracer, "tile", "engine", std::move(span_args));
+    const auto t0 = std::chrono::steady_clock::now();
     try {
       const std::shared_ptr<const CachedDesign> entry =
           cache.get_or_compile(*tile.program, options.build);
@@ -214,6 +313,8 @@ struct FrameEngine::Impl {
             outputs[ranks[k++]] = value;
           });
       const sim::SimResult r = sim.run();
+      const int violations =
+          publish_sim_telemetry(*registry, entry->design, r);
       if (r.deadlocked) {
         frame.fail(tile.program->name() + " deadlocked: " +
                    r.deadlock_detail);
@@ -221,24 +322,42 @@ struct FrameEngine::Impl {
         frame.fail(tile.program->name() + " produced " +
                    std::to_string(r.kernel_fires) + " of " +
                    std::to_string(tile.outputs()) + " outputs");
+      } else if (violations > 0) {
+        frame.fail(tile.program->name() + ": " +
+                   std::to_string(violations) +
+                   " FIFO(s) exceeded their designed depth");
       }
     } catch (const std::exception& e) {
       frame.fail(tile.program->name() + ": " + e.what());
     }
+    const std::int64_t us = elapsed_us(t0);
+    m_tile_latency_us->observe(us);
+    worker_busy_us.add(us);
+    worker_tiles.inc();
   }
 
-  void worker_loop() {
+  void worker_loop(std::size_t worker) {
+    obs::Tracer::global().set_thread_name("worker-" +
+                                          std::to_string(worker));
+    obs::Counter& busy_us = registry->counter(
+        "engine.worker." + std::to_string(worker) + ".busy_us");
+    obs::Counter& worker_tiles = registry->counter(
+        "engine.worker." + std::to_string(worker) + ".tiles");
     for (;;) {
       Job job;
+      std::size_t depth = 0;
       {
         std::unique_lock<std::mutex> lock(qmu);
         not_empty.wait(lock, [&] { return !queue.empty() || stopping; });
         if (queue.empty()) return;  // stopping and drained
         job = std::move(queue.front());
         queue.pop_front();
+        depth = queue.size();
       }
+      note_queue_depth(depth);
       not_full.notify_one();
-      run_tile(*job.frame, job.frame->plan->tiles[job.tile]);
+      run_tile(*job.frame, job.frame->plan->tiles[job.tile], job.tile,
+               busy_us, worker_tiles);
       finish_tiles(*job.frame, 1);
     }
   }
@@ -254,7 +373,7 @@ FrameEngine::FrameEngine(EngineOptions options)
   if (im.options.queue_capacity == 0) im.options.queue_capacity = 1;
   im.workers.reserve(im.thread_count);
   for (std::size_t t = 0; t < im.thread_count; ++t) {
-    im.workers.emplace_back([&im] { im.worker_loop(); });
+    im.workers.emplace_back([&im, t] { im.worker_loop(t); });
   }
 }
 
@@ -305,10 +424,16 @@ FrameHandle FrameEngine::submit(const stencil::StencilProgram& program,
       static_cast<std::size_t>(plan->total_outputs), 0.0);
   frame->remaining.store(static_cast<std::int64_t>(plan->tiles.size()),
                          std::memory_order_relaxed);
-  im.frames_submitted.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(im.stats_mu);
+    ++im.counts.frames_submitted;
+  }
+  im.m_frames_submitted->inc();
 
   std::size_t pushed = 0;
   for (std::size_t t = 0; t < plan->tiles.size(); ++t) {
+    std::size_t depth = 0;
+    const auto w0 = std::chrono::steady_clock::now();
     {
       std::unique_lock<std::mutex> lock(im.qmu);
       im.not_full.wait(lock, [&] {
@@ -318,7 +443,13 @@ FrameHandle FrameEngine::submit(const stencil::StencilProgram& program,
       if (!im.accepting) break;  // shutdown raced this submission
       im.queue.push_back(Job{frame, t});
       im.max_queue_depth = std::max(im.max_queue_depth, im.queue.size());
+      depth = im.queue.size();
     }
+    // Time spent waiting for queue space (~0 when the pool keeps up);
+    // every push is observed so the histogram is a wait distribution,
+    // not just a count of the slow ones.
+    im.m_backpressure_us->observe(elapsed_us(w0));
+    im.note_queue_depth(depth);
     im.not_empty.notify_one();
     ++pushed;
   }
@@ -327,7 +458,11 @@ FrameHandle FrameEngine::submit(const stencil::StencilProgram& program,
         static_cast<std::int64_t>(plan->tiles.size() - pushed);
     frame->cancelled.store(true, std::memory_order_relaxed);
     frame->skipped.fetch_add(n, std::memory_order_relaxed);
-    im.tiles_skipped.fetch_add(n, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(im.stats_mu);
+      im.counts.tiles_skipped += n;
+    }
+    im.m_tiles_skipped->add(n);
     im.finish_tiles(*frame, n);
   }
   return FrameHandle(frame);
@@ -357,12 +492,15 @@ void FrameEngine::shutdown(Drain mode) {
 EngineStats FrameEngine::stats() const {
   const Impl& im = *impl_;
   EngineStats s;
-  s.frames_submitted = im.frames_submitted.load(std::memory_order_relaxed);
-  s.frames_completed = im.frames_completed.load(std::memory_order_relaxed);
-  s.frames_cancelled = im.frames_cancelled.load(std::memory_order_relaxed);
-  s.frames_failed = im.frames_failed.load(std::memory_order_relaxed);
-  s.tiles_executed = im.tiles_executed.load(std::memory_order_relaxed);
-  s.tiles_skipped = im.tiles_skipped.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(im.stats_mu);
+    s.frames_submitted = im.counts.frames_submitted;
+    s.frames_completed = im.counts.frames_completed;
+    s.frames_cancelled = im.counts.frames_cancelled;
+    s.frames_failed = im.counts.frames_failed;
+    s.tiles_executed = im.counts.tiles_executed;
+    s.tiles_skipped = im.counts.tiles_skipped;
+  }
   {
     std::lock_guard<std::mutex> lock(im.qmu);
     s.max_queue_depth = im.max_queue_depth;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "arch/builder.hpp"
+#include "obs/metrics.hpp"
 #include "poly/int_vec.hpp"
 #include "runtime/design_cache.hpp"
 #include "runtime/tiler.hpp"
@@ -36,6 +37,11 @@ struct EngineOptions {
 
   /// Capacity of the embedded design cache (distinct tile designs).
   std::size_t cache_capacity = 256;
+
+  /// Metrics registry receiving the engine.*, cache.*, sim.* and fifo.*
+  /// metrics (see docs/OBSERVABILITY.md); nullptr selects the process-wide
+  /// obs::Registry::global().
+  obs::Registry* metrics = nullptr;
 
   /// Base simulator options for tile execution. The engine always runs the
   /// compiled fast backend, overrides the seed per frame and disables
@@ -88,6 +94,11 @@ class FrameHandle {
   std::shared_ptr<detail::FrameState> state_;
 };
 
+/// Mutex-consistent snapshot of the engine's activity: the frame counters
+/// are read in one critical section (a resolving frame updates them
+/// atomically as a group, so completed + cancelled + failed never
+/// transiently exceeds submitted), and `cache` is one consistent
+/// DesignCache snapshot.
 struct EngineStats {
   std::int64_t frames_submitted = 0;
   std::int64_t frames_completed = 0;  ///< resolved ok

@@ -1,0 +1,63 @@
+#include "runtime/telemetry.hpp"
+
+#include <string>
+
+namespace nup::runtime {
+
+int publish_sim_telemetry(obs::Registry& registry,
+                          const arch::AcceleratorDesign& design,
+                          const sim::SimResult& result) {
+  int violations = 0;
+  for (std::size_t s = 0; s < design.systems.size(); ++s) {
+    const arch::MemorySystem& ms = design.systems[s];
+    const std::string array = ms.array;
+    for (std::size_t k = 0; k < ms.fifos.size(); ++k) {
+      if (ms.fifos[k].cut) continue;  // no on-chip storage to watch
+      if (s >= result.fifo_max_fill.size() ||
+          k >= result.fifo_max_fill[s].size()) {
+        continue;
+      }
+      const std::int64_t high_water = result.fifo_max_fill[s][k];
+      const std::int64_t depth = ms.fifos[k].depth;
+      const std::string suffix = array + "." + std::to_string(k);
+      registry.gauge("fifo.high_water." + suffix).update_max(high_water);
+      registry.gauge("fifo.depth." + suffix).update_max(depth);
+      if (high_water > depth) ++violations;
+    }
+    if (s < result.filter_stall_cycles.size()) {
+      for (std::size_t k = 0; k < result.filter_stall_cycles[s].size();
+           ++k) {
+        const std::int64_t stalls = result.filter_stall_cycles[s][k];
+        if (stalls > 0) {
+          registry
+              .counter("filter.stall_cycles." + array + "." +
+                       std::to_string(k))
+              .add(stalls);
+        }
+      }
+    }
+  }
+  if (violations > 0) {
+    registry.counter("fifo.depth_violations").add(violations);
+  }
+  registry.counter("sim.runs").inc();
+  registry.counter("sim.cycles").add(result.cycles);
+  if (result.kernel_fires > 0) {
+    registry.histogram("sim.fill_latency_cycles")
+        .observe(result.fill_latency);
+  }
+  if (result.kernel_fires >= 2) {
+    registry.histogram("sim.steady_ii_milli")
+        .observe(static_cast<std::int64_t>(result.steady_ii * 1000.0));
+  }
+  if (result.drain_start > 0) {
+    // Cycles past the last off-chip consumption: 0 on completed runs
+    // (every fire streams), and the width of the post-wedge spin on
+    // deadlocked ones.
+    registry.histogram("sim.drain_cycles")
+        .observe(result.cycles - result.drain_start);
+  }
+  return violations;
+}
+
+}  // namespace nup::runtime

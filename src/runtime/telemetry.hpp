@@ -1,0 +1,31 @@
+#pragma once
+
+#include "arch/design.hpp"
+#include "obs/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace nup::runtime {
+
+/// Publishes one simulation run's telemetry into `registry`:
+///
+///   fifo.high_water.<array>.<k>   gauge (max over runs) -- observed peak
+///                                 occupancy of uncut FIFO k of <array>
+///   fifo.depth.<array>.<k>        gauge (max over runs) -- designed depth
+///                                 (the max reuse distance, Eq. 2)
+///   fifo.depth_violations         counter -- runs where an observed peak
+///                                 exceeded its designed depth (always 0
+///                                 while the sizing theorem holds)
+///   filter.stall_cycles.<array>.<k> counter -- accumulated stall cycles
+///   sim.runs / sim.cycles         counters
+///   sim.fill_latency_cycles       histogram (first-fire latency)
+///   sim.steady_ii_milli           histogram (steady II x 1000)
+///
+/// Per-design the invariant high_water <= depth holds pointwise, so the
+/// max-aggregated gauges preserve it across heterogeneous tile designs.
+/// Returns the number of depth violations in this run (0 in a correct
+/// build; the frame engine also surfaces it through the counter above).
+int publish_sim_telemetry(obs::Registry& registry,
+                          const arch::AcceleratorDesign& design,
+                          const sim::SimResult& result);
+
+}  // namespace nup::runtime

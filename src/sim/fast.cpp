@@ -248,8 +248,11 @@ FastSim::FastSim(const stencil::StencilProgram& program,
   }
 
   im.result.fifo_max_fill.resize(design.systems.size());
+  im.result.filter_stall_cycles.resize(design.systems.size());
   for (std::size_t s = 0; s < design.systems.size(); ++s) {
     im.result.fifo_max_fill[s].assign(design.systems[s].fifos.size(), 0);
+    im.result.filter_stall_cycles[s].assign(
+        design.systems[s].filter_count(), 0);
   }
   im.gathered.resize(program.total_references());
 }
@@ -521,19 +524,32 @@ bool FastSim::Impl::step() {
   }
 
   bool progress = fire;
+  // Filter 0 is always a segment head, so a firing cycle (every filter
+  // consumes) always streams off-chip data; the drain boundary matches the
+  // reference backend cycle for cycle.
+  bool consumed_off_chip = fire;
   if (fire) {
+    // Every filter advances on a firing cycle: no stalls to account.
     if (options.validate && !ports_structurally_valid) validate_ports();
     for (FastSystem& sys : systems) commit_fire(sys);
     commit_kernel();
   } else {
-    for (FastSystem& sys : systems) {
+    for (std::size_t s = 0; s < systems.size(); ++s) {
+      FastSystem& sys = systems[s];
       if (!tracing) fill_scratch(sys);
       commit_stalled(sys);
       for (std::size_t k = 0; k < sys.filters.size(); ++k) {
-        progress = progress || sys.advance[k] != 0;
+        if (sys.advance[k]) {
+          progress = true;
+          consumed_off_chip =
+              consumed_off_chip || sys.filters[k].segment >= 0;
+        } else if (sys.filters[k].out.is_valid) {
+          ++result.filter_stall_cycles[s][k];
+        }
       }
     }
   }
+  if (consumed_off_chip) result.drain_start = cycle;
 
   if (tracing) record_trace(fire);
   if (progress) {
@@ -688,6 +704,13 @@ DifferentialReport run_differential(const stencil::StencilProgram& program,
   } else if (a.fifo_max_fill != b.fifo_max_fill) {
     diverge("max FIFO fills differ: " + fills_to_string(a.fifo_max_fill) +
             " vs " + fills_to_string(b.fifo_max_fill));
+  } else if (a.filter_stall_cycles != b.filter_stall_cycles) {
+    diverge("filter stall cycles differ: " +
+            fills_to_string(a.filter_stall_cycles) + " vs " +
+            fills_to_string(b.filter_stall_cycles));
+  } else if (a.drain_start != b.drain_start) {
+    diverge("drain boundaries differ: " + std::to_string(a.drain_start) +
+            " vs " + std::to_string(b.drain_start));
   } else if (a.outputs != b.outputs) {
     diverge("outputs differ (" + std::to_string(a.outputs.size()) + " vs " +
             std::to_string(b.outputs.size()) + " values)");

@@ -155,8 +155,11 @@ AcceleratorSim::AcceleratorSim(const stencil::StencilProgram& program,
   }
 
   im.result.fifo_max_fill.resize(design.systems.size());
+  im.result.filter_stall_cycles.resize(design.systems.size());
   for (std::size_t s = 0; s < design.systems.size(); ++s) {
     im.result.fifo_max_fill[s].assign(design.systems[s].fifos.size(), 0);
+    im.result.filter_stall_cycles[s].assign(
+        design.systems[s].filter_count(), 0);
   }
   im.gathered.resize(program.total_references());
 }
@@ -370,13 +373,27 @@ bool AcceleratorSim::Impl::step() {
   for (SystemSim& sys : systems) fire = fire && evaluate_fire(sys);
 
   bool progress = fire;
-  for (SystemSim& sys : systems) {
+  bool consumed_off_chip = false;
+  for (std::size_t s = 0; s < systems.size(); ++s) {
+    SystemSim& sys = systems[s];
     commit_advances(sys, fire);
     for (std::size_t k = 0; k < sys.filters.size(); ++k) {
-      progress = progress || sys.advance[k];
+      if (sys.advance[k]) {
+        progress = true;
+        // A segment head advancing consumes one off-chip element (forward
+        // or discard alike), so this is still a streaming cycle: the drain
+        // boundary keeps moving forward as long as any head is live.
+        consumed_off_chip =
+            consumed_off_chip || sys.filters[k].segment.has_value();
+      } else if (sys.filters[k].out_cursor->valid()) {
+        // A filter stalls when its output counter is still live but it
+        // could not advance (no upstream token, or no downstream space).
+        ++result.filter_stall_cycles[s][k];
+      }
     }
   }
   if (fire) commit_kernel();
+  if (consumed_off_chip) result.drain_start = cycle;
 
   if (options.trace_cycles > 0 && cycle <= options.trace_cycles) {
     record_trace(fire);

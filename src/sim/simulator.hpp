@@ -64,6 +64,21 @@ struct SimResult {
   /// Max observed occupancy of every (system, fifo); never exceeds the
   /// design depth, and equals it where the sizing is tight.
   std::vector<std::vector<std::int64_t>> fifo_max_fill;
+  /// Cycles each (system, filter) spent unable to advance while its output
+  /// counter was still live (waiting on upstream data or downstream FIFO
+  /// space). Identical across backends; checked by run_differential.
+  std::vector<std::vector<std::int64_t>> filter_stall_cycles;
+  /// Last cycle on which a segment-head filter consumed an off-chip
+  /// element (forward or discard). The run's phases are fill =
+  /// [1, fill_latency], steady = (fill_latency, drain_start], drain =
+  /// (drain_start, cycles]. Every fire consumes fresh off-chip data at
+  /// each head (same-cycle flow-through), so a completed run has
+  /// drain_start == cycles -- the drain tail is degenerate under Table 3's
+  /// idealized latencies. On a deadlocked or truncated run the boundary
+  /// marks the last cycle data still streamed in, which is the first
+  /// thing to read when diagnosing a wedge. 0 when nothing was ever
+  /// streamed. Identical across backends; checked by run_differential.
+  std::int64_t drain_start = 0;
   std::vector<CycleTrace> trace;
   std::vector<double> outputs;  ///< kernel outputs in iteration order
 };

@@ -1,0 +1,117 @@
+// Span tracer: disabled-by-default inertness, multi-threaded recording,
+// and the Chrome trace_event JSON export consumed by chrome://tracing.
+
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace nup::obs {
+namespace {
+
+TEST(Tracer, DisabledRecordsNothing) {
+  Tracer tracer;
+  ASSERT_FALSE(tracer.enabled());
+  tracer.complete("a", "t", 0, 100);
+  tracer.instant("b", "t");
+  tracer.counter("c", 1);
+  { Span span(tracer, "d"); }
+  EXPECT_EQ(tracer.event_count(), 0u);
+  EXPECT_NE(tracer.to_chrome_json().find("\"traceEvents\""),
+            std::string::npos);
+}
+
+TEST(Tracer, SpansFromManyThreadsAllExport) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kSpansEach = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      tracer.set_thread_name("worker-" + std::to_string(t));
+      for (int i = 0; i < kSpansEach; ++i) {
+        Span span(tracer, "tile", "engine");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(tracer.event_count(),
+            static_cast<std::size_t>(kThreads * kSpansEach));
+
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"tile\""), std::string::npos);
+  EXPECT_NE(json.find("worker-0"), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  // Count complete events: one per span.
+  std::size_t spans = 0;
+  for (std::size_t at = json.find("\"ph\":\"X\"");
+       at != std::string::npos; at = json.find("\"ph\":\"X\"", at + 1)) {
+    ++spans;
+  }
+  EXPECT_EQ(spans, static_cast<std::size_t>(kThreads * kSpansEach));
+}
+
+TEST(Tracer, InstantCounterAndArgs) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.instant("frame.completed", "engine");
+  tracer.counter("engine.queue_depth", 17);
+  tracer.complete("tile", "engine", 1000, 5000, "{\"tile\":3}");
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("17"), std::string::npos);
+  EXPECT_NE(json.find("\"tile\":3"), std::string::npos);
+}
+
+TEST(Tracer, SpanEndIsIdempotent) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  Span span(tracer, "once");
+  span.end();
+  span.end();  // second end and the destructor add nothing
+  EXPECT_EQ(tracer.event_count(), 1u);
+}
+
+TEST(Tracer, SpanCapturesEnabledAtConstruction) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    Span span(tracer, "a");
+    tracer.set_enabled(false);  // span was live at construction: records
+  }
+  EXPECT_EQ(tracer.event_count(), 1u);
+  {
+    Span span(tracer, "b");  // constructed disabled: inert
+    tracer.set_enabled(true);
+  }
+  EXPECT_EQ(tracer.event_count(), 1u);
+}
+
+TEST(Tracer, ClearDropsEventsKeepsThreads) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.set_thread_name("main-thread");
+  tracer.instant("x", "t");
+  ASSERT_EQ(tracer.event_count(), 1u);
+  tracer.clear();
+  EXPECT_EQ(tracer.event_count(), 0u);
+  EXPECT_NE(tracer.to_chrome_json().find("main-thread"),
+            std::string::npos);
+}
+
+TEST(Tracer, TimestampsAreMicrosecondsFromEpoch) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.complete("t", "c", 1500, 4500);  // ns -> 1.5 us, dur 3 us
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":3.000"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace nup::obs

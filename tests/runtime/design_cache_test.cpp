@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/fast.hpp"
 #include "stencil/gallery.hpp"
 #include "stencil/golden.hpp"
@@ -102,6 +103,41 @@ TEST(DesignCache, LruEvictsLeastRecentlyUsed) {
   // The evicted-then-recompiled entry is a distinct object, but the old
   // shared_ptr keeps the first compilation alive and usable.
   EXPECT_EQ(ea->design.systems.size(), 1u);
+}
+
+TEST(DesignCache, StatsStayConsistentAcrossEviction) {
+  // Capacity 2, three programs: the snapshot invariants hits + misses ==
+  // lookups and inserts - evictions == entries must hold at every
+  // observation point.
+  obs::Registry registry;
+  DesignCache cache(2, &registry);
+  const stencil::StencilProgram a = stencil::denoise_2d(10, 12);
+  const stencil::StencilProgram b = stencil::rician_2d(10, 12);
+  const stencil::StencilProgram c = stencil::sobel_2d(10, 12);
+
+  cache.get_or_compile(a);
+  cache.get_or_compile(b);
+  cache.get_or_compile(a);  // hit
+  cache.get_or_compile(c);  // evicts b
+
+  const DesignCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 3);
+  EXPECT_EQ(stats.inserts, 3);
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.inserts - stats.evictions,
+            static_cast<std::int64_t>(stats.entries));
+
+  // The registry mirrors the struct, and every miss left one
+  // compile-latency observation.
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.value_of("cache.hits"), stats.hits);
+  EXPECT_EQ(snap.value_of("cache.misses"), stats.misses);
+  EXPECT_EQ(snap.value_of("cache.inserts"), stats.inserts);
+  EXPECT_EQ(snap.value_of("cache.evictions"), stats.evictions);
+  EXPECT_EQ(registry.histogram("cache.compile_us").snapshot().count,
+            stats.inserts);
 }
 
 TEST(DesignCache, CachedPlanSimulatesBitIdenticalToGolden) {

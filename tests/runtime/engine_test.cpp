@@ -17,6 +17,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "stencil/gallery.hpp"
 #include "stencil/golden.hpp"
 #include "util/error.hpp"
@@ -183,6 +185,101 @@ TEST(FrameEngine, RepeatFramesServeFromDesignCache) {
   EXPECT_LE(stats.cache.misses, tiles);
   EXPECT_GE(stats.cache.hits, tiles * (kFrames - 1));
   EXPECT_EQ(stats.tiles_executed, tiles * kFrames);
+}
+
+// ---- observability ------------------------------------------------------
+
+TEST(FrameEngine, MetricsRegistryObservesServeRun) {
+  obs::Registry registry;
+  EngineOptions options;
+  options.threads = 2;
+  options.tile_shape = {8, 0};
+  options.metrics = &registry;
+  FrameEngine engine(options);
+  const stencil::StencilProgram p = stencil::denoise_2d(24, 32);
+
+  constexpr int kFrames = 3;
+  std::vector<FrameHandle> handles;
+  for (int f = 0; f < kFrames; ++f) {
+    handles.push_back(engine.submit(p, static_cast<std::uint64_t>(f)));
+  }
+  for (FrameHandle& handle : handles) {
+    ASSERT_TRUE(handle.wait().ok()) << handle.wait().error;
+  }
+
+  const EngineStats stats = engine.stats();
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.value_of("engine.frames_submitted"), kFrames);
+  EXPECT_EQ(snap.value_of("engine.frames_completed"), kFrames);
+  EXPECT_EQ(snap.value_of("engine.tiles_executed"), stats.tiles_executed);
+  EXPECT_EQ(snap.value_of("cache.hits"), stats.cache.hits);
+  EXPECT_EQ(snap.value_of("cache.misses"), stats.cache.misses);
+  EXPECT_EQ(snap.value_of("fifo.depth_violations", 0), 0);
+  EXPECT_EQ(registry.histogram("engine.tile_latency_us").snapshot().count,
+            stats.tiles_executed);
+  EXPECT_EQ(
+      registry.histogram("engine.backpressure_wait_us").snapshot().count,
+      stats.tiles_executed);
+
+  // Every observed high-water mark pairs with its designed depth and never
+  // exceeds it (the live form of the paper's Eq. 2 sizing claim).
+  int high_water_gauges = 0;
+  for (const obs::MetricSample& s : snap.samples) {
+    if (s.name.rfind("fifo.high_water.", 0) != 0) continue;
+    ++high_water_gauges;
+    const std::string depth_name =
+        "fifo.depth." + s.name.substr(std::string("fifo.high_water.").size());
+    const std::int64_t depth = snap.value_of(depth_name, -1);
+    ASSERT_GE(depth, 0) << s.name << " has no paired " << depth_name;
+    EXPECT_LE(s.value, depth) << s.name;
+  }
+  EXPECT_GT(high_water_gauges, 0);
+
+  // Per-worker utilization: tiles attributed to workers sum to the total.
+  std::int64_t worker_tiles = 0;
+  for (std::size_t w = 0; w < options.threads; ++w) {
+    worker_tiles += snap.value_of(
+        "engine.worker." + std::to_string(w) + ".tiles", 0);
+  }
+  EXPECT_EQ(worker_tiles, stats.tiles_executed);
+}
+
+TEST(FrameEngine, TraceAccountsForEveryTileOfACancelledFrame) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+
+  FrameResult result;
+  {
+    EngineOptions options;
+    options.threads = 1;
+    options.tile_shape = {1, 0};  // many tiles per frame
+    FrameEngine engine(options);
+    const stencil::StencilProgram p = slow_program(12, 10, milliseconds(1));
+    FrameHandle handle = engine.submit(p, 7);
+    std::this_thread::sleep_for(milliseconds(5));
+    handle.cancel();
+    result = handle.wait();
+    engine.shutdown(FrameEngine::Drain::kDrainAll);
+  }
+  tracer.set_enabled(false);
+
+  ASSERT_TRUE(result.cancelled);
+  const std::string json = tracer.to_chrome_json();
+  const auto count_of = [&json](const std::string& needle) {
+    std::int64_t n = 0;
+    for (std::size_t at = json.find(needle); at != std::string::npos;
+         at = json.find(needle, at + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  // One complete span per executed tile, one instant per skipped tile:
+  // cancellation leaves no tile unaccounted and no span dangling.
+  EXPECT_EQ(count_of("\"name\":\"tile\""), result.tiles_executed) << json;
+  EXPECT_EQ(count_of("\"name\":\"tile.skipped\""), result.tiles_skipped);
+  EXPECT_EQ(count_of("\"name\":\"frame.cancelled\""), 1);
+  tracer.clear();
 }
 
 // ---- robustness: backpressure, cancellation, shutdown ------------------

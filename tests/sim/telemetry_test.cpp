@@ -1,0 +1,222 @@
+// Telemetry of a simulation run: per-FIFO high-water marks never exceed
+// the designed depths (the paper's Eq. 2 sizing, checked live), the
+// fill/steady/drain phase boundaries are ordered, per-filter stall cycles
+// agree between the two backends, and publish_sim_telemetry lands it all
+// in a metrics registry.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arch/builder.hpp"
+#include "obs/metrics.hpp"
+#include "poly/affine.hpp"
+#include "runtime/telemetry.hpp"
+#include "sim/simulator.hpp"
+#include "stencil/gallery.hpp"
+#include "util/rng.hpp"
+
+namespace nup::sim {
+namespace {
+
+SimResult run_backend(const stencil::StencilProgram& p,
+                      const arch::AcceleratorDesign& design,
+                      SimBackend backend) {
+  SimOptions options;
+  options.backend = backend;
+  options.record_outputs = false;
+  return simulate(p, design, options);
+}
+
+void expect_high_water_within_depth(
+    const stencil::StencilProgram& p,
+    const arch::AcceleratorDesign& design, const SimResult& r,
+    bool expect_tight) {
+  ASSERT_FALSE(r.deadlocked) << p.name();
+  ASSERT_EQ(r.fifo_max_fill.size(), design.systems.size()) << p.name();
+  for (std::size_t s = 0; s < design.systems.size(); ++s) {
+    const arch::MemorySystem& ms = design.systems[s];
+    ASSERT_EQ(r.fifo_max_fill[s].size(), ms.fifos.size()) << p.name();
+    for (std::size_t k = 0; k < ms.fifos.size(); ++k) {
+      if (ms.fifos[k].cut) continue;
+      EXPECT_LE(r.fifo_max_fill[s][k], ms.fifos[k].depth)
+          << p.name() << " " << ms.array << " fifo " << k;
+      if (expect_tight) {
+        // The sizing is the max reuse distance: a full run touches every
+        // reuse pair, so the peak occupancy reaches the designed depth.
+        EXPECT_EQ(r.fifo_max_fill[s][k], ms.fifos[k].depth)
+            << p.name() << " " << ms.array << " fifo " << k;
+      }
+    }
+  }
+}
+
+TEST(Telemetry, DenoiseHighWaterEqualsDesignedDepthBothBackends) {
+  const stencil::StencilProgram p = stencil::denoise_2d(64, 128);
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  // 5-point window on 128-wide rows: chain depths {row-1, 1, 1, row-1}.
+  ASSERT_EQ(design.systems.size(), 1u);
+  ASSERT_EQ(design.systems[0].fifos.size(), 4u);
+  EXPECT_EQ(design.systems[0].fifos[0].depth, 127);
+  EXPECT_EQ(design.systems[0].fifos[1].depth, 1);
+  EXPECT_EQ(design.systems[0].fifos[2].depth, 1);
+  EXPECT_EQ(design.systems[0].fifos[3].depth, 127);
+  for (const SimBackend backend :
+       {SimBackend::kReference, SimBackend::kFast}) {
+    const SimResult r = run_backend(p, design, backend);
+    expect_high_water_within_depth(p, design, r, /*expect_tight=*/true);
+  }
+}
+
+TEST(Telemetry, PhaseBoundariesAreOrdered) {
+  const stencil::StencilProgram p = stencil::denoise_2d(32, 48);
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  for (const SimBackend backend :
+       {SimBackend::kReference, SimBackend::kFast}) {
+    const SimResult r = run_backend(p, design, backend);
+    ASSERT_GT(r.kernel_fires, 0);
+    // fill = [1, fill_latency], steady = (fill_latency, drain_start],
+    // drain = (drain_start, cycles].
+    EXPECT_GT(r.fill_latency, 0);
+    EXPECT_GT(r.drain_start, r.fill_latency);
+    EXPECT_LE(r.drain_start, r.cycles);
+  }
+}
+
+TEST(Telemetry, DrainBoundaryIsDegenerateOnCompletedRuns) {
+  // Every kernel fire consumes a fresh off-chip element at each segment
+  // head (same-cycle flow-through: the newest reference's data enters and
+  // reaches its port in one cycle), so a completed run streams until the
+  // final fire -- drain_start == cycles in both streaming modes. A real
+  // drain tail only appears once module latencies stop being idealized.
+  const stencil::StencilProgram p = stencil::denoise_2d(32, 48);
+  for (const bool exact_streaming : {false, true}) {
+    arch::BuildOptions opts;
+    opts.exact_streaming = exact_streaming;
+    const arch::AcceleratorDesign design = arch::build_design(p, opts);
+    for (const SimBackend backend :
+         {SimBackend::kReference, SimBackend::kFast}) {
+      const SimResult r = run_backend(p, design, backend);
+      ASSERT_FALSE(r.deadlocked);
+      EXPECT_EQ(r.drain_start, r.cycles);
+    }
+  }
+}
+
+TEST(Telemetry, DeadlockFreezesTheDrainBoundary) {
+  // On a wedged run the boundary marks the last cycle data still streamed
+  // in: the stall-limit cycles spin past it with nothing entering the
+  // chain. First diagnostic to read when a run hangs.
+  const stencil::StencilProgram p = stencil::denoise_2d(20, 24);
+  arch::AcceleratorDesign design = arch::build_design(p);
+  design.systems[0].fifos[3].depth = 1;  // needs 23: wedges mid-run
+  SimOptions options;
+  options.stall_limit = 500;
+  options.validate = false;  // report the wedge instead of throwing
+  for (const SimBackend backend :
+       {SimBackend::kReference, SimBackend::kFast}) {
+    options.backend = backend;
+    const SimResult r = simulate(p, design, options);
+    ASSERT_TRUE(r.deadlocked);
+    EXPECT_GT(r.drain_start, 0);
+    EXPECT_LT(r.drain_start, r.cycles);
+  }
+}
+
+TEST(Telemetry, StallCyclesAgreeAcrossBackends) {
+  const stencil::StencilProgram p = stencil::sobel_2d(24, 32);
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  const SimResult ref = run_backend(p, design, SimBackend::kReference);
+  const SimResult fast = run_backend(p, design, SimBackend::kFast);
+  EXPECT_EQ(ref.filter_stall_cycles, fast.filter_stall_cycles);
+  EXPECT_EQ(ref.drain_start, fast.drain_start);
+  // During fill the head filters wait on reuse data that has not arrived:
+  // some filter must have stalled at least once.
+  std::int64_t total = 0;
+  for (const std::vector<std::int64_t>& sys : ref.filter_stall_cycles) {
+    for (const std::int64_t stalls : sys) total += stalls;
+  }
+  EXPECT_GT(total, 0);
+}
+
+TEST(Telemetry, PublishLandsInRegistry) {
+  const stencil::StencilProgram p = stencil::denoise_2d(64, 128);
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  const SimResult r = run_backend(p, design, SimBackend::kFast);
+  obs::Registry registry;
+  const int violations =
+      runtime::publish_sim_telemetry(registry, design, r);
+  EXPECT_EQ(violations, 0);
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.value_of("fifo.high_water.A.0", -1), 127);
+  EXPECT_EQ(snap.value_of("fifo.depth.A.0", -1), 127);
+  EXPECT_EQ(snap.value_of("fifo.high_water.A.1", -1), 1);
+  EXPECT_EQ(snap.value_of("fifo.depth_violations", 0), 0);
+  EXPECT_EQ(snap.value_of("sim.runs"), 1);
+  EXPECT_EQ(snap.value_of("sim.cycles"), r.cycles);
+}
+
+/// Same random-stencil recipe as differential_test.cpp: random window over
+/// a rectangular (even seeds) or sheared (odd seeds) domain.
+stencil::StencilProgram random_program(std::uint64_t seed) {
+  Rng rng(seed * 2654435761u + 17);
+  const std::size_t refs = static_cast<std::size_t>(rng.next_in(2, 7));
+  std::set<poly::IntVec> offsets;
+  while (offsets.size() < refs) {
+    offsets.insert({rng.next_in(-2, 2), rng.next_in(-3, 3)});
+  }
+
+  std::int64_t lo[2];
+  std::int64_t hi[2];
+  for (std::size_t d = 0; d < 2; ++d) {
+    std::int64_t reach = 0;
+    for (const poly::IntVec& f : offsets) {
+      reach = std::max(reach, std::max(f[d], -f[d]));
+    }
+    lo[d] = reach;
+    hi[d] = lo[d] + rng.next_in(5, 12);
+  }
+
+  const bool skewed = (seed % 2) == 1;
+  poly::Domain domain;
+  if (skewed) {
+    const std::int64_t shear = rng.next_in(1, 2);
+    poly::Polyhedron piece(2);
+    piece.add(poly::make_constraint({1, 0}, -lo[0]));
+    piece.add(poly::make_constraint({-1, 0}, hi[0]));
+    piece.add(poly::make_constraint({-shear, 1}, -lo[1]));
+    piece.add(poly::make_constraint({shear, -1}, hi[1]));
+    domain = poly::Domain(std::move(piece));
+  } else {
+    domain = poly::Domain::box({lo[0], lo[1]}, {hi[0], hi[1]});
+  }
+
+  stencil::StencilProgram p(
+      std::string(skewed ? "TEL_SKEW_" : "TEL_RECT_") +
+          std::to_string(seed),
+      domain);
+  p.add_input("A",
+              std::vector<poly::IntVec>(offsets.begin(), offsets.end()));
+  return p;
+}
+
+class RandomTelemetry : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomTelemetry, HighWaterNeverExceedsDesignedDepth) {
+  const stencil::StencilProgram p = random_program(GetParam());
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  for (const SimBackend backend :
+       {SimBackend::kReference, SimBackend::kFast}) {
+    const SimResult r = run_backend(p, design, backend);
+    expect_high_water_within_depth(p, design, r, /*expect_tight=*/false);
+    obs::Registry registry;
+    EXPECT_EQ(runtime::publish_sim_telemetry(registry, design, r), 0)
+        << p.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTelemetry,
+                         ::testing::Range<std::uint64_t>(0, 50));
+
+}  // namespace
+}  // namespace nup::sim

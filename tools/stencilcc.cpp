@@ -26,6 +26,12 @@
 //   --threads <T>  worker threads for --serve (default: hardware)
 //   --tile <a,b,..> tile extents per dimension for --serve (0 = full
 //                  extent; default: automatic shape)
+//   --metrics <f>  write the metrics registry (cache/engine/fifo/sim
+//                  telemetry, see docs/OBSERVABILITY.md) as JSON to <f>
+//   --trace <f>    record spans (tile execution, design compiles) and
+//                  write Chrome trace-event JSON to <f>; open it in
+//                  chrome://tracing or https://ui.perfetto.dev
+//   --stats        print the metrics registry as an aligned table
 //   --quiet        suppress the summary
 
 #include <chrono>
@@ -39,7 +45,10 @@
 #include "core/compiler.hpp"
 #include "codegen/cpp_model.hpp"
 #include "core/json_export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/telemetry.hpp"
 #include "sim/vcd.hpp"
 #include "util/error.hpp"
 
@@ -50,7 +59,8 @@ void usage() {
       stderr,
       "usage: stencilcc [-o dir] [--name n] [--exact] [--no-verify] "
       "[--vcd N] [--sim-backend reference|fast] [--cpp-model] "
-      "[--rtl-check] [--serve N] [--threads T] [--tile a,b,..] [--quiet] "
+      "[--rtl-check] [--serve N] [--threads T] [--tile a,b,..] "
+      "[--metrics f.json] [--trace f.trace.json] [--stats] [--quiet] "
       "<kernel.c>\n");
 }
 
@@ -145,6 +155,9 @@ int main(int argc, char** argv) {
   long serve = 0;
   std::size_t serve_threads = 0;
   poly::IntVec serve_tile;
+  std::string metrics_path;
+  std::string trace_path;
+  bool stats_table = false;
   core::CompileOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -193,6 +206,12 @@ int main(int argc, char** argv) {
         usage();
         return 2;
       }
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--stats") {
+      stats_table = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "-h" || arg == "--help") {
@@ -215,6 +234,7 @@ int main(int argc, char** argv) {
   }
   if (name.empty()) name = basename_no_ext(input);
   if (vcd_cycles > 0) options.sim.trace_cycles = vcd_cycles;
+  if (!trace_path.empty()) obs::Tracer::global().set_enabled(true);
 
   std::ifstream in(input);
   if (!in) {
@@ -247,11 +267,29 @@ int main(int argc, char** argv) {
       std::printf("artifacts written to %s/%s_*.{v,cpp,hpp,json}\n",
                   out_dir.c_str(), name.c_str());
     }
-    if (ok && serve > 0) {
-      return serve_frames(pkg, options, serve, serve_threads,
-                          std::move(serve_tile), quiet);
+    if (options.verify_by_simulation) {
+      // The one-shot verification run's telemetry (FIFO high-water marks,
+      // stall cycles, phase latencies) joins the registry next to
+      // whatever --serve adds.
+      runtime::publish_sim_telemetry(obs::Registry::global(), pkg.design,
+                                     pkg.verification);
     }
-    return ok ? 0 : 1;
+    int rc = ok ? 0 : 1;
+    if (ok && serve > 0) {
+      rc = serve_frames(pkg, options, serve, serve_threads,
+                        std::move(serve_tile), quiet);
+    }
+    const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
+    if (!metrics_path.empty() &&
+        !write_file(metrics_path, snap.to_json() + "\n")) {
+      rc = rc != 0 ? rc : 1;
+    }
+    if (!trace_path.empty() &&
+        !write_file(trace_path, obs::Tracer::global().to_chrome_json())) {
+      rc = rc != 0 ? rc : 1;
+    }
+    if (stats_table) std::printf("%s", snap.to_table().c_str());
+    return rc;
   } catch (const Error& e) {
     std::fprintf(stderr, "stencilcc: %s\n", e.what());
     return 1;
