@@ -1,0 +1,141 @@
+#include "pipeline/dependency.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace nup::pipeline {
+
+namespace {
+
+bool boxes_overlap(const poly::IntVec& alo, const poly::IntVec& ahi,
+                   const poly::IntVec& blo, const poly::IntVec& bhi) {
+  for (std::size_t d = 0; d < alo.size(); ++d) {
+    if (ahi[d] < blo[d] || bhi[d] < alo[d]) return false;
+  }
+  return true;
+}
+
+/// True when the producer tile's clipped iteration domain meets the hull
+/// box. The tile box test is the common-case answer (rectangular domains
+/// tile into boxes); only sheared/triangular tiles pay for the polyhedral
+/// intersection.
+bool tile_covers(const runtime::Tile& producer, const poly::IntVec& hull_lo,
+                 const poly::IntVec& hull_hi) {
+  if (!boxes_overlap(producer.lo, producer.hi, hull_lo, hull_hi)) {
+    return false;
+  }
+  const poly::Domain& domain = producer.program->iteration();
+  {
+    poly::IntVec lo, hi;
+    if (domain.as_single_box(&lo, &hi)) return true;  // box test was exact
+  }
+  const poly::Polyhedron hull = poly::Polyhedron::box(hull_lo, hull_hi);
+  for (const poly::Polyhedron& piece : domain.pieces()) {
+    if (!poly::Domain(piece.intersected(hull)).empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+EdgeTileMap map_tile_dependencies(const runtime::TilePlan& producer_plan,
+                                  const runtime::TilePlan& consumer_plan,
+                                  std::size_t input_index) {
+  EdgeTileMap map;
+  map.producers_of.resize(consumer_plan.tiles.size());
+  map.consumers_of.resize(producer_plan.tiles.size());
+
+  for (std::size_t c = 0; c < consumer_plan.tiles.size(); ++c) {
+    const runtime::Tile& consumer = consumer_plan.tiles[c];
+    if (input_index >= consumer.input_hulls.size()) {
+      throw Error("map_tile_dependencies: input index out of range");
+    }
+    poly::IntVec hull_lo, hull_hi;
+    if (!consumer.input_hulls[input_index].as_single_box(&hull_lo,
+                                                         &hull_hi)) {
+      throw Error("map_tile_dependencies: consumer hull is not a box");
+    }
+    for (std::size_t p = 0; p < producer_plan.tiles.size(); ++p) {
+      if (tile_covers(producer_plan.tiles[p], hull_lo, hull_hi)) {
+        map.producers_of[c].push_back(p);
+        map.consumers_of[p].push_back(c);
+      }
+    }
+  }
+  return map;
+}
+
+DependencyTracker::DependencyTracker(
+    const StageGraph& graph,
+    const std::vector<std::shared_ptr<const EdgeTileMap>>& edge_maps,
+    const std::vector<std::size_t>& tiles_per_stage, bool barrier)
+    : graph_(&graph), maps_(edge_maps), barrier_(barrier) {
+  if (maps_.size() != graph.edges().size() ||
+      tiles_per_stage.size() != graph.stage_count()) {
+    throw Error("DependencyTracker: size mismatch with graph");
+  }
+  waits_.resize(graph.stage_count());
+  for (std::size_t s = 0; s < graph.stage_count(); ++s) {
+    waits_[s].assign(tiles_per_stage[s], 0);
+  }
+  if (barrier_) {
+    // Every consumer tile waits for each in-edge's producer frame as a
+    // whole: one unit per in-edge, decremented when the edge's last
+    // producer tile resolves.
+    producer_left_.resize(graph.edges().size());
+    for (std::size_t e = 0; e < graph.edges().size(); ++e) {
+      const StageEdge& edge = graph.edges()[e];
+      producer_left_[e].assign(
+          1, static_cast<std::int64_t>(tiles_per_stage[edge.producer]));
+      for (std::int64_t& w : waits_[edge.consumer]) ++w;
+    }
+  } else {
+    for (std::size_t e = 0; e < graph.edges().size(); ++e) {
+      const StageEdge& edge = graph.edges()[e];
+      const EdgeTileMap& map = *maps_[e];
+      for (std::size_t c = 0; c < map.producers_of.size(); ++c) {
+        waits_[edge.consumer][c] +=
+            static_cast<std::int64_t>(map.producers_of[c].size());
+      }
+    }
+  }
+}
+
+std::vector<DependencyTracker::Ready> DependencyTracker::initially_ready()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Ready> ready;
+  for (std::size_t s = 0; s < waits_.size(); ++s) {
+    for (std::size_t t = 0; t < waits_[s].size(); ++t) {
+      if (waits_[s][t] == 0) ready.push_back(Ready{s, t});
+    }
+  }
+  return ready;
+}
+
+std::vector<DependencyTracker::Ready> DependencyTracker::resolve(
+    std::size_t stage, std::size_t tile) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Ready> ready;
+  for (const std::size_t e : graph_->stages()[stage].out_edges) {
+    const StageEdge& edge = graph_->edges()[e];
+    if (barrier_) {
+      if (--producer_left_[e][0] > 0) continue;
+      for (std::size_t c = 0; c < waits_[edge.consumer].size(); ++c) {
+        if (--waits_[edge.consumer][c] == 0) {
+          ready.push_back(Ready{edge.consumer, c});
+        }
+      }
+    } else {
+      for (const std::size_t c : maps_[e]->consumers_of[tile]) {
+        if (--waits_[edge.consumer][c] == 0) {
+          ready.push_back(Ready{edge.consumer, c});
+        }
+      }
+    }
+  }
+  return ready;
+}
+
+}  // namespace nup::pipeline

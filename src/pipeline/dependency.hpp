@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "pipeline/stage_graph.hpp"
+#include "runtime/tiler.hpp"
+
+namespace nup::pipeline {
+
+/// The static tile-dependency structure of one edge: which producer tiles
+/// each consumer tile's streamed input hull touches. Computed once per
+/// (producer plan, consumer plan) pair and shared by every frame.
+struct EdgeTileMap {
+  /// producers_of[c] = producer tile indices whose iteration domain
+  /// intersects consumer tile c's input hull (ascending). The minimal
+  /// covering set: a producer tile outside it contributes no element the
+  /// consumer streams, and hull elements no producer computes are padding
+  /// the consumer's data filters discard.
+  std::vector<std::vector<std::size_t>> producers_of;
+  /// Transpose: consumers_of[p] = consumer tiles depending on producer
+  /// tile p. A producer tile with no consumers (its rows lie outside every
+  /// consumer halo) retires the moment it resolves.
+  std::vector<std::vector<std::size_t>> consumers_of;
+};
+
+/// Maps each consumer tile to the minimal set of producer tiles covering
+/// its halo, using the tiler's hull geometry: consumer tile hulls are the
+/// tile box grown by the edge's window (Tile::input_hulls), and a producer
+/// tile covers the hull when its clipped iteration domain intersects the
+/// hull box -- exact also for sheared and triangular producer domains,
+/// where the bounding boxes may overlap while the domains do not.
+EdgeTileMap map_tile_dependencies(const runtime::TilePlan& producer_plan,
+                                  const runtime::TilePlan& consumer_plan,
+                                  std::size_t input_index);
+
+/// Per-frame readiness state over the whole graph: one countdown per
+/// (stage, tile) of unresolved covering producer tiles summed over the
+/// stage's in-edges. resolve() is called from engine worker threads as
+/// producer tiles finish; tiles whose countdown reaches zero are returned
+/// exactly once. Thread-safe.
+class DependencyTracker {
+ public:
+  struct Ready {
+    std::size_t stage = 0;
+    std::size_t tile = 0;
+  };
+
+  /// `edge_maps[e]` is the tile map of graph edge e. When `barrier` is
+  /// set, every consumer tile depends on every producer tile of each
+  /// in-edge instead of its covering set: the frame-level barrier
+  /// baseline, executed by the same machinery.
+  DependencyTracker(const StageGraph& graph,
+                    const std::vector<std::shared_ptr<const EdgeTileMap>>&
+                        edge_maps,
+                    const std::vector<std::size_t>& tiles_per_stage,
+                    bool barrier = false);
+
+  /// Tiles with no dependencies (source-stage tiles): ready at submit.
+  std::vector<Ready> initially_ready() const;
+
+  /// Marks one producer tile resolved; returns the consumer tiles that
+  /// became ready as a result.
+  std::vector<Ready> resolve(std::size_t stage, std::size_t tile);
+
+ private:
+  const StageGraph* graph_;
+  std::vector<std::shared_ptr<const EdgeTileMap>> maps_;
+  bool barrier_;
+  mutable std::mutex mu_;
+  std::vector<std::vector<std::int64_t>> waits_;  // per (stage, tile)
+  std::vector<std::vector<std::int64_t>> producer_left_;  // barrier mode
+};
+
+}  // namespace nup::pipeline

@@ -1,0 +1,440 @@
+#include "pipeline/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "obs/trace.hpp"
+#include "pipeline/dependency.hpp"
+#include "util/error.hpp"
+
+namespace nup::pipeline {
+
+namespace {
+
+std::int64_t elapsed_us(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+void atomic_max(std::atomic<std::int64_t>& a, std::int64_t v) {
+  std::int64_t cur = a.load(std::memory_order_relaxed);
+  while (cur < v && !a.compare_exchange_weak(cur, v)) {
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+/// Shared state of one pipelined frame: one deferred engine frame per
+/// stage plus the scheduling state threading them together. Slices are
+/// written by the thread that readied the tile and read by the worker that
+/// executes it; the engine queue lock orders the two, so no slice is ever
+/// touched concurrently.
+struct FrameCtx {
+  std::weak_ptr<PipelineExecutor::Impl> impl;
+  std::uint64_t seed = 0;
+  std::chrono::steady_clock::time_point t0;
+  std::vector<std::string> stage_names;
+
+  std::vector<runtime::FrameHandle> handles;          // per stage
+  std::vector<std::unique_ptr<StageBuffer>> buffers;  // per edge
+  std::unique_ptr<DependencyTracker> tracker;
+
+  /// slices[stage][tile][input]: stitched inputs of one tile (empty Slice
+  /// for external inputs). Freed by the tile's on_tile.
+  std::vector<std::vector<std::vector<Slice>>> slices;
+
+  std::mutex mu;  ///< guards released (handing a tile to its engine)
+  std::vector<std::vector<char>> released;  // per (stage, tile)
+  std::atomic<bool> aborted{false};
+
+  std::vector<std::atomic<std::int64_t>> first_us;  // per stage, -1 = none
+  std::vector<std::atomic<std::int64_t>> last_us;
+  std::atomic<std::int64_t> last_event_us{0};
+
+  std::mutex result_mu;
+  bool assembled = false;
+  PipelineResult result;
+};
+
+}  // namespace detail
+
+using detail::FrameCtx;
+
+struct PipelineExecutor::Impl
+    : std::enable_shared_from_this<PipelineExecutor::Impl> {
+  StageGraph graph;
+  PipelineOptions options;
+  obs::Registry* registry = nullptr;
+
+  std::vector<std::unique_ptr<runtime::FrameEngine>> engines;  // per stage
+  std::vector<std::shared_ptr<const runtime::TilePlan>> plans;
+  std::vector<std::size_t> tiles_per_stage;
+  std::vector<std::shared_ptr<const EdgeTileMap>> maps;  // per edge
+  std::vector<std::string> edge_labels;                  // per edge
+  /// Keeps every stage's tile designs pinned (and alive) for the
+  /// executor's lifetime: steady-state frames never recompile, whatever
+  /// else churns through the caches.
+  std::vector<std::shared_ptr<const runtime::CachedDesign>> pins;
+
+  std::vector<obs::Histogram*> h_ready;  // per edge: readiness latency
+  obs::Counter* c_submitted = nullptr;
+  obs::Counter* c_completed = nullptr;
+  obs::Counter* c_failed = nullptr;
+  obs::Counter* c_cancelled = nullptr;
+  obs::Counter* c_released = nullptr;
+
+  std::mutex mu;
+  bool accepting = true;
+  std::vector<std::shared_ptr<FrameCtx>> inflight;
+
+  Impl(StageGraph g, PipelineOptions opts)
+      : graph(std::move(g)), options(std::move(opts)) {
+    registry = options.metrics ? options.metrics : &obs::Registry::global();
+    if (graph.stage_count() == 0) {
+      throw Error("PipelineExecutor: empty stage graph");
+    }
+    graph.schedule();  // rejects cyclic graphs up front
+
+    const std::string pfx =
+        "pipeline." +
+        (options.name.empty() ? std::string() : options.name + ".");
+    c_submitted = &registry->counter(pfx + "frames_submitted");
+    c_completed = &registry->counter(pfx + "frames_completed");
+    c_failed = &registry->counter(pfx + "frames_failed");
+    c_cancelled = &registry->counter(pfx + "frames_cancelled");
+    c_released = &registry->counter(pfx + "tiles_released");
+
+    std::size_t threads = options.threads_per_stage;
+    if (threads == 0) {
+      const std::size_t hw =
+          std::max(1u, std::thread::hardware_concurrency());
+      threads = std::max<std::size_t>(1, hw / graph.stage_count());
+    }
+    for (std::size_t s = 0; s < graph.stage_count(); ++s) {
+      runtime::EngineOptions eo;
+      eo.name = (options.name.empty() ? std::string() : options.name + ".") +
+                "s" + std::to_string(s);
+      eo.threads = threads;
+      eo.queue_capacity = options.queue_capacity;
+      eo.tile_shape = options.tile_shape;
+      eo.build = options.build;
+      eo.cache_capacity = options.cache_capacity;
+      eo.metrics = registry;
+      eo.sim = options.sim;
+      engines.push_back(std::make_unique<runtime::FrameEngine>(eo));
+      plans.push_back(
+          engines.back()->plan_for(graph.stages()[s].program));
+      tiles_per_stage.push_back(plans.back()->tiles.size());
+      for (const runtime::Tile& tile : plans.back()->tiles) {
+        pins.push_back(
+            engines.back()->cache().pin(*tile.program, options.build));
+      }
+    }
+    for (const StageEdge& edge : graph.edges()) {
+      maps.push_back(std::make_shared<const EdgeTileMap>(
+          map_tile_dependencies(*plans[edge.producer], *plans[edge.consumer],
+                                edge.input)));
+      edge_labels.push_back(
+          (options.name.empty() ? std::string() : options.name + ".") +
+          edge.label);
+      h_ready.push_back(&registry->histogram("pipeline.edge." +
+                                             edge_labels.back() +
+                                             ".ready_us"));
+    }
+  }
+
+  /// Hands one ready tile to its stage engine: stitch its edge-fed input
+  /// slices, then enqueue. Called exactly once per tile by the tracker
+  /// (source tiles from submit(), the rest from producer workers); the
+  /// released flag only arbitrates against abort().
+  void make_ready(const std::shared_ptr<FrameCtx>& ctx, std::size_t stage,
+                  std::size_t tile) {
+    FrameCtx& c = *ctx;
+    {
+      std::lock_guard<std::mutex> lock(c.mu);
+      if (c.released[stage][tile]) return;  // abort() got here first
+      c.released[stage][tile] = 1;
+    }
+    const std::int64_t us = elapsed_us(c.t0);
+    for (const std::size_t e : graph.stages()[stage].in_edges) {
+      const StageEdge& edge = graph.edges()[e];
+      c.slices[stage][tile][edge.input] = c.buffers[e]->stitch(tile);
+      h_ready[e]->observe(us);
+    }
+    c_released->inc();
+    obs::Tracer& tracer = obs::Tracer::global();
+    if (tracer.enabled()) {
+      tracer.instant("pipeline.release", "pipeline",
+                     "{\"stage\":" + std::to_string(stage) +
+                         ",\"tile\":" + std::to_string(tile) + "}");
+    }
+    // Outside c.mu: this can block on the consumer queue (backpressure).
+    engines[stage]->release_tile(c.handles[stage], tile);
+  }
+
+  /// Tile-resolution hook (runs in the executing stage's worker thread).
+  void on_tile(const std::shared_ptr<FrameCtx>& ctx, std::size_t stage,
+               std::size_t tile, const double* outputs, bool ok) {
+    FrameCtx& c = *ctx;
+    const std::int64_t us = elapsed_us(c.t0);
+    atomic_max(c.last_event_us, us);
+    for (Slice& slice : c.slices[stage][tile]) slice = Slice{};
+    if (!ok) {
+      abort(ctx);
+      return;
+    }
+    std::int64_t expected = -1;
+    c.first_us[stage].compare_exchange_strong(expected, us);
+    atomic_max(c.last_us[stage], us);
+    if (c.aborted.load(std::memory_order_relaxed)) return;
+    for (const std::size_t e : graph.stages()[stage].out_edges) {
+      c.buffers[e]->admit(tile, outputs);
+    }
+    for (const DependencyTracker::Ready r :
+         c.tracker->resolve(stage, tile)) {
+      make_ready(ctx, r.stage, r.tile);
+    }
+  }
+
+  /// Cancels every stage frame and resolves every tile not yet handed to
+  /// a worker as skipped (never blocking -- skip_tile bypasses the
+  /// queues), so deferred frames terminate and waiters wake. Idempotent.
+  void abort(const std::shared_ptr<FrameCtx>& ctx) {
+    FrameCtx& c = *ctx;
+    if (c.aborted.exchange(true)) return;
+    for (runtime::FrameHandle& handle : c.handles) handle.cancel();
+    for (std::size_t s = 0; s < tiles_per_stage.size(); ++s) {
+      for (std::size_t t = 0; t < tiles_per_stage[s]; ++t) {
+        bool mine = false;
+        {
+          std::lock_guard<std::mutex> lock(c.mu);
+          if (!c.released[s][t]) {
+            c.released[s][t] = 1;
+            mine = true;
+          }
+        }
+        if (mine) engines[s]->skip_tile(c.handles[s], t);
+      }
+    }
+  }
+
+  void shutdown(Drain mode) {
+    std::vector<std::shared_ptr<FrameCtx>> frames;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      accepting = false;
+      frames.swap(inflight);
+    }
+    if (mode == Drain::kCancelPending) {
+      for (const std::shared_ptr<FrameCtx>& f : frames) abort(f);
+    }
+    for (const std::shared_ptr<FrameCtx>& f : frames) {
+      for (runtime::FrameHandle& h : f->handles) h.wait();
+      assemble(*f);
+    }
+    // All frames resolved: no callback can still be running, so the
+    // engines can stop in any order.
+    for (std::unique_ptr<runtime::FrameEngine>& engine : engines) {
+      engine->shutdown(runtime::FrameEngine::Drain::kDrainAll);
+    }
+  }
+
+  /// Builds the PipelineResult (once) after all stage frames resolved.
+  const PipelineResult& assemble(FrameCtx& c) {
+    std::lock_guard<std::mutex> lock(c.result_mu);
+    if (c.assembled) return c.result;
+    PipelineResult r;
+    r.seed = c.seed;
+    for (std::size_t s = 0; s < c.handles.size(); ++s) {
+      const runtime::FrameResult& fr = c.handles[s].wait();
+      r.stages.push_back(fr);
+      if (fr.cancelled) r.cancelled = true;
+      if (!fr.error.empty() && r.error.empty()) {
+        r.error = c.stage_names[s] + ": " + fr.error;
+      }
+      StageTiming t;
+      t.first_tile_us = c.first_us[s].load(std::memory_order_relaxed);
+      t.last_tile_us = c.last_us[s].load(std::memory_order_relaxed);
+      r.timing.push_back(t);
+    }
+    for (const std::unique_ptr<StageBuffer>& b : c.buffers) {
+      r.edges.push_back(b->occupancy());
+    }
+    r.total_us = c.last_event_us.load(std::memory_order_relaxed);
+    if (!r.error.empty()) {
+      c_failed->inc();
+    } else if (r.cancelled) {
+      c_cancelled->inc();
+    } else {
+      c_completed->inc();
+    }
+    obs::Tracer& tracer = obs::Tracer::global();
+    if (tracer.enabled()) {
+      tracer.instant(!r.error.empty()
+                         ? "pipeline.frame.failed"
+                         : r.cancelled ? "pipeline.frame.cancelled"
+                                       : "pipeline.frame.completed",
+                     "pipeline");
+    }
+    c.result = std::move(r);
+    c.assembled = true;
+    return c.result;
+  }
+};
+
+// ---- PipelineHandle ----------------------------------------------------
+
+PipelineHandle::PipelineHandle(std::shared_ptr<FrameCtx> ctx)
+    : ctx_(std::move(ctx)) {}
+
+const PipelineResult& PipelineHandle::wait() {
+  if (!ctx_) throw Error("PipelineHandle::wait on an empty handle");
+  for (runtime::FrameHandle& h : ctx_->handles) h.wait();
+  if (std::shared_ptr<PipelineExecutor::Impl> impl = ctx_->impl.lock()) {
+    return impl->assemble(*ctx_);
+  }
+  // Executor already gone: shutdown() assembled the result.
+  std::lock_guard<std::mutex> lock(ctx_->result_mu);
+  return ctx_->result;
+}
+
+bool PipelineHandle::wait_for(std::chrono::milliseconds timeout) {
+  if (!ctx_) throw Error("PipelineHandle::wait_for on an empty handle");
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (runtime::FrameHandle& h : ctx_->handles) {
+    const auto now = std::chrono::steady_clock::now();
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - now);
+    if (!h.wait_for(std::max(left, std::chrono::milliseconds(0)))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool PipelineHandle::done() const {
+  if (!ctx_) return false;
+  for (const runtime::FrameHandle& h : ctx_->handles) {
+    if (!h.done()) return false;
+  }
+  return true;
+}
+
+void PipelineHandle::cancel() {
+  if (!ctx_) return;
+  if (std::shared_ptr<PipelineExecutor::Impl> impl = ctx_->impl.lock()) {
+    impl->abort(ctx_);
+  } else {
+    for (runtime::FrameHandle& h : ctx_->handles) h.cancel();
+  }
+}
+
+// ---- PipelineExecutor --------------------------------------------------
+
+PipelineExecutor::PipelineExecutor(StageGraph graph, PipelineOptions options)
+    : impl_(std::make_shared<Impl>(std::move(graph), std::move(options))) {}
+
+PipelineExecutor::~PipelineExecutor() {
+  if (impl_) impl_->shutdown(Drain::kCancelPending);
+}
+
+const StageGraph& PipelineExecutor::graph() const { return impl_->graph; }
+
+runtime::FrameEngine& PipelineExecutor::engine(std::size_t stage) {
+  if (stage >= impl_->engines.size()) {
+    throw Error("PipelineExecutor::engine: stage out of range");
+  }
+  return *impl_->engines[stage];
+}
+
+PipelineHandle PipelineExecutor::submit(std::uint64_t seed) {
+  Impl& im = *impl_;
+  auto ctx = std::make_shared<FrameCtx>();
+  ctx->impl = im.weak_from_this();
+  ctx->seed = seed;
+  ctx->t0 = std::chrono::steady_clock::now();
+
+  const std::size_t stages = im.graph.stage_count();
+  ctx->buffers.reserve(im.graph.edges().size());
+  for (std::size_t e = 0; e < im.graph.edges().size(); ++e) {
+    const StageEdge& edge = im.graph.edges()[e];
+    ctx->buffers.push_back(std::make_unique<StageBuffer>(
+        im.plans[edge.producer], im.plans[edge.consumer], im.maps[e],
+        edge.input, *im.registry, im.edge_labels[e]));
+  }
+  ctx->tracker = std::make_unique<DependencyTracker>(
+      im.graph, im.maps, im.tiles_per_stage, im.options.barrier);
+  ctx->slices.resize(stages);
+  ctx->released.resize(stages);
+  ctx->first_us = std::vector<std::atomic<std::int64_t>>(stages);
+  ctx->last_us = std::vector<std::atomic<std::int64_t>>(stages);
+  for (std::size_t s = 0; s < stages; ++s) {
+    const stencil::StencilProgram& program = im.graph.stages()[s].program;
+    ctx->stage_names.push_back(program.name());
+    ctx->slices[s].assign(
+        im.tiles_per_stage[s],
+        std::vector<Slice>(program.inputs().size()));
+    ctx->released[s].assign(im.tiles_per_stage[s], 0);
+    ctx->first_us[s].store(-1, std::memory_order_relaxed);
+    ctx->last_us[s].store(-1, std::memory_order_relaxed);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    if (!im.accepting) {
+      throw Error("PipelineExecutor::submit after shutdown");
+    }
+    // Prune frames that already resolved; keep live ones reachable for
+    // shutdown() even when the caller drops its handle.
+    std::erase_if(im.inflight, [](const std::shared_ptr<FrameCtx>& f) {
+      for (const runtime::FrameHandle& h : f->handles) {
+        if (!h.done()) return false;
+      }
+      return true;
+    });
+    im.inflight.push_back(ctx);
+  }
+  im.c_submitted->inc();
+
+  // Register every stage frame (deferred: nothing enqueues) before any
+  // tile is released, so a fast producer can never resolve into a stage
+  // whose frame does not exist yet.
+  std::weak_ptr<FrameCtx> weak = ctx;
+  Impl* imp = &im;
+  for (std::size_t s = 0; s < stages; ++s) {
+    runtime::SubmitOptions so;
+    so.deferred = true;
+    so.feed = [imp, weak, s](const runtime::Tile&, std::size_t tile_idx,
+                             std::size_t array_idx, std::size_t)
+        -> std::shared_ptr<sim::ExternalFeed> {
+      std::shared_ptr<FrameCtx> c = weak.lock();
+      if (!c) return nullptr;
+      if (imp->graph.edge_into(s, array_idx) == StageGraph::npos) {
+        return nullptr;  // external input: keep the synthetic DRAM
+      }
+      return std::make_shared<SliceFeed>(c->slices[s][tile_idx][array_idx]);
+    };
+    so.on_tile = [imp, weak, s](std::size_t tile_idx, const double* outputs,
+                                bool ok) {
+      if (std::shared_ptr<FrameCtx> c = weak.lock()) {
+        imp->on_tile(c, s, tile_idx, outputs, ok);
+      }
+    };
+    ctx->handles.push_back(im.engines[s]->submit(
+        im.graph.stages()[s].program, seed, std::move(so)));
+  }
+
+  for (const DependencyTracker::Ready r : ctx->tracker->initially_ready()) {
+    im.make_ready(ctx, r.stage, r.tile);
+  }
+  return PipelineHandle(ctx);
+}
+
+void PipelineExecutor::shutdown(Drain mode) { impl_->shutdown(mode); }
+
+}  // namespace nup::pipeline

@@ -1,0 +1,140 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/builder.hpp"
+#include "obs/metrics.hpp"
+#include "pipeline/stage_buffer.hpp"
+#include "pipeline/stage_graph.hpp"
+#include "poly/int_vec.hpp"
+#include "runtime/engine.hpp"
+#include "sim/simulator.hpp"
+
+namespace nup::pipeline {
+
+namespace detail {
+struct FrameCtx;
+}
+
+struct PipelineOptions {
+  /// Instance label: stage engines publish as engine.<name>.s<k>.*, edge
+  /// buffers as pipeline.edge.<name>.<label>.*. Empty uses engine.s<k>.*
+  /// and pipeline.edge.<label>.* (one anonymous pipeline per process).
+  std::string name;
+
+  /// Worker threads per stage engine; 0 divides the hardware threads
+  /// evenly over the stages (at least 1 each).
+  std::size_t threads_per_stage = 0;
+
+  /// Tile queue bound of each stage engine: the cross-stage backpressure
+  /// window. An upstream worker releasing into a full consumer queue
+  /// blocks until the consumer drains.
+  std::size_t queue_capacity = 16;
+
+  poly::IntVec tile_shape;       ///< per-stage tiler shape (empty = auto)
+  arch::BuildOptions build;      ///< microarchitecture generation options
+  std::size_t cache_capacity = 256;  ///< per-stage design cache capacity
+  obs::Registry* metrics = nullptr;  ///< nullptr = obs::Registry::global()
+  sim::SimOptions sim;
+
+  /// Frame-barrier baseline: every consumer tile waits for the producer
+  /// frame to finish. Same engines, buffers, and stitching -- only the
+  /// dependency structure changes -- so benchmarks compare scheduling
+  /// policies, not implementations.
+  bool barrier = false;
+};
+
+/// Milestones of one stage within a pipelined frame, relative to submit.
+struct StageTiming {
+  std::int64_t first_tile_us = -1;  ///< first tile resolved ok (-1 = none)
+  std::int64_t last_tile_us = -1;   ///< last tile resolved ok
+};
+
+/// The assembled result of one pipelined frame.
+struct PipelineResult {
+  std::uint64_t seed = 0;
+  bool cancelled = false;
+  std::string error;  ///< first stage error, prefixed with the stage name
+
+  /// Per-stage frame results, in stage-id order. Outputs of stage k are
+  /// bit-identical to running the stage alone on its stitched inputs;
+  /// sink-stage outputs are the pipeline's results.
+  std::vector<runtime::FrameResult> stages;
+  std::vector<StageTiming> timing;            ///< per stage
+  std::vector<StageBuffer::Occupancy> edges;  ///< per edge, frame totals
+  std::int64_t total_us = 0;  ///< submit to last tile resolution
+
+  bool ok() const { return !cancelled && error.empty(); }
+};
+
+/// Future of a submitted pipelined frame (cheap shared reference).
+class PipelineHandle {
+ public:
+  PipelineHandle() = default;
+
+  bool valid() const { return ctx_ != nullptr; }
+
+  /// Blocks until every stage resolves, then assembles (once) and returns
+  /// the result; never blocks forever (cancellation and executor shutdown
+  /// resolve all stages).
+  const PipelineResult& wait();
+
+  bool wait_for(std::chrono::milliseconds timeout);
+  bool done() const;
+
+  /// Aborts the frame: all stage frames are cancelled and every tile not
+  /// yet handed to a worker resolves as skipped. Idempotent.
+  void cancel();
+
+ private:
+  friend class PipelineExecutor;
+  explicit PipelineHandle(std::shared_ptr<detail::FrameCtx> ctx);
+  std::shared_ptr<detail::FrameCtx> ctx_;
+};
+
+/// Tile-granular dataflow scheduler over a StageGraph: one FrameEngine per
+/// stage (its tile designs pinned in the stage's cache), one deferred
+/// frame per stage per submitted seed, and a DependencyTracker releasing
+/// each consumer tile the moment the producer tiles covering its halo have
+/// resolved. Stage k+1 starts consuming while stage k is still producing;
+/// inter-stage data moves through bounded StageBuffers that retire
+/// producer tiles as soon as their last consumer is served.
+class PipelineExecutor {
+ public:
+  enum class Drain {
+    kDrainAll,       ///< finish every in-flight frame before stopping
+    kCancelPending,  ///< abort in-flight frames, then stop
+  };
+
+  explicit PipelineExecutor(StageGraph graph, PipelineOptions options = {});
+  ~PipelineExecutor();  // shutdown(kCancelPending) if still running
+
+  PipelineExecutor(const PipelineExecutor&) = delete;
+  PipelineExecutor& operator=(const PipelineExecutor&) = delete;
+
+  /// Starts one frame: every external input array streams synthetic data
+  /// derived from `seed` (exactly as a standalone engine frame would), and
+  /// edge-fed inputs stream upstream output. Source-stage tiles are
+  /// released immediately; the rest follow their dependencies. Throws
+  /// Error after shutdown.
+  PipelineHandle submit(std::uint64_t seed);
+
+  const StageGraph& graph() const;
+
+  /// The per-stage engine (for stats; stage id = graph stage id).
+  runtime::FrameEngine& engine(std::size_t stage);
+
+  void shutdown(Drain mode = Drain::kDrainAll);
+
+ private:
+  friend class PipelineHandle;
+  friend struct detail::FrameCtx;
+  struct Impl;
+  std::shared_ptr<Impl> impl_;  ///< shared: aborts may outlive shutdown
+};
+
+}  // namespace nup::pipeline

@@ -1,0 +1,154 @@
+#include "pipeline/stage_buffer.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace nup::pipeline {
+
+namespace {
+
+std::vector<std::int64_t> row_major_strides(const poly::IntVec& lo,
+                                            const poly::IntVec& hi) {
+  std::vector<std::int64_t> strides(lo.size(), 1);
+  for (std::size_t d = lo.size(); d-- > 1;) {
+    strides[d - 1] = strides[d] * (hi[d] - lo[d] + 1);
+  }
+  return strides;
+}
+
+std::int64_t box_index(const poly::IntVec& point, const poly::IntVec& lo,
+                       const std::vector<std::int64_t>& strides) {
+  std::int64_t idx = 0;
+  for (std::size_t d = 0; d < point.size(); ++d) {
+    idx += (point[d] - lo[d]) * strides[d];
+  }
+  return idx;
+}
+
+bool in_box(const poly::IntVec& point, const poly::IntVec& lo,
+            const poly::IntVec& hi) {
+  for (std::size_t d = 0; d < point.size(); ++d) {
+    if (point[d] < lo[d] || point[d] > hi[d]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SliceFeed::SliceFeed(Slice slice)
+    : slice_(std::move(slice)),
+      strides_(row_major_strides(slice_.lo, slice_.hi)) {}
+
+double SliceFeed::read(const poly::IntVec& h) {
+  if (!in_box(h, slice_.lo, slice_.hi)) return 0.0;
+  return (*slice_.data)[static_cast<std::size_t>(
+      box_index(h, slice_.lo, strides_))];
+}
+
+StageBuffer::StageBuffer(
+    std::shared_ptr<const runtime::TilePlan> producer_plan,
+    std::shared_ptr<const runtime::TilePlan> consumer_plan,
+    std::shared_ptr<const EdgeTileMap> map, std::size_t input_index,
+    obs::Registry& metrics, const std::string& label)
+    : producer_plan_(std::move(producer_plan)),
+      consumer_plan_(std::move(consumer_plan)),
+      map_(std::move(map)),
+      input_index_(input_index) {
+  slabs_.resize(producer_plan_->tiles.size());
+  pending_.resize(producer_plan_->tiles.size());
+  for (std::size_t p = 0; p < pending_.size(); ++p) {
+    pending_[p] = static_cast<std::int64_t>(map_->consumers_of[p].size());
+  }
+  const std::string prefix = "pipeline.edge." + label + ".";
+  g_tiles_ = &metrics.gauge(prefix + "buffer_tiles");
+  g_elements_ = &metrics.gauge(prefix + "buffer_elements");
+  g_max_tiles_ = &metrics.gauge(prefix + "buffer_tiles_max");
+  g_max_elements_ = &metrics.gauge(prefix + "buffer_elements_max");
+  c_retired_ = &metrics.counter(prefix + "tiles_retired");
+}
+
+StageBuffer::~StageBuffer() {
+  // Drop whatever an aborted frame left resident from the shared gauges.
+  std::lock_guard<std::mutex> lock(mu_);
+  g_tiles_->add(-occ_.tiles);
+  g_elements_->add(-occ_.elements);
+}
+
+void StageBuffer::admit(std::size_t tile_idx, const double* frame_outputs) {
+  const runtime::Tile& tile = producer_plan_->tiles[tile_idx];
+  std::vector<double> slab(tile.output_ranks.size());
+  for (std::size_t k = 0; k < slab.size(); ++k) {
+    slab[k] = frame_outputs[tile.output_ranks[k]];
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pending_[tile_idx] == 0) return;  // no consumer covers this tile
+  const std::int64_t elems = static_cast<std::int64_t>(slab.size());
+  slabs_[tile_idx] = std::move(slab);
+  occ_.tiles += 1;
+  occ_.elements += elems;
+  occ_.max_tiles = std::max(occ_.max_tiles, occ_.tiles);
+  occ_.max_elements = std::max(occ_.max_elements, occ_.elements);
+  g_tiles_->add(1);
+  g_elements_->add(elems);
+  g_max_tiles_->update_max(occ_.max_tiles);
+  g_max_elements_->update_max(occ_.max_elements);
+}
+
+Slice StageBuffer::stitch(std::size_t tile_idx) {
+  const runtime::Tile& consumer = consumer_plan_->tiles[tile_idx];
+  Slice slice;
+  if (!consumer.input_hulls[input_index_].as_single_box(&slice.lo,
+                                                        &slice.hi)) {
+    throw Error("StageBuffer::stitch: consumer hull is not a box");
+  }
+  const std::vector<std::int64_t> strides =
+      row_major_strides(slice.lo, slice.hi);
+  std::int64_t total = 1;
+  for (std::size_t d = 0; d < slice.lo.size(); ++d) {
+    total *= slice.hi[d] - slice.lo[d] + 1;
+  }
+  auto data = std::make_shared<std::vector<double>>(
+      static_cast<std::size_t>(total), 0.0);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::size_t p : map_->producers_of[tile_idx]) {
+    const runtime::Tile& producer = producer_plan_->tiles[p];
+    const std::vector<double>& slab = slabs_[p];
+    std::size_t k = 0;
+    producer.program->iteration().for_each([&](const poly::IntVec& point) {
+      if (in_box(point, slice.lo, slice.hi)) {
+        (*data)[static_cast<std::size_t>(
+            box_index(point, slice.lo, strides))] = slab[k];
+      }
+      ++k;
+    });
+  }
+  for (const std::size_t p : map_->producers_of[tile_idx]) {
+    if (--pending_[p] == 0) retire_locked(p);
+  }
+  slice.data = std::move(data);
+  return slice;
+}
+
+void StageBuffer::retire_locked(std::size_t producer_tile) {
+  std::vector<double>& slab = slabs_[producer_tile];
+  const std::int64_t elems = static_cast<std::int64_t>(slab.size());
+  if (elems == 0) return;
+  slab = {};
+  slab.shrink_to_fit();
+  occ_.tiles -= 1;
+  occ_.elements -= elems;
+  occ_.retired += 1;
+  g_tiles_->add(-1);
+  g_elements_->add(-elems);
+  c_retired_->inc();
+}
+
+StageBuffer::Occupancy StageBuffer::occupancy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return occ_;
+}
+
+}  // namespace nup::pipeline

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "pipeline/dependency.hpp"
+#include "poly/int_vec.hpp"
+#include "runtime/tiler.hpp"
+#include "sim/feed.hpp"
+
+namespace nup::pipeline {
+
+/// A dense row-major block of producer output over an axis-aligned box:
+/// the stitched input of one consumer tile. Data is shared and immutable
+/// once built, so the feed object and the buffer can both hold it without
+/// copying.
+struct Slice {
+  std::shared_ptr<const std::vector<double>> data;
+  poly::IntVec lo, hi;  ///< inclusive box corners (grid coordinates)
+};
+
+/// ExternalFeed serving a stitched Slice: always available (the data is
+/// resident by construction -- the consumer tile was only released after
+/// every covering producer tile resolved), values looked up row-major.
+/// Points outside the slice box read 0.0; they can only be hull padding
+/// the consumer's data filters discard, never kernel inputs.
+class SliceFeed final : public sim::ExternalFeed {
+ public:
+  explicit SliceFeed(Slice slice);
+
+  bool available(const poly::IntVec&) override { return true; }
+  double read(const poly::IntVec& h) override;
+
+ private:
+  Slice slice_;
+  std::vector<std::int64_t> strides_;
+};
+
+/// Per-edge, per-frame staging buffer between a producer and a consumer
+/// stage. Producer workers admit() finished tile slabs; when a consumer
+/// tile's covering set is complete, stitch() assembles its input slice and
+/// retires every producer slab whose last consumer has been served -- so
+/// steady-state occupancy is the band of producer rows the consumer halo
+/// still needs, not the frame. Thread-safe (engine workers of both stages
+/// call in concurrently).
+class StageBuffer {
+ public:
+  struct Occupancy {
+    std::int64_t tiles = 0;         ///< producer slabs currently resident
+    std::int64_t elements = 0;      ///< doubles currently resident
+    std::int64_t max_tiles = 0;     ///< high-water marks over the frame
+    std::int64_t max_elements = 0;
+    std::int64_t retired = 0;       ///< slabs freed before frame end
+  };
+
+  /// `label` names the pipeline.edge.<label>.* metric series; the map must
+  /// come from map_tile_dependencies over the same two plans.
+  StageBuffer(std::shared_ptr<const runtime::TilePlan> producer_plan,
+              std::shared_ptr<const runtime::TilePlan> consumer_plan,
+              std::shared_ptr<const EdgeTileMap> map,
+              std::size_t input_index, obs::Registry& metrics,
+              const std::string& label);
+  ~StageBuffer();
+
+  StageBuffer(const StageBuffer&) = delete;
+  StageBuffer& operator=(const StageBuffer&) = delete;
+
+  /// Copies producer tile `tile_idx`'s outputs out of the frame vector
+  /// (called from the worker that just wrote them -- only this tile's
+  /// output_ranks entries are read). A tile no consumer covers is dropped
+  /// immediately.
+  void admit(std::size_t tile_idx, const double* frame_outputs);
+
+  /// Assembles consumer tile `tile_idx`'s input slice over its streamed
+  /// hull box from the covering producer slabs (all admitted by
+  /// construction), then retires slabs whose consumers are all served.
+  Slice stitch(std::size_t tile_idx);
+
+  Occupancy occupancy() const;
+
+ private:
+  void retire_locked(std::size_t producer_tile);
+
+  std::shared_ptr<const runtime::TilePlan> producer_plan_;
+  std::shared_ptr<const runtime::TilePlan> consumer_plan_;
+  std::shared_ptr<const EdgeTileMap> map_;
+  std::size_t input_index_;
+
+  mutable std::mutex mu_;
+  std::vector<std::vector<double>> slabs_;     // per producer tile
+  std::vector<std::int64_t> pending_;          // consumers left per slab
+  Occupancy occ_;
+
+  obs::Gauge* g_tiles_ = nullptr;
+  obs::Gauge* g_elements_ = nullptr;
+  obs::Gauge* g_max_tiles_ = nullptr;
+  obs::Gauge* g_max_elements_ = nullptr;
+  obs::Counter* c_retired_ = nullptr;
+};
+
+}  // namespace nup::pipeline

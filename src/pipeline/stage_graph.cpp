@@ -1,0 +1,125 @@
+#include "pipeline/stage_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "stencil/fuse.hpp"
+#include "util/error.hpp"
+
+namespace nup::pipeline {
+
+std::size_t StageGraph::add_stage(stencil::StencilProgram program) {
+  stages_.push_back(Stage{std::move(program), {}, {}});
+  return stages_.size() - 1;
+}
+
+std::size_t StageGraph::add_edge(std::size_t producer, std::size_t consumer,
+                                 std::size_t input) {
+  if (producer >= stages_.size() || consumer >= stages_.size()) {
+    throw Error("StageGraph::add_edge: stage id out of range");
+  }
+  if (producer == consumer) {
+    throw Error("StageGraph::add_edge: stage '" +
+                stages_[producer].program.name() + "' cannot feed itself");
+  }
+  const stencil::StencilProgram& cp = stages_[consumer].program;
+  if (input >= cp.inputs().size()) {
+    throw Error("StageGraph::add_edge: stage '" + cp.name() + "' has no "
+                "input " + std::to_string(input));
+  }
+  if (edge_into(consumer, input) != npos) {
+    throw Error("StageGraph::add_edge: input " + std::to_string(input) +
+                " of stage '" + cp.name() + "' is already fed");
+  }
+  stencil::check_stage_window(stages_[producer].program, cp, input);
+
+  StageEdge edge;
+  edge.producer = producer;
+  edge.consumer = consumer;
+  edge.input = input;
+  edge.label =
+      "s" + std::to_string(producer) + "_to_s" + std::to_string(consumer);
+  const std::size_t dim = cp.dim();
+  edge.window_lo.assign(dim, 0);
+  edge.window_hi.assign(dim, 0);
+  for (const stencil::ArrayReference& ref : cp.inputs()[input].refs) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      edge.window_lo[d] = std::min(edge.window_lo[d], ref.offset[d]);
+      edge.window_hi[d] = std::max(edge.window_hi[d], ref.offset[d]);
+    }
+  }
+
+  const std::size_t id = edges_.size();
+  edges_.push_back(std::move(edge));
+  stages_[producer].out_edges.push_back(id);
+  stages_[consumer].in_edges.push_back(id);
+  return id;
+}
+
+StageGraph StageGraph::chain(
+    std::span<const stencil::StencilProgram> stages) {
+  if (stages.empty()) throw Error("StageGraph::chain: no stages");
+  StageGraph graph;
+  for (const stencil::StencilProgram& stage : stages) {
+    if (stage.inputs().size() != 1) {
+      throw stencil::FuseArityError(
+          "StageGraph::chain: stage '" + stage.name() + "' reads " +
+          std::to_string(stage.inputs().size()) +
+          " arrays; only single-input stages chain");
+    }
+    graph.add_stage(stage);
+  }
+  for (std::size_t k = 0; k + 1 < stages.size(); ++k) {
+    graph.add_edge(k, k + 1, 0);
+  }
+  return graph;
+}
+
+std::vector<std::size_t> StageGraph::schedule() const {
+  std::vector<std::size_t> in_degree(stages_.size(), 0);
+  for (const StageEdge& edge : edges_) ++in_degree[edge.consumer];
+
+  std::deque<std::size_t> frontier;
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    if (in_degree[s] == 0) frontier.push_back(s);
+  }
+  std::vector<std::size_t> order;
+  order.reserve(stages_.size());
+  while (!frontier.empty()) {
+    const std::size_t s = frontier.front();
+    frontier.pop_front();
+    order.push_back(s);
+    for (const std::size_t e : stages_[s].out_edges) {
+      if (--in_degree[edges_[e].consumer] == 0) {
+        frontier.push_back(edges_[e].consumer);
+      }
+    }
+  }
+  if (order.size() != stages_.size()) {
+    for (std::size_t s = 0; s < stages_.size(); ++s) {
+      if (in_degree[s] > 0) {
+        throw Error("StageGraph::schedule: cycle through stage '" +
+                    stages_[s].program.name() + "'");
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<std::size_t> StageGraph::sinks() const {
+  std::vector<std::size_t> out;
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    if (stages_[s].out_edges.empty()) out.push_back(s);
+  }
+  return out;
+}
+
+std::size_t StageGraph::edge_into(std::size_t stage,
+                                  std::size_t input) const {
+  for (const std::size_t e : stages_[stage].in_edges) {
+    if (edges_[e].input == input) return e;
+  }
+  return npos;
+}
+
+}  // namespace nup::pipeline

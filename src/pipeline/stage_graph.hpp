@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "poly/int_vec.hpp"
+#include "stencil/program.hpp"
+
+namespace nup::pipeline {
+
+/// One node of a stage DAG: a complete stencil program. Inputs that no
+/// edge feeds stream synthetic off-chip data (they are the DAG's external
+/// arrays); the stage's output either feeds downstream edges or is a sink
+/// result.
+struct Stage {
+  stencil::StencilProgram program;
+  std::vector<std::size_t> in_edges;   ///< edge ids feeding this stage
+  std::vector<std::size_t> out_edges;  ///< edge ids this stage feeds
+};
+
+/// One producer->consumer dataflow edge, carrying the window algebra the
+/// scheduler needs: the consumer's reference window over the producer's
+/// output, reduced to per-dimension halo growth (the same geometry
+/// stencil::fuse sums and runtime::plan_tiles grows tile hulls by).
+struct StageEdge {
+  std::size_t producer = 0;
+  std::size_t consumer = 0;
+  /// Index of the consumer input array this edge feeds.
+  std::size_t input = 0;
+  /// Per-dimension min/max reference offset of the consumer's window on
+  /// this input: consumer tile [lo, hi] needs producer rows
+  /// [lo + window_lo, hi + window_hi].
+  poly::IntVec window_lo, window_hi;
+  /// Stable label ("s0_to_s1") naming the edge's metrics and trace events.
+  std::string label;
+};
+
+/// The IR of a fused-stage workload: a DAG of stencil stages with
+/// validated inter-stage window algebra. Stages are added first, then
+/// edges; add_edge re-uses stencil::check_stage_window, so a consumer
+/// reference escaping its producer's iteration domain fails at graph
+/// construction with a typed FuseDomainError rather than at execution.
+class StageGraph {
+ public:
+  /// Appends a stage; returns its id (dense, in insertion order).
+  std::size_t add_stage(stencil::StencilProgram program);
+
+  /// Connects producer's output to one input array of consumer; returns
+  /// the edge id. Validates: ids in range, producer != consumer (and no
+  /// path back -- cycles are rejected by schedule()), input index in
+  /// range and not already fed, dimensionality match and window
+  /// containment (stencil::check_stage_window).
+  std::size_t add_edge(std::size_t producer, std::size_t consumer,
+                       std::size_t input = 0);
+
+  /// Builds the linear chain s0 -> s1 -> ... -> sn-1 (each stage
+  /// single-input, validated like fuse_chain).
+  static StageGraph chain(std::span<const stencil::StencilProgram> stages);
+
+  const std::vector<Stage>& stages() const { return stages_; }
+  const std::vector<StageEdge>& edges() const { return edges_; }
+  std::size_t stage_count() const { return stages_.size(); }
+
+  /// Topological execution order (Kahn). Throws Error when the graph has
+  /// a cycle, naming a stage on it.
+  std::vector<std::size_t> schedule() const;
+
+  /// Stages with no out-edges: the DAG's results.
+  std::vector<std::size_t> sinks() const;
+
+  /// Edge id feeding (consumer stage, input array), or npos when that
+  /// input is external (synthetic off-chip data).
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t edge_into(std::size_t stage, std::size_t input) const;
+
+ private:
+  std::vector<Stage> stages_;
+  std::vector<StageEdge> edges_;
+};
+
+}  // namespace nup::pipeline

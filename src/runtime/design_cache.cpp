@@ -81,27 +81,30 @@ std::uint64_t DesignCache::fingerprint(const stencil::StencilProgram& program,
   return h;
 }
 
-DesignCache::DesignCache(std::size_t capacity, obs::Registry* registry)
+DesignCache::DesignCache(std::size_t capacity, obs::Registry* registry,
+                         const std::string& label)
     : capacity_(std::max<std::size_t>(capacity, 1)) {
   obs::Registry& reg = registry ? *registry : obs::Registry::global();
-  m_hits_ = &reg.counter("cache.hits");
-  m_misses_ = &reg.counter("cache.misses");
-  m_inserts_ = &reg.counter("cache.inserts");
-  m_evictions_ = &reg.counter("cache.evictions");
-  m_compile_us_ = &reg.histogram("cache.compile_us");
+  const std::string prefix =
+      label.empty() ? std::string("cache.") : "cache." + label + ".";
+  m_hits_ = &reg.counter(prefix + "hits");
+  m_misses_ = &reg.counter(prefix + "misses");
+  m_inserts_ = &reg.counter(prefix + "inserts");
+  m_evictions_ = &reg.counter(prefix + "evictions");
+  m_eviction_skips_ = &reg.counter(prefix + "eviction_skips");
+  m_compile_us_ = &reg.histogram(prefix + "compile_us");
 }
 
-std::shared_ptr<const CachedDesign> DesignCache::get_or_compile(
-    const stencil::StencilProgram& program,
-    const arch::BuildOptions& build) {
+std::list<DesignCache::Entry>::iterator
+DesignCache::lookup_or_compile_locked(const stencil::StencilProgram& program,
+                                      const arch::BuildOptions& build) {
   std::string key = canonical_key(program, build);
-  std::lock_guard<std::mutex> lock(mu_);
   const auto found = index_.find(key);
   if (found != index_.end()) {
     ++stats_.hits;
     m_hits_->inc();
     lru_.splice(lru_.begin(), lru_, found->second);  // mark most recent
-    return found->second->value;
+    return found->second;
   }
 
   ++stats_.misses;
@@ -129,16 +132,61 @@ std::shared_ptr<const CachedDesign> DesignCache::get_or_compile(
 
   ++stats_.inserts;
   m_inserts_->inc();
-  lru_.push_front(Entry{key, entry});
+  lru_.push_front(Entry{key, std::move(entry), 0});
   index_.emplace(std::move(key), lru_.begin());
+  evict_locked();
+  stats_.entries = lru_.size();
+  return lru_.begin();
+}
+
+void DesignCache::evict_locked() {
   while (lru_.size() > capacity_) {
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
+    // LRU sweep from the tail; pinned entries are stepped over (and the
+    // skip counted) rather than dropped. All-pinned means the cache is
+    // allowed to exceed capacity -- that is the pin contract.
+    auto victim = lru_.end();
+    for (auto it = std::prev(lru_.end()); it != lru_.begin(); --it) {
+      if (it->pins == 0) {
+        victim = it;
+        break;
+      }
+      ++stats_.eviction_skips;
+      m_eviction_skips_->inc();
+    }
+    if (victim == lru_.end()) break;  // every entry pinned
+    index_.erase(victim->key);
+    lru_.erase(victim);
     ++stats_.evictions;
     m_evictions_->inc();
   }
-  stats_.entries = lru_.size();
-  return entry;
+}
+
+std::shared_ptr<const CachedDesign> DesignCache::get_or_compile(
+    const stencil::StencilProgram& program,
+    const arch::BuildOptions& build) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lookup_or_compile_locked(program, build)->value;
+}
+
+std::shared_ptr<const CachedDesign> DesignCache::pin(
+    const stencil::StencilProgram& program,
+    const arch::BuildOptions& build) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = lookup_or_compile_locked(program, build);
+  if (it->pins++ == 0) ++stats_.pinned;
+  return it->value;
+}
+
+void DesignCache::unpin(const stencil::StencilProgram& program,
+                        const arch::BuildOptions& build) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto found = index_.find(canonical_key(program, build));
+  if (found == index_.end() || found->second->pins == 0) return;
+  if (--found->second->pins == 0) {
+    --stats_.pinned;
+    evict_locked();  // pressure deferred by the pin applies now
+    stats_.entries = lru_.size();
+  }
 }
 
 DesignCacheStats DesignCache::stats() const {
@@ -153,6 +201,7 @@ void DesignCache::clear() {
   lru_.clear();
   index_.clear();
   stats_.entries = 0;
+  stats_.pinned = 0;
 }
 
 }  // namespace nup::runtime

@@ -33,7 +33,12 @@ struct DesignCacheStats {
   std::int64_t misses = 0;
   std::int64_t inserts = 0;    ///< compiled entries added (== misses)
   std::int64_t evictions = 0;  ///< LRU entries dropped at capacity
+  /// Pinned entries the LRU sweep stepped over while looking for a
+  /// victim. A busy pipeline run under cache pressure grows this instead
+  /// of evicting a stage's hot design.
+  std::int64_t eviction_skips = 0;
   std::size_t entries = 0;
+  std::size_t pinned = 0;  ///< entries currently pin()ned (pin count > 0)
 };
 
 /// Memoizes `arch::build_design` + `sim::compile_fast_plan` keyed by a
@@ -54,16 +59,34 @@ struct DesignCacheStats {
 class DesignCache {
  public:
   /// `registry` receives the cache.* metrics (hits/misses/inserts/
-  /// evictions counters, compile-latency histogram); nullptr selects the
-  /// process-wide obs::Registry::global().
+  /// evictions/eviction_skips counters, compile-latency histogram);
+  /// nullptr selects the process-wide obs::Registry::global(). A non-empty
+  /// `label` namespaces the metrics as cache.<label>.* so several caches
+  /// (one per pipeline stage engine) publish distinct series.
   explicit DesignCache(std::size_t capacity = 64,
-                       obs::Registry* registry = nullptr);
+                       obs::Registry* registry = nullptr,
+                       const std::string& label = {});
 
   /// Returns the memoized design for the canonicalized program, compiling
   /// (and inserting) it on first use. Never returns nullptr.
   std::shared_ptr<const CachedDesign> get_or_compile(
       const stencil::StencilProgram& program,
       const arch::BuildOptions& build = {});
+
+  /// get_or_compile + marks the entry pinned: a pinned entry is never the
+  /// LRU victim, so a pipeline stage's designs stay hot for the whole run
+  /// regardless of what else churns through the cache. Pins nest (each
+  /// pin() needs one unpin()). Pinned entries still count against
+  /// capacity; when every entry is pinned the cache grows past capacity
+  /// rather than evict (counted in eviction_skips).
+  std::shared_ptr<const CachedDesign> pin(
+      const stencil::StencilProgram& program,
+      const arch::BuildOptions& build = {});
+
+  /// Drops one pin; at zero the entry rejoins normal LRU eviction. No-op
+  /// when the entry is absent or not pinned.
+  void unpin(const stencil::StencilProgram& program,
+             const arch::BuildOptions& build = {});
 
   DesignCacheStats stats() const;
   void clear();
@@ -82,7 +105,14 @@ class DesignCache {
   struct Entry {
     std::string key;
     std::shared_ptr<const CachedDesign> value;
+    int pins = 0;  ///< > 0 excludes the entry from LRU eviction
   };
+
+  /// Looks up / compiles under mu_ (callers hold the lock).
+  std::list<Entry>::iterator lookup_or_compile_locked(
+      const stencil::StencilProgram& program,
+      const arch::BuildOptions& build);
+  void evict_locked();
 
   mutable std::mutex mu_;
   std::size_t capacity_;
@@ -95,6 +125,7 @@ class DesignCache {
   obs::Counter* m_misses_ = nullptr;
   obs::Counter* m_inserts_ = nullptr;
   obs::Counter* m_evictions_ = nullptr;
+  obs::Counter* m_eviction_skips_ = nullptr;
   obs::Histogram* m_compile_us_ = nullptr;
 };
 

@@ -25,6 +25,7 @@ namespace detail {
 struct FrameState {
   std::shared_ptr<const TilePlan> plan;
   std::uint64_t seed = 0;
+  SubmitOptions options;  ///< per-frame hooks (empty for plain submits)
 
   std::atomic<bool> cancelled{false};
   std::atomic<std::int64_t> remaining{0};
@@ -135,6 +136,7 @@ poly::IntVec auto_tile_shape(const stencil::StencilProgram& program,
 
 struct FrameEngine::Impl {
   EngineOptions options;
+  std::string prefix;  ///< "engine." or "engine.<name>." (metric namespace)
   std::size_t thread_count = 1;
   obs::Registry* registry = nullptr;
   DesignCache cache;
@@ -182,19 +184,21 @@ struct FrameEngine::Impl {
 
   explicit Impl(EngineOptions opts)
       : options(std::move(opts)),
+        prefix(options.name.empty() ? std::string("engine.")
+                                    : "engine." + options.name + "."),
         registry(options.metrics ? options.metrics
                                  : &obs::Registry::global()),
-        cache(options.cache_capacity, registry) {
-    m_queue_depth = &registry->gauge("engine.queue_depth");
-    m_queue_depth_max = &registry->gauge("engine.queue_depth_max");
-    m_backpressure_us = &registry->histogram("engine.backpressure_wait_us");
-    m_tile_latency_us = &registry->histogram("engine.tile_latency_us");
-    m_tiles_executed = &registry->counter("engine.tiles_executed");
-    m_tiles_skipped = &registry->counter("engine.tiles_skipped");
-    m_frames_submitted = &registry->counter("engine.frames_submitted");
-    m_frames_completed = &registry->counter("engine.frames_completed");
-    m_frames_cancelled = &registry->counter("engine.frames_cancelled");
-    m_frames_failed = &registry->counter("engine.frames_failed");
+        cache(options.cache_capacity, registry, options.name) {
+    m_queue_depth = &registry->gauge(prefix + "queue_depth");
+    m_queue_depth_max = &registry->gauge(prefix + "queue_depth_max");
+    m_backpressure_us = &registry->histogram(prefix + "backpressure_wait_us");
+    m_tile_latency_us = &registry->histogram(prefix + "tile_latency_us");
+    m_tiles_executed = &registry->counter(prefix + "tiles_executed");
+    m_tiles_skipped = &registry->counter(prefix + "tiles_skipped");
+    m_frames_submitted = &registry->counter(prefix + "frames_submitted");
+    m_frames_completed = &registry->counter(prefix + "frames_completed");
+    m_frames_cancelled = &registry->counter(prefix + "frames_cancelled");
+    m_frames_failed = &registry->counter(prefix + "frames_failed");
   }
 
   /// Sets the live queue-depth gauge and mirrors it as a Chrome counter
@@ -204,7 +208,7 @@ struct FrameEngine::Impl {
     m_queue_depth_max->update_max(static_cast<std::int64_t>(depth));
     obs::Tracer& tracer = obs::Tracer::global();
     if (tracer.enabled()) {
-      tracer.counter("engine.queue_depth",
+      tracer.counter(prefix + "queue_depth",
                      static_cast<std::int64_t>(depth));
     }
   }
@@ -277,6 +281,9 @@ struct FrameEngine::Impl {
       // marks them so a trace of a cancelled frame still accounts for
       // every tile.
       if (tracer.enabled()) tracer.instant("tile.skipped", "engine");
+      if (frame.options.on_tile) {
+        frame.options.on_tile(tile_idx, nullptr, false);
+      }
       return;
     }
     frame.executed.fetch_add(1, std::memory_order_relaxed);
@@ -296,6 +303,7 @@ struct FrameEngine::Impl {
     // so cancelled or failed frames never leave a dangling span.
     obs::Span span(tracer, "tile", "engine", std::move(span_args));
     const auto t0 = std::chrono::steady_clock::now();
+    bool ok = true;
     try {
       const std::shared_ptr<const CachedDesign> entry =
           cache.get_or_compile(*tile.program, options.build);
@@ -305,6 +313,18 @@ struct FrameEngine::Impl {
       so.record_outputs = false;
       so.trace_cycles = 0;
       sim::FastSim sim(*tile.program, entry->design, entry->plan, so);
+      if (frame.options.feed) {
+        for (std::size_t a = 0; a < entry->design.systems.size(); ++a) {
+          const std::size_t segments =
+              entry->design.systems[a].stream_count();
+          for (std::size_t s = 0; s < segments; ++s) {
+            if (std::shared_ptr<sim::ExternalFeed> feed =
+                    frame.options.feed(tile, tile_idx, a, s)) {
+              sim.set_feed(a, s, std::move(feed));
+            }
+          }
+        }
+      }
       double* const outputs = frame.result.outputs.data();
       const std::int64_t* const ranks = tile.output_ranks.data();
       std::size_t k = 0;
@@ -316,33 +336,42 @@ struct FrameEngine::Impl {
       const int violations =
           publish_sim_telemetry(*registry, entry->design, r);
       if (r.deadlocked) {
+        ok = false;
         frame.fail(tile.program->name() + " deadlocked: " +
                    r.deadlock_detail);
       } else if (r.kernel_fires != tile.outputs()) {
+        ok = false;
         frame.fail(tile.program->name() + " produced " +
                    std::to_string(r.kernel_fires) + " of " +
                    std::to_string(tile.outputs()) + " outputs");
       } else if (violations > 0) {
+        ok = false;
         frame.fail(tile.program->name() + ": " +
                    std::to_string(violations) +
                    " FIFO(s) exceeded their designed depth");
       }
     } catch (const std::exception& e) {
+      ok = false;
       frame.fail(tile.program->name() + ": " + e.what());
     }
     const std::int64_t us = elapsed_us(t0);
     m_tile_latency_us->observe(us);
     worker_busy_us.add(us);
     worker_tiles.inc();
+    if (frame.options.on_tile) {
+      frame.options.on_tile(tile_idx,
+                            ok ? frame.result.outputs.data() : nullptr, ok);
+    }
   }
 
   void worker_loop(std::size_t worker) {
-    obs::Tracer::global().set_thread_name("worker-" +
-                                          std::to_string(worker));
+    obs::Tracer::global().set_thread_name(
+        (options.name.empty() ? std::string() : options.name + ".") +
+        "worker-" + std::to_string(worker));
     obs::Counter& busy_us = registry->counter(
-        "engine.worker." + std::to_string(worker) + ".busy_us");
+        prefix + "worker." + std::to_string(worker) + ".busy_us");
     obs::Counter& worker_tiles = registry->counter(
-        "engine.worker." + std::to_string(worker) + ".tiles");
+        prefix + "worker." + std::to_string(worker) + ".tiles");
     for (;;) {
       Job job;
       std::size_t depth = 0;
@@ -407,6 +436,11 @@ std::shared_ptr<const TilePlan> FrameEngine::plan_for(
 
 FrameHandle FrameEngine::submit(const stencil::StencilProgram& program,
                                 std::uint64_t seed) {
+  return submit(program, seed, SubmitOptions{});
+}
+
+FrameHandle FrameEngine::submit(const stencil::StencilProgram& program,
+                                std::uint64_t seed, SubmitOptions options) {
   Impl& im = *impl_;
   {
     std::lock_guard<std::mutex> lock(im.qmu);
@@ -417,6 +451,7 @@ FrameHandle FrameEngine::submit(const stencil::StencilProgram& program,
   auto frame = std::make_shared<FrameState>();
   frame->plan = plan;
   frame->seed = seed;
+  frame->options = std::move(options);
   frame->result.seed = seed;
   frame->result.tiles_total =
       static_cast<std::int64_t>(plan->tiles.size());
@@ -429,6 +464,11 @@ FrameHandle FrameEngine::submit(const stencil::StencilProgram& program,
     ++im.counts.frames_submitted;
   }
   im.m_frames_submitted->inc();
+  if (frame->options.deferred) {
+    // The caller releases tiles itself (release_tile) as dependencies
+    // resolve; nothing is enqueued here.
+    return FrameHandle(frame);
+  }
 
   std::size_t pushed = 0;
   for (std::size_t t = 0; t < plan->tiles.size(); ++t) {
@@ -467,6 +507,77 @@ FrameHandle FrameEngine::submit(const stencil::StencilProgram& program,
   }
   return FrameHandle(frame);
 }
+
+void FrameEngine::release_tile(const FrameHandle& frame,
+                               std::size_t tile_idx) {
+  Impl& im = *impl_;
+  if (!frame.state_) {
+    throw Error("FrameEngine::release_tile on an empty handle");
+  }
+  FrameState& state = *frame.state_;
+  if (tile_idx >= state.plan->tiles.size()) {
+    throw Error("FrameEngine::release_tile: tile " +
+                std::to_string(tile_idx) + " out of range");
+  }
+
+  bool enqueued = false;
+  std::size_t depth = 0;
+  const auto w0 = std::chrono::steady_clock::now();
+  {
+    std::unique_lock<std::mutex> lock(im.qmu);
+    im.not_full.wait(lock, [&] {
+      return im.queue.size() < im.options.queue_capacity || !im.accepting;
+    });
+    if (im.accepting) {
+      im.queue.push_back(Job{frame.state_, tile_idx});
+      im.max_queue_depth = std::max(im.max_queue_depth, im.queue.size());
+      depth = im.queue.size();
+      enqueued = true;
+    }
+  }
+  if (enqueued) {
+    im.m_backpressure_us->observe(elapsed_us(w0));
+    im.note_queue_depth(depth);
+    im.not_empty.notify_one();
+    return;
+  }
+
+  // Shutdown raced the release: the tile resolves as skipped so the
+  // deferred frame still terminates (mirrors submit()'s truncation path).
+  state.cancelled.store(true, std::memory_order_relaxed);
+  state.skipped.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(im.stats_mu);
+    ++im.counts.tiles_skipped;
+  }
+  im.m_tiles_skipped->inc();
+  if (state.options.on_tile) state.options.on_tile(tile_idx, nullptr, false);
+  im.finish_tiles(state, 1);
+}
+
+void FrameEngine::skip_tile(const FrameHandle& frame,
+                            std::size_t tile_idx) {
+  Impl& im = *impl_;
+  if (!frame.state_) {
+    throw Error("FrameEngine::skip_tile on an empty handle");
+  }
+  FrameState& state = *frame.state_;
+  if (tile_idx >= state.plan->tiles.size()) {
+    throw Error("FrameEngine::skip_tile: tile " + std::to_string(tile_idx) +
+                " out of range");
+  }
+  state.cancelled.store(true, std::memory_order_relaxed);
+  state.skipped.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(im.stats_mu);
+    ++im.counts.tiles_skipped;
+  }
+  im.m_tiles_skipped->inc();
+  if (state.options.on_tile) state.options.on_tile(tile_idx, nullptr, false);
+  im.finish_tiles(state, 1);
+}
+
+DesignCache& FrameEngine::cache() { return impl_->cache; }
 
 void FrameEngine::shutdown(Drain mode) {
   Impl& im = *impl_;

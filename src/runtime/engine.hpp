@@ -6,11 +6,14 @@
 #include <string>
 #include <vector>
 
+#include <functional>
+
 #include "arch/builder.hpp"
 #include "obs/metrics.hpp"
 #include "poly/int_vec.hpp"
 #include "runtime/design_cache.hpp"
 #include "runtime/tiler.hpp"
+#include "sim/feed.hpp"
 #include "sim/simulator.hpp"
 #include "stencil/program.hpp"
 
@@ -21,6 +24,13 @@ struct FrameState;
 }
 
 struct EngineOptions {
+  /// Instance label. Empty keeps the historical flat metric names
+  /// (engine.queue_depth, cache.hits, ...); non-empty namespaces them as
+  /// engine.<name>.* / cache.<name>.* so several engines in one process
+  /// (a pipeline of per-stage engines) publish distinct series instead of
+  /// aggregating into one.
+  std::string name;
+
   /// Worker threads; 0 means std::thread::hardware_concurrency (min 1).
   std::size_t threads = 0;
 
@@ -47,6 +57,37 @@ struct EngineOptions {
   /// compiled fast backend, overrides the seed per frame and disables
   /// per-tile output recording (outputs are stitched into the frame).
   sim::SimOptions sim;
+};
+
+/// Per-frame hooks used by the pipeline executor (src/pipeline); plain
+/// submit(program, seed) is the empty default.
+struct SubmitOptions {
+  /// Replaces the off-chip feed of one chain segment: called once per
+  /// (tile, input array, segment) before the tile simulates; a non-null
+  /// return is installed via FastSim::set_feed, nullptr keeps the
+  /// synthetic DRAM. Called in the executing worker thread.
+  std::function<std::shared_ptr<sim::ExternalFeed>(
+      const Tile& tile, std::size_t tile_idx, std::size_t array_idx,
+      std::size_t segment)>
+      feed;
+
+  /// Tile-resolution hook, called in the executing worker thread after the
+  /// tile's outputs are stitched into the frame (ok == true) or after the
+  /// tile was skipped / failed (ok == false). `outputs` points at the
+  /// frame's full output vector; only this tile's output_ranks entries are
+  /// safe to read (other tiles may still be written concurrently). It is
+  /// nullptr for skipped tiles. The hook may block (e.g. releasing a
+  /// downstream tile against a full queue): it runs before the tile is
+  /// counted done, so the frame resolves only after every hook returned.
+  std::function<void(std::size_t tile_idx, const double* outputs, bool ok)>
+      on_tile;
+
+  /// When true, submit() registers the frame but enqueues no tiles; the
+  /// caller feeds them to the workers one by one with release_tile() as
+  /// their dependencies resolve. Every tile must eventually be released
+  /// (cancellation included -- released tiles of a cancelled frame resolve
+  /// as skipped), or the frame never resolves.
+  bool deferred = false;
 };
 
 /// The assembled result of one frame request.
@@ -135,6 +176,28 @@ class FrameEngine {
   /// after shutdown.
   FrameHandle submit(const stencil::StencilProgram& program,
                      std::uint64_t seed);
+
+  /// submit with per-frame hooks (custom feeds, tile-resolution callback,
+  /// deferred tile release). See SubmitOptions.
+  FrameHandle submit(const stencil::StencilProgram& program,
+                     std::uint64_t seed, SubmitOptions options);
+
+  /// Hands one tile of a deferred frame to the workers (see
+  /// SubmitOptions::deferred). Blocks while the tile queue is full
+  /// (cross-stage backpressure when called from an upstream engine's
+  /// worker). After shutdown the tile resolves as skipped instead of
+  /// enqueuing, so a deferred frame still terminates. Releasing the same
+  /// tile twice is the caller's bug; the engine does not dedupe.
+  void release_tile(const FrameHandle& frame, std::size_t tile_idx);
+
+  /// Resolves one tile of a deferred frame as skipped without touching the
+  /// queue. Never blocks -- the cancellation path of a pipeline abort uses
+  /// it from worker threads, where blocking on a full queue of the same
+  /// engine would self-deadlock. Marks the frame cancelled.
+  void skip_tile(const FrameHandle& frame, std::size_t tile_idx);
+
+  /// The embedded design cache (for pinning a pipeline stage's designs).
+  DesignCache& cache();
 
   /// Tile plan the engine uses for this program (registering it if new).
   std::shared_ptr<const TilePlan> plan_for(

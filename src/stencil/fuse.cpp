@@ -2,36 +2,57 @@
 
 #include <map>
 
-#include "util/error.hpp"
-
 namespace nup::stencil {
 
-StencilProgram fuse(const StencilProgram& first,
-                    const StencilProgram& second) {
-  if (first.inputs().size() != 1 || second.inputs().size() != 1) {
-    throw NotStencilError("fuse: both stages must read a single array");
-  }
-  if (first.dim() != second.dim()) {
-    throw NotStencilError("fuse: dimensionality mismatch");
-  }
-  const std::vector<ArrayReference>& w1 = first.inputs()[0].refs;
-  const std::vector<ArrayReference>& w2 = second.inputs()[0].refs;
+namespace {
 
-  // Every intermediate element second needs must be producible by first.
-  for (const ArrayReference& g : w2) {
+/// The arity rule of fuse(): a composable stage reads exactly one array.
+void check_single_input(const StencilProgram& stage) {
+  if (stage.inputs().size() != 1) {
+    throw FuseArityError("fuse: stage '" + stage.name() + "' reads " +
+                         std::to_string(stage.inputs().size()) +
+                         " arrays; only single-input stages compose");
+  }
+}
+
+}  // namespace
+
+void check_stage_window(const StencilProgram& producer,
+                        const StencilProgram& consumer,
+                        std::size_t input_index) {
+  if (producer.dim() != consumer.dim()) {
+    throw FuseDimensionError(
+        "fuse: stage '" + producer.name() + "' is " +
+        std::to_string(producer.dim()) + "-dimensional but stage '" +
+        consumer.name() + "' is " + std::to_string(consumer.dim()) +
+        "-dimensional");
+  }
+  // Every intermediate element the consumer needs must be producible.
+  const std::vector<ArrayReference>& refs =
+      consumer.inputs().at(input_index).refs;
+  for (const ArrayReference& g : refs) {
     bool inside = true;
-    second.iteration().for_each([&](const poly::IntVec& i) {
-      if (inside && !first.iteration().contains(poly::add(i, g.offset))) {
+    consumer.iteration().for_each([&](const poly::IntVec& i) {
+      if (inside && !producer.iteration().contains(poly::add(i, g.offset))) {
         inside = false;
       }
     });
     if (!inside) {
-      throw NotStencilError(
-          "fuse: reference " + poly::to_string(g.offset) +
-          " of the second stage reaches outside the first stage's "
-          "iteration domain");
+      throw FuseDomainError(
+          "fuse: reference " + poly::to_string(g.offset) + " of stage '" +
+          consumer.name() + "' reaches outside the iteration domain of "
+          "stage '" + producer.name() + "'");
     }
   }
+}
+
+StencilProgram fuse(const StencilProgram& first,
+                    const StencilProgram& second) {
+  check_single_input(first);
+  check_single_input(second);
+  check_stage_window(first, second);
+  const std::vector<ArrayReference>& w1 = first.inputs()[0].refs;
+  const std::vector<ArrayReference>& w2 = second.inputs()[0].refs;
 
   // Fused window: Minkowski sum, deduplicated; remember the slot of every
   // (g, f) pair.
@@ -70,6 +91,25 @@ StencilProgram fuse(const StencilProgram& first,
     return k2(stage2_inputs);
   });
   return fused;
+}
+
+StencilProgram fuse_chain(std::span<const StencilProgram> stages) {
+  if (stages.empty()) {
+    throw FuseArityError("fuse_chain: no stages");
+  }
+  // Upfront validation of every composition rule. Adjacent-pair
+  // containment is exact for the folded chain too: fuse(s0..sk, sk+1)
+  // checks sk+1's window against the fused program's iteration domain,
+  // which is sk's iteration domain unchanged.
+  for (const StencilProgram& stage : stages) check_single_input(stage);
+  for (std::size_t k = 0; k + 1 < stages.size(); ++k) {
+    check_stage_window(stages[k], stages[k + 1]);
+  }
+  StencilProgram folded = stages[0];
+  for (std::size_t k = 1; k < stages.size(); ++k) {
+    folded = fuse(folded, stages[k]);
+  }
+  return folded;
 }
 
 }  // namespace nup::stencil

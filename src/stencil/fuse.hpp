@@ -1,8 +1,51 @@
 #pragma once
 
+#include <span>
+
 #include "stencil/program.hpp"
+#include "util/error.hpp"
 
 namespace nup::stencil {
+
+/// Base of the fusion / stage-composition errors. Derives from
+/// NotStencilError so callers that caught the old generic throws keep
+/// working; the subclasses let new callers (fuse_chain, the pipeline's
+/// StageGraph) report *which* composition rule a stage pair broke.
+class FuseError : public NotStencilError {
+ public:
+  explicit FuseError(const std::string& what) : NotStencilError(what) {}
+};
+
+/// A stage reads more than one input array, so it has no single upstream
+/// producer to compose with.
+class FuseArityError : public FuseError {
+ public:
+  explicit FuseArityError(const std::string& what) : FuseError(what) {}
+};
+
+/// Producer and consumer iterate domains of different dimensionality.
+class FuseDimensionError : public FuseError {
+ public:
+  explicit FuseDimensionError(const std::string& what) : FuseError(what) {}
+};
+
+/// A consumer reference, translated over the consumer's iteration domain,
+/// reaches an element the producer never computes.
+class FuseDomainError : public FuseError {
+ public:
+  explicit FuseDomainError(const std::string& what) : FuseError(what) {}
+};
+
+/// Checks that `consumer`'s input array `input_index` can be fed by
+/// `producer`'s output: equal dimensionality, and every reference offset
+/// translated over the consumer's iteration domain stays inside the
+/// producer's iteration domain (the containment rule fuse() enforces,
+/// factored out so the pipeline's StageGraph validates DAG edges with the
+/// same window algebra). Throws FuseDimensionError / FuseDomainError with
+/// the stage names and the offending offset.
+void check_stage_window(const StencilProgram& producer,
+                        const StencilProgram& consumer,
+                        std::size_t input_index = 0);
 
 /// Loop fusion of two stencil stages ([12] in the paper): `second` consumes
 /// the array `first` produces. The fused program computes
@@ -14,8 +57,16 @@ namespace nup::stencil {
 /// Requirements: both programs are single-input, equal dimensionality, and
 /// `second`'s iteration domain translated by any of its offsets stays
 /// inside `first`'s iteration domain (every intermediate element the fused
-/// kernel needs is computable).
+/// kernel needs is computable). Violations throw FuseArityError,
+/// FuseDimensionError or FuseDomainError respectively.
 StencilProgram fuse(const StencilProgram& first,
                     const StencilProgram& second);
+
+/// Folds an n-stage chain into one program: fuse(...fuse(fuse(s0, s1),
+/// s2)..., sn-1). All composition rules are validated upfront -- adjacent
+/// pairs are checked before any fusion work happens, so a bad stage deep
+/// in the chain fails fast with the same typed errors fuse() throws.
+/// Requires at least one stage; a single stage is returned as-is.
+StencilProgram fuse_chain(std::span<const StencilProgram> stages);
 
 }  // namespace nup::stencil

@@ -1,0 +1,147 @@
+// Tile-dependency mapping and readiness tracking: each consumer tile must
+// wait for exactly the producer tiles covering its halo (minimal sets),
+// become ready exactly once, and degrade to whole-frame waits in barrier
+// mode.
+
+#include "pipeline/dependency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "pipeline/stage_graph.hpp"
+#include "runtime/tiler.hpp"
+
+namespace nup::pipeline {
+namespace {
+
+stencil::StencilProgram smoother(const std::string& name, std::int64_t lo,
+                                 std::int64_t rows, std::int64_t cols) {
+  stencil::StencilProgram p(
+      name, poly::Domain::box({lo, lo}, {rows - 1 - lo, cols - 1 - lo}));
+  p.add_input("A", {{-1, 0}, {0, -1}, {0, 0}, {0, 1}, {1, 0}});
+  return p;
+}
+
+// Two radius-1 smoothers over a 14x10 grid, both cut into 2-row bands:
+// the covering sets are exactly the consumer band plus one band of halo
+// on each side.
+struct BandFixture {
+  BandFixture()
+      : s0(smoother("S0", 1, 14, 10)), s1(smoother("S1", 2, 14, 10)) {
+    runtime::TilerOptions topts;
+    topts.tile_shape = {2, 0};
+    p0 = runtime::plan_tiles(s0, topts);
+    p1 = runtime::plan_tiles(s1, topts);
+  }
+  stencil::StencilProgram s0, s1;
+  runtime::TilePlan p0, p1;
+};
+
+TEST(EdgeTileMap, CoversExactlyTheHaloBand) {
+  BandFixture fx;
+  // S0 rows 1..12 -> 6 bands; S1 rows 2..11 -> 5 bands.
+  ASSERT_EQ(fx.p0.tiles.size(), 6u);
+  ASSERT_EQ(fx.p1.tiles.size(), 5u);
+  const EdgeTileMap map = map_tile_dependencies(fx.p0, fx.p1, 0);
+
+  for (std::size_t c = 0; c < fx.p1.tiles.size(); ++c) {
+    const runtime::Tile& tile = fx.p1.tiles[c];
+    // The halo band in producer-tile indices: producer band b holds rows
+    // [1 + 2b, 2 + 2b], the consumer needs rows [lo-1, hi+1].
+    std::vector<std::size_t> expect;
+    for (std::size_t b = 0; b < fx.p0.tiles.size(); ++b) {
+      const std::int64_t blo = fx.p0.tiles[b].lo[0];
+      const std::int64_t bhi = fx.p0.tiles[b].hi[0];
+      if (bhi >= tile.lo[0] - 1 && blo <= tile.hi[0] + 1) expect.push_back(b);
+    }
+    EXPECT_EQ(map.producers_of[c], expect) << "consumer band " << c;
+    // Minimality: never the whole frame.
+    EXPECT_LT(map.producers_of[c].size(), fx.p0.tiles.size());
+  }
+
+  // consumers_of is the exact transpose.
+  for (std::size_t p = 0; p < map.consumers_of.size(); ++p) {
+    for (const std::size_t c : map.consumers_of[p]) {
+      const auto& prods = map.producers_of[c];
+      EXPECT_TRUE(std::find(prods.begin(), prods.end(), p) != prods.end());
+    }
+  }
+}
+
+TEST(DependencyTracker, TilesBecomeReadyExactlyOnce) {
+  BandFixture fx;
+  const std::vector<stencil::StencilProgram> chain = {fx.s0, fx.s1};
+  const StageGraph graph = StageGraph::chain(chain);
+  const auto map = std::make_shared<const EdgeTileMap>(
+      map_tile_dependencies(fx.p0, fx.p1, 0));
+  DependencyTracker tracker(graph, {map},
+                            {fx.p0.tiles.size(), fx.p1.tiles.size()});
+
+  // Only source tiles are ready initially.
+  std::set<std::pair<std::size_t, std::size_t>> seen;
+  for (const auto r : tracker.initially_ready()) {
+    EXPECT_EQ(r.stage, 0u);
+    EXPECT_TRUE(seen.insert({r.stage, r.tile}).second);
+  }
+  EXPECT_EQ(seen.size(), fx.p0.tiles.size());
+
+  // Resolve producer bands top-down: each consumer band becomes ready
+  // exactly when the band below its halo resolves, and exactly once.
+  for (std::size_t p = 0; p < fx.p0.tiles.size(); ++p) {
+    for (const auto r : tracker.resolve(0, p)) {
+      EXPECT_EQ(r.stage, 1u);
+      EXPECT_TRUE(seen.insert({r.stage, r.tile}).second)
+          << "tile readied twice";
+      // Every covering producer of this consumer has resolved.
+      for (const std::size_t need : map->producers_of[r.tile]) {
+        EXPECT_LE(need, p);
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), fx.p0.tiles.size() + fx.p1.tiles.size());
+}
+
+TEST(DependencyTracker, FirstConsumerReadyBeforeProducerFinishes) {
+  BandFixture fx;
+  const std::vector<stencil::StencilProgram> chain = {fx.s0, fx.s1};
+  const StageGraph graph = StageGraph::chain(chain);
+  const auto map = std::make_shared<const EdgeTileMap>(
+      map_tile_dependencies(fx.p0, fx.p1, 0));
+  DependencyTracker tracker(graph, {map},
+                            {fx.p0.tiles.size(), fx.p1.tiles.size()});
+
+  // Resolving just the first two producer bands readies the first
+  // consumer band -- the overlap the pipeline exploits.
+  std::vector<DependencyTracker::Ready> ready;
+  for (std::size_t p = 0; p < 2; ++p) {
+    for (const auto r : tracker.resolve(0, p)) ready.push_back(r);
+  }
+  ASSERT_FALSE(ready.empty());
+  EXPECT_EQ(ready.front().stage, 1u);
+  EXPECT_EQ(ready.front().tile, 0u);
+}
+
+TEST(DependencyTracker, BarrierModeWaitsForTheWholeFrame) {
+  BandFixture fx;
+  const std::vector<stencil::StencilProgram> chain = {fx.s0, fx.s1};
+  const StageGraph graph = StageGraph::chain(chain);
+  const auto map = std::make_shared<const EdgeTileMap>(
+      map_tile_dependencies(fx.p0, fx.p1, 0));
+  DependencyTracker tracker(graph, {map},
+                            {fx.p0.tiles.size(), fx.p1.tiles.size()},
+                            /*barrier=*/true);
+
+  std::size_t readied = 0;
+  for (std::size_t p = 0; p + 1 < fx.p0.tiles.size(); ++p) {
+    readied += tracker.resolve(0, p).size();
+  }
+  EXPECT_EQ(readied, 0u) << "consumer started before the barrier";
+  const auto last = tracker.resolve(0, fx.p0.tiles.size() - 1);
+  EXPECT_EQ(last.size(), fx.p1.tiles.size());
+}
+
+}  // namespace
+}  // namespace nup::pipeline

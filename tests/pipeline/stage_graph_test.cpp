@@ -1,0 +1,155 @@
+// StageGraph IR: construction and validation of stage DAGs -- edge window
+// algebra, typed fuse errors surfacing at graph-build time, topological
+// scheduling with cycle rejection, and the chain() convenience factory.
+
+#include "pipeline/stage_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stencil/fuse.hpp"
+#include "stencil/gallery.hpp"
+#include "util/error.hpp"
+
+namespace nup::pipeline {
+namespace {
+
+// 5-point smoother on [lo,lo] .. [rows-1-lo, cols-1-lo]: successive lo
+// values chain with exact window containment.
+stencil::StencilProgram smoother(const std::string& name, std::int64_t lo,
+                                 std::int64_t rows, std::int64_t cols) {
+  stencil::StencilProgram p(
+      name, poly::Domain::box({lo, lo}, {rows - 1 - lo, cols - 1 - lo}));
+  p.add_input("A", {{-1, 0}, {0, -1}, {0, 0}, {0, 1}, {1, 0}});
+  return p;
+}
+
+stencil::StencilProgram pointwise(const std::string& name, std::int64_t lo,
+                                  std::int64_t rows, std::int64_t cols) {
+  stencil::StencilProgram p(
+      name, poly::Domain::box({lo, lo}, {rows - 1 - lo, cols - 1 - lo}));
+  p.add_input("A", {{0, 0}});
+  return p;
+}
+
+TEST(StageGraph, ChainBuildsEdgesWithWindows) {
+  const std::vector<stencil::StencilProgram> stages = {
+      smoother("S0", 1, 20, 24), smoother("S1", 2, 20, 24),
+      smoother("S2", 3, 20, 24)};
+  const StageGraph graph = StageGraph::chain(stages);
+
+  ASSERT_EQ(graph.stage_count(), 3u);
+  ASSERT_EQ(graph.edges().size(), 2u);
+  for (std::size_t e = 0; e < 2; ++e) {
+    const StageEdge& edge = graph.edges()[e];
+    EXPECT_EQ(edge.producer, e);
+    EXPECT_EQ(edge.consumer, e + 1);
+    EXPECT_EQ(edge.input, 0u);
+    EXPECT_EQ(edge.window_lo, (poly::IntVec{-1, -1}));
+    EXPECT_EQ(edge.window_hi, (poly::IntVec{1, 1}));
+  }
+  EXPECT_EQ(graph.edges()[0].label, "s0_to_s1");
+  EXPECT_EQ(graph.edges()[1].label, "s1_to_s2");
+
+  EXPECT_EQ(graph.schedule(), (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(graph.sinks(), (std::vector<std::size_t>{2}));
+  EXPECT_EQ(graph.edge_into(1, 0), 0u);
+  EXPECT_EQ(graph.edge_into(0, 0), StageGraph::npos);
+}
+
+TEST(StageGraph, GalleryFrontendChains) {
+  // A gallery kernel heads the chain; the inner stages shrink their
+  // domains by the accumulated halo.
+  StageGraph graph;
+  graph.add_stage(stencil::denoise_2d(20, 24));
+  graph.add_stage(smoother("INNER", 2, 20, 24));
+  graph.add_edge(0, 1);
+  EXPECT_EQ(graph.edges()[0].window_lo, (poly::IntVec{-1, -1}));
+  EXPECT_EQ(graph.schedule().size(), 2u);
+}
+
+TEST(StageGraph, DomainEscapeIsTypedError) {
+  StageGraph graph;
+  graph.add_stage(smoother("S0", 1, 20, 24));
+  // Same halo as the producer: reference (-1, 0) at row 1 escapes.
+  graph.add_stage(smoother("S1", 1, 20, 24));
+  EXPECT_THROW(graph.add_edge(0, 1), stencil::FuseDomainError);
+  // Still the legacy base type, so pre-existing handlers keep working.
+  EXPECT_THROW(graph.add_edge(0, 1), NotStencilError);
+  EXPECT_TRUE(graph.edges().empty());
+}
+
+TEST(StageGraph, DimensionMismatchIsTypedError) {
+  StageGraph graph;
+  graph.add_stage(smoother("S0", 1, 20, 24));
+  stencil::StencilProgram p1("S1", poly::Domain::box({2}, {17}));
+  p1.add_input("A", {{0}});
+  graph.add_stage(std::move(p1));
+  EXPECT_THROW(graph.add_edge(0, 1), stencil::FuseDimensionError);
+}
+
+TEST(StageGraph, RejectsBadEdges) {
+  StageGraph graph;
+  graph.add_stage(smoother("S0", 1, 20, 24));
+  graph.add_stage(smoother("S1", 2, 20, 24));
+  EXPECT_THROW(graph.add_edge(0, 7), Error);   // id out of range
+  EXPECT_THROW(graph.add_edge(0, 0), Error);   // self edge
+  EXPECT_THROW(graph.add_edge(0, 1, 3), Error);  // no such input
+  graph.add_edge(0, 1);
+  EXPECT_THROW(graph.add_edge(0, 1), Error);   // input already fed
+}
+
+TEST(StageGraph, ChainRequiresSingleInputStages) {
+  stencil::StencilProgram two("TWO", poly::Domain::box({1, 1}, {8, 8}));
+  two.add_input("A", {{0, 0}});
+  two.add_input("B", {{0, 0}});
+  const std::vector<stencil::StencilProgram> stages = {
+      smoother("S0", 1, 20, 24), two};
+  EXPECT_THROW(StageGraph::chain(stages), stencil::FuseArityError);
+  EXPECT_THROW(StageGraph::chain({}), Error);
+}
+
+TEST(StageGraph, DiamondSchedulesTopologically) {
+  // s0 feeds s1 and s2; s3 reads both (a two-input join).
+  StageGraph graph;
+  graph.add_stage(pointwise("SRC", 1, 12, 12));
+  graph.add_stage(pointwise("L", 1, 12, 12));
+  graph.add_stage(pointwise("R", 1, 12, 12));
+  stencil::StencilProgram join("JOIN", poly::Domain::box({1, 1}, {10, 10}));
+  join.add_input("A", {{0, 0}});
+  join.add_input("B", {{0, 0}});
+  graph.add_stage(std::move(join));
+  graph.add_edge(0, 1);
+  graph.add_edge(0, 2);
+  graph.add_edge(1, 3, 0);
+  graph.add_edge(2, 3, 1);
+
+  const std::vector<std::size_t> order = graph.schedule();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<std::size_t> pos(4);
+  for (std::size_t k = 0; k < 4; ++k) pos[order[k]] = k;
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[0], pos[2]);
+  EXPECT_LT(pos[1], pos[3]);
+  EXPECT_LT(pos[2], pos[3]);
+  EXPECT_EQ(graph.sinks(), (std::vector<std::size_t>{3}));
+  EXPECT_EQ(graph.edge_into(3, 1), 3u);
+}
+
+TEST(StageGraph, CycleIsRejectedByName) {
+  StageGraph graph;
+  graph.add_stage(pointwise("A", 1, 10, 10));
+  graph.add_stage(pointwise("B", 1, 10, 10));
+  graph.add_edge(0, 1);
+  graph.add_edge(1, 0);  // window containment holds; the cycle does not
+  try {
+    graph.schedule();
+    FAIL() << "cycle not detected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("cycle"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace nup::pipeline

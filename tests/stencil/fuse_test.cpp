@@ -106,5 +106,86 @@ TEST(Fuse, RejectsMultiArrayStages) {
                NotStencilError);
 }
 
+// ---- typed failure modes ----------------------------------------------
+
+TEST(Fuse, FailureModesAreDistinctTypes) {
+  const StencilProgram s1 = smoother("S1", 1, 20, 20, "A");
+
+  // Arity: a multi-input stage cannot fuse.
+  StencilProgram multi("M", poly::Domain::box({2, 2}, {17, 17}));
+  multi.add_input("A", {{0, 0}});
+  multi.add_input("W", {{0, 0}});
+  EXPECT_THROW(fuse(s1, multi), FuseArityError);
+
+  // Dimensionality mismatch.
+  StencilProgram one_d("ONE", poly::Domain::box({2}, {17}));
+  one_d.add_input("A", {{0}});
+  EXPECT_THROW(fuse(s1, one_d), FuseDimensionError);
+
+  // Domain escape.
+  const StencilProgram same_lo = smoother("S2", 1, 20, 20, "B");
+  EXPECT_THROW(fuse(s1, same_lo), FuseDomainError);
+
+  // All of them are FuseError and the legacy NotStencilError.
+  EXPECT_THROW(fuse(s1, multi), FuseError);
+  EXPECT_THROW(fuse(s1, one_d), NotStencilError);
+}
+
+TEST(Fuse, ErrorsNameTheOffendingStageAndOffset) {
+  const StencilProgram s1 = smoother("PRODUCER", 1, 20, 20, "A");
+  const StencilProgram s2 = smoother("CONSUMER", 1, 20, 20, "B");
+  try {
+    fuse(s1, s2);
+    FAIL() << "domain escape not detected";
+  } catch (const FuseDomainError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("PRODUCER"), std::string::npos) << what;
+    EXPECT_NE(what.find("CONSUMER"), std::string::npos) << what;
+    EXPECT_NE(what.find("("), std::string::npos)
+        << "no offending offset in: " << what;
+  }
+}
+
+// ---- fuse_chain --------------------------------------------------------
+
+TEST(FuseChain, MatchesPairwiseFolding) {
+  const std::vector<StencilProgram> stages = {
+      smoother("S1", 1, 20, 20, "A"), smoother("S2", 2, 20, 20, "B"),
+      smoother("S3", 3, 20, 20, "C")};
+  const StencilProgram chained = fuse_chain(stages);
+  const StencilProgram folded = fuse(fuse(stages[0], stages[1]), stages[2]);
+
+  EXPECT_EQ(chained.total_references(), folded.total_references());
+  EXPECT_EQ(chained.iteration().count(), folded.iteration().count());
+  const GoldenRun a = run_golden(chained, 77);
+  const GoldenRun b = run_golden(folded, 77);
+  EXPECT_EQ(a.outputs, b.outputs);
+}
+
+TEST(FuseChain, SingleStageIsACopy) {
+  const std::vector<StencilProgram> one = {smoother("S1", 1, 16, 16, "A")};
+  const StencilProgram same = fuse_chain(one);
+  EXPECT_EQ(same.total_references(), one[0].total_references());
+  EXPECT_EQ(run_golden(same, 5).outputs, run_golden(one[0], 5).outputs);
+}
+
+TEST(FuseChain, ValidatesBeforeFusing) {
+  EXPECT_THROW(fuse_chain({}), Error);
+
+  // The incompatible pair sits at the end: validation must reject the
+  // chain up front (typed), not after half the folds have been built.
+  const std::vector<StencilProgram> bad_tail = {
+      smoother("S1", 1, 20, 20, "A"), smoother("S2", 2, 20, 20, "B"),
+      smoother("S3", 2, 20, 20, "C")};  // same lo as S2: domain escape
+  EXPECT_THROW(fuse_chain(bad_tail), FuseDomainError);
+
+  StencilProgram multi("M", poly::Domain::box({2, 2}, {17, 17}));
+  multi.add_input("A", {{0, 0}});
+  multi.add_input("W", {{0, 0}});
+  const std::vector<StencilProgram> bad_arity = {
+      smoother("S1", 1, 20, 20, "A"), multi};
+  EXPECT_THROW(fuse_chain(bad_arity), FuseArityError);
+}
+
 }  // namespace
 }  // namespace nup::stencil

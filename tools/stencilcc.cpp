@@ -26,6 +26,17 @@
 //   --threads <T>  worker threads for --serve (default: hardware)
 //   --tile <a,b,..> tile extents per dimension for --serve (0 = full
 //                  extent; default: automatic shape)
+//   --pipeline <spec>
+//                  stage-pipelined mode: <spec> holds several mini-C
+//                  kernels separated by lines starting with `---`; they
+//                  are chained into a stage DAG and executed with
+//                  tile-granular producer-consumer overlap (stage k+1
+//                  starts on a tile as soon as the producer tiles
+//                  covering its halo resolve). --serve/--threads/--tile
+//                  set the frame count, per-stage workers and tile shape;
+//                  --barrier switches to the frame-barrier baseline
+//   --barrier      with --pipeline: wait for whole producer frames
+//                  instead of halo-covering tiles (scheduling baseline)
 //   --metrics <f>  write the metrics registry (cache/engine/fifo/sim
 //                  telemetry, see docs/OBSERVABILITY.md) as JSON to <f>
 //   --trace <f>    record spans (tile execution, design compiles) and
@@ -45,8 +56,11 @@
 #include "core/compiler.hpp"
 #include "codegen/cpp_model.hpp"
 #include "core/json_export.hpp"
+#include "frontend/sema.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "pipeline/executor.hpp"
+#include "pipeline/stage_graph.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/telemetry.hpp"
 #include "sim/vcd.hpp"
@@ -61,7 +75,10 @@ void usage() {
       "[--vcd N] [--sim-backend reference|fast] [--cpp-model] "
       "[--rtl-check] [--serve N] [--threads T] [--tile a,b,..] "
       "[--metrics f.json] [--trace f.trace.json] [--stats] [--quiet] "
-      "<kernel.c>\n");
+      "<kernel.c>\n"
+      "       stencilcc --pipeline <spec> [--barrier] [--serve N] "
+      "[--threads T] [--tile a,b,..] [--metrics f.json] "
+      "[--trace f.trace.json] [--stats] [--quiet]\n");
 }
 
 bool parse_tile_shape(const std::string& spec, nup::poly::IntVec* shape) {
@@ -122,6 +139,124 @@ int serve_frames(const nup::core::AcceleratorPackage& pkg,
   return 0;
 }
 
+// Splits a pipeline spec into its stage kernels: sections separated by
+// lines whose first non-blank characters are `---`.
+std::vector<std::string> split_stage_sources(std::istream& in) {
+  std::vector<std::string> sections;
+  std::string line;
+  std::string current;
+  auto flush = [&] {
+    if (current.find_first_not_of(" \t\r\n") != std::string::npos) {
+      sections.push_back(current);
+    }
+    current.clear();
+  };
+  while (std::getline(in, line)) {
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first != std::string::npos && line.compare(first, 3, "---") == 0) {
+      flush();
+    } else {
+      current += line;
+      current += '\n';
+    }
+  }
+  flush();
+  return sections;
+}
+
+int run_pipeline(const std::string& spec_path, const std::string& name,
+                 const nup::core::CompileOptions& compile_options,
+                 long frames, std::size_t threads,
+                 nup::poly::IntVec tile_shape, bool barrier, bool quiet) {
+  using namespace nup;
+
+  std::ifstream in(spec_path);
+  if (!in) {
+    std::fprintf(stderr, "stencilcc: cannot read %s\n", spec_path.c_str());
+    return 1;
+  }
+  const std::vector<std::string> sources = split_stage_sources(in);
+  if (sources.empty()) {
+    std::fprintf(stderr, "stencilcc: %s has no stage kernels\n",
+                 spec_path.c_str());
+    return 1;
+  }
+
+  std::vector<stencil::StencilProgram> stages;
+  stages.reserve(sources.size());
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    stages.push_back(
+        frontend::parse_stencil(sources[s], name + "_s" + std::to_string(s)));
+  }
+  pipeline::StageGraph graph = pipeline::StageGraph::chain(stages);
+
+  pipeline::PipelineOptions options;
+  options.name = name;
+  options.threads_per_stage = threads;
+  options.tile_shape = std::move(tile_shape);
+  options.build = compile_options.build;
+  options.sim = compile_options.sim;
+  options.barrier = barrier;
+  pipeline::PipelineExecutor executor(std::move(graph), options);
+
+  if (!quiet) {
+    std::printf("pipeline %s: %zu stages, %zu edges (%s scheduling)\n",
+                name.c_str(), executor.graph().stage_count(),
+                executor.graph().edges().size(),
+                barrier ? "frame-barrier" : "tile-granular");
+  }
+
+  if (frames <= 0) frames = 1;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<pipeline::PipelineHandle> handles;
+  handles.reserve(static_cast<std::size_t>(frames));
+  for (long f = 0; f < frames; ++f) {
+    handles.push_back(executor.submit(static_cast<std::uint64_t>(f)));
+  }
+  for (pipeline::PipelineHandle& handle : handles) {
+    const pipeline::PipelineResult& result = handle.wait();
+    if (!result.ok()) {
+      std::fprintf(stderr, "stencilcc: pipelined frame %llu failed: %s\n",
+                   static_cast<unsigned long long>(result.seed),
+                   result.error.c_str());
+      return 1;
+    }
+  }
+  const auto seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  if (!quiet) {
+    const pipeline::PipelineResult& last = handles.back().wait();
+    std::printf("served %ld pipelined frames in %.3fs (%.2f frames/s)\n",
+                frames, seconds, frames / seconds);
+    for (std::size_t s = 0; s < last.stages.size(); ++s) {
+      const auto plan =
+          executor.engine(s).plan_for(executor.graph().stages()[s].program);
+      std::printf("  stage %s: %zu tiles, first/last tile %+lld/%+lld us%s\n",
+                  executor.graph().stages()[s].program.name().c_str(),
+                  plan->tiles.size(),
+                  static_cast<long long>(last.timing[s].first_tile_us),
+                  static_cast<long long>(last.timing[s].last_tile_us),
+                  s > 0 && last.timing[s].first_tile_us <
+                               last.timing[s - 1].last_tile_us
+                      ? " (overlapped upstream)"
+                      : "");
+    }
+    for (std::size_t e = 0; e < last.edges.size(); ++e) {
+      std::printf("  edge %s: peak %zu tiles / %zu elements buffered, "
+                  "%lld retired\n",
+                  executor.graph().edges()[e].label.c_str(),
+                  last.edges[e].max_tiles, last.edges[e].max_elements,
+                  static_cast<long long>(last.edges[e].retired));
+    }
+    std::printf("  frame total %lld us\n",
+                static_cast<long long>(last.total_us));
+  }
+  executor.shutdown();
+  return 0;
+}
+
 std::string basename_no_ext(const std::string& path) {
   const std::size_t slash = path.find_last_of('/');
   const std::size_t start = slash == std::string::npos ? 0 : slash + 1;
@@ -141,6 +276,27 @@ bool write_file(const std::string& path, const std::string& text) {
   return true;
 }
 
+// The shared observability tail: --metrics / --trace / --stats read the
+// global registry and tracer, which both the compile path and the
+// pipelined path feed. Returns nonzero when an export file cannot be
+// written.
+int emit_observability(const std::string& metrics_path,
+                       const std::string& trace_path, bool stats_table) {
+  const nup::obs::MetricsSnapshot snap =
+      nup::obs::Registry::global().snapshot();
+  int rc = 0;
+  if (!metrics_path.empty() &&
+      !write_file(metrics_path, snap.to_json() + "\n")) {
+    rc = 1;
+  }
+  if (!trace_path.empty() &&
+      !write_file(trace_path, nup::obs::Tracer::global().to_chrome_json())) {
+    rc = 1;
+  }
+  if (stats_table) std::printf("%s", snap.to_table().c_str());
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -155,6 +311,8 @@ int main(int argc, char** argv) {
   long serve = 0;
   std::size_t serve_threads = 0;
   poly::IntVec serve_tile;
+  std::string pipeline_spec;
+  bool pipeline_barrier = false;
   std::string metrics_path;
   std::string trace_path;
   bool stats_table = false;
@@ -206,6 +364,10 @@ int main(int argc, char** argv) {
         usage();
         return 2;
       }
+    } else if (arg == "--pipeline" && i + 1 < argc) {
+      pipeline_spec = argv[++i];
+    } else if (arg == "--barrier") {
+      pipeline_barrier = true;
     } else if (arg == "--metrics" && i + 1 < argc) {
       metrics_path = argv[++i];
     } else if (arg == "--trace" && i + 1 < argc) {
@@ -228,13 +390,36 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (input.empty()) {
+  if (input.empty() && pipeline_spec.empty()) {
     usage();
     return 2;
   }
-  if (name.empty()) name = basename_no_ext(input);
+  if (!pipeline_spec.empty() && !input.empty()) {
+    std::fprintf(stderr,
+                 "stencilcc: --pipeline reads its stages from the spec "
+                 "file; drop the positional kernel\n");
+    usage();
+    return 2;
+  }
+  if (name.empty()) {
+    name = basename_no_ext(pipeline_spec.empty() ? input : pipeline_spec);
+  }
   if (vcd_cycles > 0) options.sim.trace_cycles = vcd_cycles;
   if (!trace_path.empty()) obs::Tracer::global().set_enabled(true);
+
+  if (!pipeline_spec.empty()) {
+    try {
+      int rc = run_pipeline(pipeline_spec, name, options, serve,
+                            serve_threads, std::move(serve_tile),
+                            pipeline_barrier, quiet);
+      const int obs_rc =
+          emit_observability(metrics_path, trace_path, stats_table);
+      return rc != 0 ? rc : obs_rc;
+    } catch (const Error& e) {
+      std::fprintf(stderr, "stencilcc: %s\n", e.what());
+      return 1;
+    }
+  }
 
   std::ifstream in(input);
   if (!in) {
@@ -279,17 +464,9 @@ int main(int argc, char** argv) {
       rc = serve_frames(pkg, options, serve, serve_threads,
                         std::move(serve_tile), quiet);
     }
-    const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
-    if (!metrics_path.empty() &&
-        !write_file(metrics_path, snap.to_json() + "\n")) {
-      rc = rc != 0 ? rc : 1;
-    }
-    if (!trace_path.empty() &&
-        !write_file(trace_path, obs::Tracer::global().to_chrome_json())) {
-      rc = rc != 0 ? rc : 1;
-    }
-    if (stats_table) std::printf("%s", snap.to_table().c_str());
-    return rc;
+    const int obs_rc =
+        emit_observability(metrics_path, trace_path, stats_table);
+    return rc != 0 ? rc : obs_rc;
   } catch (const Error& e) {
     std::fprintf(stderr, "stencilcc: %s\n", e.what());
     return 1;
