@@ -75,67 +75,113 @@ DependencyTracker::DependencyTracker(
       tiles_per_stage.size() != graph.stage_count()) {
     throw Error("DependencyTracker: size mismatch with graph");
   }
-  waits_.resize(graph.stage_count());
+  baseline_waits_.resize(graph.stage_count());
   for (std::size_t s = 0; s < graph.stage_count(); ++s) {
-    waits_[s].assign(tiles_per_stage[s], 0);
+    baseline_waits_[s].assign(tiles_per_stage[s], 0);
   }
   if (barrier_) {
     // Every consumer tile waits for each in-edge's producer frame as a
     // whole: one unit per in-edge, decremented when the edge's last
     // producer tile resolves.
-    producer_left_.resize(graph.edges().size());
+    baseline_producer_left_.resize(graph.edges().size());
     for (std::size_t e = 0; e < graph.edges().size(); ++e) {
       const StageEdge& edge = graph.edges()[e];
-      producer_left_[e].assign(
-          1, static_cast<std::int64_t>(tiles_per_stage[edge.producer]));
-      for (std::int64_t& w : waits_[edge.consumer]) ++w;
+      baseline_producer_left_[e] =
+          static_cast<std::int64_t>(tiles_per_stage[edge.producer]);
+      for (std::int64_t& w : baseline_waits_[edge.consumer]) ++w;
     }
   } else {
     for (std::size_t e = 0; e < graph.edges().size(); ++e) {
       const StageEdge& edge = graph.edges()[e];
       const EdgeTileMap& map = *maps_[e];
       for (std::size_t c = 0; c < map.producers_of.size(); ++c) {
-        waits_[edge.consumer][c] +=
+        baseline_waits_[edge.consumer][c] +=
             static_cast<std::int64_t>(map.producers_of[c].size());
       }
     }
   }
 }
 
-std::vector<DependencyTracker::Ready> DependencyTracker::initially_ready()
-    const {
+DependencyTracker::FrameSlot& DependencyTracker::slot_locked(
+    std::uint64_t frame) {
+  for (FrameSlot& slot : slots_) {
+    if (slot.active && slot.frame == frame) return slot;
+  }
+  throw Error("DependencyTracker: frame " + std::to_string(frame) +
+              " is not armed");
+}
+
+std::vector<DependencyTracker::Ready> DependencyTracker::arm(
+    std::uint64_t frame) {
   std::lock_guard<std::mutex> lock(mu_);
+  FrameSlot* slot = nullptr;
+  for (FrameSlot& s : slots_) {
+    if (s.active && s.frame == frame) {
+      throw Error("DependencyTracker: frame " + std::to_string(frame) +
+                  " armed twice");
+    }
+    if (!s.active && !slot) slot = &s;
+  }
+  if (!slot) {
+    slots_.emplace_back();
+    slot = &slots_.back();
+    slot->waits.resize(baseline_waits_.size());
+  }
+  slot->frame = frame;
+  slot->active = true;
+  // Slot reuse keeps the countdown storage: assign() into equal-sized
+  // vectors copies values without touching the heap.
+  for (std::size_t s = 0; s < baseline_waits_.size(); ++s) {
+    slot->waits[s].assign(baseline_waits_[s].begin(),
+                          baseline_waits_[s].end());
+  }
+  slot->producer_left.assign(baseline_producer_left_.begin(),
+                             baseline_producer_left_.end());
+
   std::vector<Ready> ready;
-  for (std::size_t s = 0; s < waits_.size(); ++s) {
-    for (std::size_t t = 0; t < waits_[s].size(); ++t) {
-      if (waits_[s][t] == 0) ready.push_back(Ready{s, t});
+  for (std::size_t s = 0; s < slot->waits.size(); ++s) {
+    for (std::size_t t = 0; t < slot->waits[s].size(); ++t) {
+      if (slot->waits[s][t] == 0) ready.push_back(Ready{frame, s, t});
     }
   }
   return ready;
 }
 
 std::vector<DependencyTracker::Ready> DependencyTracker::resolve(
-    std::size_t stage, std::size_t tile) {
+    std::uint64_t frame, std::size_t stage, std::size_t tile) {
   std::lock_guard<std::mutex> lock(mu_);
+  FrameSlot& slot = slot_locked(frame);
   std::vector<Ready> ready;
   for (const std::size_t e : graph_->stages()[stage].out_edges) {
     const StageEdge& edge = graph_->edges()[e];
     if (barrier_) {
-      if (--producer_left_[e][0] > 0) continue;
-      for (std::size_t c = 0; c < waits_[edge.consumer].size(); ++c) {
-        if (--waits_[edge.consumer][c] == 0) {
-          ready.push_back(Ready{edge.consumer, c});
+      if (--slot.producer_left[e] > 0) continue;
+      for (std::size_t c = 0; c < slot.waits[edge.consumer].size(); ++c) {
+        if (--slot.waits[edge.consumer][c] == 0) {
+          ready.push_back(Ready{frame, edge.consumer, c});
         }
       }
     } else {
       for (const std::size_t c : maps_[e]->consumers_of[tile]) {
-        if (--waits_[edge.consumer][c] == 0) {
-          ready.push_back(Ready{edge.consumer, c});
+        if (--slot.waits[edge.consumer][c] == 0) {
+          ready.push_back(Ready{frame, edge.consumer, c});
         }
       }
     }
   }
   return ready;
+}
+
+void DependencyTracker::retire(std::uint64_t frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slot_locked(frame).active = false;
+}
+
+std::size_t DependencyTracker::frames_armed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::size_t>(
+      std::count_if(slots_.begin(), slots_.end(),
+                    [](const FrameSlot& s) { return s.active; }));
 }
 
 }  // namespace nup::pipeline

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -36,14 +37,23 @@ EdgeTileMap map_tile_dependencies(const runtime::TilePlan& producer_plan,
                                   const runtime::TilePlan& consumer_plan,
                                   std::size_t input_index);
 
-/// Per-frame readiness state over the whole graph: one countdown per
-/// (stage, tile) of unresolved covering producer tiles summed over the
-/// stage's in-edges. resolve() is called from engine worker threads as
-/// producer tiles finish; tiles whose countdown reaches zero are returned
-/// exactly once. Thread-safe.
+/// Readiness state over the whole graph with a frame dimension: one
+/// countdown per (frame, stage, tile) of unresolved covering producer
+/// tiles summed over the stage's in-edges. Frames of the same graph are
+/// data-independent, so the tracker never links tiles across frames --
+/// the frame id only selects which frame's countdowns a resolution
+/// decrements, which is what lets frame f+1's source tiles run in idle
+/// workers while frame f's sink tiles drain.
+///
+/// Frames are armed into recycled slots sized once at construction:
+/// arm() after the first few frames copies baseline countdowns into
+/// retired storage and allocates nothing. resolve() is called from engine
+/// worker threads as producer tiles finish; tiles whose countdown reaches
+/// zero are returned exactly once per frame. Thread-safe.
 class DependencyTracker {
  public:
   struct Ready {
+    std::uint64_t frame = 0;
     std::size_t stage = 0;
     std::size_t tile = 0;
   };
@@ -58,20 +68,42 @@ class DependencyTracker {
                     const std::vector<std::size_t>& tiles_per_stage,
                     bool barrier = false);
 
-  /// Tiles with no dependencies (source-stage tiles): ready at submit.
-  std::vector<Ready> initially_ready() const;
+  /// Admits one frame (ids must be distinct among the armed frames) and
+  /// returns its dependency-free tiles (source-stage tiles): ready the
+  /// moment the frame is armed. Reuses a retired frame's slot when one is
+  /// free.
+  std::vector<Ready> arm(std::uint64_t frame);
 
-  /// Marks one producer tile resolved; returns the consumer tiles that
-  /// became ready as a result.
-  std::vector<Ready> resolve(std::size_t stage, std::size_t tile);
+  /// Marks one producer tile of an armed frame resolved; returns the
+  /// consumer tiles of the same frame that became ready as a result.
+  std::vector<Ready> resolve(std::uint64_t frame, std::size_t stage,
+                             std::size_t tile);
+
+  /// Retires an armed frame, releasing its slot for the next arm(). The
+  /// caller guarantees no further resolve() for this frame id.
+  void retire(std::uint64_t frame);
+
+  /// Frames currently armed (for tests and occupancy assertions).
+  std::size_t frames_armed() const;
 
  private:
+  struct FrameSlot {
+    std::uint64_t frame = 0;
+    bool active = false;
+    std::vector<std::vector<std::int64_t>> waits;   // per (stage, tile)
+    std::vector<std::int64_t> producer_left;        // barrier mode, per edge
+  };
+
+  FrameSlot& slot_locked(std::uint64_t frame);
+
   const StageGraph* graph_;
   std::vector<std::shared_ptr<const EdgeTileMap>> maps_;
   bool barrier_;
+  /// Initial countdowns, computed once; arm() copies them into a slot.
+  std::vector<std::vector<std::int64_t>> baseline_waits_;
+  std::vector<std::int64_t> baseline_producer_left_;
   mutable std::mutex mu_;
-  std::vector<std::vector<std::int64_t>> waits_;  // per (stage, tile)
-  std::vector<std::vector<std::int64_t>> producer_left_;  // barrier mode
+  std::vector<FrameSlot> slots_;
 };
 
 }  // namespace nup::pipeline

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <mutex>
 #include <thread>
 
@@ -33,16 +34,18 @@ namespace detail {
 /// stage plus the scheduling state threading them together. Slices are
 /// written by the thread that readied the tile and read by the worker that
 /// executes it; the engine queue lock orders the two, so no slice is ever
-/// touched concurrently.
+/// touched concurrently. Several frames coexist (the admission window);
+/// each has its own buffers and countdowns, sharing only the executor's
+/// tracker, engines, and slab pools.
 struct FrameCtx {
   std::weak_ptr<PipelineExecutor::Impl> impl;
   std::uint64_t seed = 0;
+  std::uint64_t frame_id = 0;  ///< tracker frame id (unique while armed)
   std::chrono::steady_clock::time_point t0;
   std::vector<std::string> stage_names;
 
   std::vector<runtime::FrameHandle> handles;          // per stage
   std::vector<std::unique_ptr<StageBuffer>> buffers;  // per edge
-  std::unique_ptr<DependencyTracker> tracker;
 
   /// slices[stage][tile][input]: stitched inputs of one tile (empty Slice
   /// for external inputs). Freed by the tile's on_tile.
@@ -51,6 +54,12 @@ struct FrameCtx {
   std::mutex mu;  ///< guards released (handing a tile to its engine)
   std::vector<std::vector<char>> released;  // per (stage, tile)
   std::atomic<bool> aborted{false};
+
+  /// Tiles not yet resolved, over all stages. Every tile passes through
+  /// on_tile exactly once -- executed, failed, or skipped -- and
+  /// decrements this at the end; the thread that reaches zero runs
+  /// frame_done (retire the tracker slot, open the admission window).
+  std::atomic<std::int64_t> tiles_left{0};
 
   std::vector<std::atomic<std::int64_t>> first_us;  // per stage, -1 = none
   std::vector<std::atomic<std::int64_t>> last_us;
@@ -76,10 +85,21 @@ struct PipelineExecutor::Impl
   std::vector<std::size_t> tiles_per_stage;
   std::vector<std::shared_ptr<const EdgeTileMap>> maps;  // per edge
   std::vector<std::string> edge_labels;                  // per edge
-  /// Keeps every stage's tile designs pinned (and alive) for the
-  /// executor's lifetime: steady-state frames never recompile, whatever
-  /// else churns through the caches.
-  std::vector<std::shared_ptr<const runtime::CachedDesign>> pins;
+  /// Per-edge slab arenas, shared by every frame crossing the edge: the
+  /// storage retired by frame f is what frame f+1 admits into, which is
+  /// what makes the steady-state hot path allocation-free.
+  std::vector<std::shared_ptr<SlabPool>> pools;
+  /// Per-stage tile designs, pinned (and kept alive) for the executor's
+  /// lifetime and handed to every frame via SubmitOptions::designs:
+  /// steady-state frames never recompile or even look up a cache key.
+  /// Unpinned at shutdown so the caches report zero pins afterwards.
+  std::vector<
+      std::shared_ptr<const std::vector<
+          std::shared_ptr<const runtime::CachedDesign>>>>
+      stage_designs;
+  /// One tracker for all frames: arm()/resolve()/retire() with the frame
+  /// id selecting the slot, so concurrent frames never share countdowns.
+  std::unique_ptr<DependencyTracker> tracker;
 
   std::vector<obs::Histogram*> h_ready;  // per edge: readiness latency
   obs::Counter* c_submitted = nullptr;
@@ -87,10 +107,22 @@ struct PipelineExecutor::Impl
   obs::Counter* c_failed = nullptr;
   obs::Counter* c_cancelled = nullptr;
   obs::Counter* c_released = nullptr;
+  obs::Gauge* g_inflight = nullptr;
+  obs::Gauge* g_inflight_max = nullptr;
+  obs::Histogram* h_overlap = nullptr;
 
   std::mutex mu;
+  std::condition_variable window_cv;  ///< submitters wait for window space
   bool accepting = true;
+  bool unpinned = false;  ///< shutdown already dropped the design pins
+  std::uint64_t next_frame_id = 0;
+  std::size_t frames_active = 0;  ///< admitted, not yet fully resolved
   std::vector<std::shared_ptr<FrameCtx>> inflight;
+  /// Completion time of the frame that resolved last, for the interleave
+  /// overlap histogram: a finishing frame that started before its
+  /// predecessor completed overlapped it by (predecessor done - t0).
+  std::chrono::steady_clock::time_point last_done;
+  bool have_last_done = false;
 
   Impl(StageGraph g, PipelineOptions opts)
       : graph(std::move(g)), options(std::move(opts)) {
@@ -108,6 +140,9 @@ struct PipelineExecutor::Impl
     c_failed = &registry->counter(pfx + "frames_failed");
     c_cancelled = &registry->counter(pfx + "frames_cancelled");
     c_released = &registry->counter(pfx + "tiles_released");
+    g_inflight = &registry->gauge(pfx + "frames_in_flight");
+    g_inflight_max = &registry->gauge(pfx + "frames_in_flight_max");
+    h_overlap = &registry->histogram(pfx + "frame_interleave_overlap_us");
 
     std::size_t threads = options.threads_per_stage;
     if (threads == 0) {
@@ -130,10 +165,14 @@ struct PipelineExecutor::Impl
       plans.push_back(
           engines.back()->plan_for(graph.stages()[s].program));
       tiles_per_stage.push_back(plans.back()->tiles.size());
+      auto designs = std::make_shared<
+          std::vector<std::shared_ptr<const runtime::CachedDesign>>>();
+      designs->reserve(plans.back()->tiles.size());
       for (const runtime::Tile& tile : plans.back()->tiles) {
-        pins.push_back(
+        designs->push_back(
             engines.back()->cache().pin(*tile.program, options.build));
       }
+      stage_designs.push_back(std::move(designs));
     }
     for (const StageEdge& edge : graph.edges()) {
       maps.push_back(std::make_shared<const EdgeTileMap>(
@@ -142,10 +181,15 @@ struct PipelineExecutor::Impl
       edge_labels.push_back(
           (options.name.empty() ? std::string() : options.name + ".") +
           edge.label);
-      h_ready.push_back(&registry->histogram("pipeline.edge." +
-                                             edge_labels.back() +
-                                             ".ready_us"));
+      const std::string epfx = "pipeline.edge." + edge_labels.back() + ".";
+      h_ready.push_back(&registry->histogram(epfx + "ready_us"));
+      auto pool = std::make_shared<SlabPool>();
+      pool->bind_metrics(&registry->counter(epfx + "slab_allocated"),
+                         &registry->counter(epfx + "slab_recycled"));
+      pools.push_back(std::move(pool));
     }
+    tracker = std::make_unique<DependencyTracker>(
+        graph, maps, tiles_per_stage, options.barrier);
   }
 
   /// Hands one ready tile to its stage engine: stitch its edge-fed input
@@ -178,6 +222,9 @@ struct PipelineExecutor::Impl
   }
 
   /// Tile-resolution hook (runs in the executing stage's worker thread).
+  /// Every tile of a frame -- executed, failed, or skipped -- comes
+  /// through here exactly once, so the trailing countdown is the frame's
+  /// completion barrier.
   void on_tile(const std::shared_ptr<FrameCtx>& ctx, std::size_t stage,
                std::size_t tile, const double* outputs, bool ok) {
     FrameCtx& c = *ctx;
@@ -186,24 +233,59 @@ struct PipelineExecutor::Impl
     for (Slice& slice : c.slices[stage][tile]) slice = Slice{};
     if (!ok) {
       abort(ctx);
-      return;
+    } else {
+      std::int64_t expected = -1;
+      c.first_us[stage].compare_exchange_strong(expected, us);
+      atomic_max(c.last_us[stage], us);
+      if (!c.aborted.load(std::memory_order_relaxed)) {
+        for (const std::size_t e : graph.stages()[stage].out_edges) {
+          c.buffers[e]->admit(tile, outputs);
+        }
+        for (const DependencyTracker::Ready r :
+             tracker->resolve(c.frame_id, stage, tile)) {
+          make_ready(ctx, r.stage, r.tile);
+        }
+      }
     }
-    std::int64_t expected = -1;
-    c.first_us[stage].compare_exchange_strong(expected, us);
-    atomic_max(c.last_us[stage], us);
-    if (c.aborted.load(std::memory_order_relaxed)) return;
-    for (const std::size_t e : graph.stages()[stage].out_edges) {
-      c.buffers[e]->admit(tile, outputs);
+    if (c.tiles_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      frame_done(ctx);
     }
-    for (const DependencyTracker::Ready r :
-         c.tracker->resolve(stage, tile)) {
-      make_ready(ctx, r.stage, r.tile);
+  }
+
+  /// Runs once per frame, in whichever thread resolved its last tile:
+  /// frees the tracker slot (the storage the next arm() recycles) and
+  /// opens the admission window.
+  void frame_done(const std::shared_ptr<FrameCtx>& ctx) {
+    FrameCtx& c = *ctx;
+    tracker->retire(c.frame_id);
+    const auto now = std::chrono::steady_clock::now();
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      --frames_active;
+      g_inflight->set(static_cast<std::int64_t>(frames_active));
+      std::int64_t overlap_us = 0;
+      if (have_last_done && last_done > c.t0) {
+        overlap_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                         last_done - c.t0)
+                         .count();
+      }
+      h_overlap->observe(overlap_us);
+      last_done = now;
+      have_last_done = true;
+      // The ctx stays in `inflight` until the next submit() prunes it (or
+      // shutdown() drains): callers hold PipelineResult references
+      // obtained through temporary handles, which stay valid until the
+      // executor moves on.
     }
+    window_cv.notify_all();
   }
 
   /// Cancels every stage frame and resolves every tile not yet handed to
   /// a worker as skipped (never blocking -- skip_tile bypasses the
-  /// queues), so deferred frames terminate and waiters wake. Idempotent.
+  /// queues), so deferred frames terminate and waiters wake. Claimed
+  /// consumer tiles are also dropped from their in-edge buffers, so the
+  /// slabs they were holding retire into the pool instead of lingering
+  /// until teardown. Idempotent.
   void abort(const std::shared_ptr<FrameCtx>& ctx) {
     FrameCtx& c = *ctx;
     if (c.aborted.exchange(true)) return;
@@ -218,7 +300,11 @@ struct PipelineExecutor::Impl
             mine = true;
           }
         }
-        if (mine) engines[s]->skip_tile(c.handles[s], t);
+        if (!mine) continue;  // released (and stitched) or claimed already
+        for (const std::size_t e : graph.stages()[s].in_edges) {
+          c.buffers[e]->release_consumer(t);
+        }
+        engines[s]->skip_tile(c.handles[s], t);
       }
     }
   }
@@ -230,6 +316,7 @@ struct PipelineExecutor::Impl
       accepting = false;
       frames.swap(inflight);
     }
+    window_cv.notify_all();
     if (mode == Drain::kCancelPending) {
       for (const std::shared_ptr<FrameCtx>& f : frames) abort(f);
     }
@@ -241,6 +328,25 @@ struct PipelineExecutor::Impl
     // engines can stop in any order.
     for (std::unique_ptr<runtime::FrameEngine>& engine : engines) {
       engine->shutdown(runtime::FrameEngine::Drain::kDrainAll);
+    }
+    // Drop the design pins (once): the executor is the only pinner of its
+    // stage caches, so after shutdown every cache reports zero pinned
+    // entries whatever path -- drain, cancel, or mid-frame abort -- got
+    // here. The designs stay alive through stage_designs regardless.
+    bool drop = false;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!unpinned) {
+        unpinned = true;
+        drop = true;
+      }
+    }
+    if (drop) {
+      for (std::size_t s = 0; s < plans.size(); ++s) {
+        for (const runtime::Tile& tile : plans[s]->tiles) {
+          engines[s]->cache().unpin(*tile.program, options.build);
+        }
+      }
     }
   }
 
@@ -357,7 +463,6 @@ PipelineHandle PipelineExecutor::submit(std::uint64_t seed) {
   auto ctx = std::make_shared<FrameCtx>();
   ctx->impl = im.weak_from_this();
   ctx->seed = seed;
-  ctx->t0 = std::chrono::steady_clock::now();
 
   const std::size_t stages = im.graph.stage_count();
   ctx->buffers.reserve(im.graph.edges().size());
@@ -365,14 +470,13 @@ PipelineHandle PipelineExecutor::submit(std::uint64_t seed) {
     const StageEdge& edge = im.graph.edges()[e];
     ctx->buffers.push_back(std::make_unique<StageBuffer>(
         im.plans[edge.producer], im.plans[edge.consumer], im.maps[e],
-        edge.input, *im.registry, im.edge_labels[e]));
+        edge.input, *im.registry, im.edge_labels[e], im.pools[e]));
   }
-  ctx->tracker = std::make_unique<DependencyTracker>(
-      im.graph, im.maps, im.tiles_per_stage, im.options.barrier);
   ctx->slices.resize(stages);
   ctx->released.resize(stages);
   ctx->first_us = std::vector<std::atomic<std::int64_t>>(stages);
   ctx->last_us = std::vector<std::atomic<std::int64_t>>(stages);
+  std::int64_t total_tiles = 0;
   for (std::size_t s = 0; s < stages; ++s) {
     const stencil::StencilProgram& program = im.graph.stages()[s].program;
     ctx->stage_names.push_back(program.name());
@@ -382,13 +486,27 @@ PipelineHandle PipelineExecutor::submit(std::uint64_t seed) {
     ctx->released[s].assign(im.tiles_per_stage[s], 0);
     ctx->first_us[s].store(-1, std::memory_order_relaxed);
     ctx->last_us[s].store(-1, std::memory_order_relaxed);
+    total_tiles += static_cast<std::int64_t>(im.tiles_per_stage[s]);
   }
+  ctx->tiles_left.store(total_tiles, std::memory_order_relaxed);
 
   {
-    std::lock_guard<std::mutex> lock(im.mu);
+    // Admission window: wait until fewer than max_frames_in_flight frames
+    // are unresolved (frame_done signals). Frame ids are assigned at
+    // admission, so armed ids are always distinct.
+    std::unique_lock<std::mutex> lock(im.mu);
+    im.window_cv.wait(lock, [&] {
+      return !im.accepting || im.options.max_frames_in_flight == 0 ||
+             im.frames_active < im.options.max_frames_in_flight;
+    });
     if (!im.accepting) {
       throw Error("PipelineExecutor::submit after shutdown");
     }
+    ctx->frame_id = im.next_frame_id++;
+    ++im.frames_active;
+    im.g_inflight->set(static_cast<std::int64_t>(im.frames_active));
+    im.g_inflight_max->update_max(
+        static_cast<std::int64_t>(im.frames_active));
     // Prune frames that already resolved; keep live ones reachable for
     // shutdown() even when the caller drops its handle.
     std::erase_if(im.inflight, [](const std::shared_ptr<FrameCtx>& f) {
@@ -400,15 +518,19 @@ PipelineHandle PipelineExecutor::submit(std::uint64_t seed) {
     im.inflight.push_back(ctx);
   }
   im.c_submitted->inc();
+  ctx->t0 = std::chrono::steady_clock::now();
 
   // Register every stage frame (deferred: nothing enqueues) before any
   // tile is released, so a fast producer can never resolve into a stage
-  // whose frame does not exist yet.
+  // whose frame does not exist yet. Frames are re-armed over the plans
+  // and pinned designs resolved at construction: no canonical key, no
+  // cache lookup, per frame or per tile.
   std::weak_ptr<FrameCtx> weak = ctx;
   Impl* imp = &im;
   for (std::size_t s = 0; s < stages; ++s) {
     runtime::SubmitOptions so;
     so.deferred = true;
+    so.designs = im.stage_designs[s];
     so.feed = [imp, weak, s](const runtime::Tile&, std::size_t tile_idx,
                              std::size_t array_idx, std::size_t)
         -> std::shared_ptr<sim::ExternalFeed> {
@@ -425,11 +547,11 @@ PipelineHandle PipelineExecutor::submit(std::uint64_t seed) {
         imp->on_tile(c, s, tile_idx, outputs, ok);
       }
     };
-    ctx->handles.push_back(im.engines[s]->submit(
-        im.graph.stages()[s].program, seed, std::move(so)));
+    ctx->handles.push_back(
+        im.engines[s]->submit(im.plans[s], seed, std::move(so)));
   }
 
-  for (const DependencyTracker::Ready r : ctx->tracker->initially_ready()) {
+  for (const DependencyTracker::Ready r : im.tracker->arm(ctx->frame_id)) {
     im.make_ready(ctx, r.stage, r.tile);
   }
   return PipelineHandle(ctx);

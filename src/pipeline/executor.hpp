@@ -46,6 +46,15 @@ struct PipelineOptions {
   /// dependency structure changes -- so benchmarks compare scheduling
   /// policies, not implementations.
   bool barrier = false;
+
+  /// Cross-frame admission window: how many pipelined frames may be in
+  /// flight at once. submit() blocks while the window is full, so a
+  /// caller pumping frames in a loop overlaps frame f+1's source tiles
+  /// with frame f's drain -- the source stage never idles between frames.
+  /// 1 is frame-serial (a frame is admitted only after the previous one
+  /// fully resolves); 0 removes the bound (every submitted frame is
+  /// admitted immediately -- unbounded buffer occupancy, use with care).
+  std::size_t max_frames_in_flight = 4;
 };
 
 /// Milestones of one stage within a pipelined frame, relative to submit.
@@ -103,6 +112,15 @@ class PipelineHandle {
 /// resolved. Stage k+1 starts consuming while stage k is still producing;
 /// inter-stage data moves through bounded StageBuffers that retire
 /// producer tiles as soon as their last consumer is served.
+///
+/// Successive frames pipeline across the same engines: frames are
+/// data-independent, so while frame f's sink tiles drain, frame f+1's
+/// source tiles already run in whatever workers go idle, up to
+/// max_frames_in_flight frames at once (the admission window -- submit()
+/// blocks while it is full). Steady state re-arms live engines over the
+/// plans and pinned designs resolved at construction and recycles all
+/// inter-stage slab storage through per-edge SlabPools, so pumping frames
+/// performs no per-tile heap allocation and no design-cache lookups.
 class PipelineExecutor {
  public:
   enum class Drain {

@@ -1,0 +1,108 @@
+#include "pipeline/slab_pool.hpp"
+
+#include <algorithm>
+
+namespace nup::pipeline {
+
+std::vector<double> SlabPool::take(std::size_t n) {
+  std::vector<double> out;
+  bool fresh = true;
+  std::function<void(std::size_t)> hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Prefer the smallest free vector that still fits: large slabs stay
+    // available for large requests instead of being burned on small ones.
+    std::size_t best = free_.size();
+    for (std::size_t k = 0; k < free_.size(); ++k) {
+      if (free_[k].capacity() < n) continue;
+      if (best == free_.size() ||
+          free_[k].capacity() < free_[best].capacity()) {
+        best = k;
+      }
+    }
+    if (best < free_.size()) {
+      out = std::move(free_[best]);
+      free_[best] = std::move(free_.back());
+      free_.pop_back();
+      fresh = false;
+      ++stats_.reused;
+    } else {
+      ++stats_.allocated;
+      if (m_allocated_) m_allocated_->inc();
+    }
+    if (!fresh && m_reused_) m_reused_->inc();
+    ++stats_.outstanding;
+    if (fresh) hook = alloc_hook_;
+  }
+  out.resize(n);  // within capacity on the reuse path: no allocation
+  if (hook) hook(n);
+  return out;
+}
+
+void SlabPool::give(std::vector<double>&& v) {
+  if (v.capacity() == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  --stats_.outstanding;
+  free_.push_back(std::move(v));
+}
+
+std::shared_ptr<std::vector<double>> SlabPool::lease(std::size_t n) {
+  std::shared_ptr<std::vector<double>> out;
+  bool fresh = true;
+  std::function<void(std::size_t)> hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // A leased buffer is recyclable once the pool holds the only
+    // reference. use_count can only have decayed to one -- nobody but the
+    // pool can mint new references -- so the test is race-free: a stale
+    // reading merely skips a buffer that becomes reusable next time.
+    std::size_t best = leased_.size();
+    for (std::size_t k = 0; k < leased_.size(); ++k) {
+      if (leased_[k].use_count() != 1 || leased_[k]->capacity() < n) {
+        continue;
+      }
+      if (best == leased_.size() ||
+          leased_[k]->capacity() < leased_[best]->capacity()) {
+        best = k;
+      }
+    }
+    if (best < leased_.size()) {
+      out = leased_[best];
+      fresh = false;
+      ++stats_.reused;
+    } else {
+      out = std::make_shared<std::vector<double>>();
+      out->reserve(n);
+      leased_.push_back(out);
+      ++stats_.allocated;
+      if (m_allocated_) m_allocated_->inc();
+    }
+    if (!fresh && m_reused_) m_reused_->inc();
+    if (fresh) hook = alloc_hook_;
+  }
+  out->assign(n, 0.0);  // within capacity on the reuse path
+  if (hook) hook(n);
+  return out;
+}
+
+SlabPool::Stats SlabPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  for (const std::shared_ptr<std::vector<double>>& v : leased_) {
+    if (v.use_count() > 1) ++s.outstanding;
+  }
+  return s;
+}
+
+void SlabPool::set_alloc_hook(std::function<void(std::size_t)> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  alloc_hook_ = std::move(hook);
+}
+
+void SlabPool::bind_metrics(obs::Counter* allocated, obs::Counter* reused) {
+  std::lock_guard<std::mutex> lock(mu_);
+  m_allocated_ = allocated;
+  m_reused_ = reused;
+}
+
+}  // namespace nup::pipeline

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace nup::pipeline {
+
+/// Free-list arena for the double buffers the inter-stage machinery churns
+/// through: producer output slabs (exclusively owned by a StageBuffer
+/// until retirement) and stitched consumer slices (shared with the
+/// executing tile's SliceFeed until the tile resolves). One pool per edge,
+/// shared by every frame crossing that edge, so after the first frame has
+/// warmed the free lists the steady state performs zero heap allocations
+/// per tile -- the property the cross-frame pipeline's zero-allocation hot
+/// path rests on, asserted through the allocation-counting hook.
+///
+/// Thread-safe: producer and consumer stage workers of any number of
+/// in-flight frames call in concurrently.
+class SlabPool {
+ public:
+  /// Allocation / reuse tallies. `allocated` counts fresh heap
+  /// allocations (vector storage created or grown), `reused` counts
+  /// acquisitions served entirely from recycled storage; in steady state
+  /// only `reused` moves.
+  struct Stats {
+    std::int64_t allocated = 0;
+    std::int64_t reused = 0;
+    std::int64_t outstanding = 0;  ///< buffers currently handed out
+  };
+
+  SlabPool() = default;
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+
+  /// Takes an exclusively-owned buffer of exactly `n` elements, zero
+  /// cost when a recycled vector's capacity already covers it. The
+  /// contents are unspecified (callers overwrite every element).
+  std::vector<double> take(std::size_t n);
+
+  /// Returns an exclusively-owned buffer to the free list.
+  void give(std::vector<double>&& v);
+
+  /// Leases a shared buffer of exactly `n` elements, zero-filled. The
+  /// pool keeps one reference; the buffer is recycled automatically once
+  /// every other holder (the frame's slice table, the tile's SliceFeed)
+  /// has dropped theirs -- lease() scans for entries whose use_count has
+  /// fallen back to one. No control block is allocated on reuse: the
+  /// shared_ptr itself is recycled with its storage.
+  std::shared_ptr<std::vector<double>> lease(std::size_t n);
+
+  Stats stats() const;
+
+  /// Test hook: called (outside the pool lock) with the element count of
+  /// every fresh heap allocation take()/lease() performs. Install before
+  /// handing the pool to concurrent users; the steady-state allocation
+  /// tests install a hook that fails the test when it fires.
+  void set_alloc_hook(std::function<void(std::size_t)> hook);
+
+  /// Mirrors the allocation/reuse tallies into registry counters (the
+  /// executor binds pipeline.edge.<label>.slab_{allocated,recycled}).
+  /// Either pointer may be null; bind before concurrent use.
+  void bind_metrics(obs::Counter* allocated, obs::Counter* reused);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::vector<double>> free_;                    // take()/give()
+  std::vector<std::shared_ptr<std::vector<double>>> leased_; // lease()
+  Stats stats_;
+  std::function<void(std::size_t)> alloc_hook_;
+  obs::Counter* m_allocated_ = nullptr;
+  obs::Counter* m_reused_ = nullptr;
+};
+
+}  // namespace nup::pipeline

@@ -50,11 +50,13 @@ StageBuffer::StageBuffer(
     std::shared_ptr<const runtime::TilePlan> producer_plan,
     std::shared_ptr<const runtime::TilePlan> consumer_plan,
     std::shared_ptr<const EdgeTileMap> map, std::size_t input_index,
-    obs::Registry& metrics, const std::string& label)
+    obs::Registry& metrics, const std::string& label,
+    std::shared_ptr<SlabPool> pool)
     : producer_plan_(std::move(producer_plan)),
       consumer_plan_(std::move(consumer_plan)),
       map_(std::move(map)),
-      input_index_(input_index) {
+      input_index_(input_index),
+      pool_(pool ? std::move(pool) : std::make_shared<SlabPool>()) {
   slabs_.resize(producer_plan_->tiles.size());
   pending_.resize(producer_plan_->tiles.size());
   for (std::size_t p = 0; p < pending_.size(); ++p) {
@@ -69,21 +71,28 @@ StageBuffer::StageBuffer(
 }
 
 StageBuffer::~StageBuffer() {
-  // Drop whatever an aborted frame left resident from the shared gauges.
+  // Hand whatever an aborted frame left resident back to the pool and
+  // drop it from the shared gauges.
   std::lock_guard<std::mutex> lock(mu_);
+  for (std::vector<double>& slab : slabs_) {
+    if (!slab.empty()) pool_->give(std::move(slab));
+  }
   g_tiles_->add(-occ_.tiles);
   g_elements_->add(-occ_.elements);
 }
 
 void StageBuffer::admit(std::size_t tile_idx, const double* frame_outputs) {
   const runtime::Tile& tile = producer_plan_->tiles[tile_idx];
-  std::vector<double> slab(tile.output_ranks.size());
+  std::vector<double> slab = pool_->take(tile.output_ranks.size());
   for (std::size_t k = 0; k < slab.size(); ++k) {
     slab[k] = frame_outputs[tile.output_ranks[k]];
   }
 
   std::lock_guard<std::mutex> lock(mu_);
-  if (pending_[tile_idx] == 0) return;  // no consumer covers this tile
+  if (pending_[tile_idx] == 0) {  // no consumer covers (or all skipped)
+    pool_->give(std::move(slab));
+    return;
+  }
   const std::int64_t elems = static_cast<std::int64_t>(slab.size());
   slabs_[tile_idx] = std::move(slab);
   occ_.tiles += 1;
@@ -109,8 +118,8 @@ Slice StageBuffer::stitch(std::size_t tile_idx) {
   for (std::size_t d = 0; d < slice.lo.size(); ++d) {
     total *= slice.hi[d] - slice.lo[d] + 1;
   }
-  auto data = std::make_shared<std::vector<double>>(
-      static_cast<std::size_t>(total), 0.0);
+  const std::shared_ptr<std::vector<double>> data =
+      pool_->lease(static_cast<std::size_t>(total));
 
   std::lock_guard<std::mutex> lock(mu_);
   for (const std::size_t p : map_->producers_of[tile_idx]) {
@@ -128,16 +137,23 @@ Slice StageBuffer::stitch(std::size_t tile_idx) {
   for (const std::size_t p : map_->producers_of[tile_idx]) {
     if (--pending_[p] == 0) retire_locked(p);
   }
-  slice.data = std::move(data);
+  slice.data = data;
   return slice;
+}
+
+void StageBuffer::release_consumer(std::size_t tile_idx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::size_t p : map_->producers_of[tile_idx]) {
+    if (--pending_[p] == 0) retire_locked(p);
+  }
 }
 
 void StageBuffer::retire_locked(std::size_t producer_tile) {
   std::vector<double>& slab = slabs_[producer_tile];
   const std::int64_t elems = static_cast<std::int64_t>(slab.size());
-  if (elems == 0) return;
+  if (elems == 0) return;  // skipped producer: nothing was admitted
+  pool_->give(std::move(slab));
   slab = {};
-  slab.shrink_to_fit();
   occ_.tiles -= 1;
   occ_.elements -= elems;
   occ_.retired += 1;

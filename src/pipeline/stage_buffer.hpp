@@ -9,6 +9,7 @@
 
 #include "obs/metrics.hpp"
 #include "pipeline/dependency.hpp"
+#include "pipeline/slab_pool.hpp"
 #include "poly/int_vec.hpp"
 #include "runtime/tiler.hpp"
 #include "sim/feed.hpp"
@@ -18,7 +19,8 @@ namespace nup::pipeline {
 /// A dense row-major block of producer output over an axis-aligned box:
 /// the stitched input of one consumer tile. Data is shared and immutable
 /// once built, so the feed object and the buffer can both hold it without
-/// copying.
+/// copying; when the storage came from a SlabPool lease, dropping the last
+/// reference recycles it for a later tile.
 struct Slice {
   std::shared_ptr<const std::vector<double>> data;
   poly::IntVec lo, hi;  ///< inclusive box corners (grid coordinates)
@@ -46,8 +48,11 @@ class SliceFeed final : public sim::ExternalFeed {
 /// tile's covering set is complete, stitch() assembles its input slice and
 /// retires every producer slab whose last consumer has been served -- so
 /// steady-state occupancy is the band of producer rows the consumer halo
-/// still needs, not the frame. Thread-safe (engine workers of both stages
-/// call in concurrently).
+/// still needs, not the frame. Slab and slice storage comes from the
+/// edge's SlabPool, shared by every frame of the pipeline: successive
+/// frames recycle retired storage instead of reallocating it, making the
+/// steady-state admit/stitch/retire cycle allocation-free. Thread-safe
+/// (engine workers of both stages call in concurrently).
 class StageBuffer {
  public:
   struct Occupancy {
@@ -59,12 +64,15 @@ class StageBuffer {
   };
 
   /// `label` names the pipeline.edge.<label>.* metric series; the map must
-  /// come from map_tile_dependencies over the same two plans.
+  /// come from map_tile_dependencies over the same two plans. `pool` is
+  /// the edge's cross-frame slab arena; a null pool gets the buffer a
+  /// private one (single-frame uses, tests).
   StageBuffer(std::shared_ptr<const runtime::TilePlan> producer_plan,
               std::shared_ptr<const runtime::TilePlan> consumer_plan,
               std::shared_ptr<const EdgeTileMap> map,
               std::size_t input_index, obs::Registry& metrics,
-              const std::string& label);
+              const std::string& label,
+              std::shared_ptr<SlabPool> pool = nullptr);
   ~StageBuffer();
 
   StageBuffer(const StageBuffer&) = delete;
@@ -81,6 +89,14 @@ class StageBuffer {
   /// construction), then retires slabs whose consumers are all served.
   Slice stitch(std::size_t tile_idx);
 
+  /// Drops consumer tile `tile_idx` from every covering producer slab's
+  /// pending count without stitching -- the abort path calls this for
+  /// consumer tiles skipped mid-frame, so slabs those tiles were holding
+  /// retire (and recycle) instead of lingering until teardown. Must be
+  /// called at most once per consumer tile, and never after stitch() for
+  /// the same tile.
+  void release_consumer(std::size_t tile_idx);
+
   Occupancy occupancy() const;
 
  private:
@@ -90,6 +106,7 @@ class StageBuffer {
   std::shared_ptr<const runtime::TilePlan> consumer_plan_;
   std::shared_ptr<const EdgeTileMap> map_;
   std::size_t input_index_;
+  std::shared_ptr<SlabPool> pool_;
 
   mutable std::mutex mu_;
   std::vector<std::vector<double>> slabs_;     // per producer tile

@@ -305,8 +305,16 @@ struct FrameEngine::Impl {
     const auto t0 = std::chrono::steady_clock::now();
     bool ok = true;
     try {
-      const std::shared_ptr<const CachedDesign> entry =
-          cache.get_or_compile(*tile.program, options.build);
+      // Steady-state path: a pre-resolved design (pinned by the pipeline
+      // executor at construction) skips the cache lookup entirely.
+      std::shared_ptr<const CachedDesign> entry;
+      if (frame.options.designs &&
+          tile_idx < frame.options.designs->size()) {
+        entry = (*frame.options.designs)[tile_idx];
+      }
+      if (!entry) {
+        entry = cache.get_or_compile(*tile.program, options.build);
+      }
       sim::SimOptions so = options.sim;
       so.backend = sim::SimBackend::kFast;
       so.seed = frame.seed;
@@ -446,7 +454,17 @@ FrameHandle FrameEngine::submit(const stencil::StencilProgram& program,
     std::lock_guard<std::mutex> lock(im.qmu);
     if (!im.accepting) throw Error("FrameEngine::submit after shutdown");
   }
-  const std::shared_ptr<const TilePlan> plan = plan_for(program);
+  return submit(plan_for(program), seed, std::move(options));
+}
+
+FrameHandle FrameEngine::submit(std::shared_ptr<const TilePlan> plan,
+                                std::uint64_t seed, SubmitOptions options) {
+  Impl& im = *impl_;
+  if (!plan) throw Error("FrameEngine::submit: null tile plan");
+  {
+    std::lock_guard<std::mutex> lock(im.qmu);
+    if (!im.accepting) throw Error("FrameEngine::submit after shutdown");
+  }
 
   auto frame = std::make_shared<FrameState>();
   frame->plan = plan;

@@ -88,6 +88,14 @@ struct SubmitOptions {
   /// (cancellation included -- released tiles of a cancelled frame resolve
   /// as skipped), or the frame never resolves.
   bool deferred = false;
+
+  /// Pre-resolved per-tile designs, indexed like the plan's tiles. When
+  /// set, workers use the entry directly instead of a design-cache lookup
+  /// per tile -- the pipeline executor passes the designs it pinned at
+  /// construction, so re-arming a frame on a live engine touches no cache
+  /// key at all. Null (or short) entries fall back to the cache.
+  std::shared_ptr<const std::vector<std::shared_ptr<const CachedDesign>>>
+      designs;
 };
 
 /// The assembled result of one frame request.
@@ -181,6 +189,13 @@ class FrameEngine {
   /// deferred tile release). See SubmitOptions.
   FrameHandle submit(const stencil::StencilProgram& program,
                      std::uint64_t seed, SubmitOptions options);
+
+  /// Re-arms a frame over an already-registered tile plan (as returned by
+  /// plan_for): no canonicalization, no plan lookup, no compilation --
+  /// the steady-state path for callers that pump many frames of the same
+  /// program through a live engine.
+  FrameHandle submit(std::shared_ptr<const TilePlan> plan,
+                     std::uint64_t seed, SubmitOptions options = {});
 
   /// Hands one tile of a deferred frame to the workers (see
   /// SubmitOptions::deferred). Blocks while the tile queue is full

@@ -1,7 +1,7 @@
 // Tile-dependency mapping and readiness tracking: each consumer tile must
 // wait for exactly the producer tiles covering its halo (minimal sets),
-// become ready exactly once, and degrade to whole-frame waits in barrier
-// mode.
+// become ready exactly once per frame, keep concurrent frames' countdowns
+// independent, and degrade to whole-frame waits in barrier mode.
 
 #include "pipeline/dependency.hpp"
 
@@ -13,6 +13,7 @@
 
 #include "pipeline/stage_graph.hpp"
 #include "runtime/tiler.hpp"
+#include "util/error.hpp"
 
 namespace nup::pipeline {
 namespace {
@@ -80,9 +81,10 @@ TEST(DependencyTracker, TilesBecomeReadyExactlyOnce) {
   DependencyTracker tracker(graph, {map},
                             {fx.p0.tiles.size(), fx.p1.tiles.size()});
 
-  // Only source tiles are ready initially.
+  // Arming a frame readies exactly the source tiles.
   std::set<std::pair<std::size_t, std::size_t>> seen;
-  for (const auto r : tracker.initially_ready()) {
+  for (const auto r : tracker.arm(7)) {
+    EXPECT_EQ(r.frame, 7u);
     EXPECT_EQ(r.stage, 0u);
     EXPECT_TRUE(seen.insert({r.stage, r.tile}).second);
   }
@@ -91,7 +93,8 @@ TEST(DependencyTracker, TilesBecomeReadyExactlyOnce) {
   // Resolve producer bands top-down: each consumer band becomes ready
   // exactly when the band below its halo resolves, and exactly once.
   for (std::size_t p = 0; p < fx.p0.tiles.size(); ++p) {
-    for (const auto r : tracker.resolve(0, p)) {
+    for (const auto r : tracker.resolve(7, 0, p)) {
+      EXPECT_EQ(r.frame, 7u);
       EXPECT_EQ(r.stage, 1u);
       EXPECT_TRUE(seen.insert({r.stage, r.tile}).second)
           << "tile readied twice";
@@ -112,16 +115,91 @@ TEST(DependencyTracker, FirstConsumerReadyBeforeProducerFinishes) {
       map_tile_dependencies(fx.p0, fx.p1, 0));
   DependencyTracker tracker(graph, {map},
                             {fx.p0.tiles.size(), fx.p1.tiles.size()});
+  tracker.arm(0);
 
   // Resolving just the first two producer bands readies the first
   // consumer band -- the overlap the pipeline exploits.
   std::vector<DependencyTracker::Ready> ready;
   for (std::size_t p = 0; p < 2; ++p) {
-    for (const auto r : tracker.resolve(0, p)) ready.push_back(r);
+    for (const auto r : tracker.resolve(0, 0, p)) ready.push_back(r);
   }
   ASSERT_FALSE(ready.empty());
   EXPECT_EQ(ready.front().stage, 1u);
   EXPECT_EQ(ready.front().tile, 0u);
+}
+
+TEST(DependencyTracker, ConcurrentFramesCountDownIndependently) {
+  BandFixture fx;
+  const std::vector<stencil::StencilProgram> chain = {fx.s0, fx.s1};
+  const StageGraph graph = StageGraph::chain(chain);
+  const auto map = std::make_shared<const EdgeTileMap>(
+      map_tile_dependencies(fx.p0, fx.p1, 0));
+  DependencyTracker tracker(graph, {map},
+                            {fx.p0.tiles.size(), fx.p1.tiles.size()});
+  ASSERT_EQ(tracker.arm(0).size(), fx.p0.tiles.size());
+  ASSERT_EQ(tracker.arm(1).size(), fx.p0.tiles.size());
+  EXPECT_EQ(tracker.frames_armed(), 2u);
+
+  // Fully resolving frame 0's producer stage readies all of frame 0's
+  // consumers and none of frame 1's.
+  std::size_t f0_ready = 0;
+  for (std::size_t p = 0; p < fx.p0.tiles.size(); ++p) {
+    for (const auto r : tracker.resolve(0, 0, p)) {
+      EXPECT_EQ(r.frame, 0u);
+      ++f0_ready;
+    }
+  }
+  EXPECT_EQ(f0_ready, fx.p1.tiles.size());
+
+  // Frame 1 is untouched: its countdowns start from the baseline.
+  std::size_t f1_ready = 0;
+  for (std::size_t p = 0; p < fx.p0.tiles.size(); ++p) {
+    for (const auto r : tracker.resolve(1, 0, p)) {
+      EXPECT_EQ(r.frame, 1u);
+      ++f1_ready;
+    }
+  }
+  EXPECT_EQ(f1_ready, fx.p1.tiles.size());
+}
+
+TEST(DependencyTracker, RetiredSlotsAreReused) {
+  BandFixture fx;
+  const std::vector<stencil::StencilProgram> chain = {fx.s0, fx.s1};
+  const StageGraph graph = StageGraph::chain(chain);
+  const auto map = std::make_shared<const EdgeTileMap>(
+      map_tile_dependencies(fx.p0, fx.p1, 0));
+  DependencyTracker tracker(graph, {map},
+                            {fx.p0.tiles.size(), fx.p1.tiles.size()});
+
+  // Many serial frames never hold more than one slot; each recycled slot
+  // serves the full dependency protocol again from the baseline.
+  for (std::uint64_t f = 0; f < 32; ++f) {
+    ASSERT_EQ(tracker.arm(f).size(), fx.p0.tiles.size());
+    EXPECT_EQ(tracker.frames_armed(), 1u);
+    std::size_t readied = 0;
+    for (std::size_t p = 0; p < fx.p0.tiles.size(); ++p) {
+      readied += tracker.resolve(f, 0, p).size();
+    }
+    EXPECT_EQ(readied, fx.p1.tiles.size());
+    tracker.retire(f);
+    EXPECT_EQ(tracker.frames_armed(), 0u);
+  }
+}
+
+TEST(DependencyTracker, MisuseThrows) {
+  BandFixture fx;
+  const std::vector<stencil::StencilProgram> chain = {fx.s0, fx.s1};
+  const StageGraph graph = StageGraph::chain(chain);
+  const auto map = std::make_shared<const EdgeTileMap>(
+      map_tile_dependencies(fx.p0, fx.p1, 0));
+  DependencyTracker tracker(graph, {map},
+                            {fx.p0.tiles.size(), fx.p1.tiles.size()});
+  tracker.arm(3);
+  EXPECT_THROW(tracker.arm(3), Error);          // duplicate id
+  EXPECT_THROW(tracker.resolve(4, 0, 0), Error);  // never armed
+  tracker.retire(3);
+  EXPECT_THROW(tracker.resolve(3, 0, 0), Error);  // retired
+  EXPECT_THROW(tracker.retire(3), Error);
 }
 
 TEST(DependencyTracker, BarrierModeWaitsForTheWholeFrame) {
@@ -133,14 +211,27 @@ TEST(DependencyTracker, BarrierModeWaitsForTheWholeFrame) {
   DependencyTracker tracker(graph, {map},
                             {fx.p0.tiles.size(), fx.p1.tiles.size()},
                             /*barrier=*/true);
+  tracker.arm(0);
 
   std::size_t readied = 0;
   for (std::size_t p = 0; p + 1 < fx.p0.tiles.size(); ++p) {
-    readied += tracker.resolve(0, p).size();
+    readied += tracker.resolve(0, 0, p).size();
   }
   EXPECT_EQ(readied, 0u) << "consumer started before the barrier";
-  const auto last = tracker.resolve(0, fx.p0.tiles.size() - 1);
+  const auto last = tracker.resolve(0, 0, fx.p0.tiles.size() - 1);
   EXPECT_EQ(last.size(), fx.p1.tiles.size());
+
+  // The barrier countdown is per frame too: a second frame armed into the
+  // recycled slot waits for its own whole producer frame.
+  tracker.retire(0);
+  tracker.arm(1);
+  readied = 0;
+  for (std::size_t p = 0; p + 1 < fx.p0.tiles.size(); ++p) {
+    readied += tracker.resolve(1, 0, p).size();
+  }
+  EXPECT_EQ(readied, 0u);
+  EXPECT_EQ(tracker.resolve(1, 0, fx.p0.tiles.size() - 1).size(),
+            fx.p1.tiles.size());
 }
 
 }  // namespace

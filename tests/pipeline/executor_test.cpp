@@ -167,7 +167,12 @@ TEST(PipelineExecutor, FiftyRandomPairsMatchSequentialAndFused) {
     options.threads_per_stage = 2;
     options.tile_shape = {3, 0};
     PipelineExecutor executor(StageGraph::chain(stages), options);
-    expect_pipeline_matches(stages, executor.submit(seed).wait(), seed);
+    // Two frames in flight per chain: cross-frame interleaving must not
+    // leak state between data-independent frames.
+    PipelineHandle first = executor.submit(seed);
+    PipelineHandle second = executor.submit(seed + 1000);
+    expect_pipeline_matches(stages, first.wait(), seed);
+    expect_pipeline_matches(stages, second.wait(), seed + 1000);
   }
 }
 
@@ -321,6 +326,188 @@ TEST(PipelineExecutor, ConsumerStartsBeforeProducerFinishes) {
       << "no producer/consumer overlap";
 }
 
+// ---- cross-frame pipelining --------------------------------------------
+
+TEST(PipelineExecutor, CrossFrameInterleavingBitIdentical) {
+  // Sixteen frames pumped through a window of three: every frame must be
+  // bit-identical to its own frame-serial reference, and the window gauge
+  // must show that frames genuinely overlapped and fully drained.
+  obs::Registry registry;
+  std::vector<stencil::StencilProgram> stages = {
+      smoother("S0", 1, 22, 26), smoother("S1", 2, 22, 26),
+      smoother("S2", 3, 22, 26)};
+  PipelineOptions options;
+  options.name = "xf";
+  options.threads_per_stage = 1;
+  options.tile_shape = {4, 0};
+  options.metrics = &registry;
+  options.max_frames_in_flight = 3;
+  PipelineExecutor executor(StageGraph::chain(stages), options);
+
+  std::vector<PipelineHandle> handles;
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    handles.push_back(executor.submit(seed));  // blocks at the window
+  }
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    expect_pipeline_matches(stages, handles[seed].wait(), seed);
+  }
+  EXPECT_GE(registry.gauge("pipeline.xf.frames_in_flight_max").value(), 2)
+      << "frames never overlapped";
+  EXPECT_LE(registry.gauge("pipeline.xf.frames_in_flight_max").value(), 3)
+      << "admission window exceeded";
+  EXPECT_EQ(registry.gauge("pipeline.xf.frames_in_flight").value(), 0);
+  EXPECT_EQ(registry.counter("pipeline.xf.frames_completed").value(), 16);
+  EXPECT_EQ(
+      registry.histogram("pipeline.xf.frame_interleave_overlap_us")
+          .snapshot()
+          .count,
+      16);
+}
+
+TEST(PipelineExecutor, FrameSerialWindowAdmitsOneFrameAtATime) {
+  obs::Registry registry;
+  std::vector<stencil::StencilProgram> stages = {
+      smoother("S0", 1, 16, 12), smoother("S1", 2, 16, 12)};
+  PipelineOptions options;
+  options.name = "serial";
+  options.threads_per_stage = 1;
+  options.tile_shape = {3, 0};
+  options.metrics = &registry;
+  options.max_frames_in_flight = 1;
+  PipelineExecutor executor(StageGraph::chain(stages), options);
+
+  // Pumping without waiting: submit() itself must serialize the frames.
+  std::vector<PipelineHandle> handles;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    handles.push_back(executor.submit(seed));
+  }
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    expect_pipeline_matches(stages, handles[seed].wait(), seed);
+  }
+  EXPECT_EQ(registry.gauge("pipeline.serial.frames_in_flight_max").value(),
+            1);
+}
+
+TEST(PipelineExecutor, SteadyStateRecyclesSlabsInsteadOfAllocating) {
+  // The zero-allocation hot path: pumping many frames through one executor
+  // must reuse retired slab storage, so fresh pool allocations are bounded
+  // by the window's worst-case footprint -- one frame's slabs and slices
+  // per admitted frame -- never by the number of frames.
+  obs::Registry registry;
+  std::vector<stencil::StencilProgram> stages = {
+      smoother("S0", 1, 20, 14), smoother("S1", 2, 20, 14)};
+  PipelineOptions options;
+  options.name = "ss";
+  options.threads_per_stage = 1;
+  options.tile_shape = {2, 0};
+  options.metrics = &registry;
+  options.max_frames_in_flight = 3;
+  PipelineExecutor executor(StageGraph::chain(stages), options);
+
+  const std::size_t frames = 12;
+  std::vector<PipelineHandle> handles;
+  for (std::uint64_t seed = 0; seed < frames; ++seed) {
+    handles.push_back(executor.submit(seed));
+  }
+  for (std::uint64_t seed = 0; seed < frames; ++seed) {
+    expect_pipeline_matches(stages, handles[seed].wait(), seed);
+  }
+
+  const std::int64_t allocated =
+      registry.counter("pipeline.edge.ss.s0_to_s1.slab_allocated").value();
+  const std::int64_t recycled =
+      registry.counter("pipeline.edge.ss.s0_to_s1.slab_recycled").value();
+  const std::size_t footprint =
+      executor.engine(0).plan_for(stages[0])->tiles.size() +
+      executor.engine(1).plan_for(stages[1])->tiles.size();
+  EXPECT_LE(allocated,
+            static_cast<std::int64_t>(options.max_frames_in_flight *
+                                      footprint))
+      << "pool allocations grew past the window footprint";
+  EXPECT_GT(recycled, allocated)
+      << "steady state allocated more than it recycled over " << frames
+      << " frames";
+}
+
+TEST(PipelineExecutor, DesignPinsReleasedAtShutdown) {
+  // The executor pins every tile design at construction (the re-arm fast
+  // path); a cancelled mid-flight frame must not leak those pins past
+  // shutdown -- the caches must drop back to zero pinned entries.
+  std::vector<stencil::StencilProgram> stages = {
+      smoother("S0", 1, 30, 16), smoother("S1", 2, 30, 16)};
+  std::atomic<int> fired{0};
+  stages[0].set_kernel([&fired](const std::vector<double>& v) {
+    fired.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(milliseconds(1));
+    return std::accumulate(v.begin(), v.end(), 0.0) / 5.0;
+  });
+  PipelineOptions options;
+  options.threads_per_stage = 1;
+  options.queue_capacity = 2;
+  options.tile_shape = {2, 0};
+  PipelineExecutor executor(StageGraph::chain(stages), options);
+  EXPECT_GT(executor.engine(0).cache().stats().pinned, 0u);
+  EXPECT_GT(executor.engine(1).cache().stats().pinned, 0u);
+
+  PipelineHandle handle = executor.submit(8);
+  while (fired.load(std::memory_order_relaxed) == 0) {
+    std::this_thread::yield();
+  }
+  handle.cancel();
+  EXPECT_FALSE(handle.wait().ok());
+
+  executor.shutdown(PipelineExecutor::Drain::kCancelPending);
+  EXPECT_EQ(executor.engine(0).cache().stats().pinned, 0u)
+      << "stage 0 designs still pinned after shutdown";
+  EXPECT_EQ(executor.engine(1).cache().stats().pinned, 0u)
+      << "stage 1 designs still pinned after shutdown";
+}
+
+TEST(PipelineExecutor, DesignPinsReleasedAfterDrainAllShutdown) {
+  std::vector<stencil::StencilProgram> stages = {
+      smoother("S0", 1, 16, 12), smoother("S1", 2, 16, 12)};
+  PipelineOptions options;
+  options.threads_per_stage = 1;
+  options.tile_shape = {3, 0};
+  PipelineExecutor executor(StageGraph::chain(stages), options);
+  PipelineHandle handle = executor.submit(2);
+  executor.shutdown(PipelineExecutor::Drain::kDrainAll);
+  EXPECT_TRUE(handle.wait().ok());
+  EXPECT_EQ(executor.engine(0).cache().stats().pinned, 0u);
+  EXPECT_EQ(executor.engine(1).cache().stats().pinned, 0u);
+}
+
+TEST(PipelineExecutor, AbortedFrameDrainsEdgeSlabs) {
+  // A frame cancelled mid-flight must not strand producer slabs in the
+  // edge buffers: the abort path releases every skipped consumer tile, so
+  // by the time the frame resolves the buffers are empty.
+  std::vector<stencil::StencilProgram> stages = {
+      smoother("S0", 1, 30, 16), smoother("S1", 2, 30, 16)};
+  std::atomic<int> fired{0};
+  stages[0].set_kernel([&fired](const std::vector<double>& v) {
+    fired.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(milliseconds(1));
+    return std::accumulate(v.begin(), v.end(), 0.0) / 5.0;
+  });
+  PipelineOptions options;
+  options.threads_per_stage = 1;
+  options.queue_capacity = 2;
+  options.tile_shape = {2, 0};
+  PipelineExecutor executor(StageGraph::chain(stages), options);
+
+  PipelineHandle handle = executor.submit(8);
+  while (fired.load(std::memory_order_relaxed) < 3) {
+    std::this_thread::yield();
+  }
+  handle.cancel();
+  const PipelineResult& result = handle.wait();
+  EXPECT_TRUE(result.cancelled);
+  ASSERT_EQ(result.edges.size(), 1u);
+  EXPECT_EQ(result.edges[0].tiles, 0)
+      << "aborted frame left slabs resident in the edge buffer";
+  EXPECT_EQ(result.edges[0].elements, 0);
+}
+
 // ---- control surface ---------------------------------------------------
 
 TEST(PipelineExecutor, CancelMidStageResolvesWithoutHanging) {
@@ -410,6 +597,17 @@ TEST(PipelineExecutor, MetricsAreNamespacedPerStageEngine) {
   EXPECT_GE(registry.gauge("pipeline.edge.demo.s0_to_s1.buffer_tiles_max")
                 .value(),
             1);
+  // Cross-frame telemetry: window gauges, overlap histogram (one sample
+  // per completed frame), and the edge pool's allocation tallies.
+  EXPECT_EQ(registry.gauge("pipeline.demo.frames_in_flight").value(), 0);
+  EXPECT_GE(registry.gauge("pipeline.demo.frames_in_flight_max").value(), 1);
+  EXPECT_EQ(registry.histogram("pipeline.demo.frame_interleave_overlap_us")
+                .snapshot()
+                .count,
+            1);
+  EXPECT_GT(
+      registry.counter("pipeline.edge.demo.s0_to_s1.slab_allocated").value(),
+      0);
 }
 
 }  // namespace

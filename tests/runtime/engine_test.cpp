@@ -187,6 +187,47 @@ TEST(FrameEngine, RepeatFramesServeFromDesignCache) {
   EXPECT_EQ(stats.tiles_executed, tiles * kFrames);
 }
 
+TEST(FrameEngine, SubmitByPlanMatchesSubmitByProgram) {
+  EngineOptions options;
+  options.threads = 2;
+  options.tile_shape = {4, 6};
+  FrameEngine engine(options);
+  const stencil::StencilProgram p = random_program(12);
+
+  // The re-arm path: submit over the registered plan, no canonicalization
+  // or plan lookup, bit-identical to the program path.
+  const std::shared_ptr<const TilePlan> plan = engine.plan_for(p);
+  FrameHandle program_handle = engine.submit(p, 12);
+  FrameHandle plan_handle = engine.submit(plan, 12);
+  const FrameResult& by_program = program_handle.wait();
+  const FrameResult& by_plan = plan_handle.wait();
+  expect_frame_matches_golden(p, by_plan);
+  EXPECT_EQ(by_plan.outputs, by_program.outputs);
+
+  // The pinned-designs fast path on top: workers take each tile's design
+  // straight from the vector, so the frame performs no cache lookups --
+  // the hit counter does not move.
+  auto designs = std::make_shared<
+      std::vector<std::shared_ptr<const CachedDesign>>>();
+  for (const Tile& tile : plan->tiles) {
+    designs->push_back(engine.cache().pin(*tile.program, options.build));
+  }
+  const std::int64_t hits_before = engine.stats().cache.hits;
+  SubmitOptions so;
+  so.designs = designs;
+  FrameHandle fast_handle = engine.submit(plan, 12, std::move(so));
+  const FrameResult& fast = fast_handle.wait();
+  expect_frame_matches_golden(p, fast);
+  EXPECT_EQ(fast.outputs, by_program.outputs);
+  EXPECT_EQ(engine.stats().cache.hits, hits_before)
+      << "designs fast path still performed cache lookups";
+
+  for (const Tile& tile : plan->tiles) {
+    engine.cache().unpin(*tile.program, options.build);
+  }
+  EXPECT_EQ(engine.stats().cache.pinned, 0u);
+}
+
 // ---- observability ------------------------------------------------------
 
 TEST(FrameEngine, MetricsRegistryObservesServeRun) {

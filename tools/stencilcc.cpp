@@ -37,6 +37,13 @@
 //                  --barrier switches to the frame-barrier baseline
 //   --barrier      with --pipeline: wait for whole producer frames
 //                  instead of halo-covering tiles (scheduling baseline)
+//   --frames <N>   with --pipeline: number of frames to pump (alias of
+//                  --serve that reads naturally next to --inflight)
+//   --inflight <K> with --pipeline: cross-frame admission window --
+//                  at most K frames in flight at once (1 = frame-serial,
+//                  0 = unbounded; default 4). Successive frames interleave
+//                  tiles on the same stage engines, recycling buffer
+//                  slabs, so steady state allocates nothing per tile
 //   --metrics <f>  write the metrics registry (cache/engine/fifo/sim
 //                  telemetry, see docs/OBSERVABILITY.md) as JSON to <f>
 //   --trace <f>    record spans (tile execution, design compiles) and
@@ -76,9 +83,9 @@ void usage() {
       "[--rtl-check] [--serve N] [--threads T] [--tile a,b,..] "
       "[--metrics f.json] [--trace f.trace.json] [--stats] [--quiet] "
       "<kernel.c>\n"
-      "       stencilcc --pipeline <spec> [--barrier] [--serve N] "
-      "[--threads T] [--tile a,b,..] [--metrics f.json] "
-      "[--trace f.trace.json] [--stats] [--quiet]\n");
+      "       stencilcc --pipeline <spec> [--barrier] [--frames N] "
+      "[--inflight K] [--serve N] [--threads T] [--tile a,b,..] "
+      "[--metrics f.json] [--trace f.trace.json] [--stats] [--quiet]\n");
 }
 
 bool parse_tile_shape(const std::string& spec, nup::poly::IntVec* shape) {
@@ -166,7 +173,7 @@ std::vector<std::string> split_stage_sources(std::istream& in) {
 
 int run_pipeline(const std::string& spec_path, const std::string& name,
                  const nup::core::CompileOptions& compile_options,
-                 long frames, std::size_t threads,
+                 long frames, long inflight, std::size_t threads,
                  nup::poly::IntVec tile_shape, bool barrier, bool quiet) {
   using namespace nup;
 
@@ -197,13 +204,18 @@ int run_pipeline(const std::string& spec_path, const std::string& name,
   options.build = compile_options.build;
   options.sim = compile_options.sim;
   options.barrier = barrier;
+  if (inflight >= 0) {
+    options.max_frames_in_flight = static_cast<std::size_t>(inflight);
+  }
   pipeline::PipelineExecutor executor(std::move(graph), options);
 
   if (!quiet) {
-    std::printf("pipeline %s: %zu stages, %zu edges (%s scheduling)\n",
+    std::printf("pipeline %s: %zu stages, %zu edges (%s scheduling, "
+                "window %zu)\n",
                 name.c_str(), executor.graph().stage_count(),
                 executor.graph().edges().size(),
-                barrier ? "frame-barrier" : "tile-granular");
+                barrier ? "frame-barrier" : "tile-granular",
+                options.max_frames_in_flight);
   }
 
   if (frames <= 0) frames = 1;
@@ -313,6 +325,8 @@ int main(int argc, char** argv) {
   poly::IntVec serve_tile;
   std::string pipeline_spec;
   bool pipeline_barrier = false;
+  long pipeline_frames = 0;
+  long pipeline_inflight = -1;  // -1 keeps the executor default
   std::string metrics_path;
   std::string trace_path;
   bool stats_table = false;
@@ -368,6 +382,22 @@ int main(int argc, char** argv) {
       pipeline_spec = argv[++i];
     } else if (arg == "--barrier") {
       pipeline_barrier = true;
+    } else if (arg == "--frames" && i + 1 < argc) {
+      pipeline_frames = std::strtol(argv[++i], nullptr, 10);
+      if (pipeline_frames <= 0) {
+        std::fprintf(stderr, "stencilcc: --frames needs a frame count\n");
+        usage();
+        return 2;
+      }
+    } else if (arg == "--inflight" && i + 1 < argc) {
+      char* end = nullptr;
+      pipeline_inflight = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || pipeline_inflight < 0) {
+        std::fprintf(stderr,
+                     "stencilcc: --inflight needs a window size >= 0\n");
+        usage();
+        return 2;
+      }
     } else if (arg == "--metrics" && i + 1 < argc) {
       metrics_path = argv[++i];
     } else if (arg == "--trace" && i + 1 < argc) {
@@ -409,9 +439,10 @@ int main(int argc, char** argv) {
 
   if (!pipeline_spec.empty()) {
     try {
-      int rc = run_pipeline(pipeline_spec, name, options, serve,
-                            serve_threads, std::move(serve_tile),
-                            pipeline_barrier, quiet);
+      int rc = run_pipeline(pipeline_spec, name, options,
+                            pipeline_frames > 0 ? pipeline_frames : serve,
+                            pipeline_inflight, serve_threads,
+                            std::move(serve_tile), pipeline_barrier, quiet);
       const int obs_rc =
           emit_observability(metrics_path, trace_path, stats_table);
       return rc != 0 ? rc : obs_rc;
