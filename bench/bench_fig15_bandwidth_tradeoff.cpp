@@ -6,6 +6,7 @@
 // reuse). Every swept design is re-simulated for correctness.
 
 #include <cstdio>
+#include <sstream>
 
 #include "arch/builder.hpp"
 #include "arch/tradeoff.hpp"
@@ -65,6 +66,52 @@ void print_artifact() {
               verified, static_cast<std::size_t>(small.total_references()));
 }
 
+/// Fig 14 (measured): widening the datapath trades on-chip FIFO bytes for
+/// machine cycles. Each point is a real fast-backend run of DENOISE
+/// 768x1024 at width W: datapath_cycles shrinks ~1/W while the padded
+/// reuse buffers grow toward ceil(depth/W)*W elements per FIFO.
+void print_width_curve() {
+  bench::banner(
+      "Fig 14: datapath width vs on-chip memory on DENOISE 768x1024");
+  const stencil::StencilProgram p = stencil::denoise_2d();
+  sim::SimOptions options;
+  options.backend = sim::SimBackend::kFast;
+  options.record_outputs = false;
+
+  TextTable table;
+  table.set_header({"W", "machine cycles", "scalar cycles",
+                    "on-chip elements (padded)", "FIFO bytes",
+                    "cycle reduction"});
+  std::ostringstream json;
+  json << "{\"benchmark\": \"fig14_width_curve\", \"kernel\": \""
+       << p.name() << "\", \"points\": [";
+  double base = 0.0;
+  bool first = true;
+  for (const std::int64_t w : {1, 2, 4, 8, 16}) {
+    arch::BuildOptions opts;
+    opts.datapath_width = w;
+    const arch::AcceleratorDesign design = arch::build_design(p, opts);
+    const sim::SimResult r = sim::simulate(p, design, options);
+    const std::int64_t padded = design.total_padded_buffer_size();
+    const std::int64_t bytes =
+        padded * static_cast<std::int64_t>(sizeof(double));
+    if (w == 1) base = static_cast<double>(r.datapath_cycles);
+    table.add_row({std::to_string(w), std::to_string(r.datapath_cycles),
+                   std::to_string(r.cycles), std::to_string(padded),
+                   std::to_string(bytes),
+                   std::to_string(base / r.datapath_cycles) + "x"});
+    json << (first ? "" : ", ") << "{\"width\": " << w
+         << ", \"datapath_cycles\": " << r.datapath_cycles
+         << ", \"cycles\": " << r.cycles
+         << ", \"padded_elements\": " << padded
+         << ", \"fifo_bytes\": " << bytes << "}";
+    first = false;
+  }
+  json << "]}";
+  std::printf("%s", table.to_string().c_str());
+  nup::bench::write_json("BENCH_fig14_width.json", json.str());
+}
+
 void BM_BandwidthSweep(benchmark::State& state) {
   const stencil::StencilProgram p = stencil::segmentation_3d();
   const arch::MemorySystem system = arch::build_design(p).systems[0];
@@ -90,5 +137,6 @@ BENCHMARK(BM_SimulateTradedDesign);
 
 int main(int argc, char** argv) {
   print_artifact();
+  print_width_curve();
   return nup::bench::run(argc, argv);
 }

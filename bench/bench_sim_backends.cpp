@@ -77,6 +77,48 @@ void print_comparison_table() {
   nup::bench::write_json("BENCH_sim.json", json.str());
 }
 
+/// W-wide sweep on the headline DENOISE 768x1024: wall-clock throughput in
+/// scalar cycles/sec (work rate) and datapath cycles/sec (machine rate).
+/// Acceptance: W=8 retires >= 2x the scalar cycles/sec of W=1.
+void print_width_sweep() {
+  const stencil::StencilProgram p = stencil::denoise_2d();
+  std::printf("\nW-wide fast backend, DENOISE 768x1024:\n");
+  std::printf("%5s %12s %16s %16s %9s\n", "W", "cycles", "cycles/s",
+              "datapath cyc/s", "speedup");
+  std::ostringstream json;
+  json << "{\"benchmark\": \"sim_width_sweep\", \"kernel\": \""
+       << p.name() << "\", \"points\": [";
+  double base = 0.0;
+  bool first = true;
+  for (const std::int64_t w : {1, 4, 8}) {
+    arch::BuildOptions opts;
+    opts.datapath_width = w;
+    const arch::AcceleratorDesign design = arch::build_design(p, opts);
+    const auto t0 = std::chrono::steady_clock::now();
+    const sim::SimResult r =
+        sim::simulate(p, design, backend_options(sim::SimBackend::kFast));
+    const auto t1 = std::chrono::steady_clock::now();
+    const double seconds = std::chrono::duration<double>(t1 - t0).count();
+    const double rate = static_cast<double>(r.cycles) / seconds;
+    const double dp_rate =
+        static_cast<double>(r.datapath_cycles) / seconds;
+    if (w == 1) base = rate;
+    std::printf("%5lld %12lld %16.3g %16.3g %8.2fx\n",
+                static_cast<long long>(w),
+                static_cast<long long>(r.cycles), rate, dp_rate,
+                rate / base);
+    json << (first ? "" : ", ") << "{\"width\": " << w
+         << ", \"cycles\": " << r.cycles
+         << ", \"datapath_cycles\": " << r.datapath_cycles
+         << ", \"cycles_per_sec\": " << rate
+         << ", \"datapath_cycles_per_sec\": " << dp_rate
+         << ", \"speedup_vs_w1\": " << rate / base << "}";
+    first = false;
+  }
+  json << "]}";
+  nup::bench::write_json("BENCH_sim_width.json", json.str());
+}
+
 void BM_ReferenceBackendDenoise(benchmark::State& state) {
   const stencil::StencilProgram p = stencil::denoise_2d();
   const arch::AcceleratorDesign design = arch::build_design(p);
@@ -109,6 +151,28 @@ void BM_FastBackendDenoise(benchmark::State& state) {
 }
 BENCHMARK(BM_FastBackendDenoise)->Unit(benchmark::kMillisecond);
 
+void BM_FastBackendDenoiseWide(benchmark::State& state) {
+  const stencil::StencilProgram p = stencil::denoise_2d();
+  arch::BuildOptions opts;
+  opts.datapath_width = state.range(0);
+  const arch::AcceleratorDesign design = arch::build_design(p, opts);
+  std::int64_t cycles = 0;
+  for (auto _ : state) {
+    cycles =
+        sim::simulate(p, design, backend_options(sim::SimBackend::kFast))
+            .cycles;
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FastBackendDenoiseWide)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_FastBackendConstruction(benchmark::State& state) {
   // Row-program compilation cost: what the fast lane pays up front.
   const stencil::StencilProgram p = stencil::denoise_2d();
@@ -127,5 +191,6 @@ int main(int argc, char** argv) {
   nup::bench::banner(
       "Simulator backends: reference vs compiled fast lane (cycles/sec)");
   print_comparison_table();
+  print_width_sweep();
   return nup::bench::run(argc, argv);
 }

@@ -95,9 +95,65 @@ AcceleratorDesign build_design(const stencil::StencilProgram& program,
   for (std::size_t a = 0; a < program.inputs().size(); ++a) {
     design.systems.push_back(build_system(program, a, options));
   }
+  if (options.datapath_width != 1) {
+    design = widen_design(std::move(design), options.datapath_width, options);
+  }
   log_debug() << "built design for " << program.name() << ": "
               << design.total_bank_count() << " banks, "
               << design.total_buffer_size() << " elements";
+  return design;
+}
+
+AcceleratorDesign widen_design(AcceleratorDesign design, std::int64_t width,
+                               const BuildOptions& options) {
+  if (width < 1 || width > kMaxDatapathWidth) {
+    throw Error("datapath_width " + std::to_string(width) +
+                " out of range [1, " + std::to_string(kMaxDatapathWidth) +
+                "]");
+  }
+  if (width > 1) {
+    // A width the streamed rows can never fill buys word padding without any
+    // bandwidth: reject it. The longest row is the inner extent of the
+    // streamed domain's bounding box (per system; the design is only
+    // unwidenable when *no* system has a row that can fill a vector).
+    std::int64_t longest_row = 0;
+    for (const MemorySystem& s : design.systems) {
+      const std::size_t dim = s.input_domain.dim();
+      if (dim == 0) continue;
+      std::optional<poly::IntVec> lo = s.input_domain.lex_min();
+      std::optional<poly::IntVec> hi = s.input_domain.lex_max();
+      if (!lo || !hi) continue;
+      // lex_max's inner coordinate is the largest inner value at the largest
+      // prefix; use the hull over all pieces for a conservative row length.
+      poly::IntVec box_lo;
+      poly::IntVec box_hi;
+      if (s.input_domain.as_single_box(&box_lo, &box_hi)) {
+        longest_row = std::max<std::int64_t>(
+            longest_row, box_hi[dim - 1] - box_lo[dim - 1] + 1);
+      } else {
+        // Non-box domain: scan per-piece inner hulls at their own prefixes
+        // is overkill here -- the bounding box of lex extremes is a safe
+        // upper bound and only used to reject absurd widths.
+        longest_row = std::max<std::int64_t>(
+            longest_row, (*hi)[dim - 1] - (*lo)[dim - 1] + 1);
+      }
+    }
+    if (longest_row > 0 && width > longest_row) {
+      throw Error("datapath_width " + std::to_string(width) +
+                  " exceeds the longest streamed row (" +
+                  std::to_string(longest_row) +
+                  " elements); no vector could ever fill");
+    }
+  }
+  design.datapath_width = width;
+  // Re-derive each uncut FIFO's physical mapping from its word depth: a
+  // 1023-deep scalar BRAM FIFO becomes ceil(1023/8)=128 8-wide words, which
+  // still maps by the same Table 2 thresholds applied to address depth.
+  for (MemorySystem& s : design.systems) {
+    for (ReuseFifo& f : s.fifos) {
+      if (!f.cut) f.impl = map_physical(f.word_depth(width), options);
+    }
+  }
   return design;
 }
 

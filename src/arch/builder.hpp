@@ -27,7 +27,17 @@ struct BuildOptions {
 
   /// Guard for the exact reuse-distance scan on non-box domains.
   std::int64_t exact_iteration_limit = 5'000'000;
+
+  /// Datapath width W of the generated design (Fig 14's bandwidth knob):
+  /// W elements enter per stream per cycle and every reuse FIFO is
+  /// organized as ceil(depth / W) W-element words. 1 = the paper's scalar
+  /// microarchitecture. See widen_design for the validation rules.
+  std::int64_t datapath_width = 1;
 };
+
+/// Hard ceiling on datapath_width: wider than any realistic burst port,
+/// and the simulator's lane buffers are sized against it.
+inline constexpr std::int64_t kMaxDatapathWidth = 64;
 
 /// Generates the paper's microarchitecture for every input array of the
 /// stencil program (Section 3): references sorted by offset in descending
@@ -38,5 +48,17 @@ AcceleratorDesign build_design(const stencil::StencilProgram& program,
 
 /// Chooses the physical implementation for a buffer of the given depth.
 BufferImpl map_physical(std::int64_t depth, const BuildOptions& options);
+
+/// Promotes `design` to a W-wide datapath: sets datapath_width and
+/// re-derives every uncut FIFO's physical mapping from its word depth
+/// (Eq. 2 / W words of W elements). FIFO `depth` fields keep the Eq. 2
+/// element bounds so element-stream semantics are width-invariant.
+/// Throws Error when width < 1 or width > kMaxDatapathWidth. Rows
+/// narrower than W are legal -- the fast backend retires them through its
+/// scalar remainder path, they just waste lanes -- but widths that cannot
+/// ever fill a vector (W larger than the longest streamed row) are
+/// rejected, because such a design buys padding without any bandwidth.
+AcceleratorDesign widen_design(AcceleratorDesign design, std::int64_t width,
+                               const BuildOptions& options = {});
 
 }  // namespace nup::arch

@@ -34,6 +34,14 @@ std::int64_t MemorySystem::total_buffer_size() const {
   return total;
 }
 
+std::int64_t MemorySystem::padded_buffer_size(std::int64_t width) const {
+  std::int64_t total = 0;
+  for (const ReuseFifo& f : fifos) {
+    if (!f.cut) total += f.word_depth(width) * std::max<std::int64_t>(width, 1);
+  }
+  return total;
+}
+
 std::size_t MemorySystem::stream_count() const {
   std::size_t streams = 1;
   for (const ReuseFifo& f : fifos) {
@@ -56,6 +64,14 @@ std::int64_t AcceleratorDesign::total_buffer_size() const {
   return total;
 }
 
+std::int64_t AcceleratorDesign::total_padded_buffer_size() const {
+  std::int64_t total = 0;
+  for (const MemorySystem& s : systems) {
+    total += s.padded_buffer_size(datapath_width);
+  }
+  return total;
+}
+
 std::size_t AcceleratorDesign::total_bank_count() const {
   std::size_t banks = 0;
   for (const MemorySystem& s : systems) banks += s.bank_count();
@@ -66,7 +82,12 @@ std::string describe(const AcceleratorDesign& design) {
   std::ostringstream out;
   out << "accelerator '" << design.name << "': " << design.systems.size()
       << " memory system(s), " << design.total_bank_count() << " bank(s), "
-      << design.total_buffer_size() << " element(s) of reuse storage\n";
+      << design.total_buffer_size() << " element(s) of reuse storage";
+  if (design.datapath_width > 1) {
+    out << ", W=" << design.datapath_width << " datapath ("
+        << design.total_padded_buffer_size() << " padded element(s))";
+  }
+  out << "\n";
   for (const MemorySystem& s : design.systems) {
     out << "  array " << s.array << ": " << s.filter_count() << " filters";
     if (s.stream_count() > 1) {
@@ -81,8 +102,12 @@ std::string describe(const AcceleratorDesign& design) {
         if (f.cut) {
           out << "    (chain cut: next segment fed by off-chip stream)\n";
         } else {
-          out << "    FIFO_" << k << ": depth " << f.depth << " ("
-              << to_string(f.impl) << ")\n";
+          out << "    FIFO_" << k << ": depth " << f.depth;
+          if (design.datapath_width > 1) {
+            out << " (" << f.word_depth(design.datapath_width) << " word(s) x "
+                << design.datapath_width << ")";
+          }
+          out << " (" << to_string(f.impl) << ")\n";
         }
       }
     }

@@ -27,6 +27,15 @@ struct ReuseFifo {
   /// True when the bandwidth/memory trade-off (Fig 14) replaced this FIFO
   /// with an extra off-chip stream; a cut FIFO occupies no on-chip storage.
   bool cut = false;
+
+  /// Depth in W-element datapath words when the chain moves W elements per
+  /// cycle (Eq. 2 / W): the Eq. 2 element bound rounded up to whole words.
+  /// Equals `depth` for width 1. The element capacity of the physical
+  /// buffer is then word_depth(W) * W >= depth (the padding is the memory
+  /// cost of the wide datapath on the Fig 14 trade-off curve).
+  std::int64_t word_depth(std::int64_t width) const {
+    return width <= 1 ? depth : (depth + width - 1) / width;
+  }
 };
 
 /// The generated memory system for one data array: n data filters chained
@@ -61,6 +70,11 @@ struct MemorySystem {
   /// Total on-chip reuse storage in data elements.
   std::int64_t total_buffer_size() const;
 
+  /// On-chip storage in data elements after padding every uncut FIFO up to
+  /// whole W-element words: sum of word_depth(width) * width. Equals
+  /// total_buffer_size() for width 1.
+  std::int64_t padded_buffer_size(std::int64_t width) const;
+
   /// Number of off-chip streams feeding the chain (1 + number of cuts).
   std::size_t stream_count() const;
 
@@ -75,7 +89,19 @@ struct AcceleratorDesign {
   std::string name;
   std::vector<MemorySystem> systems;
 
+  /// Datapath width W (Fig 14's bandwidth knob as a first-class design
+  /// point): every off-chip stream delivers W elements per cycle, every
+  /// filter forwards a W-element word per cycle, and each reuse FIFO holds
+  /// word_depth(W) = ceil(depth / W) words. FIFO `depth` fields stay the
+  /// Eq. 2 element bounds, so the element-level stream semantics -- and
+  /// every cycle-level observable of the simulators -- are identical for
+  /// all W; only the cycles-per-frame (see SimResult::datapath_cycles) and
+  /// the padded on-chip footprint change. 1 = the paper's scalar design.
+  std::int64_t datapath_width = 1;
+
   std::int64_t total_buffer_size() const;
+  /// Word-padded on-chip storage in elements under datapath_width.
+  std::int64_t total_padded_buffer_size() const;
   std::size_t total_bank_count() const;
 };
 

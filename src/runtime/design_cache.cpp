@@ -41,9 +41,13 @@ std::string piece_key(const poly::Polyhedron& piece) {
 std::string DesignCache::canonical_key(const stencil::StencilProgram& program,
                                        const arch::BuildOptions& build) {
   std::ostringstream out;
-  out << "v1|d=" << program.dim() << "|b=" << build.exact_sizing << ','
+  // v2: datapath_width joined the build section -- a W=8 plan must never
+  // alias a W=1 plan of the same program (the designs differ in padding,
+  // physical mapping and the simulator's batch width).
+  out << "v2|d=" << program.dim() << "|b=" << build.exact_sizing << ','
       << build.exact_streaming << ',' << build.register_max_depth << ','
-      << build.shift_register_max_depth << "|D=";
+      << build.shift_register_max_depth << ','
+      << build.datapath_width << "|D=";
   // Pieces sorted by serialized form: a union written in a different piece
   // order is the same domain for every downstream consumer.
   std::vector<std::string> pieces;

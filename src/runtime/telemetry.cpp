@@ -23,6 +23,17 @@ int publish_sim_telemetry(obs::Registry& registry,
       registry.gauge("fifo.high_water." + suffix).update_max(high_water);
       registry.gauge("fifo.depth." + suffix).update_max(depth);
       if (high_water > depth) ++violations;
+      if (design.datapath_width > 1) {
+        // Word-level view of the wide datapath: occupancy in W-element
+        // words must stay within the Eq. 2 / W rescaled bound.
+        const std::int64_t w = design.datapath_width;
+        const std::int64_t word_depth = ms.fifos[k].word_depth(w);
+        const std::int64_t high_water_words = (high_water + w - 1) / w;
+        registry.gauge("fifo.word_depth." + suffix).update_max(word_depth);
+        registry.gauge("fifo.high_water_words." + suffix)
+            .update_max(high_water_words);
+        if (high_water_words > word_depth) ++violations;
+      }
     }
     if (s < result.filter_stall_cycles.size()) {
       for (std::size_t k = 0; k < result.filter_stall_cycles[s].size();
@@ -42,6 +53,9 @@ int publish_sim_telemetry(obs::Registry& registry,
   }
   registry.counter("sim.runs").inc();
   registry.counter("sim.cycles").add(result.cycles);
+  if (result.datapath_cycles > 0) {
+    registry.counter("sim.datapath_cycles").add(result.datapath_cycles);
+  }
   if (result.kernel_fires > 0) {
     registry.histogram("sim.fill_latency_cycles")
         .observe(result.fill_latency);

@@ -17,8 +17,15 @@ namespace nup::runtime {
 ///                                 while the sizing theorem holds)
 ///   filter.stall_cycles.<array>.<k> counter -- accumulated stall cycles
 ///   sim.runs / sim.cycles         counters
+///   sim.datapath_cycles           counter -- W-wide machine cycles
 ///   sim.fill_latency_cycles       histogram (first-fire latency)
 ///   sim.steady_ii_milli           histogram (steady II x 1000)
+///
+/// On designs with datapath_width W > 1 two word-level gauges are added
+/// per uncut FIFO -- fifo.word_depth.<array>.<k> (ceil(depth / W), the
+/// Eq. 2 / W rescaled bound) and fifo.high_water_words.<array>.<k>
+/// (observed peak occupancy in W-element words) -- and a word-level bound
+/// violation counts into fifo.depth_violations like an element-level one.
 ///
 /// Per-design the invariant high_water <= depth holds pointwise, so the
 /// max-aggregated gauges preserve it across heterogeneous tile designs.

@@ -1,11 +1,20 @@
 #include "sim/fast.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
 #include <limits>
 #include <sstream>
 
 #include "stencil/golden.hpp"
 #include "util/error.hpp"
+
+#if defined(__x86_64__) && !defined(NUP_DISABLE_AVX2)
+#define NUP_HAVE_AVX2 1
+#include <immintrin.h>
+#else
+#define NUP_HAVE_AVX2 0
+#endif
 
 namespace nup::sim {
 
@@ -45,6 +54,37 @@ struct FastFifo {
     --count;
     return v;
   }
+
+  /// Pops the `n` oldest values into dst (ring-split into at most two
+  /// memcpy segments). Requires n <= count.
+  void pop_block(std::int64_t n, double* dst) {
+    const std::size_t cap = values.size();
+    const std::size_t first =
+        std::min<std::size_t>(static_cast<std::size_t>(n), cap - head);
+    std::memcpy(dst, values.data() + head, first * sizeof(double));
+    std::memcpy(dst + first, values.data(),
+                (static_cast<std::size_t>(n) - first) * sizeof(double));
+    head += static_cast<std::size_t>(n);
+    if (head >= cap) head -= cap;
+    count -= n;
+  }
+
+  /// Pushes `n` values from src. Requires count + n <= capacity. The wide
+  /// path pops before pushing (like the scalar firing cycle), so occupancy
+  /// never exceeds the value it had entering the batch and max_fill is
+  /// untouched -- a batch is only entered at steady occupancy.
+  void push_block(const double* src, std::int64_t n) {
+    const std::size_t cap = values.size();
+    std::size_t tail = head + static_cast<std::size_t>(count);
+    if (tail >= cap) tail -= cap;
+    const std::size_t first =
+        std::min<std::size_t>(static_cast<std::size_t>(n), cap - tail);
+    std::memcpy(values.data() + tail, src, first * sizeof(double));
+    std::memcpy(values.data(), src + first,
+                (static_cast<std::size_t>(n) - first) * sizeof(double));
+    count += n;
+    if (count > max_fill) max_fill = count;
+  }
 };
 
 struct FastFilter {
@@ -57,10 +97,15 @@ struct FastFilter {
   MatchScanner scanner;       // over the segment's input program
   std::int64_t in_pos = 0;    // stream elements consumed so far
   std::int64_t next_match = kNever;  // stream position of out's point
+  /// Contiguous stream ranks starting at next_match (scanner run length):
+  /// >= W means the next W output points match W consecutive stream
+  /// elements, one of the wide-step preconditions.
+  std::int64_t match_run = 0;
   int segment = -1;           // feed index when this filter heads a segment
 
   void reseek() {
     next_match = out.valid() ? scanner.seek(out.point()) : kNever;
+    match_run = next_match == kNever ? 0 : scanner.run;
   }
 };
 
@@ -91,6 +136,139 @@ bool aligned_with_iteration(const RowProgram& iter, const RowProgram& out,
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// W-wide weighted-sum kernel. All variants evaluate, for every lane l,
+//   out[l] = sum_k weights[k] * lanes[k*width + l]
+// in ascending k with one multiply-accumulate per term -- the same
+// per-lane operation sequence as make_weighted_sum's scalar loop. Whether
+// the scalar loop compiled to separate mul+add or to fused fma depends on
+// the build's contraction rules, so FastSim picks the variant at
+// construction by probing each candidate against the program's actual
+// KernelFn on random vectors and falls back to per-lane kernel calls when
+// none is bit-identical. Correctness therefore never depends on compiler
+// flags; only the fast path's speed does.
+
+enum class VecKernelMode { kPerLane, kScalarMulAdd, kScalarFma, kAvx2 };
+
+void weighted_sum_muladd(const double* lanes, const double* weights,
+                         std::size_t refs, std::int64_t width, double* out) {
+  for (std::int64_t l = 0; l < width; ++l) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < refs; ++k) {
+      const double prod = weights[k] * lanes[k * width + l];
+      acc += prod;
+    }
+    out[l] = acc;
+  }
+}
+
+void weighted_sum_fma(const double* lanes, const double* weights,
+                      std::size_t refs, std::int64_t width, double* out) {
+  for (std::int64_t l = 0; l < width; ++l) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < refs; ++k) {
+      acc = std::fma(weights[k], lanes[k * width + l], acc);
+    }
+    out[l] = acc;
+  }
+}
+
+#if NUP_HAVE_AVX2
+/// 4 lanes per iteration with fused multiply-add; remainder lanes use
+/// std::fma so every lane sees the identical fma-contracted sequence.
+__attribute__((target("avx2,fma"))) void weighted_sum_avx2(
+    const double* lanes, const double* weights, std::size_t refs,
+    std::int64_t width, double* out) {
+  std::int64_t l = 0;
+  for (; l + 4 <= width; l += 4) {
+    __m256d acc = _mm256_setzero_pd();
+    for (std::size_t k = 0; k < refs; ++k) {
+      const __m256d v = _mm256_loadu_pd(lanes + k * width + l);
+      acc = _mm256_fmadd_pd(_mm256_set1_pd(weights[k]), v, acc);
+    }
+    _mm256_storeu_pd(out + l, acc);
+  }
+  for (; l < width; ++l) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < refs; ++k) {
+      acc = std::fma(weights[k], lanes[k * width + l], acc);
+    }
+    out[l] = acc;
+  }
+}
+
+bool avx2_supported() {
+  static const bool supported = __builtin_cpu_supports("avx2") &&
+                                __builtin_cpu_supports("fma");
+  return supported;
+}
+#endif
+
+void run_vec_kernel(VecKernelMode mode, const double* lanes,
+                    const double* weights, std::size_t refs,
+                    std::int64_t width, double* out) {
+  switch (mode) {
+#if NUP_HAVE_AVX2
+    case VecKernelMode::kAvx2:
+      weighted_sum_avx2(lanes, weights, refs, width, out);
+      return;
+#endif
+    case VecKernelMode::kScalarFma:
+      weighted_sum_fma(lanes, weights, refs, width, out);
+      return;
+    default:
+      weighted_sum_muladd(lanes, weights, refs, width, out);
+      return;
+  }
+}
+
+/// Picks the fastest vector variant that is bit-identical to `kernel` on
+/// deterministic pseudo-random probes (64 lanes' worth of values per
+/// variant); kPerLane when none is -- e.g. a kernel compiled with an
+/// association the candidates do not reproduce.
+VecKernelMode probe_vec_kernel(const stencil::KernelFn& kernel,
+                               const std::vector<double>& weights,
+                               std::int64_t width) {
+  const std::size_t refs = weights.size();
+  if (refs == 0 || width <= 1) return VecKernelMode::kPerLane;
+  // The probe is a safety net on top of the structural guarantee (the
+  // canonical kernel is itself an fma chain, see make_weighted_sum): a
+  // candidate that differs from the kernel anywhere is overwhelmingly
+  // unlikely to match all of these lanes bit-for-bit.
+  const std::int64_t probe_lanes = std::max<std::int64_t>(width, 256);
+  std::vector<double> lanes(refs * static_cast<std::size_t>(probe_lanes));
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (double& v : lanes) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    v = static_cast<double>(state >> 11) * 0x1.0p-53;  // [0, 1)
+  }
+  std::vector<double> expected(static_cast<std::size_t>(probe_lanes));
+  std::vector<double> values(refs);
+  for (std::int64_t l = 0; l < probe_lanes; ++l) {
+    for (std::size_t k = 0; k < refs; ++k) {
+      values[k] = lanes[k * static_cast<std::size_t>(probe_lanes) +
+                        static_cast<std::size_t>(l)];
+    }
+    expected[static_cast<std::size_t>(l)] = kernel(values);
+  }
+  std::vector<double> got(static_cast<std::size_t>(probe_lanes));
+  std::vector<VecKernelMode> candidates;
+#if NUP_HAVE_AVX2
+  if (avx2_supported()) candidates.push_back(VecKernelMode::kAvx2);
+#endif
+  candidates.push_back(VecKernelMode::kScalarFma);
+  candidates.push_back(VecKernelMode::kScalarMulAdd);
+  for (VecKernelMode mode : candidates) {
+    run_vec_kernel(mode, lanes.data(), weights.data(), refs, probe_lanes,
+                   got.data());
+    if (std::memcmp(got.data(), expected.data(),
+                    got.size() * sizeof(double)) == 0) {
+      return mode;
+    }
+  }
+  return VecKernelMode::kPerLane;
+}
+
 struct FastSystem {
   const arch::MemorySystem* design = nullptr;
   const RowProgram* input_prog = nullptr;  // streamed hull (plan-owned)
@@ -101,6 +279,9 @@ struct FastSystem {
   std::vector<unsigned char> synthetic;
   std::vector<FastFifo> fifos;
   std::vector<FastFilter> filters;
+  /// lane_slot[k]: row of filter k's W-element block in the Impl's lane
+  /// matrix = the kernel's reference slot (arrays then refs, source order).
+  std::vector<std::size_t> lane_slot;
 
   // Per-cycle scratch, indexed by filter.
   std::vector<unsigned char> avail;
@@ -134,6 +315,16 @@ struct FastSim::Impl {
   std::int64_t last_fire_cycle = 0;
   std::vector<double> gathered;  // kernel argument scratch
 
+  // W-wide execution state (inert when width == 1).
+  std::int64_t width = 1;       ///< micro-cycles a wide step may retire
+  std::int64_t last_width = 1;  ///< micro-cycles the last step() retired
+  std::int64_t datapath_cycles = 0;  ///< step() invocations (machine cycles)
+  VecKernelMode vec_mode = VecKernelMode::kPerLane;
+  std::vector<double> weights;   ///< slot order; empty -> per-lane kernel
+  std::vector<double> lane_vals;  ///< refs x width lane matrix, slot-major
+  std::vector<double> lane_out;   ///< width kernel outputs
+  poly::IntVec lane_point;        ///< per-lane point scratch
+
   bool done() const { return result.kernel_fires == total_iterations; }
 
   double read_source(FastSystem& sys, FastFilter& filter);
@@ -146,6 +337,8 @@ struct FastSim::Impl {
   void commit_kernel();
   void record_trace(bool fire);
   std::string describe_stall() const;
+  bool batch_ready(FastSystem& sys);
+  bool try_wide_step();
   bool step();
 };
 
@@ -182,6 +375,19 @@ std::shared_ptr<const FastPlan> compile_fast_plan(
   // with respect to this program object; kernel() is then a pure read for
   // every concurrent simulation that shares the plan.
   (void)program.kernel();
+  plan->lanes.width = std::max<std::int64_t>(1, design.datapath_width);
+  plan->lanes.min_row_span = std::numeric_limits<std::int64_t>::max();
+  for (const RowProgram::Row& row : plan->iteration.rows) {
+    for (const poly::Interval& iv : row.intervals) {
+      plan->lanes.min_row_span =
+          std::min(plan->lanes.min_row_span, iv.hi - iv.lo + 1);
+    }
+  }
+  if (plan->iteration.rows.empty()) plan->lanes.min_row_span = 0;
+  plan->lanes.weights = program.weighted_sum_weights();
+  if (plan->lanes.weights.size() != program.total_references()) {
+    plan->lanes.weights.clear();
+  }
   return plan;
 }
 
@@ -247,6 +453,29 @@ FastSim::FastSim(const stencil::StencilProgram& program,
     sys.moved.assign(n, 0.0);
   }
 
+  im.width = options.vectorize
+                 ? std::max<std::int64_t>(1, design.datapath_width)
+                 : 1;
+  if (im.width > 1) {
+    const std::size_t refs = program.total_references();
+    std::size_t base = 0;
+    for (std::size_t s = 0; s < im.systems.size(); ++s) {
+      FastSystem& sys = im.systems[s];
+      sys.lane_slot.resize(sys.filters.size());
+      for (std::size_t k = 0; k < sys.filters.size(); ++k) {
+        sys.lane_slot[k] = base + sys.design->ref_order[k];
+      }
+      base += sys.filters.size();
+    }
+    im.lane_vals.assign(refs * static_cast<std::size_t>(im.width), 0.0);
+    im.lane_out.assign(static_cast<std::size_t>(im.width), 0.0);
+    im.weights = im.plan->lanes.weights;
+    if (im.weights.size() == refs && refs > 0) {
+      im.vec_mode = probe_vec_kernel(program.kernel(), im.weights, im.width);
+    }
+    if (im.vec_mode == VecKernelMode::kPerLane) im.weights.clear();
+  }
+
   im.result.fifo_max_fill.resize(design.systems.size());
   im.result.filter_stall_cycles.resize(design.systems.size());
   for (std::size_t s = 0; s < design.systems.size(); ++s) {
@@ -282,6 +511,8 @@ std::int64_t FastSim::kernel_fires() const {
 std::int64_t FastSim::fifo_fill(std::size_t system, std::size_t fifo) const {
   return impl_->systems.at(system).fifos.at(fifo).count;
 }
+
+std::int64_t FastSim::last_step_width() const { return impl_->last_width; }
 
 double FastSim::Impl::read_source(FastSystem& sys, FastFilter& filter) {
   if (sys.synthetic[filter.segment]) {
@@ -505,7 +736,141 @@ std::string FastSim::Impl::describe_stall() const {
   return out.str();
 }
 
+/// Side-effect-free test that every filter of `sys` is about to fire for
+/// `width` consecutive micro-cycles: match established and running for W
+/// consecutive stream ranks, W output points left in the row interval,
+/// heads with W streamable points from a time-invariant feed, non-heads
+/// with a non-empty upstream FIFO (occupancy is invariant across firing
+/// cycles, so one element now means one element on every batched cycle).
+bool FastSim::Impl::batch_ready(FastSystem& sys) {
+  const std::size_t n = sys.filters.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const FastFilter& filter = sys.filters[k];
+    if (!filter.out.is_valid) return false;
+    if (filter.in_pos != filter.next_match) return false;
+    if (filter.match_run < width) return false;
+    if (filter.out.remaining_in_interval() < width) return false;
+    if (filter.segment >= 0) {
+      if (!filter.in.is_valid ||
+          filter.in.remaining_in_interval() < width) {
+        return false;
+      }
+      if (!sys.synthetic[filter.segment]) {
+        ExternalFeed& feed = *sys.feeds[filter.segment];
+        if (!feed.time_invariant()) return false;
+        lane_point = filter.in.point();
+        for (std::int64_t l = 0; l < width; ++l) {
+          if (!feed.available(lane_point)) return false;
+          ++lane_point.back();
+        }
+      }
+    } else if (sys.fifos[k - 1].count <= 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Retires `width` firing micro-cycles in one wide step, or does nothing
+/// and returns false. Preconditions guarantee every filter fires on all W
+/// cycles, so the batched state transition is exactly W scalar
+/// commit_fire/commit_kernel rounds: each uncut FIFO between firing
+/// filters sees one pop + one push per cycle (occupancy invariant), and
+/// the values a filter consumes are the FIFO's take = min(count, W)
+/// oldest elements followed by the first W - take values its upstream
+/// neighbour consumed this same batch (pushed at cycle j, popped at cycle
+/// j + count). The FIFO afterwards holds the last `take` upstream values.
+bool FastSim::Impl::try_wide_step() {
+  if (!kernel_cursor.is_valid ||
+      kernel_cursor.remaining_in_interval() < width) {
+    return false;
+  }
+  if (cycle + width > options.max_cycles) return false;
+  if (options.trace_cycles > 0 && cycle < options.trace_cycles) return false;
+  if (options.validate && !ports_structurally_valid) return false;
+  for (FastSystem& sys : systems) {
+    if (!batch_ready(sys)) return false;
+  }
+
+  const std::int64_t start = cycle;
+  cycle += width;
+  const std::size_t w = static_cast<std::size_t>(width);
+  for (FastSystem& sys : systems) {
+    const std::size_t n = sys.filters.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      FastFilter& filter = sys.filters[k];
+      double* block = lane_vals.data() + sys.lane_slot[k] * w;
+      if (filter.segment >= 0) {
+        lane_point = filter.in.point();
+        if (sys.synthetic[filter.segment]) {
+          for (std::int64_t l = 0; l < width; ++l) {
+            block[l] = stencil::synthetic_value(
+                options.seed, sys.design->array_index, lane_point);
+            ++lane_point.back();
+          }
+        } else {
+          ExternalFeed& feed = *sys.feeds[filter.segment];
+          for (std::int64_t l = 0; l < width; ++l) {
+            block[l] = feed.read(lane_point);
+            ++lane_point.back();
+          }
+        }
+        filter.in.advance_by(width);
+      } else {
+        FastFifo& fifo = sys.fifos[k - 1];
+        const double* upstream =
+            lane_vals.data() + sys.lane_slot[k - 1] * w;
+        const std::int64_t take = std::min(fifo.count, width);
+        fifo.pop_block(take, block);
+        std::memcpy(block + take, upstream,
+                    static_cast<std::size_t>(width - take) * sizeof(double));
+        fifo.push_block(upstream + (width - take), take);
+      }
+      filter.in_pos += width;
+      filter.out.advance_by(width);
+      filter.reseek();
+    }
+  }
+
+  // W kernel fires: the vectorized weighted sum when the probe proved it
+  // bit-identical, otherwise one kernel call per lane.
+  if (!weights.empty()) {
+    run_vec_kernel(vec_mode, lane_vals.data(), weights.data(),
+                   weights.size(), width, lane_out.data());
+  } else {
+    const std::size_t refs = gathered.size();
+    for (std::int64_t l = 0; l < width; ++l) {
+      for (std::size_t r = 0; r < refs; ++r) {
+        gathered[r] = lane_vals[r * w + static_cast<std::size_t>(l)];
+      }
+      lane_out[static_cast<std::size_t>(l)] = program->kernel()(gathered);
+    }
+  }
+  if (options.record_outputs) {
+    result.outputs.insert(result.outputs.end(), lane_out.begin(),
+                          lane_out.end());
+  }
+  if (output_callback) {
+    lane_point = kernel_cursor.point();
+    for (std::int64_t l = 0; l < width; ++l) {
+      output_callback(lane_point, lane_out[static_cast<std::size_t>(l)]);
+      ++lane_point.back();
+    }
+  }
+  kernel_cursor.advance_by(width);
+  if (result.kernel_fires == 0) result.fill_latency = start + 1;
+  result.kernel_fires += width;
+  last_fire_cycle = cycle;
+  result.drain_start = cycle;  // every micro-cycle streamed off-chip data
+  stall_cycles = 0;
+  last_width = width;
+  return true;
+}
+
 bool FastSim::Impl::step() {
+  ++datapath_cycles;
+  if (width > 1 && try_wide_step()) return true;
+  last_width = 1;
   ++cycle;
   const bool tracing =
       options.trace_cycles > 0 && cycle <= options.trace_cycles;
@@ -573,6 +938,7 @@ SimResult FastSim::run() {
     }
   }
   im.result.cycles = im.cycle;
+  im.result.datapath_cycles = im.datapath_cycles;
   if (im.result.kernel_fires >= 2) {
     im.result.steady_ii =
         static_cast<double>(im.last_fire_cycle - im.result.fill_latency) /
@@ -605,6 +971,7 @@ DifferentialReport run_differential(const stencil::StencilProgram& program,
                                     const arch::AcceleratorDesign& design,
                                     SimOptions options) {
   DifferentialReport report;
+  report.width = std::max<std::int64_t>(1, design.datapath_width);
   AcceleratorSim ref(program, design, options);
   FastSim fast(program, design, options);
 
@@ -615,31 +982,43 @@ DifferentialReport run_differential(const stencil::StencilProgram& program,
     report.divergence = out.str();
   };
 
-  // Lockstep per-cycle comparison, replicating run()'s stall accounting.
+  // Lockstep comparison, replicating run()'s stall accounting. One fast
+  // step may retire W scalar micro-cycles on a wide design; the reference
+  // is stepped that many times and the states compared at the batch
+  // boundary (the batch preconditions guarantee every micro-cycle fired,
+  // so the boundary is the only place the flags can be observed anyway).
   std::int64_t stall_cycles = 0;
   std::string ref_error;
   std::string fast_error;
   while (report.agreed && !ref.done() &&
          report.cycles < options.max_cycles) {
-    ++report.cycles;
     bool ref_progress = false;
     bool fast_progress = false;
-    try {
-      ref_progress = ref.step();
-    } catch (const SimulationError& e) {
-      ref_error = e.what();
-    }
+    std::int64_t w = 1;
     try {
       fast_progress = fast.step();
+      w = fast.last_step_width();
     } catch (const SimulationError& e) {
       fast_error = e.what();
     }
+    try {
+      for (std::int64_t i = 0; i < w; ++i) ref_progress = ref.step();
+    } catch (const SimulationError& e) {
+      ref_error = e.what();
+    }
+    report.cycles += w;
     if (!ref_error.empty() || !fast_error.empty()) {
       if (ref_error.empty() != fast_error.empty()) {
         diverge("one backend raised a validation error: reference='" +
                 ref_error + "' fast='" + fast_error + "'");
       }
       break;  // both threw: agreed, both detect the design as broken
+    }
+    if (ref.cycle() != fast.cycle()) {
+      diverge("cycle counters differ: reference=" +
+              std::to_string(ref.cycle()) +
+              " fast=" + std::to_string(fast.cycle()));
+      break;
     }
     if (ref_progress != fast_progress) {
       diverge(std::string("progress flags differ: reference=") +

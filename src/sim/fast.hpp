@@ -28,9 +28,24 @@ struct FastPlan {
     std::vector<RowProgram> filter_out;  ///< D_Ax per filter, filter order
   };
 
+  /// Lane blocking of the W-wide datapath, precomputed at compile time so
+  /// the per-step batching test never re-derives it.
+  struct LaneInfo {
+    std::int64_t width = 1;  ///< design.datapath_width
+    /// Shortest row interval across the iteration program: rows narrower
+    /// than the width can never fill a vector and always retire through the
+    /// scalar remainder path. Purely informational (benches report it).
+    std::int64_t min_row_span = 0;
+    /// Kernel weights in reference slot order when the kernel's linear
+    /// structure is known (StencilProgram::weighted_sum_weights); empty
+    /// forces the per-lane kernel-call path on wide steps.
+    std::vector<double> weights;
+  };
+
   RowProgram iteration;
   std::int64_t total_iterations = 0;
   std::vector<SystemPlan> systems;
+  LaneInfo lanes;
   /// Every output counter proved to track the iteration counter + offset;
   /// the per-fire port validation is then a no-op.
   bool ports_structurally_valid = false;
@@ -58,6 +73,20 @@ std::shared_ptr<const FastPlan> compile_fast_plan(
 /// invariant that a chain segment carries the segment stream in order, so
 /// a per-filter input counter replaces the per-token points of the
 /// reference backend.
+///
+/// On designs with datapath_width W > 1 (and SimOptions::vectorize), a
+/// step() may retire up to W scalar micro-cycles at once: when every filter
+/// of every chain is provably about to fire for W consecutive cycles (all
+/// cursors have >= W points left in their row interval, every match run
+/// covers W consecutive stream ranks, feeds are time-invariant), the wide
+/// path moves W-element blocks through the FIFOs and evaluates W kernel
+/// lanes per fire -- with an AVX2 inner loop when the host supports it and
+/// the kernel's weighted-sum structure is known, bit-identically to the
+/// scalar path (verified at construction by probing, and continuously by
+/// run_differential). Boundary/remainder cells, stall cycles, traced
+/// cycles and timed feeds always take the scalar path, so every
+/// scalar-cycle observable (cycles, fires, occupancies, outputs, stalls)
+/// is invariant in W; only SimResult::datapath_cycles shrinks.
 class FastSim {
  public:
   FastSim(const stencil::StencilProgram& program,
@@ -95,6 +124,10 @@ class FastSim {
   std::int64_t cycle() const;
   std::int64_t kernel_fires() const;
   std::int64_t fifo_fill(std::size_t system, std::size_t fifo) const;
+  /// Scalar micro-cycles the most recent step() retired: the datapath
+  /// width on a wide step, 1 on the scalar path. The differential checker
+  /// steps the reference this many times to stay in lockstep.
+  std::int64_t last_step_width() const;
 
  private:
   struct Impl;
@@ -105,19 +138,23 @@ class FastSim {
 /// per-cycle decision plus the final results.
 struct DifferentialReport {
   bool agreed = true;
-  std::int64_t cycles = 0;      ///< lockstep cycles compared
+  std::int64_t cycles = 0;      ///< lockstep scalar cycles compared
+  std::int64_t width = 1;       ///< datapath width the fast backend ran at
   std::string divergence;       ///< first difference; empty when agreed
   SimResult reference;
   SimResult fast;
 };
 
-/// Differential checker: steps AcceleratorSim and FastSim one cycle at a
-/// time and asserts identical progress flags, kernel-fire counts and
-/// per-FIFO occupancies on every cycle, then compares the finalized
-/// results (cycles, fires, fill latency, steady II, deadlock verdict and
-/// detail, per-FIFO max fill, outputs). Any divergence is reported with
-/// the first offending cycle; the fast path can never silently drift from
-/// the reference semantics.
+/// Differential checker: steps AcceleratorSim and FastSim in lockstep and
+/// asserts identical progress flags, kernel-fire counts and per-FIFO
+/// occupancies on every cycle, then compares the finalized results
+/// (cycles, fires, fill latency, steady II, deadlock verdict and detail,
+/// per-FIFO max fill, stall cycles, drain boundary, outputs). On wide
+/// designs one fast step may retire W scalar micro-cycles; the reference
+/// is then stepped W times and the comparison happens at the batch
+/// boundary, so every W is checked cycle-exact against the scalar
+/// reference semantics. Any divergence is reported with the first
+/// offending cycle; the fast path can never silently drift.
 DifferentialReport run_differential(const stencil::StencilProgram& program,
                                     const arch::AcceleratorDesign& design,
                                     SimOptions options = {});

@@ -27,6 +27,14 @@ class ExternalFeed {
   /// Value of the element at `h`. Called at most once per point, only after
   /// available(h) returned true in the same cycle.
   virtual double read(const poly::IntVec& h) = 0;
+
+  /// True when availability and values do not depend on the cycle the
+  /// queries happen on: available(h) never flips back to false and read(h)
+  /// is pure. The fast backend only batches W micro-cycles into one wide
+  /// step when every live feed is time-invariant -- a timed feed
+  /// (PrefetchFeed) or a mid-run producer (QueueFeed) could change state
+  /// between the batched micro-cycles, which must stay observable.
+  virtual bool time_invariant() const { return false; }
 };
 
 /// Deterministic synthetic DRAM: always ready, values from
@@ -39,6 +47,7 @@ class SyntheticFeed final : public ExternalFeed {
 
   bool available(const poly::IntVec&) override { return true; }
   double read(const poly::IntVec& h) override;
+  bool time_invariant() const override { return true; }
 
  private:
   std::uint64_t seed_;

@@ -72,6 +72,23 @@ struct RowCursor {
     load_row();
   }
 
+  /// Number of consecutive points left in the current interval, counting
+  /// the current point: the contiguous span a W-wide step may retire
+  /// without crossing an interval/row boundary. 0 when invalid.
+  std::int64_t remaining_in_interval() const {
+    if (!is_valid) return 0;
+    return prog->rows[row].intervals[ivl].hi - pt.back() + 1;
+  }
+
+  /// Advances `n` points; the first n-1 must stay inside the current
+  /// interval (n <= remaining_in_interval()), so only the final step can
+  /// roll over -- keeping the wide path O(1) per batch.
+  void advance_by(std::int64_t n) {
+    if (n <= 0) return;
+    pt.back() += n - 1;
+    advance();
+  }
+
  private:
   void load_row() {
     const RowProgram::Row& r = prog->rows[row];
@@ -92,12 +109,19 @@ struct MatchScanner {
   std::size_t row = 0;
   std::size_t ivl = 0;
   std::int64_t pos = 0;  // stream position of intervals[ivl].lo
+  /// After a successful seek: length of the contiguous stream run starting
+  /// at the returned rank (the matched interval's tail, target inclusive).
+  /// Consecutive output points in the same interval then occupy consecutive
+  /// stream ranks, which is what lets a W-wide step match W outputs against
+  /// W inputs with one scan. 0 after a kNeverMatches result.
+  std::int64_t run = 0;
 
   void reset(const RowProgram& p) {
     prog = &p;
     row = 0;
     ivl = 0;
     pos = 0;
+    run = 0;
   }
 
   /// Position of `t` in the enumeration; kNeverMatches when `t` is not a
@@ -106,6 +130,7 @@ struct MatchScanner {
   /// stream). Targets must be queried in lexicographically increasing
   /// order.
   std::int64_t seek(const poly::IntVec& t) {
+    run = 0;
     const std::size_t dim = prog->dim;
     while (row < prog->rows.size()) {
       const RowProgram::Row& r = prog->rows[row];
@@ -133,6 +158,7 @@ struct MatchScanner {
           continue;
         }
         if (iv.lo > ti) return kNeverMatches;  // target in a row gap
+        run = iv.hi - ti + 1;
         return pos + (ti - iv.lo);
       }
       ++row;  // target beyond the row's last interval

@@ -431,6 +431,7 @@ SimResult AcceleratorSim::run() {
     }
   }
   im.result.cycles = im.cycle;
+  im.result.datapath_cycles = im.cycle;  // the reference machine is scalar
   if (im.result.kernel_fires >= 2) {
     im.result.steady_ii =
         static_cast<double>(im.last_fire_cycle - im.result.fill_latency) /

@@ -33,6 +33,11 @@ struct SimOptions {
   bool validate = true;
   /// Keep all kernel outputs in the result (memory-heavy for big grids).
   bool record_outputs = true;
+  /// Allow the fast backend to retire up to design.datapath_width scalar
+  /// micro-cycles per wide step (see SimResult::datapath_cycles). Never
+  /// changes any scalar-cycle observable; disable to force the scalar path
+  /// even on wide designs (useful when isolating vector-path bugs).
+  bool vectorize = true;
 };
 
 /// Per-cycle status of one data filter (Table 3's f/d/s columns).
@@ -55,6 +60,12 @@ struct CycleTrace {
 struct SimResult {
   std::int64_t cycles = 0;
   std::int64_t kernel_fires = 0;
+  /// Machine cycles of the W-wide datapath: the number of wide steps it
+  /// took to retire `cycles` scalar micro-cycles. Equals `cycles` for W=1
+  /// (and for the reference backend, which is scalar by definition); for
+  /// W>1 on the fast backend this is what Fig 14's cycles-per-frame axis
+  /// measures -- throughput in frames/s scales with cycles/datapath_cycles.
+  std::int64_t datapath_cycles = 0;
   std::int64_t fill_latency = 0;  ///< cycle of the first kernel fire
   /// Steady-state initiation interval: average cycles between kernel fires
   /// after the pipeline filled (1.0 = fully pipelined).

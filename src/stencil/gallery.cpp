@@ -36,7 +36,7 @@ StencilProgram denoise_2d(std::int64_t rows, std::int64_t cols) {
   StencilProgram p("DENOISE", interior_2d(rows, cols, -1, 1, -1, 1));
   p.add_input("A", {{-1, 0}, {0, -1}, {0, 0}, {0, 1}, {1, 0}});
   // Damped Laplacian smoothing step.
-  p.set_kernel(make_weighted_sum({0.125, 0.125, 0.5, 0.125, 0.125}));
+  p.set_weighted_sum({0.125, 0.125, 0.5, 0.125, 0.125});
   return p;
 }
 
@@ -77,7 +77,7 @@ StencilProgram bicubic_2d(std::int64_t rows, std::int64_t cols) {
   StencilProgram p("BICUBIC", interior_2d(rows, cols, 0, 0, -2, 4));
   p.add_input("A", {{0, -2}, {0, 0}, {0, 2}, {0, 4}});
   // Catmull-Rom taps at t = 0.5.
-  p.set_kernel(make_weighted_sum({-0.0625, 0.5625, 0.5625, -0.0625}));
+  p.set_weighted_sum({-0.0625, 0.5625, 0.5625, -0.0625});
   return p;
 }
 
@@ -91,7 +91,7 @@ StencilProgram denoise_3d(std::int64_t planes, std::int64_t rows,
                     {0, 0, 1},
                     {0, 1, 0},
                     {1, 0, 0}});
-  p.set_kernel(make_weighted_sum({0.1, 0.1, 0.1, 0.4, 0.1, 0.1, 0.1}));
+  p.set_weighted_sum({0.1, 0.1, 0.1, 0.4, 0.1, 0.1, 0.1});
   return p;
 }
 
@@ -111,7 +111,7 @@ StencilProgram segmentation_3d(std::int64_t planes, std::int64_t rows,
   if (offsets.size() != 19) throw Error("SEGMENTATION_3D window must be 19");
   StencilProgram p("SEGMENTATION_3D", interior_3d(planes, rows, cols, 1));
   p.add_input("A", std::move(offsets));
-  p.set_kernel(make_weighted_sum(std::vector<double>(19, 1.0 / 19.0)));
+  p.set_weighted_sum(std::vector<double>(19, 1.0 / 19.0));
   return p;
 }
 
@@ -129,7 +129,7 @@ std::vector<StencilProgram> paper_benchmarks() {
 StencilProgram jacobi_2d(std::int64_t rows, std::int64_t cols) {
   StencilProgram p("JACOBI_2D", interior_2d(rows, cols, -1, 1, -1, 1));
   p.add_input("A", {{-1, 0}, {0, -1}, {0, 0}, {0, 1}, {1, 0}});
-  p.set_kernel(make_weighted_sum({0.2, 0.2, 0.2, 0.2, 0.2}));
+  p.set_weighted_sum({0.2, 0.2, 0.2, 0.2, 0.2});
   return p;
 }
 
@@ -140,7 +140,7 @@ StencilProgram blur_2d(std::int64_t rows, std::int64_t cols) {
     for (std::int64_t b = -1; b <= 1; ++b) offsets.push_back({a, b});
   }
   p.add_input("A", std::move(offsets));
-  p.set_kernel(make_weighted_sum(std::vector<double>(9, 1.0 / 9.0)));
+  p.set_weighted_sum(std::vector<double>(9, 1.0 / 9.0));
   return p;
 }
 
@@ -154,8 +154,7 @@ StencilProgram heat_3d(std::int64_t planes, std::int64_t rows,
                     {0, 0, 1},
                     {0, 1, 0},
                     {1, 0, 0}});
-  p.set_kernel(make_weighted_sum({0.125, 0.125, 0.125, 0.25, 0.125, 0.125,
-                                  0.125}));
+  p.set_weighted_sum({0.125, 0.125, 0.125, 0.25, 0.125, 0.125, 0.125});
   return p;
 }
 
@@ -174,7 +173,7 @@ StencilProgram lattice_4d(std::int64_t n0, std::int64_t n1,
     offsets.push_back(minus);
   }
   p.add_input("A", std::move(offsets));
-  p.set_kernel(make_weighted_sum(std::vector<double>(9, 1.0 / 9.0)));
+  p.set_weighted_sum(std::vector<double>(9, 1.0 / 9.0));
   return p;
 }
 
@@ -190,7 +189,7 @@ StencilProgram skewed_demo(std::int64_t rows, std::int64_t cols) {
   piece.add(make_constraint({2, -1}, cols - 2));   // j - 2i <= cols-2
   StencilProgram p("SKEWED_X5", Domain(std::move(piece)));
   p.add_input("A", {{-1, -1}, {-1, 1}, {0, 0}, {1, -1}, {1, 1}});
-  p.set_kernel(make_weighted_sum({0.2, 0.2, 0.2, 0.2, 0.2}));
+  p.set_weighted_sum({0.2, 0.2, 0.2, 0.2, 0.2});
   return p;
 }
 
@@ -203,7 +202,7 @@ StencilProgram triangular_demo(std::int64_t rows) {
   piece.add(make_constraint({1, -1}, 0));          // j <= i
   StencilProgram p("TRIANGULAR_4PT", Domain(std::move(piece)));
   p.add_input("A", {{0, 0}, {0, -1}, {-1, 0}, {-1, -1}});
-  p.set_kernel(make_weighted_sum({0.25, 0.25, 0.25, 0.25}));
+  p.set_weighted_sum({0.25, 0.25, 0.25, 0.25});
   return p;
 }
 

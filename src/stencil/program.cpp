@@ -1,6 +1,7 @@
 #include "stencil/program.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/error.hpp"
 
@@ -36,9 +37,14 @@ KernelFn make_weighted_sum(std::vector<double> weights) {
                   std::to_string(values.size()) + " values for " +
                   std::to_string(weights.size()) + " weights");
     }
+    // Canonical association: a left-to-right fused multiply-add chain.
+    // std::fma is correctly rounded on every platform, so the kernel's
+    // bits do not depend on compiler contraction flags -- which is what
+    // lets the simulator's vectorized weighted-sum paths (scalar FMA,
+    // AVX2+FMA) reproduce it exactly instead of merely closely.
     double acc = 0.0;
     for (std::size_t k = 0; k < values.size(); ++k) {
-      acc += weights[k] * values[k];
+      acc = std::fma(weights[k], values[k], acc);
     }
     return acc;
   };
@@ -87,10 +93,17 @@ const KernelFn& StencilProgram::kernel() const {
   if (kernel_) return kernel_;
   if (!default_kernel_) {
     const std::size_t n = total_references();
-    default_kernel_ = make_weighted_sum(
-        std::vector<double>(n, n == 0 ? 0.0 : 1.0 / static_cast<double>(n)));
+    std::vector<double> weights(n,
+                                n == 0 ? 0.0 : 1.0 / static_cast<double>(n));
+    weights_ = weights;
+    default_kernel_ = make_weighted_sum(std::move(weights));
   }
   return default_kernel_;
+}
+
+const std::vector<double>& StencilProgram::weighted_sum_weights() const {
+  if (!kernel_ && !default_kernel_) kernel();  // materialize the default
+  return weights_;
 }
 
 poly::Domain StencilProgram::reference_domain(std::size_t array_idx,

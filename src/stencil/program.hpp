@@ -47,7 +47,23 @@ class StencilProgram {
   void add_input(std::string array, std::vector<poly::IntVec> offsets);
 
   void set_output(std::string name) { output_ = std::move(name); }
-  void set_kernel(KernelFn kernel) { kernel_ = std::move(kernel); }
+  void set_kernel(KernelFn kernel) {
+    kernel_ = std::move(kernel);
+    weights_.clear();  // an opaque kernel carries no weight structure
+  }
+
+  /// Installs a weighted-sum kernel AND records the weights so backends can
+  /// see the linear structure (the vector path evaluates W lanes of
+  /// sum(w[k]*v[k]) directly instead of W opaque std::function calls).
+  void set_weighted_sum(std::vector<double> weights) {
+    weights_ = weights;
+    kernel_ = make_weighted_sum(std::move(weights));
+  }
+
+  /// The weights when the kernel is a known weighted sum (installed via
+  /// set_weighted_sum, or the lazy equal-weight default); empty for opaque
+  /// kernels set through set_kernel.
+  const std::vector<double>& weighted_sum_weights() const;
 
   const std::string& name() const { return name_; }
   const poly::Domain& iteration() const { return iteration_; }
@@ -88,6 +104,10 @@ class StencilProgram {
   std::string output_ = "B";
   KernelFn kernel_;  // empty until first use; defaults to equal-weight sum
   mutable KernelFn default_kernel_;
+  /// Weights of the kernel when its linear structure is known; kept in sync
+  /// by set_kernel / set_weighted_sum. Lazily filled with the equal-weight
+  /// default alongside default_kernel_.
+  mutable std::vector<double> weights_;
 };
 
 }  // namespace nup::stencil

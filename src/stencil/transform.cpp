@@ -20,7 +20,13 @@ StencilProgram transform(const StencilProgram& program,
     out.add_input(input.name, std::move(offsets));
   }
   out.set_output(program.output_name());
-  out.set_kernel(program.kernel());
+  // A unimodular transform permutes iterations, not reference order, so the
+  // kernel (and any weighted-sum structure) carries over unchanged.
+  if (!program.weighted_sum_weights().empty()) {
+    out.set_weighted_sum(program.weighted_sum_weights());
+  } else {
+    out.set_kernel(program.kernel());
+  }
   return out;
 }
 

@@ -126,6 +126,77 @@ TEST(Builder, DepthsAreClampedToAtLeastOne) {
   }
 }
 
+// ---- W-wide datapaths (widen_design) ----------------------------------
+
+TEST(Builder, WidenRescalesWordDepthsByEq2OverW) {
+  // Table 2 chain {1023, 1, 1, 1023} at W=8: word depths {128, 1, 1, 128};
+  // the element-level Eq. 2 depth is untouched.
+  BuildOptions opts;
+  opts.datapath_width = 8;
+  const AcceleratorDesign design =
+      build_design(stencil::denoise_2d(), opts);
+  EXPECT_EQ(design.datapath_width, 8);
+  const MemorySystem& sys = design.systems[0];
+  ASSERT_EQ(sys.fifos.size(), 4u);
+  EXPECT_EQ(sys.fifos[0].depth, 1023);
+  EXPECT_EQ(sys.fifos[0].word_depth(8), 128);  // ceil(1023 / 8)
+  EXPECT_EQ(sys.fifos[1].word_depth(8), 1);
+  EXPECT_EQ(sys.fifos[3].word_depth(8), 128);
+  // Padding rounds each FIFO up to whole W-element words.
+  EXPECT_EQ(sys.total_buffer_size(), 2048);
+  EXPECT_EQ(sys.padded_buffer_size(8), (128 + 1 + 1 + 128) * 8);
+}
+
+TEST(Builder, WidenRemapsPhysicalImplFromWordDepth) {
+  // A 1023-deep FIFO is BRAM at W=1, but its 128 words fit the shift-
+  // register budget once the datapath is 8 wide: the mapping must follow
+  // the word depth, not the element depth.
+  BuildOptions opts;
+  opts.datapath_width = 8;
+  opts.shift_register_max_depth = 128;
+  const AcceleratorDesign design =
+      build_design(stencil::denoise_2d(), opts);
+  EXPECT_EQ(design.systems[0].fifos[0].impl, BufferImpl::kShiftRegister);
+  EXPECT_EQ(design.systems[0].fifos[1].impl, BufferImpl::kRegister);
+}
+
+TEST(Builder, WidenRejectsOutOfRangeAndUnfillableWidths) {
+  const stencil::StencilProgram p = stencil::denoise_2d(12, 16);
+  BuildOptions opts;
+  opts.datapath_width = 0;
+  EXPECT_THROW(build_design(p, opts), Error);
+  opts.datapath_width = -4;
+  EXPECT_THROW(build_design(p, opts), Error);
+  opts.datapath_width = kMaxDatapathWidth + 1;
+  EXPECT_THROW(build_design(p, opts), Error);
+  // Rows of denoise_2d(12, 16) stream ~17 cells: W=32 can never fill a
+  // vector, W=16 still can.
+  opts.datapath_width = 32;
+  EXPECT_THROW(build_design(p, opts), Error);
+  opts.datapath_width = 16;
+  EXPECT_NO_THROW(build_design(p, opts));
+}
+
+TEST(Builder, WidenDefaultsToScalar) {
+  const AcceleratorDesign design = build_design(stencil::denoise_2d());
+  EXPECT_EQ(design.datapath_width, 1);
+  for (const ReuseFifo& f : design.systems[0].fifos) {
+    EXPECT_EQ(f.word_depth(1), f.depth);
+  }
+  EXPECT_EQ(design.systems[0].padded_buffer_size(1),
+            design.systems[0].total_buffer_size());
+}
+
+TEST(Builder, DescribeMentionsWideDatapath) {
+  BuildOptions opts;
+  opts.datapath_width = 8;
+  const AcceleratorDesign design =
+      build_design(stencil::denoise_2d(), opts);
+  const std::string text = describe(design);
+  EXPECT_NE(text.find("W=8"), std::string::npos);
+  EXPECT_NE(text.find("word"), std::string::npos);
+}
+
 TEST(Builder, DescribeMentionsEveryFifo) {
   const AcceleratorDesign design = build_design(stencil::denoise_2d());
   const std::string text = describe(design);

@@ -23,7 +23,7 @@
 #include "stencil/gallery.hpp"
 #include "stencil/golden.hpp"
 #include "util/error.hpp"
-#include "util/rng.hpp"
+#include "testing/stencil_gen.hpp"
 
 namespace nup::pipeline {
 namespace {
@@ -40,38 +40,10 @@ stencil::StencilProgram smoother(const std::string& name, std::int64_t lo,
   return p;
 }
 
-// Random single-input stage pair with window containment by construction:
-// stage 1 computes on [a, b]^2, stage 2's window radius r2 shrinks its
-// domain to [a + r2, b - r2]^2.
-std::vector<stencil::StencilProgram> random_pair(std::uint64_t seed) {
-  Rng rng(seed * 2654435761u + 99);
-  const std::int64_t a = 2;
-  const std::int64_t b = a + rng.next_in(8, 14);
-  const std::int64_t r2 = rng.next_in(1, 2);
-
-  const auto random_stage = [&](const std::string& name, std::int64_t lo,
-                                std::int64_t hi, std::int64_t radius) {
-    const std::size_t refs = static_cast<std::size_t>(rng.next_in(2, 6));
-    std::set<poly::IntVec> offsets;
-    offsets.insert({0, 0});
-    while (offsets.size() < refs) {
-      offsets.insert({rng.next_in(-radius, radius),
-                      rng.next_in(-radius, radius)});
-    }
-    stencil::StencilProgram p(name, poly::Domain::box({lo, lo}, {hi, hi}));
-    p.add_input("A",
-                std::vector<poly::IntVec>(offsets.begin(), offsets.end()));
-    std::vector<double> weights;
-    for (std::size_t k = 0; k < offsets.size(); ++k) {
-      weights.push_back(rng.next_double() + 0.25);
-    }
-    p.set_kernel(stencil::make_weighted_sum(std::move(weights)));
-    return p;
-  };
-
-  return {random_stage("P1_" + std::to_string(seed), a, b, 2),
-          random_stage("P2_" + std::to_string(seed), a + r2, b - r2, r2)};
-}
+// Random fusible stage pairs come from the shared generator (legacy
+// recipe: window containment by construction, random weighted-sum
+// kernels installed via set_weighted_sum).
+using ::nup::testing::random_stage_pair;
 
 // Sequential stage-at-a-time reference: stage 0 is golden on synthetic
 // data, each later stage gathers from its predecessor's dense output
@@ -162,7 +134,8 @@ TEST(PipelineExecutor, GalleryThreeStageChainMatchesSequentialAndFused) {
 
 TEST(PipelineExecutor, FiftyRandomPairsMatchSequentialAndFused) {
   for (std::uint64_t seed = 0; seed < 50; ++seed) {
-    const std::vector<stencil::StencilProgram> stages = random_pair(seed);
+    const std::vector<stencil::StencilProgram> stages =
+        random_stage_pair(seed);
     PipelineOptions options;
     options.threads_per_stage = 2;
     options.tile_shape = {3, 0};

@@ -80,6 +80,32 @@ TEST(DesignCache, KeyDistinguishesWindowDomainOrderAndOptions) {
             DesignCache::canonical_key(base, exact));
 }
 
+TEST(DesignCache, DatapathWidthNeverAliases) {
+  // Regression: before datapath_width joined the canonical key, a W=8
+  // lookup could hand back the W=1 microarchitecture (wrong word depths,
+  // wrong padded buffer bytes) compiled moments earlier.
+  const stencil::StencilProgram p = stencil::denoise_2d(24, 32);
+  arch::BuildOptions w1;
+  arch::BuildOptions w8;
+  w8.datapath_width = 8;
+  EXPECT_NE(DesignCache::canonical_key(p, w1),
+            DesignCache::canonical_key(p, w8));
+
+  DesignCache cache(8);
+  const auto scalar = cache.get_or_compile(p, w1);
+  const auto wide = cache.get_or_compile(p, w8);
+  EXPECT_NE(scalar.get(), wide.get());
+  EXPECT_EQ(cache.stats().misses, 2);
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(scalar->design.datapath_width, 1);
+  EXPECT_EQ(wide->design.datapath_width, 8);
+
+  // Each width hits its own entry on re-lookup.
+  EXPECT_EQ(cache.get_or_compile(p, w1).get(), scalar.get());
+  EXPECT_EQ(cache.get_or_compile(p, w8).get(), wide.get());
+  EXPECT_EQ(cache.stats().hits, 2);
+}
+
 TEST(DesignCache, LruEvictsLeastRecentlyUsed) {
   DesignCache cache(2);
   const stencil::StencilProgram a = stencil::denoise_2d(10, 12);

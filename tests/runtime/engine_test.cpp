@@ -12,7 +12,6 @@
 #include <chrono>
 #include <cstdint>
 #include <numeric>
-#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,57 +21,16 @@
 #include "stencil/gallery.hpp"
 #include "stencil/golden.hpp"
 #include "util/error.hpp"
-#include "util/rng.hpp"
+#include "testing/stencil_gen.hpp"
 
 namespace nup::runtime {
 namespace {
 
 using std::chrono::milliseconds;
 
-// Same recipe as the simulator differential suite: a random 2-7 reference
-// window over a small rectangular (even seeds) or sheared (odd seeds)
-// iteration domain.
-stencil::StencilProgram random_program(std::uint64_t seed) {
-  Rng rng(seed * 2654435761u + 17);
-  const std::size_t refs = static_cast<std::size_t>(rng.next_in(2, 7));
-  std::set<poly::IntVec> offsets;
-  while (offsets.size() < refs) {
-    offsets.insert({rng.next_in(-2, 2), rng.next_in(-3, 3)});
-  }
-
-  std::int64_t lo[2];
-  std::int64_t hi[2];
-  for (std::size_t d = 0; d < 2; ++d) {
-    std::int64_t reach = 0;
-    for (const poly::IntVec& f : offsets) {
-      reach = std::max(reach, std::max(f[d], -f[d]));
-    }
-    lo[d] = reach;
-    hi[d] = lo[d] + rng.next_in(5, 12);
-  }
-
-  const bool skewed = (seed % 2) == 1;
-  poly::Domain domain;
-  if (skewed) {
-    const std::int64_t shear = rng.next_in(1, 2);
-    poly::Polyhedron piece(2);
-    piece.add(poly::make_constraint({1, 0}, -lo[0]));
-    piece.add(poly::make_constraint({-1, 0}, hi[0]));
-    piece.add(poly::make_constraint({-shear, 1}, -lo[1]));
-    piece.add(poly::make_constraint({shear, -1}, hi[1]));
-    domain = poly::Domain(std::move(piece));
-  } else {
-    domain = poly::Domain::box({lo[0], lo[1]}, {hi[0], hi[1]});
-  }
-
-  stencil::StencilProgram p(
-      std::string(skewed ? "RAND_SKEW_" : "RAND_RECT_") +
-          std::to_string(seed),
-      domain);
-  p.add_input("A",
-              std::vector<poly::IntVec>(offsets.begin(), offsets.end()));
-  return p;
-}
+// Random programs come from the shared generator (legacy recipe: 2-7
+// reference windows over small rectangular or sheared domains).
+using ::nup::testing::random_program;
 
 // A program whose kernel sleeps: frames take real wall time, which makes
 // backpressure, cancellation and shutdown timing deterministic to test.

@@ -9,14 +9,12 @@
 
 #include <gtest/gtest.h>
 
-#include <set>
-
 #include "arch/builder.hpp"
 #include "arch/tradeoff.hpp"
 #include "poly/affine.hpp"
 #include "stencil/gallery.hpp"
 #include "stencil/golden.hpp"
-#include "util/rng.hpp"
+#include "testing/stencil_gen.hpp"
 
 namespace nup::sim {
 namespace {
@@ -116,50 +114,10 @@ TEST(Differential, FastBackendMatchesGolden) {
 
 // ---- randomized stencils ----------------------------------------------
 
-/// Random stencil: 2-7 reference window of random shape over a rectangular
-/// (even seeds) or sheared (odd seeds) iteration domain. Domains are kept
-/// small so a differential run costs a few hundred cycles.
-stencil::StencilProgram random_program(std::uint64_t seed) {
-  Rng rng(seed * 2654435761u + 17);
-  const std::size_t refs = static_cast<std::size_t>(rng.next_in(2, 7));
-  std::set<poly::IntVec> offsets;
-  while (offsets.size() < refs) {
-    offsets.insert({rng.next_in(-2, 2), rng.next_in(-3, 3)});
-  }
-
-  std::int64_t lo[2];
-  std::int64_t hi[2];
-  for (std::size_t d = 0; d < 2; ++d) {
-    std::int64_t reach = 0;
-    for (const poly::IntVec& f : offsets) {
-      reach = std::max(reach, std::max(f[d], -f[d]));
-    }
-    lo[d] = reach;
-    hi[d] = lo[d] + rng.next_in(5, 12);
-  }
-
-  const bool skewed = (seed % 2) == 1;
-  poly::Domain domain;
-  if (skewed) {
-    const std::int64_t shear = rng.next_in(1, 2);
-    poly::Polyhedron piece(2);
-    piece.add(poly::make_constraint({1, 0}, -lo[0]));        // i >= lo0
-    piece.add(poly::make_constraint({-1, 0}, hi[0]));        // i <= hi0
-    piece.add(poly::make_constraint({-shear, 1}, -lo[1]));   // j-s*i >= lo1
-    piece.add(poly::make_constraint({shear, -1}, hi[1]));    // j-s*i <= hi1
-    domain = poly::Domain(std::move(piece));
-  } else {
-    domain = poly::Domain::box({lo[0], lo[1]}, {hi[0], hi[1]});
-  }
-
-  stencil::StencilProgram p(
-      std::string(skewed ? "RAND_SKEW_" : "RAND_RECT_") +
-          std::to_string(seed),
-      domain);
-  p.add_input("A",
-              std::vector<poly::IntVec>(offsets.begin(), offsets.end()));
-  return p;
-}
+// Random stencils come from the shared generator (tests/testing/
+// stencil_gen.hpp): the legacy recipe, 2-7 reference windows over small
+// rectangular (even seeds) or sheared (odd seeds) iteration domains.
+using ::nup::testing::random_program;
 
 class RandomDifferential : public ::testing::TestWithParam<std::uint64_t> {};
 

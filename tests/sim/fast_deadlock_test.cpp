@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 
 #include "arch/builder.hpp"
 #include "sim/simulator.hpp"
@@ -125,6 +126,98 @@ TEST(FastDeadlock, CorrectDesignsNeverDeadlock) {
     const SimResult r = simulate(p, arch::build_design(p), options);
     EXPECT_FALSE(r.deadlocked) << p.name() << ": " << r.deadlock_detail;
   }
+}
+
+// ---- the same condition violations on the W-wide datapath -------------
+//
+// Batching must never mask a wedge: a W-wide FastSim on a broken design
+// has to reach the identical verdict, deadlock_detail, cycle count and
+// per-filter stall tally as W=1 (the scalar path detects the stall, so
+// wide steps simply stop retiring once the chain wedges).
+
+/// Builds the design at each width, applies the same mutation, and
+/// requires the W>1 fast runs to match the W=1 fast run field for field.
+void expect_same_verdict_across_widths(
+    const stencil::StencilProgram& p,
+    const std::function<void(arch::AcceleratorDesign&)>& mutate) {
+  SimResult base;
+  bool base_threw = false;
+  for (const std::int64_t w : {std::int64_t{1}, std::int64_t{4},
+                               std::int64_t{8}}) {
+    arch::BuildOptions opts;
+    opts.datapath_width = w;
+    arch::AcceleratorDesign design = arch::build_design(p, opts);
+    mutate(design);
+    SimResult r;
+    bool threw = false;
+    try {
+      r = simulate(p, design, fast_deadlock_options());
+    } catch (const SimulationError&) {
+      threw = true;
+    }
+    if (w == 1) {
+      base = r;
+      base_threw = threw;
+      continue;
+    }
+    ASSERT_EQ(threw, base_threw) << p.name() << " W=" << w;
+    if (threw) continue;
+    EXPECT_EQ(r.deadlocked, base.deadlocked) << p.name() << " W=" << w;
+    EXPECT_EQ(r.cycles, base.cycles) << p.name() << " W=" << w;
+    EXPECT_EQ(r.kernel_fires, base.kernel_fires) << p.name() << " W=" << w;
+    EXPECT_EQ(r.deadlock_detail, base.deadlock_detail)
+        << p.name() << " W=" << w;
+    EXPECT_EQ(r.filter_stall_cycles, base.filter_stall_cycles)
+        << p.name() << " W=" << w;
+  }
+}
+
+TEST(FastDeadlock, UndersizedFifoSameVerdictAtEveryWidth) {
+  const stencil::StencilProgram p = stencil::denoise_2d(20, 24);
+  expect_same_verdict_across_widths(p, [](arch::AcceleratorDesign& d) {
+    d.systems[0].fifos[0].depth -= 1;
+  });
+}
+
+TEST(FastDeadlock, BadlyUndersizedFifoSameVerdictAtEveryWidth) {
+  const stencil::StencilProgram p = stencil::denoise_2d(20, 24);
+  expect_same_verdict_across_widths(p, [](arch::AcceleratorDesign& d) {
+    d.systems[0].fifos[3].depth = 1;  // needs 23
+  });
+}
+
+TEST(FastDeadlock, ShuffledFilterOrderSameVerdictAtEveryWidth) {
+  const stencil::StencilProgram p = stencil::denoise_2d(16, 20);
+  expect_same_verdict_across_widths(p, [](arch::AcceleratorDesign& d) {
+    arch::MemorySystem& sys = d.systems[0];
+    std::swap(sys.ordered_offsets[0], sys.ordered_offsets[4]);
+    std::swap(sys.ref_order[0], sys.ref_order[4]);
+  });
+}
+
+TEST(FastDeadlock, IntactDesignSameStallsAtEveryWidth) {
+  // Control case: no mutation. Stall accounting (fill-phase waits) must
+  // still be cycle-identical between the scalar and batched machines.
+  const stencil::StencilProgram p = stencil::sobel_2d(16, 20);
+  expect_same_verdict_across_widths(p, [](arch::AcceleratorDesign&) {});
+}
+
+TEST(FastDeadlock, WideDifferentialCheckerCoversBrokenDesigns) {
+  // The lockstep checker holds on wedged W>1 designs too: the wide run
+  // degrades to scalar stepping around the stall and tracks the
+  // reference cycle for cycle.
+  const stencil::StencilProgram p = stencil::denoise_2d(16, 20);
+  arch::BuildOptions opts;
+  opts.datapath_width = 8;
+  arch::AcceleratorDesign design = arch::build_design(p, opts);
+  design.systems[0].fifos[0].depth = 2;
+  SimOptions options;
+  options.stall_limit = 2000;
+  const DifferentialReport report = run_differential(p, design, options);
+  EXPECT_TRUE(report.agreed) << report.divergence;
+  EXPECT_EQ(report.width, 8);
+  EXPECT_TRUE(report.reference.deadlocked);
+  EXPECT_TRUE(report.fast.deadlocked);
 }
 
 TEST(FastDeadlock, MaxCyclesGuardStopsRunaways) {

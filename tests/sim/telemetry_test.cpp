@@ -6,15 +6,13 @@
 
 #include <gtest/gtest.h>
 
-#include <set>
-
 #include "arch/builder.hpp"
 #include "obs/metrics.hpp"
-#include "poly/affine.hpp"
 #include "runtime/telemetry.hpp"
 #include "sim/simulator.hpp"
 #include "stencil/gallery.hpp"
-#include "util/rng.hpp"
+#include "testing/stencil_gen.hpp"
+#include "util/error.hpp"
 
 namespace nup::sim {
 namespace {
@@ -156,49 +154,9 @@ TEST(Telemetry, PublishLandsInRegistry) {
   EXPECT_EQ(snap.value_of("sim.cycles"), r.cycles);
 }
 
-/// Same random-stencil recipe as differential_test.cpp: random window over
-/// a rectangular (even seeds) or sheared (odd seeds) domain.
-stencil::StencilProgram random_program(std::uint64_t seed) {
-  Rng rng(seed * 2654435761u + 17);
-  const std::size_t refs = static_cast<std::size_t>(rng.next_in(2, 7));
-  std::set<poly::IntVec> offsets;
-  while (offsets.size() < refs) {
-    offsets.insert({rng.next_in(-2, 2), rng.next_in(-3, 3)});
-  }
-
-  std::int64_t lo[2];
-  std::int64_t hi[2];
-  for (std::size_t d = 0; d < 2; ++d) {
-    std::int64_t reach = 0;
-    for (const poly::IntVec& f : offsets) {
-      reach = std::max(reach, std::max(f[d], -f[d]));
-    }
-    lo[d] = reach;
-    hi[d] = lo[d] + rng.next_in(5, 12);
-  }
-
-  const bool skewed = (seed % 2) == 1;
-  poly::Domain domain;
-  if (skewed) {
-    const std::int64_t shear = rng.next_in(1, 2);
-    poly::Polyhedron piece(2);
-    piece.add(poly::make_constraint({1, 0}, -lo[0]));
-    piece.add(poly::make_constraint({-1, 0}, hi[0]));
-    piece.add(poly::make_constraint({-shear, 1}, -lo[1]));
-    piece.add(poly::make_constraint({shear, -1}, hi[1]));
-    domain = poly::Domain(std::move(piece));
-  } else {
-    domain = poly::Domain::box({lo[0], lo[1]}, {hi[0], hi[1]});
-  }
-
-  stencil::StencilProgram p(
-      std::string(skewed ? "TEL_SKEW_" : "TEL_RECT_") +
-          std::to_string(seed),
-      domain);
-  p.add_input("A",
-              std::vector<poly::IntVec>(offsets.begin(), offsets.end()));
-  return p;
-}
+// Random stencils come from the shared seeded generator (same stream as
+// the legacy in-file recipe, so seeds keep naming the same programs).
+using ::nup::testing::random_program;
 
 class RandomTelemetry : public ::testing::TestWithParam<std::uint64_t> {};
 
@@ -217,6 +175,101 @@ TEST_P(RandomTelemetry, HighWaterNeverExceedsDesignedDepth) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomTelemetry,
                          ::testing::Range<std::uint64_t>(0, 50));
+
+// ---- W-wide datapath properties (Eq. 2 / W rescaling) ------------------
+
+constexpr std::int64_t kWideWidths[] = {2, 4, 8};
+
+/// Eq. 2 / W: a W-wide FIFO stores ceil(depth / W) words of W elements.
+/// `depth` itself stays the scalar-element reuse distance of Eq. 2; the
+/// rescaling lives in word_depth so the element-level bound (and the
+/// scalar telemetry check) is untouched.
+TEST_P(RandomTelemetry, WordDepthIsCeilOfScalarDepthOverWidth) {
+  const stencil::StencilProgram p = random_program(GetParam());
+  const arch::AcceleratorDesign scalar = arch::build_design(p);
+  for (const std::int64_t w : kWideWidths) {
+    arch::BuildOptions opts;
+    opts.datapath_width = w;
+    arch::AcceleratorDesign wide;
+    try {
+      wide = arch::build_design(p, opts);
+    } catch (const Error&) {
+      continue;  // W wider than every streamed row: legal rejection
+    }
+    ASSERT_EQ(wide.systems.size(), scalar.systems.size());
+    for (std::size_t s = 0; s < wide.systems.size(); ++s) {
+      ASSERT_EQ(wide.systems[s].fifos.size(),
+                scalar.systems[s].fifos.size());
+      for (std::size_t k = 0; k < wide.systems[s].fifos.size(); ++k) {
+        const arch::ReuseFifo& f = wide.systems[s].fifos[k];
+        EXPECT_EQ(f.depth, scalar.systems[s].fifos[k].depth)
+            << p.name() << " W=" << w << " fifo " << k;
+        EXPECT_EQ(f.word_depth(w), (f.depth + w - 1) / w)
+            << p.name() << " W=" << w << " fifo " << k;
+      }
+    }
+  }
+}
+
+/// The measured high-water mark, rescaled to words, never exceeds the
+/// Eq. 2 / W word depth -- publish_sim_telemetry counts any excess as a
+/// depth violation, and a correct widened design produces none.
+TEST_P(RandomTelemetry, HighWaterWordsNeverExceedRescaledDepth) {
+  const stencil::StencilProgram p = random_program(GetParam());
+  for (const std::int64_t w : kWideWidths) {
+    arch::BuildOptions opts;
+    opts.datapath_width = w;
+    arch::AcceleratorDesign design;
+    try {
+      design = arch::build_design(p, opts);
+    } catch (const Error&) {
+      continue;
+    }
+    for (const SimBackend backend :
+         {SimBackend::kReference, SimBackend::kFast}) {
+      const SimResult r = run_backend(p, design, backend);
+      ASSERT_FALSE(r.deadlocked) << p.name() << " W=" << w;
+      obs::Registry registry;
+      EXPECT_EQ(runtime::publish_sim_telemetry(registry, design, r), 0)
+          << p.name() << " W=" << w;
+      const obs::MetricsSnapshot snap = registry.snapshot();
+      for (std::size_t s = 0; s < design.systems.size(); ++s) {
+        const arch::MemorySystem& ms = design.systems[s];
+        for (std::size_t k = 0; k < ms.fifos.size(); ++k) {
+          if (ms.fifos[k].cut) continue;
+          const std::string suffix =
+              ms.array + "." + std::to_string(k);
+          const double words =
+              snap.value_of("fifo.high_water_words." + suffix, -1);
+          const double bound =
+              snap.value_of("fifo.word_depth." + suffix, -1);
+          EXPECT_GE(words, 0) << p.name() << " " << suffix;
+          EXPECT_LE(words, bound)
+              << p.name() << " W=" << w << " " << suffix;
+        }
+      }
+    }
+  }
+}
+
+TEST(Telemetry, PublishReportsWordGaugesAndDatapathCycles) {
+  const stencil::StencilProgram p = stencil::denoise_2d(64, 128);
+  arch::BuildOptions opts;
+  opts.datapath_width = 8;
+  const arch::AcceleratorDesign design = arch::build_design(p, opts);
+  const SimResult r = run_backend(p, design, SimBackend::kFast);
+  obs::Registry registry;
+  EXPECT_EQ(runtime::publish_sim_telemetry(registry, design, r), 0);
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  // Chain depths {127, 1, 1, 127} => word depths {16, 1, 1, 16} at W=8.
+  EXPECT_EQ(snap.value_of("fifo.word_depth.A.0", -1), 16);
+  EXPECT_EQ(snap.value_of("fifo.word_depth.A.1", -1), 1);
+  EXPECT_EQ(snap.value_of("fifo.word_depth.A.3", -1), 16);
+  EXPECT_LE(snap.value_of("fifo.high_water_words.A.0", -1), 16);
+  EXPECT_GT(snap.value_of("fifo.high_water_words.A.0", -1), 0);
+  EXPECT_EQ(snap.value_of("sim.datapath_cycles"), r.datapath_cycles);
+  EXPECT_LT(r.datapath_cycles, r.cycles);  // W=8 really batched
+}
 
 }  // namespace
 }  // namespace nup::sim

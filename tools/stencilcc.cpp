@@ -11,6 +11,11 @@
 //   -o <dir>       output directory (default: .)
 //   --name <n>     accelerator name (default: derived from the file name)
 //   --exact        exact union-domain sizing and streaming
+//   --width <W>    datapath width (Fig 14's bandwidth knob): W elements
+//                  stream per cycle and every reuse FIFO is organized as
+//                  ceil(depth / W) W-element words. The fast simulator
+//                  retires W-cell spans per machine cycle (AVX2 where the
+//                  host supports it), bit-identical to W=1. Default 1
 //   --no-verify    skip the simulation run
 //   --vcd <N>      dump a VCD of the first N cycles
 //   --sim-backend <reference|fast>
@@ -78,7 +83,8 @@ namespace {
 void usage() {
   std::fprintf(
       stderr,
-      "usage: stencilcc [-o dir] [--name n] [--exact] [--no-verify] "
+      "usage: stencilcc [-o dir] [--name n] [--exact] [--width W] "
+      "[--no-verify] "
       "[--vcd N] [--sim-backend reference|fast] [--cpp-model] "
       "[--rtl-check] [--serve N] [--threads T] [--tile a,b,..] "
       "[--metrics f.json] [--trace f.trace.json] [--stats] [--quiet] "
@@ -341,6 +347,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--exact") {
       options.build.exact_sizing = true;
       options.build.exact_streaming = true;
+    } else if (arg == "--width" && i + 1 < argc) {
+      options.build.datapath_width = std::strtol(argv[++i], nullptr, 10);
+      if (options.build.datapath_width < 1 ||
+          options.build.datapath_width > arch::kMaxDatapathWidth) {
+        std::fprintf(stderr,
+                     "stencilcc: --width needs a datapath width in [1, %d]\n",
+                     static_cast<int>(arch::kMaxDatapathWidth));
+        usage();
+        return 2;
+      }
     } else if (arg == "--no-verify") {
       options.verify_by_simulation = false;
     } else if (arg == "--vcd" && i + 1 < argc) {
