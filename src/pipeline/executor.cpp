@@ -40,6 +40,7 @@ namespace detail {
 struct FrameCtx {
   std::weak_ptr<PipelineExecutor::Impl> impl;
   std::uint64_t seed = 0;
+  FrameOptions frame_options;
   std::uint64_t frame_id = 0;  ///< tracker frame id (unique while armed)
   std::chrono::steady_clock::time_point t0;
   std::vector<std::string> stage_names;
@@ -459,18 +460,31 @@ runtime::FrameEngine& PipelineExecutor::engine(std::size_t stage) {
 }
 
 PipelineHandle PipelineExecutor::submit(std::uint64_t seed) {
+  return submit(seed, FrameOptions{});
+}
+
+PipelineHandle PipelineExecutor::submit(std::uint64_t seed,
+                                        FrameOptions frame) {
   Impl& im = *impl_;
   auto ctx = std::make_shared<FrameCtx>();
   ctx->impl = im.weak_from_this();
   ctx->seed = seed;
+  ctx->frame_options = std::move(frame);
 
   const std::size_t stages = im.graph.stage_count();
   ctx->buffers.reserve(im.graph.edges().size());
   for (std::size_t e = 0; e < im.graph.edges().size(); ++e) {
     const StageEdge& edge = im.graph.edges()[e];
+    // A wrapped halo read maps to the opposite edge of the producer's
+    // grid; stitch the whole producer domain into the slice so the mapped
+    // coordinate is always resident (wrap runs on whole-frame tiles).
+    const bool wrap =
+        edge.policy.boundary == stencil::BoundaryPolicy::kWrap;
     ctx->buffers.push_back(std::make_unique<StageBuffer>(
         im.plans[edge.producer], im.plans[edge.consumer], im.maps[e],
-        edge.input, *im.registry, im.edge_labels[e], im.pools[e]));
+        edge.input, *im.registry, im.edge_labels[e], im.pools[e],
+        wrap ? edge.producer_lo : poly::IntVec{},
+        wrap ? edge.producer_hi : poly::IntVec{}));
   }
   ctx->slices.resize(stages);
   ctx->released.resize(stages);
@@ -531,15 +545,30 @@ PipelineHandle PipelineExecutor::submit(std::uint64_t seed) {
     runtime::SubmitOptions so;
     so.deferred = true;
     so.designs = im.stage_designs[s];
-    so.feed = [imp, weak, s](const runtime::Tile&, std::size_t tile_idx,
+    so.feed = [imp, weak, s](const runtime::Tile& tile, std::size_t tile_idx,
                              std::size_t array_idx, std::size_t)
         -> std::shared_ptr<sim::ExternalFeed> {
       std::shared_ptr<FrameCtx> c = weak.lock();
       if (!c) return nullptr;
-      if (imp->graph.edge_into(s, array_idx) == StageGraph::npos) {
-        return nullptr;  // external input: keep the synthetic DRAM
+      const std::size_t e = imp->graph.edge_into(s, array_idx);
+      if (e == StageGraph::npos) {
+        // External input: the frame's override, else the synthetic DRAM.
+        if (c->frame_options.external_feed) {
+          return c->frame_options.external_feed(s, array_idx, tile);
+        }
+        return nullptr;
       }
-      return std::make_shared<SliceFeed>(c->slices[s][tile_idx][array_idx]);
+      auto slice = std::make_shared<SliceFeed>(
+          c->slices[s][tile_idx][array_idx]);
+      const StageEdge& edge = imp->graph.edges()[e];
+      if (stencil::is_containment_policy(edge.policy.boundary)) {
+        return slice;
+      }
+      // Value-defining boundary policy: reads past the producer's domain
+      // box are clamped / wrapped into it or served a constant.
+      return std::make_shared<BoundaryFeed>(
+          std::move(slice), edge.producer_lo, edge.producer_hi,
+          edge.policy.boundary, edge.policy.constant_value);
     };
     so.on_tile = [imp, weak, s](std::size_t tile_idx, const double* outputs,
                                 bool ok) {

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -55,6 +56,21 @@ struct PipelineOptions {
   /// fully resolves); 0 removes the bound (every submitted frame is
   /// admitted immediately -- unbounded buffer occupancy, use with care).
   std::size_t max_frames_in_flight = 4;
+};
+
+/// Per-submit hooks of one pipelined frame. The empty default reproduces
+/// submit(seed) exactly: external inputs stream synthetic data derived
+/// from the seed.
+struct FrameOptions {
+  /// Replaces the off-chip feed of one external (edge-less) stage input:
+  /// called per tile from the executing worker thread; a non-null return
+  /// is installed instead of the synthetic DRAM. This is how the temporal
+  /// runner chains passes -- pass p+1's first replica streams pass p's
+  /// sink output instead of fresh synthetic data. Edge-fed inputs are
+  /// never offered (their data comes from the stage buffers).
+  std::function<std::shared_ptr<sim::ExternalFeed>(
+      std::size_t stage, std::size_t input, const runtime::Tile& tile)>
+      external_feed;
 };
 
 /// Milestones of one stage within a pipelined frame, relative to submit.
@@ -140,6 +156,10 @@ class PipelineExecutor {
   /// released immediately; the rest follow their dependencies. Throws
   /// Error after shutdown.
   PipelineHandle submit(std::uint64_t seed);
+
+  /// submit with per-frame hooks (external-input feed override); see
+  /// FrameOptions.
+  PipelineHandle submit(std::uint64_t seed, FrameOptions frame);
 
   const StageGraph& graph() const;
 

@@ -46,17 +46,45 @@ double SliceFeed::read(const poly::IntVec& h) {
       box_index(h, slice_.lo, strides_))];
 }
 
+BoundaryFeed::BoundaryFeed(std::shared_ptr<sim::ExternalFeed> inner,
+                           poly::IntVec lo, poly::IntVec hi,
+                           stencil::BoundaryPolicy policy,
+                           double constant_value)
+    : inner_(std::move(inner)),
+      lo_(std::move(lo)),
+      hi_(std::move(hi)),
+      policy_(policy),
+      constant_(constant_value) {}
+
+double BoundaryFeed::read(const poly::IntVec& h) {
+  if (in_box(h, lo_, hi_)) return inner_->read(h);
+  switch (policy_) {
+    case stencil::BoundaryPolicy::kConstant:
+      return constant_;
+    case stencil::BoundaryPolicy::kClamp:
+    case stencil::BoundaryPolicy::kWrap:
+      return inner_->read(stencil::map_into_box(h, lo_, hi_, policy_));
+    default:
+      // Containment policies never read past the box; any such read is
+      // hull padding the consumer's data filters discard.
+      return 0.0;
+  }
+}
+
 StageBuffer::StageBuffer(
     std::shared_ptr<const runtime::TilePlan> producer_plan,
     std::shared_ptr<const runtime::TilePlan> consumer_plan,
     std::shared_ptr<const EdgeTileMap> map, std::size_t input_index,
     obs::Registry& metrics, const std::string& label,
-    std::shared_ptr<SlabPool> pool)
+    std::shared_ptr<SlabPool> pool, poly::IntVec expand_lo,
+    poly::IntVec expand_hi)
     : producer_plan_(std::move(producer_plan)),
       consumer_plan_(std::move(consumer_plan)),
       map_(std::move(map)),
       input_index_(input_index),
-      pool_(pool ? std::move(pool) : std::make_shared<SlabPool>()) {
+      pool_(pool ? std::move(pool) : std::make_shared<SlabPool>()),
+      expand_lo_(std::move(expand_lo)),
+      expand_hi_(std::move(expand_hi)) {
   slabs_.resize(producer_plan_->tiles.size());
   pending_.resize(producer_plan_->tiles.size());
   for (std::size_t p = 0; p < pending_.size(); ++p) {
@@ -111,6 +139,10 @@ Slice StageBuffer::stitch(std::size_t tile_idx) {
   if (!consumer.input_hulls[input_index_].as_single_box(&slice.lo,
                                                         &slice.hi)) {
     throw Error("StageBuffer::stitch: consumer hull is not a box");
+  }
+  for (std::size_t d = 0; d < expand_lo_.size(); ++d) {
+    slice.lo[d] = std::min(slice.lo[d], expand_lo_[d]);
+    slice.hi[d] = std::max(slice.hi[d], expand_hi_[d]);
   }
   const std::vector<std::int64_t> strides =
       row_major_strides(slice.lo, slice.hi);

@@ -13,6 +13,7 @@
 #include "poly/int_vec.hpp"
 #include "runtime/tiler.hpp"
 #include "sim/feed.hpp"
+#include "stencil/boundary.hpp"
 
 namespace nup::pipeline {
 
@@ -46,6 +47,34 @@ class SliceFeed final : public sim::ExternalFeed {
   std::vector<std::int64_t> strides_;
 };
 
+/// Wraps another feed with a boundary policy over the producer's domain
+/// box [lo, hi]: coordinates inside the box pass through, coordinates
+/// outside are clamped / wrapped into it (then served by the inner feed)
+/// or answered with a constant. This is how an edge whose consumer shares
+/// the producer's iteration domain -- a temporal replica reading the
+/// previous generation -- defines the reads its halo makes past the grid
+/// edge. Mapped clamp coordinates always land inside the consumer tile's
+/// clipped hull, so the stitched slice already holds them; wrap reaches
+/// the opposite side of the grid and therefore requires the inner slice
+/// to span the whole producer domain (the temporal runner forces
+/// whole-frame tiles for wrap edges).
+class BoundaryFeed final : public sim::ExternalFeed {
+ public:
+  BoundaryFeed(std::shared_ptr<sim::ExternalFeed> inner, poly::IntVec lo,
+               poly::IntVec hi, stencil::BoundaryPolicy policy,
+               double constant_value);
+
+  bool available(const poly::IntVec&) override { return true; }
+  double read(const poly::IntVec& h) override;
+  bool time_invariant() const override { return inner_->time_invariant(); }
+
+ private:
+  std::shared_ptr<sim::ExternalFeed> inner_;
+  poly::IntVec lo_, hi_;
+  stencil::BoundaryPolicy policy_;
+  double constant_;
+};
+
 /// Per-edge, per-frame staging buffer between a producer and a consumer
 /// stage. Producer workers admit() finished tile slabs; when a consumer
 /// tile's covering set is complete, stitch() assembles its input slice and
@@ -69,13 +98,18 @@ class StageBuffer {
   /// `label` names the pipeline.edge.<label>.* metric series; the map must
   /// come from map_tile_dependencies over the same two plans. `pool` is
   /// the edge's cross-frame slab arena; a null pool gets the buffer a
-  /// private one (single-frame uses, tests).
+  /// private one (single-frame uses, tests). A non-empty `expand_lo` /
+  /// `expand_hi` box is unioned into every stitched slice box: wrap edges
+  /// pass the producer's domain here, because a wrapped halo read maps to
+  /// the opposite edge of the grid, which a one-sided window's hull does
+  /// not cover.
   StageBuffer(std::shared_ptr<const runtime::TilePlan> producer_plan,
               std::shared_ptr<const runtime::TilePlan> consumer_plan,
               std::shared_ptr<const EdgeTileMap> map,
               std::size_t input_index, obs::Registry& metrics,
               const std::string& label,
-              std::shared_ptr<SlabPool> pool = nullptr);
+              std::shared_ptr<SlabPool> pool = nullptr,
+              poly::IntVec expand_lo = {}, poly::IntVec expand_hi = {});
   ~StageBuffer();
 
   StageBuffer(const StageBuffer&) = delete;
@@ -110,6 +144,7 @@ class StageBuffer {
   std::shared_ptr<const EdgeTileMap> map_;
   std::size_t input_index_;
   std::shared_ptr<SlabPool> pool_;
+  poly::IntVec expand_lo_, expand_hi_;  ///< empty = no expansion
 
   mutable std::mutex mu_;
   std::vector<std::vector<double>> slabs_;     // per producer tile

@@ -15,6 +15,11 @@ std::size_t StageGraph::add_stage(stencil::StencilProgram program) {
 
 std::size_t StageGraph::add_edge(std::size_t producer, std::size_t consumer,
                                  std::size_t input) {
+  return add_edge(producer, consumer, input, EdgePolicy{});
+}
+
+std::size_t StageGraph::add_edge(std::size_t producer, std::size_t consumer,
+                                 std::size_t input, EdgePolicy policy) {
   if (producer >= stages_.size() || consumer >= stages_.size()) {
     throw Error("StageGraph::add_edge: stage id out of range");
   }
@@ -31,9 +36,29 @@ std::size_t StageGraph::add_edge(std::size_t producer, std::size_t consumer,
     throw Error("StageGraph::add_edge: input " + std::to_string(input) +
                 " of stage '" + cp.name() + "' is already fed");
   }
-  stencil::check_stage_window(stages_[producer].program, cp, input);
 
   StageEdge edge;
+  edge.policy = policy;
+  const stencil::StencilProgram& pp = stages_[producer].program;
+  if (stencil::is_containment_policy(policy.boundary)) {
+    stencil::check_stage_window(pp, cp, input);
+  } else {
+    if (pp.dim() != cp.dim()) {
+      throw stencil::FuseDimensionError(
+          "StageGraph::add_edge: stage '" + pp.name() + "' is " +
+          std::to_string(pp.dim()) + "-D but '" + cp.name() + "' is " +
+          std::to_string(cp.dim()) + "-D");
+    }
+    if (!pp.iteration().as_single_box(&edge.producer_lo,
+                                      &edge.producer_hi)) {
+      throw stencil::FuseDomainError(
+          "StageGraph::add_edge: boundary policy '" +
+          std::string(stencil::to_string(policy.boundary)) +
+          "' needs producer '" + pp.name() +
+          "' to iterate an axis-aligned box, got " +
+          pp.iteration().to_string());
+    }
+  }
   edge.producer = producer;
   edge.consumer = consumer;
   edge.input = input;

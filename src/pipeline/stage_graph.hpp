@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "poly/int_vec.hpp"
+#include "stencil/boundary.hpp"
 #include "stencil/program.hpp"
 
 namespace nup::pipeline {
@@ -18,6 +19,20 @@ struct Stage {
   stencil::StencilProgram program;
   std::vector<std::size_t> in_edges;   ///< edge ids feeding this stage
   std::vector<std::size_t> out_edges;  ///< edge ids this stage feeds
+};
+
+/// Boundary handling of one dataflow edge. The default (kNone) keeps the
+/// classic containment contract: every consumer read stays inside the
+/// producer's domain, validated at add_edge. The other policies let a
+/// consumer share the producer's iteration domain -- the iterative-solver
+/// shape, where generation t+1 covers the same grid as generation t -- by
+/// defining the out-of-domain reads instead of forbidding them: the
+/// executor wraps the edge's stitched-slice feed in a BoundaryFeed that
+/// clamps/wraps coordinates into the producer's domain box or serves a
+/// constant.
+struct EdgePolicy {
+  stencil::BoundaryPolicy boundary = stencil::BoundaryPolicy::kNone;
+  double constant_value = 0.0;  ///< kConstant's Dirichlet value
 };
 
 /// One producer->consumer dataflow edge, carrying the window algebra the
@@ -35,6 +50,11 @@ struct StageEdge {
   poly::IntVec window_lo, window_hi;
   /// Stable label ("s0_to_s1") naming the edge's metrics and trace events.
   std::string label;
+  /// Boundary handling (see EdgePolicy). Containment policies carry no
+  /// extra state; the others also record the producer's domain box, the
+  /// region boundary coordinates map into.
+  EdgePolicy policy;
+  poly::IntVec producer_lo, producer_hi;  ///< box when policy remaps
 };
 
 /// The IR of a fused-stage workload: a DAG of stencil stages with
@@ -54,6 +74,16 @@ class StageGraph {
   /// containment (stencil::check_stage_window).
   std::size_t add_edge(std::size_t producer, std::size_t consumer,
                        std::size_t input = 0);
+
+  /// add_edge with explicit boundary handling. Containment policies
+  /// (kNone/kShrink) behave exactly like the plain overload; the
+  /// value-defining policies (kClamp/kWrap/kConstant) skip the window
+  /// containment check -- out-of-domain reads are defined by the policy --
+  /// but require the producer's iteration domain to be a single
+  /// axis-aligned box (the region boundary coordinates map into), throwing
+  /// FuseDomainError otherwise.
+  std::size_t add_edge(std::size_t producer, std::size_t consumer,
+                       std::size_t input, EdgePolicy policy);
 
   /// Builds the linear chain s0 -> s1 -> ... -> sn-1 (each stage
   /// single-input, validated like fuse_chain).

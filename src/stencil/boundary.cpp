@@ -1,0 +1,56 @@
+#include "stencil/boundary.hpp"
+
+#include "util/error.hpp"
+
+namespace nup::stencil {
+
+const char* to_string(BoundaryPolicy policy) {
+  switch (policy) {
+    case BoundaryPolicy::kNone:
+      return "none";
+    case BoundaryPolicy::kShrink:
+      return "shrink";
+    case BoundaryPolicy::kClamp:
+      return "clamp";
+    case BoundaryPolicy::kWrap:
+      return "wrap";
+    case BoundaryPolicy::kConstant:
+      return "constant";
+  }
+  return "?";
+}
+
+std::optional<BoundaryPolicy> boundary_from_string(const std::string& name) {
+  if (name == "shrink") return BoundaryPolicy::kShrink;
+  if (name == "clamp") return BoundaryPolicy::kClamp;
+  if (name == "wrap") return BoundaryPolicy::kWrap;
+  if (name == "constant") return BoundaryPolicy::kConstant;
+  return std::nullopt;
+}
+
+poly::IntVec map_into_box(const poly::IntVec& h, const poly::IntVec& lo,
+                          const poly::IntVec& hi, BoundaryPolicy policy) {
+  poly::IntVec mapped = h;
+  for (std::size_t d = 0; d < h.size(); ++d) {
+    if (h[d] >= lo[d] && h[d] <= hi[d]) continue;
+    switch (policy) {
+      case BoundaryPolicy::kClamp:
+        mapped[d] = h[d] < lo[d] ? lo[d] : hi[d];
+        break;
+      case BoundaryPolicy::kWrap: {
+        const std::int64_t extent = hi[d] - lo[d] + 1;
+        std::int64_t r = (h[d] - lo[d]) % extent;
+        if (r < 0) r += extent;
+        mapped[d] = lo[d] + r;
+        break;
+      }
+      default:
+        throw Error("map_into_box: policy '" +
+                    std::string(to_string(policy)) +
+                    "' does not remap coordinates");
+    }
+  }
+  return mapped;
+}
+
+}  // namespace nup::stencil

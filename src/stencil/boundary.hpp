@@ -1,0 +1,57 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "poly/int_vec.hpp"
+
+namespace nup::stencil {
+
+/// How a stencil read that falls outside the domain of a *computed* array
+/// (a previous generation of an iterative solver, or a producer stage's
+/// output) obtains its value. Generation 0 -- the off-chip input -- is
+/// defined on the whole grid, so policies only ever apply to generations
+/// >= 1.
+enum class BoundaryPolicy {
+  /// No out-of-domain reads are allowed: the consumer's window, translated
+  /// over its iteration domain, must stay inside the producer's domain
+  /// (stencil::check_stage_window). The temporal unroller realizes this by
+  /// growing each earlier replica's domain by the window -- redundant halo
+  /// compute instead of boundary values (Zohouri-style temporal blocking).
+  kNone,
+
+  /// Alias of kNone at the edge level, kept distinct so configs can name
+  /// the intent: the chain shrinks toward the target domain.
+  kShrink,
+
+  /// Out-of-domain coordinates clamp per dimension to the nearest domain
+  /// point (Neumann-like replicated edge).
+  kClamp,
+
+  /// Out-of-domain coordinates wrap modulo the domain extents (periodic /
+  /// toroidal grid -- Game of Life's natural topology).
+  kWrap,
+
+  /// Out-of-domain reads return a fixed value (Dirichlet boundary).
+  kConstant,
+};
+
+/// True for the policies that never produce an out-of-domain read.
+inline bool is_containment_policy(BoundaryPolicy policy) {
+  return policy == BoundaryPolicy::kNone || policy == BoundaryPolicy::kShrink;
+}
+
+const char* to_string(BoundaryPolicy policy);
+
+/// Parses "shrink" / "clamp" / "wrap" / "constant" (CLI spelling);
+/// nullopt on anything else.
+std::optional<BoundaryPolicy> boundary_from_string(const std::string& name);
+
+/// Maps `h` into the box [lo, hi] according to `policy`: clamp saturates
+/// each coordinate, wrap takes it modulo the extent. Coordinates already
+/// inside the box are returned unchanged. Precondition: policy is kClamp
+/// or kWrap (the other policies never remap coordinates).
+poly::IntVec map_into_box(const poly::IntVec& h, const poly::IntVec& lo,
+                          const poly::IntVec& hi, BoundaryPolicy policy);
+
+}  // namespace nup::stencil

@@ -177,6 +177,63 @@ StencilProgram lattice_4d(std::int64_t n0, std::int64_t n1,
   return p;
 }
 
+StencilProgram jacobi4_2d(std::int64_t rows, std::int64_t cols) {
+  StencilProgram p("JACOBI4_2D", interior_2d(rows, cols, -1, 1, -1, 1));
+  p.add_input("A", {{-1, 0}, {0, -1}, {0, 1}, {1, 0}});
+  p.set_weighted_sum({0.25, 0.25, 0.25, 0.25});
+  return p;
+}
+
+StencilProgram jacobi8_2d(std::int64_t rows, std::int64_t cols) {
+  StencilProgram p("JACOBI8_2D", interior_2d(rows, cols, -1, 1, -1, 1));
+  p.add_input("A", {{-1, -1},
+                    {-1, 0},
+                    {-1, 1},
+                    {0, -1},
+                    {0, 1},
+                    {1, -1},
+                    {1, 0},
+                    {1, 1}});
+  p.set_weighted_sum(std::vector<double>(8, 0.125));
+  return p;
+}
+
+StencilProgram heat_2d(std::int64_t rows, std::int64_t cols) {
+  StencilProgram p("HEAT_2D", interior_2d(rows, cols, -1, 1, -1, 1));
+  p.add_input("A", {{-1, 0}, {0, -1}, {0, 0}, {0, 1}, {1, 0}});
+  const double alpha = 0.1;
+  p.set_weighted_sum({alpha, alpha, 1.0 - 4.0 * alpha, alpha, alpha});
+  return p;
+}
+
+StencilProgram life_2d(std::int64_t rows, std::int64_t cols) {
+  StencilProgram p("LIFE_2D", interior_2d(rows, cols, -1, 1, -1, 1));
+  std::vector<IntVec> offsets;
+  for (std::int64_t a = -1; a <= 1; ++a) {
+    for (std::int64_t b = -1; b <= 1; ++b) offsets.push_back({a, b});
+  }
+  p.add_input("A", std::move(offsets));  // center is v[4]
+  p.set_kernel([](const std::vector<double>& v) {
+    int neighbours = 0;
+    for (std::size_t k = 0; k < v.size(); ++k) {
+      if (k != 4 && v[k] > 0.5) ++neighbours;
+    }
+    const bool alive = v[4] > 0.5;
+    return (neighbours == 3 || (alive && neighbours == 2)) ? 1.0 : 0.0;
+  });
+  return p;
+}
+
+std::vector<StencilProgram> iterative_benchmarks() {
+  std::vector<StencilProgram> out;
+  out.push_back(jacobi4_2d());
+  out.push_back(jacobi8_2d());
+  out.push_back(heat_2d());
+  out.push_back(life_2d());
+  out.push_back(denoise_2d(96, 128));
+  return out;
+}
+
 StencilProgram skewed_demo(std::int64_t rows, std::int64_t cols) {
   // Sheared trapezoid (Fig 9): 1 <= i <= rows-2 and i+1 <= j <= 2i+cols-2,
   // with an X-shaped 5-point window. Row i is i + cols - 2 points long, so

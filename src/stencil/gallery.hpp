@@ -70,4 +70,27 @@ StencilProgram triangular_demo(std::int64_t rows = 32);
 StencilProgram lattice_4d(std::int64_t n0 = 6, std::int64_t n1 = 8,
                           std::int64_t n2 = 8, std::int64_t n3 = 10);
 
+/// Iterative solver kernels (temporal blocking) -------------------------
+
+/// JACOBI4_2D: 4-point von Neumann ring without the center -- the classic
+/// Jacobi relaxation update, averaging the axis neighbours.
+StencilProgram jacobi4_2d(std::int64_t rows = 96, std::int64_t cols = 128);
+
+/// JACOBI8_2D: 8-point 3x3 ring without the center.
+StencilProgram jacobi8_2d(std::int64_t rows = 96, std::int64_t cols = 128);
+
+/// HEAT_2D: explicit-Euler heat-equation step, 5-point window with center
+/// weight 1 - 4*alpha (alpha = 0.1) -- the canonical convergent sweep for
+/// the temporal runner's residual monitor.
+StencilProgram heat_2d(std::int64_t rows = 96, std::int64_t cols = 128);
+
+/// LIFE_2D: Game of Life over a threshold grid -- an opaque 9-point kernel
+/// counting neighbours above 0.5 and emitting 1.0 / 0.0 by the B3/S23
+/// rule. Its natural topology is toroidal: pair with BoundaryPolicy::kWrap.
+StencilProgram life_2d(std::int64_t rows = 48, std::int64_t cols = 64);
+
+/// The iterative suite: the four kernels above plus the multi-sweep
+/// DENOISE at a small grid, in that order.
+std::vector<StencilProgram> iterative_benchmarks();
+
 }  // namespace nup::stencil

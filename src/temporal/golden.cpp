@@ -1,0 +1,134 @@
+#include "temporal/golden.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "stencil/boundary.hpp"
+#include "stencil/golden.hpp"
+
+namespace nup::temporal {
+
+namespace {
+
+std::vector<std::int64_t> row_major_strides(const poly::IntVec& lo,
+                                            const poly::IntVec& hi) {
+  std::vector<std::int64_t> strides(lo.size(), 1);
+  for (std::size_t d = lo.size(); d-- > 1;) {
+    strides[d - 1] = strides[d] * (hi[d] - lo[d] + 1);
+  }
+  return strides;
+}
+
+std::int64_t box_index(const poly::IntVec& point, const poly::IntVec& lo,
+                       const std::vector<std::int64_t>& strides) {
+  std::int64_t idx = 0;
+  for (std::size_t d = 0; d < point.size(); ++d) {
+    idx += (point[d] - lo[d]) * strides[d];
+  }
+  return idx;
+}
+
+bool in_box(const poly::IntVec& point, const poly::IntVec& lo,
+            const poly::IntVec& hi) {
+  for (std::size_t d = 0; d < point.size(); ++d) {
+    if (point[d] < lo[d] || point[d] > hi[d]) return false;
+  }
+  return true;
+}
+
+std::int64_t box_count(const poly::IntVec& lo, const poly::IntVec& hi) {
+  std::int64_t n = 1;
+  for (std::size_t d = 0; d < lo.size(); ++d) n *= hi[d] - lo[d] + 1;
+  return n;
+}
+
+}  // namespace
+
+std::vector<double> run_golden_sweeps(const stencil::StencilProgram& program,
+                                      const TemporalConfig& config,
+                                      std::uint64_t seed) {
+  // Validate through the planner (same typed errors, same box/window
+  // algebra) with the trivial block -- the reference is blocking-free.
+  TemporalConfig ref = config;
+  ref.block = 1;
+  const TemporalSchedule sched = plan_temporal(program, ref);
+  const std::int64_t T = config.timesteps;
+  const std::size_t dim = program.dim();
+  const std::vector<stencil::ArrayReference>& refs =
+      program.inputs()[0].refs;
+  const stencil::KernelFn& kernel = program.kernel();
+  const bool shrink = stencil::is_containment_policy(config.boundary);
+
+  std::vector<double> prev, cur;
+  poly::IntVec prev_lo, prev_hi, cur_lo, cur_hi;
+  std::vector<std::int64_t> prev_strides;
+  std::vector<double> gathered(refs.size());
+  poly::IntVec coord(dim);
+
+  for (std::int64_t g = 1; g <= T; ++g) {
+    if (shrink) {
+      // Generation g covers the target box grown by (T - g) windows.
+      cur_lo.resize(dim);
+      cur_hi.resize(dim);
+      for (std::size_t d = 0; d < dim; ++d) {
+        cur_lo[d] = sched.domain_lo[d] + (T - g) * sched.window_lo[d];
+        cur_hi[d] = sched.domain_hi[d] + (T - g) * sched.window_hi[d];
+      }
+    } else {
+      cur_lo = sched.domain_lo;
+      cur_hi = sched.domain_hi;
+    }
+    cur.assign(static_cast<std::size_t>(box_count(cur_lo, cur_hi)), 0.0);
+    const std::vector<std::int64_t> cur_strides =
+        row_major_strides(cur_lo, cur_hi);
+
+    poly::Domain::box(cur_lo, cur_hi).for_each([&](const poly::IntVec& h) {
+      for (std::size_t r = 0; r < refs.size(); ++r) {
+        for (std::size_t d = 0; d < dim; ++d) {
+          coord[d] = h[d] + refs[r].offset[d];
+        }
+        if (g == 1) {
+          // Generation 0 is the synthetic input, defined everywhere:
+          // gather raw, never remapped.
+          gathered[r] = stencil::synthetic_value(seed, 0, coord);
+        } else if (in_box(coord, prev_lo, prev_hi)) {
+          gathered[r] = prev[static_cast<std::size_t>(
+              box_index(coord, prev_lo, prev_strides))];
+        } else if (config.boundary == stencil::BoundaryPolicy::kConstant) {
+          gathered[r] = config.constant_value;
+        } else {
+          gathered[r] = prev[static_cast<std::size_t>(box_index(
+              stencil::map_into_box(coord, prev_lo, prev_hi,
+                                    config.boundary),
+              prev_lo, prev_strides))];
+        }
+      }
+      cur[static_cast<std::size_t>(box_index(h, cur_lo, cur_strides))] =
+          kernel(gathered);
+    });
+
+    prev = std::move(cur);
+    prev_lo = cur_lo;
+    prev_hi = cur_hi;
+    prev_strides = row_major_strides(prev_lo, prev_hi);
+  }
+  return prev;
+}
+
+double max_abs_delta(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    throw TemporalConfigError(
+        "max_abs_delta: generation layouts differ (" +
+        std::to_string(a.size()) + " vs " + std::to_string(b.size()) +
+        " elements)");
+  }
+  double delta = 0.0;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    delta = std::max(delta, std::abs(a[k] - b[k]));
+  }
+  return delta;
+}
+
+}  // namespace nup::temporal

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stencil/program.hpp"
+#include "temporal/unroll.hpp"
+
+namespace nup::temporal {
+
+/// Naive frame-by-frame reference of an iterative stencil: computes
+/// generations 1..T one full grid at a time (no temporal blocking, no
+/// pipeline) and returns generation T over the target domain in
+/// lexicographic order. Generation 0 is the synthetic input, defined on
+/// the whole grid, so generation 1 gathers raw synthetic values at
+/// unmapped coordinates -- exactly what the pipeline's external DRAM feed
+/// serves. Later generations read out-of-domain values per
+/// `config.boundary` (shrink grows the computed grid instead). This is
+/// the bit-exact contract the temporal runner is tested against; `block`
+/// is ignored (blocking must not change values).
+std::vector<double> run_golden_sweeps(const stencil::StencilProgram& program,
+                                      const TemporalConfig& config,
+                                      std::uint64_t seed);
+
+/// max |a[k] - b[k]|: the convergence residual between two generations of
+/// equal layout. Throws TemporalConfigError on length mismatch.
+double max_abs_delta(const std::vector<double>& a,
+                     const std::vector<double>& b);
+
+}  // namespace nup::temporal

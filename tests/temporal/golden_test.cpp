@@ -1,0 +1,175 @@
+// Naive T-sweep reference: T=1 must equal the plain golden run under every
+// boundary policy (generation 1 always gathers raw synthetic input), the
+// kShrink sweep must match an independent replica-chain reference, and the
+// value policies must match a test-local gather that maps out-of-domain
+// coordinates explicitly.
+
+#include "temporal/golden.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stencil/boundary.hpp"
+#include "stencil/gallery.hpp"
+#include "stencil/golden.hpp"
+#include "temporal/unroll.hpp"
+
+namespace nup::temporal {
+namespace {
+
+using stencil::BoundaryPolicy;
+
+const BoundaryPolicy kAllPolicies[] = {
+    BoundaryPolicy::kShrink, BoundaryPolicy::kClamp, BoundaryPolicy::kWrap,
+    BoundaryPolicy::kConstant};
+
+TEST(GoldenSweeps, SingleTimestepEqualsPlainGoldenUnderEveryPolicy) {
+  const stencil::StencilProgram p = stencil::jacobi4_2d(14, 18);
+  const std::vector<double> plain = stencil::run_golden(p, 77).outputs;
+  for (const BoundaryPolicy policy : kAllPolicies) {
+    const std::vector<double> swept = run_golden_sweeps(
+        p, {.timesteps = 1, .block = 1, .boundary = policy,
+            .constant_value = 9.5},
+        77);
+    EXPECT_EQ(swept, plain) << stencil::to_string(policy);
+  }
+}
+
+// Independent kShrink reference: golden-run the generation-1 replica over
+// its grown box, then gather each later generation from its predecessor's
+// dense output by lexicographic rank. Any disagreement in the domain
+// algebra or the gather order shows up as a bit difference.
+std::vector<double> shrink_reference(const stencil::StencilProgram& base,
+                                     std::int64_t timesteps,
+                                     std::uint64_t seed) {
+  const TemporalSchedule sched = plan_temporal(
+      base, {.timesteps = timesteps, .block = 1,
+             .boundary = BoundaryPolicy::kShrink});
+  std::vector<double> prev;
+  for (std::int64_t g = 1; g <= timesteps; ++g) {
+    // Under B=1, pass g-1 holds exactly the generation-g replica.
+    const stencil::StencilProgram& replica =
+        sched.shapes[static_cast<std::size_t>(g - 1)]
+            .graph.stages()[0]
+            .program;
+    if (g == 1) {
+      prev = stencil::run_golden(replica, seed).outputs;
+      continue;
+    }
+    const poly::Domain& producer =
+        sched.shapes[static_cast<std::size_t>(g - 2)].domains[0];
+    std::vector<double> out;
+    std::vector<double> gathered;
+    replica.iteration().for_each([&](const poly::IntVec& i) {
+      gathered.clear();
+      for (const stencil::ArrayReference& ref : replica.inputs()[0].refs) {
+        poly::IntVec h = i;
+        for (std::size_t d = 0; d < h.size(); ++d) h[d] += ref.offset[d];
+        gathered.push_back(
+            prev[static_cast<std::size_t>(producer.lex_rank(h))]);
+      }
+      out.push_back(replica.kernel()(gathered));
+    });
+    prev = std::move(out);
+  }
+  return prev;
+}
+
+TEST(GoldenSweeps, ShrinkMatchesReplicaChainReference) {
+  for (const std::uint64_t seed : {3ull, 901ull}) {
+    const stencil::StencilProgram p = stencil::heat_2d(18, 22);
+    EXPECT_EQ(run_golden_sweeps(
+                  p, {.timesteps = 3, .block = 1,
+                      .boundary = BoundaryPolicy::kShrink},
+                  seed),
+              shrink_reference(p, 3, seed))
+        << "seed " << seed;
+  }
+}
+
+// Test-local value-policy reference: generation 1 over the target box from
+// raw synthetic input, later generations gathered with explicit coordinate
+// mapping.
+std::vector<double> value_reference(const stencil::StencilProgram& p,
+                                    const TemporalConfig& config,
+                                    std::uint64_t seed) {
+  poly::IntVec lo, hi;
+  EXPECT_TRUE(p.iteration().as_single_box(&lo, &hi));
+  std::vector<double> prev;
+  for (std::int64_t g = 1; g <= config.timesteps; ++g) {
+    std::vector<double> out;
+    std::vector<double> gathered;
+    p.iteration().for_each([&](const poly::IntVec& i) {
+      gathered.clear();
+      for (const stencil::ArrayReference& ref : p.inputs()[0].refs) {
+        poly::IntVec h = i;
+        for (std::size_t d = 0; d < h.size(); ++d) h[d] += ref.offset[d];
+        if (g == 1) {
+          gathered.push_back(stencil::synthetic_value(seed, 0, h));
+          continue;
+        }
+        if (!p.iteration().contains(h)) {
+          if (config.boundary == BoundaryPolicy::kConstant) {
+            gathered.push_back(config.constant_value);
+            continue;
+          }
+          h = stencil::map_into_box(h, lo, hi, config.boundary);
+        }
+        gathered.push_back(
+            prev[static_cast<std::size_t>(p.iteration().lex_rank(h))]);
+      }
+      out.push_back(p.kernel()(gathered));
+    });
+    prev = std::move(out);
+  }
+  return prev;
+}
+
+TEST(GoldenSweeps, ValuePoliciesMatchExplicitMappingReference) {
+  const stencil::StencilProgram p = stencil::jacobi8_2d(12, 16);
+  for (const BoundaryPolicy policy :
+       {BoundaryPolicy::kClamp, BoundaryPolicy::kWrap,
+        BoundaryPolicy::kConstant}) {
+    const TemporalConfig config{.timesteps = 3, .block = 1,
+                                .boundary = policy, .constant_value = 4.25};
+    EXPECT_EQ(run_golden_sweeps(p, config, 19),
+              value_reference(p, config, 19))
+        << stencil::to_string(policy);
+  }
+}
+
+TEST(GoldenSweeps, BoundaryPolicyChangesEdgeValues) {
+  // Sanity: at T >= 2 the policies genuinely diverge on a window that
+  // leaves the domain.
+  const stencil::StencilProgram p = stencil::jacobi4_2d(10, 10);
+  const auto run = [&](BoundaryPolicy policy) {
+    return run_golden_sweeps(p, {.timesteps = 2, .block = 1,
+                                 .boundary = policy,
+                                 .constant_value = 123.0},
+                             5);
+  };
+  EXPECT_NE(run(BoundaryPolicy::kClamp), run(BoundaryPolicy::kConstant));
+  EXPECT_NE(run(BoundaryPolicy::kClamp), run(BoundaryPolicy::kWrap));
+  EXPECT_NE(run(BoundaryPolicy::kShrink), run(BoundaryPolicy::kConstant));
+}
+
+TEST(GoldenSweeps, BlockDoesNotChangeTheReference) {
+  const stencil::StencilProgram p = stencil::heat_2d(14, 14);
+  const std::vector<double> b1 = run_golden_sweeps(
+      p, {.timesteps = 4, .block = 1, .boundary = BoundaryPolicy::kClamp},
+      11);
+  const std::vector<double> b4 = run_golden_sweeps(
+      p, {.timesteps = 4, .block = 4, .boundary = BoundaryPolicy::kClamp},
+      11);
+  EXPECT_EQ(b1, b4);
+}
+
+TEST(MaxAbsDelta, ComputesResidualAndChecksLayout) {
+  EXPECT_EQ(max_abs_delta({1.0, 2.0, 3.0}, {1.5, 2.0, 1.0}), 2.0);
+  EXPECT_EQ(max_abs_delta({}, {}), 0.0);
+  EXPECT_THROW(max_abs_delta({1.0}, {1.0, 2.0}), TemporalConfigError);
+}
+
+}  // namespace
+}  // namespace nup::temporal

@@ -1,0 +1,202 @@
+// Temporal unroller: configuration validation must fail with typed errors,
+// kShrink replica domains must follow the N_g = D + (T-g)*W algebra with
+// exact pass-to-pass alignment, value policies must reuse at most two pass
+// shapes, and replicas must preserve the base kernel (weights and opaque).
+
+#include "temporal/unroll.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stencil/gallery.hpp"
+#include "testing/stencil_gen.hpp"
+
+namespace nup::temporal {
+namespace {
+
+using stencil::BoundaryPolicy;
+
+TEST(PlanTemporal, RejectsInvalidCountsWithTypedErrors) {
+  const stencil::StencilProgram p = stencil::jacobi4_2d(16, 20);
+  EXPECT_THROW(plan_temporal(p, {.timesteps = 0, .block = 1}),
+               TemporalConfigError);
+  EXPECT_THROW(plan_temporal(p, {.timesteps = -3, .block = 1}),
+               TemporalConfigError);
+  EXPECT_THROW(plan_temporal(p, {.timesteps = 4, .block = 0}),
+               TemporalConfigError);
+  // B > T: a pass cannot hold more replicas than generations remain.
+  EXPECT_THROW(plan_temporal(p, {.timesteps = 2, .block = 3}),
+               TemporalConfigError);
+  // All temporal errors share a base class.
+  EXPECT_THROW(plan_temporal(p, {.timesteps = 2, .block = 3}),
+               TemporalError);
+}
+
+TEST(PlanTemporal, RejectsMultiInputPrograms) {
+  stencil::StencilProgram p("TWO_IN", poly::Domain::box({1, 1}, {8, 8}));
+  p.add_input("A", {{0, 0}, {0, 1}});
+  p.add_input("B", {{0, 0}});
+  EXPECT_THROW(plan_temporal(p, {.timesteps = 2, .block = 1}),
+               TemporalConfigError);
+}
+
+TEST(PlanTemporal, RejectsNonBoxDomains) {
+  const stencil::StencilProgram tri = stencil::triangular_demo(16);
+  EXPECT_THROW(plan_temporal(tri, {.timesteps = 2, .block = 2}),
+               TemporalDomainError);
+}
+
+TEST(PlanTemporal, ShrinkDomainsFollowWindowAlgebra) {
+  // JACOBI4 window: reach 1 in every direction, so W = [-1,1]^2 and
+  // generation g of T=4 iterates the target box grown by (4-g) on every
+  // side.
+  const stencil::StencilProgram p = stencil::jacobi4_2d(32, 40);
+  TemporalConfig config{.timesteps = 4, .block = 2};
+  const TemporalSchedule sched = plan_temporal(p, config);
+
+  EXPECT_EQ(sched.num_passes, 2);
+  ASSERT_EQ(sched.shapes.size(), 2u);  // one shape per pass under kShrink
+  EXPECT_EQ(sched.pass_shape, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(sched.first_generation, (std::vector<std::int64_t>{1, 3}));
+  EXPECT_EQ(sched.window_lo, (poly::IntVec{-1, -1}));
+  EXPECT_EQ(sched.window_hi, (poly::IntVec{1, 1}));
+
+  // Target box of jacobi4_2d(32, 40) is [1,30] x [1,38].
+  EXPECT_EQ(sched.domain_lo, (poly::IntVec{1, 1}));
+  EXPECT_EQ(sched.domain_hi, (poly::IntVec{30, 38}));
+
+  const auto expect_box = [](const poly::Domain& d, poly::IntVec lo,
+                             poly::IntVec hi) {
+    poly::IntVec got_lo, got_hi;
+    ASSERT_TRUE(d.as_single_box(&got_lo, &got_hi));
+    EXPECT_EQ(got_lo, lo);
+    EXPECT_EQ(got_hi, hi);
+  };
+  // Pass 0: generations 1 (grown by 3) and 2 (grown by 2).
+  expect_box(sched.shapes[0].domains[0], {-2, -2}, {33, 41});
+  expect_box(sched.shapes[0].domains[1], {-1, -1}, {32, 40});
+  // Pass 1: generations 3 (grown by 1) and 4 (the target).
+  expect_box(sched.shapes[1].domains[0], {0, 0}, {31, 39});
+  expect_box(sched.shapes[1].domains[1], {1, 1}, {30, 38});
+
+  // Pass handoff: pass 0's output box is exactly the box pass 1's first
+  // replica window needs (one window beyond its own domain).
+  poly::IntVec out_lo, out_hi;
+  sched.pass_output_box(0, &out_lo, &out_hi);
+  EXPECT_EQ(out_lo, (poly::IntVec{-1, -1}));
+  EXPECT_EQ(out_hi, (poly::IntVec{32, 40}));
+  sched.pass_output_box(1, &out_lo, &out_hi);
+  EXPECT_EQ(out_lo, sched.domain_lo);
+  EXPECT_EQ(out_hi, sched.domain_hi);
+}
+
+TEST(PlanTemporal, ValuePoliciesShareFullAndTailShapes) {
+  const stencil::StencilProgram p = stencil::heat_2d(24, 28);
+  TemporalConfig config{.timesteps = 5, .block = 2,
+                        .boundary = BoundaryPolicy::kClamp};
+  const TemporalSchedule sched = plan_temporal(p, config);
+
+  EXPECT_EQ(sched.num_passes, 3);
+  ASSERT_EQ(sched.shapes.size(), 2u);  // full (2 replicas) + tail (1)
+  EXPECT_EQ(sched.shapes[0].replicas, 2u);
+  EXPECT_EQ(sched.shapes[1].replicas, 1u);
+  EXPECT_EQ(sched.pass_shape, (std::vector<std::size_t>{0, 0, 1}));
+  EXPECT_EQ(sched.first_generation, (std::vector<std::int64_t>{1, 3, 5}));
+
+  // Every replica iterates the target box; edges carry the policy and the
+  // producer's box for the boundary mapping.
+  for (const PassShape& shape : sched.shapes) {
+    for (const poly::Domain& d : shape.domains) {
+      poly::IntVec lo, hi;
+      ASSERT_TRUE(d.as_single_box(&lo, &hi));
+      EXPECT_EQ(lo, sched.domain_lo);
+      EXPECT_EQ(hi, sched.domain_hi);
+    }
+    for (const pipeline::StageEdge& edge : shape.graph.edges()) {
+      EXPECT_EQ(edge.policy.boundary, BoundaryPolicy::kClamp);
+      EXPECT_EQ(edge.producer_lo, sched.domain_lo);
+      EXPECT_EQ(edge.producer_hi, sched.domain_hi);
+    }
+  }
+}
+
+TEST(PlanTemporal, EvenDivisionUsesOneShapeUnderValuePolicy) {
+  const stencil::StencilProgram p = stencil::jacobi8_2d(20, 20);
+  const TemporalSchedule sched = plan_temporal(
+      p, {.timesteps = 6, .block = 3,
+          .boundary = BoundaryPolicy::kConstant, .constant_value = 2.5});
+  EXPECT_EQ(sched.num_passes, 2);
+  ASSERT_EQ(sched.shapes.size(), 1u);
+  EXPECT_EQ(sched.shapes[0].replicas, 3u);
+  EXPECT_EQ(sched.pass_shape, (std::vector<std::size_t>{0, 0}));
+  for (const pipeline::StageEdge& edge : sched.shapes[0].graph.edges()) {
+    EXPECT_EQ(edge.policy.boundary, BoundaryPolicy::kConstant);
+    EXPECT_EQ(edge.policy.constant_value, 2.5);
+  }
+}
+
+TEST(MakeReplica, PreservesWeightedSumStructure) {
+  const stencil::StencilProgram base = stencil::heat_2d(16, 16);
+  const stencil::StencilProgram replica =
+      make_replica(base, base.iteration(), "HEAT_2D.t1");
+  EXPECT_EQ(replica.name(), "HEAT_2D.t1");
+  EXPECT_EQ(replica.weighted_sum_weights(), base.weighted_sum_weights());
+  ASSERT_EQ(replica.inputs().size(), 1u);
+  EXPECT_EQ(replica.inputs()[0].name, base.inputs()[0].name);
+  ASSERT_EQ(replica.inputs()[0].refs.size(), base.inputs()[0].refs.size());
+  for (std::size_t r = 0; r < replica.inputs()[0].refs.size(); ++r) {
+    EXPECT_EQ(replica.inputs()[0].refs[r].offset,
+              base.inputs()[0].refs[r].offset);
+  }
+}
+
+TEST(MakeReplica, PreservesOpaqueKernels) {
+  const stencil::StencilProgram base = stencil::life_2d(12, 12);
+  const stencil::StencilProgram replica =
+      make_replica(base, base.iteration(), "LIFE.t1");
+  EXPECT_TRUE(replica.weighted_sum_weights().empty());
+  // Same rule: a live cell with two live neighbours survives.
+  std::vector<double> v(9, 0.0);
+  v[4] = 1.0;
+  v[0] = 1.0;
+  v[8] = 1.0;
+  EXPECT_EQ(replica.kernel()(v), base.kernel()(v));
+  EXPECT_EQ(replica.kernel()(v), 1.0);
+}
+
+TEST(MakeReplica, DefaultKernelReplicatesAsEqualWeights) {
+  stencil::StencilProgram base("DEFAULT",
+                               poly::Domain::box({1, 1}, {8, 8}));
+  base.add_input("A", {{0, -1}, {0, 0}, {0, 1}});
+  const stencil::StencilProgram replica =
+      make_replica(base, base.iteration(), "DEFAULT.t1");
+  // The lazy equal-weight default materializes into explicit weights, so
+  // the vector path sees the linear structure in every replica.
+  EXPECT_EQ(replica.weighted_sum_weights(),
+            (std::vector<double>{1.0 / 3, 1.0 / 3, 1.0 / 3}));
+}
+
+TEST(RandomIterativeTriple, IsDeterministicAndValid) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const testing::IterativeTriple a = testing::random_iterative_triple(seed);
+    const testing::IterativeTriple b = testing::random_iterative_triple(seed);
+    EXPECT_EQ(a.program.name(), b.program.name());
+    EXPECT_EQ(a.timesteps, b.timesteps);
+    EXPECT_EQ(a.block, b.block);
+    EXPECT_EQ(a.boundary, b.boundary);
+    ASSERT_GE(a.timesteps, 1);
+    ASSERT_GE(a.block, 1);
+    ASSERT_LE(a.block, a.timesteps);
+    // Every triple must plan cleanly.
+    const TemporalSchedule sched = plan_temporal(
+        a.program, {.timesteps = a.timesteps, .block = a.block,
+                    .boundary = a.boundary,
+                    .constant_value = a.constant_value});
+    EXPECT_EQ(sched.num_passes,
+              (a.timesteps + a.block - 1) / a.block);
+  }
+}
+
+}  // namespace
+}  // namespace nup::temporal

@@ -117,4 +117,59 @@ std::vector<stencil::StencilProgram> random_stage_pair(std::uint64_t seed) {
           random_stage("P2_" + std::to_string(seed), a + r2, b - r2, r2)};
 }
 
+IterativeTriple random_iterative_triple(std::uint64_t seed) {
+  Rng rng(seed * 2654435761u + 123);
+  const std::size_t refs = static_cast<std::size_t>(rng.next_in(2, 6));
+  std::set<poly::IntVec> offsets;
+  while (offsets.size() < refs) {
+    offsets.insert({rng.next_in(-2, 2), rng.next_in(-2, 2)});
+  }
+
+  // Box domain only: the temporal unroller's replica algebra is defined on
+  // boxes. Anchor at the window reach so even deep kShrink chains stay on
+  // small coordinates.
+  std::int64_t lo[2];
+  std::int64_t hi[2];
+  for (std::size_t d = 0; d < 2; ++d) {
+    std::int64_t reach = 0;
+    for (const poly::IntVec& f : offsets) {
+      reach = std::max(reach, std::max(f[d], -f[d]));
+    }
+    lo[d] = reach;
+    hi[d] = lo[d] + rng.next_in(6, 14);
+  }
+
+  IterativeTriple triple{
+      stencil::StencilProgram(
+          "RAND_ITER_" + std::to_string(seed),
+          poly::Domain::box({lo[0], lo[1]}, {hi[0], hi[1]}))};
+  triple.program.add_input(
+      "A", std::vector<poly::IntVec>(offsets.begin(), offsets.end()));
+  std::vector<double> weights;
+  weights.reserve(refs);
+  for (std::size_t k = 0; k < refs; ++k) {
+    weights.push_back(rng.next_double() + 0.25);
+  }
+  triple.program.set_weighted_sum(std::move(weights));
+
+  triple.timesteps = rng.next_in(1, 6);
+  triple.block = rng.next_in(1, triple.timesteps);
+  switch (rng.next_in(0, 3)) {
+    case 0:
+      triple.boundary = stencil::BoundaryPolicy::kShrink;
+      break;
+    case 1:
+      triple.boundary = stencil::BoundaryPolicy::kClamp;
+      break;
+    case 2:
+      triple.boundary = stencil::BoundaryPolicy::kWrap;
+      break;
+    default:
+      triple.boundary = stencil::BoundaryPolicy::kConstant;
+      break;
+  }
+  triple.constant_value = rng.next_double();
+  return triple;
+}
+
 }  // namespace nup::testing

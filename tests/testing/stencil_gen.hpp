@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "stencil/boundary.hpp"
 #include "stencil/program.hpp"
 
 namespace nup::testing {
@@ -51,5 +52,22 @@ stencil::StencilProgram random_program(std::uint64_t seed,
 /// stage 2's radius-r2 window shrinks its domain to [a+r2, b-r2]^2; both
 /// stages carry random weighted-sum kernels.
 std::vector<stencil::StencilProgram> random_stage_pair(std::uint64_t seed);
+
+/// One random temporal-blocking configuration: an iterative 2-D stencil
+/// over a box domain plus the (T, B, boundary) triple that sweeps it.
+struct IterativeTriple {
+  stencil::StencilProgram program;
+  std::int64_t timesteps = 1;  ///< T in [1, 6]
+  std::int64_t block = 1;      ///< B in [1, T]
+  stencil::BoundaryPolicy boundary = stencil::BoundaryPolicy::kShrink;
+  double constant_value = 0.0;  ///< kConstant's Dirichlet value
+};
+
+/// Deterministic random iterative triple for `seed` (Rng stream
+/// seed * 2654435761 + 123): 2-6 distinct offsets in [-2,2]^2, box extents
+/// 6-14 per dimension, random weighted-sum kernel, and a boundary policy
+/// cycling shrink / clamp / wrap / constant. Programs are named
+/// "RAND_ITER_<seed>".
+IterativeTriple random_iterative_triple(std::uint64_t seed);
 
 }  // namespace nup::testing

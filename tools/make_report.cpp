@@ -19,8 +19,12 @@
 #include "core/rtl_verify.hpp"
 #include "hls/power.hpp"
 #include "hls/report.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
+#include "stencil/boundary.hpp"
 #include "stencil/gallery.hpp"
+#include "temporal/golden.hpp"
+#include "temporal/runner.hpp"
 #include "util/strings.hpp"
 
 namespace {
@@ -112,6 +116,58 @@ void emit_tradeoff(std::ostream& out) {
   out << "\n";
 }
 
+void emit_temporal(std::ostream& out) {
+  out << "## Temporal blocking (docs/TEMPORAL.md)\n\n"
+      << "HEAT_2D 48x64 swept T=8 generations per frame under the clamp "
+         "boundary; every blocking factor's pipeline output is checked "
+         "bit-for-bit against the naive T-sweep golden.\n\n"
+      << "| B | pass shapes | replicas/pass | passes/frame | bit-identical "
+         "|\n|---|---|---|---|---|\n";
+  const stencil::StencilProgram step = stencil::heat_2d(48, 64);
+  for (const std::int64_t block : {1, 2, 4}) {
+    const temporal::TemporalConfig config{
+        .timesteps = 8, .block = block,
+        .boundary = stencil::BoundaryPolicy::kClamp};
+    obs::Registry registry;
+    temporal::RunnerOptions options;
+    options.pipeline.threads_per_stage = 2;
+    options.pipeline.metrics = &registry;
+    temporal::TemporalRunner runner(step, config, options);
+    const temporal::FrameOutcome outcome = runner.run(42);
+    const bool identical =
+        outcome.ok() &&
+        outcome.outputs == temporal::run_golden_sweeps(step, config, 42);
+    out << "| " << block << " | " << runner.executor_count() << " | "
+        << runner.schedule().shapes[0].replicas << " | "
+        << outcome.passes_completed << " | "
+        << (identical ? "yes" : "NO") << " |\n";
+  }
+
+  out << "\nConvergence monitor (HEAT_2D 24x32, T=64, tolerance 5e-3): "
+         "pass-boundary max-abs residual, early exit per blocking "
+         "factor.\n\n"
+      << "| B | generations run | generations saved | last residual |\n"
+      << "|---|---|---|---|\n";
+  const stencil::StencilProgram small = stencil::heat_2d(24, 32);
+  for (const std::int64_t block : {1, 2, 4}) {
+    obs::Registry registry;
+    temporal::RunnerOptions options;
+    options.pipeline.threads_per_stage = 2;
+    options.pipeline.metrics = &registry;
+    options.tolerance = 5e-3;
+    temporal::TemporalRunner runner(
+        small,
+        {.timesteps = 64, .block = block,
+         .boundary = stencil::BoundaryPolicy::kClamp},
+        options);
+    const temporal::FrameOutcome outcome = runner.run(7);
+    out << "| " << block << " | " << outcome.generations_completed << " | "
+        << 64 - outcome.generations_completed << " | "
+        << format_fixed(outcome.last_residual, 6) << " |\n";
+  }
+  out << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -124,6 +180,7 @@ int main(int argc, char** argv) {
   emit_simulation(report);
   emit_rtl(report);
   emit_tradeoff(report);
+  emit_temporal(report);
 
   if (argc > 1) {
     std::ofstream file(argv[1]);

@@ -49,6 +49,23 @@
 //                  0 = unbounded; default 4). Successive frames interleave
 //                  tiles on the same stage engines, recycling buffer
 //                  slabs, so steady state allocates nothing per tile
+//   --timesteps <T>
+//                  temporal mode: treat the kernel as one step of an
+//                  iterative solver and sweep T generations (Zohouri-style
+//                  temporal blocking). The step is unrolled into chains of
+//                  B replica stages -- each replica's reuse FIFOs sized
+//                  non-uniformly by the arch builder -- and ceil(T/B)
+//                  passes stream through the pipelined runtime
+//   --block <B>    temporal mode: blocking factor B in [1, T] -- replicas
+//                  per pass (default 1 = frame-serial)
+//   --boundary <shrink|clamp|wrap|constant>
+//                  temporal mode: how replicas read past the previous
+//                  generation's domain edge (default shrink)
+//   --bc-value <V> temporal mode: Dirichlet value for --boundary constant
+//   --tolerance <E>
+//                  temporal mode: convergence monitor -- stop a frame's
+//                  remaining passes once the pass-boundary max-abs
+//                  residual is <= E (0 disables, the default)
 //   --metrics <f>  write the metrics registry (cache/engine/fifo/sim
 //                  telemetry, see docs/OBSERVABILITY.md) as JSON to <f>
 //   --trace <f>    record spans (tile execution, design compiles) and
@@ -59,8 +76,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -76,6 +95,8 @@
 #include "runtime/engine.hpp"
 #include "runtime/telemetry.hpp"
 #include "sim/vcd.hpp"
+#include "stencil/boundary.hpp"
+#include "temporal/runner.hpp"
 #include "util/error.hpp"
 
 namespace {
@@ -83,15 +104,80 @@ namespace {
 void usage() {
   std::fprintf(
       stderr,
-      "usage: stencilcc [-o dir] [--name n] [--exact] [--width W] "
-      "[--no-verify] "
-      "[--vcd N] [--sim-backend reference|fast] [--cpp-model] "
-      "[--rtl-check] [--serve N] [--threads T] [--tile a,b,..] "
-      "[--metrics f.json] [--trace f.trace.json] [--stats] [--quiet] "
-      "<kernel.c>\n"
-      "       stencilcc --pipeline <spec> [--barrier] [--frames N] "
-      "[--inflight K] [--serve N] [--threads T] [--tile a,b,..] "
-      "[--metrics f.json] [--trace f.trace.json] [--stats] [--quiet]\n");
+      "usage: stencilcc [options] <kernel.c>\n"
+      "       stencilcc --pipeline <spec> [options]\n"
+      "       stencilcc --timesteps T [--block B] [options] <kernel.c>\n"
+      "\n"
+      "Compiles a mini-C stencil kernel into the non-uniformly partitioned\n"
+      "reuse-buffer accelerator, verifies it by simulation against the\n"
+      "golden software run, and writes Verilog, testbench, HLS kernel,\n"
+      "integration header and a JSON report.\n"
+      "\n"
+      "compile options:\n"
+      "  -o <dir>        output directory for the artifacts (default: .)\n"
+      "  --name <n>      accelerator name (default: from the file name)\n"
+      "  --exact         exact union-domain sizing and streaming\n"
+      "  --width <W>     datapath width: W elements per cycle, FIFOs in\n"
+      "                  W-element words (default 1)\n"
+      "  --no-verify     skip the verification simulation\n"
+      "  --vcd <N>       dump a VCD of the first N verification cycles\n"
+      "  --sim-backend <reference|fast>\n"
+      "                  simulator backend for verification (default:\n"
+      "                  reference; fast is bit-identical)\n"
+      "  --cpp-model     also emit a standalone C co-simulation model\n"
+      "  --rtl-check     execute the generated Verilog in the built-in\n"
+      "                  RTL interpreter (small programs only)\n"
+      "\n"
+      "serving options (single kernel, pipeline and temporal modes):\n"
+      "  --serve <N>     serve N frames through the tiled runtime and\n"
+      "                  print throughput / cache statistics\n"
+      "  --frames <N>    alias of --serve for the staged modes\n"
+      "  --threads <T>   worker threads (per stage in the staged modes;\n"
+      "                  default: hardware concurrency)\n"
+      "  --tile <a,b,..> tile extents per dimension (0 = full extent;\n"
+      "                  default: automatic shape)\n"
+      "\n"
+      "pipeline mode:\n"
+      "  --pipeline <spec>\n"
+      "                  chain the mini-C kernels in <spec> (sections\n"
+      "                  separated by `---` lines) into a stage DAG with\n"
+      "                  tile-granular producer-consumer overlap\n"
+      "  --barrier       wait for whole producer frames instead of\n"
+      "                  halo-covering tiles (scheduling baseline)\n"
+      "  --inflight <K>  cross-frame admission window: at most K frames\n"
+      "                  (or temporal passes) in flight (1 = serial,\n"
+      "                  0 = unbounded; default 4)\n"
+      "\n"
+      "temporal mode (iterative solvers; see docs/TEMPORAL.md):\n"
+      "  --timesteps <T> sweep T generations of the kernel: the step is\n"
+      "                  unrolled into chains of B replica stages, each\n"
+      "                  replica's reuse FIFOs sized non-uniformly, and\n"
+      "                  ceil(T/B) passes stream through the pipeline\n"
+      "  --block <B>     blocking factor B in [1, T]: replicas per pass\n"
+      "                  (default 1 = frame-serial)\n"
+      "  --boundary <shrink|clamp|wrap|constant>\n"
+      "                  reads past the previous generation's domain edge:\n"
+      "                  shrink grows earlier replicas' domains so every\n"
+      "                  read is contained; clamp/wrap/constant keep all\n"
+      "                  replicas on the target box (default: shrink)\n"
+      "  --bc-value <V>  Dirichlet value for --boundary constant\n"
+      "  --tolerance <E> stop a frame early once the pass-boundary\n"
+      "                  max-abs residual is <= E (0 = run all passes)\n"
+      "\n"
+      "observability:\n"
+      "  --metrics <f>   write the metrics registry as JSON to <f>\n"
+      "  --trace <f>     write Chrome trace-event JSON to <f>\n"
+      "  --stats         print the metrics registry as an aligned table\n"
+      "  --quiet         suppress the summaries\n"
+      "  -h, --help      this text\n"
+      "\n"
+      "example -- 8 Jacobi generations, 4 replicas per pass (2 passes),\n"
+      "clamped boundary, metrics to heat.json:\n"
+      "  stencilcc --timesteps 8 --block 4 --boundary clamp \\\n"
+      "            --metrics heat.json heat.c\n"
+      "heat.c being one update step, e.g.\n"
+      "  out[i][j] = 0.1*(in[i-1][j]+in[i+1][j]+in[i][j-1]+in[i][j+1])\n"
+      "            + 0.6*in[i][j];\n");
 }
 
 bool parse_tile_shape(const std::string& spec, nup::poly::IntVec* shape) {
@@ -275,6 +361,99 @@ int run_pipeline(const std::string& spec_path, const std::string& name,
   return 0;
 }
 
+// Temporal mode: read one mini-C kernel as the update step of an
+// iterative solver and sweep `timesteps` generations per frame through
+// the replica-stage pipeline (docs/TEMPORAL.md).
+int run_temporal(const std::string& kernel_path, const std::string& name,
+                 const nup::core::CompileOptions& compile_options,
+                 const nup::temporal::TemporalConfig& config,
+                 double tolerance, long frames, long inflight,
+                 std::size_t threads, nup::poly::IntVec tile_shape,
+                 bool quiet) {
+  using namespace nup;
+
+  std::ifstream in(kernel_path);
+  if (!in) {
+    std::fprintf(stderr, "stencilcc: cannot read %s\n", kernel_path.c_str());
+    return 1;
+  }
+  std::ostringstream source;
+  source << in.rdbuf();
+  const stencil::StencilProgram step =
+      frontend::parse_stencil(source.str(), name);
+
+  temporal::RunnerOptions options;
+  options.pipeline.name = name;
+  options.pipeline.threads_per_stage = threads;
+  options.pipeline.tile_shape = std::move(tile_shape);
+  options.pipeline.build = compile_options.build;
+  options.pipeline.sim = compile_options.sim;
+  options.tolerance = tolerance;
+  if (inflight > 0) {
+    options.max_passes_in_flight = static_cast<std::size_t>(inflight);
+  }
+  temporal::TemporalRunner runner(step, config, options);
+
+  if (!quiet) {
+    std::printf(
+        "temporal %s: T=%lld generations, B=%lld replicas/pass, %lld "
+        "passes/frame, %zu pass shape%s, %s boundary\n",
+        name.c_str(), static_cast<long long>(config.timesteps),
+        static_cast<long long>(config.block),
+        static_cast<long long>(runner.schedule().num_passes),
+        runner.executor_count(), runner.executor_count() == 1 ? "" : "s",
+        stencil::to_string(config.boundary));
+  }
+
+  if (frames <= 0) frames = 1;
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(static_cast<std::size_t>(frames));
+  for (long f = 0; f < frames; ++f) {
+    seeds.push_back(static_cast<std::uint64_t>(f));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<temporal::FrameOutcome> outcomes =
+      runner.run_frames(seeds);
+  const auto seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::int64_t generations = 0;
+  std::int64_t passes = 0;
+  long converged = 0;
+  for (const temporal::FrameOutcome& outcome : outcomes) {
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "stencilcc: temporal frame %llu failed: %s\n",
+                   static_cast<unsigned long long>(outcome.seed),
+                   outcome.error.c_str());
+      return 1;
+    }
+    generations += outcome.generations_completed;
+    passes += outcome.passes_completed;
+    if (outcome.converged_early) ++converged;
+  }
+
+  if (!quiet) {
+    std::printf(
+        "swept %ld frame%s in %.3fs: %lld generations (%.2f gen/s), "
+        "%lld passes\n",
+        frames, frames == 1 ? "" : "s", seconds,
+        static_cast<long long>(generations), generations / seconds,
+        static_cast<long long>(passes));
+    if (tolerance > 0.0) {
+      std::printf("  convergence: %ld/%ld frames exited early "
+                  "(tolerance %g, last residual %g)\n",
+                  converged, frames, tolerance,
+                  outcomes.back().last_residual);
+    }
+    std::printf("  %zu replica designs pinned across %zu executor%s\n",
+                runner.pinned_designs(), runner.executor_count(),
+                runner.executor_count() == 1 ? "" : "s");
+  }
+  runner.shutdown();
+  return 0;
+}
+
 std::string basename_no_ext(const std::string& path) {
   const std::size_t slash = path.find_last_of('/');
   const std::size_t start = slash == std::string::npos ? 0 : slash + 1;
@@ -333,6 +512,9 @@ int main(int argc, char** argv) {
   bool pipeline_barrier = false;
   long pipeline_frames = 0;
   long pipeline_inflight = -1;  // -1 keeps the executor default
+  temporal::TemporalConfig temporal_config;
+  bool temporal_mode = false;
+  double temporal_tolerance = 0.0;
   std::string metrics_path;
   std::string trace_path;
   bool stats_table = false;
@@ -414,6 +596,48 @@ int main(int argc, char** argv) {
         usage();
         return 2;
       }
+    } else if (arg == "--timesteps" && i + 1 < argc) {
+      temporal_config.timesteps = std::strtol(argv[++i], nullptr, 10);
+      temporal_mode = true;
+      if (temporal_config.timesteps < 1) {
+        std::fprintf(stderr,
+                     "stencilcc: --timesteps needs a generation count "
+                     ">= 1\n");
+        usage();
+        return 2;
+      }
+    } else if (arg == "--block" && i + 1 < argc) {
+      temporal_config.block = std::strtol(argv[++i], nullptr, 10);
+      temporal_mode = true;
+      if (temporal_config.block < 1) {
+        std::fprintf(stderr,
+                     "stencilcc: --block needs a blocking factor >= 1\n");
+        usage();
+        return 2;
+      }
+    } else if (arg == "--boundary" && i + 1 < argc) {
+      const std::optional<stencil::BoundaryPolicy> policy =
+          stencil::boundary_from_string(argv[++i]);
+      if (!policy) {
+        std::fprintf(stderr,
+                     "stencilcc: unknown boundary policy '%s' (want "
+                     "shrink, clamp, wrap or constant)\n",
+                     argv[i]);
+        usage();
+        return 2;
+      }
+      temporal_config.boundary = *policy;
+      temporal_mode = true;
+    } else if (arg == "--bc-value" && i + 1 < argc) {
+      temporal_config.constant_value = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--tolerance" && i + 1 < argc) {
+      temporal_tolerance = std::strtod(argv[++i], nullptr);
+      if (temporal_tolerance < 0.0) {
+        std::fprintf(stderr,
+                     "stencilcc: --tolerance needs a residual >= 0\n");
+        usage();
+        return 2;
+      }
     } else if (arg == "--metrics" && i + 1 < argc) {
       metrics_path = argv[++i];
     } else if (arg == "--trace" && i + 1 < argc) {
@@ -447,11 +671,34 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  if (temporal_mode && !pipeline_spec.empty()) {
+    std::fprintf(stderr,
+                 "stencilcc: --timesteps/--block unroll a single kernel "
+                 "in time; they do not combine with --pipeline\n");
+    usage();
+    return 2;
+  }
   if (name.empty()) {
     name = basename_no_ext(pipeline_spec.empty() ? input : pipeline_spec);
   }
   if (vcd_cycles > 0) options.sim.trace_cycles = vcd_cycles;
   if (!trace_path.empty()) obs::Tracer::global().set_enabled(true);
+
+  if (temporal_mode) {
+    try {
+      int rc = run_temporal(input, name, options, temporal_config,
+                            temporal_tolerance,
+                            pipeline_frames > 0 ? pipeline_frames : serve,
+                            pipeline_inflight, serve_threads,
+                            std::move(serve_tile), quiet);
+      const int obs_rc =
+          emit_observability(metrics_path, trace_path, stats_table);
+      return rc != 0 ? rc : obs_rc;
+    } catch (const Error& e) {
+      std::fprintf(stderr, "stencilcc: %s\n", e.what());
+      return 1;
+    }
+  }
 
   if (!pipeline_spec.empty()) {
     try {
