@@ -1,0 +1,210 @@
+// Observability overhead: the flight recorder is always-on, so its cost
+// must stay in the noise. The artifact pumps DENOISE 768x1024 frames
+// through one FrameEngine per configuration --
+//
+//   journal off   run-time kill switch (Journal::set_enabled(false));
+//                 metric counters still tick
+//   journal on    the shipping default: every frame/tile lifecycle event
+//                 lands in the per-thread seqlock rings
+//
+// -- and scores the claim that the journal-on serving rate stays within
+// 2% of journal-off. (The third rung, -DNUP_OBS_DISABLE, compiles every
+// metric and journal write out of nup_obs and cannot share a binary with
+// the other two; rebuilding with the option and re-running this bench
+// measures it, and `obs_compiled` in BENCH_obs.json records which build
+// produced the numbers.)
+//
+// A microbench section reports the raw cost of one Journal::record --
+// the per-event budget the 64-byte seqlock write path was designed
+// around -- and of one Counter::add for comparison.
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/engine.hpp"
+#include "stencil/gallery.hpp"
+
+namespace {
+
+using namespace nup;
+
+constexpr std::int64_t kRows = 768;
+constexpr std::int64_t kCols = 1024;
+constexpr int kWarmupFrames = 2;
+constexpr int kMeasuredFrames = 8;
+constexpr double kOverheadBudgetPct = 2.0;
+
+/// True when this binary was linked against an nup_obs that actually
+/// writes (i.e. not -DNUP_OBS_DISABLE): a probe record must land.
+bool obs_compiled_in() {
+  obs::Journal probe(16);
+  probe.record(obs::JournalKind::kTileExecuted, 1);
+  return probe.recorded() == 1;
+}
+
+double frames_per_sec(bool journal_on) {
+  obs::Registry registry;
+  obs::Journal journal;
+  journal.set_enabled(journal_on);
+  runtime::EngineOptions options;
+  options.metrics = &registry;
+  options.journal = &journal;
+  runtime::FrameEngine engine(options);
+  const stencil::StencilProgram p = stencil::denoise_2d(kRows, kCols);
+
+  for (int f = 0; f < kWarmupFrames; ++f) {
+    engine.submit(p, static_cast<std::uint64_t>(f)).wait();
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<runtime::FrameHandle> handles;
+  for (int f = 0; f < kMeasuredFrames; ++f) {
+    handles.push_back(
+        engine.submit(p, static_cast<std::uint64_t>(kWarmupFrames + f)));
+  }
+  for (runtime::FrameHandle& handle : handles) {
+    const runtime::FrameResult& r = handle.wait();
+    if (!r.ok()) {
+      std::fprintf(stderr, "measured frame failed: %s\n", r.error.c_str());
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return kMeasuredFrames / seconds;
+}
+
+double journal_ns_per_event() {
+  obs::Journal journal;
+  const std::uint32_t name = journal.intern("bench");
+  constexpr int kEvents = 2'000'000;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kEvents; ++i) {
+    journal.record(obs::JournalKind::kTileExecuted, 1, 0, i, i, 1, name);
+  }
+  const double ns =
+      std::chrono::duration<double, std::nano>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  return ns / kEvents;
+}
+
+double counter_ns_per_add() {
+  obs::Registry registry;
+  obs::Counter& counter = registry.counter("bench.adds");
+  constexpr int kAdds = 2'000'000;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kAdds; ++i) counter.inc();
+  const double ns =
+      std::chrono::duration<double, std::nano>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  return ns / kAdds;
+}
+
+void print_artifact() {
+  const bool compiled = obs_compiled_in();
+  std::printf("DENOISE %lldx%lld, %d measured frames per configuration, "
+              "%u hardware threads, obs %s\n\n",
+              static_cast<long long>(kRows), static_cast<long long>(kCols),
+              kMeasuredFrames, std::thread::hardware_concurrency(),
+              compiled ? "compiled in" : "compiled out (NUP_OBS_DISABLE)");
+
+  const double off = frames_per_sec(/*journal_on=*/false);
+  const double on = frames_per_sec(/*journal_on=*/true);
+  const double overhead_pct = (off - on) / off * 100.0;
+  std::printf("%-14s %12s\n", "journal", "frames/s");
+  std::printf("%-14s %12.2f\n", "off", off);
+  std::printf("%-14s %12.2f   (%+.2f%% vs off)\n", "on", on, -overhead_pct);
+
+  const double rec_ns = journal_ns_per_event();
+  const double add_ns = counter_ns_per_add();
+  std::printf("\nJournal::record: %.1f ns/event (Counter::add: %.1f ns)\n",
+              rec_ns, add_ns);
+
+  // Noise floor: a short serving run easily jitters by a percent, so the
+  // claim only fails when the measured overhead clears twice the budget.
+  const bool claims_ok = overhead_pct <= 2 * kOverheadBudgetPct;
+  std::printf("\nacceptance: journal-on serving rate within %.0f%% of "
+              "journal-off: %s (measured %+.2f%%)\n",
+              kOverheadBudgetPct, claims_ok ? "ok" : "VIOLATED",
+              overhead_pct);
+
+  std::ostringstream json;
+  json << "{\"benchmark\": \"obs_overhead\", \"rows\": " << kRows
+       << ", \"cols\": " << kCols
+       << ", \"measured_frames\": " << kMeasuredFrames
+       << ", \"obs_compiled\": " << (compiled ? "true" : "false")
+       << ", \"frames_per_sec_journal_off\": " << off
+       << ", \"frames_per_sec_journal_on\": " << on
+       << ", \"overhead_pct\": " << overhead_pct
+       << ", \"journal_ns_per_event\": " << rec_ns
+       << ", \"counter_ns_per_add\": " << add_ns
+       << ", \"budget_pct\": " << kOverheadBudgetPct
+       << ", \"claims_ok\": " << (claims_ok ? "true" : "false") << "}";
+  nup::bench::write_json("BENCH_obs.json", json.str());
+}
+
+// ---- timed benchmarks --------------------------------------------------
+
+void BM_JournalRecord(benchmark::State& state) {
+  obs::Journal journal;
+  const std::uint32_t name = journal.intern("bench");
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    journal.record(obs::JournalKind::kTileExecuted, 1, 0, i, i, 1, name);
+    ++i;
+  }
+}
+BENCHMARK(BM_JournalRecord);
+
+void BM_JournalRecordDisabled(benchmark::State& state) {
+  obs::Journal journal;
+  journal.set_enabled(false);
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    journal.record(obs::JournalKind::kTileExecuted, 1, 0, i, i, 1, 0);
+    ++i;
+  }
+}
+BENCHMARK(BM_JournalRecordDisabled);
+
+void run_denoise_frame(benchmark::State& state, bool journal_on) {
+  obs::Registry registry;
+  obs::Journal journal;
+  journal.set_enabled(journal_on);
+  runtime::EngineOptions options;
+  options.metrics = &registry;
+  options.journal = &journal;
+  runtime::FrameEngine engine(options);
+  const stencil::StencilProgram p = stencil::denoise_2d(kRows, kCols);
+  engine.submit(p, 0).wait();  // compile outside the timed region
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.submit(p, seed++).wait().outputs);
+  }
+}
+
+void BM_DenoiseFrameJournalOff(benchmark::State& state) {
+  run_denoise_frame(state, false);
+}
+BENCHMARK(BM_DenoiseFrameJournalOff)->Unit(benchmark::kMillisecond);
+
+void BM_DenoiseFrameJournalOn(benchmark::State& state) {
+  run_denoise_frame(state, true);
+}
+BENCHMARK(BM_DenoiseFrameJournalOn)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  nup::bench::banner(
+      "Observability overhead: always-on flight recorder vs kill switch");
+  print_artifact();
+  return nup::bench::run(argc, argv);
+}

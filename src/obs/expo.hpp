@@ -1,0 +1,72 @@
+#ifndef NUP_OBS_EXPO_HPP
+#define NUP_OBS_EXPO_HPP
+
+/// Live metrics exposition: the OpenMetrics text renderer behind
+/// Registry::snapshot_openmetrics() and a dependency-free blocking TCP
+/// server (`stencilcc --metrics-port`) that serves the registry at
+/// `/metrics` (OpenMetrics) and `/metrics.json` (the JSON snapshot), plus
+/// a background sampler thread that periodically folds selected gauges
+/// into `<gauge>.sampled` histograms so rates and percentiles of
+/// instantaneous values (queue depth, frames in flight) survive scrape
+/// gaps.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace nup::obs {
+
+/// Renders a snapshot in OpenMetrics text exposition format. Dotted
+/// per-FIFO families (`fifo.high_water.<array>.<k>`, `fifo.depth.…`,
+/// `fifo.word_depth.…`, `fifo.high_water_words.…`,
+/// `filter.stall_cycles.<array>.<k>`) fold into one family with
+/// `{array=…,fifo=…}` labels; every other dotted name flattens with `_`.
+/// Ends with `# EOF`.
+std::string render_openmetrics(const MetricsSnapshot& snapshot);
+
+struct MetricsServerOptions {
+  /// TCP port to listen on (loopback only). 0 binds an ephemeral port;
+  /// read it back from MetricsServer::port().
+  int port = 0;
+  /// Registry to expose; null means Registry::global().
+  Registry* registry = nullptr;
+  /// Sampler period; 0 disables the sampler thread.
+  std::int64_t sample_period_ms = 0;
+  /// Gauges whose dotted name ends in one of these suffixes are folded
+  /// into `<gauge>.sampled` histograms each sampler tick.
+  std::vector<std::string> sampled_suffixes = {"queue_depth",
+                                               "frames_in_flight"};
+};
+
+/// Blocking HTTP/1.0-style server on a loopback socket; one accept-loop
+/// thread, one connection at a time (a scraper, not a web server).
+/// Construction binds and starts serving; stop() (or destruction) shuts
+/// the listener down and joins both threads.
+class MetricsServer {
+ public:
+  explicit MetricsServer(MetricsServerOptions options = {});
+  ~MetricsServer();
+
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  /// False when the listener failed to bind; error() says why.
+  bool ok() const;
+  const std::string& error() const;
+
+  /// The bound port (the requested one, or the ephemeral pick for 0).
+  int port() const;
+
+  void stop();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace nup::obs
+
+#endif  // NUP_OBS_EXPO_HPP

@@ -180,11 +180,18 @@ double Histogram::Snapshot::percentile(double p) const {
     const std::int64_t before = seen;
     seen += counts[b];
     if (static_cast<double>(seen) < rank) continue;
-    // Interpolate inside bucket b between its bounds, clamped to [min,max].
-    const double lo = b == 0 ? static_cast<double>(min)
-                             : static_cast<double>(bounds[b - 1]);
-    const double hi = b < bounds.size() ? static_cast<double>(bounds[b])
-                                        : static_cast<double>(max);
+    // Interpolate inside bucket b, with the span clamped to the observed
+    // [min, max]. The overflow (top) bucket in particular holds values in
+    // [max(last finite bound, min), max]: anchoring its low edge at the
+    // last finite bound would skew every percentile landing there toward
+    // the bound instead of the data (a bucket containing observations
+    // always satisfies lo <= hi after clamping).
+    const double lo_bound = b == 0 ? static_cast<double>(min)
+                                   : static_cast<double>(bounds[b - 1]);
+    const double hi_bound = b < bounds.size() ? static_cast<double>(bounds[b])
+                                              : static_cast<double>(max);
+    const double lo = std::max(lo_bound, static_cast<double>(min));
+    const double hi = std::min(hi_bound, static_cast<double>(max));
     const double fraction =
         counts[b] > 0
             ? (rank - static_cast<double>(before)) /

@@ -131,6 +131,14 @@ class Registry {
                        std::vector<std::int64_t> bounds = {});
 
   MetricsSnapshot snapshot() const;
+
+  /// snapshot() rendered in OpenMetrics text exposition format (the
+  /// Prometheus scrape format): one `# TYPE`/`# HELP` pair per family,
+  /// `_total` counters, cumulative histogram `_bucket`/`_sum`/`_count`
+  /// series, per-FIFO families folded into `{array=,fifo=}` labels, and a
+  /// terminating `# EOF`. Implemented in expo.cpp.
+  std::string snapshot_openmetrics() const;
+
   void reset();
 
   /// Process-wide registry used by the runtime and stencilcc.

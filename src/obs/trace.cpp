@@ -125,6 +125,63 @@ void Tracer::counter(std::string name, std::int64_t value) {
   record(std::move(e));
 }
 
+void Tracer::async_begin(std::string name, std::string cat, std::uint64_t id,
+                         std::string args_json) {
+  if (!enabled()) return;
+  Event e;
+  e.ph = 'b';
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.args = std::move(args_json);
+  e.ts_ns = now_ns();
+  e.id = id;
+  record(std::move(e));
+}
+
+void Tracer::async_end(std::string name, std::string cat, std::uint64_t id) {
+  if (!enabled()) return;
+  Event e;
+  e.ph = 'e';
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.ts_ns = now_ns();
+  e.id = id;
+  record(std::move(e));
+}
+
+void Tracer::flow_start(std::string name, std::string cat, std::uint64_t id) {
+  if (!enabled()) return;
+  Event e;
+  e.ph = 's';
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.ts_ns = now_ns();
+  e.id = id;
+  record(std::move(e));
+}
+
+void Tracer::flow_step(std::string name, std::string cat, std::uint64_t id) {
+  if (!enabled()) return;
+  Event e;
+  e.ph = 't';
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.ts_ns = now_ns();
+  e.id = id;
+  record(std::move(e));
+}
+
+void Tracer::flow_end(std::string name, std::string cat, std::uint64_t id) {
+  if (!enabled()) return;
+  Event e;
+  e.ph = 'f';
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.ts_ns = now_ns();
+  e.id = id;
+  record(std::move(e));
+}
+
 void Tracer::set_thread_name(std::string name) {
 #ifndef NUP_OBS_DISABLE
   ThreadBuffer& buffer = local_buffer();
@@ -170,6 +227,14 @@ std::string Tracer::to_chrome_json() const {
       if (e.ph == 'X') {
         out << ",\"dur\":";
         append_us(out, e.dur_ns);
+      }
+      if (e.ph == 'b' || e.ph == 'e' || e.ph == 's' || e.ph == 't' ||
+          e.ph == 'f') {
+        // Async/flow events pair up by id; the flow end binds to its
+        // enclosing slice ("bp":"e") so the arrow lands on the span that
+        // was open when it was recorded.
+        out << ",\"id\":\"" << e.id << '"';
+        if (e.ph == 'f') out << ",\"bp\":\"e\"";
       }
       if (e.ph == 'C') {
         out << ",\"args\":{\"value\":" << e.value << '}';

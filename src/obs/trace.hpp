@@ -48,6 +48,22 @@ class Tracer {
   /// stacked time series. No-op when disabled.
   void counter(std::string name, std::int64_t value);
 
+  /// Async events ('b'/'e'): one open-ended lane per id, drawn as a
+  /// nestable track in Perfetto. The begin and end may come from
+  /// different threads — the id ties them together. No-ops when disabled.
+  void async_begin(std::string name, std::string cat, std::uint64_t id,
+                   std::string args_json = "");
+  void async_end(std::string name, std::string cat, std::uint64_t id);
+
+  /// Flow events ('s'/'t'/'f'): arrows between slices across threads with
+  /// the same id. A step/end binds to the enclosing slice on its thread,
+  /// so emit them while a Span covering the moment is open. The end is
+  /// recorded with binding point "enclosing" ("bp":"e"). No-ops when
+  /// disabled.
+  void flow_start(std::string name, std::string cat, std::uint64_t id);
+  void flow_step(std::string name, std::string cat, std::uint64_t id);
+  void flow_end(std::string name, std::string cat, std::uint64_t id);
+
   /// Names the calling thread in the exported trace (thread_name
   /// metadata). Recorded even while disabled, so worker threads can
   /// register up front.
@@ -77,6 +93,7 @@ class Tracer {
     std::int64_t ts_ns = 0;
     std::int64_t dur_ns = 0;   ///< 'X' only
     std::int64_t value = 0;    ///< 'C' only
+    std::uint64_t id = 0;      ///< async/flow ('b','e','s','t','f') only
   };
   struct ThreadBuffer {
     mutable std::mutex mu;

@@ -42,6 +42,8 @@ struct FrameCtx {
   std::uint64_t seed = 0;
   FrameOptions frame_options;
   std::uint64_t frame_id = 0;  ///< tracker frame id (unique while armed)
+  std::uint64_t trace_id = 0;  ///< causal id threaded through every stage
+  bool own_events = true;      ///< pipeline owns the frame's trace lane
   std::chrono::steady_clock::time_point t0;
   std::vector<std::string> stage_names;
 
@@ -80,6 +82,8 @@ struct PipelineExecutor::Impl
   StageGraph graph;
   PipelineOptions options;
   obs::Registry* registry = nullptr;
+  obs::Journal* journal = nullptr;
+  std::uint32_t jname = 0;
 
   std::vector<std::unique_ptr<runtime::FrameEngine>> engines;  // per stage
   std::vector<std::shared_ptr<const runtime::TilePlan>> plans;
@@ -111,6 +115,7 @@ struct PipelineExecutor::Impl
   obs::Gauge* g_inflight = nullptr;
   obs::Gauge* g_inflight_max = nullptr;
   obs::Histogram* h_overlap = nullptr;
+  obs::Histogram* h_admission = nullptr;
 
   std::mutex mu;
   std::condition_variable window_cv;  ///< submitters wait for window space
@@ -128,6 +133,9 @@ struct PipelineExecutor::Impl
   Impl(StageGraph g, PipelineOptions opts)
       : graph(std::move(g)), options(std::move(opts)) {
     registry = options.metrics ? options.metrics : &obs::Registry::global();
+    journal = options.journal ? options.journal : &obs::Journal::global();
+    jname = journal->intern(
+        options.name.empty() ? "pipeline" : options.name);
     if (graph.stage_count() == 0) {
       throw Error("PipelineExecutor: empty stage graph");
     }
@@ -144,6 +152,7 @@ struct PipelineExecutor::Impl
     g_inflight = &registry->gauge(pfx + "frames_in_flight");
     g_inflight_max = &registry->gauge(pfx + "frames_in_flight_max");
     h_overlap = &registry->histogram(pfx + "frame_interleave_overlap_us");
+    h_admission = &registry->histogram(pfx + "admission_wait_us");
 
     std::size_t threads = options.threads_per_stage;
     if (threads == 0) {
@@ -161,6 +170,7 @@ struct PipelineExecutor::Impl
       eo.build = options.build;
       eo.cache_capacity = options.cache_capacity;
       eo.metrics = registry;
+      eo.journal = journal;
       eo.sim = options.sim;
       engines.push_back(std::make_unique<runtime::FrameEngine>(eo));
       plans.push_back(
@@ -187,6 +197,7 @@ struct PipelineExecutor::Impl
       auto pool = std::make_shared<SlabPool>();
       pool->bind_metrics(&registry->counter(epfx + "slab_allocated"),
                          &registry->counter(epfx + "slab_recycled"));
+      pool->bind_journal(journal, journal->intern(edge_labels.back()));
       pools.push_back(std::move(pool));
     }
     tracker = std::make_unique<DependencyTracker>(
@@ -212,6 +223,9 @@ struct PipelineExecutor::Impl
       h_ready[e]->observe(us);
     }
     c_released->inc();
+    journal->record(obs::JournalKind::kDepResolved, c.trace_id,
+                    static_cast<std::int32_t>(stage),
+                    static_cast<std::int64_t>(tile), us, 0, jname);
     obs::Tracer& tracer = obs::Tracer::global();
     if (tracer.enabled()) {
       tracer.instant("pipeline.release", "pipeline",
@@ -380,6 +394,11 @@ struct PipelineExecutor::Impl
     } else {
       c_completed->inc();
     }
+    const obs::JournalKind kind =
+        !r.error.empty() ? obs::JournalKind::kFrameFailed
+        : r.cancelled    ? obs::JournalKind::kFrameCancelled
+                         : obs::JournalKind::kFrameCompleted;
+    journal->record(kind, c.trace_id, -1, -1, r.total_us, 0, jname);
     obs::Tracer& tracer = obs::Tracer::global();
     if (tracer.enabled()) {
       tracer.instant(!r.error.empty()
@@ -387,6 +406,18 @@ struct PipelineExecutor::Impl
                          : r.cancelled ? "pipeline.frame.cancelled"
                                        : "pipeline.frame.completed",
                      "pipeline");
+      if (c.own_events) {
+        tracer.flow_end("frame", "pipeline", c.trace_id);
+        tracer.async_end("pipeline.frame", "pipeline", c.trace_id);
+      }
+    }
+    if (r.cancelled && r.error.empty() && c.own_events) {
+      obs::PostmortemInfo pm;
+      pm.reason = "frame_cancelled";
+      pm.detail = "pipeline frame " + std::to_string(c.trace_id) +
+                  " (seed " + std::to_string(c.seed) + ") cancelled";
+      pm.frame = c.trace_id;
+      journal->dump_postmortem(pm, registry);
     }
     c.result = std::move(r);
     c.assembled = true;
@@ -470,6 +501,10 @@ PipelineHandle PipelineExecutor::submit(std::uint64_t seed,
   ctx->impl = im.weak_from_this();
   ctx->seed = seed;
   ctx->frame_options = std::move(frame);
+  ctx->trace_id = ctx->frame_options.frame_id != 0
+                      ? ctx->frame_options.frame_id
+                      : obs::next_frame_id();
+  ctx->own_events = ctx->frame_options.own_frame_events;
 
   const std::size_t stages = im.graph.stage_count();
   ctx->buffers.reserve(im.graph.edges().size());
@@ -504,6 +539,7 @@ PipelineHandle PipelineExecutor::submit(std::uint64_t seed,
   }
   ctx->tiles_left.store(total_tiles, std::memory_order_relaxed);
 
+  const auto admit_t0 = std::chrono::steady_clock::now();
   {
     // Admission window: wait until fewer than max_frames_in_flight frames
     // are unresolved (frame_done signals). Frame ids are assigned at
@@ -531,8 +567,18 @@ PipelineHandle PipelineExecutor::submit(std::uint64_t seed,
     });
     im.inflight.push_back(ctx);
   }
+  const std::int64_t admit_us = elapsed_us(admit_t0);
+  im.h_admission->observe(admit_us);
   im.c_submitted->inc();
   ctx->t0 = std::chrono::steady_clock::now();
+  im.journal->record(obs::JournalKind::kFrameAdmitted, ctx->trace_id, -1, -1,
+                     admit_us, total_tiles, im.jname);
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (ctx->own_events && tracer.enabled()) {
+    tracer.async_begin("pipeline.frame", "pipeline", ctx->trace_id,
+                       "{\"seed\":" + std::to_string(seed) + "}");
+    tracer.flow_start("frame", "pipeline", ctx->trace_id);
+  }
 
   // Register every stage frame (deferred: nothing enqueues) before any
   // tile is released, so a fast producer can never resolve into a stage
@@ -544,6 +590,9 @@ PipelineHandle PipelineExecutor::submit(std::uint64_t seed,
   for (std::size_t s = 0; s < stages; ++s) {
     runtime::SubmitOptions so;
     so.deferred = true;
+    so.frame_id = ctx->trace_id;
+    so.stage = static_cast<std::int32_t>(s);
+    so.own_frame_events = false;
     so.designs = im.stage_designs[s];
     so.feed = [imp, weak, s](const runtime::Tile& tile, std::size_t tile_idx,
                              std::size_t array_idx, std::size_t)

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "arch/builder.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "pipeline/stage_buffer.hpp"
 #include "pipeline/stage_graph.hpp"
@@ -40,6 +41,9 @@ struct PipelineOptions {
   arch::BuildOptions build;      ///< microarchitecture generation options
   std::size_t cache_capacity = 256;  ///< per-stage design cache capacity
   obs::Registry* metrics = nullptr;  ///< nullptr = obs::Registry::global()
+  /// Flight recorder the pipeline (and its stage engines, edge slab
+  /// pools) journals into; nullptr = obs::Journal::global().
+  obs::Journal* journal = nullptr;
   sim::SimOptions sim;
 
   /// Frame-barrier baseline: every consumer tile waits for the producer
@@ -71,6 +75,17 @@ struct FrameOptions {
   std::function<std::shared_ptr<sim::ExternalFeed>(
       std::size_t stage, std::size_t input, const runtime::Tile& tile)>
       external_feed;
+
+  /// Causal trace identity of the frame; 0 allocates a fresh process-wide
+  /// id (obs::next_frame_id). The temporal runner passes one id through
+  /// every pass of an iterative frame so the whole chain renders as a
+  /// single flow lane.
+  std::uint64_t frame_id = 0;
+
+  /// When true (default) the pipeline owns the frame's trace lane
+  /// (async begin/end, flow start/end) and the cancellation post-mortem.
+  /// The temporal runner sets false and owns both at frame granularity.
+  bool own_frame_events = true;
 };
 
 /// Milestones of one stage within a pipelined frame, relative to submit.

@@ -8,6 +8,8 @@ std::vector<double> SlabPool::take(std::size_t n) {
   std::vector<double> out;
   bool fresh = true;
   std::function<void(std::size_t)> hook;
+  obs::Journal* journal = nullptr;
+  std::uint32_t jname = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     // Prefer the smallest free vector that still fits: large slabs stay
@@ -33,23 +35,42 @@ std::vector<double> SlabPool::take(std::size_t n) {
     if (!fresh && m_reused_) m_reused_->inc();
     ++stats_.outstanding;
     if (fresh) hook = alloc_hook_;
+    journal = journal_;
+    jname = jname_;
   }
   out.resize(n);  // within capacity on the reuse path: no allocation
+  if (journal) {
+    journal->record(obs::JournalKind::kSlabLeased, 0, -1, -1,
+                    static_cast<std::int64_t>(n), fresh ? 1 : 0, jname);
+  }
   if (hook) hook(n);
   return out;
 }
 
 void SlabPool::give(std::vector<double>&& v) {
   if (v.capacity() == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  --stats_.outstanding;
-  free_.push_back(std::move(v));
+  const std::size_t n = v.size();
+  obs::Journal* journal = nullptr;
+  std::uint32_t jname = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --stats_.outstanding;
+    free_.push_back(std::move(v));
+    journal = journal_;
+    jname = jname_;
+  }
+  if (journal) {
+    journal->record(obs::JournalKind::kSlabRecycled, 0, -1, -1,
+                    static_cast<std::int64_t>(n), 0, jname);
+  }
 }
 
 std::shared_ptr<std::vector<double>> SlabPool::lease(std::size_t n) {
   std::shared_ptr<std::vector<double>> out;
   bool fresh = true;
   std::function<void(std::size_t)> hook;
+  obs::Journal* journal = nullptr;
+  std::uint32_t jname = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     // A leased buffer is recyclable once the pool holds the only
@@ -79,8 +100,14 @@ std::shared_ptr<std::vector<double>> SlabPool::lease(std::size_t n) {
     }
     if (!fresh && m_reused_) m_reused_->inc();
     if (fresh) hook = alloc_hook_;
+    journal = journal_;
+    jname = jname_;
   }
   out->assign(n, 0.0);  // within capacity on the reuse path
+  if (journal) {
+    journal->record(obs::JournalKind::kSlabLeased, 0, -1, -1,
+                    static_cast<std::int64_t>(n), fresh ? 1 : 0, jname);
+  }
   if (hook) hook(n);
   return out;
 }
@@ -103,6 +130,12 @@ void SlabPool::bind_metrics(obs::Counter* allocated, obs::Counter* reused) {
   std::lock_guard<std::mutex> lock(mu_);
   m_allocated_ = allocated;
   m_reused_ = reused;
+}
+
+void SlabPool::bind_journal(obs::Journal* journal, std::uint32_t name_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  journal_ = journal;
+  jname_ = name_id;
 }
 
 }  // namespace nup::pipeline

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 
 namespace nup::pipeline {
@@ -67,6 +68,11 @@ class SlabPool {
   /// Either pointer may be null; bind before concurrent use.
   void bind_metrics(obs::Counter* allocated, obs::Counter* reused);
 
+  /// Journals every acquisition (kSlabLeased, a = elements, b = 1 when it
+  /// hit the heap) and recycling (kSlabRecycled) under `name_id` (the
+  /// executor interns its edge label). Bind before concurrent use.
+  void bind_journal(obs::Journal* journal, std::uint32_t name_id);
+
  private:
   mutable std::mutex mu_;
   std::vector<std::vector<double>> free_;                    // take()/give()
@@ -75,6 +81,8 @@ class SlabPool {
   std::function<void(std::size_t)> alloc_hook_;
   obs::Counter* m_allocated_ = nullptr;
   obs::Counter* m_reused_ = nullptr;
+  obs::Journal* journal_ = nullptr;
+  std::uint32_t jname_ = 0;
 };
 
 }  // namespace nup::pipeline

@@ -26,6 +26,7 @@ struct FrameState {
   std::shared_ptr<const TilePlan> plan;
   std::uint64_t seed = 0;
   SubmitOptions options;  ///< per-frame hooks (empty for plain submits)
+  std::chrono::steady_clock::time_point submitted_at;
 
   std::atomic<bool> cancelled{false};
   std::atomic<std::int64_t> remaining{0};
@@ -40,12 +41,19 @@ struct FrameState {
   std::mutex error_mu;
   std::string error;  // first failure wins
 
-  void fail(const std::string& what) {
+  /// Returns true for the first failure only (its caller owns the
+  /// post-mortem dump; later tile failures of the same frame are noise).
+  bool fail(const std::string& what) {
+    bool first = false;
     {
       std::lock_guard<std::mutex> lock(error_mu);
-      if (error.empty()) error = what;
+      if (error.empty()) {
+        error = what;
+        first = true;
+      }
     }
     cancelled.store(true, std::memory_order_relaxed);  // skip the rest
+    return first;
   }
 };
 
@@ -139,6 +147,8 @@ struct FrameEngine::Impl {
   std::string prefix;  ///< "engine." or "engine.<name>." (metric namespace)
   std::size_t thread_count = 1;
   obs::Registry* registry = nullptr;
+  obs::Journal* journal = nullptr;
+  std::uint32_t jname = 0;  ///< this engine's interned journal name
   DesignCache cache;
 
   mutable std::mutex qmu;
@@ -175,6 +185,7 @@ struct FrameEngine::Impl {
   obs::Gauge* m_queue_depth_max = nullptr;
   obs::Histogram* m_backpressure_us = nullptr;
   obs::Histogram* m_tile_latency_us = nullptr;
+  obs::Histogram* m_frame_latency_us = nullptr;
   obs::Counter* m_tiles_executed = nullptr;
   obs::Counter* m_tiles_skipped = nullptr;
   obs::Counter* m_frames_submitted = nullptr;
@@ -188,11 +199,15 @@ struct FrameEngine::Impl {
                                     : "engine." + options.name + "."),
         registry(options.metrics ? options.metrics
                                  : &obs::Registry::global()),
+        journal(options.journal ? options.journal
+                                : &obs::Journal::global()),
         cache(options.cache_capacity, registry, options.name) {
+    jname = journal->intern(options.name.empty() ? "engine" : options.name);
     m_queue_depth = &registry->gauge(prefix + "queue_depth");
     m_queue_depth_max = &registry->gauge(prefix + "queue_depth_max");
     m_backpressure_us = &registry->histogram(prefix + "backpressure_wait_us");
     m_tile_latency_us = &registry->histogram(prefix + "tile_latency_us");
+    m_frame_latency_us = &registry->histogram(prefix + "frame_latency_us");
     m_tiles_executed = &registry->counter(prefix + "tiles_executed");
     m_tiles_skipped = &registry->counter(prefix + "tiles_skipped");
     m_frames_submitted = &registry->counter(prefix + "frames_submitted");
@@ -242,6 +257,15 @@ struct FrameEngine::Impl {
     } else {
       m_frames_completed->inc();
     }
+    const std::int64_t frame_us = elapsed_us(frame.submitted_at);
+    m_frame_latency_us->observe(frame_us);
+    journal->record(!frame.result.error.empty()
+                        ? obs::JournalKind::kFrameFailed
+                    : frame.result.cancelled
+                        ? obs::JournalKind::kFrameCancelled
+                        : obs::JournalKind::kFrameCompleted,
+                    frame.options.frame_id, frame.options.stage, -1,
+                    frame_us, 0, jname);
     obs::Tracer& tracer = obs::Tracer::global();
     if (tracer.enabled()) {
       tracer.instant(
@@ -250,6 +274,24 @@ struct FrameEngine::Impl {
               : frame.result.cancelled ? "frame.cancelled"
                                        : "frame.completed",
           "engine");
+      if (frame.options.own_frame_events) {
+        tracer.flow_end("frame", "frame", frame.options.frame_id);
+        tracer.async_end("frame", "frame", frame.options.frame_id);
+      }
+    }
+    if (frame.result.cancelled && frame.options.own_frame_events) {
+      // Failure post-mortems are dumped at the failing tile (where the
+      // design and FIFO detail live); cancellation has no tile, so the
+      // frame's owner dumps it here.
+      obs::PostmortemInfo pm;
+      pm.reason = "frame_cancelled";
+      pm.detail = "frame " + std::to_string(frame.options.frame_id) +
+                  " cancelled after " +
+                  std::to_string(frame.result.tiles_executed) + " of " +
+                  std::to_string(frame.result.tiles_total) + " tiles";
+      pm.frame = frame.options.frame_id;
+      pm.stage = frame.options.stage;
+      journal->dump_postmortem(pm, registry);
     }
     {
       std::lock_guard<std::mutex> lock(frame.mu);
@@ -277,6 +319,9 @@ struct FrameEngine::Impl {
         ++counts.tiles_skipped;
       }
       m_tiles_skipped->inc();
+      journal->record(obs::JournalKind::kTileSkipped,
+                      frame.options.frame_id, frame.options.stage,
+                      static_cast<std::int64_t>(tile_idx), 0, 0, jname);
       // Skipped tiles leave no open span behind: a zero-duration instant
       // marks them so a trace of a cancelled frame still accounts for
       // every tile.
@@ -341,31 +386,95 @@ struct FrameEngine::Impl {
             outputs[ranks[k++]] = value;
           });
       const sim::SimResult r = sim.run();
+      // Emitted while the tile span is open, so the frame's flow arrow
+      // binds to this tile slice in Perfetto.
+      if (tracer.enabled()) {
+        tracer.flow_step("frame", "frame", frame.options.frame_id);
+      }
+      obs::FifoDetail violation;
       const int violations =
-          publish_sim_telemetry(*registry, entry->design, r);
+          publish_sim_telemetry(*registry, entry->design, r, &violation);
+      // The first failing tile owns the frame's post-mortem: it records
+      // the verdict event (so the bundle's log names frame, stage, tile
+      // and FIFO) and dumps the bundle with the offending design's
+      // describe() while both are still in hand.
       if (r.deadlocked) {
         ok = false;
-        frame.fail(tile.program->name() + " deadlocked: " +
-                   r.deadlock_detail);
+        const std::string what = tile.program->name() + " deadlocked: " +
+                                 r.deadlock_detail;
+        if (frame.fail(what)) {
+          journal->record(obs::JournalKind::kDeadlock,
+                          frame.options.frame_id, frame.options.stage,
+                          static_cast<std::int64_t>(tile_idx), r.cycles, 0,
+                          jname);
+          obs::PostmortemInfo pm;
+          pm.reason = "deadlock";
+          pm.detail = what;
+          pm.frame = frame.options.frame_id;
+          pm.stage = frame.options.stage;
+          pm.tile = static_cast<std::int64_t>(tile_idx);
+          pm.design = arch::describe(entry->design);
+          journal->dump_postmortem(pm, registry);
+        }
       } else if (r.kernel_fires != tile.outputs()) {
         ok = false;
-        frame.fail(tile.program->name() + " produced " +
-                   std::to_string(r.kernel_fires) + " of " +
-                   std::to_string(tile.outputs()) + " outputs");
+        const std::string what =
+            tile.program->name() + " produced " +
+            std::to_string(r.kernel_fires) + " of " +
+            std::to_string(tile.outputs()) + " outputs";
+        if (frame.fail(what)) {
+          obs::PostmortemInfo pm;
+          pm.reason = "frame_failed";
+          pm.detail = what;
+          pm.frame = frame.options.frame_id;
+          pm.stage = frame.options.stage;
+          pm.tile = static_cast<std::int64_t>(tile_idx);
+          pm.design = arch::describe(entry->design);
+          journal->dump_postmortem(pm, registry);
+        }
       } else if (violations > 0) {
         ok = false;
-        frame.fail(tile.program->name() + ": " +
-                   std::to_string(violations) +
-                   " FIFO(s) exceeded their designed depth");
+        const std::string what = tile.program->name() + ": " +
+                                 std::to_string(violations) +
+                                 " FIFO(s) exceeded their designed depth";
+        if (frame.fail(what)) {
+          journal->record(obs::JournalKind::kDepthViolation,
+                          frame.options.frame_id, frame.options.stage,
+                          static_cast<std::int64_t>(tile_idx),
+                          violation.high_water, violation.depth, jname);
+          obs::PostmortemInfo pm;
+          pm.reason = "depth_violation";
+          pm.detail = what;
+          pm.frame = frame.options.frame_id;
+          pm.stage = frame.options.stage;
+          pm.tile = static_cast<std::int64_t>(tile_idx);
+          pm.design = arch::describe(entry->design);
+          pm.has_fifo = true;
+          pm.fifo = violation;
+          journal->dump_postmortem(pm, registry);
+        }
       }
     } catch (const std::exception& e) {
       ok = false;
-      frame.fail(tile.program->name() + ": " + e.what());
+      const std::string what = tile.program->name() + ": " + e.what();
+      if (frame.fail(what)) {
+        obs::PostmortemInfo pm;
+        pm.reason = "frame_failed";
+        pm.detail = what;
+        pm.frame = frame.options.frame_id;
+        pm.stage = frame.options.stage;
+        pm.tile = static_cast<std::int64_t>(tile_idx);
+        journal->dump_postmortem(pm, registry);
+      }
     }
     const std::int64_t us = elapsed_us(t0);
     m_tile_latency_us->observe(us);
     worker_busy_us.add(us);
     worker_tiles.inc();
+    journal->record(obs::JournalKind::kTileExecuted, frame.options.frame_id,
+                    frame.options.stage,
+                    static_cast<std::int64_t>(tile_idx), us,
+                    ok ? 1 : 0, jname);
     if (frame.options.on_tile) {
       frame.options.on_tile(tile_idx,
                             ok ? frame.result.outputs.data() : nullptr, ok);
@@ -470,6 +579,10 @@ FrameHandle FrameEngine::submit(std::shared_ptr<const TilePlan> plan,
   frame->plan = plan;
   frame->seed = seed;
   frame->options = std::move(options);
+  if (frame->options.frame_id == 0) {
+    frame->options.frame_id = obs::next_frame_id();
+  }
+  frame->submitted_at = std::chrono::steady_clock::now();
   frame->result.seed = seed;
   frame->result.tiles_total =
       static_cast<std::int64_t>(plan->tiles.size());
@@ -482,6 +595,16 @@ FrameHandle FrameEngine::submit(std::shared_ptr<const TilePlan> plan,
     ++im.counts.frames_submitted;
   }
   im.m_frames_submitted->inc();
+  im.journal->record(obs::JournalKind::kFrameAdmitted,
+                     frame->options.frame_id, frame->options.stage, -1, 0,
+                     static_cast<std::int64_t>(plan->tiles.size()),
+                     im.jname);
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (frame->options.own_frame_events && tracer.enabled()) {
+    tracer.async_begin("frame", "frame", frame->options.frame_id,
+                       "{\"seed\":" + std::to_string(seed) + "}");
+    tracer.flow_start("frame", "frame", frame->options.frame_id);
+  }
   if (frame->options.deferred) {
     // The caller releases tiles itself (release_tile) as dependencies
     // resolve; nothing is enqueued here.
@@ -569,6 +692,9 @@ void FrameEngine::release_tile(const FrameHandle& frame,
     ++im.counts.tiles_skipped;
   }
   im.m_tiles_skipped->inc();
+  im.journal->record(obs::JournalKind::kTileSkipped,
+                     state.options.frame_id, state.options.stage,
+                     static_cast<std::int64_t>(tile_idx), 0, 0, im.jname);
   if (state.options.on_tile) state.options.on_tile(tile_idx, nullptr, false);
   im.finish_tiles(state, 1);
 }
@@ -591,6 +717,9 @@ void FrameEngine::skip_tile(const FrameHandle& frame,
     ++im.counts.tiles_skipped;
   }
   im.m_tiles_skipped->inc();
+  im.journal->record(obs::JournalKind::kTileSkipped,
+                     state.options.frame_id, state.options.stage,
+                     static_cast<std::int64_t>(tile_idx), 0, 0, im.jname);
   if (state.options.on_tile) state.options.on_tile(tile_idx, nullptr, false);
   im.finish_tiles(state, 1);
 }

@@ -9,6 +9,7 @@
 #include <functional>
 
 #include "arch/builder.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "poly/int_vec.hpp"
 #include "runtime/design_cache.hpp"
@@ -53,6 +54,11 @@ struct EngineOptions {
   /// obs::Registry::global().
   obs::Registry* metrics = nullptr;
 
+  /// Flight recorder receiving frame/tile lifecycle events and post-mortem
+  /// dumps (see docs/OBSERVABILITY.md); nullptr selects
+  /// obs::Journal::global().
+  obs::Journal* journal = nullptr;
+
   /// Base simulator options for tile execution. The engine always runs the
   /// compiled fast backend, overrides the seed per frame and disables
   /// per-tile output recording (outputs are stitched into the frame).
@@ -96,6 +102,22 @@ struct SubmitOptions {
   /// key at all. Null (or short) entries fall back to the cache.
   std::shared_ptr<const std::vector<std::shared_ptr<const CachedDesign>>>
       designs;
+
+  /// Causal identity of the frame across the whole pipeline: journal
+  /// events and Perfetto flow events carry it, so one frame's admission,
+  /// per-stage tiles and retirement stitch into a single lane. 0 (the
+  /// default) allocates a fresh process-wide id (obs::next_frame_id).
+  std::uint64_t frame_id = 0;
+
+  /// Pipeline stage index recorded with the frame's journal events; -1
+  /// outside a pipeline.
+  std::int32_t stage = -1;
+
+  /// When false this frame is one stage of a larger pipelined frame: the
+  /// owner (pipeline executor / temporal runner) emits the frame-level
+  /// async lane, flow start/end, and post-mortem on cancellation; the
+  /// engine then only records per-stage lifecycle and tile events.
+  bool own_frame_events = true;
 };
 
 /// The assembled result of one frame request.

@@ -6,8 +6,21 @@ namespace nup::runtime {
 
 int publish_sim_telemetry(obs::Registry& registry,
                           const arch::AcceleratorDesign& design,
-                          const sim::SimResult& result) {
+                          const sim::SimResult& result,
+                          obs::FifoDetail* first_violation) {
   int violations = 0;
+  const auto note_violation = [&](const std::string& array, std::size_t k,
+                                  std::int64_t depth, std::int64_t high,
+                                  bool word_level) {
+    ++violations;
+    if (first_violation != nullptr && violations == 1) {
+      first_violation->array = array;
+      first_violation->fifo = k;
+      first_violation->depth = depth;
+      first_violation->high_water = high;
+      first_violation->word_level = word_level;
+    }
+  };
   for (std::size_t s = 0; s < design.systems.size(); ++s) {
     const arch::MemorySystem& ms = design.systems[s];
     const std::string array = ms.array;
@@ -22,7 +35,9 @@ int publish_sim_telemetry(obs::Registry& registry,
       const std::string suffix = array + "." + std::to_string(k);
       registry.gauge("fifo.high_water." + suffix).update_max(high_water);
       registry.gauge("fifo.depth." + suffix).update_max(depth);
-      if (high_water > depth) ++violations;
+      if (high_water > depth) {
+        note_violation(array, k, depth, high_water, /*word_level=*/false);
+      }
       if (design.datapath_width > 1) {
         // Word-level view of the wide datapath: occupancy in W-element
         // words must stay within the Eq. 2 / W rescaled bound.
@@ -32,7 +47,10 @@ int publish_sim_telemetry(obs::Registry& registry,
         registry.gauge("fifo.word_depth." + suffix).update_max(word_depth);
         registry.gauge("fifo.high_water_words." + suffix)
             .update_max(high_water_words);
-        if (high_water_words > word_depth) ++violations;
+        if (high_water_words > word_depth) {
+          note_violation(array, k, word_depth, high_water_words,
+                         /*word_level=*/true);
+        }
       }
     }
     if (s < result.filter_stall_cycles.size()) {

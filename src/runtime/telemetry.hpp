@@ -1,6 +1,7 @@
 #pragma once
 
 #include "arch/design.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
@@ -31,8 +32,14 @@ namespace nup::runtime {
 /// max-aggregated gauges preserve it across heterogeneous tile designs.
 /// Returns the number of depth violations in this run (0 in a correct
 /// build; the frame engine also surfaces it through the counter above).
+///
+/// When `first_violation` is non-null and the run violated a bound, it is
+/// filled with the first offending FIFO (array, index, designed depth vs
+/// observed high-water, element- or word-level) so the frame engine can
+/// name it in the post-mortem bundle.
 int publish_sim_telemetry(obs::Registry& registry,
                           const arch::AcceleratorDesign& design,
-                          const sim::SimResult& result);
+                          const sim::SimResult& result,
+                          obs::FifoDetail* first_violation = nullptr);
 
 }  // namespace nup::runtime

@@ -6,6 +6,7 @@
 #include <limits>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "pipeline/stage_buffer.hpp"
 #include "temporal/golden.hpp"
 
@@ -45,6 +46,7 @@ std::int64_t residual_micro(double residual) {
 struct TemporalRunner::InFlight {
   std::size_t idx = 0;   ///< index into the seeds/outcomes vectors
   std::size_t pass = 0;
+  std::uint64_t trace_id = 0;  ///< one causal id across all passes
   pipeline::PipelineHandle handle;
   /// Previous pass output restricted to the target domain, kept only
   /// while the convergence monitor is on.
@@ -70,6 +72,9 @@ TemporalRunner::TemporalRunner(const stencil::StencilProgram& program,
   c_converged_ = &reg.counter(metric_prefix_ + "converged_frames");
   c_saved_ = &reg.counter(metric_prefix_ + "generations_saved");
   h_residual_ = &reg.histogram(metric_prefix_ + "pass_residual");
+  journal_ = options_.pipeline.journal ? options_.pipeline.journal
+                                       : &obs::Journal::global();
+  jname_ = journal_->intern("temporal." + effective);
 
   for (std::size_t k = 0; k < schedule_.shapes.size(); ++k) {
     pipeline::PipelineOptions po = options_.pipeline;
@@ -97,12 +102,22 @@ void TemporalRunner::shutdown() {
 }
 
 pipeline::PipelineHandle TemporalRunner::submit_pass(
-    std::uint64_t seed, std::size_t pass,
+    std::uint64_t seed, std::size_t pass, std::uint64_t trace_id,
     const std::shared_ptr<const std::vector<double>>& prev,
     const poly::IntVec& prev_lo, const poly::IntVec& prev_hi) {
   pipeline::PipelineExecutor& executor =
       *executors_[schedule_.pass_shape[pass]];
-  if (pass == 0) return executor.submit(seed);
+  const PassShape& shape = schedule_.shapes[schedule_.pass_shape[pass]];
+  journal_->record(obs::JournalKind::kPassStarted, trace_id, -1, -1,
+                   static_cast<std::int64_t>(pass),
+                   static_cast<std::int64_t>(shape.replicas), jname_);
+  pipeline::FrameOptions frame;
+  // One causal identity across all passes of the frame: the runner owns
+  // the trace lane (async begin/end, flow start/end); each pass's stage
+  // tiles bind to it through flow steps.
+  frame.frame_id = trace_id;
+  frame.own_frame_events = false;
+  if (pass == 0) return executor.submit(seed, std::move(frame));
 
   // Chain: the pass's first replica streams the previous pass's sink
   // output instead of synthetic DRAM. A value policy wraps the slice so
@@ -115,7 +130,6 @@ pipeline::PipelineHandle TemporalRunner::submit_pass(
   slice.hi = prev_hi;
   const stencil::BoundaryPolicy boundary = schedule_.config.boundary;
   const double constant = schedule_.config.constant_value;
-  pipeline::FrameOptions frame;
   frame.external_feed = [slice, boundary, constant](
                             std::size_t stage, std::size_t input,
                             const runtime::Tile&)
@@ -166,14 +180,37 @@ std::vector<FrameOutcome> TemporalRunner::run_frames(
 
   std::deque<InFlight> in_flight;
   std::size_t next_frame = 0;
+  obs::Tracer& tracer = obs::Tracer::global();
   const auto admit = [&] {
     if (next_frame >= seeds.size()) return;
     InFlight f;
     f.idx = next_frame;
     f.pass = 0;
-    f.handle = submit_pass(seeds[next_frame], 0, nullptr, {}, {});
+    f.trace_id = obs::next_frame_id();
+    journal_->record(obs::JournalKind::kFrameAdmitted, f.trace_id, -1, -1,
+                     0, static_cast<std::int64_t>(num_passes), jname_);
+    if (tracer.enabled()) {
+      tracer.async_begin("temporal.frame", "temporal", f.trace_id,
+                         "{\"seed\":" + std::to_string(seeds[next_frame]) +
+                             ",\"passes\":" + std::to_string(num_passes) +
+                             "}");
+      tracer.flow_start("frame", "temporal", f.trace_id);
+    }
+    f.handle = submit_pass(seeds[next_frame], 0, f.trace_id, nullptr, {}, {});
     in_flight.push_back(std::move(f));
     ++next_frame;
+  };
+  // Closes the frame's trace lane and journals its terminal event.
+  const auto finish_frame = [&](const InFlight& f, bool failed,
+                                std::int64_t generations) {
+    journal_->record(failed ? obs::JournalKind::kFrameFailed
+                            : obs::JournalKind::kFrameCompleted,
+                     f.trace_id, -1, -1, generations,
+                     static_cast<std::int64_t>(f.pass), jname_);
+    if (tracer.enabled()) {
+      tracer.flow_end("frame", "temporal", f.trace_id);
+      tracer.async_end("temporal.frame", "temporal", f.trace_id);
+    }
   };
   while (in_flight.size() < window && next_frame < seeds.size()) admit();
 
@@ -186,6 +223,7 @@ std::vector<FrameOutcome> TemporalRunner::run_frames(
       outcome.error = "pass " + std::to_string(f.pass) + ": " +
                       (result.cancelled ? "cancelled" : result.error);
       outcome.passes_completed = static_cast<std::int64_t>(f.pass);
+      finish_frame(f, /*failed=*/true, outcome.generations_completed);
       admit();
       continue;
     }
@@ -225,6 +263,7 @@ std::vector<FrameOutcome> TemporalRunner::run_frames(
         c_saved_->add(schedule_.config.timesteps -
                       outcome.generations_completed);
       }
+      finish_frame(f, /*failed=*/false, outcome.generations_completed);
       admit();
       continue;
     }
@@ -232,13 +271,14 @@ std::vector<FrameOutcome> TemporalRunner::run_frames(
     InFlight next;
     next.idx = f.idx;
     next.pass = f.pass + 1;
+    next.trace_id = f.trace_id;
     next.last_residual = f.last_residual;
     if (monitor) {
       next.prev_target =
           std::make_shared<const std::vector<double>>(std::move(restricted));
     }
     next.handle =
-        submit_pass(outcome.seed, next.pass,
+        submit_pass(outcome.seed, next.pass, next.trace_id,
                     std::make_shared<const std::vector<double>>(out),
                     out_lo, out_hi);
     in_flight.push_back(std::move(next));

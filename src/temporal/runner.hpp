@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "pipeline/executor.hpp"
 #include "stencil/program.hpp"
@@ -103,7 +104,7 @@ class TemporalRunner {
   struct InFlight;
 
   pipeline::PipelineHandle submit_pass(
-      std::uint64_t seed, std::size_t pass,
+      std::uint64_t seed, std::size_t pass, std::uint64_t trace_id,
       const std::shared_ptr<const std::vector<double>>& prev,
       const poly::IntVec& prev_lo, const poly::IntVec& prev_hi);
 
@@ -115,6 +116,8 @@ class TemporalRunner {
   TemporalSchedule schedule_;
   RunnerOptions options_;
   std::string metric_prefix_;
+  obs::Journal* journal_ = nullptr;
+  std::uint32_t jname_ = 0;
   std::vector<std::unique_ptr<pipeline::PipelineExecutor>> executors_;
   bool shut_down_ = false;
 

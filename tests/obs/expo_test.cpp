@@ -1,0 +1,233 @@
+// Live metrics exposition: the OpenMetrics renderer (structure, labeled
+// family folding, escaping, and a checked-in golden fixture), the loopback
+// HTTP server behind `stencilcc --metrics-port`, and the background gauge
+// sampler.
+
+#include "obs/expo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace nup::obs {
+namespace {
+
+// A deterministic registry exercising every rendering path: plain and
+// dotted counters, a labeled per-FIFO family (element- and word-level),
+// stall counters, a histogram, and a label that needs escaping.
+Registry& golden_registry(Registry& registry) {
+  registry.counter("cache.hits").add(12);
+  registry.counter("engine.frames_completed").add(3);
+  registry.gauge("engine.queue_depth").set(4);
+  registry.gauge("fifo.high_water.A.0").update_max(127);
+  registry.gauge("fifo.depth.A.0").update_max(127);
+  registry.gauge("fifo.word_depth.A.0").update_max(32);
+  registry.gauge("fifo.high_water_words.A.0").update_max(32);
+  registry.gauge("fifo.high_water.we\"i\\r\nd.7").update_max(5);
+  registry.counter("filter.stall_cycles.B.2").add(9);
+  registry.histogram("engine.tile_latency_us").observe(3);
+  registry.histogram("engine.tile_latency_us").observe(250);
+  return registry;
+}
+
+std::string http_get(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+      << strerror(errno);
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(RenderOpenmetrics, StructureAndSuffixes) {
+  Registry registry;
+  const std::string text =
+      render_openmetrics(golden_registry(registry).snapshot());
+
+  // Counters end in _total, gauges do not, histograms expand into
+  // cumulative _bucket series plus _sum and _count.
+  EXPECT_NE(text.find("cache_hits_total 12"), std::string::npos) << text;
+  EXPECT_NE(text.find("engine_frames_completed_total 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("engine_queue_depth 4"), std::string::npos);
+  EXPECT_NE(text.find("engine_tile_latency_us_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("engine_tile_latency_us_sum 253"), std::string::npos);
+  EXPECT_NE(text.find("engine_tile_latency_us_count 2"), std::string::npos);
+
+  // Every family gets HELP and TYPE lines; the exposition ends in # EOF.
+  EXPECT_NE(text.find("# HELP cache_hits "), std::string::npos);
+  EXPECT_NE(text.find("# TYPE cache_hits counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE engine_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE engine_tile_latency_us histogram"),
+            std::string::npos);
+  EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6);
+}
+
+TEST(RenderOpenmetrics, PerFifoFamiliesFoldIntoLabels) {
+  Registry registry;
+  const std::string text =
+      render_openmetrics(golden_registry(registry).snapshot());
+  EXPECT_NE(text.find("fifo_high_water{array=\"A\",fifo=\"0\"} 127"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("fifo_depth{array=\"A\",fifo=\"0\"} 127"),
+            std::string::npos);
+  EXPECT_NE(text.find("fifo_word_depth{array=\"A\",fifo=\"0\"} 32"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("fifo_high_water_words{array=\"A\",fifo=\"0\"} 32"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("filter_stall_cycles_total{array=\"B\",fifo=\"2\"} 9"),
+      std::string::npos);
+  // One TYPE line per folded family, not one per sample.
+  std::size_t type_lines = 0;
+  for (std::size_t at = text.find("# TYPE fifo_high_water gauge");
+       at != std::string::npos;
+       at = text.find("# TYPE fifo_high_water gauge", at + 1)) {
+    ++type_lines;
+  }
+  EXPECT_EQ(type_lines, 1u);
+}
+
+TEST(RenderOpenmetrics, LabelValuesAreEscaped) {
+  Registry registry;
+  const std::string text =
+      render_openmetrics(golden_registry(registry).snapshot());
+  // The array name `we"i\r<newline>d` must render with \", \\ and \n
+  // escapes inside the label value.
+  EXPECT_NE(text.find("array=\"we\\\"i\\\\r\\nd\""), std::string::npos)
+      << text;
+}
+
+TEST(RenderOpenmetrics, MatchesTheCheckedInGolden) {
+  Registry registry;
+  const std::string got =
+      render_openmetrics(golden_registry(registry).snapshot());
+  const std::string path =
+      std::string(NUP_TEST_FIXTURE_DIR) + "/openmetrics_golden.txt";
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing fixture " << path;
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(got, want.str())
+      << "renderer drifted from the checked-in exposition; if the change "
+         "is intentional, regenerate tests/obs/fixtures/"
+         "openmetrics_golden.txt";
+}
+
+TEST(Registry, SnapshotOpenmetricsIsTheRenderer) {
+  Registry registry;
+  golden_registry(registry);
+  EXPECT_EQ(registry.snapshot_openmetrics(),
+            render_openmetrics(registry.snapshot()));
+}
+
+TEST(MetricsServer, ServesOpenmetricsAndJson) {
+  Registry registry;
+  golden_registry(registry);
+  MetricsServerOptions options;
+  options.port = 0;  // ephemeral
+  options.registry = &registry;
+  MetricsServer server(options);
+  ASSERT_TRUE(server.ok()) << server.error();
+  ASSERT_GT(server.port(), 0);
+
+  const std::string metrics = http_get(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("application/openmetrics-text"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("cache_hits_total 12"), std::string::npos);
+  EXPECT_NE(metrics.find("# EOF"), std::string::npos);
+
+  const std::string json = http_get(server.port(), "/metrics.json");
+  EXPECT_NE(json.find("200 OK"), std::string::npos) << json;
+  EXPECT_NE(json.find("application/json"), std::string::npos);
+  EXPECT_NE(json.find("\"cache.hits\":12"), std::string::npos);
+
+  const std::string missing = http_get(server.port(), "/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos) << missing;
+
+  server.stop();
+  server.stop();  // idempotent
+}
+
+TEST(MetricsServer, SamplerFoldsGaugesIntoHistograms) {
+  Registry registry;
+  registry.gauge("engine.queue_depth").set(6);
+  registry.gauge("pipeline.frames_in_flight").set(2);
+  registry.gauge("engine.unrelated").set(99);
+  MetricsServerOptions options;
+  options.port = 0;
+  options.registry = &registry;
+  options.sample_period_ms = 5;
+  MetricsServer server(options);
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  // Wait for a few sampler ticks.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (registry.histogram("engine.queue_depth.sampled")
+                 .snapshot()
+                 .count == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  server.stop();
+
+  const Histogram::Snapshot depth =
+      registry.histogram("engine.queue_depth.sampled").snapshot();
+  ASSERT_GT(depth.count, 0);
+  EXPECT_EQ(depth.min, 6);
+  EXPECT_EQ(depth.max, 6);
+  EXPECT_GT(
+      registry.histogram("pipeline.frames_in_flight.sampled").snapshot()
+          .count,
+      0);
+  // Only the configured suffixes are sampled.
+  EXPECT_EQ(registry.histogram("engine.unrelated.sampled").snapshot().count,
+            0);
+}
+
+TEST(MetricsServer, RejectsAPortInUse) {
+  MetricsServerOptions options;
+  options.port = 0;
+  MetricsServer first(options);
+  ASSERT_TRUE(first.ok()) << first.error();
+  options.port = first.port();
+  MetricsServer second(options);
+  EXPECT_FALSE(second.ok());
+  EXPECT_FALSE(second.error().empty());
+}
+
+}  // namespace
+}  // namespace nup::obs

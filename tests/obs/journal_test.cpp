@@ -1,0 +1,263 @@
+// Flight recorder: lock-free per-thread event rings (seqlock slots), the
+// merged time-ordered snapshot, ring wrap, the run-time kill switch, and
+// the post-mortem bundle dumper. The concurrent tests run under the TSan
+// job: any fence mistake in the seqlock shows up there.
+
+#include "obs/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace nup::obs {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(Journal, RecordsAndSnapshotsInOrder) {
+  Journal journal;
+  const std::uint32_t name = journal.intern("engine");
+  journal.record(JournalKind::kFrameAdmitted, 7, -1, -1, 0, 16, name);
+  journal.record(JournalKind::kTileExecuted, 7, 2, 3, 120, 1, name);
+  journal.record(JournalKind::kFrameCompleted, 7, -1, -1, 900, 0, name);
+
+  const std::vector<JournalRecord> log = journal.snapshot();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].kind, JournalKind::kFrameAdmitted);
+  EXPECT_EQ(log[1].kind, JournalKind::kTileExecuted);
+  EXPECT_EQ(log[2].kind, JournalKind::kFrameCompleted);
+  EXPECT_LE(log[0].ts_ns, log[1].ts_ns);
+  EXPECT_LE(log[1].ts_ns, log[2].ts_ns);
+  EXPECT_EQ(log[1].frame, 7u);
+  EXPECT_EQ(log[1].stage, 2);
+  EXPECT_EQ(log[1].tile, 3);
+  EXPECT_EQ(log[1].a, 120);
+  EXPECT_EQ(log[1].b, 1);
+  EXPECT_EQ(log[1].name, "engine");
+  EXPECT_EQ(journal.recorded(), 3u);
+  EXPECT_EQ(journal.dropped(), 0u);
+}
+
+TEST(Journal, InternIsStableAndSharedPerName) {
+  Journal journal;
+  const std::uint32_t a = journal.intern("pipeline");
+  const std::uint32_t b = journal.intern("pipeline");
+  const std::uint32_t c = journal.intern("edge.s0_s1");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, 0u);  // 0 is the reserved "no name" id
+}
+
+TEST(Journal, RingWrapKeepsTheNewestEvents) {
+  Journal journal(8);  // tiny ring: wraps after 8 events per thread
+  for (int i = 0; i < 100; ++i) {
+    journal.record(JournalKind::kTileExecuted, 1, -1, i, i);
+  }
+  const std::vector<JournalRecord> log = journal.snapshot();
+  ASSERT_EQ(log.size(), 8u);
+  // The surviving slots are the newest eight, in order.
+  for (std::size_t k = 0; k < log.size(); ++k) {
+    EXPECT_EQ(log[k].tile, static_cast<std::int64_t>(92 + k));
+  }
+  EXPECT_EQ(journal.recorded(), 100u);
+}
+
+TEST(Journal, SnapshotLastNTruncatesFromTheFront) {
+  Journal journal;
+  for (int i = 0; i < 20; ++i) {
+    journal.record(JournalKind::kTileExecuted, 1, -1, i);
+  }
+  const std::vector<JournalRecord> tail = journal.snapshot(5);
+  ASSERT_EQ(tail.size(), 5u);
+  EXPECT_EQ(tail.front().tile, 15);
+  EXPECT_EQ(tail.back().tile, 19);
+}
+
+TEST(Journal, DisabledRecordsNothing) {
+  Journal journal;
+  journal.set_enabled(false);
+  EXPECT_FALSE(journal.enabled());
+  journal.record(JournalKind::kTileExecuted, 1);
+  EXPECT_EQ(journal.snapshot().size(), 0u);
+  EXPECT_EQ(journal.recorded(), 0u);
+  journal.set_enabled(true);
+  journal.record(JournalKind::kTileExecuted, 1);
+  EXPECT_EQ(journal.snapshot().size(), 1u);
+}
+
+TEST(Journal, ConcurrentRecordersAndSnapshotters) {
+  // Writers hammer their thread rings while readers snapshot: the seqlock
+  // must never tear a record (kind bytes stay valid, payloads consistent)
+  // and TSan must stay quiet.
+  Journal journal(256);
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 20000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&journal, t] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        journal.record(JournalKind::kTileExecuted,
+                       static_cast<std::uint64_t>(t + 1), t, i, i, i);
+      }
+    });
+  }
+  std::thread reader([&journal, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const JournalRecord& r : journal.snapshot()) {
+        ASSERT_EQ(r.kind, JournalKind::kTileExecuted);
+        ASSERT_GE(r.frame, 1u);
+        ASSERT_LE(r.frame, static_cast<std::uint64_t>(kWriters));
+        // Payload consistency: a and b were written equal.
+        ASSERT_EQ(r.a, r.b);
+      }
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(journal.recorded(),
+            static_cast<std::uint64_t>(kWriters) * kPerWriter);
+  EXPECT_GT(journal.capacity_bytes(), 0u);
+}
+
+TEST(Journal, DumpWithoutDirectoryReturnsEmpty) {
+  Journal journal;
+  PostmortemInfo info;
+  info.reason = "frame_failed";
+  EXPECT_EQ(journal.dump_postmortem(info), "");
+}
+
+TEST(Journal, PostmortemBundleNamesTheFailure) {
+  Journal journal;
+  const std::string dir = ::testing::TempDir() + "nup_journal_pm_basic";
+  journal.set_postmortem_dir(dir);
+  EXPECT_EQ(journal.postmortem_dir(), dir);
+
+  const std::uint32_t name = journal.intern("engine");
+  journal.record(JournalKind::kFrameAdmitted, 42, -1, -1, 0, 4, name);
+  journal.record(JournalKind::kTileExecuted, 42, 1, 2, 55, 1, name);
+  journal.record(JournalKind::kDeadlock, 42, 1, 3, 0, 0, name);
+
+  Registry registry;
+  registry.counter("engine.frames_failed").inc();
+
+  PostmortemInfo info;
+  info.reason = "deadlock";
+  info.detail = "denoise: simulation wedged after 3000 idle cycles";
+  info.frame = 42;
+  info.stage = 1;
+  info.tile = 3;
+  info.design = "array A: fifos [1, 127, 1]";
+  const std::string path = journal.dump_postmortem(info, &registry);
+  ASSERT_FALSE(path.empty());
+  EXPECT_NE(path.find("postmortem-deadlock-"), std::string::npos);
+
+  const std::string bundle = read_file(path);
+  EXPECT_NE(bundle.find("\"reason\": \"deadlock\""), std::string::npos)
+      << bundle;
+  EXPECT_NE(bundle.find("simulation wedged"), std::string::npos);
+  EXPECT_NE(bundle.find("\"frame\": 42"), std::string::npos);
+  EXPECT_NE(bundle.find("\"stage\": 1"), std::string::npos);
+  EXPECT_NE(bundle.find("\"tile\": 3"), std::string::npos);
+  EXPECT_NE(bundle.find("fifos [1, 127, 1]"), std::string::npos);
+  // The event log survives into the bundle, deadlock event included.
+  EXPECT_NE(bundle.find("\"deadlock\""), std::string::npos);
+  EXPECT_NE(bundle.find("\"tile.executed\""), std::string::npos);
+  EXPECT_NE(bundle.find("engine.frames_failed"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, ViolationBundleCarriesTheFifoDepths) {
+  Journal journal;
+  const std::string dir = ::testing::TempDir() + "nup_journal_pm_fifo";
+  journal.set_postmortem_dir(dir);
+  journal.record(JournalKind::kDepthViolation, 9, -1, 0, 131, 127);
+
+  PostmortemInfo info;
+  info.reason = "depth_violation";
+  info.detail = "A.0: high water 131 exceeds Eq. 2 depth 127";
+  info.frame = 9;
+  info.tile = 0;
+  info.has_fifo = true;
+  info.fifo.array = "A";
+  info.fifo.fifo = 0;
+  info.fifo.depth = 127;
+  info.fifo.high_water = 131;
+  info.fifo.word_level = false;
+  const std::string path = journal.dump_postmortem(info);
+  ASSERT_FALSE(path.empty());
+  const std::string bundle = read_file(path);
+  EXPECT_NE(bundle.find("\"array\": \"A\""), std::string::npos) << bundle;
+  EXPECT_NE(bundle.find("\"depth\": 127"), std::string::npos);
+  EXPECT_NE(bundle.find("\"high_water\": 131"), std::string::npos);
+  EXPECT_NE(bundle.find("\"word_level\": false"), std::string::npos);
+  EXPECT_NE(bundle.find("fifo.depth_violation"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, SuccessiveDumpsGetDistinctPaths) {
+  Journal journal;
+  const std::string dir = ::testing::TempDir() + "nup_journal_pm_seq";
+  journal.set_postmortem_dir(dir);
+  PostmortemInfo info;
+  info.reason = "frame_cancelled";
+  const std::string first = journal.dump_postmortem(info);
+  const std::string second = journal.dump_postmortem(info);
+  ASSERT_FALSE(first.empty());
+  ASSERT_FALSE(second.empty());
+  EXPECT_NE(first, second);
+  std::remove(first.c_str());
+  std::remove(second.c_str());
+}
+
+TEST(Journal, KindNamesRoundTrip) {
+  EXPECT_STREQ(to_string(JournalKind::kFrameAdmitted), "frame.admitted");
+  EXPECT_STREQ(to_string(JournalKind::kTileSkipped), "tile.skipped");
+  EXPECT_STREQ(to_string(JournalKind::kDepResolved), "dep.resolved");
+  EXPECT_STREQ(to_string(JournalKind::kSlabLeased), "slab.leased");
+  EXPECT_STREQ(to_string(JournalKind::kPassStarted), "pass.started");
+  EXPECT_STREQ(to_string(JournalKind::kDepthViolation),
+               "fifo.depth_violation");
+  EXPECT_STREQ(to_string(JournalKind::kDeadlock), "deadlock");
+}
+
+TEST(FrameId, AllocatorIsMonotonicAndRaceFree) {
+  const std::uint64_t first = next_frame_id();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<std::uint64_t>> ids(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ids, t] {
+      ids[t].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) ids[t].push_back(next_frame_id());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  std::vector<std::uint64_t> all;
+  for (const auto& v : ids) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+  EXPECT_GT(all.front(), first);
+}
+
+TEST(Journal, GlobalIsOneInstance) {
+  EXPECT_EQ(&Journal::global(), &Journal::global());
+}
+
+}  // namespace
+}  // namespace nup::obs

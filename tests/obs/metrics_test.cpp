@@ -84,6 +84,33 @@ TEST(Histogram, PercentilesAreOrderedAndClamped) {
   EXPECT_NEAR(p50, 500.0, 150.0);
 }
 
+TEST(Histogram, OverflowBucketPercentilesSpanTheObservedRange) {
+  // Every observation lands in the overflow bucket (beyond the largest
+  // bound): interpolation must span the observed [min, max], not anchor
+  // its low edge at the last finite bound (which would report p50 = 2010
+  // here -- just past the bound -- however large the data).
+  Registry registry;
+  Histogram& hist = registry.histogram("overflow", {10, 20});
+  for (const std::int64_t v : {1000, 2000, 4000}) hist.observe(v);
+  const Histogram::Snapshot snap = hist.snapshot();
+  // Linear interpolation across [1000, 4000] at rank 1.5 of 3.
+  EXPECT_DOUBLE_EQ(snap.percentile(0.50), 2500.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(1.0), 4000.0);
+  EXPECT_LE(snap.percentile(0.99), 4000.0);
+  EXPECT_GE(snap.percentile(0.01), 1000.0);
+}
+
+TEST(Histogram, PercentileOfASingleObservationIsThatValue) {
+  // One value inside an interior bucket: the span collapses to the
+  // observation, wherever the bucket edges sit.
+  Registry registry;
+  Histogram& hist = registry.histogram("single");
+  hist.observe(123456789);
+  const Histogram::Snapshot snap = hist.snapshot();
+  EXPECT_DOUBLE_EQ(snap.percentile(0.50), 123456789.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(0.99), 123456789.0);
+}
+
 TEST(Histogram, ConcurrentObserveCountsEveryValue) {
   Registry registry;
   Histogram& hist = registry.histogram("c");

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -111,6 +112,82 @@ TEST(Tracer, TimestampsAreMicrosecondsFromEpoch) {
   const std::string json = tracer.to_chrome_json();
   EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos) << json;
   EXPECT_NE(json.find("\"dur\":3.000"), std::string::npos) << json;
+}
+
+TEST(Tracer, AsyncEventsCarryTheirId) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.async_begin("frame", "engine", 42, "{\"seed\":7}");
+  tracer.async_end("frame", "engine", 42);
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":\"42\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\":7"), std::string::npos);
+}
+
+TEST(Tracer, FlowEventsBindBackwards) {
+  // One frame's causal lane: start, a step per tile, and an end whose
+  // binding point is "enclosing slice end" so Perfetto attaches the last
+  // arrow to the slice it was emitted from.
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.flow_start("frame", "pipeline", 9);
+  tracer.flow_step("frame", "pipeline", 9);
+  tracer.flow_end("frame", "pipeline", 9);
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":\"9\""), std::string::npos);
+  // Only the flow end carries the binding point.
+  const std::size_t at = json.find("\"ph\":\"f\"");
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\"", at), std::string::npos);
+  std::size_t bp_count = 0;
+  for (std::size_t p = json.find("\"bp\":\"e\""); p != std::string::npos;
+       p = json.find("\"bp\":\"e\"", p + 1)) {
+    ++bp_count;
+  }
+  EXPECT_EQ(bp_count, 1u);
+}
+
+TEST(Tracer, FlowAndAsyncDisabledAreInert) {
+  Tracer tracer;
+  tracer.async_begin("a", "c", 1);
+  tracer.async_end("a", "c", 1);
+  tracer.flow_start("f", "c", 2);
+  tracer.flow_step("f", "c", 2);
+  tracer.flow_end("f", "c", 2);
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST(Tracer, ConcurrentRecordExportAndClear) {
+  // Workers emit spans and flow events while another thread exports and
+  // clears: the TSan job fails this test on any locking mistake.
+  Tracer tracer;
+  tracer.set_enabled(true);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (int i = 0; i < 2000; ++i) {
+        Span span(tracer, "tile", "engine");
+        tracer.flow_step("frame", "engine",
+                         static_cast<std::uint64_t>(t * 2000 + i));
+      }
+    });
+  }
+  std::thread exporter([&tracer, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::string json = tracer.to_chrome_json();
+      ASSERT_NE(json.find("\"traceEvents\""), std::string::npos);
+      tracer.clear();
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  exporter.join();
 }
 
 }  // namespace

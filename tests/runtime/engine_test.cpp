@@ -9,15 +9,22 @@
 
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <numeric>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/fast.hpp"
 #include "stencil/gallery.hpp"
 #include "stencil/golden.hpp"
 #include "util/error.hpp"
@@ -279,6 +286,128 @@ TEST(FrameEngine, TraceAccountsForEveryTileOfACancelledFrame) {
   EXPECT_EQ(count_of("\"name\":\"tile.skipped\""), result.tiles_skipped);
   EXPECT_EQ(count_of("\"name\":\"frame.cancelled\""), 1);
   tracer.clear();
+}
+
+// Post-mortem bundles: the flight recorder must leave a bundle naming the
+// frame, stage and tile whenever a frame dies -- cancellation and deadlock
+// are the two lifecycle deaths exercised end to end here.
+
+std::string find_bundle(const std::string& dir, const std::string& prefix) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return "";
+  std::string found;
+  while (dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.rfind(prefix, 0) == 0) {
+      found = dir + "/" + name;
+      break;
+    }
+  }
+  ::closedir(d);
+  return found;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(FrameEngine, CancelledFrameLeavesAPostmortemBundle) {
+  obs::Journal journal;
+  const std::string dir = ::testing::TempDir() + "nup_engine_pm_cancel";
+  journal.set_postmortem_dir(dir);
+  obs::Registry registry;
+
+  EngineOptions options;
+  options.threads = 1;
+  options.tile_shape = {0, 0};  // one tile: cancellation is all-or-none
+  options.metrics = &registry;
+  options.journal = &journal;
+  FrameEngine engine(options);
+  const stencil::StencilProgram p = slow_program(10, 12, milliseconds(1));
+
+  const std::uint64_t id = obs::next_frame_id();
+  SubmitOptions so;
+  so.frame_id = id;
+  FrameHandle running = engine.submit(p, 1);
+  FrameHandle queued = engine.submit(p, 2, std::move(so));
+  queued.cancel();  // the single worker is still busy with frame 1
+  running.wait();
+  ASSERT_TRUE(queued.wait().cancelled);
+
+  const std::string path = find_bundle(dir, "postmortem-frame_cancelled-");
+  ASSERT_FALSE(path.empty()) << "no cancellation bundle in " << dir;
+  const std::string bundle = slurp(path);
+  EXPECT_NE(bundle.find("\"reason\": \"frame_cancelled\""),
+            std::string::npos)
+      << bundle;
+  EXPECT_NE(bundle.find("\"frame\": " + std::to_string(id)),
+            std::string::npos);
+  EXPECT_NE(bundle.find("cancelled after 0 of 1 tiles"), std::string::npos);
+  // The event log survives into the bundle: admission, the skipped tile,
+  // the cancellation, and the metrics snapshot at death.
+  EXPECT_NE(bundle.find("\"frame.admitted\""), std::string::npos);
+  EXPECT_NE(bundle.find("\"tile.skipped\""), std::string::npos);
+  EXPECT_NE(bundle.find("\"frame.cancelled\""), std::string::npos);
+  EXPECT_NE(bundle.find("engine.frames_cancelled"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FrameEngine, DeadlockedFrameLeavesABundleNamingTheDesign) {
+  obs::Journal journal;
+  const std::string dir = ::testing::TempDir() + "nup_engine_pm_deadlock";
+  journal.set_postmortem_dir(dir);
+  obs::Registry registry;
+
+  EngineOptions options;
+  options.threads = 1;
+  options.tile_shape = {0, 0};  // one tile covering the whole domain
+  options.metrics = &registry;
+  options.journal = &journal;
+  options.sim.stall_limit = 3000;
+  options.sim.validate = false;  // report the wedge instead of throwing
+  FrameEngine engine(options);
+
+  // An Eq. 2 violation that wedges mid-run (see fast_deadlock_test):
+  // FIFO 3 of denoise needs depth 23; starved to 1 the chain stalls out.
+  const stencil::StencilProgram p = stencil::denoise_2d(20, 24);
+  const std::shared_ptr<const TilePlan> plan = engine.plan_for(p);
+  ASSERT_EQ(plan->tiles.size(), 1u);
+  const stencil::StencilProgram& tp = *plan->tiles[0].program;
+  auto doctored = std::make_shared<CachedDesign>();
+  doctored->design = arch::build_design(tp, options.build);
+  doctored->design.systems[0].fifos[3].depth = 1;
+  doctored->plan = sim::compile_fast_plan(tp, doctored->design);
+
+  const std::uint64_t id = obs::next_frame_id();
+  SubmitOptions so;
+  so.frame_id = id;
+  auto designs = std::make_shared<
+      std::vector<std::shared_ptr<const CachedDesign>>>();
+  designs->push_back(doctored);
+  so.designs = designs;
+  FrameHandle handle = engine.submit(plan, 5, std::move(so));
+  const FrameResult& result = handle.wait();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("deadlocked"), std::string::npos)
+      << result.error;
+
+  const std::string path = find_bundle(dir, "postmortem-deadlock-");
+  ASSERT_FALSE(path.empty()) << "no deadlock bundle in " << dir;
+  const std::string bundle = slurp(path);
+  EXPECT_NE(bundle.find("\"reason\": \"deadlock\""), std::string::npos)
+      << bundle;
+  EXPECT_NE(bundle.find("\"frame\": " + std::to_string(id)),
+            std::string::npos);
+  EXPECT_NE(bundle.find("\"tile\": 0"), std::string::npos);
+  // The offending design rides along (describe() of the doctored
+  // microarchitecture) plus the wedge diagnostic and the verdict event.
+  EXPECT_NE(bundle.find("accelerator '"), std::string::npos);
+  EXPECT_NE(bundle.find("\"deadlock\""), std::string::npos);
+  EXPECT_NE(bundle.find("engine.frames_failed"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 // ---- robustness: backpressure, cancellation, shutdown ------------------

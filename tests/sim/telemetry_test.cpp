@@ -154,6 +154,44 @@ TEST(Telemetry, PublishLandsInRegistry) {
   EXPECT_EQ(snap.value_of("sim.cycles"), r.cycles);
 }
 
+TEST(Telemetry, FirstViolationNamesTheOffendingFifo) {
+  // An honest run scored against a doctored design: publishing must count
+  // the violations and fill the out-param with the *first* offender (the
+  // frame engine names it in the post-mortem bundle), not the last.
+  const stencil::StencilProgram p = stencil::denoise_2d(64, 128);
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  const SimResult r = run_backend(p, design, SimBackend::kFast);
+
+  arch::AcceleratorDesign doctored = design;
+  doctored.systems[0].fifos[0].depth = 120;  // high water is 127
+  doctored.systems[0].fifos[3].depth = 100;  // also violated, but second
+  obs::Registry registry;
+  obs::FifoDetail violation;
+  const int violations =
+      runtime::publish_sim_telemetry(registry, doctored, r, &violation);
+  EXPECT_EQ(violations, 2);
+  EXPECT_EQ(violation.array, "A");
+  EXPECT_EQ(violation.fifo, 0);
+  EXPECT_EQ(violation.depth, 120);
+  EXPECT_EQ(violation.high_water, 127);
+  EXPECT_FALSE(violation.word_level);
+  EXPECT_EQ(registry.snapshot().value_of("fifo.depth_violations", 0), 2);
+}
+
+TEST(Telemetry, CleanRunLeavesTheViolationOutParamUntouched) {
+  const stencil::StencilProgram p = stencil::denoise_2d(32, 48);
+  const arch::AcceleratorDesign design = arch::build_design(p);
+  const SimResult r = run_backend(p, design, SimBackend::kFast);
+  obs::Registry registry;
+  obs::FifoDetail violation;
+  violation.array = "untouched";
+  violation.depth = -7;
+  EXPECT_EQ(runtime::publish_sim_telemetry(registry, design, r, &violation),
+            0);
+  EXPECT_EQ(violation.array, "untouched");
+  EXPECT_EQ(violation.depth, -7);
+}
+
 // Random stencils come from the shared seeded generator (same stream as
 // the legacy in-file recipe, so seeds keep naming the same programs).
 using ::nup::testing::random_program;

@@ -68,6 +68,21 @@
 //                  residual is <= E (0 disables, the default)
 //   --metrics <f>  write the metrics registry (cache/engine/fifo/sim
 //                  telemetry, see docs/OBSERVABILITY.md) as JSON to <f>
+//   --metrics-port <p>
+//                  serve the live registry over HTTP on 127.0.0.1:<p>
+//                  (0 = ephemeral; the bound port is printed):
+//                  GET /metrics is OpenMetrics, /metrics.json is JSON
+//   --hold <ms>    linger <ms> milliseconds after the run completes, so
+//                  a scraper can hit --metrics-port before exit
+//   --postmortem <dir>
+//                  on frame failure / cancellation / deadlock / depth
+//                  violation, write a flight-recorder bundle (last-N
+//                  journal events, metrics snapshot, offending design)
+//                  into <dir>
+//   --cancel-frame <k>
+//                  with --serve: cancel the k-th submitted frame mid
+//                  flight (exercises the cancellation post-mortem path;
+//                  that frame's cancellation is expected, not an error)
 //   --trace <f>    record spans (tile execution, design compiles) and
 //                  write Chrome trace-event JSON to <f>; open it in
 //                  chrome://tracing or https://ui.perfetto.dev
@@ -79,15 +94,19 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/compiler.hpp"
 #include "codegen/cpp_model.hpp"
 #include "core/json_export.hpp"
 #include "frontend/sema.hpp"
+#include "obs/expo.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pipeline/executor.hpp"
@@ -166,6 +185,18 @@ void usage() {
       "\n"
       "observability:\n"
       "  --metrics <f>   write the metrics registry as JSON to <f>\n"
+      "  --metrics-port <p>\n"
+      "                  serve the live registry on 127.0.0.1:<p>\n"
+      "                  (0 = ephemeral; bound port printed): /metrics is\n"
+      "                  OpenMetrics, /metrics.json is JSON\n"
+      "  --hold <ms>     linger <ms> ms after the run so a scraper can\n"
+      "                  hit --metrics-port before exit\n"
+      "  --postmortem <dir>\n"
+      "                  write flight-recorder bundles for failed /\n"
+      "                  cancelled / deadlocked frames into <dir>\n"
+      "  --cancel-frame <k>\n"
+      "                  with --serve: cancel the k-th frame mid-flight\n"
+      "                  (exercises the cancellation post-mortem)\n"
       "  --trace <f>     write Chrome trace-event JSON to <f>\n"
       "  --stats         print the metrics registry as an aligned table\n"
       "  --quiet         suppress the summaries\n"
@@ -196,7 +227,8 @@ bool parse_tile_shape(const std::string& spec, nup::poly::IntVec* shape) {
 int serve_frames(const nup::core::AcceleratorPackage& pkg,
                  const nup::core::CompileOptions& compile_options,
                  long frames, std::size_t threads,
-                 nup::poly::IntVec tile_shape, bool quiet) {
+                 nup::poly::IntVec tile_shape, long cancel_frame,
+                 bool quiet) {
   using namespace nup;
   runtime::EngineOptions options;
   options.threads = threads;
@@ -212,8 +244,17 @@ int serve_frames(const nup::core::AcceleratorPackage& pkg,
     handles.push_back(engine.submit(pkg.program,
                                     static_cast<std::uint64_t>(f)));
   }
-  for (runtime::FrameHandle& handle : handles) {
-    const runtime::FrameResult& result = handle.wait();
+  if (cancel_frame >= 0 && cancel_frame < frames) {
+    handles[static_cast<std::size_t>(cancel_frame)].cancel();
+  }
+  for (long f = 0; f < frames; ++f) {
+    const runtime::FrameResult& result = handles[f].wait();
+    if (f == cancel_frame && result.cancelled) {
+      if (!quiet) {
+        std::printf("frame %ld cancelled as requested\n", cancel_frame);
+      }
+      continue;
+    }
     if (!result.ok()) {
       std::fprintf(stderr, "stencilcc: frame %llu failed: %s\n",
                    static_cast<unsigned long long>(result.seed),
@@ -517,6 +558,10 @@ int main(int argc, char** argv) {
   double temporal_tolerance = 0.0;
   std::string metrics_path;
   std::string trace_path;
+  long metrics_port = -1;  // -1 = no server
+  long hold_ms = 0;
+  std::string postmortem_dir;
+  long cancel_frame = -1;
   bool stats_table = false;
   core::CompileOptions options;
 
@@ -640,6 +685,31 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--metrics" && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (arg == "--metrics-port" && i + 1 < argc) {
+      char* end = nullptr;
+      metrics_port = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || metrics_port < 0 ||
+          metrics_port > 65535) {
+        std::fprintf(stderr,
+                     "stencilcc: --metrics-port needs a port in [0, 65535] "
+                     "(0 = ephemeral)\n");
+        usage();
+        return 2;
+      }
+    } else if (arg == "--hold" && i + 1 < argc) {
+      hold_ms = std::strtol(argv[++i], nullptr, 10);
+      if (hold_ms < 0) hold_ms = 0;
+    } else if (arg == "--postmortem" && i + 1 < argc) {
+      postmortem_dir = argv[++i];
+    } else if (arg == "--cancel-frame" && i + 1 < argc) {
+      char* end = nullptr;
+      cancel_frame = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || cancel_frame < 0) {
+        std::fprintf(stderr,
+                     "stencilcc: --cancel-frame needs a frame index >= 0\n");
+        usage();
+        return 2;
+      }
     } else if (arg == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (arg == "--stats") {
@@ -683,6 +753,34 @@ int main(int argc, char** argv) {
   }
   if (vcd_cycles > 0) options.sim.trace_cycles = vcd_cycles;
   if (!trace_path.empty()) obs::Tracer::global().set_enabled(true);
+  if (!postmortem_dir.empty()) {
+    obs::Journal::global().set_postmortem_dir(postmortem_dir);
+  }
+  std::unique_ptr<obs::MetricsServer> server;
+  if (metrics_port >= 0) {
+    obs::MetricsServerOptions server_options;
+    server_options.port = static_cast<int>(metrics_port);
+    server_options.sample_period_ms = 200;
+    server = std::make_unique<obs::MetricsServer>(server_options);
+    if (!server->ok()) {
+      std::fprintf(stderr, "stencilcc: --metrics-port: %s\n",
+                   server->error().c_str());
+      return 1;
+    }
+    std::printf("metrics: serving http://127.0.0.1:%d/metrics\n",
+                server->port());
+    std::fflush(stdout);
+  }
+  // Shared exit path: export files first, then linger (--hold) so a
+  // scraper can still reach --metrics-port while the registry is final.
+  const auto finish = [&](int rc) {
+    const int obs_rc =
+        emit_observability(metrics_path, trace_path, stats_table);
+    if (hold_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(hold_ms));
+    }
+    return rc != 0 ? rc : obs_rc;
+  };
 
   if (temporal_mode) {
     try {
@@ -691,9 +789,7 @@ int main(int argc, char** argv) {
                             pipeline_frames > 0 ? pipeline_frames : serve,
                             pipeline_inflight, serve_threads,
                             std::move(serve_tile), quiet);
-      const int obs_rc =
-          emit_observability(metrics_path, trace_path, stats_table);
-      return rc != 0 ? rc : obs_rc;
+      return finish(rc);
     } catch (const Error& e) {
       std::fprintf(stderr, "stencilcc: %s\n", e.what());
       return 1;
@@ -706,9 +802,7 @@ int main(int argc, char** argv) {
                             pipeline_frames > 0 ? pipeline_frames : serve,
                             pipeline_inflight, serve_threads,
                             std::move(serve_tile), pipeline_barrier, quiet);
-      const int obs_rc =
-          emit_observability(metrics_path, trace_path, stats_table);
-      return rc != 0 ? rc : obs_rc;
+      return finish(rc);
     } catch (const Error& e) {
       std::fprintf(stderr, "stencilcc: %s\n", e.what());
       return 1;
@@ -756,11 +850,9 @@ int main(int argc, char** argv) {
     int rc = ok ? 0 : 1;
     if (ok && serve > 0) {
       rc = serve_frames(pkg, options, serve, serve_threads,
-                        std::move(serve_tile), quiet);
+                        std::move(serve_tile), cancel_frame, quiet);
     }
-    const int obs_rc =
-        emit_observability(metrics_path, trace_path, stats_table);
-    return rc != 0 ? rc : obs_rc;
+    return finish(rc);
   } catch (const Error& e) {
     std::fprintf(stderr, "stencilcc: %s\n", e.what());
     return 1;
