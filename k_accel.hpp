@@ -1,0 +1,13 @@
+// Integration description of the generated accelerator 'k'.
+#pragma once
+
+namespace k_accel {
+
+inline constexpr long kIterations = 5828L;
+inline constexpr int kMemorySystems = 1;
+
+// array A: 5 ports, 1 off-chip stream(s)
+inline constexpr int kPorts_A = 5;
+inline constexpr long kFifoDepths_A[] = {95, 1, 1, 95};
+
+}  // namespace k_accel

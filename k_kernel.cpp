@@ -1,0 +1,22 @@
+// Transformed computation kernel (Fig 4): memory accesses are
+// offloaded to the generated memory system; each volatile pointer
+// is one data port fed by a data filter.
+#include "stencil_op.h"
+
+void kernel_k(
+    volatile const float* A_0  // A[i][j],
+    volatile const float* A_1  // A[i-1][j],
+    volatile const float* A_2  // A[i+1][j],
+    volatile const float* A_3  // A[i][j-1],
+    volatile const float* A_4  // A[i][j+1],
+    float* B_out) {
+  for (long t = 0; t < 5828L; t++) {
+#pragma HLS pipeline II=1
+      const float v0 = *A_0;  // A[i][j]
+      const float v1 = *A_1;  // A[i-1][j]
+      const float v2 = *A_2;  // A[i+1][j]
+      const float v3 = *A_3;  // A[i][j-1]
+      const float v4 = *A_4;  // A[i][j+1]
+    B_out[t] = stencil_op(v0, v1, v2, v3, v4);
+  }
+}

@@ -1,0 +1,50 @@
+`timescale 1ns/1ps
+
+module k_tb;
+  localparam EXPECTED_FIRES = 5828;
+  reg clk = 0;
+  reg rst = 1;
+  wire kernel_fire;
+  integer fires = 0;
+  integer cycles = 0;
+  reg  [31:0] s0_stream0_cnt = 0;
+  wire s0_stream0_ready;
+  wire [31:0] port_s0_f0;
+  wire [31:0] port_s0_f1;
+  wire [31:0] port_s0_f2;
+  wire [31:0] port_s0_f3;
+  wire [31:0] port_s0_f4;
+  k_top dut (
+    .clk(clk), .rst(rst), .kernel_ready(1'b1),
+    .kernel_fire(kernel_fire),
+    .s0_stream0_valid(1'b1), .s0_stream0_data(s0_stream0_cnt), .s0_stream0_ready(s0_stream0_ready),
+    .port_s0_f0(port_s0_f0),
+    .port_s0_f1(port_s0_f1),
+    .port_s0_f2(port_s0_f2),
+    .port_s0_f3(port_s0_f3),
+    .port_s0_f4(port_s0_f4)
+  );
+
+  always #2.5 clk = ~clk;
+
+  always @(posedge clk) begin
+    if (!rst) begin
+      cycles <= cycles + 1;
+      if (s0_stream0_ready) s0_stream0_cnt <= s0_stream0_cnt + 1;
+      if (kernel_fire) fires <= fires + 1;
+      if (fires == EXPECTED_FIRES) begin
+        $display("PASS: %0d fires in %0d cycles", fires, cycles);
+        $finish;
+      end
+      if (cycles > 64 * EXPECTED_FIRES + 100000) begin
+        $display("FAIL: timeout with %0d fires", fires);
+        $finish;
+      end
+    end
+  end
+
+  initial begin
+    repeat (4) @(posedge clk);
+    rst = 0;
+  end
+endmodule

@@ -1,12 +1,8 @@
 #include "obs/expo.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
-#include <cerrno>
 #include <chrono>
 #include <condition_variable>
 #include <cstring>
@@ -14,6 +10,8 @@
 #include <mutex>
 #include <thread>
 #include <utility>
+
+#include "util/socket.hpp"
 
 namespace nup::obs {
 
@@ -129,6 +127,24 @@ std::string render_openmetrics(const MetricsSnapshot& snapshot) {
         break;
       }
     }
+    // Per-tenant serving series (serve.[<inst>.]tenant.<t>.<metric>) keep
+    // the tenant as a label instead of one family per tenant, so SLO
+    // dashboards aggregate across tenants with a plain sum by (tenant).
+    if (family_name.empty() &&
+        sample.name.compare(0, 6, "serve.") == 0) {
+      const std::size_t tpos = sample.name.find(".tenant.");
+      if (tpos != std::string::npos) {
+        const std::string rest = sample.name.substr(tpos + 8);
+        const std::size_t dot = rest.rfind('.');
+        if (dot != std::string::npos) {
+          family_name = sanitize_name(sample.name.substr(0, tpos) +
+                                      "_tenant_" + rest.substr(dot + 1));
+          help = "per-tenant serving metric (see docs/SERVING.md)";
+          labels =
+              "{tenant=\"" + escape_label(rest.substr(0, dot)) + "\"}";
+        }
+      }
+    }
     if (family_name.empty()) {
       family_name = sanitize_name(sample.name);
       help = "stencilcc metric " + escape_help(sample.name);
@@ -194,19 +210,6 @@ std::string Registry::snapshot_openmetrics() const {
 
 namespace {
 
-bool write_all(int fd, const char* data, std::size_t n) {
-  while (n > 0) {
-    const ssize_t w = ::write(fd, data, n);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data += w;
-    n -= static_cast<std::size_t>(w);
-  }
-  return true;
-}
-
 std::string http_response(const std::string& status,
                           const std::string& content_type,
                           const std::string& body) {
@@ -225,8 +228,9 @@ bool ends_with(std::string_view s, std::string_view suffix) {
 struct MetricsServer::Impl {
   MetricsServerOptions options;
   Registry* registry = nullptr;
-  int listen_fd = -1;
-  int bound_port = 0;
+  // The loopback accept/read/write plumbing is shared with the serving
+  // front-end (serve::ServeEndpoint) through util::LoopbackListener.
+  std::unique_ptr<util::LoopbackListener> listener;
   std::string error;
 
   std::thread acceptor;
@@ -263,17 +267,13 @@ struct MetricsServer::Impl {
     } else {
       response = http_response("404 Not Found", "text/plain", "not found\n");
     }
-    write_all(fd, response.data(), response.size());
+    util::write_all(fd, response);
   }
 
   void accept_loop() {
     while (running.load(std::memory_order_acquire)) {
-      const int fd = ::accept(listen_fd, nullptr, nullptr);
-      if (fd < 0) {
-        if (!running.load(std::memory_order_acquire)) break;
-        if (errno == EINTR) continue;
-        break;  // listener shut down under us
-      }
+      const int fd = listener->accept_client();
+      if (fd < 0) break;  // listener shut down
       serve_connection(fd);
       ::close(fd);
     }
@@ -308,31 +308,11 @@ MetricsServer::MetricsServer(MetricsServerOptions options)
   im.registry = im.options.registry != nullptr ? im.options.registry
                                                : &Registry::global();
 
-  im.listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (im.listen_fd < 0) {
-    im.error = "socket: " + std::string(std::strerror(errno));
+  im.listener = std::make_unique<util::LoopbackListener>(im.options.port);
+  if (!im.listener->ok()) {
+    im.error = im.listener->error();  // names the requested port
+    im.listener.reset();
     return;
-  }
-  const int one = 1;
-  ::setsockopt(im.listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(im.options.port));
-  if (::bind(im.listen_fd, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) < 0 ||
-      ::listen(im.listen_fd, 8) < 0) {
-    im.error = "bind port " + std::to_string(im.options.port) + ": " +
-               std::string(std::strerror(errno));
-    ::close(im.listen_fd);
-    im.listen_fd = -1;
-    return;
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  if (::getsockname(im.listen_fd, reinterpret_cast<sockaddr*>(&bound),
-                    &len) == 0) {
-    im.bound_port = ntohs(bound.sin_port);
   }
 
   im.running.store(true, std::memory_order_release);
@@ -344,23 +324,22 @@ MetricsServer::MetricsServer(MetricsServerOptions options)
 
 MetricsServer::~MetricsServer() { stop(); }
 
-bool MetricsServer::ok() const { return impl_->listen_fd >= 0; }
+bool MetricsServer::ok() const { return impl_->listener != nullptr; }
 
 const std::string& MetricsServer::error() const { return impl_->error; }
 
-int MetricsServer::port() const { return impl_->bound_port; }
+int MetricsServer::port() const {
+  return impl_->listener ? impl_->listener->port() : 0;
+}
 
 void MetricsServer::stop() {
   Impl& im = *impl_;
   if (!im.running.exchange(false, std::memory_order_acq_rel)) {
     // Never started (bind failure) or already stopped.
-    if (im.listen_fd >= 0) {
-      ::close(im.listen_fd);
-      im.listen_fd = -1;
-    }
+    im.listener.reset();
     return;
   }
-  ::shutdown(im.listen_fd, SHUT_RDWR);  // unblocks accept()
+  im.listener->shutdown();  // unblocks accept_client()
   {
     std::lock_guard<std::mutex> lock(im.stop_mu);
     im.stopping = true;
@@ -368,8 +347,7 @@ void MetricsServer::stop() {
   im.stop_cv.notify_all();
   if (im.acceptor.joinable()) im.acceptor.join();
   if (im.sampler.joinable()) im.sampler.join();
-  ::close(im.listen_fd);
-  im.listen_fd = -1;
+  im.listener.reset();
 }
 
 }  // namespace nup::obs

@@ -496,6 +496,66 @@ PipelineHandle PipelineExecutor::submit(std::uint64_t seed) {
 
 PipelineHandle PipelineExecutor::submit(std::uint64_t seed,
                                         FrameOptions frame) {
+  return submit_internal(seed, std::move(frame), /*reserved=*/false);
+}
+
+std::vector<PipelineHandle> PipelineExecutor::submit_group(
+    const std::vector<std::uint64_t>& seeds,
+    std::vector<FrameOptions> frames) {
+  Impl& im = *impl_;
+  if (!frames.empty() && frames.size() != seeds.size()) {
+    throw Error("PipelineExecutor::submit_group: frames/seeds size mismatch");
+  }
+  if (seeds.empty()) return {};
+  const std::size_t n = seeds.size();
+  const std::size_t window = im.options.max_frames_in_flight;
+  if (window != 0 && n > window) {
+    throw Error("PipelineExecutor::submit_group: group of " +
+                std::to_string(n) +
+                " frames exceeds max_frames_in_flight " +
+                std::to_string(window));
+  }
+  {
+    // Reserve the whole group in one critical section: concurrent
+    // submitters see the window shrink by n at once, so no foreign frame
+    // can land between two frames of the group.
+    std::unique_lock<std::mutex> lock(im.mu);
+    im.window_cv.wait(lock, [&] {
+      return !im.accepting || window == 0 || im.frames_active + n <= window;
+    });
+    if (!im.accepting) {
+      throw Error("PipelineExecutor::submit_group after shutdown");
+    }
+    im.frames_active += n;
+    im.g_inflight->set(static_cast<std::int64_t>(im.frames_active));
+    im.g_inflight_max->update_max(
+        static_cast<std::int64_t>(im.frames_active));
+  }
+  std::vector<PipelineHandle> handles;
+  handles.reserve(n);
+  try {
+    for (std::size_t i = 0; i < n; ++i) {
+      handles.push_back(submit_internal(
+          seeds[i], frames.empty() ? FrameOptions{} : std::move(frames[i]),
+          /*reserved=*/true));
+    }
+  } catch (...) {
+    // Release the reservations no frame ever claimed, so the window is
+    // not leaked (admitted frames release theirs through frame_done).
+    {
+      std::lock_guard<std::mutex> lock(im.mu);
+      im.frames_active -= n - handles.size();
+      im.g_inflight->set(static_cast<std::int64_t>(im.frames_active));
+    }
+    im.window_cv.notify_all();
+    throw;
+  }
+  return handles;
+}
+
+PipelineHandle PipelineExecutor::submit_internal(std::uint64_t seed,
+                                                 FrameOptions frame,
+                                                 bool reserved) {
   Impl& im = *impl_;
   auto ctx = std::make_shared<FrameCtx>();
   ctx->impl = im.weak_from_this();
@@ -545,18 +605,23 @@ PipelineHandle PipelineExecutor::submit(std::uint64_t seed,
     // are unresolved (frame_done signals). Frame ids are assigned at
     // admission, so armed ids are always distinct.
     std::unique_lock<std::mutex> lock(im.mu);
-    im.window_cv.wait(lock, [&] {
-      return !im.accepting || im.options.max_frames_in_flight == 0 ||
-             im.frames_active < im.options.max_frames_in_flight;
-    });
+    if (!reserved) {
+      im.window_cv.wait(lock, [&] {
+        return !im.accepting || im.options.max_frames_in_flight == 0 ||
+               im.frames_active < im.options.max_frames_in_flight;
+      });
+    }
     if (!im.accepting) {
       throw Error("PipelineExecutor::submit after shutdown");
     }
     ctx->frame_id = im.next_frame_id++;
-    ++im.frames_active;
-    im.g_inflight->set(static_cast<std::int64_t>(im.frames_active));
-    im.g_inflight_max->update_max(
-        static_cast<std::int64_t>(im.frames_active));
+    if (!reserved) {
+      // A group submit already claimed its slots in submit_group.
+      ++im.frames_active;
+      im.g_inflight->set(static_cast<std::int64_t>(im.frames_active));
+      im.g_inflight_max->update_max(
+          static_cast<std::int64_t>(im.frames_active));
+    }
     // Prune frames that already resolved; keep live ones reachable for
     // shutdown() even when the caller drops its handle.
     std::erase_if(im.inflight, [](const std::shared_ptr<FrameCtx>& f) {

@@ -96,6 +96,10 @@ DesignCache::DesignCache(std::size_t capacity, obs::Registry* registry,
   m_inserts_ = &reg.counter(prefix + "inserts");
   m_evictions_ = &reg.counter(prefix + "evictions");
   m_eviction_skips_ = &reg.counter(prefix + "eviction_skips");
+  m_pins_ = &reg.counter(prefix + "pins");
+  m_unpins_ = &reg.counter(prefix + "unpins");
+  m_pinned_ = &reg.gauge(prefix + "pinned");
+  m_entries_ = &reg.gauge(prefix + "entries");
   m_compile_us_ = &reg.histogram(prefix + "compile_us");
 }
 
@@ -140,6 +144,7 @@ DesignCache::lookup_or_compile_locked(const stencil::StencilProgram& program,
   index_.emplace(std::move(key), lru_.begin());
   evict_locked();
   stats_.entries = lru_.size();
+  m_entries_->set(static_cast<std::int64_t>(lru_.size()));
   return lru_.begin();
 }
 
@@ -177,7 +182,12 @@ std::shared_ptr<const CachedDesign> DesignCache::pin(
     const arch::BuildOptions& build) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = lookup_or_compile_locked(program, build);
-  if (it->pins++ == 0) ++stats_.pinned;
+  ++stats_.pins;
+  m_pins_->inc();
+  if (it->pins++ == 0) {
+    ++stats_.pinned;
+    m_pinned_->set(static_cast<std::int64_t>(stats_.pinned));
+  }
   return it->value;
 }
 
@@ -186,10 +196,14 @@ void DesignCache::unpin(const stencil::StencilProgram& program,
   std::lock_guard<std::mutex> lock(mu_);
   const auto found = index_.find(canonical_key(program, build));
   if (found == index_.end() || found->second->pins == 0) return;
+  ++stats_.unpins;
+  m_unpins_->inc();
   if (--found->second->pins == 0) {
     --stats_.pinned;
+    m_pinned_->set(static_cast<std::int64_t>(stats_.pinned));
     evict_locked();  // pressure deferred by the pin applies now
     stats_.entries = lru_.size();
+    m_entries_->set(static_cast<std::int64_t>(lru_.size()));
   }
 }
 
@@ -206,6 +220,8 @@ void DesignCache::clear() {
   index_.clear();
   stats_.entries = 0;
   stats_.pinned = 0;
+  m_pinned_->set(0);
+  m_entries_->set(0);
 }
 
 }  // namespace nup::runtime

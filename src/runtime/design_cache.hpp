@@ -37,6 +37,8 @@ struct DesignCacheStats {
   /// victim. A busy pipeline run under cache pressure grows this instead
   /// of evicting a stage's hot design.
   std::int64_t eviction_skips = 0;
+  std::int64_t pins = 0;    ///< pin() calls (nested pins each count)
+  std::int64_t unpins = 0;  ///< unpin() calls that actually dropped a pin
   std::size_t entries = 0;
   std::size_t pinned = 0;  ///< entries currently pin()ned (pin count > 0)
 };
@@ -59,7 +61,8 @@ struct DesignCacheStats {
 class DesignCache {
  public:
   /// `registry` receives the cache.* metrics (hits/misses/inserts/
-  /// evictions/eviction_skips counters, compile-latency histogram);
+  /// evictions/eviction_skips/pins/unpins counters, pinned/entries
+  /// gauges, compile-latency histogram);
   /// nullptr selects the process-wide obs::Registry::global(). A non-empty
   /// `label` namespaces the metrics as cache.<label>.* so several caches
   /// (one per pipeline stage engine) publish distinct series.
@@ -126,6 +129,10 @@ class DesignCache {
   obs::Counter* m_inserts_ = nullptr;
   obs::Counter* m_evictions_ = nullptr;
   obs::Counter* m_eviction_skips_ = nullptr;
+  obs::Counter* m_pins_ = nullptr;
+  obs::Counter* m_unpins_ = nullptr;
+  obs::Gauge* m_pinned_ = nullptr;
+  obs::Gauge* m_entries_ = nullptr;
   obs::Histogram* m_compile_us_ = nullptr;
 };
 

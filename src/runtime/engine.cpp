@@ -298,6 +298,7 @@ struct FrameEngine::Impl {
       frame.resolved = true;
     }
     frame.cv.notify_all();
+    if (frame.options.on_frame) frame.options.on_frame(frame.result);
   }
 
   /// Counts one tile down; the worker that brings the count to zero
@@ -532,7 +533,13 @@ std::shared_ptr<const TilePlan> FrameEngine::plan_for(
   topts.tile_shape = im.options.tile_shape.empty()
                          ? auto_tile_shape(program, im.thread_count)
                          : im.options.tile_shape;
-  std::string key = DesignCache::canonical_key(program, im.options.build);
+  // Unlike the design cache, plans must NOT be shared across programs
+  // that differ only in kernel: plan_tiles embeds the kernel in every
+  // tile's program, so two same-shaped stencils with different kernels
+  // (jacobi vs denoise) need distinct plans. The name stands in for the
+  // kernel identity (a std::function has none).
+  std::string key = program.name() + "|";
+  key += DesignCache::canonical_key(program, im.options.build);
   key += "|tile=";
   for (const std::int64_t s : topts.tile_shape) {
     key += std::to_string(s) + ",";

@@ -65,6 +65,8 @@ struct EngineOptions {
   sim::SimOptions sim;
 };
 
+struct FrameResult;
+
 /// Per-frame hooks used by the pipeline executor (src/pipeline); plain
 /// submit(program, seed) is the empty default.
 struct SubmitOptions {
@@ -87,6 +89,14 @@ struct SubmitOptions {
   /// counted done, so the frame resolves only after every hook returned.
   std::function<void(std::size_t tile_idx, const double* outputs, bool ok)>
       on_tile;
+
+  /// Frame-resolution hook, called exactly once in the resolving worker
+  /// thread after the result is assembled and waiters have been released.
+  /// The reference stays valid as long as any FrameHandle to the frame is
+  /// alive. The multi-tenant serving layer uses it as its submit-side
+  /// completion signal (free an admission slot, update per-tenant SLOs)
+  /// without parking a waiter thread per frame. Must not throw.
+  std::function<void(const FrameResult&)> on_frame;
 
   /// When true, submit() registers the frame but enqueues no tiles; the
   /// caller feeds them to the workers one by one with release_tile() as

@@ -1,0 +1,29 @@
+#include "serve/client.hpp"
+
+namespace nup::serve {
+
+ServeClient::ServeClient(StencilServer& server, std::string tenant,
+                         TenantQuota quota)
+    : server_(&server), tenant_(std::move(tenant)) {
+  server_->register_tenant(tenant_, quota);
+}
+
+SubmitResult ServeClient::submit(const std::string& kernel,
+                                 std::uint64_t seed) {
+  SubmitResult result = server_->submit(tenant_, kernel, seed);
+  if (result.admitted()) handles_.push_back(result.handle);
+  return result;
+}
+
+std::size_t ServeClient::wait_all() {
+  std::size_t ok = 0;
+  for (RequestHandle& h : handles_) {
+    if (h.wait().ok()) ++ok;
+  }
+  handles_.clear();
+  return ok;
+}
+
+void ServeClient::disconnect() { server_->disconnect(tenant_); }
+
+}  // namespace nup::serve

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/server.hpp"
+#include "serve/tenant.hpp"
+
+namespace nup::serve {
+
+/// In-process tenant session over a StencilServer: the same submit /
+/// wait / disconnect surface a remote client gets from the line protocol
+/// (serve::ServeEndpoint), without sockets -- tests, benches and the CLI
+/// drive the service through this. Construction registers the tenant;
+/// destruction does NOT disconnect (outstanding handles stay valid) --
+/// call disconnect() to model a tenant vanishing mid-flight.
+///
+/// Not thread-safe per instance (one session == one logical client);
+/// distinct clients of one server may run concurrently.
+class ServeClient {
+ public:
+  ServeClient(StencilServer& server, std::string tenant,
+              TenantQuota quota = {});
+
+  const std::string& tenant() const { return tenant_; }
+
+  /// Submits one frame request; the verdict is synchronous (kShed never
+  /// blocks). Outstanding admitted handles are tracked so wait_all() and
+  /// disconnect() cover them.
+  SubmitResult submit(const std::string& kernel, std::uint64_t seed);
+
+  /// Waits for every outstanding admitted request and forgets the
+  /// handles; returns how many resolved ok.
+  std::size_t wait_all();
+
+  /// Models the tenant vanishing: queued requests resolve cancelled,
+  /// running frames are cancelled. Outstanding handles stay usable (they
+  /// resolve as cancelled or with whatever completed first).
+  void disconnect();
+
+  /// Outstanding admitted requests (handles not yet consumed by
+  /// wait_all).
+  const std::vector<RequestHandle>& outstanding() const {
+    return handles_;
+  }
+
+ private:
+  StencilServer* server_;
+  std::string tenant_;
+  std::vector<RequestHandle> handles_;
+};
+
+}  // namespace nup::serve

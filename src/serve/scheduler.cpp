@@ -1,0 +1,177 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace nup::serve {
+
+Scheduler::Scheduler(SchedulerOptions options)
+    : options_(std::move(options)) {}
+
+void Scheduler::register_tenant(const std::string& tenant,
+                                TenantQuota quota) {
+  if (tenant.empty()) throw Error("Scheduler: empty tenant name");
+  if (quota.weight <= 0.0) quota.weight = 1.0;
+  for (Tenant& t : tenants_) {
+    if (t.name == tenant) {
+      t.quota = quota;
+      return;
+    }
+  }
+  Tenant t;
+  t.name = tenant;
+  t.quota = quota;
+  // A late joiner starts at the current virtual time, not at zero:
+  // otherwise it would monopolize the engine until its pass caught up
+  // with tenants that have been running for a while.
+  t.pass = virtual_time_;
+  tenants_.push_back(std::move(t));
+}
+
+bool Scheduler::has_tenant(const std::string& tenant) const {
+  for (const Tenant& t : tenants_) {
+    if (t.name == tenant) return true;
+  }
+  return false;
+}
+
+Verdict Scheduler::submit(const SchedItem& item, ShedReason* reason) {
+  if (!has_tenant(item.tenant)) {
+    register_tenant(item.tenant, options_.default_quota);
+  }
+  Tenant* tenant = nullptr;
+  for (Tenant& t : tenants_) {
+    if (t.name == item.tenant) {
+      tenant = &t;
+      break;
+    }
+  }
+  if (options_.global_queue_limit != 0 &&
+      queued_total_ >= options_.global_queue_limit) {
+    if (reason != nullptr) *reason = ShedReason::kGlobalQueueFull;
+    return Verdict::kShed;
+  }
+  if (tenant->queue.size() >= tenant->quota.max_queued) {
+    if (reason != nullptr) *reason = ShedReason::kTenantQueueFull;
+    return Verdict::kShed;
+  }
+  if (tenant->queue.empty()) {
+    // Idle tenants bank no credit: rejoin at the current virtual time.
+    tenant->pass = std::max(tenant->pass, virtual_time_);
+  }
+  tenant->queue.push_back(item);
+  ++queued_total_;
+  if (reason != nullptr) *reason = ShedReason::kNone;
+  return Verdict::kAdmitted;
+}
+
+bool Scheduler::has_eligible() const { return pick_eligible() != npos; }
+
+std::size_t Scheduler::pick_eligible() const {
+  std::size_t best = npos;
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    const Tenant& t = tenants_[i];
+    if (t.queue.empty() || t.in_flight >= t.quota.max_in_flight) continue;
+    if (best == npos || t.pass < tenants_[best].pass) best = i;
+  }
+  return best;
+}
+
+SchedItem Scheduler::take(Tenant& t, std::size_t queue_pos) {
+  SchedItem item = std::move(t.queue[queue_pos]);
+  t.queue.erase(t.queue.begin() + static_cast<std::ptrdiff_t>(queue_pos));
+  --queued_total_;
+  ++t.in_flight;
+  t.pass += 1.0 / t.quota.weight;
+  virtual_time_ = std::max(virtual_time_, t.pass);
+  return item;
+}
+
+std::vector<SchedItem> Scheduler::next_group(std::size_t max_size) {
+  std::vector<SchedItem> group;
+  if (max_size == 0) return group;
+
+  const std::size_t leader = pick_eligible();
+  if (leader == npos) return group;
+  group.push_back(take(tenants_[leader], 0));
+  const std::uint64_t key = group.front().design_key;
+
+  while (group.size() < max_size) {
+    if (options_.policy == Policy::kRoundRobin) {
+      const std::size_t next = pick_eligible();
+      if (next == npos) break;
+      group.push_back(take(tenants_[next], 0));
+      continue;
+    }
+    // Affinity: min-pass tenant holding any queued request with the
+    // leader's design key (its earliest such request -- requests of one
+    // tenant with other designs keep their relative order).
+    std::size_t best = npos;
+    std::size_t best_pos = 0;
+    for (std::size_t i = 0; i < tenants_.size(); ++i) {
+      const Tenant& t = tenants_[i];
+      if (t.in_flight >= t.quota.max_in_flight) continue;
+      for (std::size_t p = 0; p < t.queue.size(); ++p) {
+        if (t.queue[p].design_key != key) continue;
+        if (best == npos || t.pass < tenants_[best].pass) {
+          best = i;
+          best_pos = p;
+        }
+        break;
+      }
+    }
+    if (best == npos) break;
+    group.push_back(take(tenants_[best], best_pos));
+  }
+  return group;
+}
+
+void Scheduler::complete(const std::string& tenant) {
+  for (Tenant& t : tenants_) {
+    if (t.name != tenant) continue;
+    if (t.in_flight == 0) {
+      throw Error("Scheduler::complete without a dispatched request for " +
+                  tenant);
+    }
+    --t.in_flight;
+    return;
+  }
+  throw Error("Scheduler::complete for unknown tenant " + tenant);
+}
+
+std::vector<SchedItem> Scheduler::drop_tenant(const std::string& tenant) {
+  std::vector<SchedItem> dropped;
+  for (Tenant& t : tenants_) {
+    if (t.name != tenant) continue;
+    dropped.assign(std::make_move_iterator(t.queue.begin()),
+                   std::make_move_iterator(t.queue.end()));
+    queued_total_ -= t.queue.size();
+    t.queue.clear();
+    break;
+  }
+  return dropped;
+}
+
+std::size_t Scheduler::queued(const std::string& tenant) const {
+  for (const Tenant& t : tenants_) {
+    if (t.name == tenant) return t.queue.size();
+  }
+  return 0;
+}
+
+std::size_t Scheduler::in_flight(const std::string& tenant) const {
+  for (const Tenant& t : tenants_) {
+    if (t.name == tenant) return t.in_flight;
+  }
+  return 0;
+}
+
+std::vector<std::string> Scheduler::tenants() const {
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const Tenant& t : tenants_) names.push_back(t.name);
+  return names;
+}
+
+}  // namespace nup::serve

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "serve/tenant.hpp"
+
+namespace nup::serve {
+
+/// One queued request as the scheduler sees it: an opaque id (the server
+/// maps it back to the full request state), the owning tenant and the
+/// canonical design key (runtime::DesignCache::fingerprint) used for
+/// affinity grouping.
+struct SchedItem {
+  std::uint64_t id = 0;
+  std::string tenant;
+  std::uint64_t design_key = 0;
+};
+
+struct SchedulerOptions {
+  /// Quota applied to tenants the server auto-registers on first submit.
+  TenantQuota default_quota;
+
+  /// Total queued requests across all tenants before submits shed with
+  /// kGlobalQueueFull. 0 removes the bound.
+  std::size_t global_queue_limit = 256;
+
+  Policy policy = Policy::kAffinity;
+};
+
+/// Pure admission + dispatch-order state machine of the serving layer: no
+/// threads, no locks, no engine -- every decision is a deterministic
+/// function of the call sequence, which is what makes shed verdicts and
+/// group composition unit-testable. StencilServer serializes access under
+/// its own mutex.
+///
+/// Fairness is stride scheduling: each tenant carries a virtual pass,
+/// advanced by 1/weight per dispatched request; the eligible tenant with
+/// the minimum pass goes next (registration order breaks ties). A tenant
+/// going idle does not bank credit: on its next submit the pass is pulled
+/// forward to the current virtual time.
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerOptions options = {});
+
+  /// Registers (or re-quotas) a tenant. Queued work is kept on re-quota;
+  /// the new limits apply from the next decision.
+  void register_tenant(const std::string& tenant, TenantQuota quota);
+
+  bool has_tenant(const std::string& tenant) const;
+
+  /// Admission decision for one request. kAdmitted appends the item to
+  /// its tenant's queue; kShed drops it (the reason says which bound was
+  /// hit). An unknown tenant is auto-registered with the default quota.
+  Verdict submit(const SchedItem& item, ShedReason* reason = nullptr);
+
+  /// True when some tenant could start a request right now (work queued
+  /// and in-flight below its max_in_flight) -- the dispatcher's wake
+  /// predicate.
+  bool has_eligible() const;
+
+  /// Dequeues the next dispatch group, at most max_size requests, and
+  /// counts each against its tenant's in-flight quota (pair every item
+  /// with a later complete()). The group leader is the WFQ pick; under
+  /// kAffinity the rest of the group is gathered -- still in WFQ order,
+  /// still quota-bounded -- from every tenant's earliest queued request
+  /// with the leader's design key, so one group compiles one design.
+  /// Under kRoundRobin grouping is design-blind (pure WFQ order). Empty
+  /// when nothing is eligible.
+  std::vector<SchedItem> next_group(std::size_t max_size);
+
+  /// One dispatched request of the tenant finished (ok, failed or
+  /// cancelled): releases its in-flight slot.
+  void complete(const std::string& tenant);
+
+  /// Drops every *queued* request of the tenant (a disconnect): returns
+  /// the dropped items so the server can resolve their handles as
+  /// cancelled. In-flight requests are untouched -- the server cancels
+  /// those at the engine and their complete() arrives through the normal
+  /// resolution path.
+  std::vector<SchedItem> drop_tenant(const std::string& tenant);
+
+  std::size_t queued() const { return queued_total_; }
+  std::size_t queued(const std::string& tenant) const;
+  std::size_t in_flight(const std::string& tenant) const;
+  std::vector<std::string> tenants() const;
+
+ private:
+  struct Tenant {
+    std::string name;
+    TenantQuota quota;
+    std::deque<SchedItem> queue;
+    std::size_t in_flight = 0;
+    double pass = 0.0;  ///< stride virtual time consumed
+  };
+
+  /// Index of the min-pass tenant that can start a request now, or npos.
+  std::size_t pick_eligible() const;
+  /// Charges one dispatch to the tenant: pass advance + in-flight count.
+  SchedItem take(Tenant& t, std::size_t queue_pos);
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  SchedulerOptions options_;
+  std::vector<Tenant> tenants_;  // registration order (WFQ tie-break)
+  std::size_t queued_total_ = 0;
+  double virtual_time_ = 0.0;  ///< pass of the most recent dispatch
+};
+
+}  // namespace nup::serve

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace nup::serve {
+
+/// Admission limits of one tenant. Defaults are deliberately generous so
+/// a single-tenant CLI run (`stencilcc --serve N`) never sheds; a service
+/// operator tightens them per tenant (or via --quota / --shed-after).
+struct TenantQuota {
+  /// How many of the tenant's frames may execute on the engine at once.
+  /// Never sheds by itself -- requests past it queue and wait their turn.
+  std::size_t max_in_flight = 4;
+
+  /// Queue-depth cap: a submit arriving while this many of the tenant's
+  /// requests are already queued (not yet dispatched) is shed with an
+  /// explicit kShed verdict instead of growing the backlog without bound.
+  std::size_t max_queued = 64;
+
+  /// Weighted-fair-queuing share. A tenant with weight 2 is scheduled
+  /// twice as often as a weight-1 tenant when both have work queued.
+  /// Values <= 0 are treated as 1.
+  double weight = 1.0;
+};
+
+/// Synchronous admission answer of StencilServer::submit.
+enum class Verdict {
+  kAdmitted,  ///< queued for dispatch; the handle resolves eventually
+  kShed,      ///< dropped at the door; the handle is empty
+};
+
+/// Why a request was shed (kNone when it was admitted).
+enum class ShedReason {
+  kNone,
+  kTenantQueueFull,  ///< tenant backlog reached TenantQuota::max_queued
+  kGlobalQueueFull,  ///< service backlog reached global_queue_limit
+  kShuttingDown,     ///< submit raced server shutdown
+};
+
+inline const char* to_string(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kNone: return "none";
+    case ShedReason::kTenantQueueFull: return "tenant_queue_full";
+    case ShedReason::kGlobalQueueFull: return "global_queue_full";
+    case ShedReason::kShuttingDown: return "shutting_down";
+  }
+  return "unknown";
+}
+
+/// Dispatch-order policy of the serving scheduler.
+enum class Policy {
+  /// Group queued requests by canonical design key: the dispatcher drains
+  /// a whole same-design group before switching, so the engine's design
+  /// cache serves every frame after the first from memory.
+  kAffinity,
+  /// Strict weighted-fair order, design-blind: consecutive frames
+  /// alternate designs under a mixed workload (the baseline bench_serve
+  /// compares against).
+  kRoundRobin,
+};
+
+inline const char* to_string(Policy policy) {
+  switch (policy) {
+    case Policy::kAffinity: return "affinity";
+    case Policy::kRoundRobin: return "round_robin";
+  }
+  return "unknown";
+}
+
+}  // namespace nup::serve

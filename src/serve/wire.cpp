@@ -1,0 +1,214 @@
+#include "serve/wire.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "util/socket.hpp"
+
+namespace nup::serve {
+
+std::uint64_t output_checksum(const std::vector<double>& outputs) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (const double v : outputs) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (bits >> (byte * 8)) & 0xffu;
+      h *= 1099511628211ull;  // FNV prime
+    }
+  }
+  return h;
+}
+
+namespace {
+
+std::vector<std::string> split_words(const std::string& line) {
+  std::vector<std::string> words;
+  std::istringstream in(line);
+  std::string word;
+  while (in >> word) words.push_back(std::move(word));
+  return words;
+}
+
+bool parse_u64(const std::string& word, std::uint64_t* value) {
+  if (word.empty()) return false;
+  std::uint64_t v = 0;
+  for (const char c : word) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *value = v;
+  return true;
+}
+
+}  // namespace
+
+struct ServeEndpoint::Impl {
+  StencilServer* server = nullptr;
+  std::unique_ptr<util::LoopbackListener> listener;
+  std::string error;
+
+  std::thread acceptor;
+  std::atomic<bool> running{false};
+  std::mutex conn_mu;
+  std::vector<std::thread> conn_threads;
+  std::vector<int> conn_fds;  ///< open connection fds (for stop())
+
+  /// One tenant session: line in, line out, until QUIT or EOF. An EOF
+  /// without QUIT counts as the tenant vanishing mid-flight.
+  void serve_connection(int fd) {
+    util::LineReader reader(fd);
+    std::string tenant;
+    bool graceful = false;
+    std::unordered_map<std::uint64_t, RequestHandle> handles;
+    std::string line;
+    while (reader.next_line(&line)) {
+      const std::vector<std::string> words = split_words(line);
+      std::string reply;
+      if (words.empty()) {
+        reply = "ERR empty command";
+      } else if (words[0] == "HELLO") {
+        if (words.size() != 2) {
+          reply = "ERR usage: HELLO <tenant>";
+        } else {
+          tenant = words[1];
+          server->register_tenant(tenant, TenantQuota{});
+          reply = "OK " + tenant;
+        }
+      } else if (words[0] == "SUBMIT") {
+        std::uint64_t seed = 0;
+        if (words.size() != 3 || !parse_u64(words[2], &seed)) {
+          reply = "ERR usage: SUBMIT <kernel> <seed>";
+        } else if (tenant.empty()) {
+          reply = "ERR HELLO first";
+        } else {
+          try {
+            const SubmitResult r = server->submit(tenant, words[1], seed);
+            if (r.admitted()) {
+              handles.emplace(r.handle.id(), r.handle);
+              reply = "OK " + std::to_string(r.handle.id());
+            } else {
+              reply = std::string("SHED ") + to_string(r.reason);
+            }
+          } catch (const std::exception& e) {
+            reply = std::string("ERR ") + e.what();
+          }
+        }
+      } else if (words[0] == "WAIT") {
+        std::uint64_t id = 0;
+        if (words.size() != 2 || !parse_u64(words[1], &id)) {
+          reply = "ERR usage: WAIT <id>";
+        } else {
+          const auto it = handles.find(id);
+          if (it == handles.end()) {
+            reply = "ERR unknown request " + std::to_string(id);
+          } else {
+            const runtime::FrameResult& fr = it->second.wait();
+            const char* status = fr.ok() ? "ok"
+                                 : fr.cancelled ? "cancelled"
+                                                : "failed";
+            reply = "DONE " + std::to_string(id) + " " + status + " " +
+                    std::to_string(fr.outputs.size()) + " " +
+                    std::to_string(output_checksum(fr.outputs));
+            handles.erase(it);
+          }
+        }
+      } else if (words[0] == "KERNELS") {
+        reply = "OK";
+        for (const std::string& name : server->kernels()) {
+          reply += " " + name;
+        }
+      } else if (words[0] == "STATS") {
+        const ServeStats s = server->stats();
+        reply = "OK submitted=" + std::to_string(s.submitted) +
+                " completed=" + std::to_string(s.completed) +
+                " shed=" + std::to_string(s.shed) +
+                " queued=" + std::to_string(s.queued) +
+                " inflight=" + std::to_string(s.in_flight);
+      } else if (words[0] == "QUIT") {
+        graceful = true;
+        util::write_all(fd, "OK bye\n");
+        break;
+      } else {
+        reply = "ERR unknown command " + words[0];
+      }
+      if (!util::write_all(fd, reply + "\n")) break;
+    }
+    if (!graceful && !tenant.empty()) {
+      // The connection dropped mid-session: cancel the tenant's work so
+      // nothing (frames, pins, queue slots) leaks past the disconnect.
+      server->disconnect(tenant);
+    }
+  }
+
+  void accept_loop() {
+    while (running.load(std::memory_order_acquire)) {
+      const int fd = listener->accept_client();
+      if (fd < 0) break;  // listener shut down
+      std::lock_guard<std::mutex> lock(conn_mu);
+      conn_fds.push_back(fd);
+      conn_threads.emplace_back([this, fd] {
+        serve_connection(fd);
+        ::close(fd);
+      });
+    }
+  }
+};
+
+ServeEndpoint::ServeEndpoint(StencilServer& server,
+                             ServeEndpointOptions options)
+    : impl_(std::make_unique<Impl>()) {
+  Impl& im = *impl_;
+  im.server = &server;
+  im.listener = std::make_unique<util::LoopbackListener>(options.port);
+  if (!im.listener->ok()) {
+    im.error = im.listener->error();  // names the requested port
+    im.listener.reset();
+    return;
+  }
+  im.running.store(true, std::memory_order_release);
+  im.acceptor = std::thread([this] { impl_->accept_loop(); });
+}
+
+ServeEndpoint::~ServeEndpoint() { stop(); }
+
+bool ServeEndpoint::ok() const { return impl_->listener != nullptr; }
+
+const std::string& ServeEndpoint::error() const { return impl_->error; }
+
+int ServeEndpoint::port() const {
+  return impl_->listener ? impl_->listener->port() : 0;
+}
+
+void ServeEndpoint::stop() {
+  Impl& im = *impl_;
+  if (!im.running.exchange(false, std::memory_order_acq_rel)) {
+    im.listener.reset();
+    return;
+  }
+  im.listener->shutdown();  // unblocks accept_client()
+  if (im.acceptor.joinable()) im.acceptor.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(im.conn_mu);
+    // Force readers off their sockets; the threads then fall out of
+    // their loops (fds are closed by the threads themselves).
+    for (const int fd : im.conn_fds) ::shutdown(fd, SHUT_RDWR);
+    threads.swap(im.conn_threads);
+    im.conn_fds.clear();
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  im.listener.reset();
+}
+
+}  // namespace nup::serve

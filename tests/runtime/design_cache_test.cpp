@@ -257,6 +257,48 @@ TEST(DesignCache, AllPinnedGrowsPastCapacityInsteadOfEvicting) {
   EXPECT_EQ(cache.stats().pinned, 3u);
 }
 
+TEST(DesignCache, PinCountersTrackNestingAndRegistry) {
+  obs::Registry registry;
+  DesignCache cache(4, &registry);
+  const stencil::StencilProgram p = stencil::denoise_2d(10, 12);
+
+  // Nested pins each count; the entry is "pinned" once regardless.
+  cache.pin(p);
+  cache.pin(p);
+  DesignCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.pins, 2);
+  EXPECT_EQ(stats.unpins, 0);
+  EXPECT_EQ(stats.pinned, 1u);
+
+  // The first unpin drops one nesting level, not the pin itself.
+  cache.unpin(p);
+  stats = cache.stats();
+  EXPECT_EQ(stats.unpins, 1);
+  EXPECT_EQ(stats.pinned, 1u);
+
+  cache.unpin(p);
+  stats = cache.stats();
+  EXPECT_EQ(stats.unpins, 2);
+  EXPECT_EQ(stats.pinned, 0u);
+
+  // Unpinning an unpinned (or absent) entry is a no-op: the counter only
+  // moves when a pin is actually dropped, so pins == unpins remains the
+  // leak-free invariant.
+  cache.unpin(p);
+  cache.unpin(stencil::rician_2d(10, 12));  // never inserted
+  stats = cache.stats();
+  EXPECT_EQ(stats.unpins, 2);
+  EXPECT_EQ(stats.pins, stats.unpins);
+
+  // The registry mirrors the struct (the serving layer's /metrics view).
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.value_of("cache.pins"), stats.pins);
+  EXPECT_EQ(snap.value_of("cache.unpins"), stats.unpins);
+  EXPECT_EQ(snap.value_of("cache.pinned"), 0);
+  EXPECT_EQ(snap.value_of("cache.entries"),
+            static_cast<std::int64_t>(stats.entries));
+}
+
 TEST(DesignCache, PinVersusLruHammer) {
   // Many threads churn a tiny cache while one set of entries stays
   // pinned: the pinned designs must remain the same objects throughout,

@@ -1,0 +1,272 @@
+// The line-protocol front-end: a remote tenant session over a loopback
+// socket must behave exactly like the in-process client -- same verdicts,
+// same results (verified through the shipped checksum against a local
+// golden run) -- and a connection that drops without QUIT must cancel the
+// tenant's work without leaking pins or hanging the server.
+
+#include "serve/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.hpp"
+#include "stencil/gallery.hpp"
+#include "stencil/golden.hpp"
+#include "util/socket.hpp"
+
+namespace nup::serve {
+namespace {
+
+using std::chrono::milliseconds;
+
+stencil::StencilProgram slow_program(std::int64_t rows, std::int64_t cols,
+                                     milliseconds per_fire) {
+  stencil::StencilProgram p("SLOW",
+                            poly::Domain::box({1, 1}, {rows - 2, cols - 2}));
+  p.add_input("A", {{-1, 0}, {0, -1}, {0, 0}, {0, 1}, {1, 0}});
+  p.set_kernel([per_fire](const std::vector<double>& v) {
+    std::this_thread::sleep_for(per_fire);
+    return std::accumulate(v.begin(), v.end(), 0.0) / 5.0;
+  });
+  return p;
+}
+
+/// One protocol session: send a command line, read the one reply line.
+class WireClient {
+ public:
+  explicit WireClient(int port)
+      : fd_(util::connect_loopback(port)), reader_(fd_) {}
+  ~WireClient() { close(); }
+
+  bool connected() const { return fd_ >= 0; }
+
+  std::string command(const std::string& line) {
+    EXPECT_TRUE(util::write_all(fd_, line + "\n")) << line;
+    std::string reply;
+    EXPECT_TRUE(reader_.next_line(&reply)) << "no reply to " << line;
+    return reply;
+  }
+
+  /// Hard drop: closes the socket without QUIT (a vanished tenant).
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_;
+  util::LineReader reader_;
+};
+
+std::vector<std::string> words_of(const std::string& line) {
+  std::vector<std::string> words;
+  std::istringstream in(line);
+  std::string word;
+  while (in >> word) words.push_back(std::move(word));
+  return words;
+}
+
+TEST(ServeEndpoint, HelloSubmitWaitShipsGoldenChecksum) {
+  const stencil::StencilProgram p = stencil::jacobi_2d(20, 24);
+  ServeOptions options;
+  options.engine.threads = 2;
+  StencilServer server(options);
+  server.add_kernel(p);
+  ServeEndpoint endpoint(server);
+  ASSERT_TRUE(endpoint.ok()) << endpoint.error();
+  ASSERT_GT(endpoint.port(), 0);  // ephemeral bind reports the pick
+
+  WireClient client(endpoint.port());
+  ASSERT_TRUE(client.connected());
+  EXPECT_EQ(client.command("HELLO remote"), "OK remote");
+
+  const std::string submitted = client.command("SUBMIT JACOBI_2D 5");
+  const std::vector<std::string> ok = words_of(submitted);
+  ASSERT_EQ(ok.size(), 2u) << submitted;
+  ASSERT_EQ(ok[0], "OK");
+
+  const std::string done = client.command("WAIT " + ok[1]);
+  const std::vector<std::string> reply = words_of(done);
+  ASSERT_EQ(reply.size(), 5u) << done;
+  EXPECT_EQ(reply[0], "DONE");
+  EXPECT_EQ(reply[1], ok[1]);
+  EXPECT_EQ(reply[2], "ok");
+
+  // The shipped checksum is the remote client's bit-identity proof: it
+  // must equal the FNV-1a hash of a local frame-serial golden run.
+  const stencil::GoldenRun golden = stencil::run_golden(p, 5);
+  EXPECT_EQ(reply[3], std::to_string(golden.outputs.size()));
+  EXPECT_EQ(reply[4], std::to_string(output_checksum(golden.outputs)));
+
+  EXPECT_EQ(client.command("QUIT"), "OK bye");
+}
+
+TEST(ServeEndpoint, KernelsStatsAndErrReplies) {
+  ServeOptions options;
+  options.engine.threads = 1;
+  StencilServer server(options);
+  server.add_kernel(stencil::jacobi_2d(16, 20));
+  server.add_kernel(stencil::blur_2d(16, 20));
+  ServeEndpoint endpoint(server);
+  ASSERT_TRUE(endpoint.ok()) << endpoint.error();
+
+  WireClient client(endpoint.port());
+  ASSERT_TRUE(client.connected());
+
+  // A session must introduce itself before submitting.
+  EXPECT_EQ(client.command("SUBMIT JACOBI_2D 1"), "ERR HELLO first");
+  EXPECT_EQ(client.command("HELLO t"), "OK t");
+
+  // Malformed input answers ERR and keeps the connection usable.
+  EXPECT_EQ(client.command("FROB"), "ERR unknown command FROB");
+  EXPECT_EQ(client.command("SUBMIT JACOBI_2D not_a_seed"),
+            "ERR usage: SUBMIT <kernel> <seed>");
+  const std::string unknown = client.command("SUBMIT NO_SUCH 1");
+  EXPECT_EQ(unknown.rfind("ERR ", 0), 0u) << unknown;
+  EXPECT_EQ(client.command("WAIT 424242"), "ERR unknown request 424242");
+
+  const std::string kernels = client.command("KERNELS");
+  EXPECT_NE(kernels.find("JACOBI_2D"), std::string::npos) << kernels;
+  EXPECT_NE(kernels.find("BLUR_3x3"), std::string::npos) << kernels;
+
+  const std::string submitted = client.command("SUBMIT BLUR_3x3 3");
+  ASSERT_EQ(words_of(submitted)[0], "OK") << submitted;
+  client.command("WAIT " + words_of(submitted)[1]);
+
+  const std::string stats = client.command("STATS");
+  EXPECT_NE(stats.find("submitted=1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("completed=1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("shed=0"), std::string::npos) << stats;
+  EXPECT_EQ(client.command("QUIT"), "OK bye");
+}
+
+TEST(ServeEndpoint, ShedVerdictCrossesTheWire) {
+  ServeOptions options;
+  options.engine.threads = 1;
+  options.engine.tile_shape = {0, 0};
+  options.max_frames_in_flight = 1;
+  options.global_queue_limit = 1;
+  StencilServer server(options);
+  server.add_kernel(slow_program(10, 12, milliseconds(1)));
+  ServeEndpoint endpoint(server);
+  ASSERT_TRUE(endpoint.ok()) << endpoint.error();
+
+  WireClient client(endpoint.port());
+  ASSERT_TRUE(client.connected());
+  EXPECT_EQ(client.command("HELLO greedy"), "OK greedy");
+
+  const std::string first = client.command("SUBMIT SLOW 1");
+  ASSERT_EQ(words_of(first)[0], "OK") << first;
+  // Wait until the first request is on the engine (inflight=1 queued=0),
+  // so the next two submits deterministically fill and overflow the
+  // global queue bound.
+  for (int i = 0; i < 2000; ++i) {
+    const ServeStats s = server.stats();
+    if (s.in_flight == 1 && s.queued == 0) break;
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  const std::string second = client.command("SUBMIT SLOW 2");
+  ASSERT_EQ(words_of(second)[0], "OK") << second;
+  EXPECT_EQ(client.command("SUBMIT SLOW 3"), "SHED global_queue_full");
+
+  client.command("WAIT " + words_of(first)[1]);
+  client.command("WAIT " + words_of(second)[1]);
+  EXPECT_EQ(client.command("QUIT"), "OK bye");
+  EXPECT_EQ(server.stats().shed, 1);
+}
+
+TEST(ServeEndpoint, DroppedConnectionCancelsTheTenant) {
+  ServeOptions options;
+  options.engine.threads = 1;
+  options.engine.tile_shape = {1, 0};  // many tiles: cancel lands mid-frame
+  options.max_frames_in_flight = 1;
+  StencilServer server(options);
+  server.add_kernel(slow_program(16, 10, milliseconds(1)));
+  ServeEndpoint endpoint(server);
+  ASSERT_TRUE(endpoint.ok()) << endpoint.error();
+
+  {
+    WireClient client(endpoint.port());
+    ASSERT_TRUE(client.connected());
+    EXPECT_EQ(client.command("HELLO doomed"), "OK doomed");
+    for (int i = 1; i <= 3; ++i) {
+      const std::string r =
+          client.command("SUBMIT SLOW " + std::to_string(i));
+      ASSERT_EQ(words_of(r)[0], "OK") << r;
+    }
+    client.close();  // EOF without QUIT: the tenant vanished
+  }
+
+  // The endpoint notices the EOF and disconnects the tenant: every
+  // admitted request resolves (cancelled, or completed if it won the
+  // race), and nothing stays queued or in flight.
+  for (int i = 0; i < 5000; ++i) {
+    const ServeStats s = server.stats();
+    if (s.completed + s.cancelled + s.failed == 3 && s.in_flight == 0 &&
+        s.queued == 0) {
+      break;
+    }
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.completed + stats.cancelled + stats.failed, 3);
+  EXPECT_GE(stats.cancelled, 1);  // the queued tail could never all finish
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.in_flight, 0u);
+
+  endpoint.stop();
+  server.shutdown();
+  const runtime::DesignCacheStats cache = server.engine().stats().cache;
+  EXPECT_EQ(cache.pinned, 0u) << "dropped connection leaked design pins";
+  EXPECT_EQ(cache.pins, cache.unpins);
+}
+
+TEST(ServeEndpoint, QuitLeavesOutstandingWorkRunning) {
+  ServeOptions options;
+  options.engine.threads = 1;
+  StencilServer server(options);
+  server.add_kernel(stencil::jacobi_2d(16, 20));
+  ServeEndpoint endpoint(server);
+  ASSERT_TRUE(endpoint.ok()) << endpoint.error();
+
+  {
+    WireClient client(endpoint.port());
+    ASSERT_TRUE(client.connected());
+    client.command("HELLO polite");
+    ASSERT_EQ(words_of(client.command("SUBMIT JACOBI_2D 1"))[0], "OK");
+    EXPECT_EQ(client.command("QUIT"), "OK bye");
+  }
+
+  // QUIT is not a disconnect: the submitted frame completes.
+  for (int i = 0; i < 5000 && server.stats().completed < 1; ++i) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  EXPECT_EQ(server.stats().completed, 1);
+  EXPECT_EQ(server.stats().cancelled, 0);
+}
+
+TEST(ServeEndpoint, BindFailureNamesThePort) {
+  // Occupy a port, then ask the endpoint for the same one.
+  util::LoopbackListener taken(0);
+  ASSERT_TRUE(taken.ok());
+
+  StencilServer server;
+  ServeEndpointOptions options;
+  options.port = taken.port();
+  ServeEndpoint endpoint(server, options);
+  EXPECT_FALSE(endpoint.ok());
+  EXPECT_NE(endpoint.error().find(std::to_string(taken.port())),
+            std::string::npos)
+      << endpoint.error();
+}
+
+}  // namespace
+}  // namespace nup::serve

@@ -24,10 +24,15 @@
 //   --cpp-model    also emit a standalone C co-simulation model
 //   --rtl-check    execute the generated Verilog in the built-in RTL
 //                  interpreter (small programs only)
-//   --serve <N>    batch mode: after compiling, serve N frames of the
-//                  kernel through the concurrent tiled runtime (design
-//                  cache + halo tiler + worker pool) and print the
-//                  throughput and cache statistics
+//   --serve <N>    serving mode: after compiling, serve N frames of the
+//                  kernel through the multi-tenant serving subsystem
+//                  (admission quotas, weighted-fair scheduling, design-
+//                  affinity batching over the tiled runtime; see
+//                  docs/SERVING.md) and print throughput, shed and cache
+//                  statistics. --tenants/--quota/--shed-after/
+//                  --serve-policy/--serve-mix shape the workload and the
+//                  admission rules; --serve-port additionally accepts
+//                  remote tenants over the loopback line protocol
 //   --threads <T>  worker threads for --serve (default: hardware)
 //   --tile <a,b,..> tile extents per dimension for --serve (0 = full
 //                  extent; default: automatic shape)
@@ -113,8 +118,12 @@
 #include "pipeline/stage_graph.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/telemetry.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
 #include "sim/vcd.hpp"
 #include "stencil/boundary.hpp"
+#include "stencil/gallery.hpp"
 #include "temporal/runner.hpp"
 #include "util/error.hpp"
 
@@ -148,13 +157,37 @@ void usage() {
       "                  RTL interpreter (small programs only)\n"
       "\n"
       "serving options (single kernel, pipeline and temporal modes):\n"
-      "  --serve <N>     serve N frames through the tiled runtime and\n"
-      "                  print throughput / cache statistics\n"
+      "  --serve <N>     serve N frames through the multi-tenant serving\n"
+      "                  subsystem (see docs/SERVING.md) and print\n"
+      "                  throughput / shed / cache statistics\n"
       "  --frames <N>    alias of --serve for the staged modes\n"
       "  --threads <T>   worker threads (per stage in the staged modes;\n"
       "                  default: hardware concurrency)\n"
       "  --tile <a,b,..> tile extents per dimension (0 = full extent;\n"
       "                  default: automatic shape)\n"
+      "\n"
+      "multi-tenant serving (with --serve; see docs/SERVING.md):\n"
+      "  --tenants <T>   spread the frames over T synthetic tenants\n"
+      "                  t0..t<T-1>, scheduled weighted-fair (default 1)\n"
+      "  --quota <Q>     per-tenant quota: at most Q of a tenant's frames\n"
+      "                  execute concurrently (default 4)\n"
+      "  --shed-after <S>\n"
+      "                  per-tenant queue-depth cap: submits past S\n"
+      "                  queued frames are shed with an explicit verdict\n"
+      "                  instead of queuing without bound (default 64)\n"
+      "  --serve-policy <affinity|rr>\n"
+      "                  dispatch order: affinity drains same-design\n"
+      "                  groups (one design compile per group); rr is the\n"
+      "                  design-blind weighted-fair baseline (default:\n"
+      "                  affinity)\n"
+      "  --serve-mix <k1,k2,..>\n"
+      "                  also register these gallery kernels and rotate\n"
+      "                  the submitted frames across all kernels (e.g.\n"
+      "                  jacobi_2d,blur_2d) -- a mixed-design workload\n"
+      "  --serve-port <p>\n"
+      "                  also accept remote tenants on 127.0.0.1:<p> via\n"
+      "                  the line protocol (0 = ephemeral; the bound\n"
+      "                  port is printed)\n"
       "\n"
       "pipeline mode:\n"
       "  --pipeline <spec>\n"
@@ -224,31 +257,122 @@ bool parse_tile_shape(const std::string& spec, nup::poly::IntVec* shape) {
   return !shape->empty();
 }
 
+/// Serving-mode knobs of the CLI (see docs/SERVING.md).
+struct ServeCliOptions {
+  long tenants = 1;      ///< --tenants: synthetic tenants t0..t<N-1>
+  long quota = 4;        ///< --quota: per-tenant max in-flight frames
+  long shed_after = 64;  ///< --shed-after: per-tenant queue-depth cap
+  nup::serve::Policy policy = nup::serve::Policy::kAffinity;
+  std::vector<std::string> mix;  ///< --serve-mix: extra gallery kernels
+  long port = -1;                ///< --serve-port: -1 = no endpoint
+  long inflight = -1;            ///< --inflight (shared with pipeline)
+};
+
+/// Gallery kernels addressable from --serve-mix (default sizes).
+std::optional<nup::stencil::StencilProgram> gallery_kernel(
+    const std::string& name) {
+  using namespace nup::stencil;
+  if (name == "denoise_2d") return denoise_2d();
+  if (name == "rician_2d") return rician_2d();
+  if (name == "sobel_2d") return sobel_2d();
+  if (name == "bicubic_2d") return bicubic_2d();
+  if (name == "jacobi_2d") return jacobi_2d();
+  if (name == "blur_2d") return blur_2d();
+  if (name == "heat_3d") return heat_3d();
+  return std::nullopt;
+}
+
 int serve_frames(const nup::core::AcceleratorPackage& pkg,
                  const nup::core::CompileOptions& compile_options,
                  long frames, std::size_t threads,
                  nup::poly::IntVec tile_shape, long cancel_frame,
-                 bool quiet) {
+                 const ServeCliOptions& cli, bool quiet) {
   using namespace nup;
-  runtime::EngineOptions options;
-  options.threads = threads;
-  options.tile_shape = std::move(tile_shape);
-  options.build = compile_options.build;
-  runtime::FrameEngine engine(options);
-  const auto plan = engine.plan_for(pkg.program);
+  serve::ServeOptions options;
+  options.engine.threads = threads;
+  options.engine.tile_shape = std::move(tile_shape);
+  options.engine.build = compile_options.build;
+  if (cli.inflight >= 0) {
+    options.max_frames_in_flight = static_cast<std::size_t>(cli.inflight);
+  }
+  options.default_quota.max_in_flight = static_cast<std::size_t>(cli.quota);
+  options.default_quota.max_queued =
+      static_cast<std::size_t>(cli.shed_after);
+  // The CLI bounds backlog per tenant (--shed-after); no global cap, so
+  // `--serve N` with one tenant and a large N sheds only past that knob.
+  options.global_queue_limit = 0;
+  options.policy = cli.policy;
+  serve::StencilServer server(options);
+  server.add_kernel(pkg.program);
+  std::vector<std::string> kernels{pkg.program.name()};
+  for (const std::string& mix_name : cli.mix) {
+    const std::optional<stencil::StencilProgram> program =
+        gallery_kernel(mix_name);
+    if (!program) {
+      std::fprintf(stderr, "stencilcc: --serve-mix: unknown kernel '%s'\n",
+                   mix_name.c_str());
+      return 2;
+    }
+    server.add_kernel(*program);
+    kernels.push_back(program->name());
+  }
+  const auto plan = server.engine().plan_for(pkg.program);
+
+  std::unique_ptr<serve::ServeEndpoint> endpoint;
+  if (cli.port >= 0) {
+    serve::ServeEndpointOptions ep;
+    ep.port = static_cast<int>(cli.port);
+    endpoint = std::make_unique<serve::ServeEndpoint>(server, ep);
+    if (!endpoint->ok()) {
+      std::fprintf(stderr, "stencilcc: --serve-port: %s\n",
+                   endpoint->error().c_str());
+      return 1;
+    }
+    std::printf("serve: listening on 127.0.0.1:%d\n", endpoint->port());
+    std::fflush(stdout);
+  }
+
+  std::vector<serve::ServeClient> clients;
+  clients.reserve(static_cast<std::size_t>(cli.tenants));
+  for (long t = 0; t < cli.tenants; ++t) {
+    clients.emplace_back(server, "t" + std::to_string(t),
+                         options.default_quota);
+  }
 
   const auto t0 = std::chrono::steady_clock::now();
-  std::vector<runtime::FrameHandle> handles;
-  handles.reserve(static_cast<std::size_t>(frames));
+  std::vector<serve::RequestHandle> handles(
+      static_cast<std::size_t>(frames));
+  long shed = 0;
   for (long f = 0; f < frames; ++f) {
-    handles.push_back(engine.submit(pkg.program,
-                                    static_cast<std::uint64_t>(f)));
+    serve::ServeClient& client =
+        clients[static_cast<std::size_t>(f % cli.tenants)];
+    const std::string& kernel =
+        kernels[static_cast<std::size_t>(f) % kernels.size()];
+    const serve::SubmitResult r =
+        client.submit(kernel, static_cast<std::uint64_t>(f));
+    if (!r.admitted()) {
+      ++shed;
+      if (!quiet) {
+        std::printf("frame %ld shed (%s)\n", f,
+                    serve::to_string(r.reason));
+      }
+      continue;
+    }
+    handles[static_cast<std::size_t>(f)] = r.handle;
+    if (f == cancel_frame) {
+      // Cancel a *running* frame, not a queued one: wait until the
+      // request reached the engine so the cancellation exercises the
+      // mid-flight path (and its post-mortem), as it always has.
+      serve::RequestHandle h = r.handle;
+      h.wait_admitted();
+      h.cancel();
+    }
   }
-  if (cancel_frame >= 0 && cancel_frame < frames) {
-    handles[static_cast<std::size_t>(cancel_frame)].cancel();
-  }
+  int rc = 0;
   for (long f = 0; f < frames; ++f) {
-    const runtime::FrameResult& result = handles[f].wait();
+    serve::RequestHandle& h = handles[static_cast<std::size_t>(f)];
+    if (!h.valid()) continue;
+    const runtime::FrameResult& result = h.wait();
     if (f == cancel_frame && result.cancelled) {
       if (!quiet) {
         std::printf("frame %ld cancelled as requested\n", cancel_frame);
@@ -259,24 +383,37 @@ int serve_frames(const nup::core::AcceleratorPackage& pkg,
       std::fprintf(stderr, "stencilcc: frame %llu failed: %s\n",
                    static_cast<unsigned long long>(result.seed),
                    result.error.c_str());
-      return 1;
+      rc = 1;
     }
   }
   const auto seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
+  const serve::ServeStats sstats = server.stats();
+  const runtime::EngineStats estats = server.engine().stats();
+  server.shutdown();  // drop the design pins before any final scrape
+  if (endpoint) endpoint->stop();
   if (!quiet) {
-    const runtime::EngineStats stats = engine.stats();
-    std::printf("served %ld frames in %.3fs (%.2f frames/s), %zu tiles "
-                "per frame\n",
-                frames, seconds, frames / seconds, plan->tiles.size());
+    std::printf(
+        "served %ld frames in %.3fs (%.2f frames/s), %zu tiles per "
+        "frame, %ld tenants\n",
+        frames - shed, seconds, (frames - shed) / seconds,
+        plan->tiles.size(), cli.tenants);
+    std::printf(
+        "serve: %lld groups, %lld design switches, %lld shed (policy "
+        "%s)\n",
+        static_cast<long long>(sstats.groups),
+        static_cast<long long>(sstats.design_switches),
+        static_cast<long long>(sstats.shed),
+        serve::to_string(options.policy));
     std::printf(
         "design cache: %lld hits / %lld misses; peak queue depth %zu\n",
-        static_cast<long long>(stats.cache.hits),
-        static_cast<long long>(stats.cache.misses), stats.max_queue_depth);
+        static_cast<long long>(estats.cache.hits),
+        static_cast<long long>(estats.cache.misses),
+        estats.max_queue_depth);
   }
-  return 0;
+  return rc;
 }
 
 // Splits a pipeline spec into its stage kernels: sections separated by
@@ -563,6 +700,7 @@ int main(int argc, char** argv) {
   std::string postmortem_dir;
   long cancel_frame = -1;
   bool stats_table = false;
+  ServeCliOptions serve_cli;
   core::CompileOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -614,6 +752,58 @@ int main(int argc, char** argv) {
     } else if (arg == "--threads" && i + 1 < argc) {
       serve_threads =
           static_cast<std::size_t>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--tenants" && i + 1 < argc) {
+      serve_cli.tenants = std::strtol(argv[++i], nullptr, 10);
+      if (serve_cli.tenants < 1) {
+        std::fprintf(stderr, "stencilcc: --tenants needs a count >= 1\n");
+        usage();
+        return 2;
+      }
+    } else if (arg == "--quota" && i + 1 < argc) {
+      serve_cli.quota = std::strtol(argv[++i], nullptr, 10);
+      if (serve_cli.quota < 1) {
+        std::fprintf(stderr,
+                     "stencilcc: --quota needs an in-flight bound >= 1\n");
+        usage();
+        return 2;
+      }
+    } else if (arg == "--shed-after" && i + 1 < argc) {
+      serve_cli.shed_after = std::strtol(argv[++i], nullptr, 10);
+      if (serve_cli.shed_after < 1) {
+        std::fprintf(stderr,
+                     "stencilcc: --shed-after needs a queue depth >= 1\n");
+        usage();
+        return 2;
+      }
+    } else if (arg == "--serve-policy" && i + 1 < argc) {
+      const std::string policy = argv[++i];
+      if (policy == "affinity") {
+        serve_cli.policy = serve::Policy::kAffinity;
+      } else if (policy == "rr" || policy == "round-robin") {
+        serve_cli.policy = serve::Policy::kRoundRobin;
+      } else {
+        std::fprintf(stderr,
+                     "stencilcc: --serve-policy wants affinity or rr\n");
+        usage();
+        return 2;
+      }
+    } else if (arg == "--serve-mix" && i + 1 < argc) {
+      std::istringstream mix_in(argv[++i]);
+      std::string mix_name;
+      while (std::getline(mix_in, mix_name, ',')) {
+        if (!mix_name.empty()) serve_cli.mix.push_back(mix_name);
+      }
+    } else if (arg == "--serve-port" && i + 1 < argc) {
+      char* end = nullptr;
+      serve_cli.port = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || serve_cli.port < 0 ||
+          serve_cli.port > 65535) {
+        std::fprintf(stderr,
+                     "stencilcc: --serve-port needs a port in [0, 65535] "
+                     "(0 = ephemeral)\n");
+        usage();
+        return 2;
+      }
     } else if (arg == "--tile" && i + 1 < argc) {
       if (!parse_tile_shape(argv[++i], &serve_tile)) {
         std::fprintf(stderr, "stencilcc: bad --tile shape '%s'\n",
@@ -849,8 +1039,10 @@ int main(int argc, char** argv) {
     }
     int rc = ok ? 0 : 1;
     if (ok && serve > 0) {
+      serve_cli.inflight = pipeline_inflight;
       rc = serve_frames(pkg, options, serve, serve_threads,
-                        std::move(serve_tile), cancel_frame, quiet);
+                        std::move(serve_tile), cancel_frame, serve_cli,
+                        quiet);
     }
     return finish(rc);
   } catch (const Error& e) {
