@@ -94,6 +94,11 @@ struct PipelineExecutor::Impl
   /// storage retired by frame f is what frame f+1 admits into, which is
   /// what makes the steady-state hot path allocation-free.
   std::vector<std::shared_ptr<SlabPool>> pools;
+  /// Per-edge tile placements of the producer / consumer stage engines
+  /// (null when running single-node): handed to every frame's
+  /// StageBuffers so slabs route through the owning node's pool arena.
+  std::vector<std::shared_ptr<const runtime::PlacementPlan>> edge_prod_place;
+  std::vector<std::shared_ptr<const runtime::PlacementPlan>> edge_cons_place;
   /// Per-stage tile designs, pinned (and kept alive) for the executor's
   /// lifetime and handed to every frame via SubmitOptions::designs:
   /// steady-state frames never recompile or even look up a cache key.
@@ -172,6 +177,7 @@ struct PipelineExecutor::Impl
       eo.metrics = registry;
       eo.journal = journal;
       eo.sim = options.sim;
+      eo.numa = options.numa;
       engines.push_back(std::make_unique<runtime::FrameEngine>(eo));
       plans.push_back(
           engines.back()->plan_for(graph.stages()[s].program));
@@ -194,9 +200,21 @@ struct PipelineExecutor::Impl
           edge.label);
       const std::string epfx = "pipeline.edge." + edge_labels.back() + ".";
       h_ready.push_back(&registry->histogram(epfx + "ready_us"));
-      auto pool = std::make_shared<SlabPool>();
+      edge_prod_place.push_back(
+          engines[edge.producer]->placement_for(plans[edge.producer]));
+      edge_cons_place.push_back(
+          engines[edge.consumer]->placement_for(plans[edge.consumer]));
+      // One arena per scheduling node of the edge's engines (both see the
+      // same process topology; 1 with numa off), so slabs recycle through
+      // the arena of the node that first-touched them.
+      const std::size_t arenas =
+          std::max(engines[edge.producer]->topology().node_count(),
+                   engines[edge.consumer]->topology().node_count());
+      auto pool = std::make_shared<SlabPool>(arenas);
       pool->bind_metrics(&registry->counter(epfx + "slab_allocated"),
                          &registry->counter(epfx + "slab_recycled"));
+      pool->bind_resident_gauge(&registry->gauge(
+          "pool." + edge_labels.back() + ".resident_bytes"));
       pool->bind_journal(journal, journal->intern(edge_labels.back()));
       pools.push_back(std::move(pool));
     }
@@ -579,7 +597,8 @@ PipelineHandle PipelineExecutor::submit_internal(std::uint64_t seed,
         im.plans[edge.producer], im.plans[edge.consumer], im.maps[e],
         edge.input, *im.registry, im.edge_labels[e], im.pools[e],
         wrap ? edge.producer_lo : poly::IntVec{},
-        wrap ? edge.producer_hi : poly::IntVec{}));
+        wrap ? edge.producer_hi : poly::IntVec{}, im.edge_prod_place[e],
+        im.edge_cons_place[e]));
   }
   ctx->slices.resize(stages);
   ctx->released.resize(stages);

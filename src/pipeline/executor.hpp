@@ -60,6 +60,12 @@ struct PipelineOptions {
   /// fully resolves); 0 removes the bound (every submitted frame is
   /// admitted immediately -- unbounded buffer occupancy, use with care).
   std::size_t max_frames_in_flight = 4;
+
+  /// Locality policy handed to every stage engine (see
+  /// runtime::EngineOptions::numa). When on, each edge's SlabPool is
+  /// split into per-node arenas and StageBuffers route slabs through the
+  /// producer tile's arena, so inter-stage storage recycles node-locally.
+  runtime::NumaMode numa = runtime::NumaMode::kOff;
 };
 
 /// Per-submit hooks of one pipelined frame. The empty default reproduces

@@ -4,28 +4,46 @@
 
 namespace nup::pipeline {
 
-std::vector<double> SlabPool::take(std::size_t n) {
+namespace {
+
+std::int64_t capacity_bytes(const std::vector<double>& v) {
+  return static_cast<std::int64_t>(v.capacity()) *
+         static_cast<std::int64_t>(sizeof(double));
+}
+
+}  // namespace
+
+SlabPool::SlabPool(std::size_t arenas)
+    : arenas_(std::max<std::size_t>(arenas, 1)),
+      free_(arenas_),
+      leased_(arenas_) {}
+
+std::vector<double> SlabPool::take(std::size_t n, std::size_t arena) {
   std::vector<double> out;
   bool fresh = true;
   std::function<void(std::size_t)> hook;
+  obs::Gauge* resident = nullptr;
+  std::int64_t resident_now = 0;
   obs::Journal* journal = nullptr;
   std::uint32_t jname = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::vector<double>>& free = free_[clamp_arena(arena)];
     // Prefer the smallest free vector that still fits: large slabs stay
     // available for large requests instead of being burned on small ones.
-    std::size_t best = free_.size();
-    for (std::size_t k = 0; k < free_.size(); ++k) {
-      if (free_[k].capacity() < n) continue;
-      if (best == free_.size() ||
-          free_[k].capacity() < free_[best].capacity()) {
+    std::size_t best = free.size();
+    for (std::size_t k = 0; k < free.size(); ++k) {
+      if (free[k].capacity() < n) continue;
+      if (best == free.size() ||
+          free[k].capacity() < free[best].capacity()) {
         best = k;
       }
     }
-    if (best < free_.size()) {
-      out = std::move(free_[best]);
-      free_[best] = std::move(free_.back());
-      free_.pop_back();
+    if (best < free.size()) {
+      out = std::move(free[best]);
+      free[best] = std::move(free.back());
+      free.pop_back();
+      resident_bytes_ -= capacity_bytes(out);
       fresh = false;
       ++stats_.reused;
     } else {
@@ -35,10 +53,13 @@ std::vector<double> SlabPool::take(std::size_t n) {
     if (!fresh && m_reused_) m_reused_->inc();
     ++stats_.outstanding;
     if (fresh) hook = alloc_hook_;
+    resident = m_resident_;
+    resident_now = resident_bytes_;
     journal = journal_;
     jname = jname_;
   }
   out.resize(n);  // within capacity on the reuse path: no allocation
+  if (resident) resident->set(resident_now);
   if (journal) {
     journal->record(obs::JournalKind::kSlabLeased, 0, -1, -1,
                     static_cast<std::int64_t>(n), fresh ? 1 : 0, jname);
@@ -47,63 +68,78 @@ std::vector<double> SlabPool::take(std::size_t n) {
   return out;
 }
 
-void SlabPool::give(std::vector<double>&& v) {
+void SlabPool::give(std::vector<double>&& v, std::size_t arena) {
   if (v.capacity() == 0) return;
   const std::size_t n = v.size();
+  obs::Gauge* resident = nullptr;
+  std::int64_t resident_now = 0;
   obs::Journal* journal = nullptr;
   std::uint32_t jname = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     --stats_.outstanding;
-    free_.push_back(std::move(v));
+    resident_bytes_ += capacity_bytes(v);
+    free_[clamp_arena(arena)].push_back(std::move(v));
+    resident = m_resident_;
+    resident_now = resident_bytes_;
     journal = journal_;
     jname = jname_;
   }
+  if (resident) resident->set(resident_now);
   if (journal) {
     journal->record(obs::JournalKind::kSlabRecycled, 0, -1, -1,
                     static_cast<std::int64_t>(n), 0, jname);
   }
 }
 
-std::shared_ptr<std::vector<double>> SlabPool::lease(std::size_t n) {
+std::shared_ptr<std::vector<double>> SlabPool::lease(std::size_t n,
+                                                     std::size_t arena) {
   std::shared_ptr<std::vector<double>> out;
   bool fresh = true;
   std::function<void(std::size_t)> hook;
+  obs::Gauge* resident = nullptr;
+  std::int64_t resident_now = 0;
   obs::Journal* journal = nullptr;
   std::uint32_t jname = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::shared_ptr<std::vector<double>>>& leased =
+        leased_[clamp_arena(arena)];
     // A leased buffer is recyclable once the pool holds the only
     // reference. use_count can only have decayed to one -- nobody but the
     // pool can mint new references -- so the test is race-free: a stale
     // reading merely skips a buffer that becomes reusable next time.
-    std::size_t best = leased_.size();
-    for (std::size_t k = 0; k < leased_.size(); ++k) {
-      if (leased_[k].use_count() != 1 || leased_[k]->capacity() < n) {
+    std::size_t best = leased.size();
+    for (std::size_t k = 0; k < leased.size(); ++k) {
+      if (leased[k].use_count() != 1 || leased[k]->capacity() < n) {
         continue;
       }
-      if (best == leased_.size() ||
-          leased_[k]->capacity() < leased_[best]->capacity()) {
+      if (best == leased.size() ||
+          leased[k]->capacity() < leased[best]->capacity()) {
         best = k;
       }
     }
-    if (best < leased_.size()) {
-      out = leased_[best];
+    if (best < leased.size()) {
+      out = leased[best];
       fresh = false;
       ++stats_.reused;
     } else {
       out = std::make_shared<std::vector<double>>();
       out->reserve(n);
-      leased_.push_back(out);
+      resident_bytes_ += capacity_bytes(*out);
+      leased.push_back(out);
       ++stats_.allocated;
       if (m_allocated_) m_allocated_->inc();
     }
     if (!fresh && m_reused_) m_reused_->inc();
     if (fresh) hook = alloc_hook_;
+    resident = m_resident_;
+    resident_now = resident_bytes_;
     journal = journal_;
     jname = jname_;
   }
   out->assign(n, 0.0);  // within capacity on the reuse path
+  if (resident) resident->set(resident_now);
   if (journal) {
     journal->record(obs::JournalKind::kSlabLeased, 0, -1, -1,
                     static_cast<std::int64_t>(n), fresh ? 1 : 0, jname);
@@ -115,10 +151,34 @@ std::shared_ptr<std::vector<double>> SlabPool::lease(std::size_t n) {
 SlabPool::Stats SlabPool::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats s = stats_;
-  for (const std::shared_ptr<std::vector<double>>& v : leased_) {
-    if (v.use_count() > 1) ++s.outstanding;
+  for (const auto& leased : leased_) {
+    for (const std::shared_ptr<std::vector<double>>& v : leased) {
+      if (v.use_count() > 1) ++s.outstanding;
+    }
   }
   return s;
+}
+
+std::int64_t SlabPool::live_slabs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t n = stats_.outstanding;
+  for (const auto& free : free_) {
+    n += static_cast<std::int64_t>(free.size());
+  }
+  for (const auto& leased : leased_) {
+    n += static_cast<std::int64_t>(leased.size());
+  }
+  return n;
+}
+
+std::int64_t SlabPool::bytes_resident() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_bytes_;
+}
+
+void SlabPool::bind_resident_gauge(obs::Gauge* gauge) {
+  std::lock_guard<std::mutex> lock(mu_);
+  m_resident_ = gauge;
 }
 
 void SlabPool::set_alloc_hook(std::function<void(std::size_t)> hook) {

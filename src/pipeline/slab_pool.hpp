@@ -23,6 +23,13 @@ namespace nup::pipeline {
 ///
 /// Thread-safe: producer and consumer stage workers of any number of
 /// in-flight frames call in concurrently.
+///
+/// Arenas: the pool is optionally split into per-node free lists
+/// (`SlabPool(nodes)`), one per memory node of the engine's topology.
+/// take/give/lease then carry the arena index of the tile's placed node,
+/// so a slab allocated (first-touched) by a node's worker recycles only
+/// through that node's arena and steady-state reuse stays node-local.
+/// The default single arena is the pre-locality behavior.
 class SlabPool {
  public:
   /// Allocation / reuse tallies. `allocated` counts fresh heap
@@ -35,27 +42,49 @@ class SlabPool {
     std::int64_t outstanding = 0;  ///< buffers currently handed out
   };
 
-  SlabPool() = default;
+  /// `arenas` is the number of independent free-list arenas (one per
+  /// memory node); 0 is treated as 1. Out-of-range arena indices on
+  /// take/give/lease clamp to the last arena.
+  explicit SlabPool(std::size_t arenas = 1);
   SlabPool(const SlabPool&) = delete;
   SlabPool& operator=(const SlabPool&) = delete;
 
-  /// Takes an exclusively-owned buffer of exactly `n` elements, zero
-  /// cost when a recycled vector's capacity already covers it. The
-  /// contents are unspecified (callers overwrite every element).
-  std::vector<double> take(std::size_t n);
+  std::size_t arena_count() const { return arenas_; }
 
-  /// Returns an exclusively-owned buffer to the free list.
-  void give(std::vector<double>&& v);
+  /// Takes an exclusively-owned buffer of exactly `n` elements from
+  /// `arena`, zero cost when a recycled vector's capacity already covers
+  /// it. The contents are unspecified (callers overwrite every element).
+  std::vector<double> take(std::size_t n, std::size_t arena = 0);
 
-  /// Leases a shared buffer of exactly `n` elements, zero-filled. The
-  /// pool keeps one reference; the buffer is recycled automatically once
-  /// every other holder (the frame's slice table, the tile's SliceFeed)
-  /// has dropped theirs -- lease() scans for entries whose use_count has
-  /// fallen back to one. No control block is allocated on reuse: the
-  /// shared_ptr itself is recycled with its storage.
-  std::shared_ptr<std::vector<double>> lease(std::size_t n);
+  /// Returns an exclusively-owned buffer to `arena`'s free list.
+  void give(std::vector<double>&& v, std::size_t arena = 0);
+
+  /// Leases a shared buffer of exactly `n` elements from `arena`,
+  /// zero-filled. The pool keeps one reference; the buffer is recycled
+  /// automatically once every other holder (the frame's slice table, the
+  /// tile's SliceFeed) has dropped theirs -- lease() scans for entries
+  /// whose use_count has fallen back to one. No control block is
+  /// allocated on reuse: the shared_ptr itself is recycled with its
+  /// storage.
+  std::shared_ptr<std::vector<double>> lease(std::size_t n,
+                                             std::size_t arena = 0);
 
   Stats stats() const;
+
+  /// Buffers alive across all arenas: free-list entries, leased entries
+  /// (recyclable or handed out), and exclusively-owned take() buffers not
+  /// yet given back.
+  std::int64_t live_slabs() const;
+
+  /// Bytes of slab storage resident in the pool across all arenas
+  /// (free-list capacity plus leased capacity). What the placement cost
+  /// model charges an edge with; exposed per edge as the
+  /// pool.<edge>.resident_bytes gauge.
+  std::int64_t bytes_resident() const;
+
+  /// Mirrors bytes_resident() into a registry gauge on every mutation.
+  /// May be null; bind before concurrent use.
+  void bind_resident_gauge(obs::Gauge* gauge);
 
   /// Test hook: called (outside the pool lock) with the element count of
   /// every fresh heap allocation take()/lease() performs. Install before
@@ -74,13 +103,21 @@ class SlabPool {
   void bind_journal(obs::Journal* journal, std::uint32_t name_id);
 
  private:
+  std::size_t clamp_arena(std::size_t arena) const {
+    return arena < arenas_ ? arena : arenas_ - 1;
+  }
+
+  std::size_t arenas_ = 1;
   mutable std::mutex mu_;
-  std::vector<std::vector<double>> free_;                    // take()/give()
-  std::vector<std::shared_ptr<std::vector<double>>> leased_; // lease()
+  // Indexed [arena]: exclusively-owned free lists and leased entries.
+  std::vector<std::vector<std::vector<double>>> free_;
+  std::vector<std::vector<std::shared_ptr<std::vector<double>>>> leased_;
   Stats stats_;
+  std::int64_t resident_bytes_ = 0;  ///< capacity held by free_ + leased_
   std::function<void(std::size_t)> alloc_hook_;
   obs::Counter* m_allocated_ = nullptr;
   obs::Counter* m_reused_ = nullptr;
+  obs::Gauge* m_resident_ = nullptr;
   obs::Journal* journal_ = nullptr;
   std::uint32_t jname_ = 0;
 };

@@ -77,12 +77,16 @@ StageBuffer::StageBuffer(
     std::shared_ptr<const EdgeTileMap> map, std::size_t input_index,
     obs::Registry& metrics, const std::string& label,
     std::shared_ptr<SlabPool> pool, poly::IntVec expand_lo,
-    poly::IntVec expand_hi)
+    poly::IntVec expand_hi,
+    std::shared_ptr<const runtime::PlacementPlan> producer_nodes,
+    std::shared_ptr<const runtime::PlacementPlan> consumer_nodes)
     : producer_plan_(std::move(producer_plan)),
       consumer_plan_(std::move(consumer_plan)),
       map_(std::move(map)),
       input_index_(input_index),
       pool_(pool ? std::move(pool) : std::make_shared<SlabPool>()),
+      producer_nodes_(std::move(producer_nodes)),
+      consumer_nodes_(std::move(consumer_nodes)),
       expand_lo_(std::move(expand_lo)),
       expand_hi_(std::move(expand_hi)) {
   slabs_.resize(producer_plan_->tiles.size());
@@ -102,23 +106,43 @@ StageBuffer::~StageBuffer() {
   // Hand whatever an aborted frame left resident back to the pool and
   // drop it from the shared gauges.
   std::lock_guard<std::mutex> lock(mu_);
-  for (std::vector<double>& slab : slabs_) {
-    if (!slab.empty()) pool_->give(std::move(slab));
+  for (std::size_t p = 0; p < slabs_.size(); ++p) {
+    if (!slabs_[p].empty()) {
+      pool_->give(std::move(slabs_[p]), producer_arena(p));
+    }
   }
   g_tiles_->add(-occ_.tiles);
   g_elements_->add(-occ_.elements);
 }
 
+// A slab lives in the arena of the node its producer tile was placed on
+// (the worker that admitted it first-touched the storage there); stitched
+// slices lease from the consumer tile's node for the same reason.
+std::size_t StageBuffer::producer_arena(std::size_t tile_idx) const {
+  if (!producer_nodes_ || tile_idx >= producer_nodes_->node_of.size()) {
+    return 0;
+  }
+  return static_cast<std::size_t>(producer_nodes_->node_of[tile_idx]);
+}
+
+std::size_t StageBuffer::consumer_arena(std::size_t tile_idx) const {
+  if (!consumer_nodes_ || tile_idx >= consumer_nodes_->node_of.size()) {
+    return 0;
+  }
+  return static_cast<std::size_t>(consumer_nodes_->node_of[tile_idx]);
+}
+
 void StageBuffer::admit(std::size_t tile_idx, const double* frame_outputs) {
   const runtime::Tile& tile = producer_plan_->tiles[tile_idx];
-  std::vector<double> slab = pool_->take(tile.output_ranks.size());
+  std::vector<double> slab =
+      pool_->take(tile.output_ranks.size(), producer_arena(tile_idx));
   for (std::size_t k = 0; k < slab.size(); ++k) {
     slab[k] = frame_outputs[tile.output_ranks[k]];
   }
 
   std::lock_guard<std::mutex> lock(mu_);
   if (pending_[tile_idx] == 0) {  // no consumer covers (or all skipped)
-    pool_->give(std::move(slab));
+    pool_->give(std::move(slab), producer_arena(tile_idx));
     return;
   }
   const std::int64_t elems = static_cast<std::int64_t>(slab.size());
@@ -150,8 +174,8 @@ Slice StageBuffer::stitch(std::size_t tile_idx) {
   for (std::size_t d = 0; d < slice.lo.size(); ++d) {
     total *= slice.hi[d] - slice.lo[d] + 1;
   }
-  const std::shared_ptr<std::vector<double>> data =
-      pool_->lease(static_cast<std::size_t>(total));
+  const std::shared_ptr<std::vector<double>> data = pool_->lease(
+      static_cast<std::size_t>(total), consumer_arena(tile_idx));
 
   std::lock_guard<std::mutex> lock(mu_);
   for (const std::size_t p : map_->producers_of[tile_idx]) {
@@ -184,7 +208,7 @@ void StageBuffer::retire_locked(std::size_t producer_tile) {
   std::vector<double>& slab = slabs_[producer_tile];
   const std::int64_t elems = static_cast<std::int64_t>(slab.size());
   if (elems == 0) return;  // skipped producer: nothing was admitted
-  pool_->give(std::move(slab));
+  pool_->give(std::move(slab), producer_arena(producer_tile));
   slab = {};
   occ_.tiles -= 1;
   occ_.elements -= elems;

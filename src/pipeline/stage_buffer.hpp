@@ -11,6 +11,7 @@
 #include "pipeline/dependency.hpp"
 #include "pipeline/slab_pool.hpp"
 #include "poly/int_vec.hpp"
+#include "runtime/placement.hpp"
 #include "runtime/tiler.hpp"
 #include "sim/feed.hpp"
 #include "stencil/boundary.hpp"
@@ -102,14 +103,22 @@ class StageBuffer {
   /// `expand_hi` box is unioned into every stitched slice box: wrap edges
   /// pass the producer's domain here, because a wrapped halo read maps to
   /// the opposite edge of the grid, which a one-sided window's hull does
-  /// not cover.
+  /// not cover. `producer_nodes` / `consumer_nodes` (optional) are the
+  /// engines' tile placements: admit/retire then route a producer tile's
+  /// slab through its placed node's pool arena and stitch leases from the
+  /// consumer tile's arena, keeping steady-state slab recycling
+  /// node-local. Null placements use arena 0.
   StageBuffer(std::shared_ptr<const runtime::TilePlan> producer_plan,
               std::shared_ptr<const runtime::TilePlan> consumer_plan,
               std::shared_ptr<const EdgeTileMap> map,
               std::size_t input_index, obs::Registry& metrics,
               const std::string& label,
               std::shared_ptr<SlabPool> pool = nullptr,
-              poly::IntVec expand_lo = {}, poly::IntVec expand_hi = {});
+              poly::IntVec expand_lo = {}, poly::IntVec expand_hi = {},
+              std::shared_ptr<const runtime::PlacementPlan> producer_nodes =
+                  nullptr,
+              std::shared_ptr<const runtime::PlacementPlan> consumer_nodes =
+                  nullptr);
   ~StageBuffer();
 
   StageBuffer(const StageBuffer&) = delete;
@@ -138,12 +147,16 @@ class StageBuffer {
 
  private:
   void retire_locked(std::size_t producer_tile);
+  std::size_t producer_arena(std::size_t tile_idx) const;
+  std::size_t consumer_arena(std::size_t tile_idx) const;
 
   std::shared_ptr<const runtime::TilePlan> producer_plan_;
   std::shared_ptr<const runtime::TilePlan> consumer_plan_;
   std::shared_ptr<const EdgeTileMap> map_;
   std::size_t input_index_;
   std::shared_ptr<SlabPool> pool_;
+  std::shared_ptr<const runtime::PlacementPlan> producer_nodes_;
+  std::shared_ptr<const runtime::PlacementPlan> consumer_nodes_;
   poly::IntVec expand_lo_, expand_hi_;  ///< empty = no expansion
 
   mutable std::mutex mu_;

@@ -9,6 +9,11 @@
 #include <thread>
 #include <unordered_map>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "obs/trace.hpp"
 #include "runtime/telemetry.hpp"
 #include "sim/fast.hpp"
@@ -24,6 +29,9 @@ namespace detail {
 /// the frame, and the result mutex publishes them to waiters.
 struct FrameState {
   std::shared_ptr<const TilePlan> plan;
+  /// Tile->node map the engine dispatches this frame with; null when the
+  /// engine runs single-node (every tile on node 0).
+  std::shared_ptr<const PlacementPlan> placement;
   std::uint64_t seed = 0;
   SubmitOptions options;  ///< per-frame hooks (empty for plain submits)
   std::chrono::steady_clock::time_point submitted_at;
@@ -99,6 +107,34 @@ struct Job {
   std::size_t tile = 0;
 };
 
+/// Kernel-visible thread name ("nup-w<node>.<i>", 15-char limit) so
+/// traces, postmortem bundles and TSan reports attribute work to the
+/// right pool.
+void set_os_thread_name(const std::string& name) {
+#if defined(__linux__)
+  pthread_setname_np(pthread_self(), name.substr(0, 15).c_str());
+#else
+  (void)name;
+#endif
+}
+
+/// Pins the calling worker to its node's CPU set. Best-effort: an empty
+/// set or a failing syscall (containers often mask CPUs) leaves the
+/// thread unpinned rather than failing the engine.
+void pin_to_cpus(const std::vector<int>& cpus) {
+#if defined(__linux__)
+  if (cpus.empty()) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (const int c : cpus) {
+    if (c >= 0 && c < CPU_SETSIZE) CPU_SET(c, &set);
+  }
+  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)cpus;
+#endif
+}
+
 std::int64_t elapsed_us(std::chrono::steady_clock::time_point since) {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now() - since)
@@ -140,6 +176,43 @@ poly::IntVec auto_tile_shape(const stencil::StencilProgram& program,
   return shape;
 }
 
+/// Worker->node assignment: weighted round-robin by node CPU count, so a
+/// node with twice the CPUs gets about twice the workers (plain
+/// round-robin on a symmetric topology). With fewer threads than nodes
+/// some nodes get no worker; their tiles still run, via steals.
+std::vector<std::size_t> worker_nodes(std::size_t threads,
+                                      const Topology& topo) {
+  const std::size_t nodes = topo.node_count();
+  std::vector<std::size_t> out;
+  out.reserve(threads);
+  if (nodes <= 1) {
+    out.assign(threads, 0);
+    return out;
+  }
+  const double total =
+      static_cast<double>(std::max<std::size_t>(topo.cpu_count(), 1));
+  std::vector<double> share(nodes), got(nodes, 0.0);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    share[n] =
+        std::max<double>(static_cast<double>(topo.node(n).cpus.size()), 0.5) /
+        total;
+  }
+  for (std::size_t i = 0; i < threads; ++i) {
+    std::size_t best = 0;
+    double best_lag = -1.0;
+    for (std::size_t n = 0; n < nodes; ++n) {
+      const double lag = share[n] * static_cast<double>(i + 1) - got[n];
+      if (lag > best_lag) {
+        best_lag = lag;
+        best = n;
+      }
+    }
+    out.push_back(best);
+    got[best] += 1.0;
+  }
+  return out;
+}
+
 }  // namespace
 
 struct FrameEngine::Impl {
@@ -151,16 +224,28 @@ struct FrameEngine::Impl {
   std::uint32_t jname = 0;  ///< this engine's interned journal name
   DesignCache cache;
 
+  /// Scheduling topology: exactly one node with --numa off (the queues
+  /// vector then degenerates to the historical single run queue), the
+  /// discovered (or NUP_FAKE_TOPOLOGY-simulated) layout otherwise.
+  Topology topo;
+
   mutable std::mutex qmu;
   std::condition_variable not_empty;  // workers wait for jobs
   std::condition_variable not_full;   // submitters wait for space
-  std::deque<Job> queue;
+  /// One run queue per node; a tile is enqueued on its placed node and
+  /// stolen cross-node only by idle workers. Each queue is bounded by
+  /// options.queue_capacity.
+  std::vector<std::deque<Job>> queues;
   bool accepting = true;
   bool stopping = false;
   std::size_t max_queue_depth = 0;
 
   std::mutex plans_mu;
   std::unordered_map<std::string, std::shared_ptr<const TilePlan>> plans;
+  /// Placement per registered plan (keyed by plan identity; computed once,
+  /// shared with the pipeline executor via placement_for).
+  std::unordered_map<const TilePlan*, std::shared_ptr<const PlacementPlan>>
+      placements;
 
   std::mutex join_mu;  // serializes shutdown calls
   std::vector<std::thread> workers;
@@ -178,7 +263,13 @@ struct FrameEngine::Impl {
     std::int64_t frames_failed = 0;
     std::int64_t tiles_executed = 0;
     std::int64_t tiles_skipped = 0;
+    std::int64_t tiles_stolen = 0;
   } counts;
+
+  /// Dispatch totals feeding the placement.local_fraction gauge (relaxed:
+  /// the gauge is a monitoring ratio, not a synchronization point).
+  std::atomic<std::int64_t> dispatched{0};
+  std::atomic<std::int64_t> stolen{0};
 
   // Registry metrics (pointers stay valid across Registry::reset()).
   obs::Gauge* m_queue_depth = nullptr;
@@ -192,6 +283,13 @@ struct FrameEngine::Impl {
   obs::Counter* m_frames_completed = nullptr;
   obs::Counter* m_frames_cancelled = nullptr;
   obs::Counter* m_frames_failed = nullptr;
+  // Per-node dispatch series (engine.node.<n>.*) plus the locality ratio.
+  // The gauge is int64, so the fraction is published in permille
+  // (0..1000); see docs/OBSERVABILITY.md.
+  std::vector<obs::Counter*> m_node_tiles;
+  std::vector<obs::Counter*> m_node_steals;
+  std::vector<obs::Counter*> m_node_remote_bytes;
+  obs::Gauge* m_local_fraction = nullptr;
 
   explicit Impl(EngineOptions opts)
       : options(std::move(opts)),
@@ -202,6 +300,9 @@ struct FrameEngine::Impl {
         journal(options.journal ? options.journal
                                 : &obs::Journal::global()),
         cache(options.cache_capacity, registry, options.name) {
+    topo = options.numa == NumaMode::kOff ? Topology::single_node()
+                                          : Topology::discover();
+    queues.resize(topo.node_count());
     jname = journal->intern(options.name.empty() ? "engine" : options.name);
     m_queue_depth = &registry->gauge(prefix + "queue_depth");
     m_queue_depth_max = &registry->gauge(prefix + "queue_depth_max");
@@ -214,6 +315,76 @@ struct FrameEngine::Impl {
     m_frames_completed = &registry->counter(prefix + "frames_completed");
     m_frames_cancelled = &registry->counter(prefix + "frames_cancelled");
     m_frames_failed = &registry->counter(prefix + "frames_failed");
+    for (std::size_t n = 0; n < topo.node_count(); ++n) {
+      const std::string npfx = prefix + "node." + std::to_string(n) + ".";
+      m_node_tiles.push_back(&registry->counter(npfx + "tiles"));
+      m_node_steals.push_back(&registry->counter(npfx + "steals"));
+      m_node_remote_bytes.push_back(&registry->counter(npfx + "remote_bytes"));
+    }
+    m_local_fraction =
+        &registry->gauge(prefix + "placement.local_fraction");
+    m_local_fraction->set(1000);  // no dispatches yet == fully local
+  }
+
+  /// Sum of all node queues; call under qmu.
+  std::size_t total_depth_locked() const {
+    std::size_t depth = 0;
+    for (const std::deque<Job>& q : queues) depth += q.size();
+    return depth;
+  }
+
+  /// Tile->node placement for a registered plan; computed once per plan.
+  /// Null when the engine schedules a single node (numa off / one-node
+  /// host): the placement is then trivially "everything on node 0".
+  std::shared_ptr<const PlacementPlan> placement_for(
+      const std::shared_ptr<const TilePlan>& plan) {
+    if (!plan || topo.node_count() <= 1 ||
+        options.numa == NumaMode::kOff) {
+      return nullptr;
+    }
+    std::lock_guard<std::mutex> lock(plans_mu);
+    const auto found = placements.find(plan.get());
+    if (found != placements.end()) return found->second;
+    std::shared_ptr<const PlacementPlan> placement;
+    if (options.place_tile) {
+      auto p = std::make_shared<PlacementPlan>();
+      p->node_of.resize(plan->tiles.size());
+      p->node_bytes.assign(topo.node_count(), 0);
+      for (std::size_t t = 0; t < plan->tiles.size(); ++t) {
+        int n = options.place_tile(plan->tiles[t], t, topo.node_count());
+        n = std::clamp(n, 0, static_cast<int>(topo.node_count()) - 1);
+        p->node_of[t] = n;
+        p->node_bytes[n] +=
+            std::max<std::int64_t>(plan->tiles[t].streamed_elements * 8, 1);
+      }
+      placement = std::move(p);
+    } else {
+      placement = std::make_shared<const PlacementPlan>(
+          plan_placement(*plan, topo.node_count(), options.numa));
+    }
+    placements.emplace(plan.get(), placement);
+    return placement;
+  }
+
+  /// Records one dispatched tile for the locality series: `node` is the
+  /// executing worker's node, `stolen_job` whether the tile came off
+  /// another node's queue.
+  void note_dispatch(std::size_t node, bool stolen_job,
+                     std::int64_t streamed_bytes) {
+    m_node_tiles[node]->inc();
+    if (stolen_job) {
+      m_node_steals[node]->inc();
+      m_node_remote_bytes[node]->add(streamed_bytes);
+      stolen.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(stats_mu);
+        ++counts.tiles_stolen;
+      }
+    }
+    const std::int64_t total =
+        dispatched.fetch_add(1, std::memory_order_relaxed) + 1;
+    const std::int64_t remote = stolen.load(std::memory_order_relaxed);
+    m_local_fraction->set(1000 * (total - remote) / total);
   }
 
   /// Sets the live queue-depth gauge and mirrors it as a Chrome counter
@@ -482,31 +653,93 @@ struct FrameEngine::Impl {
     }
   }
 
-  void worker_loop(std::size_t worker) {
+  void worker_loop(std::size_t worker, std::size_t node,
+                   std::size_t node_slot) {
+    set_os_thread_name("nup-w" + std::to_string(node) + "." +
+                       std::to_string(node_slot));
     obs::Tracer::global().set_thread_name(
         (options.name.empty() ? std::string() : options.name + ".") +
         "worker-" + std::to_string(worker));
+    if (options.numa != NumaMode::kOff) pin_to_cpus(topo.node(node).cpus);
     obs::Counter& busy_us = registry->counter(
         prefix + "worker." + std::to_string(worker) + ".busy_us");
     obs::Counter& worker_tiles = registry->counter(
         prefix + "worker." + std::to_string(worker) + ".tiles");
+    const std::size_t nodes = queues.size();
     for (;;) {
       Job job;
+      bool stolen_job = false;
       std::size_t depth = 0;
       {
         std::unique_lock<std::mutex> lock(qmu);
-        not_empty.wait(lock, [&] { return !queue.empty() || stopping; });
-        if (queue.empty()) return;  // stopping and drained
-        job = std::move(queue.front());
-        queue.pop_front();
-        depth = queue.size();
+        not_empty.wait(lock,
+                       [&] { return total_depth_locked() != 0 || stopping; });
+        // Sticky dispatch: drain the own node's queue first (FIFO, like
+        // the historical single queue) ...
+        std::size_t src = node;
+        if (queues[node].empty()) {
+          // ... and only an idle worker scans the other nodes, starting
+          // after its own so steal pressure spreads instead of all
+          // landing on node 0.
+          for (std::size_t k = 1; k < nodes; ++k) {
+            const std::size_t cand = (node + k) % nodes;
+            if (!queues[cand].empty()) {
+              src = cand;
+              break;
+            }
+          }
+          if (queues[src].empty()) return;  // stopping and drained
+        }
+        if (src == node) {
+          job = std::move(queues[src].front());
+          queues[src].pop_front();
+        } else {
+          // Steal from the back: the owner keeps its FIFO front, the
+          // thief takes the tile that would have waited longest.
+          job = std::move(queues[src].back());
+          queues[src].pop_back();
+          stolen_job = true;
+        }
+        depth = total_depth_locked();
       }
       note_queue_depth(depth);
-      not_full.notify_one();
-      run_tile(*job.frame, job.frame->plan->tiles[job.tile], job.tile,
-               busy_us, worker_tiles);
+      not_full.notify_all();
+      const Tile& tile = job.frame->plan->tiles[job.tile];
+      note_dispatch(node, stolen_job, tile.streamed_elements * 8);
+      run_tile(*job.frame, tile, job.tile, busy_us, worker_tiles);
       finish_tiles(*job.frame, 1);
     }
+  }
+
+  /// Enqueues one tile on its placed node's queue, blocking while that
+  /// queue is full (backpressure). Returns false when shutdown raced the
+  /// push. Observes the backpressure wait and notifies a worker.
+  bool push_job(Job job, std::size_t node) {
+    std::size_t depth = 0;
+    const auto w0 = std::chrono::steady_clock::now();
+    {
+      std::unique_lock<std::mutex> lock(qmu);
+      not_full.wait(lock, [&] {
+        return queues[node].size() < options.queue_capacity || !accepting;
+      });
+      if (!accepting) return false;
+      queues[node].push_back(std::move(job));
+      const std::size_t total = total_depth_locked();
+      max_queue_depth = std::max(max_queue_depth, total);
+      depth = total;
+    }
+    m_backpressure_us->observe(elapsed_us(w0));
+    note_queue_depth(depth);
+    not_empty.notify_one();
+    return true;
+  }
+
+  /// Node a tile of this frame is placed on (0 when single-node).
+  std::size_t node_of(const FrameState& frame, std::size_t tile_idx) const {
+    if (!frame.placement || tile_idx >= frame.placement->node_of.size()) {
+      return 0;
+    }
+    return static_cast<std::size_t>(frame.placement->node_of[tile_idx]);
   }
 };
 
@@ -519,8 +752,14 @@ FrameEngine::FrameEngine(EngineOptions options)
           : std::max(1u, std::thread::hardware_concurrency());
   if (im.options.queue_capacity == 0) im.options.queue_capacity = 1;
   im.workers.reserve(im.thread_count);
+  const std::vector<std::size_t> nodes =
+      worker_nodes(im.thread_count, im.topo);
+  std::vector<std::size_t> slots(im.topo.node_count(), 0);
   for (std::size_t t = 0; t < im.thread_count; ++t) {
-    im.workers.emplace_back([&im, t] { im.worker_loop(t); });
+    const std::size_t node = nodes[t];
+    const std::size_t slot = slots[node]++;
+    im.workers.emplace_back(
+        [&im, t, node, slot] { im.worker_loop(t, node, slot); });
   }
 }
 
@@ -584,6 +823,7 @@ FrameHandle FrameEngine::submit(std::shared_ptr<const TilePlan> plan,
 
   auto frame = std::make_shared<FrameState>();
   frame->plan = plan;
+  frame->placement = im.placement_for(plan);
   frame->seed = seed;
   frame->options = std::move(options);
   if (frame->options.frame_id == 0) {
@@ -620,25 +860,11 @@ FrameHandle FrameEngine::submit(std::shared_ptr<const TilePlan> plan,
 
   std::size_t pushed = 0;
   for (std::size_t t = 0; t < plan->tiles.size(); ++t) {
-    std::size_t depth = 0;
-    const auto w0 = std::chrono::steady_clock::now();
-    {
-      std::unique_lock<std::mutex> lock(im.qmu);
-      im.not_full.wait(lock, [&] {
-        return im.queue.size() < im.options.queue_capacity ||
-               !im.accepting;
-      });
-      if (!im.accepting) break;  // shutdown raced this submission
-      im.queue.push_back(Job{frame, t});
-      im.max_queue_depth = std::max(im.max_queue_depth, im.queue.size());
-      depth = im.queue.size();
-    }
-    // Time spent waiting for queue space (~0 when the pool keeps up);
-    // every push is observed so the histogram is a wait distribution,
-    // not just a count of the slow ones.
-    im.m_backpressure_us->observe(elapsed_us(w0));
-    im.note_queue_depth(depth);
-    im.not_empty.notify_one();
+    // Sticky dispatch: the tile lands on its placed node's queue.
+    // push_job blocks while that queue is full (backpressure, observed in
+    // the histogram on every push so it stays a wait distribution) and
+    // fails only when shutdown raced this submission.
+    if (!im.push_job(Job{frame, t}, im.node_of(*frame, t))) break;
     ++pushed;
   }
   if (pushed < plan->tiles.size()) {
@@ -668,25 +894,8 @@ void FrameEngine::release_tile(const FrameHandle& frame,
                 std::to_string(tile_idx) + " out of range");
   }
 
-  bool enqueued = false;
-  std::size_t depth = 0;
-  const auto w0 = std::chrono::steady_clock::now();
-  {
-    std::unique_lock<std::mutex> lock(im.qmu);
-    im.not_full.wait(lock, [&] {
-      return im.queue.size() < im.options.queue_capacity || !im.accepting;
-    });
-    if (im.accepting) {
-      im.queue.push_back(Job{frame.state_, tile_idx});
-      im.max_queue_depth = std::max(im.max_queue_depth, im.queue.size());
-      depth = im.queue.size();
-      enqueued = true;
-    }
-  }
-  if (enqueued) {
-    im.m_backpressure_us->observe(elapsed_us(w0));
-    im.note_queue_depth(depth);
-    im.not_empty.notify_one();
+  if (im.push_job(Job{frame.state_, tile_idx},
+                  im.node_of(state, tile_idx))) {
     return;
   }
 
@@ -733,6 +942,13 @@ void FrameEngine::skip_tile(const FrameHandle& frame,
 
 DesignCache& FrameEngine::cache() { return impl_->cache; }
 
+const Topology& FrameEngine::topology() const { return impl_->topo; }
+
+std::shared_ptr<const PlacementPlan> FrameEngine::placement_for(
+    const std::shared_ptr<const TilePlan>& plan) {
+  return impl_->placement_for(plan);
+}
+
 void FrameEngine::shutdown(Drain mode) {
   Impl& im = *impl_;
   std::lock_guard<std::mutex> join_lock(im.join_mu);
@@ -740,8 +956,10 @@ void FrameEngine::shutdown(Drain mode) {
     std::lock_guard<std::mutex> lock(im.qmu);
     im.accepting = false;
     if (mode == Drain::kCancelPending) {
-      for (const Job& job : im.queue) {
-        job.frame->cancelled.store(true, std::memory_order_relaxed);
+      for (const std::deque<Job>& queue : im.queues) {
+        for (const Job& job : queue) {
+          job.frame->cancelled.store(true, std::memory_order_relaxed);
+        }
       }
     }
     im.stopping = true;
@@ -765,7 +983,9 @@ EngineStats FrameEngine::stats() const {
     s.frames_failed = im.counts.frames_failed;
     s.tiles_executed = im.counts.tiles_executed;
     s.tiles_skipped = im.counts.tiles_skipped;
+    s.tiles_stolen = im.counts.tiles_stolen;
   }
+  s.nodes = im.topo.node_count();
   {
     std::lock_guard<std::mutex> lock(im.qmu);
     s.max_queue_depth = im.max_queue_depth;

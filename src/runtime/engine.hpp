@@ -13,7 +13,9 @@
 #include "obs/metrics.hpp"
 #include "poly/int_vec.hpp"
 #include "runtime/design_cache.hpp"
+#include "runtime/placement.hpp"
 #include "runtime/tiler.hpp"
+#include "runtime/topology.hpp"
 #include "sim/feed.hpp"
 #include "sim/simulator.hpp"
 #include "stencil/program.hpp"
@@ -63,6 +65,22 @@ struct EngineOptions {
   /// compiled fast backend, overrides the seed per frame and disables
   /// per-tile output recording (outputs are stitched into the frame).
   sim::SimOptions sim;
+
+  /// Locality policy. kOff (default) keeps one run queue and no affinity
+  /// pinning -- bit-identical to the pre-locality scheduler. kAuto /
+  /// kInterleave discover the host topology (honouring NUP_FAKE_TOPOLOGY),
+  /// pin per-node worker pools, and dispatch each tile to its placed
+  /// node's queue; idle workers steal cross-node (see docs/RUNTIME.md,
+  /// "Locality").
+  NumaMode numa = NumaMode::kOff;
+
+  /// Test hook overriding the placement cost model: returns the node
+  /// (clamped to [0, node_count)) for a tile. The steal-path regression
+  /// uses it to pile every tile onto one node and assert the other nodes'
+  /// workers steal. Null uses plan_placement.
+  std::function<int(const Tile& tile, std::size_t tile_idx,
+                    std::size_t node_count)>
+      place_tile;
 };
 
 struct FrameResult;
@@ -187,7 +205,11 @@ struct EngineStats {
   std::int64_t frames_failed = 0;
   std::int64_t tiles_executed = 0;
   std::int64_t tiles_skipped = 0;
+  /// Tiles a worker dequeued from another node's queue (always 0 with
+  /// --numa off or on a single-node topology).
+  std::int64_t tiles_stolen = 0;
   std::size_t max_queue_depth = 0;
+  std::size_t nodes = 1;  ///< scheduling nodes (1 unless numa is on)
   DesignCacheStats cache;
 };
 
@@ -249,6 +271,17 @@ class FrameEngine {
   /// Tile plan the engine uses for this program (registering it if new).
   std::shared_ptr<const TilePlan> plan_for(
       const stencil::StencilProgram& program);
+
+  /// Node topology the engine schedules over. One node with --numa off.
+  const Topology& topology() const;
+
+  /// Tile->node placement the engine uses for this plan (computed once per
+  /// plan, cached). Null when the engine runs single-node (numa off or a
+  /// one-node topology) -- every tile is then on node 0. The pipeline
+  /// executor hands the returned map to StageBuffers so edge slabs recycle
+  /// through the producer tile's arena.
+  std::shared_ptr<const PlacementPlan> placement_for(
+      const std::shared_ptr<const TilePlan>& plan);
 
   /// Stops the workers. kDrainAll completes all queued work first;
   /// kCancelPending resolves queued frames as cancelled after the tiles

@@ -1,0 +1,82 @@
+#include "runtime/placement.hpp"
+
+#include <algorithm>
+
+namespace nup::runtime {
+
+double PlacementPlan::imbalance() const {
+  if (node_bytes.empty()) return 1.0;
+  std::int64_t total = 0, peak = 0;
+  for (const std::int64_t b : node_bytes) {
+    total += b;
+    peak = std::max(peak, b);
+  }
+  if (total == 0) return 1.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(node_bytes.size());
+  return static_cast<double>(peak) / mean;
+}
+
+std::string PlacementPlan::describe() const {
+  std::string out;
+  for (std::size_t n = 0; n < node_bytes.size(); ++n) {
+    std::size_t tiles = 0;
+    for (const int v : node_of) {
+      if (v == static_cast<int>(n)) ++tiles;
+    }
+    if (!out.empty()) out += ", ";
+    out += "node" + std::to_string(n) + ": " + std::to_string(tiles) +
+           " tiles / " + std::to_string(node_bytes[n] >> 10) + " KiB";
+  }
+  return out;
+}
+
+PlacementPlan plan_placement(const TilePlan& plan, std::size_t node_count,
+                             NumaMode mode) {
+  PlacementPlan p;
+  const std::size_t tiles = plan.tiles.size();
+  if (node_count == 0) node_count = 1;
+  p.node_of.assign(tiles, 0);
+  p.node_bytes.assign(node_count, 0);
+
+  const auto tile_bytes = [&](std::size_t t) {
+    // streamed elements are doubles; never let a tile weigh 0 or the cut
+    // positions collapse on degenerate plans.
+    return std::max<std::int64_t>(plan.tiles[t].streamed_elements * 8, 1);
+  };
+
+  if (node_count == 1 || tiles == 0 || mode == NumaMode::kOff) {
+    for (std::size_t t = 0; t < tiles; ++t) p.node_bytes[0] += tile_bytes(t);
+    return p;
+  }
+
+  if (mode == NumaMode::kInterleave) {
+    for (std::size_t t = 0; t < tiles; ++t) {
+      const int n = static_cast<int>(t % node_count);
+      p.node_of[t] = n;
+      p.node_bytes[n] += tile_bytes(t);
+    }
+    return p;
+  }
+
+  // kAuto: contiguous prefix-sum cut. Tile t goes to the node whose ideal
+  // byte range contains the midpoint of t's own byte span -- monotone in t
+  // (so runs stay contiguous) and each node ends up within one tile of the
+  // ideal total/node_count share.
+  std::int64_t total = 0;
+  for (std::size_t t = 0; t < tiles; ++t) total += tile_bytes(t);
+  std::int64_t prefix = 0;
+  for (std::size_t t = 0; t < tiles; ++t) {
+    const std::int64_t bytes = tile_bytes(t);
+    const std::int64_t mid = prefix + bytes / 2;
+    std::size_t n = static_cast<std::size_t>(
+        (static_cast<__int128>(mid) * node_count) / total);
+    n = std::min(n, node_count - 1);
+    p.node_of[t] = static_cast<int>(n);
+    p.node_bytes[n] += bytes;
+    prefix += bytes;
+  }
+  return p;
+}
+
+}  // namespace nup::runtime

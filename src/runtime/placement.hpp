@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/tiler.hpp"
+#include "runtime/topology.hpp"
+
+namespace nup::runtime {
+
+/// Tile -> memory-node assignment for one TilePlan. The non-uniform
+/// partitioning idea one level up from the paper's reuse buffers: every
+/// tile's working set (frame-buffer slice, slabs, FIFO state) should live
+/// on the memory node of the worker that touches it.
+struct PlacementPlan {
+  /// Node index per tile, parallel to TilePlan::tiles.
+  std::vector<int> node_of;
+
+  /// Streamed bytes assigned per node (the cost the partition balances).
+  std::vector<std::int64_t> node_bytes;
+
+  std::size_t node_count() const { return node_bytes.size(); }
+
+  /// max(node_bytes) / mean(node_bytes); 1.0 is a perfect balance.
+  double imbalance() const;
+
+  /// "tiles 0-7 -> node0 (1.2 MiB), tiles 8-15 -> node1 (1.2 MiB)" style
+  /// summary for logs.
+  std::string describe() const;
+};
+
+/// Assigns the plan's tiles to `node_count` memory nodes.
+///
+/// kAuto cuts the tile list -- which plan_tiles emits in tile-grid
+/// lexicographic order -- into contiguous runs balanced by per-tile
+/// streamed bytes (halo included). Contiguity is the locality half of the
+/// cost model: lex-adjacent tiles share halo rows, so keeping a run on one
+/// node keeps the shared reuse state co-resident; the prefix-sum cut is
+/// the balance half. kInterleave round-robins tiles across nodes --
+/// better when per-tile cost varies so wildly that contiguous runs would
+/// idle a node. kOff (or a single node) places everything on node 0.
+PlacementPlan plan_placement(const TilePlan& plan, std::size_t node_count,
+                             NumaMode mode);
+
+}  // namespace nup::runtime

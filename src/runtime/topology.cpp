@@ -1,0 +1,185 @@
+#include "runtime/topology.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace nup::runtime {
+
+const char* to_string(NumaMode mode) {
+  switch (mode) {
+    case NumaMode::kOff:
+      return "off";
+    case NumaMode::kAuto:
+      return "auto";
+    case NumaMode::kInterleave:
+      return "interleave";
+  }
+  return "off";
+}
+
+std::optional<NumaMode> numa_mode_from_string(std::string_view text) {
+  if (text == "off") return NumaMode::kOff;
+  if (text == "auto") return NumaMode::kAuto;
+  if (text == "interleave") return NumaMode::kInterleave;
+  return std::nullopt;
+}
+
+namespace {
+
+std::size_t host_cpu_count() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+/// NUP_FAKE_TOPOLOGY parsed and clamped to a sane node count, or 0 when
+/// unset / not a positive integer.
+std::size_t fake_node_count() {
+  const char* env = std::getenv("NUP_FAKE_TOPOLOGY");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const long n = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || n <= 0) return 0;
+  return static_cast<std::size_t>(std::min<long>(n, 64));
+}
+
+}  // namespace
+
+Topology Topology::single_node() {
+  Topology t;
+  TopologyNode n;
+  n.id = 0;
+  const std::size_t cpus = host_cpu_count();
+  n.cpus.reserve(cpus);
+  for (std::size_t c = 0; c < cpus; ++c) n.cpus.push_back(static_cast<int>(c));
+  t.nodes_.push_back(std::move(n));
+  return t;
+}
+
+std::vector<int> Topology::parse_cpulist(const std::string& text) {
+  std::vector<int> cpus;
+  std::stringstream ss(text);
+  std::string chunk;
+  while (std::getline(ss, chunk, ',')) {
+    // Trim whitespace (the sysfs file ends with a newline).
+    while (!chunk.empty() && std::isspace(static_cast<unsigned char>(
+                                 chunk.back()))) {
+      chunk.pop_back();
+    }
+    std::size_t start = 0;
+    while (start < chunk.size() &&
+           std::isspace(static_cast<unsigned char>(chunk[start]))) {
+      ++start;
+    }
+    if (start > 0) chunk.erase(0, start);
+    if (chunk.empty()) continue;
+    const std::size_t dash = chunk.find('-');
+    char* end = nullptr;
+    if (dash == std::string::npos) {
+      const long v = std::strtol(chunk.c_str(), &end, 10);
+      if (end != chunk.c_str() && *end == '\0' && v >= 0) {
+        cpus.push_back(static_cast<int>(v));
+      }
+      continue;
+    }
+    const std::string lo_s = chunk.substr(0, dash);
+    const std::string hi_s = chunk.substr(dash + 1);
+    const long lo = std::strtol(lo_s.c_str(), &end, 10);
+    if (end == lo_s.c_str() || *end != '\0' || lo < 0) continue;
+    const long hi = std::strtol(hi_s.c_str(), &end, 10);
+    if (end == hi_s.c_str() || *end != '\0' || hi < lo) continue;
+    for (long v = lo; v <= hi && v - lo < 4096; ++v) {
+      cpus.push_back(static_cast<int>(v));
+    }
+  }
+  return cpus;
+}
+
+Topology Topology::discover() {
+  // 1. Simulated layout: partition the host CPUs into n contiguous fake
+  //    nodes. With fewer CPUs than nodes the CPUs are shared round-robin,
+  //    so a 1-CPU CI runner still gets n schedulable nodes.
+  if (const std::size_t fake = fake_node_count(); fake > 1) {
+    Topology t;
+    t.faked_ = true;
+    const std::size_t cpus = host_cpu_count();
+    t.nodes_.resize(fake);
+    for (std::size_t n = 0; n < fake; ++n) {
+      t.nodes_[n].id = static_cast<int>(n);
+    }
+    if (cpus >= fake) {
+      // Contiguous partition: node k owns cpus [k*C/N, (k+1)*C/N).
+      for (std::size_t n = 0; n < fake; ++n) {
+        const std::size_t lo = n * cpus / fake;
+        const std::size_t hi = (n + 1) * cpus / fake;
+        for (std::size_t c = lo; c < hi; ++c) {
+          t.nodes_[n].cpus.push_back(static_cast<int>(c));
+        }
+      }
+    } else {
+      for (std::size_t n = 0; n < fake; ++n) {
+        t.nodes_[n].cpus.push_back(static_cast<int>(n % cpus));
+      }
+    }
+    return t;
+  }
+
+  // 2. Real sysfs topology. Node ids may be sparse (node0, node8) so scan
+  //    a fixed id range instead of stopping at the first gap.
+  Topology t;
+#if defined(__linux__)
+  for (int id = 0; id < 256; ++id) {
+    const std::string path = "/sys/devices/system/node/node" +
+                             std::to_string(id) + "/cpulist";
+    std::ifstream in(path);
+    if (!in) continue;
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::vector<int> cpus = parse_cpulist(text);
+    if (cpus.empty()) continue;  // memory-only node: nothing to schedule on
+    TopologyNode node;
+    node.id = id;
+    node.cpus = std::move(cpus);
+    t.nodes_.push_back(std::move(node));
+  }
+#endif
+
+  // 3. Fallback (non-Linux, unreadable sysfs, or a true single-node box).
+  if (t.nodes_.empty()) return single_node();
+  return t;
+}
+
+std::size_t Topology::cpu_count() const {
+  std::size_t n = 0;
+  for (const TopologyNode& node : nodes_) n += node.cpus.size();
+  return n;
+}
+
+std::string Topology::describe() const {
+  std::string out = std::to_string(nodes_.size()) +
+                    (nodes_.size() == 1 ? " node (" : " nodes (");
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (i != 0) out += ", ";
+    const TopologyNode& n = nodes_[i];
+    out += "node" + std::to_string(n.id) + ": ";
+    if (n.cpus.empty()) {
+      out += "no cpus";
+      continue;
+    }
+    // Compress runs: "cpu 0-3,8".
+    out += "cpu ";
+    std::size_t i0 = 0;
+    for (std::size_t j = 1; j <= n.cpus.size(); ++j) {
+      if (j < n.cpus.size() && n.cpus[j] == n.cpus[j - 1] + 1) continue;
+      if (i0 != 0) out += ",";
+      out += std::to_string(n.cpus[i0]);
+      if (j - 1 > i0) out += "-" + std::to_string(n.cpus[j - 1]);
+      i0 = j;
+    }
+  }
+  out += faked_ ? "; faked)" : ")";
+  return out;
+}
+
+}  // namespace nup::runtime

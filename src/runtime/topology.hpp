@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nup::runtime {
+
+/// Locality policy for the frame engine / pipeline executor (the
+/// `stencilcc --numa` flag). kOff is the default and reduces the engine to
+/// one node and one run queue -- bit-identical to the pre-locality
+/// scheduler.
+enum class NumaMode {
+  kOff,         ///< single queue, no pinning, no placement
+  kAuto,        ///< streamed-bytes-balanced contiguous placement
+  kInterleave,  ///< round-robin tile->node (bandwidth over locality)
+};
+
+const char* to_string(NumaMode mode);
+
+/// Parses "off" / "auto" / "interleave" (the --numa flag values).
+std::optional<NumaMode> numa_mode_from_string(std::string_view text);
+
+/// One memory node (NUMA node or faked cache domain) and the CPUs local
+/// to it.
+struct TopologyNode {
+  int id = 0;              ///< kernel node id (or fake index)
+  std::vector<int> cpus;   ///< cpu ids local to this node
+};
+
+/// Host memory topology: which CPUs sit next to which memory node.
+///
+/// Discovery order:
+///   1. `NUP_FAKE_TOPOLOGY=<n>` partitions the host's CPUs into n fake
+///      nodes, so tests / CI / benchmarks exercise multi-node scheduling
+///      on any machine (n may exceed the CPU count; CPUs are then shared
+///      round-robin).
+///   2. `/sys/devices/system/node/node<k>/cpulist` on Linux.
+///   3. Single-node fallback (every CPU on node 0).
+class Topology {
+ public:
+  /// Every CPU on one node; what `--numa off` always uses.
+  static Topology single_node();
+
+  /// Discovers the host topology (see class comment). Reads the
+  /// NUP_FAKE_TOPOLOGY environment variable at call time, so a test can
+  /// setenv() before constructing an engine.
+  static Topology discover();
+
+  std::size_t node_count() const { return nodes_.size(); }
+  const std::vector<TopologyNode>& nodes() const { return nodes_; }
+  const TopologyNode& node(std::size_t i) const { return nodes_[i]; }
+
+  /// True when the layout came from NUP_FAKE_TOPOLOGY (affinity pinning
+  /// still targets the real CPU ids of each fake partition).
+  bool faked() const { return faked_; }
+
+  /// Total CPUs across all nodes.
+  std::size_t cpu_count() const;
+
+  /// "2 nodes (node0: cpu 0-3, node1: cpu 4-7)" -- for logs / banners.
+  std::string describe() const;
+
+  /// Parses the kernel cpulist format ("0-3,8,10-11") into cpu ids.
+  /// Malformed chunks are skipped; never throws.
+  static std::vector<int> parse_cpulist(const std::string& text);
+
+ private:
+  std::vector<TopologyNode> nodes_;
+  bool faked_ = false;
+};
+
+}  // namespace nup::runtime

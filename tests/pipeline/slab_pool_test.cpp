@@ -276,5 +276,103 @@ TEST(StageBufferPool, PrivatePoolWhenNoneIsShared) {
   EXPECT_EQ(buffer.occupancy().tiles, 0);
 }
 
+// ---- per-node arenas ---------------------------------------------------
+
+TEST(SlabPoolArenas, ArenasRecycleIndependently) {
+  SlabPool pool(2);
+  EXPECT_EQ(pool.arena_count(), 2u);
+  std::vector<double> a = pool.take(100, 0);
+  pool.give(std::move(a), 0);
+
+  // Arena 1 cannot see arena 0's free list: this request allocates fresh.
+  std::vector<double> b = pool.take(100, 1);
+  EXPECT_EQ(pool.stats().allocated, 2);
+  EXPECT_EQ(pool.stats().reused, 0);
+  pool.give(std::move(b), 1);
+
+  // Each arena reuses its own storage.
+  std::vector<double> c = pool.take(80, 0);
+  std::vector<double> d = pool.take(80, 1);
+  EXPECT_EQ(pool.stats().allocated, 2);
+  EXPECT_EQ(pool.stats().reused, 2);
+  pool.give(std::move(c), 0);
+  pool.give(std::move(d), 1);
+}
+
+TEST(SlabPoolArenas, OutOfRangeArenaClampsInsteadOfCrashing) {
+  SlabPool pool(2);
+  std::vector<double> a = pool.take(32, 99);  // clamps to the last arena
+  pool.give(std::move(a), 99);
+  std::vector<double> b = pool.take(32, 1);
+  EXPECT_EQ(pool.stats().reused, 1) << "clamped give must land in arena 1";
+  pool.give(std::move(b), 1);
+  // The default single-arena pool clamps everything to arena 0.
+  SlabPool single;
+  std::vector<double> c = single.take(16, 5);
+  single.give(std::move(c), 7);
+  std::vector<double> d = single.take(16, 0);
+  EXPECT_EQ(single.stats().reused, 1);
+  single.give(std::move(d));
+}
+
+TEST(SlabPoolArenas, LiveSlabsCountEveryBufferAlive) {
+  SlabPool pool(2);
+  EXPECT_EQ(pool.live_slabs(), 0);
+  std::vector<double> t = pool.take(10, 0);          // outstanding take
+  std::shared_ptr<std::vector<double>> l = pool.lease(20, 1);  // leased
+  EXPECT_EQ(pool.live_slabs(), 2);
+  pool.give(std::move(t), 0);  // now a free-list entry: still alive
+  EXPECT_EQ(pool.live_slabs(), 2);
+  l.reset();  // recyclable lease entry: still resident in the pool
+  EXPECT_EQ(pool.live_slabs(), 2);
+}
+
+TEST(SlabPoolArenas, ResidentBytesTrackPoolHeldCapacity) {
+  SlabPool pool(2);
+  EXPECT_EQ(pool.bytes_resident(), 0);
+
+  // An outstanding take() is the caller's memory, not the pool's.
+  std::vector<double> t = pool.take(100, 0);
+  EXPECT_EQ(pool.bytes_resident(), 0);
+  const std::int64_t cap100 =
+      static_cast<std::int64_t>(t.capacity() * sizeof(double));
+  pool.give(std::move(t), 0);
+  EXPECT_EQ(pool.bytes_resident(), cap100);
+
+  // Leases are pool-held for their whole life (the pool keeps a ref).
+  std::shared_ptr<std::vector<double>> l = pool.lease(50, 1);
+  const std::int64_t cap50 =
+      static_cast<std::int64_t>(l->capacity() * sizeof(double));
+  EXPECT_EQ(pool.bytes_resident(), cap100 + cap50);
+  l.reset();
+  EXPECT_EQ(pool.bytes_resident(), cap100 + cap50);
+
+  // Re-taking moves the capacity back to the caller.
+  std::vector<double> again = pool.take(90, 0);
+  EXPECT_EQ(pool.bytes_resident(), cap50);
+  pool.give(std::move(again), 0);
+  EXPECT_EQ(pool.bytes_resident(), cap100 + cap50);
+}
+
+TEST(SlabPoolArenas, ResidentGaugeMirrorsBytesResident) {
+  obs::Registry registry;
+  obs::Gauge& gauge = registry.gauge("pool.test.resident_bytes");
+  SlabPool pool(2);
+  pool.bind_resident_gauge(&gauge);
+
+  std::vector<double> t = pool.take(64, 1);
+  pool.give(std::move(t), 1);
+  EXPECT_EQ(gauge.value(), pool.bytes_resident());
+  EXPECT_GT(gauge.value(), 0);
+
+  std::shared_ptr<std::vector<double>> l = pool.lease(32, 0);
+  EXPECT_EQ(gauge.value(), pool.bytes_resident());
+  std::vector<double> again = pool.take(64, 1);
+  EXPECT_EQ(gauge.value(), pool.bytes_resident());
+  pool.give(std::move(again), 1);
+  l.reset();
+  EXPECT_EQ(gauge.value(), pool.bytes_resident());
+}
+
 }  // namespace
 }  // namespace nup::pipeline

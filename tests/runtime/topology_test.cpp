@@ -1,0 +1,176 @@
+// Topology discovery and tile placement: cpulist parsing, the
+// NUP_FAKE_TOPOLOGY override (how CI simulates multi-node hosts), and the
+// placement cost model's contract -- contiguous lex runs under kAuto,
+// round-robin under kInterleave, everything on node 0 otherwise.
+
+#include "runtime/placement.hpp"
+#include "runtime/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <numeric>
+#include <set>
+
+#include "runtime/tiler.hpp"
+#include "stencil/gallery.hpp"
+
+namespace nup::runtime {
+namespace {
+
+// Scoped NUP_FAKE_TOPOLOGY: discover() reads the env at call time, so the
+// guard makes a test's fake layout invisible to every other test.
+struct FakeTopo {
+  explicit FakeTopo(const char* n) { setenv("NUP_FAKE_TOPOLOGY", n, 1); }
+  ~FakeTopo() { unsetenv("NUP_FAKE_TOPOLOGY"); }
+};
+
+// ---- cpulist parsing ---------------------------------------------------
+
+TEST(Topology, ParseCpulistSinglesAndRanges) {
+  EXPECT_EQ(Topology::parse_cpulist("0-3"),
+            (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(Topology::parse_cpulist("0-3,8,10-11"),
+            (std::vector<int>{0, 1, 2, 3, 8, 10, 11}));
+  EXPECT_EQ(Topology::parse_cpulist("5"), (std::vector<int>{5}));
+  EXPECT_EQ(Topology::parse_cpulist(" 0 , 2-3 \n"),
+            (std::vector<int>{0, 2, 3}));
+}
+
+TEST(Topology, ParseCpulistRejectsGarbage) {
+  EXPECT_TRUE(Topology::parse_cpulist("").empty());
+  EXPECT_TRUE(Topology::parse_cpulist("banana").empty());
+  EXPECT_TRUE(Topology::parse_cpulist("3-1").empty());  // inverted range
+}
+
+// ---- discovery ---------------------------------------------------------
+
+TEST(Topology, SingleNodeHoldsEveryCpu) {
+  const Topology topo = Topology::single_node();
+  ASSERT_EQ(topo.node_count(), 1u);
+  EXPECT_FALSE(topo.faked());
+  EXPECT_GE(topo.node(0).cpus.size(), 1u);
+  EXPECT_EQ(topo.cpu_count(), topo.node(0).cpus.size());
+}
+
+TEST(Topology, DiscoverAlwaysYieldsAtLeastOneNode) {
+  const Topology topo = Topology::discover();
+  ASSERT_GE(topo.node_count(), 1u);
+  for (const TopologyNode& node : topo.nodes()) {
+    EXPECT_FALSE(node.cpus.empty());
+  }
+  EXPECT_FALSE(topo.describe().empty());
+}
+
+TEST(Topology, FakeOverrideSplitsIntoNNodes) {
+  for (const char* n : {"2", "4"}) {
+    FakeTopo guard(n);
+    const Topology topo = Topology::discover();
+    EXPECT_EQ(topo.node_count(),
+              static_cast<std::size_t>(std::atoi(n)));
+    EXPECT_TRUE(topo.faked());
+    // Every fake node owns at least one real CPU id (shared round-robin
+    // when the host has fewer CPUs than fake nodes).
+    for (const TopologyNode& node : topo.nodes()) {
+      ASSERT_FALSE(node.cpus.empty());
+      for (const int cpu : node.cpus) EXPECT_GE(cpu, 0);
+    }
+  }
+}
+
+TEST(Topology, FakeOverrideIsReadPerCall) {
+  {
+    FakeTopo guard("3");
+    EXPECT_EQ(Topology::discover().node_count(), 3u);
+  }
+  EXPECT_FALSE(Topology::discover().faked());
+}
+
+TEST(Topology, BogusFakeValuesFallBackToRealDiscovery) {
+  for (const char* n : {"0", "-2", "banana", ""}) {
+    FakeTopo guard(n);
+    EXPECT_FALSE(Topology::discover().faked()) << "value '" << n << "'";
+  }
+}
+
+// ---- numa mode parsing -------------------------------------------------
+
+TEST(NumaMode, ParsesTheCliValues) {
+  EXPECT_EQ(numa_mode_from_string("off"), NumaMode::kOff);
+  EXPECT_EQ(numa_mode_from_string("auto"), NumaMode::kAuto);
+  EXPECT_EQ(numa_mode_from_string("interleave"), NumaMode::kInterleave);
+  EXPECT_FALSE(numa_mode_from_string("on").has_value());
+  EXPECT_FALSE(numa_mode_from_string("").has_value());
+  EXPECT_STREQ(to_string(NumaMode::kAuto), "auto");
+  EXPECT_STREQ(to_string(NumaMode::kOff), "off");
+  EXPECT_STREQ(to_string(NumaMode::kInterleave), "interleave");
+}
+
+// ---- placement ---------------------------------------------------------
+
+TilePlan bands(std::int64_t rows) {
+  TilerOptions options;
+  options.tile_shape = {rows, 0};  // row bands, lex order by construction
+  return plan_tiles(stencil::jacobi_2d(), options);
+}
+
+TEST(Placement, AutoAssignsContiguousMonotoneRuns) {
+  const TilePlan plan = bands(4);
+  ASSERT_GE(plan.tiles.size(), 4u);
+  const PlacementPlan p = plan_placement(plan, 3, NumaMode::kAuto);
+  ASSERT_EQ(p.node_of.size(), plan.tiles.size());
+  ASSERT_EQ(p.node_count(), 3u);
+  // Lex-adjacent tiles share halo rows: runs must be contiguous, i.e. the
+  // node index never decreases along the lex order.
+  for (std::size_t t = 1; t < p.node_of.size(); ++t) {
+    EXPECT_GE(p.node_of[t], p.node_of[t - 1]) << "tile " << t;
+  }
+  EXPECT_GE(p.node_of.front(), 0);
+  EXPECT_LE(p.node_of.back(), 2);
+}
+
+TEST(Placement, AutoBalancesStreamedBytes) {
+  const TilePlan plan = bands(2);
+  const PlacementPlan p = plan_placement(plan, 2, NumaMode::kAuto);
+  // Both nodes get work and the split is within 2x of perfect (row bands
+  // of a uniform grid are near-equal-cost).
+  EXPECT_GT(p.node_bytes[0], 0);
+  EXPECT_GT(p.node_bytes[1], 0);
+  EXPECT_LT(p.imbalance(), 2.0);
+  // node_bytes tallies every tile exactly once.
+  std::int64_t total = 0;
+  for (const std::int64_t b : p.node_bytes) total += b;
+  std::int64_t expected = 0;
+  for (const Tile& t : plan.tiles) {
+    expected += std::max<std::int64_t>(t.streamed_elements * 8, 1);
+  }
+  EXPECT_EQ(total, expected);
+}
+
+TEST(Placement, InterleaveRoundRobins) {
+  const TilePlan plan = bands(2);
+  const PlacementPlan p = plan_placement(plan, 3, NumaMode::kInterleave);
+  for (std::size_t t = 0; t < p.node_of.size(); ++t) {
+    EXPECT_EQ(p.node_of[t], static_cast<int>(t % 3));
+  }
+}
+
+TEST(Placement, OffOrSingleNodePlacesEverythingOnNodeZero) {
+  const TilePlan plan = bands(4);
+  for (const PlacementPlan& p :
+       {plan_placement(plan, 2, NumaMode::kOff),
+        plan_placement(plan, 1, NumaMode::kAuto)}) {
+    for (const int node : p.node_of) EXPECT_EQ(node, 0);
+  }
+}
+
+TEST(Placement, DescribeMentionsEveryNode) {
+  const TilePlan plan = bands(2);
+  const PlacementPlan p = plan_placement(plan, 2, NumaMode::kAuto);
+  const std::string text = p.describe();
+  EXPECT_NE(text.find("node0"), std::string::npos) << text;
+  EXPECT_NE(text.find("node1"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace nup::runtime

@@ -36,6 +36,11 @@
 //   --threads <T>  worker threads for --serve (default: hardware)
 //   --tile <a,b,..> tile extents per dimension for --serve (0 = full
 //                  extent; default: automatic shape)
+//   --numa <m>     locality mode of the staged/serving runtimes: auto
+//                  discovers the memory-node topology, places tiles on
+//                  nodes and pins per-node workers; interleave
+//                  round-robins tiles over nodes; off (default) keeps
+//                  the single-queue scheduler (docs/RUNTIME.md)
 //   --pipeline <spec>
 //                  stage-pipelined mode: <spec> holds several mini-C
 //                  kernels separated by lines starting with `---`; they
@@ -118,6 +123,7 @@
 #include "pipeline/stage_graph.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/telemetry.hpp"
+#include "runtime/topology.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "serve/wire.hpp"
@@ -165,6 +171,12 @@ void usage() {
       "                  default: hardware concurrency)\n"
       "  --tile <a,b,..> tile extents per dimension (0 = full extent;\n"
       "                  default: automatic shape)\n"
+      "  --numa <auto|off|interleave>\n"
+      "                  locality-aware execution: discover the memory-\n"
+      "                  node topology (NUP_FAKE_TOPOLOGY=<n> simulates n\n"
+      "                  nodes anywhere), place tiles on nodes and pin\n"
+      "                  per-node workers with idle stealing (default:\n"
+      "                  off; see docs/RUNTIME.md)\n"
       "\n"
       "multi-tenant serving (with --serve; see docs/SERVING.md):\n"
       "  --tenants <T>   spread the frames over T synthetic tenants\n"
@@ -285,13 +297,14 @@ std::optional<nup::stencil::StencilProgram> gallery_kernel(
 int serve_frames(const nup::core::AcceleratorPackage& pkg,
                  const nup::core::CompileOptions& compile_options,
                  long frames, std::size_t threads,
-                 nup::poly::IntVec tile_shape, long cancel_frame,
-                 const ServeCliOptions& cli, bool quiet) {
+                 nup::poly::IntVec tile_shape, nup::runtime::NumaMode numa,
+                 long cancel_frame, const ServeCliOptions& cli, bool quiet) {
   using namespace nup;
   serve::ServeOptions options;
   options.engine.threads = threads;
   options.engine.tile_shape = std::move(tile_shape);
   options.engine.build = compile_options.build;
+  options.engine.numa = numa;
   if (cli.inflight >= 0) {
     options.max_frames_in_flight = static_cast<std::size_t>(cli.inflight);
   }
@@ -444,7 +457,8 @@ std::vector<std::string> split_stage_sources(std::istream& in) {
 int run_pipeline(const std::string& spec_path, const std::string& name,
                  const nup::core::CompileOptions& compile_options,
                  long frames, long inflight, std::size_t threads,
-                 nup::poly::IntVec tile_shape, bool barrier, bool quiet) {
+                 nup::poly::IntVec tile_shape,
+                 nup::runtime::NumaMode numa, bool barrier, bool quiet) {
   using namespace nup;
 
   std::ifstream in(spec_path);
@@ -474,6 +488,7 @@ int run_pipeline(const std::string& spec_path, const std::string& name,
   options.build = compile_options.build;
   options.sim = compile_options.sim;
   options.barrier = barrier;
+  options.numa = numa;
   if (inflight >= 0) {
     options.max_frames_in_flight = static_cast<std::size_t>(inflight);
   }
@@ -547,7 +562,7 @@ int run_temporal(const std::string& kernel_path, const std::string& name,
                  const nup::temporal::TemporalConfig& config,
                  double tolerance, long frames, long inflight,
                  std::size_t threads, nup::poly::IntVec tile_shape,
-                 bool quiet) {
+                 nup::runtime::NumaMode numa, bool quiet) {
   using namespace nup;
 
   std::ifstream in(kernel_path);
@@ -566,6 +581,7 @@ int run_temporal(const std::string& kernel_path, const std::string& name,
   options.pipeline.tile_shape = std::move(tile_shape);
   options.pipeline.build = compile_options.build;
   options.pipeline.sim = compile_options.sim;
+  options.pipeline.numa = numa;
   options.tolerance = tolerance;
   if (inflight > 0) {
     options.max_passes_in_flight = static_cast<std::size_t>(inflight);
@@ -686,6 +702,7 @@ int main(int argc, char** argv) {
   long serve = 0;
   std::size_t serve_threads = 0;
   poly::IntVec serve_tile;
+  runtime::NumaMode numa_mode = runtime::NumaMode::kOff;
   std::string pipeline_spec;
   bool pipeline_barrier = false;
   long pipeline_frames = 0;
@@ -811,6 +828,16 @@ int main(int argc, char** argv) {
         usage();
         return 2;
       }
+    } else if (arg == "--numa" && i + 1 < argc) {
+      const std::optional<runtime::NumaMode> mode =
+          runtime::numa_mode_from_string(argv[++i]);
+      if (!mode) {
+        std::fprintf(stderr,
+                     "stencilcc: --numa wants auto, off or interleave\n");
+        usage();
+        return 2;
+      }
+      numa_mode = *mode;
     } else if (arg == "--pipeline" && i + 1 < argc) {
       pipeline_spec = argv[++i];
     } else if (arg == "--barrier") {
@@ -978,7 +1005,7 @@ int main(int argc, char** argv) {
                             temporal_tolerance,
                             pipeline_frames > 0 ? pipeline_frames : serve,
                             pipeline_inflight, serve_threads,
-                            std::move(serve_tile), quiet);
+                            std::move(serve_tile), numa_mode, quiet);
       return finish(rc);
     } catch (const Error& e) {
       std::fprintf(stderr, "stencilcc: %s\n", e.what());
@@ -991,7 +1018,8 @@ int main(int argc, char** argv) {
       int rc = run_pipeline(pipeline_spec, name, options,
                             pipeline_frames > 0 ? pipeline_frames : serve,
                             pipeline_inflight, serve_threads,
-                            std::move(serve_tile), pipeline_barrier, quiet);
+                            std::move(serve_tile), numa_mode,
+                            pipeline_barrier, quiet);
       return finish(rc);
     } catch (const Error& e) {
       std::fprintf(stderr, "stencilcc: %s\n", e.what());
@@ -1041,8 +1069,8 @@ int main(int argc, char** argv) {
     if (ok && serve > 0) {
       serve_cli.inflight = pipeline_inflight;
       rc = serve_frames(pkg, options, serve, serve_threads,
-                        std::move(serve_tile), cancel_frame, serve_cli,
-                        quiet);
+                        std::move(serve_tile), numa_mode, cancel_frame,
+                        serve_cli, quiet);
     }
     return finish(rc);
   } catch (const Error& e) {
